@@ -1,0 +1,105 @@
+// Command cachesim runs one trace through the paper's two-level hierarchy
+// under a chosen replacement policy and cost mapping, and reports miss and
+// cost statistics — the basic trace-driven experiment of Section 3.
+//
+// Usage:
+//
+//	cachesim -bench Raytrace -policy DCL -costmap random -haf 0.2 -ratio 8
+//	cachesim -trace trace.bin -policy ACL -costmap firsttouch -ratio 16
+//
+// The trace may come from a named synthetic benchmark (-bench) or a file in
+// the binary trace format (-trace). The LRU baseline is always run too, so
+// the relative cost savings is printed directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costcache/internal/cost"
+	"costcache/internal/costsim"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachesim: ")
+	bench := flag.String("bench", "", "synthetic benchmark name")
+	traceFile := flag.String("trace", "", "binary trace file (alternative to -bench)")
+	policy := flag.String("policy", "DCL", "replacement policy: LRU, GD, BCL, DCL, ACL, DCL-a4, ACL-a4, PLRU, CS-PLRU, LFU, SLRU, Random")
+	costmap := flag.String("costmap", "random", "cost mapping: random, firsttouch, uniform")
+	haf := flag.Float64("haf", 0.2, "high-cost access fraction (random mapping)")
+	ratio := flag.Int64("ratio", 8, "cost ratio r (0 = infinite: low cost 0, high cost 1)")
+	procFlag := flag.Int("proc", 0, "sample processor")
+	l2size := flag.Int("l2", 16<<10, "L2 size in bytes")
+	l2ways := flag.Int("ways", 4, "L2 associativity")
+	seed := flag.Uint64("seed", 42, "cost mapping seed")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *bench != "":
+		g, ok := workload.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		tr = g.Generate()
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.ReadBinary(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -bench or -trace")
+	}
+
+	factory, ok := replacement.ByName(*policy)
+	if !ok {
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	cfg := costsim.Default()
+	cfg.L2Size, cfg.L2Ways = *l2size, *l2ways
+	view := tr.SampleView(int16(*procFlag))
+
+	r := costsim.Ratio{Low: 1, High: replacement.Cost(*ratio), Label: fmt.Sprintf("r=%d", *ratio)}
+	if *ratio == 0 {
+		r = costsim.Ratio{Low: 0, High: 1, Label: "r=inf"}
+	}
+	var src cost.Source
+	switch *costmap {
+	case "random":
+		src = costsim.CalibratedRandom(view, cfg.BlockBytes, *haf, r, *seed)
+	case "firsttouch":
+		homes := workload.FirstTouchHomes(tr, cfg.BlockBytes)
+		src = cost.FirstTouch{Home: workload.HomeFunc(homes, 0), Proc: int16(*procFlag), Low: r.Low, High: r.High}
+	case "uniform":
+		src = cost.Uniform(1)
+	default:
+		log.Fatalf("unknown cost mapping %q", *costmap)
+	}
+
+	base := costsim.Run(view, cfg, replacement.NewLRU(), src)
+	res := costsim.Run(view, cfg, factory(), src)
+
+	t := tabulate.New(fmt.Sprintf("%s on %s, %s %s mapping", *policy, tr.Name, r.Label, *costmap),
+		"Metric", "LRU", *policy)
+	t.AddF("L2 accesses", base.L2.Accesses, res.L2.Accesses)
+	t.AddF("L2 misses", base.L2.Misses, res.L2.Misses)
+	t.AddF("L2 miss rate %", base.L2.MissRate()*100, res.L2.MissRate()*100)
+	t.AddF("aggregate cost", base.L2.AggCost, res.L2.AggCost)
+	t.AddF("invalidations", base.Invalidations, res.Invalidations)
+	t.Fprint(os.Stdout)
+	fmt.Printf("relative cost savings over LRU: %.2f%%\n",
+		costsim.RelativeSavings(base.L2.AggCost, res.L2.AggCost)*100)
+}

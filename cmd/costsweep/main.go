@@ -1,0 +1,81 @@
+// Command costsweep runs the Section 3 sweeps on one benchmark: the random
+// cost mapping over a grid of (cost ratio, high-cost access fraction) cells
+// (Figure 3) or the first-touch mapping over cost ratios (Table 2), and
+// prints the relative cost savings of GD, BCL, DCL and ACL over LRU, as a
+// table or CSV.
+//
+// Usage:
+//
+//	costsweep -bench Barnes [-map random|firsttouch] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costcache/internal/costsim"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costsweep: ")
+	bench := flag.String("bench", "Raytrace", "benchmark name")
+	mapping := flag.String("map", "random", "cost mapping: random (Figure 3) or firsttouch (Table 2)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	procFlag := flag.Int("proc", 0, "sample processor")
+	seed := flag.Uint64("seed", 42, "random mapping seed")
+	flag.Parse()
+
+	g, ok := workload.ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	tr := g.Generate()
+	view := tr.SampleView(int16(*procFlag))
+	cfg := costsim.Default()
+
+	emit := func(t *tabulate.Table) {
+		if *csv {
+			if err := t.CSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+
+	switch *mapping {
+	case "random":
+		for _, r := range costsim.PaperRatios() {
+			pts := costsim.RandomSweep(view, cfg, []costsim.Ratio{r},
+				costsim.PaperHAFs(), costsim.PaperPolicies(), *seed)
+			t := tabulate.New(fmt.Sprintf("%s, %s: relative cost savings over LRU (%%)", *bench, r.Label),
+				"HAF", "measured", "GD", "BCL", "DCL", "ACL")
+			for _, pt := range pts {
+				t.AddF(fmt.Sprintf("%.2f", pt.TargetHAF), pt.MeasuredHAF,
+					pt.Savings["GD"]*100, pt.Savings["BCL"]*100,
+					pt.Savings["DCL"]*100, pt.Savings["ACL"]*100)
+			}
+			emit(t)
+			fmt.Println()
+		}
+	case "firsttouch":
+		homes := workload.FirstTouchHomes(tr, cfg.BlockBytes)
+		pts := costsim.FirstTouchSweep(view, cfg, workload.HomeFunc(homes, 0),
+			int16(*procFlag), costsim.Table2Ratios(), costsim.PaperPolicies())
+		t := tabulate.New(fmt.Sprintf("%s: first-touch cost savings over LRU (%%)", *bench),
+			"ratio", "remote frac", "GD", "BCL", "DCL", "ACL")
+		for _, pt := range pts {
+			t.AddF(pt.Ratio.Label, pt.MeasuredHAF,
+				pt.Savings["GD"]*100, pt.Savings["BCL"]*100,
+				pt.Savings["DCL"]*100, pt.Savings["ACL"]*100)
+		}
+		emit(t)
+	default:
+		log.Fatalf("unknown mapping %q", *mapping)
+	}
+}

@@ -1,0 +1,75 @@
+// Command numasim runs the execution-driven CC-NUMA simulation of Section 4
+// on one benchmark and prints execution time and memory behaviour under a
+// chosen L2 replacement policy, with the LRU baseline for comparison.
+//
+// Usage:
+//
+//	numasim -bench Barnes -policy DCL [-mhz 500|1000] [-nohints] [-table3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costcache/internal/numasim"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("numasim: ")
+	bench := flag.String("bench", "Barnes", "benchmark name")
+	policy := flag.String("policy", "DCL", "L2 policy: any registry name (LRU, GD, BCL, DCL, ACL, DCL-a4, ACL-a4, ...)")
+	mhz := flag.Int("mhz", 500, "processor clock in MHz (500 or 1000)")
+	nohints := flag.Bool("nohints", false, "disable replacement hints")
+	table3 := flag.Bool("table3", false, "print the consecutive-miss latency matrix")
+	penalty := flag.Bool("penalty", false, "predict miss PENALTY instead of latency as the cost")
+	flag.Parse()
+
+	g, ok := workload.ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	prog, _ := workload.ProgramOf(g)
+	f, ok := replacement.ByName(*policy)
+	if !ok {
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	mk := func(fac replacement.Factory) numasim.Config {
+		cfg := numasim.DefaultConfig(fac)
+		cfg.ClockMHz = *mhz
+		cfg.Protocol.Hints = !*nohints
+		cfg.CollectTable3 = *table3
+		cfg.UsePenalty = *penalty
+		return cfg
+	}
+
+	base := numasim.Run(prog, mk(func() replacement.Policy { return replacement.NewLRU() }))
+	res := base
+	if *policy != "LRU" {
+		res = numasim.Run(prog, mk(f))
+	}
+
+	t := tabulate.New(fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", *bench, *mhz, *policy, !*nohints),
+		"Metric", "LRU", *policy)
+	t.AddF("execution time (us)", float64(base.ExecNs)/1000, float64(res.ExecNs)/1000)
+	t.AddF("L2 misses", base.L2Misses, res.L2Misses)
+	t.AddF("aggregate miss latency (us)", float64(base.AggMissNs)/1000, float64(res.AggMissNs)/1000)
+	t.AddF("avg miss latency (ns)", base.AvgMissNs, res.AvgMissNs)
+	t.AddF("invalidation msgs", base.Protocol.Invalidations, res.Protocol.Invalidations)
+	t.AddF("forward nacks", base.Protocol.ForwardNacks, res.Protocol.ForwardNacks)
+	t.Fprint(os.Stdout)
+	fmt.Printf("execution time reduction over LRU: %.2f%%\n",
+		100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+
+	if *table3 && res.Table3 != nil {
+		fmt.Println()
+		res.Table3.Table().Fprint(os.Stdout)
+		fmt.Printf("same-latency fraction: %.1f%%\n", res.Table3.SameLatencyFraction()*100)
+	}
+}

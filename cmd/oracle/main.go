@@ -1,0 +1,95 @@
+// Command oracle compares the online policies against the offline optima on
+// per-set slices of a benchmark trace: Belady's MIN for miss count and
+// CSOPT (Jeong & Dubois SPAA 1999) for aggregate cost. It quantifies how
+// much of the offline headroom each heuristic captures — the calibration
+// the paper's related-work section appeals to.
+//
+// Usage:
+//
+//	oracle -bench Raytrace [-sets 8] [-events 250] [-haf 0.25] [-ratio 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costcache/internal/costsim"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oracle: ")
+	bench := flag.String("bench", "Raytrace", "benchmark name")
+	sets := flag.Int("sets", 8, "number of cache sets to sample")
+	events := flag.Int("events", 2000, "events per set slice")
+	haf := flag.Float64("haf", 0.25, "high-cost access fraction")
+	ratio := flag.Int64("ratio", 8, "cost ratio")
+	ways := flag.Int("ways", 4, "associativity")
+	bypass := flag.Bool("bypass", false, "let the optimum bypass (not cache) fetched blocks")
+	flag.Parse()
+
+	g, ok := workload.ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	view := g.Generate().SampleView(0)
+	r := costsim.Ratio{Low: 1, High: replacement.Cost(*ratio)}
+	src := costsim.CalibratedRandom(view, 64, *haf, r, 7)
+	costOf := func(b uint64) replacement.Cost { return src.MissCost(b) }
+
+	names := []string{"LRU", "GD", "BCL", "DCL", "ACL"}
+	totals := map[string]int64{}
+	var optTotal, beladyTotal, lruMissTotal int64
+
+	for set := 0; set < *sets; set++ {
+		var ev []replacement.OptEvent
+		distinct := map[uint64]bool{}
+		// Skip the cold-start third of the trace so the slices exercise
+		// steady-state replacement rather than compulsory misses.
+		for _, ref := range view[len(view)/3:] {
+			b := ref.Addr / 64
+			if int(b%64) != set {
+				continue
+			}
+			distinct[b] = true
+			if len(distinct) > 56 {
+				break
+			}
+			ev = append(ev, replacement.OptEvent{Block: b, Invalidate: ref.Remote})
+			if len(ev) == *events {
+				break
+			}
+		}
+		if len(ev) == 0 {
+			continue
+		}
+		optTotal += replacement.OptimalAggregateCost(ev, *ways, costOf, *bypass)
+		beladyTotal += replacement.OptimalMisses(ev, *ways)
+		lruMissTotal += replacement.LRUMisses(ev, *ways)
+		for _, name := range names {
+			f, _ := replacement.ByName(name)
+			totals[name] += replacement.AggregateCostOf(f(), ev, *ways, costOf)
+		}
+	}
+	if optTotal == 0 {
+		log.Fatal("no activity sampled; increase -events")
+	}
+
+	t := tabulate.New(
+		fmt.Sprintf("%s: %d set slices x %d events, r=%d, HAF=%.2f (CSOPT = 1.00)",
+			*bench, *sets, *events, *ratio, *haf),
+		"Policy", "aggregate cost", "vs CSOPT")
+	t.AddF("CSOPT", optTotal, 1.0)
+	for _, name := range names {
+		t.AddF(name, totals[name], float64(totals[name])/float64(optTotal))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("miss counts: Belady MIN %d vs LRU %d (headroom %.1f%%)\n",
+		beladyTotal, lruMissTotal,
+		100*float64(lruMissTotal-beladyTotal)/float64(lruMissTotal))
+}

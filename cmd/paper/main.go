@@ -1,0 +1,280 @@
+// Command paper regenerates every table and figure of "Cost-Sensitive Cache
+// Replacement Algorithms" (Jeong & Dubois, HPCA 2003) from the synthetic
+// workloads and simulators in this repository.
+//
+// Usage:
+//
+//	paper [-quick] [-only table1,figure3,table2,table3,table4,table5,assoc,sizes,hwcost]
+//
+// With no -only flag every experiment runs, in paper order. -quick scales
+// the workloads down for a fast smoke run (shapes hold, magnitudes shift).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costcache/internal/costsim"
+	"costcache/internal/hwcost"
+	"costcache/internal/numasim"
+	"costcache/internal/tabulate"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scale workloads down for a fast smoke run")
+	only := flag.String("only", "", "comma-separated experiments to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	gens := benchmarks(*quick)
+
+	if run("table1") {
+		table1(gens)
+	}
+	if run("figure3") {
+		figure3(gens, *quick)
+	}
+	if run("table2") {
+		table2(gens)
+	}
+	if run("table4") {
+		table4()
+	}
+	if run("table3") {
+		table3(gens)
+	}
+	if run("table5") {
+		table5(gens, *quick)
+	}
+	if run("assoc") {
+		assocSection(gens)
+	}
+	if run("sizes") {
+		sizeSection(gens)
+	}
+	if run("hwcost") {
+		hwcostSection()
+	}
+}
+
+// assocSection reports savings across associativities 2..8 (the paper's
+// methodology sweeps s from 2 to 8, Section 3.1).
+func assocSection(gens []workload.Generator) {
+	fmt.Println("== Associativity sweep: DCL savings over LRU, r=8, HAF=0.2 (%) ==")
+	t := tabulate.New("", "Benchmark", "2-way", "4-way", "8-way")
+	for _, d := range load(gens) {
+		pts := costsim.AssocSweep(d.view, costsim.Default(), []int{2, 4, 8},
+			costsim.Ratio{Low: 1, High: 8, Label: "r=8"}, 0.2,
+			costsim.PaperPolicies(), 42)
+		row := []any{d.gen.Name()}
+		for _, pt := range pts {
+			row = append(row, pt.Savings["DCL"]*100)
+		}
+		t.AddF(row...)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+// sizeSection reports LRU miss behaviour and DCL savings across L2 sizes
+// (the paper examines 2KB..512KB before settling on 16KB).
+func sizeSection(gens []workload.Generator) {
+	fmt.Println("== Cache size sweep: LRU miss rate / DCL savings, r=8, HAF=0.2 ==")
+	t := tabulate.New("", "Benchmark", "Size", "LRU miss %", "DCL savings %")
+	for _, d := range load(gens) {
+		pts := costsim.SizeSweep(d.view, costsim.Default(),
+			[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10},
+			costsim.Ratio{Low: 1, High: 8, Label: "r=8"}, 0.2,
+			costsim.PaperPolicies()[2:3], 42) // DCL only
+		for _, pt := range pts {
+			t.AddF(d.gen.Name(), pt.Label, pt.MissRate*100, pt.Savings["DCL"]*100)
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+// benchmarks returns the four Table 1 workloads, optionally scaled down.
+func benchmarks(quick bool) []workload.Generator {
+	if !quick {
+		return workload.Defaults()
+	}
+	b := workload.DefaultBarnes()
+	b.Bodies, b.Iterations = 2048, 2
+	l := workload.DefaultLU()
+	l.N, l.B = 256, 16 // keep N/B at twice the processor count
+	o := workload.DefaultOcean()
+	o.Iterations = 3
+	r := workload.DefaultRaytrace()
+	r.RaysPerProc = 1500
+	return []workload.Generator{b, l, o, r}
+}
+
+// views generates each benchmark's trace, sample view and first-touch homes
+// once so every experiment shares them.
+type benchData struct {
+	gen   workload.Generator
+	tr    *trace.Trace
+	view  []trace.SampleRef
+	homes map[uint64]int16
+}
+
+func load(gens []workload.Generator) []benchData {
+	out := make([]benchData, len(gens))
+	for i, g := range gens {
+		tr := g.Generate()
+		out[i] = benchData{
+			gen:   g,
+			tr:    tr,
+			view:  tr.SampleView(0),
+			homes: workload.FirstTouchHomes(tr, workload.BlockBytes),
+		}
+	}
+	return out
+}
+
+func table1(gens []workload.Generator) {
+	fmt.Println("== Table 1: benchmark characteristics (synthetic analogues) ==")
+	t := tabulate.New("", "Benchmark", "Procs", "Refs (all)", "Refs (sample)",
+		"Footprint MB", "Remote access %")
+	for _, d := range load(gens) {
+		st := d.tr.Summarize(workload.BlockBytes)
+		rf := d.tr.RemoteFraction(0, workload.BlockBytes, workload.HomeFunc(d.homes, 0))
+		t.AddF(d.gen.Name(), d.tr.NumProcs, st.Refs, st.PerProc[0],
+			float64(st.FootprintBytes)/(1<<20), rf*100)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+func figure3(gens []workload.Generator, quick bool) {
+	fmt.Println("== Figure 3: relative cost savings over LRU, random cost mapping (%) ==")
+	hafs := costsim.PaperHAFs()
+	ratios := costsim.PaperRatios()
+	if quick {
+		hafs = []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.8}
+		ratios = []costsim.Ratio{{Low: 1, High: 8, Label: "r=8"}, {Low: 0, High: 1, Label: "r=inf"}}
+	}
+	for _, d := range load(gens) {
+		for _, r := range ratios {
+			pts := costsim.RandomSweep(d.view, costsim.Default(),
+				[]costsim.Ratio{r}, hafs, costsim.PaperPolicies(), 42)
+			t := tabulate.New(fmt.Sprintf("%s, %s", d.gen.Name(), r.Label),
+				"HAF", "measured", "GD", "BCL", "DCL", "ACL")
+			for _, pt := range pts {
+				t.AddF(fmt.Sprintf("%.2f", pt.TargetHAF), pt.MeasuredHAF,
+					pt.Savings["GD"]*100, pt.Savings["BCL"]*100,
+					pt.Savings["DCL"]*100, pt.Savings["ACL"]*100)
+			}
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+}
+
+func table2(gens []workload.Generator) {
+	fmt.Println("== Table 2: relative cost savings, first-touch cost mapping (%) ==")
+	t := tabulate.New("", "Benchmark", "Policy", "r=2", "r=4", "r=8", "r=16", "r=32")
+	for _, d := range load(gens) {
+		home := workload.HomeFunc(d.homes, 0)
+		pts := costsim.FirstTouchSweep(d.view, costsim.Default(), home, 0,
+			costsim.Table2Ratios(), costsim.PaperPolicies())
+		for _, name := range []string{"GD", "BCL", "DCL", "ACL"} {
+			row := []any{d.gen.Name(), name}
+			for _, pt := range pts {
+				row = append(row, pt.Savings[name]*100)
+			}
+			t.AddF(row...)
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+func table3(gens []workload.Generator) {
+	fmt.Println("== Table 3: consecutive-miss latency correlation (MESI, no replacement hints) ==")
+	progs := numasim.ProgramsFor(gens)
+	m := numasim.Table3(progs, 500)
+	m.Table().Fprint(os.Stdout)
+	fmt.Printf("same-latency fraction: %.1f%% (paper: ~93%%)\n\n", m.SameLatencyFraction()*100)
+}
+
+func table4() {
+	fmt.Println("== Table 4: baseline system configuration (calibration) ==")
+	cfg := numasim.DefaultConfig(nil)
+	local, rClean, rDirty := numasim.CalibrationLatencies(cfg)
+	t := tabulate.New("", "Quantity", "Paper", "This simulator")
+	t.AddF("L1", "4KB direct-mapped, 1 clock", "same")
+	t.AddF("L2", "16KB 4-way, 6 clocks, 8 MSHRs", "same")
+	t.AddF("Memory", "4-way interleaved, 60ns", "same")
+	t.AddF("Network", "4x4 mesh, 64-bit links, 6ns flit", "same")
+	t.AddF("Local clean (ns)", 120, local)
+	t.AddF("Remote clean (ns)", 380, rClean)
+	t.AddF("Remote dirty (ns)", 480, rDirty)
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+func table5(gens []workload.Generator, quick bool) {
+	fmt.Println("== Table 5: reduction of execution time over LRU (%) ==")
+	progs := numasim.ProgramsFor(gens)
+	clocks := []int{500, 1000}
+	if quick {
+		clocks = []int{500}
+	}
+	names := []string{"GD", "BCL", "DCL", "ACL", "DCL-a4", "ACL-a4"}
+	for _, mhz := range clocks {
+		rows := numasim.Table5(progs, mhz, numasim.Table5Policies())
+		t := tabulate.New(fmt.Sprintf("%d MHz processor", mhz),
+			"Benchmark", "GD", "BCL", "DCL", "ACL", "DCL aliasing", "ACL aliasing")
+		for _, r := range rows {
+			row := []any{r.Bench}
+			for _, n := range names {
+				row = append(row, r.ReductionPct[n])
+			}
+			t.AddF(row...)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func hwcostSection() {
+	fmt.Println("== Section 5: hardware overhead over LRU ==")
+	configs := []struct {
+		name string
+		cfg  hwcost.Config
+		pct  bool
+	}{
+		{"8-bit cost fields (% of set)", hwcost.Paper8Bit(), true},
+		{"static table lookup (% of set)", hwcost.PaperTableLookup(), true},
+		{"quantized G=60ns K=8 (bits/set)", hwcost.PaperQuantized(), false},
+	}
+	t := tabulate.New("", "Design point", "BCL", "GD", "DCL", "ACL")
+	for _, c := range configs {
+		row := []any{c.name}
+		for _, alg := range hwcost.Algorithms() {
+			if c.pct {
+				p, _ := hwcost.OverheadPercent(alg, c.cfg)
+				row = append(row, p)
+			} else {
+				b, _ := hwcost.OverheadBitsPerSet(alg, c.cfg)
+				row = append(row, b)
+			}
+		}
+		t.AddF(row...)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}

@@ -1,0 +1,82 @@
+// Command tracegen generates the synthetic multiprocessor workload traces
+// (Table 1 analogues) and writes them in the binary or text trace format,
+// or prints their characteristics.
+//
+// Usage:
+//
+//	tracegen -bench Barnes|LU|Ocean|Raytrace [-o trace.bin] [-format bin|text]
+//
+// Without -o, tracegen prints the Table 1 characteristics of the chosen
+// benchmark (or of all four when -bench is omitted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costcache/internal/tabulate"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	bench := flag.String("bench", "", "benchmark name (Barnes, LU, Ocean, Raytrace); empty = all")
+	out := flag.String("o", "", "output file (omit to print statistics)")
+	format := flag.String("format", "bin", "output format: bin or text")
+	sample := flag.Int("sample", 0, "sample processor for the statistics")
+	flag.Parse()
+
+	var gens []workload.Generator
+	if *bench == "" {
+		gens = workload.Defaults()
+	} else {
+		g, ok := workload.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q (want Barnes, LU, Ocean or Raytrace)", *bench)
+		}
+		gens = []workload.Generator{g}
+	}
+
+	if *out != "" {
+		if len(gens) != 1 {
+			log.Fatal("-o requires a single -bench")
+		}
+		tr := gens[0].Generate()
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		switch *format {
+		case "bin":
+			err = trace.WriteBinary(f, tr)
+		case "text":
+			err = trace.WriteText(f, tr)
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d references to %s\n", tr.Len(), *out)
+		return
+	}
+
+	t := tabulate.New("Synthetic benchmark characteristics (cf. Table 1)",
+		"Benchmark", "Procs", "Refs (all)", "Refs (sample)", "Sample view",
+		"Footprint MB", "Remote %")
+	for _, g := range gens {
+		tr := g.Generate()
+		st := tr.Summarize(workload.BlockBytes)
+		homes := workload.FirstTouchHomes(tr, workload.BlockBytes)
+		rf := tr.RemoteFraction(int16(*sample), workload.BlockBytes, workload.HomeFunc(homes, 0))
+		view := tr.SampleView(int16(*sample))
+		t.AddF(g.Name(), tr.NumProcs, st.Refs, st.PerProc[*sample], len(view),
+			float64(st.FootprintBytes)/(1<<20), rf*100)
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,215 @@
+// Package costcache is a from-scratch reproduction of "Cost-Sensitive Cache
+// Replacement Algorithms" (Jaeheon Jeong and Michel Dubois, HPCA 2003): LRU
+// extensions that minimize the aggregate miss COST — latency, energy,
+// bandwidth, or any non-negative per-miss quantity — instead of the miss
+// count.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Replacement policies: NewLRU, NewGD (GreedyDual), NewBCL, NewDCL,
+//     NewACL, plus ETD tag-aliased variants (Section 2 of the paper).
+//   - A set-associative cache and two-level hierarchy (NewCache,
+//     NewHierarchy) that the policies plug into.
+//   - Cost sources: static mappings and the last-latency predictor
+//     (Sections 3 and 4.1).
+//   - The trace-driven cost simulator (SimulateTrace) and its sweep drivers,
+//     the synthetic SPLASH-2-like workload generators, and the
+//     execution-driven CC-NUMA simulator (see internal/costsim,
+//     internal/workload and internal/numasim; their experiment drivers
+//     regenerate every table and figure in the paper via cmd/paper).
+//
+// Quick start:
+//
+//	tr := costcache.Workload("Raytrace").Generate()
+//	view := tr.SampleView(0)
+//	src := costcache.RandomCosts(1, 8, 0.2, 42) // low 1, high 8, HAF 0.2
+//	lru := costcache.SimulateTrace(view, costcache.NewLRU(), src)
+//	dcl := costcache.SimulateTrace(view, costcache.NewDCL(), src)
+//	fmt.Printf("savings: %.1f%%\n",
+//		100*costcache.RelativeSavings(lru.L2.AggCost, dcl.L2.AggCost))
+package costcache
+
+import (
+	"costcache/internal/cache"
+	"costcache/internal/cost"
+	"costcache/internal/costsim"
+	"costcache/internal/numasim"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+// Core type aliases, so callers need not import the internal packages.
+type (
+	// Policy is a cache replacement algorithm.
+	Policy = replacement.Policy
+	// Cost is a non-negative per-miss cost.
+	Cost = replacement.Cost
+	// CostSource predicts the next-miss cost of a block.
+	CostSource = cost.Source
+	// Cache is a single set-associative cache level.
+	Cache = cache.Cache
+	// CacheConfig describes one cache level.
+	CacheConfig = cache.Config
+	// Hierarchy is the paper's L1+L2 structure with inclusion.
+	Hierarchy = cache.Hierarchy
+	// Trace is a multiprocessor reference trace.
+	Trace = trace.Trace
+	// SampleRef is one entry of a per-processor trace view.
+	SampleRef = trace.SampleRef
+	// Generator produces synthetic multiprocessor workloads.
+	Generator = workload.Generator
+	// SimResult is the outcome of a trace-driven simulation.
+	SimResult = costsim.Result
+)
+
+// NewLRU returns the least-recently-used baseline policy.
+func NewLRU() Policy { return replacement.NewLRU() }
+
+// NewGD returns GreedyDual adapted to set-associative caches (Section 2.1).
+func NewGD() Policy { return replacement.NewGD() }
+
+// NewBCL returns the Basic Cost-sensitive LRU policy (Section 2.3).
+func NewBCL() Policy { return replacement.NewBCL() }
+
+// NewDCL returns the Dynamic Cost-sensitive LRU policy with its Extended
+// Tag Directory (Section 2.4). etdTagBits > 0 enables tag aliasing with
+// that many stored tag bits; 0 keeps full tags.
+func NewDCL(etdTagBits int) Policy {
+	return replacement.NewDCLWith(replacement.Options{TagBits: etdTagBits})
+}
+
+// NewACL returns the Adaptive Cost-sensitive LRU policy (Section 2.5).
+// etdTagBits works as in NewDCL.
+func NewACL(etdTagBits int) Policy {
+	return replacement.NewACLWith(replacement.Options{TagBits: etdTagBits})
+}
+
+// NewPLRU returns tree pseudo-LRU (requires power-of-two associativity).
+func NewPLRU() Policy { return replacement.NewPLRU() }
+
+// NewCSPLRU returns the cost-sensitive pseudo-LRU extension the paper's
+// conclusion sketches: blockframe reservation and cost depreciation on a
+// PLRU base. factor <= 0 selects the paper's 2x depreciation.
+func NewCSPLRU(factor int) Policy { return replacement.NewCSPLRU(factor) }
+
+// NewLFU returns the least-frequently-used baseline.
+func NewLFU() Policy { return replacement.NewLFU() }
+
+// NewSLRU returns the segmented-LRU baseline.
+func NewSLRU() Policy { return replacement.NewSLRU() }
+
+// PolicyByName builds a policy factory from a table name (LRU, GD, BCL,
+// DCL, ACL, DCL-a4, ACL-a4, PLRU, CS-PLRU, LFU, SLRU, Random).
+func PolicyByName(name string) (PolicyFactory, bool) { return replacement.ByName(name) }
+
+// NewCache builds a cache level.
+func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
+
+// NewHierarchy wires an L1 in front of an L2 with inclusion.
+func NewHierarchy(l1, l2 *Cache) *Hierarchy { return cache.NewHierarchy(l1, l2) }
+
+// UniformCosts charges the same cost for every miss (every policy then
+// behaves exactly like LRU).
+func UniformCosts(c Cost) CostSource { return cost.Uniform(c) }
+
+// RandomCosts assigns each block low or high cost by a seeded hash of its
+// address; a block is high-cost with probability frac (Section 3.2).
+func RandomCosts(low, high Cost, frac float64, seed uint64) CostSource {
+	return cost.Random{Low: low, High: high, Fraction: frac, Seed: seed}
+}
+
+// FirstTouchCosts charges low for blocks homed at proc and high for remote
+// blocks (Section 3.3).
+func FirstTouchCosts(home func(block uint64) int16, proc int16, low, high Cost) CostSource {
+	return cost.FirstTouch{Home: home, Proc: proc, Low: low, High: high}
+}
+
+// CostFunc adapts a function to a CostSource.
+func CostFunc(f func(block uint64) Cost) CostSource { return cost.Func(f) }
+
+// LastLatencyPredictor returns the Section 4.1 predictor: the next miss
+// cost of a block is its last observed miss latency (def until observed).
+func LastLatencyPredictor(def Cost) *cost.LastLatency { return cost.NewLastLatency(def) }
+
+// NextOpCosts returns the paper's single-ILP-processor criticality idea
+// (Section 7): a block's next miss is charged loadCost if its next access
+// is predicted to be a load (pipeline-stalling) and storeCost if a store
+// (buffered). The prediction is the type of the block's last access; the
+// trace-driven simulator feeds the predictor automatically.
+func NextOpCosts(loadCost, storeCost Cost) *cost.NextOp {
+	return cost.NewNextOp(loadCost, storeCost)
+}
+
+// MigratingCosts returns a first-touch mapping with dynamic page migration
+// (Section 7's "memory mapping may vary with time"): a remote block
+// referenced threshold times migrates to local memory and subsequently
+// costs low.
+func MigratingCosts(home func(block uint64) int16, proc int16, low, high Cost, threshold int) *cost.Migrating {
+	return cost.NewMigrating(home, proc, low, high, threshold)
+}
+
+// Workload returns a default-configured synthetic benchmark by Table 1 name
+// (Barnes, LU, Ocean or Raytrace); it panics on unknown names, since those
+// are programming errors.
+func Workload(name string) Generator {
+	g, ok := workload.ByName(name)
+	if !ok {
+		panic("costcache: unknown workload " + name)
+	}
+	return g
+}
+
+// FirstTouchHome derives a first-touch home function from a trace.
+func FirstTouchHome(tr *Trace, blockBytes int) func(block uint64) int16 {
+	return workload.HomeFunc(workload.FirstTouchHomes(tr, blockBytes), 0)
+}
+
+// SimulateTrace replays a sample-processor view through the paper's basic
+// hierarchy (4 KB direct-mapped L1, 16 KB 4-way L2, 64-byte blocks) with
+// the policy and cost source applied at the L2.
+func SimulateTrace(view []SampleRef, p Policy, src CostSource) SimResult {
+	return costsim.Run(view, costsim.Default(), p, src)
+}
+
+// RelativeSavings is the paper's metric: (lruCost-algCost)/lruCost.
+func RelativeSavings(lruCost, algCost int64) float64 {
+	return costsim.RelativeSavings(lruCost, algCost)
+}
+
+// PolicyFactory builds fresh policy instances; simulators that instantiate
+// one cache per node take factories instead of policies.
+type PolicyFactory = replacement.Factory
+
+// OptEvent is one event of a single-set reference stream for the offline
+// oracles.
+type OptEvent = replacement.OptEvent
+
+// OptimalMisses returns Belady's offline-optimal miss count for a
+// single-set event stream (invalidation-aware).
+func OptimalMisses(events []OptEvent, ways int) int64 {
+	return replacement.OptimalMisses(events, ways)
+}
+
+// OptimalAggregateCost returns the offline-optimal aggregate miss cost
+// (CSOPT, after Jeong & Dubois SPAA 1999) for a single-set event stream
+// under static per-block costs. Exponential in principle; use on small
+// traces for calibration.
+func OptimalAggregateCost(events []OptEvent, ways int, costOf func(block uint64) Cost, allowBypass bool) int64 {
+	return replacement.OptimalAggregateCost(events, ways, costOf, allowBypass)
+}
+
+// NUMAResult is the outcome of an execution-driven CC-NUMA simulation.
+type NUMAResult = numasim.Result
+
+// SimulateNUMA runs the Section 4 execution-driven simulation: the named
+// benchmark on the paper's 16-node CC-NUMA machine (Table 4) with the given
+// L2 replacement policy and clock (500 or 1000 MHz). Miss costs are
+// predicted per block from the last measured miss latency.
+func SimulateNUMA(bench string, policy PolicyFactory, clockMHz int) NUMAResult {
+	g := Workload(bench)
+	prog, _ := workload.ProgramOf(g)
+	cfg := numasim.DefaultConfig(policy)
+	cfg.ClockMHz = clockMHz
+	return numasim.Run(prog, cfg)
+}

@@ -1,0 +1,141 @@
+package costcache_test
+
+import (
+	"testing"
+
+	"costcache"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tr := costcache.Workload("Raytrace").Generate()
+	view := tr.SampleView(0)
+	src := costcache.RandomCosts(1, 8, 0.2, 42)
+	lru := costcache.SimulateTrace(view, costcache.NewLRU(), src)
+	dcl := costcache.SimulateTrace(view, costcache.NewDCL(0), src)
+	if lru.L2.AggCost <= 0 || dcl.L2.AggCost <= 0 {
+		t.Fatal("no cost accumulated")
+	}
+	s := costcache.RelativeSavings(lru.L2.AggCost, dcl.L2.AggCost)
+	if s <= 0 {
+		t.Fatalf("DCL savings %.4f, want positive on Raytrace at HAF 0.2", s)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	names := map[string]costcache.Policy{
+		"LRU":    costcache.NewLRU(),
+		"GD":     costcache.NewGD(),
+		"BCL":    costcache.NewBCL(),
+		"DCL":    costcache.NewDCL(0),
+		"ACL":    costcache.NewACL(0),
+		"DCL-a4": costcache.NewDCL(4),
+		"ACL-a4": costcache.NewACL(4),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestFacadeCacheAndCosts(t *testing.T) {
+	l1 := costcache.NewCache(costcache.CacheConfig{
+		Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64,
+	})
+	l2 := costcache.NewCache(costcache.CacheConfig{
+		Name: "L2", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64,
+		Policy: costcache.NewDCL(0),
+		Cost: costcache.CostFunc(func(block uint64) costcache.Cost {
+			return costcache.Cost(block%2*7 + 1)
+		}),
+	})
+	h := costcache.NewHierarchy(l1, l2)
+	for i := 0; i < 1000; i++ {
+		h.Access(uint64(i*64%4096), i%5 == 0)
+	}
+	if h.L2.Stats().Misses == 0 {
+		t.Fatal("no activity")
+	}
+
+	u := costcache.UniformCosts(3)
+	if u.MissCost(9) != 3 {
+		t.Fatal("UniformCosts broken")
+	}
+	ft := costcache.FirstTouchCosts(func(uint64) int16 { return 2 }, 2, 1, 9)
+	if ft.MissCost(5) != 1 {
+		t.Fatal("FirstTouchCosts broken")
+	}
+	p := costcache.LastLatencyPredictor(120)
+	p.Observe(7, 480)
+	if p.MissCost(7) != 480 || p.MissCost(8) != 120 {
+		t.Fatal("predictor broken")
+	}
+}
+
+func TestFacadeFirstTouchHome(t *testing.T) {
+	tr := costcache.Workload("LU").Generate()
+	home := costcache.FirstTouchHome(tr, 64)
+	if home(tr.Refs[0].Addr/64) != tr.Refs[0].Proc {
+		t.Fatal("first toucher must be the home")
+	}
+}
+
+func TestFacadeUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	costcache.Workload("SPECjbb")
+}
+
+func TestFacadeExtraPolicies(t *testing.T) {
+	names := map[string]costcache.Policy{
+		"PLRU":    costcache.NewPLRU(),
+		"CS-PLRU": costcache.NewCSPLRU(0),
+		"LFU":     costcache.NewLFU(),
+		"SLRU":    costcache.NewSLRU(),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+	f, ok := costcache.PolicyByName("DCL-a4")
+	if !ok || f().Name() != "DCL-a4" {
+		t.Fatal("PolicyByName broken")
+	}
+	if _, ok := costcache.PolicyByName("nope"); ok {
+		t.Fatal("PolicyByName must reject unknown names")
+	}
+}
+
+func TestFacadeOracles(t *testing.T) {
+	ev := []costcache.OptEvent{{Block: 1}, {Block: 2}, {Block: 1}}
+	if got := costcache.OptimalMisses(ev, 1); got != 3 {
+		t.Fatalf("OptimalMisses = %d, want 3", got)
+	}
+	costOf := func(b uint64) costcache.Cost { return costcache.Cost(b) }
+	if got := costcache.OptimalAggregateCost(ev, 2, costOf, false); got != 3 {
+		t.Fatalf("OptimalAggregateCost = %d, want 3", got)
+	}
+}
+
+func TestFacadeSimulateNUMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	lru := costcache.SimulateNUMA("LU",
+		func() costcache.Policy { return costcache.NewLRU() }, 500)
+	dcl := costcache.SimulateNUMA("LU",
+		func() costcache.Policy { return costcache.NewDCL(0) }, 500)
+	if lru.ExecNs <= 0 || dcl.ExecNs <= 0 {
+		t.Fatal("no execution time")
+	}
+	if lru.Policy != "LRU" || dcl.Policy != "DCL" {
+		t.Fatalf("policies %q/%q", lru.Policy, dcl.Policy)
+	}
+	if dcl.ExecNs == lru.ExecNs {
+		t.Fatal("policies indistinguishable")
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: run one synthetic benchmark trace through the paper's basic
+// cache hierarchy under every replacement algorithm and print the relative
+// cost savings over LRU — a one-ratio slice of Figure 3.
+package main
+
+import (
+	"fmt"
+
+	"costcache"
+)
+
+func main() {
+	// Generate the Raytrace-like multiprocessor trace and extract the
+	// sample processor's view (its references + remote invalidations).
+	tr := costcache.Workload("Raytrace").Generate()
+	view := tr.SampleView(0)
+	fmt.Printf("benchmark %s: %d refs in sample view\n", tr.Name, len(view))
+
+	// Two static costs: low 1, high 8, with 20%% of accesses high-cost.
+	src := costcache.RandomCosts(1, 8, 0.2, 42)
+
+	lru := costcache.SimulateTrace(view, costcache.NewLRU(), src)
+	fmt.Printf("%-4s misses=%7d aggregate cost=%9d (baseline)\n",
+		"LRU", lru.L2.Misses, lru.L2.AggCost)
+
+	policies := []costcache.Policy{
+		costcache.NewGD(),
+		costcache.NewBCL(),
+		costcache.NewDCL(0),
+		costcache.NewACL(0),
+	}
+	for _, p := range policies {
+		res := costcache.SimulateTrace(view, p, src)
+		fmt.Printf("%-4s misses=%7d aggregate cost=%9d savings=%6.2f%%\n",
+			res.Policy, res.L2.Misses, res.L2.AggCost,
+			100*costcache.RelativeSavings(lru.L2.AggCost, res.L2.AggCost))
+	}
+}

@@ -1,0 +1,3 @@
+module costcache
+
+go 1.22

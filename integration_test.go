@@ -1,0 +1,173 @@
+package costcache_test
+
+import (
+	"bytes"
+	"testing"
+
+	"costcache/internal/costsim"
+	"costcache/internal/numasim"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+// Integration tests that cross module boundaries: real (scaled) workloads
+// through the full simulators, checked against the paper's structural
+// claims and against the offline oracles.
+
+func scaledGens() []workload.Generator {
+	b := workload.DefaultBarnes()
+	b.Bodies, b.Iterations = 2048, 2
+	l := workload.LU{N: 256, B: 16, Procs: 8, Seed: 1}
+	o := workload.DefaultOcean()
+	o.Iterations = 2
+	r := workload.DefaultRaytrace()
+	r.RaysPerProc = 1500
+	return []workload.Generator{b, l, o, r}
+}
+
+// At HAF 0 and HAF 1 the cost mapping is uniform, so every algorithm must
+// produce exactly LRU's aggregate cost on every real benchmark.
+func TestIntegrationFigure3Extremes(t *testing.T) {
+	for _, g := range scaledGens() {
+		view := g.Generate().SampleView(0)
+		pts := costsim.RandomSweep(view, costsim.Default(),
+			[]costsim.Ratio{{Low: 1, High: 8, Label: "r=8"}},
+			[]float64{0, 1}, costsim.PaperPolicies(), 42)
+		for _, pt := range pts {
+			for name, s := range pt.Savings {
+				if s != 0 {
+					t.Errorf("%s %s HAF=%v: savings %.4f, want exactly 0",
+						g.Name(), name, pt.TargetHAF, s)
+				}
+			}
+		}
+	}
+}
+
+// ACL's reliability claim, on the real benchmarks under first-touch costs:
+// never materially worse than LRU (the paper: "its cost is never worse than
+// LRU's").
+func TestIntegrationACLReliability(t *testing.T) {
+	aclOnly := []replacement.Factory{func() replacement.Policy { return replacement.NewACL() }}
+	for _, g := range scaledGens() {
+		tr := g.Generate()
+		view := tr.SampleView(0)
+		home := workload.HomeFunc(workload.FirstTouchHomes(tr, 64), 0)
+		pts := costsim.FirstTouchSweep(view, costsim.Default(), home, 0,
+			costsim.Table2Ratios(), aclOnly)
+		for _, pt := range pts {
+			if pt.Savings["ACL"] < -0.01 {
+				t.Errorf("%s %s: ACL savings %.4f below -1%%",
+					g.Name(), pt.Ratio.Label, pt.Savings["ACL"])
+			}
+		}
+	}
+}
+
+// Per-set slices of a real benchmark trace, replayed against the offline
+// CSOPT oracle: no online policy may beat the optimum, and the
+// cost-sensitive policies should usually land between LRU and optimal.
+func TestIntegrationPoliciesBoundedByCSOPT(t *testing.T) {
+	g := scaledGens()[3] // Raytrace
+	tr := g.Generate()
+	view := tr.SampleView(0)
+	src := costsim.CalibratedRandom(view, 64, 0.25, costsim.Ratio{Low: 1, High: 8}, 7)
+	costOf := func(b uint64) replacement.Cost { return src.MissCost(b) }
+
+	const ways = 4
+	for set := 0; set < 4; set++ {
+		var events []replacement.OptEvent
+		distinct := map[uint64]bool{}
+		for _, r := range view {
+			b := r.Addr / 64
+			if int(b%64) != set {
+				continue
+			}
+			distinct[b] = true
+			if len(distinct) > 56 { // keep the oracle's bitmask small
+				break
+			}
+			events = append(events, replacement.OptEvent{Block: b, Invalidate: r.Remote})
+			if len(events) == 250 {
+				break
+			}
+		}
+		if len(events) < 50 {
+			t.Fatalf("set %d: only %d events", set, len(events))
+		}
+		opt := replacement.OptimalAggregateCost(events, ways, costOf, false)
+		lru := replacement.AggregateCostOf(replacement.NewLRU(), events, ways, costOf)
+		if lru < opt {
+			t.Fatalf("set %d: LRU %d beat CSOPT %d", set, lru, opt)
+		}
+		for _, f := range []replacement.Factory{
+			func() replacement.Policy { return replacement.NewGD() },
+			func() replacement.Policy { return replacement.NewBCL() },
+			func() replacement.Policy { return replacement.NewDCL() },
+			func() replacement.Policy { return replacement.NewACL() },
+		} {
+			p := f()
+			got := replacement.AggregateCostOf(p, events, ways, costOf)
+			if got < opt {
+				t.Errorf("set %d: %s cost %d beat the offline optimum %d",
+					set, p.Name(), got, opt)
+			}
+		}
+	}
+}
+
+// The miss-count oracle bounds the trace-driven simulator per set too.
+func TestIntegrationBeladyBoundsLRUPerSet(t *testing.T) {
+	view := scaledGens()[0].Generate().SampleView(0)
+	for set := 0; set < 8; set++ {
+		var events []replacement.OptEvent
+		for _, r := range view {
+			b := r.Addr / 64
+			if int(b%64) != set {
+				continue
+			}
+			events = append(events, replacement.OptEvent{Block: b, Invalidate: r.Remote})
+		}
+		opt := replacement.OptimalMisses(events, 4)
+		lru := replacement.LRUMisses(events, 4)
+		if opt > lru {
+			t.Fatalf("set %d: OPT %d > LRU %d", set, opt, lru)
+		}
+	}
+}
+
+// The whole Section 4 pipeline is deterministic end to end.
+func TestIntegrationNUMADeterminism(t *testing.T) {
+	g := workload.Barnes{Bodies: 1024, TreeNodes: 96, WalkNodes: 8, Iterations: 1, Procs: 8, Seed: 2}
+	prog, _ := workload.ProgramOf(g)
+	run := func() numasim.Result {
+		return numasim.Run(prog, numasim.DefaultConfig(
+			func() replacement.Policy { return replacement.NewACL() }))
+	}
+	a, b := run(), run()
+	if a.ExecNs != b.ExecNs || a.AggMissNs != b.AggMissNs || a.Protocol != b.Protocol {
+		t.Fatal("execution-driven pipeline is nondeterministic")
+	}
+}
+
+// Trace round trip through the binary codec feeds the simulator unchanged.
+func TestIntegrationCodecPreservesSimulation(t *testing.T) {
+	g := workload.Synthetic{Blocks: 256, RefsPerProc: 20000, WriteFrac: 0.3,
+		SharedFrac: 0.8, ZipfS: 1.2, Procs: 4, Seed: 3}
+	tr := g.Generate()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := costsim.CalibratedRandom(tr.SampleView(0), 64, 0.2, costsim.Ratio{Low: 1, High: 8}, 1)
+	a := costsim.Run(tr.SampleView(0), costsim.Default(), replacement.NewDCL(), src)
+	b := costsim.Run(tr2.SampleView(0), costsim.Default(), replacement.NewDCL(), src)
+	if a.L2 != b.L2 {
+		t.Fatal("codec round trip changed simulation results")
+	}
+}

@@ -1,0 +1,251 @@
+// Package cache implements the set-associative cache model the replacement
+// policies plug into, and the two-level hierarchy used throughout the
+// paper's evaluation (a small direct-mapped L1 in front of the L2 to which
+// the cost-sensitive replacement algorithm is applied).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in stats output ("L1", "L2").
+	Name string
+	// SizeBytes is the total capacity. Must be a multiple of Ways*BlockBytes.
+	SizeBytes int
+	// Ways is the set associativity; 1 means direct-mapped.
+	Ways int
+	// BlockBytes is the line size; must be a power of two.
+	BlockBytes int
+	// Policy chooses victims. nil defaults to LRU.
+	Policy replacement.Policy
+	// Cost predicts next-miss costs loaded into blocks at fill time and
+	// charged to AggCost on each miss. nil charges zero.
+	Cost cost.Source
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses      int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64 // external invalidations that hit a cached block
+	// AggCost is the aggregate miss cost: the sum of the cost source's value
+	// for every miss, the quantity the paper's algorithms minimize.
+	AggCost int64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single write-back, write-allocate cache level.
+type Cache struct {
+	cfg        Config
+	sets       int
+	blockShift uint
+	policy     replacement.Policy
+	tags       [][]uint64
+	valid      [][]bool
+	dirty      [][]bool
+	stats      Stats
+
+	// OnEvict, when set, is invoked with the block address of every block
+	// evicted by replacement (not by invalidation); hierarchies use it to
+	// preserve inclusion, coherence layers to send replacement hints.
+	OnEvict func(block uint64, dirty bool)
+}
+
+// New builds a cache. It panics on an inconsistent geometry, since that is a
+// programming error, not a runtime condition.
+func New(cfg Config) *Cache {
+	if cfg.BlockBytes <= 0 || bits.OnesCount(uint(cfg.BlockBytes)) != 1 {
+		panic(fmt.Sprintf("cache %s: BlockBytes %d must be a power of two", cfg.Name, cfg.BlockBytes))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: Ways must be positive", cfg.Name))
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.Ways*cfg.BlockBytes) != 0 {
+		panic(fmt.Sprintf("cache %s: SizeBytes %d not a multiple of Ways*BlockBytes", cfg.Name, cfg.SizeBytes))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = replacement.NewLRU()
+	}
+	c := &Cache{
+		cfg:        cfg,
+		sets:       cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes),
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		policy:     cfg.Policy,
+	}
+	c.tags = make([][]uint64, c.sets)
+	c.valid = make([][]bool, c.sets)
+	c.dirty = make([][]bool, c.sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.dirty[i] = make([]bool, cfg.Ways)
+	}
+	c.policy.Reset(c.sets, cfg.Ways)
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Policy returns the replacement policy driving this cache.
+func (c *Cache) Policy() replacement.Policy { return c.policy }
+
+// BlockAddr converts a byte address to a block address.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
+
+func (c *Cache) setTag(block uint64) (int, uint64) {
+	return int(block % uint64(c.sets)), block / uint64(c.sets)
+}
+
+func (c *Cache) lookup(set int, tag uint64) int {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the block holding addr is cached.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.setTag(c.BlockAddr(addr))
+	return c.lookup(set, tag) >= 0
+}
+
+// MarkDirty sets the dirty bit of the cached block holding addr, returning
+// whether the block was present. Timing simulators use it for writes that
+// hit a level above this cache.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	set, tag := c.setTag(c.BlockAddr(addr))
+	if way := c.lookup(set, tag); way >= 0 {
+		c.dirty[set][way] = true
+		return true
+	}
+	return false
+}
+
+// ClearDirty clears the dirty bit of the cached block holding addr (e.g. a
+// coherence downgrade after a sharing writeback).
+func (c *Cache) ClearDirty(addr uint64) bool {
+	set, tag := c.setTag(c.BlockAddr(addr))
+	if way := c.lookup(set, tag); way >= 0 {
+		c.dirty[set][way] = false
+		return true
+	}
+	return false
+}
+
+// Access performs one reference. It returns true on a hit. On a miss the
+// block is allocated (write-allocate) after evicting a victim if needed, the
+// miss cost is charged, and the predicted cost is loaded into the block.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	block := c.BlockAddr(addr)
+	set, tag := c.setTag(block)
+	way := c.lookup(set, tag)
+	c.stats.Accesses++
+	c.policy.Access(set, tag, way >= 0)
+	if way >= 0 {
+		c.stats.Hits++
+		c.policy.Touch(set, way)
+		if write {
+			c.dirty[set][way] = true
+		}
+		return true
+	}
+	c.stats.Misses++
+	var mc replacement.Cost
+	if c.cfg.Cost != nil {
+		mc = c.cfg.Cost.MissCost(block)
+		c.stats.AggCost += int64(mc)
+	}
+	c.fill(set, tag, mc, write)
+	return false
+}
+
+// FillWithCost installs the block for addr charging and loading the given
+// cost, bypassing the configured cost source. Timing simulators use it when
+// the actual measured cost differs from the prediction.
+func (c *Cache) FillWithCost(addr uint64, write bool, charge, predicted replacement.Cost) {
+	block := c.BlockAddr(addr)
+	set, tag := c.setTag(block)
+	c.stats.AggCost += int64(charge)
+	c.fill(set, tag, predicted, write)
+}
+
+func (c *Cache) fill(set int, tag uint64, predicted replacement.Cost, write bool) {
+	w := -1
+	for i := 0; i < c.cfg.Ways; i++ {
+		if !c.valid[set][i] {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		w = c.policy.Victim(set)
+		if w < 0 || w >= c.cfg.Ways || !c.valid[set][w] {
+			panic(fmt.Sprintf("cache %s: policy %s returned bad victim %d", c.cfg.Name, c.policy.Name(), w))
+		}
+		c.stats.Evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(c.tags[set][w]*uint64(c.sets)+uint64(set), c.dirty[set][w])
+		}
+	}
+	c.tags[set][w] = tag
+	c.valid[set][w] = true
+	c.dirty[set][w] = write
+	c.policy.Fill(set, w, tag, predicted)
+}
+
+// Invalidate removes the block holding addr if present (external coherence
+// action). The policy hook fires regardless, so victim-directory state (the
+// ETD) is purged even for uncached blocks. It returns true if a cached block
+// was invalidated, along with whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasCached, wasDirty bool) {
+	block := c.BlockAddr(addr)
+	set, tag := c.setTag(block)
+	way := c.lookup(set, tag)
+	c.policy.Invalidate(set, way, tag)
+	if way < 0 {
+		return false, false
+	}
+	c.stats.Invalidations++
+	c.valid[set][way] = false
+	wasDirty = c.dirty[set][way]
+	c.dirty[set][way] = false
+	return true, wasDirty
+}
+
+// ResidentBlocks returns the block addresses currently cached, for invariant
+// checks in tests.
+func (c *Cache) ResidentBlocks() []uint64 {
+	var out []uint64
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.valid[s][w] {
+				out = append(out, c.tags[s][w]*uint64(c.sets)+uint64(s))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+)
+
+func paperL2(p replacement.Policy, src cost.Source) *Cache {
+	return New(Config{
+		Name: "L2", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64,
+		Policy: p, Cost: src,
+	})
+}
+
+func TestGeometry(t *testing.T) {
+	c := paperL2(nil, nil)
+	if c.Sets() != 64 || c.Ways() != 4 {
+		t.Fatalf("16KB/4way/64B: sets=%d ways=%d, want 64/4", c.Sets(), c.Ways())
+	}
+	if c.BlockAddr(0x1000) != 0x40 {
+		t.Fatalf("BlockAddr(0x1000) = %#x", c.BlockAddr(0x1000))
+	}
+	dm := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64})
+	if dm.Sets() != 64 {
+		t.Fatalf("4KB direct-mapped: sets=%d, want 64", dm.Sets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 1024, Ways: 4, BlockBytes: 48}, // non-power-of-two block
+		{SizeBytes: 1000, Ways: 4, BlockBytes: 64}, // size not a multiple
+		{SizeBytes: 1024, Ways: 0, BlockBytes: 64}, // no ways
+		{SizeBytes: -64, Ways: 1, BlockBytes: 64},  // negative
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHitMissAndCostAccounting(t *testing.T) {
+	src := cost.Func(func(b uint64) replacement.Cost { return replacement.Cost(b%2*7 + 1) }) // 1 or 8
+	c := paperL2(replacement.NewLRU(), src)
+	c.Access(0, false)  // block 0, cost 1
+	c.Access(64, false) // block 1, cost 8
+	c.Access(0, false)  // hit
+	c.Access(63, true)  // hit (same block as 0)
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AggCost != 9 {
+		t.Fatalf("AggCost = %d, want 9", st.AggCost)
+	}
+	if st.MissRate() != 0.5 {
+		t.Fatalf("MissRate = %v", st.MissRate())
+	}
+}
+
+func TestMissRateEmpty(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty MissRate must be 0")
+	}
+}
+
+func TestEvictionCallback(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 2 * 64, Ways: 2, BlockBytes: 64})
+	var evicted []uint64
+	var dirtyFlags []bool
+	c.OnEvict = func(b uint64, d bool) { evicted = append(evicted, b); dirtyFlags = append(dirtyFlags, d) }
+	c.Access(0, true)    // block 0, dirty
+	c.Access(64, false)  // block 1
+	c.Access(128, false) // evicts block 0 (LRU, dirty)
+	if len(evicted) != 1 || evicted[0] != 0 || !dirtyFlags[0] {
+		t.Fatalf("evicted=%v dirty=%v", evicted, dirtyFlags)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := paperL2(nil, nil)
+	c.Access(0, true)
+	if cached, dirty := c.Invalidate(0); !cached || !dirty {
+		t.Fatalf("Invalidate(0) = %v,%v, want cached dirty", cached, dirty)
+	}
+	if c.Contains(0) {
+		t.Fatal("block must be gone")
+	}
+	if cached, _ := c.Invalidate(0); cached {
+		t.Fatal("second invalidation must be a no-op")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestInvalidatePurgesETD(t *testing.T) {
+	// DCL's ETD must see invalidations for blocks that are not cached.
+	p := replacement.NewDCL()
+	src := cost.Func(func(b uint64) replacement.Cost {
+		if b == 3 { // the source sees block addresses
+			return 8
+		}
+		return 1
+	})
+	c := New(Config{Name: "t", SizeBytes: 4 * 64, Ways: 4, BlockBytes: 64, Policy: p, Cost: src})
+	// One set. Make block 3 (cost 8) LRU, then sacrifice block 2 into ETD.
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.Access(b*64, false)
+	}
+	c.Access(4*64, false) // sacrifices block 2 -> ETD
+	c.Invalidate(2 * 64)  // block 2 not cached; must still purge ETD
+	c.Access(2*64, false) // plain miss: no depreciation
+	if got := p.Acost(0); got != 8 {
+		t.Fatalf("Acost = %d, want 8 (ETD entry should have been purged)", got)
+	}
+}
+
+func TestFillWithCost(t *testing.T) {
+	c := paperL2(nil, cost.Uniform(1))
+	c.FillWithCost(0, false, 120, 380)
+	if st := c.Stats(); st.AggCost != 120 {
+		t.Fatalf("AggCost = %d, want 120", st.AggCost)
+	}
+	if !c.Contains(0) {
+		t.Fatal("block must be resident after FillWithCost")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	l1 := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64})
+	l2 := paperL2(replacement.NewLRU(), cost.Uniform(1))
+	h := NewHierarchy(l1, l2)
+	if got := h.Access(0, false); got != Memory {
+		t.Fatalf("cold access level = %v, want Memory", got)
+	}
+	if got := h.Access(0, false); got != L1Hit {
+		t.Fatalf("second access = %v, want L1Hit", got)
+	}
+	// Evict from L1 by conflict (L1 is direct-mapped with 64 sets): block 64
+	// conflicts with block 0 in L1 but not in the 4-way L2.
+	if got := h.Access(64*64, false); got != Memory {
+		t.Fatalf("conflicting block = %v, want Memory", got)
+	}
+	if got := h.Access(0, false); got != L2Hit {
+		t.Fatalf("after L1 conflict = %v, want L2Hit", got)
+	}
+}
+
+func TestHierarchyInclusion(t *testing.T) {
+	l1 := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64})
+	l2 := New(Config{Name: "L2", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64,
+		Policy: replacement.NewDCL(),
+		Cost:   cost.Random{Low: 1, High: 8, Fraction: 0.3, Seed: 5}})
+	h := NewHierarchy(l1, l2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(1<<16)) &^ 7
+		switch rng.Intn(10) {
+		case 0:
+			h.Invalidate(addr)
+		default:
+			h.Access(addr, rng.Intn(4) == 0)
+		}
+		if i%2500 == 0 && !h.CheckInclusion() {
+			t.Fatalf("inclusion violated at step %d", i)
+		}
+	}
+	if !h.CheckInclusion() {
+		t.Fatal("inclusion violated at end")
+	}
+	if h.L2.Stats().Misses == 0 || h.L1.Stats().Misses == 0 {
+		t.Fatal("workload produced no misses")
+	}
+}
+
+func TestHierarchyInvalidate(t *testing.T) {
+	l1 := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64})
+	l2 := paperL2(nil, nil)
+	h := NewHierarchy(l1, l2)
+	h.Access(0, false)
+	h.Invalidate(0)
+	if h.L1.Contains(0) || h.L2.Contains(0) {
+		t.Fatal("invalidation must remove the block from both levels")
+	}
+}
+
+func TestHierarchyBlockSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l1 := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 32})
+	l2 := paperL2(nil, nil)
+	NewHierarchy(l1, l2)
+}
+
+// The L2's aggregate cost with a cost-sensitive policy must never exceed a
+// modest factor of LRU's on arbitrary workloads (smoke-level reliability).
+func TestHierarchyPolicyComparison(t *testing.T) {
+	run := func(p replacement.Policy) int64 {
+		src := cost.Random{Low: 1, High: 16, Fraction: 0.2, Seed: 77}
+		l1 := New(Config{Name: "L1", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 64})
+		l2 := New(Config{Name: "L2", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64, Policy: p, Cost: src})
+		h := NewHierarchy(l1, l2)
+		rng := rand.New(rand.NewSource(123))
+		// Zipf-ish reuse over a 128KB footprint.
+		zipf := rand.NewZipf(rng, 1.2, 1, 2047)
+		for i := 0; i < 200000; i++ {
+			h.Access(zipf.Uint64()*64, rng.Intn(5) == 0)
+		}
+		return h.L2.Stats().AggCost
+	}
+	lru := run(replacement.NewLRU())
+	for _, p := range []replacement.Policy{replacement.NewBCL(), replacement.NewDCL(), replacement.NewACL()} {
+		got := run(p)
+		if float64(got) > 1.05*float64(lru) {
+			t.Errorf("%s cost %d vs LRU %d: more than 5%% worse", p.Name(), got, lru)
+		}
+	}
+}
+
+// Model-based property test: the cache under LRU must agree, access by
+// access, with a brutally simple reference model (per-set slice ordered by
+// recency).
+func TestCacheAgreesWithReferenceModel(t *testing.T) {
+	const sets, ways = 8, 4
+	c := New(Config{Name: "m", SizeBytes: sets * ways * 64, Ways: ways, BlockBytes: 64})
+	model := make([][]uint64, sets) // model[s][0] = MRU block
+	find := func(s int, b uint64) int {
+		for i, x := range model[s] {
+			if x == b {
+				return i
+			}
+		}
+		return -1
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 100000; i++ {
+		b := uint64(rng.Intn(256))
+		s := int(b % sets)
+		if rng.Intn(25) == 0 {
+			c.Invalidate(b * 64)
+			if j := find(s, b); j >= 0 {
+				model[s] = append(model[s][:j], model[s][j+1:]...)
+			}
+			continue
+		}
+		gotHit := c.Access(b*64, false)
+		j := find(s, b)
+		wantHit := j >= 0
+		if gotHit != wantHit {
+			t.Fatalf("step %d block %d: hit=%v, model says %v", i, b, gotHit, wantHit)
+		}
+		if j >= 0 {
+			model[s] = append(model[s][:j], model[s][j+1:]...)
+		} else if len(model[s]) == ways {
+			model[s] = model[s][:ways-1]
+		}
+		model[s] = append([]uint64{b}, model[s]...)
+	}
+	if c.Stats().Misses == 0 {
+		t.Fatal("no misses exercised")
+	}
+}

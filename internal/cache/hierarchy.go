@@ -1,0 +1,74 @@
+package cache
+
+// Level identifies where a reference was satisfied.
+type Level int
+
+// Hierarchy levels returned by Hierarchy.Access.
+const (
+	// Memory means the reference missed every cache level.
+	Memory Level = iota
+	// L1Hit means the first level satisfied the reference.
+	L1Hit
+	// L2Hit means the second level satisfied the reference.
+	L2Hit
+)
+
+// Hierarchy is the paper's two-level structure: a small direct-mapped L1 in
+// front of the L2 under study. Inclusion is enforced: a block evicted from
+// or invalidated in the L2 is also removed from the L1, so the L2's
+// replacement decisions fully control residency.
+type Hierarchy struct {
+	L1, L2 *Cache
+}
+
+// NewHierarchy wires the two levels together, enforcing inclusion via the
+// L2's eviction callback. Both levels must use the same block size. Any
+// OnEvict previously set on l2 is preserved and called after the L1
+// back-invalidation.
+func NewHierarchy(l1, l2 *Cache) *Hierarchy {
+	if l1.cfg.BlockBytes != l2.cfg.BlockBytes {
+		panic("cache: hierarchy levels must share a block size")
+	}
+	h := &Hierarchy{L1: l1, L2: l2}
+	prev := l2.OnEvict
+	l2.OnEvict = func(block uint64, dirty bool) {
+		// Back-invalidate the L1 copy to preserve inclusion.
+		h.L1.Invalidate(block << l2.blockShift)
+		if prev != nil {
+			prev(block, dirty)
+		}
+	}
+	return h
+}
+
+// Access performs one reference against the hierarchy and reports the level
+// that satisfied it. L2 hits refill the L1 (via the L1's write-allocate
+// fill); full misses allocate in both levels. The L2 victim's
+// back-invalidation can never remove the block being filled, since that
+// block is by definition not the victim.
+func (h *Hierarchy) Access(addr uint64, write bool) Level {
+	if h.L1.Access(addr, write) {
+		return L1Hit
+	}
+	if h.L2.Access(addr, write) {
+		return L2Hit
+	}
+	return Memory
+}
+
+// Invalidate removes the block from both levels (external coherence).
+func (h *Hierarchy) Invalidate(addr uint64) {
+	h.L2.Invalidate(addr)
+	h.L1.Invalidate(addr)
+}
+
+// CheckInclusion reports whether every valid L1 block is also present in the
+// L2 (tests call this; it is O(L1 size)).
+func (h *Hierarchy) CheckInclusion() bool {
+	for _, b := range h.L1.ResidentBlocks() {
+		if !h.L2.Contains(b << h.L1.blockShift) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+)
+
+// VictimBuffer implements the special-purpose-buffer alternative the paper
+// contrasts with (related work [14], Srinivasan et al.: evicted critical
+// blocks are parked in a dedicated buffer): a small fully associative,
+// LRU-managed buffer that captures blocks evicted from a cache, optionally
+// filtered to "interesting" (e.g. high-cost) blocks. A reference that
+// misses the cache but hits the buffer is swapped back at a reduced charge.
+//
+// The paper argues that cost-sensitive replacement beats such partitioned
+// designs because it "can maximize cache utilization"; this type exists so
+// that claim can be measured (see the victim-buffer comparison bench).
+type VictimBuffer struct {
+	c       *Cache
+	keep    func(block uint64) bool
+	tags    []uint64
+	valid   []bool
+	used    []uint64
+	tick    uint64
+	src     cost.Source
+	swapIn  replacement.Cost // charge for a buffer hit (SRAM-to-SRAM move)
+	hits    int64
+	inserts int64
+}
+
+// NewVictimBuffer wraps c with an entries-slot victim buffer. keep filters
+// which evicted blocks are captured (nil keeps everything). src supplies
+// the predicted cost for swapped-back fills; swapInCharge is the (small)
+// cost charged on a buffer hit.
+func NewVictimBuffer(c *Cache, entries int, keep func(block uint64) bool,
+	src cost.Source, swapInCharge replacement.Cost) *VictimBuffer {
+	if entries <= 0 {
+		panic("cache: victim buffer needs at least one entry")
+	}
+	v := &VictimBuffer{
+		c: c, keep: keep, src: src, swapIn: swapInCharge,
+		tags:  make([]uint64, entries),
+		valid: make([]bool, entries),
+		used:  make([]uint64, entries),
+	}
+	prev := c.OnEvict
+	c.OnEvict = func(block uint64, dirty bool) {
+		v.insert(block)
+		if prev != nil {
+			prev(block, dirty)
+		}
+	}
+	return v
+}
+
+func (v *VictimBuffer) lookup(block uint64) int {
+	for i, ok := range v.valid {
+		if ok && v.tags[i] == block {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *VictimBuffer) insert(block uint64) {
+	if v.keep != nil && !v.keep(block) {
+		return
+	}
+	v.inserts++
+	v.tick++
+	slot := -1
+	for i, ok := range v.valid {
+		if !ok {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		var oldest uint64
+		for i, u := range v.used {
+			if slot < 0 || u < oldest {
+				slot, oldest = i, u
+			}
+		}
+	}
+	v.tags[slot] = block
+	v.valid[slot] = true
+	v.used[slot] = v.tick
+}
+
+// Access performs one reference: cache first, then the buffer. A buffer hit
+// swaps the block back into the cache, charging swapInCharge instead of the
+// full miss cost.
+func (v *VictimBuffer) Access(addr uint64, write bool) bool {
+	if v.c.Contains(addr) {
+		return v.c.Access(addr, write)
+	}
+	block := v.c.BlockAddr(addr)
+	if i := v.lookup(block); i >= 0 {
+		v.hits++
+		v.tick++
+		v.used[i] = v.tick
+		v.valid[i] = false // it moves back into the cache
+		var predicted replacement.Cost
+		if v.src != nil {
+			predicted = v.src.MissCost(block)
+		}
+		v.c.FillWithCost(addr, write, v.swapIn, predicted)
+		return true
+	}
+	return v.c.Access(addr, write)
+}
+
+// Invalidate removes the block from the cache and the buffer.
+func (v *VictimBuffer) Invalidate(addr uint64) {
+	v.c.Invalidate(addr)
+	block := v.c.BlockAddr(addr)
+	if i := v.lookup(block); i >= 0 {
+		v.valid[i] = false
+	}
+}
+
+// Stats reports buffer hits and insertions.
+func (v *VictimBuffer) Stats() (hits, inserts int64) { return v.hits, v.inserts }

@@ -1,0 +1,378 @@
+// Package coherence implements the directory-based MESI protocol of the
+// paper's CC-NUMA target (Table 4), with and without replacement hints.
+//
+// Transactions execute atomically at issue: the directory state is updated
+// immediately and the latency of the full message exchange is composed from
+// the mesh model's (contended) message times, memory-bank occupancy and
+// directory occupancy. This "atomic-at-issue" simplification eliminates
+// transient protocol states while preserving what the replacement study
+// needs — the latency distribution, its dependence on the block's global
+// state, invalidation traffic, and the effect of replacement hints on
+// directory precision (stale owners force forward-nack-memory fallbacks,
+// changing latencies between consecutive misses, which is exactly what
+// Table 3 measures).
+package coherence
+
+import (
+	"costcache/internal/mesh"
+)
+
+// State is the block state recorded at the home directory, using the
+// paper's Table 3 terminology.
+type State uint8
+
+// Directory states.
+const (
+	// Uncached: no cache holds the block.
+	Uncached State = iota
+	// Shared: one or more caches hold read-only copies.
+	Shared
+	// Exclusive: one cache owns the block (clean or dirty).
+	Exclusive
+)
+
+// String returns U, S or E.
+func (s State) String() string { return [...]string{"U", "S", "E"}[s] }
+
+// Params are the node-local timing constants in nanoseconds (Table 4).
+type Params struct {
+	// MemAccess is the DRAM access time (60 ns).
+	MemAccess int64
+	// MemBanks is the interleaving factor (4).
+	MemBanks int
+	// DirAccess is the directory lookup/update occupancy.
+	DirAccess int64
+	// OwnerLookup is the time a forwarded request spends in the owner's L2.
+	OwnerLookup int64
+	// InvalAck is the sharer-side processing of an invalidation.
+	InvalAck int64
+	// Hints enables replacement hints: clean evictions notify the home so
+	// the directory stays precise.
+	Hints bool
+}
+
+// DefaultParams returns the calibrated Table 4 constants with hints on.
+func DefaultParams() Params {
+	return Params{MemAccess: 60, MemBanks: 4, DirAccess: 20, OwnerLookup: 12, InvalAck: 6, Hints: true}
+}
+
+type entry struct {
+	state      State
+	owner      int
+	ownerDirty bool
+	sharers    uint64
+}
+
+// Machine is the directory protocol engine over a mesh.
+type Machine struct {
+	p    Params
+	net  *mesh.Mesh
+	home func(block uint64) int
+	dir  map[uint64]*entry
+
+	bankFree [][]int64 // per node, per bank
+	dirFree  []int64   // per node
+
+	// HasBlock reports whether node still caches block; without hints the
+	// directory can be stale and must ask (modelling the forward that gets
+	// nacked). If nil, the directory is assumed precise.
+	HasBlock func(node int, block uint64) bool
+	// Invalidate removes block from node's caches at the given time.
+	Invalidate func(node int, block uint64, at int64)
+	// Downgrade marks node's copy of block clean (it lost exclusivity).
+	Downgrade func(node int, block uint64, at int64)
+
+	stats Stats
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Reads, Writes          int64
+	Invalidations          int64 // invalidation messages sent
+	Forwards, ForwardNacks int64
+	Writebacks, Hints      int64
+}
+
+// New builds a protocol engine for the given mesh and home mapping.
+func New(p Params, net *mesh.Mesh, home func(block uint64) int) *Machine {
+	n := net.Nodes()
+	m := &Machine{p: p, net: net, home: home, dir: make(map[uint64]*entry)}
+	m.bankFree = make([][]int64, n)
+	for i := range m.bankFree {
+		m.bankFree[i] = make([]int64, p.MemBanks)
+	}
+	m.dirFree = make([]int64, n)
+	return m
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// StateOf returns the directory state of block (Uncached if never seen).
+func (m *Machine) StateOf(block uint64) State {
+	if e, ok := m.dir[block]; ok {
+		return e.state
+	}
+	return Uncached
+}
+
+// Home returns the home node of block.
+func (m *Machine) Home(block uint64) int { return m.home(block) }
+
+// OwnedBy reports whether the directory records node as the exclusive owner
+// of block — the condition under which a store can proceed without an
+// upgrade transaction.
+func (m *Machine) OwnedBy(node int, block uint64) bool {
+	e, ok := m.dir[block]
+	return ok && e.state == Exclusive && e.owner == node
+}
+
+func (m *Machine) entryOf(block uint64) *entry {
+	e, ok := m.dir[block]
+	if !ok {
+		e = &entry{state: Uncached}
+		m.dir[block] = e
+	}
+	return e
+}
+
+// dirAccess reserves the home directory engine.
+func (m *Machine) dirAccess(node int, t int64) int64 {
+	if m.dirFree[node] > t {
+		t = m.dirFree[node]
+	}
+	m.dirFree[node] = t + m.p.DirAccess
+	return t + m.p.DirAccess
+}
+
+// memAccess reserves the interleaved memory bank for block at node.
+func (m *Machine) memAccess(node int, block uint64, t int64) int64 {
+	b := int(block) % m.p.MemBanks
+	if b < 0 {
+		b = -b
+	}
+	if m.bankFree[node][b] > t {
+		t = m.bankFree[node][b]
+	}
+	m.bankFree[node][b] = t + m.p.MemAccess
+	return t + m.p.MemAccess
+}
+
+func (m *Machine) hasBlock(node int, block uint64) bool {
+	if m.HasBlock == nil {
+		return true
+	}
+	return m.HasBlock(node, block)
+}
+
+// Result describes one completed miss transaction.
+type Result struct {
+	// Done is the (contention-aware) time the data is available at the
+	// requester.
+	Done int64
+	// Unloaded is the contention-free latency of the same transaction
+	// shape, the quantity Table 3 correlates across consecutive misses.
+	Unloaded int64
+	// StateBefore is the home directory state when the request arrived.
+	StateBefore State
+}
+
+// Read performs a read miss (GetS) by node r for block b issued at time now.
+func (m *Machine) Read(r int, b uint64, now int64) Result {
+	m.stats.Reads++
+	h := m.home(b)
+	e := m.entryOf(b)
+	before := e.state
+
+	t := m.net.Send(r, h, mesh.CtrlFlits, now)
+	u := m.net.Unloaded(r, h, mesh.CtrlFlits)
+	t = m.dirAccess(h, t)
+	u += m.p.DirAccess
+
+	switch e.state {
+	case Uncached:
+		// MESI grants an exclusive clean copy to the first reader.
+		t = m.memAccess(h, b, t)
+		u += m.p.MemAccess
+		e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, false, 1<<uint(r)
+		t = m.net.Send(h, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(h, r, mesh.DataFlits)
+
+	case Shared:
+		t = m.memAccess(h, b, t)
+		u += m.p.MemAccess
+		e.sharers |= 1 << uint(r)
+		t = m.net.Send(h, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(h, r, mesh.DataFlits)
+
+	case Exclusive:
+		o := e.owner
+		if o == r || !m.hasBlock(o, b) {
+			// Stale directory info (silent clean eviction without hints):
+			// the forward comes back empty and memory supplies the data.
+			if o != r {
+				m.stats.Forwards++
+				m.stats.ForwardNacks++
+				t = m.net.Send(h, o, mesh.CtrlFlits, t)
+				u += m.net.Unloaded(h, o, mesh.CtrlFlits)
+				t += m.p.OwnerLookup
+				u += m.p.OwnerLookup
+				t = m.net.Send(o, h, mesh.CtrlFlits, t)
+				u += m.net.Unloaded(o, h, mesh.CtrlFlits)
+			}
+			t = m.memAccess(h, b, t)
+			u += m.p.MemAccess
+			e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, false, 1<<uint(r)
+			t = m.net.Send(h, r, mesh.DataFlits, t)
+			u += m.net.Unloaded(h, r, mesh.DataFlits)
+			break
+		}
+		// Cache-to-cache transfer: forward to the owner, which downgrades
+		// to Shared, sends the data to the requester and (if dirty) a
+		// writeback to the home.
+		m.stats.Forwards++
+		t = m.net.Send(h, o, mesh.CtrlFlits, t)
+		u += m.net.Unloaded(h, o, mesh.CtrlFlits)
+		t += m.p.OwnerLookup
+		u += m.p.OwnerLookup
+		if e.ownerDirty {
+			m.stats.Writebacks++
+			m.net.Send(o, h, mesh.DataFlits, t) // sharing writeback, off the critical path
+		}
+		if m.Downgrade != nil {
+			m.Downgrade(o, b, t)
+		}
+		e.state, e.ownerDirty = Shared, false
+		e.sharers = (1 << uint(o)) | (1 << uint(r))
+		t = m.net.Send(o, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(o, r, mesh.DataFlits)
+	}
+	return Result{Done: t, Unloaded: u, StateBefore: before}
+}
+
+// Write performs a write miss or upgrade (GetX) by node r for block b.
+func (m *Machine) Write(r int, b uint64, now int64) Result {
+	m.stats.Writes++
+	h := m.home(b)
+	e := m.entryOf(b)
+	before := e.state
+
+	t := m.net.Send(r, h, mesh.CtrlFlits, now)
+	u := m.net.Unloaded(r, h, mesh.CtrlFlits)
+	t = m.dirAccess(h, t)
+	u += m.p.DirAccess
+
+	switch e.state {
+	case Uncached:
+		t = m.memAccess(h, b, t)
+		u += m.p.MemAccess
+		t = m.net.Send(h, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(h, r, mesh.DataFlits)
+
+	case Shared:
+		// Invalidate every other sharer in parallel; the data reply leaves
+		// after memory and after all acks return.
+		memT := m.memAccess(h, b, t)
+		memU := m.p.MemAccess
+		ackT, ackU := t, int64(0)
+		for s := 0; s < m.net.Nodes(); s++ {
+			if s == r || e.sharers&(1<<uint(s)) == 0 {
+				continue
+			}
+			m.stats.Invalidations++
+			it := m.net.Send(h, s, mesh.CtrlFlits, t)
+			iu := m.net.Unloaded(h, s, mesh.CtrlFlits)
+			if m.Invalidate != nil {
+				m.Invalidate(s, b, it)
+			}
+			at := m.net.Send(s, h, mesh.CtrlFlits, it+m.p.InvalAck)
+			au := iu + m.p.InvalAck + m.net.Unloaded(s, h, mesh.CtrlFlits)
+			if at > ackT {
+				ackT = at
+			}
+			if au > ackU {
+				ackU = au
+			}
+		}
+		if memT > ackT {
+			ackT = memT
+		}
+		if memU > ackU {
+			ackU = memU
+		}
+		t = ackT
+		u += ackU
+		t = m.net.Send(h, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(h, r, mesh.DataFlits)
+
+	case Exclusive:
+		o := e.owner
+		if o == r || !m.hasBlock(o, b) {
+			if o != r {
+				m.stats.Forwards++
+				m.stats.ForwardNacks++
+				t = m.net.Send(h, o, mesh.CtrlFlits, t)
+				u += m.net.Unloaded(h, o, mesh.CtrlFlits)
+				t += m.p.OwnerLookup
+				u += m.p.OwnerLookup
+				t = m.net.Send(o, h, mesh.CtrlFlits, t)
+				u += m.net.Unloaded(o, h, mesh.CtrlFlits)
+			}
+			t = m.memAccess(h, b, t)
+			u += m.p.MemAccess
+			t = m.net.Send(h, r, mesh.DataFlits, t)
+			u += m.net.Unloaded(h, r, mesh.DataFlits)
+			break
+		}
+		// Ownership transfer: the owner invalidates its copy and sends the
+		// (possibly dirty) data straight to the requester.
+		m.stats.Forwards++
+		t = m.net.Send(h, o, mesh.CtrlFlits, t)
+		u += m.net.Unloaded(h, o, mesh.CtrlFlits)
+		t += m.p.OwnerLookup
+		u += m.p.OwnerLookup
+		if m.Invalidate != nil {
+			m.Invalidate(o, b, t)
+		}
+		t = m.net.Send(o, r, mesh.DataFlits, t)
+		u += m.net.Unloaded(o, r, mesh.DataFlits)
+	}
+	e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, true, 1<<uint(r)
+	return Result{Done: t, Unloaded: u, StateBefore: before}
+}
+
+// Evict informs the protocol that node r dropped block b from its caches.
+// Dirty evictions always write data back; clean evictions notify the home
+// only when replacement hints are enabled (otherwise the directory goes
+// stale, the condition Table 3 studies).
+func (m *Machine) Evict(r int, b uint64, dirty bool, now int64) {
+	e, ok := m.dir[b]
+	if !ok {
+		return
+	}
+	if dirty && e.state == Exclusive && e.owner == r {
+		m.stats.Writebacks++
+		t := m.net.Send(r, m.home(b), mesh.DataFlits, now)
+		t = m.dirAccess(m.home(b), t)
+		m.memAccess(m.home(b), b, t)
+		e.state, e.sharers, e.ownerDirty = Uncached, 0, false
+		return
+	}
+	if !m.p.Hints {
+		return
+	}
+	m.stats.Hints++
+	t := m.net.Send(r, m.home(b), mesh.CtrlFlits, now)
+	m.dirAccess(m.home(b), t)
+	switch e.state {
+	case Exclusive:
+		if e.owner == r {
+			e.state, e.sharers, e.ownerDirty = Uncached, 0, false
+		}
+	case Shared:
+		e.sharers &^= 1 << uint(r)
+		if e.sharers == 0 {
+			e.state = Uncached
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package coherence
+
+import (
+	"testing"
+
+	"costcache/internal/mesh"
+)
+
+// machine builds a 4x4 machine homing every block at the given node.
+func machine(homeNode int, hints bool) *Machine {
+	p := DefaultParams()
+	p.Hints = hints
+	net := mesh.New(mesh.Default())
+	return New(p, net, func(uint64) int { return homeNode })
+}
+
+func TestLocalCleanUnloadedLatency(t *testing.T) {
+	m := machine(0, true)
+	res := m.Read(0, 1, 0)
+	// NIBase 13 + dir 20 + mem 60 + NIBase 13 = 106 (the processor adds
+	// L1+L2 lookup to reach Table 4's 120 ns).
+	if res.Unloaded != 106 {
+		t.Fatalf("local clean unloaded = %d, want 106", res.Unloaded)
+	}
+	if res.StateBefore != Uncached {
+		t.Fatalf("state before = %v", res.StateBefore)
+	}
+	if m.StateOf(1) != Exclusive {
+		t.Fatalf("MESI read to uncached must grant Exclusive, got %v", m.StateOf(1))
+	}
+}
+
+func TestRemoteCleanUnloadedLatency(t *testing.T) {
+	m := machine(1, true) // home is node 1, one hop from node 0
+	res := m.Read(0, 1, 0)
+	// ctrl 122 + dir 20 + mem 60 + data 164 = 366 (+14 L1/L2 = 380, Table 4).
+	if res.Unloaded != 366 {
+		t.Fatalf("remote clean unloaded = %d, want 366", res.Unloaded)
+	}
+}
+
+func TestRemoteDirtyUnloadedLatency(t *testing.T) {
+	m := machine(1, true)
+	m.Write(2, 1, 0) // node 2 dirties the block (home 1)
+	res := m.Read(0, 1, 10000)
+	// ctrl(0->1) 122 + dir 20 + fwd(1->2) 122 + lookup 12 + data(2->0) 2 hops
+	// = 102+2*62=226 -> total 502... computed from topology below.
+	want := m.net.Unloaded(0, 1, mesh.CtrlFlits) + m.p.DirAccess +
+		m.net.Unloaded(1, 2, mesh.CtrlFlits) + m.p.OwnerLookup +
+		m.net.Unloaded(2, 0, mesh.DataFlits)
+	if res.Unloaded != want {
+		t.Fatalf("remote dirty unloaded = %d, want %d", res.Unloaded, want)
+	}
+	if res.StateBefore != Exclusive {
+		t.Fatalf("state before = %v", res.StateBefore)
+	}
+	if m.StateOf(1) != Shared {
+		t.Fatalf("after read of dirty block: state %v, want Shared", m.StateOf(1))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := machine(0, true)
+	// Two readers -> Shared between nodes 1 and 2.
+	m.Read(1, 7, 0)
+	m.Read(2, 7, 1000) // forward from 1, downgrade to Shared
+	if m.StateOf(7) != Shared {
+		t.Fatalf("state = %v, want Shared", m.StateOf(7))
+	}
+	var invalidated []int
+	m.Invalidate = func(node int, block uint64, at int64) {
+		if block == 7 {
+			invalidated = append(invalidated, node)
+		}
+	}
+	res := m.Write(3, 7, 2000)
+	if len(invalidated) != 2 {
+		t.Fatalf("invalidated %v, want nodes 1 and 2", invalidated)
+	}
+	if m.StateOf(7) != Exclusive {
+		t.Fatalf("after write: %v, want Exclusive", m.StateOf(7))
+	}
+	if res.StateBefore != Shared {
+		t.Fatalf("state before write = %v", res.StateBefore)
+	}
+	if st := m.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidation count = %d", st.Invalidations)
+	}
+}
+
+func TestWriteToExclusiveTransfersOwnership(t *testing.T) {
+	m := machine(0, true)
+	m.Write(1, 9, 0)
+	var invalidated []int
+	m.Invalidate = func(node int, block uint64, at int64) { invalidated = append(invalidated, node) }
+	m.Write(2, 9, 1000)
+	if len(invalidated) != 1 || invalidated[0] != 1 {
+		t.Fatalf("invalidated %v, want [1]", invalidated)
+	}
+	if m.StateOf(9) != Exclusive {
+		t.Fatal("ownership must transfer")
+	}
+}
+
+func TestSilentEvictionWithoutHintsCausesForwardNack(t *testing.T) {
+	m := machine(0, false)
+	lost := false
+	m.HasBlock = func(node int, block uint64) bool { return !lost }
+	m.Read(1, 5, 0) // node 1 becomes E-clean owner
+	// Node 1 silently drops the block (clean eviction, no hints).
+	m.Evict(1, 5, false, 100)
+	lost = true
+	res := m.Read(2, 5, 1000)
+	if st := m.Stats(); st.ForwardNacks != 1 {
+		t.Fatalf("forward nacks = %d, want 1", st.ForwardNacks)
+	}
+	// The nacked forward costs two extra hops vs a clean remote read.
+	direct := machine(0, false)
+	base := direct.Read(2, 5, 0)
+	if res.Unloaded <= base.Unloaded {
+		t.Fatalf("stale-directory read (%d) must exceed precise read (%d)",
+			res.Unloaded, base.Unloaded)
+	}
+}
+
+func TestHintsKeepDirectoryPrecise(t *testing.T) {
+	m := machine(0, true)
+	m.HasBlock = func(node int, block uint64) bool {
+		t.Fatal("with hints the directory must not need to probe")
+		return false
+	}
+	m.Read(1, 5, 0)
+	m.Evict(1, 5, false, 100) // hint clears ownership
+	if m.StateOf(5) != Uncached {
+		t.Fatalf("state after hinted eviction = %v", m.StateOf(5))
+	}
+	res := m.Read(2, 5, 1000)
+	if res.StateBefore != Uncached {
+		t.Fatalf("state before = %v, want Uncached", res.StateBefore)
+	}
+	if st := m.Stats(); st.Hints != 1 || st.ForwardNacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	m := machine(0, false) // even without hints, dirty data must come home
+	m.Write(1, 5, 0)
+	m.Evict(1, 5, true, 100)
+	if m.StateOf(5) != Uncached {
+		t.Fatalf("state after dirty eviction = %v", m.StateOf(5))
+	}
+	if st := m.Stats(); st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", st.Writebacks)
+	}
+}
+
+func TestRereadAfterOwnSilentDrop(t *testing.T) {
+	// Without hints, a node that silently dropped its E block and re-reads
+	// it finds the directory pointing at itself: memory supplies the data
+	// with no forward.
+	m := machine(1, false)
+	m.HasBlock = func(node int, block uint64) bool { return false }
+	m.Read(0, 3, 0)
+	m.Evict(0, 3, false, 10)
+	res := m.Read(0, 3, 1000)
+	if st := m.Stats(); st.Forwards != 0 {
+		t.Fatalf("forwards = %d, want 0 (owner == requester)", st.Forwards)
+	}
+	if res.StateBefore != Exclusive {
+		t.Fatalf("state before = %v, want stale Exclusive", res.StateBefore)
+	}
+}
+
+func TestEvictUnknownBlockIsNoop(t *testing.T) {
+	m := machine(0, true)
+	m.Evict(3, 999, true, 0) // never seen: must not panic or count
+	if st := m.Stats(); st.Writebacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadedLatencyAtLeastUnloaded(t *testing.T) {
+	m := machine(2, true)
+	var prev int64
+	for i := 0; i < 200; i++ {
+		r := m.Read(i%16, uint64(i%32), prev)
+		if r.Done-prev < 0 {
+			t.Fatal("time went backwards")
+		}
+		lat := r.Done - prev
+		if lat < r.Unloaded {
+			t.Fatalf("loaded %d < unloaded %d", lat, r.Unloaded)
+		}
+		prev += 10
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Uncached.String() != "U" || Shared.String() != "S" || Exclusive.String() != "E" {
+		t.Fatal("state strings")
+	}
+}
+
+func TestUpgradeDoesNotInvalidateRequester(t *testing.T) {
+	m := machine(0, true)
+	m.Read(1, 7, 0)
+	m.Read(2, 7, 1000) // Shared between 1 and 2
+	var invalidated []int
+	m.Invalidate = func(node int, block uint64, at int64) { invalidated = append(invalidated, node) }
+	m.Write(1, 7, 2000) // upgrade by a current sharer
+	if len(invalidated) != 1 || invalidated[0] != 2 {
+		t.Fatalf("invalidated %v, want only node 2", invalidated)
+	}
+	if !m.OwnedBy(1, 7) {
+		t.Fatal("upgrader must own the block")
+	}
+}
+
+func TestOwnedBy(t *testing.T) {
+	m := machine(0, true)
+	if m.OwnedBy(1, 9) {
+		t.Fatal("unknown block owned")
+	}
+	m.Write(1, 9, 0)
+	if !m.OwnedBy(1, 9) || m.OwnedBy(2, 9) {
+		t.Fatal("ownership wrong after write")
+	}
+	m.Read(2, 9, 1000) // downgrade to Shared
+	if m.OwnedBy(1, 9) {
+		t.Fatal("Shared block must not be owned")
+	}
+}
+
+func TestMemoryBankContention(t *testing.T) {
+	m := machine(0, true)
+	// Two reads to blocks in the same bank (block % 4) at the same instant:
+	// the second must queue behind the 60ns access.
+	a := m.Read(0, 4, 0)
+	b := m.Read(0, 8, 0)       // 8 % 4 == 0 == 4 % 4: same bank
+	if b.Done < a.Done+60-20 { // allow for directory pipelining
+		t.Fatalf("no bank queueing: %d then %d", a.Done, b.Done)
+	}
+	// Different banks at the same instant queue only at the directory.
+	m2 := machine(0, true)
+	c := m2.Read(0, 4, 0)
+	d := m2.Read(0, 5, 0)
+	if d.Done-c.Done >= 60 {
+		t.Fatalf("different banks serialized by memory: %d then %d", c.Done, d.Done)
+	}
+}
+
+func TestDirectorySerialization(t *testing.T) {
+	m := machine(3, true)
+	a := m.Read(0, 1, 0)
+	b := m.Read(1, 2, 0) // different block, same home: dir occupancy queues
+	_ = a
+	if b.Done-b.Unloaded < 0 {
+		t.Fatal("loaded below unloaded")
+	}
+	if got := b.Done - m.net.Unloaded(1, 3, mesh.CtrlFlits); got <= 0 {
+		t.Fatal("second transaction unaffected by time")
+	}
+}
+
+func TestSixteenSharersInvalidated(t *testing.T) {
+	m := machine(0, true)
+	for n := 1; n < 16; n++ {
+		m.Read(n, 3, int64(n)*1000) // after the first E-read, all become sharers
+	}
+	count := 0
+	m.Invalidate = func(node int, block uint64, at int64) { count++ }
+	m.Write(0, 3, 100000)
+	if count != 15 {
+		t.Fatalf("invalidated %d sharers, want 15", count)
+	}
+	if m.StateOf(3) != Exclusive {
+		t.Fatal("writer must end exclusive")
+	}
+}

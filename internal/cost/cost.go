@@ -1,0 +1,145 @@
+// Package cost provides miss-cost functions for cost-sensitive replacement.
+//
+// A Source maps a block address to the predicted cost of the next miss to
+// that block. The paper's Section 3 uses two static assignments — a random
+// per-block mapping with a tunable high-cost access fraction, and a
+// first-touch NUMA mapping (local = low, remote = high) — while Section 4
+// uses a dynamic predictor that remembers the last measured miss latency of
+// each block.
+package cost
+
+import "costcache/internal/replacement"
+
+// Source predicts the cost of the next miss to a block. Implementations must
+// return non-negative costs and be deterministic between updates.
+type Source interface {
+	// MissCost returns the predicted next-miss cost of block (a block
+	// address, i.e. byte address / block size).
+	MissCost(block uint64) replacement.Cost
+}
+
+// Uniform charges the same cost for every miss; with Uniform(1) the
+// aggregate cost is the miss count and every policy behaves like LRU.
+type Uniform replacement.Cost
+
+// MissCost implements Source.
+func (u Uniform) MissCost(uint64) replacement.Cost { return replacement.Cost(u) }
+
+// Func adapts a plain function to a Source.
+type Func func(block uint64) replacement.Cost
+
+// MissCost implements Source.
+func (f Func) MissCost(block uint64) replacement.Cost { return f(block) }
+
+// Random assigns each block either Low or High cost based on a seeded hash
+// of its address: a block is high-cost with probability Fraction. This is
+// the paper's "random cost mapping" (Section 3.2); Fraction controls the
+// high-cost access fraction (HAF) for workloads whose accesses spread evenly
+// over blocks.
+type Random struct {
+	// Low and High are the two static miss costs. The paper uses Low = 1
+	// and High = r, or Low = 0, High = 1 for an infinite cost ratio.
+	Low, High replacement.Cost
+	// Fraction is the probability that a block is high-cost, in [0,1].
+	Fraction float64
+	// Seed decorrelates the mapping between experiments.
+	Seed uint64
+}
+
+// MissCost implements Source.
+func (r Random) MissCost(block uint64) replacement.Cost {
+	if r.Fraction <= 0 {
+		return r.Low
+	}
+	if r.Fraction >= 1 {
+		return r.High
+	}
+	h := hash64(block ^ r.Seed)
+	// Compare the top 53 bits against the fraction for an unbiased draw.
+	if float64(h>>11)/float64(1<<53) < r.Fraction {
+		return r.High
+	}
+	return r.Low
+}
+
+// IsHigh reports whether block would be assigned the high cost; experiment
+// drivers use it to measure the realized high-cost access fraction.
+func (r Random) IsHigh(block uint64) bool { return r.MissCost(block) == r.High && r.High != r.Low }
+
+// FirstTouch charges Low for blocks homed at the sample processor and High
+// for remote blocks, given a first-touch home assignment (Section 3.3).
+type FirstTouch struct {
+	// Home maps a block to the processor whose memory holds it.
+	Home func(block uint64) int16
+	// Proc is the sample processor whose cache is simulated.
+	Proc int16
+	// Low and High are the local and remote miss costs.
+	Low, High replacement.Cost
+}
+
+// MissCost implements Source.
+func (f FirstTouch) MissCost(block uint64) replacement.Cost {
+	if f.Home(block) == f.Proc {
+		return f.Low
+	}
+	return f.High
+}
+
+// Table looks costs up in a map with a default, modelling the "simple table
+// lookup" of Section 5 for static cost functions.
+type Table struct {
+	Costs   map[uint64]replacement.Cost
+	Default replacement.Cost
+}
+
+// MissCost implements Source.
+func (t Table) MissCost(block uint64) replacement.Cost {
+	if c, ok := t.Costs[block]; ok {
+		return c
+	}
+	return t.Default
+}
+
+// LastLatency predicts the next miss cost of a block as the last measured
+// miss latency to it, the predictor of Section 4.1 ("we simply use the last
+// measured miss latency to predict the future miss latency to the same block
+// by the same processor"). Unseen blocks get Default.
+type LastLatency struct {
+	last    map[uint64]replacement.Cost
+	Default replacement.Cost
+}
+
+// NewLastLatency returns a predictor with the given default for blocks that
+// have not missed yet.
+func NewLastLatency(def replacement.Cost) *LastLatency {
+	return &LastLatency{last: make(map[uint64]replacement.Cost), Default: def}
+}
+
+// MissCost implements Source.
+func (p *LastLatency) MissCost(block uint64) replacement.Cost {
+	if c, ok := p.last[block]; ok {
+		return c
+	}
+	return p.Default
+}
+
+// Observe records a measured miss latency for block.
+func (p *LastLatency) Observe(block uint64, measured replacement.Cost) {
+	p.last[block] = measured
+}
+
+// Forget drops the record for block (e.g. after an invalidation if the
+// caller wants prediction to restart; the paper keeps records, so the
+// simulator does not call this by default).
+func (p *LastLatency) Forget(block uint64) { delete(p.last, block) }
+
+// hash64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit mix.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

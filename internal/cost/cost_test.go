@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"costcache/internal/replacement"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform(7)
+	for b := uint64(0); b < 100; b++ {
+		if u.MissCost(b) != 7 {
+			t.Fatalf("Uniform(7).MissCost(%d) != 7", b)
+		}
+	}
+}
+
+func TestFunc(t *testing.T) {
+	f := Func(func(b uint64) replacement.Cost { return replacement.Cost(b * 2) })
+	if f.MissCost(21) != 42 {
+		t.Fatal("Func adapter broken")
+	}
+}
+
+func TestRandomExtremes(t *testing.T) {
+	r := Random{Low: 1, High: 8, Fraction: 0, Seed: 1}
+	if r.MissCost(5) != 1 {
+		t.Fatal("Fraction 0 must always be Low")
+	}
+	r.Fraction = 1
+	if r.MissCost(5) != 8 {
+		t.Fatal("Fraction 1 must always be High")
+	}
+}
+
+func TestRandomFractionConverges(t *testing.T) {
+	for _, frac := range []float64{0.05, 0.1, 0.3, 0.7} {
+		r := Random{Low: 1, High: 16, Fraction: frac, Seed: 42}
+		high := 0
+		const n = 200000
+		for b := uint64(0); b < n; b++ {
+			if r.IsHigh(b) {
+				high++
+			}
+		}
+		got := float64(high) / n
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("fraction %.2f: measured %.4f", frac, got)
+		}
+	}
+}
+
+func TestRandomDeterministicAndSeedSensitive(t *testing.T) {
+	a := Random{Low: 1, High: 2, Fraction: 0.5, Seed: 1}
+	b := Random{Low: 1, High: 2, Fraction: 0.5, Seed: 2}
+	sameAsA, sameAsB := 0, 0
+	for blk := uint64(0); blk < 1000; blk++ {
+		if a.MissCost(blk) == a.MissCost(blk) {
+			sameAsA++
+		}
+		if a.MissCost(blk) == b.MissCost(blk) {
+			sameAsB++
+		}
+	}
+	if sameAsA != 1000 {
+		t.Fatal("Random must be deterministic per block")
+	}
+	if sameAsB > 950 {
+		t.Fatalf("different seeds produced nearly identical mappings (%d/1000)", sameAsB)
+	}
+}
+
+func TestRandomInfiniteRatio(t *testing.T) {
+	r := Random{Low: 0, High: 1, Fraction: 0.5, Seed: 3}
+	sawZero, sawOne := false, false
+	for b := uint64(0); b < 1000; b++ {
+		switch r.MissCost(b) {
+		case 0:
+			sawZero = true
+		case 1:
+			sawOne = true
+		default:
+			t.Fatalf("unexpected cost %d", r.MissCost(b))
+		}
+	}
+	if !sawZero || !sawOne {
+		t.Fatal("infinite-ratio mapping should produce both costs")
+	}
+}
+
+func TestFirstTouch(t *testing.T) {
+	home := func(block uint64) int16 { return int16(block % 4) }
+	f := FirstTouch{Home: home, Proc: 2, Low: 1, High: 10}
+	if f.MissCost(2) != 1 || f.MissCost(6) != 1 {
+		t.Fatal("locally homed blocks must be Low")
+	}
+	if f.MissCost(3) != 10 || f.MissCost(0) != 10 {
+		t.Fatal("remote blocks must be High")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Costs: map[uint64]replacement.Cost{7: 70}, Default: 3}
+	if tb.MissCost(7) != 70 || tb.MissCost(8) != 3 {
+		t.Fatal("Table lookup broken")
+	}
+}
+
+func TestLastLatency(t *testing.T) {
+	p := NewLastLatency(5)
+	if p.MissCost(1) != 5 {
+		t.Fatal("unseen block must get default")
+	}
+	p.Observe(1, 120)
+	if p.MissCost(1) != 120 {
+		t.Fatal("Observe must update the prediction")
+	}
+	p.Observe(1, 480)
+	if p.MissCost(1) != 480 {
+		t.Fatal("latest observation must win")
+	}
+	p.Forget(1)
+	if p.MissCost(1) != 5 {
+		t.Fatal("Forget must restore default")
+	}
+}
+
+func TestCostsNeverNegativeQuick(t *testing.T) {
+	f := func(block uint64, seed uint64, frac float64) bool {
+		fr := math.Mod(math.Abs(frac), 1)
+		r := Random{Low: 1, High: 32, Fraction: fr, Seed: seed}
+		return r.MissCost(block) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

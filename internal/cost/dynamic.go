@@ -1,0 +1,95 @@
+package cost
+
+import "costcache/internal/replacement"
+
+// Observer is an optional interface a Source may implement to learn from
+// the access stream. The trace-driven simulator calls OnAccess for every
+// local reference (hit or miss), enabling the dynamic cost functions the
+// paper's conclusion sketches: criticality prediction for single ILP
+// processors and time-varying memory mappings such as page migration.
+type Observer interface {
+	// OnAccess reports a reference to block; write distinguishes stores.
+	OnAccess(block uint64, write bool)
+}
+
+// NextOp implements the paper's single-processor idea ("if we could predict
+// the nature of the next access to a cached block, we could assign a high
+// cost to critical load misses and low cost to store misses"): it predicts
+// the next access type of a block from its last access type and charges
+// LoadCost or StoreCost accordingly. Stores are cheap to miss (they are
+// buffered); loads stall the pipeline.
+type NextOp struct {
+	// LoadCost and StoreCost are the miss costs charged when the next
+	// access is predicted to be a load or a store.
+	LoadCost, StoreCost replacement.Cost
+	last                map[uint64]bool // block -> last access was a write
+}
+
+// NewNextOp returns a predictor charging loadCost for predicted-load misses
+// and storeCost for predicted-store misses. Unseen blocks predict a load
+// (the conservative choice).
+func NewNextOp(loadCost, storeCost replacement.Cost) *NextOp {
+	return &NextOp{LoadCost: loadCost, StoreCost: storeCost, last: make(map[uint64]bool)}
+}
+
+// MissCost implements Source.
+func (n *NextOp) MissCost(block uint64) replacement.Cost {
+	if n.last[block] {
+		return n.StoreCost
+	}
+	return n.LoadCost
+}
+
+// OnAccess implements Observer.
+func (n *NextOp) OnAccess(block uint64, write bool) { n.last[block] = write }
+
+// Migrating models first-touch placement with dynamic page migration (the
+// paper's "memory mapping of blocks may vary with time, adapting
+// dynamically to the reference patterns"): a remote block that the sample
+// processor references at least Threshold times is migrated to local
+// memory, after which its misses cost Low. Cost-sensitive policies must
+// track the change — exactly the situation that motivates loading the cost
+// field at every miss rather than once.
+type Migrating struct {
+	// Home is the initial placement; Proc the sample processor.
+	Home func(block uint64) int16
+	Proc int16
+	// Low and High are the local and remote miss costs.
+	Low, High replacement.Cost
+	// Threshold is the access count after which a remote block migrates.
+	Threshold int
+
+	touches  map[uint64]int
+	migrated map[uint64]bool
+}
+
+// NewMigrating builds a migrating first-touch cost source.
+func NewMigrating(home func(uint64) int16, proc int16, low, high replacement.Cost, threshold int) *Migrating {
+	return &Migrating{
+		Home: home, Proc: proc, Low: low, High: high, Threshold: threshold,
+		touches: make(map[uint64]int), migrated: make(map[uint64]bool),
+	}
+}
+
+// MissCost implements Source.
+func (m *Migrating) MissCost(block uint64) replacement.Cost {
+	if m.Home(block) == m.Proc || m.migrated[block] {
+		return m.Low
+	}
+	return m.High
+}
+
+// OnAccess implements Observer.
+func (m *Migrating) OnAccess(block uint64, write bool) {
+	if m.Home(block) == m.Proc || m.migrated[block] {
+		return
+	}
+	m.touches[block]++
+	if m.touches[block] >= m.Threshold {
+		m.migrated[block] = true
+		delete(m.touches, block)
+	}
+}
+
+// Migrated reports how many blocks have migrated so far.
+func (m *Migrating) Migrated() int { return len(m.migrated) }

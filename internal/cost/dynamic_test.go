@@ -1,0 +1,48 @@
+package cost
+
+import "testing"
+
+func TestNextOpPrediction(t *testing.T) {
+	p := NewNextOp(10, 1)
+	if p.MissCost(5) != 10 {
+		t.Fatal("unseen block must predict a (critical) load")
+	}
+	p.OnAccess(5, true) // store
+	if p.MissCost(5) != 1 {
+		t.Fatal("after a store, predict a cheap store miss")
+	}
+	p.OnAccess(5, false) // load
+	if p.MissCost(5) != 10 {
+		t.Fatal("after a load, predict a costly load miss")
+	}
+}
+
+func TestMigratingThreshold(t *testing.T) {
+	home := func(block uint64) int16 { return int16(block % 2) } // odd blocks remote for proc 0
+	m := NewMigrating(home, 0, 1, 8, 3)
+	if m.MissCost(2) != 1 {
+		t.Fatal("local block must cost Low")
+	}
+	if m.MissCost(3) != 8 {
+		t.Fatal("remote block must start High")
+	}
+	m.OnAccess(3, false)
+	m.OnAccess(3, false)
+	if m.MissCost(3) != 8 {
+		t.Fatal("below threshold: still remote")
+	}
+	m.OnAccess(3, true)
+	if m.MissCost(3) != 1 {
+		t.Fatal("at threshold the block must have migrated")
+	}
+	if m.Migrated() != 1 {
+		t.Fatalf("Migrated = %d, want 1", m.Migrated())
+	}
+	// Local accesses never migrate anything.
+	for i := 0; i < 10; i++ {
+		m.OnAccess(2, false)
+	}
+	if m.Migrated() != 1 {
+		t.Fatal("local block must not count as a migration")
+	}
+}

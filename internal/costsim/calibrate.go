@@ -1,0 +1,74 @@
+package costsim
+
+import (
+	"sort"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+)
+
+// CalibratedRandom builds a random per-block two-cost mapping whose realized
+// high-cost ACCESS fraction matches the target HAF. Blocks are visited in a
+// seeded pseudo-random order and marked high-cost until the cumulative
+// access mass of marked blocks reaches the target (with a midpoint rule on
+// the final block). On traces whose accesses spread evenly over blocks this
+// degenerates to the paper's plain random mapping; on skewed traces it keeps
+// the x-axis of Figure 3 faithful.
+func CalibratedRandom(view []trace.SampleRef, blockBytes int, haf float64, r Ratio, seed uint64) cost.Source {
+	weights := make(map[uint64]int64)
+	var total int64
+	for _, ref := range view {
+		if ref.Remote {
+			continue
+		}
+		weights[ref.Addr/uint64(blockBytes)]++
+		total++
+	}
+	type bw struct {
+		block uint64
+		w     int64
+		h     uint64
+	}
+	blocks := make([]bw, 0, len(weights))
+	for b, w := range weights {
+		blocks = append(blocks, bw{b, w, mix64(b ^ seed)})
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].h != blocks[j].h {
+			return blocks[i].h < blocks[j].h
+		}
+		return blocks[i].block < blocks[j].block
+	})
+	target := haf * float64(total)
+	high := make(map[uint64]replacement.Cost)
+	cum := 0.0
+	for _, b := range blocks {
+		if cum >= target {
+			break
+		}
+		w := float64(b.w)
+		// Midpoint rule: take the block if it lands closer to the target
+		// than stopping short would.
+		if cum+w <= target || target-cum > cum+w-target {
+			high[b.block] = r.High
+			cum += w
+		}
+	}
+	return cost.Table{Costs: high, Default: r.Low}
+}
+
+// IsHighFunc derives a high-cost predicate from a two-cost source.
+func IsHighFunc(src cost.Source, r Ratio) func(block uint64) bool {
+	return func(block uint64) bool { return src.MissCost(block) == r.High && r.High != r.Low }
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

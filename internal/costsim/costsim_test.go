@@ -1,0 +1,309 @@
+package costsim
+
+import (
+	"math"
+	"testing"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+func testView(t *testing.T) []trace.SampleRef {
+	t.Helper()
+	w := workload.Synthetic{
+		Blocks: 1024, RefsPerProc: 60000, WriteFrac: 0.25, SharedFrac: 0.8,
+		ZipfS: 1.3, Procs: 4, Seed: 5,
+	}
+	return w.Generate().SampleView(0)
+}
+
+func TestRunLRUMatchesMissCounts(t *testing.T) {
+	view := testView(t)
+	cfg := Default()
+	src := cost.Random{Low: 1, High: 8, Fraction: 0.2, Seed: 9}
+	res := Run(view, cfg, replacement.NewLRU(), src)
+	counts, stats := MissCounts(view, cfg)
+	if got := CostOf(counts, src); got != res.L2.AggCost {
+		t.Fatalf("analytic LRU cost %d != simulated %d", got, res.L2.AggCost)
+	}
+	if stats.Misses != res.L2.Misses {
+		t.Fatalf("miss counts differ: %d vs %d", stats.Misses, res.L2.Misses)
+	}
+}
+
+func TestRunAppliesInvalidations(t *testing.T) {
+	view := []trace.SampleRef{
+		{Addr: 0, Op: trace.Read},
+		{Addr: 0, Op: trace.Write, Remote: true}, // invalidate
+		{Addr: 0, Op: trace.Read},                // must miss again
+	}
+	res := Run(view, Default(), replacement.NewLRU(), cost.Uniform(1))
+	if res.L2.Misses != 2 || res.Invalidations != 1 {
+		t.Fatalf("misses=%d invals=%d, want 2/1", res.L2.Misses, res.Invalidations)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.orDefault()
+	if cfg.L2Size != 16<<10 || cfg.L2Ways != 4 || cfg.L1Size != 4<<10 || cfg.BlockBytes != 64 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	custom := Config{L1Size: 1 << 10, L2Size: 8 << 10, L2Ways: 2}.orDefault()
+	if custom.BlockBytes != 64 || custom.L2Size != 8<<10 {
+		t.Fatalf("custom = %+v", custom)
+	}
+}
+
+func TestRelativeSavings(t *testing.T) {
+	if RelativeSavings(0, 5) != 0 {
+		t.Fatal("zero LRU cost must give zero savings")
+	}
+	if got := RelativeSavings(100, 80); got != 0.2 {
+		t.Fatalf("savings = %v, want 0.2", got)
+	}
+	if got := RelativeSavings(100, 120); got != -0.2 {
+		t.Fatalf("negative savings = %v, want -0.2", got)
+	}
+}
+
+func TestMeasuredHAFExtremes(t *testing.T) {
+	view := testView(t)
+	if got := MeasuredHAF(view, 64, func(uint64) bool { return false }); got != 0 {
+		t.Fatalf("all-low HAF = %v", got)
+	}
+	if got := MeasuredHAF(view, 64, func(uint64) bool { return true }); got != 1 {
+		t.Fatalf("all-high HAF = %v", got)
+	}
+	if got := MeasuredHAF(nil, 64, func(uint64) bool { return true }); got != 0 {
+		t.Fatalf("empty view HAF = %v", got)
+	}
+}
+
+func TestRandomSweepShape(t *testing.T) {
+	view := testView(t)
+	pts := RandomSweep(view, Default(), []Ratio{{1, 8, "r=8"}},
+		[]float64{0, 0.2, 1}, PaperPolicies(), 42)
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %d", len(pts))
+	}
+	// HAF 0: every block low cost, all policies behave as LRU: zero savings.
+	for name, s := range pts[0].Savings {
+		if s != 0 {
+			t.Errorf("HAF=0: %s savings %.4f, want 0", name, s)
+		}
+	}
+	// HAF 1: every block high cost — uniform again: zero savings.
+	for name, s := range pts[2].Savings {
+		if s != 0 {
+			t.Errorf("HAF=1: %s savings %.4f, want 0", name, s)
+		}
+	}
+	// Interior point: DCL must save, and the measured HAF must be near the
+	// target (accesses spread over blocks).
+	if pts[1].Savings["DCL"] <= 0 {
+		t.Errorf("HAF=0.2: DCL savings %.4f, want > 0", pts[1].Savings["DCL"])
+	}
+	if math.Abs(pts[1].MeasuredHAF-0.2) > 0.1 {
+		t.Errorf("measured HAF %.3f far from target 0.2", pts[1].MeasuredHAF)
+	}
+	if len(pts[1].Order) != 4 {
+		t.Errorf("policy order = %v", pts[1].Order)
+	}
+}
+
+func TestRandomSweepInfiniteRatioUpperBounds(t *testing.T) {
+	// At a fixed HAF, the infinite ratio gives the maximum savings for DCL
+	// (the paper: "the graphs show the theoretical upper-bound").
+	view := testView(t)
+	dcl := []replacement.Factory{func() replacement.Policy { return replacement.NewDCL() }}
+	pts := RandomSweep(view, Default(),
+		[]Ratio{{1, 4, "r=4"}, {1, 32, "r=32"}, {0, 1, "r=inf"}},
+		[]float64{0.2}, dcl, 42)
+	s4, s32, sInf := pts[0].Savings["DCL"], pts[1].Savings["DCL"], pts[2].Savings["DCL"]
+	if !(s4 <= s32+0.02 && s32 <= sInf+0.02) {
+		t.Errorf("savings not increasing with r: r4=%.4f r32=%.4f inf=%.4f", s4, s32, sInf)
+	}
+}
+
+func TestFirstTouchSweep(t *testing.T) {
+	w := workload.Synthetic{
+		Blocks: 1024, RefsPerProc: 40000, WriteFrac: 0.25, SharedFrac: 0.7,
+		ZipfS: 1.25, Procs: 4, Seed: 6,
+	}
+	tr := w.Generate()
+	view := tr.SampleView(0)
+	homes := workload.FirstTouchHomes(tr, 64)
+	home := workload.HomeFunc(homes, 0)
+	pts := FirstTouchSweep(view, Default(), home, 0, Table2Ratios(), PaperPolicies())
+	if len(pts) != 5 {
+		t.Fatalf("want 5 ratios, got %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.MeasuredHAF <= 0 || pt.MeasuredHAF >= 1 {
+			t.Errorf("%s: remote fraction %.3f implausible", pt.Ratio.Label, pt.MeasuredHAF)
+		}
+		if pt.LRUCost <= 0 {
+			t.Errorf("%s: LRU cost %d", pt.Ratio.Label, pt.LRUCost)
+		}
+		// ACL reliability: never materially worse than LRU.
+		if pt.Savings["ACL"] < -0.02 {
+			t.Errorf("%s: ACL savings %.4f below -2%%", pt.Ratio.Label, pt.Savings["ACL"])
+		}
+	}
+}
+
+func TestPaperParameterSets(t *testing.T) {
+	if len(PaperRatios()) != 6 || PaperRatios()[5].Low != 0 {
+		t.Fatal("PaperRatios must end with the infinite ratio")
+	}
+	if len(Table2Ratios()) != 5 {
+		t.Fatal("Table2Ratios must have five finite ratios")
+	}
+	hafs := PaperHAFs()
+	if len(hafs) != 13 || hafs[0] != 0 || hafs[1] != 0.01 || hafs[2] != 0.05 {
+		t.Fatalf("PaperHAFs = %v", hafs)
+	}
+	if math.Abs(hafs[len(hafs)-1]-1.0) > 1e-9 {
+		t.Fatalf("last HAF = %v, want 1.0", hafs[len(hafs)-1])
+	}
+	if len(PaperPolicies()) != 4 {
+		t.Fatal("PaperPolicies must return GD, BCL, DCL, ACL")
+	}
+}
+
+func TestCalibratedRandomHitsTarget(t *testing.T) {
+	view := testView(t) // Zipf-skewed: plain per-block randomness would miss
+	r := Ratio{1, 8, "r=8"}
+	for _, haf := range []float64{0.05, 0.1, 0.3, 0.5, 0.9} {
+		src := CalibratedRandom(view, 64, haf, r, 7)
+		got := MeasuredHAF(view, 64, IsHighFunc(src, r))
+		if math.Abs(got-haf) > 0.03 {
+			t.Errorf("target %.2f: measured %.4f", haf, got)
+		}
+	}
+	// Determinism.
+	a := CalibratedRandom(view, 64, 0.3, r, 7)
+	b := CalibratedRandom(view, 64, 0.3, r, 7)
+	for blk := uint64(0); blk < 4096; blk++ {
+		if a.MissCost(blk) != b.MissCost(blk) {
+			t.Fatal("CalibratedRandom not deterministic")
+		}
+	}
+}
+
+func TestAssocSweep(t *testing.T) {
+	view := testView(t)
+	pts := AssocSweep(view, Default(), []int{2, 4, 8},
+		Ratio{1, 8, "r=8"}, 0.2, PaperPolicies(), 42)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.LRUCost <= 0 {
+			t.Errorf("%s: LRU cost %d", pt.Label, pt.LRUCost)
+		}
+		if len(pt.Savings) != 4 {
+			t.Errorf("%s: savings %v", pt.Label, pt.Savings)
+		}
+	}
+	if pts[0].Label != "2-way" || pts[2].Label != "8-way" {
+		t.Fatalf("labels: %v %v", pts[0].Label, pts[2].Label)
+	}
+	// Reservations need victims: with more ways there is more room, so DCL
+	// should not collapse to zero at 8-way.
+	if pts[2].Savings["DCL"] <= 0 {
+		t.Errorf("8-way DCL savings %.4f, want > 0", pts[2].Savings["DCL"])
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	view := testView(t)
+	pts := SizeSweep(view, Default(), []int{8 << 10, 16 << 10, 64 << 10},
+		Ratio{1, 8, "r=8"}, 0.2, PaperPolicies(), 42)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Bigger caches miss less: LRU cost must decrease monotonically.
+	if !(pts[0].LRUCost > pts[1].LRUCost && pts[1].LRUCost > pts[2].LRUCost) {
+		t.Fatalf("LRU cost not decreasing with size: %d %d %d",
+			pts[0].LRUCost, pts[1].LRUCost, pts[2].LRUCost)
+	}
+	if !(pts[0].MissRate > pts[2].MissRate) {
+		t.Fatalf("miss rate not decreasing: %v vs %v", pts[0].MissRate, pts[2].MissRate)
+	}
+	if pts[0].Label != "8KB" {
+		t.Fatalf("label %q", pts[0].Label)
+	}
+}
+
+func TestRunFeedsObservers(t *testing.T) {
+	// A Migrating source must see accesses and flip remote blocks to local,
+	// lowering the charged cost of later misses.
+	w := workload.Synthetic{
+		Blocks: 512, RefsPerProc: 30000, WriteFrac: 0.2, SharedFrac: 0.9,
+		ZipfS: 1.3, Procs: 4, Seed: 8,
+	}
+	tr := w.Generate()
+	view := tr.SampleView(0)
+	homes := workload.FirstTouchHomes(tr, 64)
+	home := workload.HomeFunc(homes, 0)
+
+	static := cost.FirstTouch{Home: home, Proc: 0, Low: 1, High: 8}
+	mig := cost.NewMigrating(home, 0, 1, 8, 4)
+	sRes := Run(view, Default(), replacement.NewLRU(), static)
+	mRes := Run(view, Default(), replacement.NewLRU(), mig)
+	if mig.Migrated() == 0 {
+		t.Fatal("no blocks migrated: observer not wired")
+	}
+	if mRes.L2.AggCost >= sRes.L2.AggCost {
+		t.Fatalf("migration should lower aggregate cost: %d >= %d",
+			mRes.L2.AggCost, sRes.L2.AggCost)
+	}
+}
+
+func TestRandomSweepSeeds(t *testing.T) {
+	view := testView(t)
+	st := RandomSweepSeeds(view, Default(), Ratio{1, 8, "r=8"}, 0.2,
+		PaperPolicies(), []uint64{1, 2, 3, 4})
+	if st.Seeds != 4 {
+		t.Fatalf("seeds = %d", st.Seeds)
+	}
+	for _, name := range []string{"GD", "BCL", "DCL", "ACL"} {
+		mean, lo, hi := st.Mean[name], st.Min[name], st.Max[name]
+		if !(lo <= mean && mean <= hi) {
+			t.Errorf("%s: mean %.4f outside [%.4f, %.4f]", name, mean, lo, hi)
+		}
+	}
+	// DCL's mean savings at the sweet spot must be positive and robust.
+	if st.Mean["DCL"] <= 0 || st.Min["DCL"] < -0.05 {
+		t.Errorf("DCL mean %.4f min %.4f: not robust", st.Mean["DCL"], st.Min["DCL"])
+	}
+}
+
+func TestRandomSweepParallelDeterminism(t *testing.T) {
+	view := testView(t)
+	run := func() []SweepPoint {
+		return RandomSweep(view, Default(),
+			[]Ratio{{1, 4, "r=4"}, {1, 8, "r=8"}},
+			[]float64{0.1, 0.2, 0.3, 0.5}, PaperPolicies(), 42)
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("cells: %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Ratio.Label != b[i].Ratio.Label || a[i].TargetHAF != b[i].TargetHAF {
+			t.Fatalf("cell %d order differs", i)
+		}
+		if a[i].LRUCost != b[i].LRUCost {
+			t.Fatalf("cell %d LRU cost differs", i)
+		}
+		for k, v := range a[i].Savings {
+			if b[i].Savings[k] != v {
+				t.Fatalf("cell %d policy %s differs across runs", i, k)
+			}
+		}
+	}
+}

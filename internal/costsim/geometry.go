@@ -1,0 +1,70 @@
+package costsim
+
+import (
+	"fmt"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+)
+
+// GeomPoint is one cell of a cache-geometry sweep: a fixed cost mapping
+// evaluated at one cache configuration.
+type GeomPoint struct {
+	// Label names the configuration ("2-way", "64KB").
+	Label string
+	// LRUCost is the aggregate cost of the LRU baseline at this geometry.
+	LRUCost int64
+	// MissRate is LRU's L2 miss rate at this geometry.
+	MissRate float64
+	// Savings maps policy name to relative savings over LRU.
+	Savings map[string]float64
+}
+
+// AssocSweep evaluates the policies across associativities (the paper
+// varies s from 2 to 8, Section 3.1) at a fixed cache size and random cost
+// mapping.
+func AssocSweep(view []trace.SampleRef, cfg Config, waysList []int, r Ratio, haf float64,
+	policies []replacement.Factory, seed uint64) []GeomPoint {
+	cfg = cfg.orDefault()
+	src := CalibratedRandom(view, cfg.BlockBytes, haf, r, seed)
+	var out []GeomPoint
+	for _, ways := range waysList {
+		c := cfg
+		c.L2Ways = ways
+		out = append(out, geomPoint(view, c, fmt.Sprintf("%d-way", ways), src, policies))
+	}
+	return out
+}
+
+// SizeSweep evaluates the policies across L2 capacities (the paper examines
+// 2KB to 512KB before settling on 16KB) at fixed associativity.
+func SizeSweep(view []trace.SampleRef, cfg Config, sizes []int, r Ratio, haf float64,
+	policies []replacement.Factory, seed uint64) []GeomPoint {
+	cfg = cfg.orDefault()
+	src := CalibratedRandom(view, cfg.BlockBytes, haf, r, seed)
+	var out []GeomPoint
+	for _, size := range sizes {
+		c := cfg
+		c.L2Size = size
+		out = append(out, geomPoint(view, c, fmt.Sprintf("%dKB", size>>10), src, policies))
+	}
+	return out
+}
+
+func geomPoint(view []trace.SampleRef, cfg Config, label string, src cost.Source,
+	policies []replacement.Factory) GeomPoint {
+	counts, stats := MissCounts(view, cfg)
+	pt := GeomPoint{
+		Label:    label,
+		LRUCost:  CostOf(counts, src),
+		MissRate: stats.MissRate(),
+		Savings:  map[string]float64{},
+	}
+	for _, f := range policies {
+		p := f()
+		res := Run(view, cfg, p, src)
+		pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
+	}
+	return pt
+}

@@ -1,0 +1,53 @@
+package costsim
+
+import (
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+)
+
+// SeedStats summarizes a sweep cell across several random cost-mapping
+// seeds, exposing the spread behind the single-seed numbers the tables
+// print.
+type SeedStats struct {
+	// Seeds is how many mappings were evaluated.
+	Seeds int
+	// Mean, Min and Max are per-policy relative savings over LRU.
+	Mean, Min, Max map[string]float64
+}
+
+// RandomSweepSeeds evaluates one (ratio, HAF) cell under several seeds of
+// the calibrated random mapping and aggregates the savings. It answers the
+// robustness question the paper's single-mapping Figure 3 leaves open: how
+// much do the savings depend on WHICH blocks drew the high cost?
+func RandomSweepSeeds(view []trace.SampleRef, cfg Config, r Ratio, haf float64,
+	policies []replacement.Factory, seeds []uint64) SeedStats {
+	cfg = cfg.orDefault()
+	counts, _ := MissCounts(view, cfg)
+	st := SeedStats{
+		Seeds: len(seeds),
+		Mean:  map[string]float64{},
+		Min:   map[string]float64{},
+		Max:   map[string]float64{},
+	}
+	for i, seed := range seeds {
+		src := CalibratedRandom(view, cfg.BlockBytes, haf, r, seed)
+		lru := CostOf(counts, src)
+		for _, f := range policies {
+			p := f()
+			res := Run(view, cfg, p, src)
+			s := RelativeSavings(lru, res.L2.AggCost)
+			name := res.Policy
+			st.Mean[name] += s
+			if i == 0 || s < st.Min[name] {
+				st.Min[name] = s
+			}
+			if i == 0 || s > st.Max[name] {
+				st.Max[name] = s
+			}
+		}
+	}
+	for name := range st.Mean {
+		st.Mean[name] /= float64(len(seeds))
+	}
+	return st
+}

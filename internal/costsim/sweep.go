@@ -1,0 +1,154 @@
+package costsim
+
+import (
+	"runtime"
+	"sync"
+
+	"costcache/internal/cost"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+)
+
+// Ratio is a two-static-cost assignment. The paper's cost ratio r is
+// High/Low; the infinite ratio is modelled as Low = 0, High = 1 (its
+// practical example: bandwidth consumption).
+type Ratio struct {
+	// Low and High are the two miss costs.
+	Low, High replacement.Cost
+	// Label names the ratio in tables ("r=8", "r=inf").
+	Label string
+}
+
+// PaperRatios returns the cost ratios of Figure 3: 2, 4, 8, 16, 32 and
+// infinity.
+func PaperRatios() []Ratio {
+	return []Ratio{
+		{1, 2, "r=2"}, {1, 4, "r=4"}, {1, 8, "r=8"},
+		{1, 16, "r=16"}, {1, 32, "r=32"}, {0, 1, "r=inf"},
+	}
+}
+
+// Table2Ratios returns the finite ratios of Table 2: 2 through 32.
+func Table2Ratios() []Ratio { return PaperRatios()[:5] }
+
+// PaperHAFs returns the high-cost access fractions swept in Figure 3:
+// 0, 0.01, 0.05, then 0.1 through 1.0 in steps of 0.1.
+func PaperHAFs() []float64 {
+	h := []float64{0, 0.01, 0.05}
+	for f := 0.1; f < 1.05; f += 0.1 {
+		h = append(h, f)
+	}
+	return h
+}
+
+// PaperPolicies returns factories for the four cost-sensitive algorithms in
+// the order the paper plots them: GD, BCL, DCL, ACL.
+func PaperPolicies() []replacement.Factory {
+	return []replacement.Factory{
+		func() replacement.Policy { return replacement.NewGD() },
+		func() replacement.Policy { return replacement.NewBCL() },
+		func() replacement.Policy { return replacement.NewDCL() },
+		func() replacement.Policy { return replacement.NewACL() },
+	}
+}
+
+// SweepPoint is one cell of a cost sweep: one cost mapping evaluated under
+// every policy.
+type SweepPoint struct {
+	// Ratio is the cost assignment of this cell.
+	Ratio Ratio
+	// TargetHAF is the requested high-cost fraction (random mapping only);
+	// MeasuredHAF is the realized high-cost access fraction of the trace.
+	TargetHAF, MeasuredHAF float64
+	// LRUCost is the aggregate cost of the LRU baseline.
+	LRUCost int64
+	// Costs and Savings record, per policy name, the aggregate cost and the
+	// relative savings fraction over LRU.
+	Costs   map[string]int64
+	Savings map[string]float64
+	// Order lists policy names in evaluation order, for stable printing.
+	Order []string
+}
+
+// RandomSweep runs the Figure 3 experiment on one benchmark view: for every
+// (ratio, HAF) cell of the random cost mapping, evaluate LRU analytically
+// from a single miss-count profile and simulate every policy. Cells are
+// independent, so they run on all CPUs; the returned order is
+// deterministic regardless.
+func RandomSweep(view []trace.SampleRef, cfg Config, ratios []Ratio, hafs []float64,
+	policies []replacement.Factory, seed uint64) []SweepPoint {
+	cfg = cfg.orDefault()
+	counts, _ := MissCounts(view, cfg)
+
+	type cell struct {
+		r   Ratio
+		haf float64
+	}
+	var cells []cell
+	for _, r := range ratios {
+		for _, haf := range hafs {
+			cells = append(cells, cell{r, haf})
+		}
+	}
+	out := make([]SweepPoint, len(cells))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			src := CalibratedRandom(view, cfg.BlockBytes, c.haf, c.r, seed)
+			pt := SweepPoint{
+				Ratio:       c.r,
+				TargetHAF:   c.haf,
+				MeasuredHAF: MeasuredHAF(view, cfg.BlockBytes, IsHighFunc(src, c.r)),
+				LRUCost:     CostOf(counts, src),
+				Costs:       map[string]int64{},
+				Savings:     map[string]float64{},
+			}
+			for _, f := range policies {
+				p := f()
+				res := Run(view, cfg, p, src)
+				pt.Costs[res.Policy] = res.L2.AggCost
+				pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
+				pt.Order = append(pt.Order, res.Policy)
+			}
+			out[i] = pt
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+// FirstTouchSweep runs the Table 2 experiment: costs assigned by first-touch
+// placement (local = Low, remote = High) for each ratio.
+func FirstTouchSweep(view []trace.SampleRef, cfg Config, home func(block uint64) int16,
+	proc int16, ratios []Ratio, policies []replacement.Factory) []SweepPoint {
+	cfg = cfg.orDefault()
+	counts, _ := MissCounts(view, cfg)
+	var out []SweepPoint
+	for _, r := range ratios {
+		src := cost.FirstTouch{Home: home, Proc: proc, Low: r.Low, High: r.High}
+		isHigh := func(block uint64) bool { return home(block) != proc }
+		pt := SweepPoint{
+			Ratio:       r,
+			TargetHAF:   -1,
+			MeasuredHAF: MeasuredHAF(view, cfg.BlockBytes, isHigh),
+			LRUCost:     CostOf(counts, src),
+			Costs:       map[string]int64{},
+			Savings:     map[string]float64{},
+		}
+		for _, f := range policies {
+			p := f()
+			res := Run(view, cfg, p, src)
+			pt.Costs[res.Policy] = res.L2.AggCost
+			pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
+			pt.Order = append(pt.Order, res.Policy)
+		}
+		out = append(out, pt)
+	}
+	return out
+}

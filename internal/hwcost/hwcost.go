@@ -1,0 +1,101 @@
+// Package hwcost models the per-set hardware storage overhead of the
+// cost-sensitive replacement algorithms over plain LRU (Section 5 of the
+// paper). Two kinds of cost fields exist: fixed cost fields holding the
+// (predicted) cost of a block's next miss, and computed cost fields holding
+// costs while they are depreciated (Acost, GreedyDual credits). DCL and ACL
+// additionally carry the Extended Tag Directory; ACL a two-bit counter and a
+// reserved bit.
+package hwcost
+
+import "fmt"
+
+// Config describes one design point.
+type Config struct {
+	// Ways is the set associativity s.
+	Ways int
+	// TagBits is the width of a cache tag.
+	TagBits int
+	// BlockBytes is the line size (data bits enter the baseline).
+	BlockBytes int
+	// FixedCostBits is the width of a fixed cost field. Zero means the cost
+	// function is static and looked up in a table, so no fixed fields are
+	// stored (Section 5's "simple table lookup" case).
+	FixedCostBits int
+	// ComputedCostBits is the width of a computed (depreciated) cost field.
+	ComputedCostBits int
+	// ETDTagBits is the width of an ETD tag entry; defaults to TagBits
+	// (full tags) when zero. Section 4.3 uses 4-bit aliased tags.
+	ETDTagBits int
+}
+
+// Paper8Bit returns the first design point evaluated in Section 5: a 4-way
+// cache with 25-bit tags, 8-bit cost fields and 64-byte blocks.
+func Paper8Bit() Config {
+	return Config{Ways: 4, TagBits: 25, BlockBytes: 64, FixedCostBits: 8, ComputedCostBits: 8}
+}
+
+// PaperTableLookup is the same point with a static cost function looked up
+// in a table (no fixed cost fields stored per block).
+func PaperTableLookup() Config {
+	c := Paper8Bit()
+	c.FixedCostBits = 0
+	return c
+}
+
+// PaperQuantized is Section 5's quantized design: costs in units of
+// G = 60 ns with K = 8 (3-bit computed fields), 2-bit fixed fields (four
+// distinct latencies), and 4-bit ETD tags plus a valid bit.
+func PaperQuantized() Config {
+	return Config{Ways: 4, TagBits: 25, BlockBytes: 64, FixedCostBits: 2, ComputedCostBits: 3, ETDTagBits: 4}
+}
+
+func (c Config) etdTagBits() int {
+	if c.ETDTagBits > 0 {
+		return c.ETDTagBits
+	}
+	return c.TagBits
+}
+
+// BaselineBitsPerSet returns the storage of an LRU set: data plus tags. The
+// paper's percentages are relative to this quantity.
+func (c Config) BaselineBitsPerSet() int {
+	return c.Ways * (8*c.BlockBytes + c.TagBits)
+}
+
+// OverheadBitsPerSet returns the extra bits per set each algorithm needs
+// over LRU.
+//
+//	BCL: s fixed cost fields + 1 computed (Acost).
+//	GD : s fixed + s computed (credit per block).
+//	DCL: s fixed + 1 computed + (s-1) ETD entries of (tag + valid + fixed).
+//	ACL: DCL + 2-bit counter + 1 reserved bit.
+func OverheadBitsPerSet(alg string, c Config) (int, error) {
+	s := c.Ways
+	etdEntry := c.etdTagBits() + 1 + c.FixedCostBits
+	switch alg {
+	case "LRU":
+		return 0, nil
+	case "BCL":
+		return s*c.FixedCostBits + c.ComputedCostBits, nil
+	case "GD":
+		return s*c.FixedCostBits + s*c.ComputedCostBits, nil
+	case "DCL":
+		return s*c.FixedCostBits + c.ComputedCostBits + (s-1)*etdEntry, nil
+	case "ACL":
+		d, _ := OverheadBitsPerSet("DCL", c)
+		return d + 2 + 1, nil
+	}
+	return 0, fmt.Errorf("hwcost: unknown algorithm %q", alg)
+}
+
+// OverheadPercent returns the overhead as a percentage of the LRU baseline.
+func OverheadPercent(alg string, c Config) (float64, error) {
+	bits, err := OverheadBitsPerSet(alg, c)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * float64(bits) / float64(c.BaselineBitsPerSet()), nil
+}
+
+// Algorithms lists the algorithms in the paper's reporting order.
+func Algorithms() []string { return []string{"BCL", "GD", "DCL", "ACL"} }

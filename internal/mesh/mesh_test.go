@@ -1,0 +1,131 @@
+package mesh
+
+import "testing"
+
+func TestHops(t *testing.T) {
+	m := New(Default())
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 15, 6}, {5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteLengthMatchesHops(t *testing.T) {
+	m := New(Default())
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if got := len(m.route(a, b)); got != m.Hops(a, b) {
+				t.Fatalf("route(%d,%d) has %d links, hops %d", a, b, got, m.Hops(a, b))
+			}
+		}
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	m := New(Default())
+	if got := m.Unloaded(3, 3, DataFlits); got != 13 {
+		t.Fatalf("local = %d, want NIBase 13", got)
+	}
+	// 1 hop, data: 102 + 1*(8+9*6) = 164.
+	if got := m.Unloaded(0, 1, DataFlits); got != 164 {
+		t.Fatalf("1-hop data = %d, want 164", got)
+	}
+	// 1 hop, ctrl: 102 + (8+12) = 122.
+	if got := m.Unloaded(0, 1, CtrlFlits); got != 122 {
+		t.Fatalf("1-hop ctrl = %d, want 122", got)
+	}
+}
+
+func TestSendMatchesUnloadedWhenIdle(t *testing.T) {
+	m := New(Default())
+	for _, pair := range [][2]int{{0, 5}, {2, 14}, {7, 7}} {
+		m.Reset()
+		want := m.Unloaded(pair[0], pair[1], DataFlits)
+		if got := m.Send(pair[0], pair[1], DataFlits, 1000) - 1000; got != want {
+			t.Errorf("Send(%v) idle latency %d, want %d", pair, got, want)
+		}
+	}
+}
+
+func TestContentionQueues(t *testing.T) {
+	m := New(Default())
+	a := m.Send(0, 3, DataFlits, 0)
+	b := m.Send(0, 3, DataFlits, 0) // same route, same instant: must queue
+	if b <= a {
+		t.Fatalf("second message arrived at %d, first at %d: no queueing", b, a)
+	}
+	_, _, queued := m.Stats()
+	if queued == 0 {
+		t.Fatal("queueing delay not recorded")
+	}
+	// Disjoint routes don't interact.
+	m.Reset()
+	a = m.Send(0, 1, CtrlFlits, 0)
+	c := m.Send(14, 15, CtrlFlits, 0)
+	if c != a+14-0-14+c { // trivial identity; real check below
+		_ = c
+	}
+	if c-0 != m.Unloaded(14, 15, CtrlFlits) {
+		t.Fatal("disjoint routes must not queue")
+	}
+}
+
+func TestDeterministicOrderIndependentOfReset(t *testing.T) {
+	run := func() int64 {
+		m := New(Default())
+		var last int64
+		for i := 0; i < 100; i++ {
+			last = m.Send(i%16, (i*7)%16, DataFlits, int64(i*10))
+		}
+		return last
+	}
+	if run() != run() {
+		t.Fatal("mesh must be deterministic")
+	}
+}
+
+func TestBadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Params{Dim: 0})
+}
+
+func TestRouteValidity(t *testing.T) {
+	m := New(Default())
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			links := m.route(a, b)
+			seen := map[int]bool{}
+			for _, l := range links {
+				if seen[l] {
+					t.Fatalf("route %d->%d reuses link %d", a, b, l)
+				}
+				seen[l] = true
+				if l < 0 || l >= 16*numDirs {
+					t.Fatalf("route %d->%d has out-of-range link %d", a, b, l)
+				}
+			}
+		}
+	}
+}
+
+func TestSendMonotoneInTime(t *testing.T) {
+	m := New(Default())
+	var last int64
+	for i := 0; i < 500; i++ {
+		now := int64(i * 7)
+		arr := m.Send(i%16, (i*5)%16, DataFlits, now)
+		if arr < now {
+			t.Fatalf("arrival %d before departure %d", arr, now)
+		}
+		_ = last
+		last = arr
+	}
+}

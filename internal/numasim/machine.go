@@ -1,0 +1,371 @@
+// Package numasim is the execution-driven CC-NUMA simulator of Section 4:
+// 16 ILP processors with two-level cache hierarchies, a directory MESI
+// protocol over a 4x4 mesh, first-touch memory placement, and per-node
+// last-latency miss-cost prediction feeding the cost-sensitive replacement
+// policy in the L2. It reproduces Table 3 (consecutive-miss latency
+// correlation), the Table 4 unloaded-latency calibration, and Table 5
+// (execution-time reduction over LRU).
+package numasim
+
+import (
+	"costcache/internal/cache"
+	"costcache/internal/coherence"
+	"costcache/internal/cost"
+	"costcache/internal/mesh"
+	"costcache/internal/proc"
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+// Config describes the simulated machine (Table 4 by default).
+type Config struct {
+	// ClockMHz is the processor clock (500 or 1000 in the paper).
+	ClockMHz int
+	// Net, Protocol and Core are the subsystem parameter sets.
+	Net      mesh.Params
+	Protocol coherence.Params
+	Core     proc.Params
+	// Cache geometry.
+	L1Size, L2Size, L2Ways, BlockBytes int
+	// Policy builds the L2 replacement policy of each node.
+	Policy replacement.Factory
+	// PredictorDefault is the latency (ns) predicted for blocks that have
+	// never missed; the paper's local clean latency is a natural default.
+	PredictorDefault int64
+	// BarrierNs is the flat cost of a global barrier.
+	BarrierNs int64
+	// CollectTable3 turns on consecutive-miss latency instrumentation.
+	CollectTable3 bool
+	// UsePenalty switches the predicted cost from the measured miss
+	// latency to the miss PENALTY — the stall the miss adds beyond already
+	// outstanding work (zero for buffered stores and fully overlapped
+	// loads). The paper's conclusion proposes exactly this refinement
+	// ("if we can measure memory access penalty instead of latency and use
+	// the penalty as the target cost function").
+	UsePenalty bool
+}
+
+// DefaultConfig returns the Table 4 machine at 500 MHz with the given L2
+// policy (nil defaults to LRU).
+func DefaultConfig(policy replacement.Factory) Config {
+	if policy == nil {
+		policy = func() replacement.Policy { return replacement.NewLRU() }
+	}
+	return Config{
+		ClockMHz: 500,
+		Net:      mesh.Default(),
+		Protocol: coherence.DefaultParams(),
+		Core:     proc.DefaultParams(),
+		L1Size:   4 << 10, L2Size: 16 << 10, L2Ways: 4, BlockBytes: 64,
+		Policy:           policy,
+		PredictorDefault: 120,
+		BarrierNs:        400,
+	}
+}
+
+func (c Config) withPolicy(f replacement.Factory) Config { c.Policy = f; return c }
+
+func (c Config) cycleNs() int64 {
+	switch c.ClockMHz {
+	case 500:
+		return 2
+	case 1000:
+		return 1
+	default:
+		if c.ClockMHz <= 0 {
+			panic("numasim: ClockMHz must be positive")
+		}
+		return int64(1000 / c.ClockMHz)
+	}
+}
+
+// node is one processor + cache hierarchy + predictor.
+type node struct {
+	id   int
+	h    *cache.Hierarchy
+	win  *proc.Window
+	pred *cost.LastLatency
+
+	// last-miss records for Table 3, keyed by block.
+	lastMiss map[uint64]missRecord
+
+	misses, hits int64
+	missNs       int64 // sum of measured (loaded) miss latencies
+}
+
+type missRecord struct {
+	write    bool
+	state    coherence.State
+	unloaded int64
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Name and Policy identify the run.
+	Name, Policy string
+	// ClockMHz is the simulated clock.
+	ClockMHz int
+	// ExecNs is the execution time: the last processor's finish time.
+	ExecNs int64
+	// Refs, L2Misses and AvgMissNs summarize the memory behaviour.
+	Refs     int64
+	L2Misses int64
+	// AggMissNs is the total measured miss latency (the cost function of
+	// Section 4); AvgMissNs its mean.
+	AggMissNs int64
+	AvgMissNs float64
+	// Protocol are the coherence-engine counters.
+	Protocol coherence.Stats
+	// Table3 is the consecutive-miss matrix (nil unless collected).
+	Table3 *LatencyMatrix
+	// PerNode reports each processor's miss count and mean miss latency,
+	// exposing the load imbalance execution time hides.
+	PerNode []NodeStats
+}
+
+// NodeStats is one processor's memory behaviour.
+type NodeStats struct {
+	Misses    int64
+	Hits      int64
+	AvgMissNs float64
+}
+
+// Run executes the program on the configured machine.
+func Run(prog *workload.Program, cfg Config) Result {
+	cyc := cfg.cycleNs()
+	net := mesh.New(cfg.Net)
+	if prog.Procs > net.Nodes() {
+		panic("numasim: program has more processors than mesh nodes")
+	}
+
+	homes := firstTouchHomes(prog, cfg.BlockBytes)
+	coh := coherence.New(cfg.Protocol, net, func(block uint64) int {
+		if h, ok := homes[block]; ok {
+			return int(h)
+		}
+		return 0
+	})
+
+	nodes := make([]*node, prog.Procs)
+	blockShift := uint(0)
+	for 1<<blockShift < cfg.BlockBytes {
+		blockShift++
+	}
+	// `now` tracks the current global issue time so evictions triggered
+	// inside cache fills carry a timestamp for the protocol.
+	var now int64
+	for i := range nodes {
+		i := i
+		n := &node{
+			id:       i,
+			win:      proc.New(cfg.Core, cyc),
+			pred:     cost.NewLastLatency(replacement.Cost(cfg.PredictorDefault)),
+			lastMiss: make(map[uint64]missRecord),
+		}
+		l1 := cache.New(cache.Config{
+			Name: "L1", SizeBytes: cfg.L1Size, Ways: 1, BlockBytes: cfg.BlockBytes,
+		})
+		l2 := cache.New(cache.Config{
+			Name: "L2", SizeBytes: cfg.L2Size, Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes,
+			Policy: cfg.Policy(), Cost: n.pred,
+		})
+		// NewHierarchy installs the inclusion back-invalidation; chain the
+		// protocol notification (writeback or replacement hint) after it.
+		n.h = cache.NewHierarchy(l1, l2)
+		inclusion := l2.OnEvict
+		l2.OnEvict = func(block uint64, dirty bool) {
+			inclusion(block, dirty)
+			coh.Evict(i, block, dirty, now)
+		}
+		nodes[i] = n
+	}
+	coh.HasBlock = func(nd int, block uint64) bool {
+		return nodes[nd].h.L2.Contains(block << blockShift)
+	}
+	coh.Invalidate = func(nd int, block uint64, at int64) {
+		nodes[nd].h.Invalidate(block << blockShift)
+	}
+	coh.Downgrade = func(nd int, block uint64, at int64) {
+		addr := block << blockShift
+		nodes[nd].h.L2.ClearDirty(addr)
+		nodes[nd].h.L1.ClearDirty(addr)
+	}
+
+	var matrix *LatencyMatrix
+	if cfg.CollectTable3 {
+		matrix = &LatencyMatrix{CycleNs: cyc}
+	}
+
+	l1Lat := cyc            // 1 clock (Table 4)
+	l2Lat := 6 * cyc        // 6 clocks
+	lookup := l1Lat + l2Lat // miss detection path
+
+	var totalRefs int64
+	barrier := int64(0)
+	for _, phase := range prog.Phases {
+		pos := make([]int, prog.Procs)
+		remaining := 0
+		for _, refs := range phase {
+			remaining += len(refs)
+		}
+		for remaining > 0 {
+			// Pick the processor whose next reference issues earliest.
+			p := -1
+			var best int64
+			for i, n := range nodes {
+				if pos[i] >= len(phase[i]) {
+					continue
+				}
+				if t := n.win.IssueReady(); p < 0 || t < best {
+					p, best = i, t
+				}
+			}
+			n := nodes[p]
+			ref := phase[p][pos[p]]
+			pos[p]++
+			remaining--
+			totalRefs++
+
+			t := best
+			now = t
+			addr := ref.Addr
+			block := addr >> blockShift
+			write := ref.Op == trace.Write
+
+			if n.h.L2.Contains(addr) {
+				// Cache hit at L1 or L2.
+				level := n.h.Access(addr, write)
+				n.hits++
+				complete := t + l1Lat
+				if level == cache.L2Hit {
+					complete = t + lookup
+				}
+				if write {
+					n.h.L2.MarkDirty(addr)
+					if !coh.OwnedBy(p, block) {
+						// Upgrade: invalidate other copies; the store is
+						// buffered but the MSHR is held until ownership
+						// arrives.
+						res := coh.Write(p, block, complete)
+						n.win.AddMiss(res.Done)
+					}
+					n.win.Record(t, t+l1Lat)
+				} else {
+					n.win.Record(t, complete)
+				}
+				continue
+			}
+
+			// L2 miss: wait for an MSHR, run the transaction, then fill.
+			n.misses++
+			issue := n.win.WaitMSHR(t) + lookup
+			var res coherence.Result
+			if write {
+				res = coh.Write(p, block, issue)
+			} else {
+				res = coh.Read(p, block, issue)
+			}
+			measured := res.Done - issue
+			n.missNs += measured
+			observed := measured
+			if cfg.UsePenalty {
+				// Anticipated retire stall: the part of the miss latency
+				// not hidden behind older in-flight work. Buffered stores
+				// never stall.
+				observed = 0
+				if !write {
+					horizon := n.win.LastRetire()
+					if t > horizon {
+						horizon = t
+					}
+					if res.Done > horizon {
+						observed = res.Done - horizon
+					}
+				}
+			}
+			n.pred.Observe(block, replacement.Cost(observed))
+			if matrix != nil {
+				rec := missRecord{write: write, state: res.StateBefore, unloaded: res.Unloaded}
+				if last, ok := n.lastMiss[block]; ok {
+					matrix.record(last, rec)
+				}
+				n.lastMiss[block] = rec
+			}
+			// Install the block; the predictor now returns this miss's
+			// measured latency, which the policy stores as the block's cost
+			// ("loaded at the time of miss", Section 2.3).
+			n.h.Access(addr, write)
+			n.win.AddMiss(res.Done)
+			if write {
+				n.win.Record(t, t+l1Lat) // buffered store
+			} else {
+				n.win.Record(t, res.Done)
+			}
+		}
+		// Barrier: everyone drains, then restarts together.
+		release := int64(0)
+		for _, n := range nodes {
+			if d := n.win.DrainTime(); d > release {
+				release = d
+			}
+		}
+		release += cfg.BarrierNs
+		barrier = release
+		for _, n := range nodes {
+			n.win.SyncTo(release)
+		}
+	}
+
+	res := Result{
+		Name: prog.Name, ClockMHz: cfg.ClockMHz, ExecNs: barrier,
+		Refs: totalRefs, Protocol: coh.Stats(), Table3: matrix,
+	}
+	var pol replacement.Policy
+	for _, n := range nodes {
+		res.L2Misses += n.misses
+		res.AggMissNs += n.missNs
+		ns := NodeStats{Misses: n.misses, Hits: n.hits}
+		if n.misses > 0 {
+			ns.AvgMissNs = float64(n.missNs) / float64(n.misses)
+		}
+		res.PerNode = append(res.PerNode, ns)
+		pol = n.h.L2.Policy()
+	}
+	if pol != nil {
+		res.Policy = pol.Name()
+	}
+	if res.L2Misses > 0 {
+		res.AvgMissNs = float64(res.AggMissNs) / float64(res.L2Misses)
+	}
+	return res
+}
+
+// firstTouchHomes assigns each block to the first processor referencing it,
+// scanning phases in order and processors round-robin within a phase (the
+// deterministic equivalent of first-touch allocation).
+func firstTouchHomes(prog *workload.Program, blockBytes int) map[uint64]int16 {
+	homes := make(map[uint64]int16)
+	for _, phase := range prog.Phases {
+		// Within a phase, interleave processors reference-by-reference so
+		// no processor is unfairly favoured as a first toucher.
+		maxLen := 0
+		for _, refs := range phase {
+			if len(refs) > maxLen {
+				maxLen = len(refs)
+			}
+		}
+		for i := 0; i < maxLen; i++ {
+			for p, refs := range phase {
+				if i >= len(refs) {
+					continue
+				}
+				b := refs[i].Addr / uint64(blockBytes)
+				if _, ok := homes[b]; !ok {
+					homes[b] = int16(p)
+				}
+			}
+		}
+	}
+	return homes
+}

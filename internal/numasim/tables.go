@@ -1,0 +1,222 @@
+package numasim
+
+import (
+	"fmt"
+
+	"costcache/internal/coherence"
+	"costcache/internal/mesh"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+// LatencyMatrix accumulates Table 3: for consecutive misses to the same
+// block by the same processor, indexed by the attributes (request type,
+// memory state) of the last and the current miss, it records occurrence,
+// how often the unloaded latency changed, and the average absolute latency
+// difference when it did.
+type LatencyMatrix struct {
+	// CycleNs converts the stored ns differences to processor cycles.
+	CycleNs int64
+	// Count, Mismatch and AbsDiffNs are indexed
+	// [lastType][lastState][curType][curState] with type 0 = read,
+	// 1 = read-exclusive and states Uncached/Shared/Exclusive.
+	Count     [2][3][2][3]int64
+	Mismatch  [2][3][2][3]int64
+	AbsDiffNs [2][3][2][3]int64
+	// Pairs is the number of consecutive-miss pairs recorded.
+	Pairs int64
+}
+
+func typeIdx(write bool) int {
+	if write {
+		return 1
+	}
+	return 0
+}
+
+func (m *LatencyMatrix) record(last, cur missRecord) {
+	lt, ls := typeIdx(last.write), int(last.state)
+	ct, cs := typeIdx(cur.write), int(cur.state)
+	m.Count[lt][ls][ct][cs]++
+	m.Pairs++
+	if cur.unloaded != last.unloaded {
+		m.Mismatch[lt][ls][ct][cs]++
+		d := cur.unloaded - last.unloaded
+		if d < 0 {
+			d = -d
+		}
+		m.AbsDiffNs[lt][ls][ct][cs] += d
+	}
+}
+
+// SameLatencyFraction returns the fraction of consecutive misses whose
+// unloaded latency equals the previous one — the paper reports ~93%,
+// justifying last-latency prediction.
+func (m *LatencyMatrix) SameLatencyFraction() float64 {
+	if m.Pairs == 0 {
+		return 0
+	}
+	var mismatches int64
+	for lt := 0; lt < 2; lt++ {
+		for ls := 0; ls < 3; ls++ {
+			for ct := 0; ct < 2; ct++ {
+				for cs := 0; cs < 3; cs++ {
+					mismatches += m.Mismatch[lt][ls][ct][cs]
+				}
+			}
+		}
+	}
+	return 1 - float64(mismatches)/float64(m.Pairs)
+}
+
+// Table renders the matrix in the layout of Table 3: rows are the last
+// miss's (type, state), column groups the current miss's type, columns the
+// current state, with occurrence %, mismatch % and average latency error in
+// cycles (over mismatched pairs).
+func (m *LatencyMatrix) Table() *tabulate.Table {
+	t := tabulate.New(
+		"Table 3: latency variation between consecutive misses (occ% / mis% / err cyc)",
+		"last", "rd:U", "rd:S", "rd:E", "rx:U", "rx:S", "rx:E")
+	types := []string{"read", "rd-excl"}
+	states := []string{"U", "S", "E"}
+	for lt := 0; lt < 2; lt++ {
+		for ls := 0; ls < 3; ls++ {
+			row := []string{fmt.Sprintf("%s-%s", types[lt], states[ls])}
+			for ct := 0; ct < 2; ct++ {
+				for cs := 0; cs < 3; cs++ {
+					c := m.Count[lt][ls][ct][cs]
+					mm := m.Mismatch[lt][ls][ct][cs]
+					occ := 100 * float64(c) / float64(max64(m.Pairs, 1))
+					mis := 0.0
+					errCyc := 0.0
+					if c > 0 {
+						mis = 100 * float64(mm) / float64(c)
+					}
+					if mm > 0 && m.CycleNs > 0 {
+						errCyc = float64(m.AbsDiffNs[lt][ls][ct][cs]) / float64(mm) / float64(m.CycleNs)
+					}
+					row = append(row, fmt.Sprintf("%.1f/%.0f/%.1f", occ, mis, errCyc))
+				}
+			}
+			t.Add(row...)
+		}
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table5Policies returns the policy factories of Table 5 in column order:
+// GD, BCL, DCL, ACL, then DCL and ACL with 4-bit ETD tag aliasing.
+func Table5Policies() []replacement.Factory {
+	return []replacement.Factory{
+		func() replacement.Policy { return replacement.NewGD() },
+		func() replacement.Policy { return replacement.NewBCL() },
+		func() replacement.Policy { return replacement.NewDCL() },
+		func() replacement.Policy { return replacement.NewACL() },
+		func() replacement.Policy { return replacement.NewDCLWith(replacement.Options{TagBits: 4}) },
+		func() replacement.Policy { return replacement.NewACLWith(replacement.Options{TagBits: 4}) },
+	}
+}
+
+// Table5Row is one benchmark's execution-time reductions at one clock.
+type Table5Row struct {
+	Bench    string
+	ClockMHz int
+	// LRUNs is the LRU baseline execution time.
+	LRUNs int64
+	// ReductionPct maps policy name to 100*(LRU-alg)/LRU.
+	ReductionPct map[string]float64
+	// Order lists policy names in run order.
+	Order []string
+}
+
+// Table5 runs every benchmark under LRU and each policy at the given clock
+// and reports execution-time reductions (Table 5 of the paper).
+func Table5(progs []*workload.Program, clockMHz int, policies []replacement.Factory) []Table5Row {
+	var rows []Table5Row
+	for _, prog := range progs {
+		cfg := DefaultConfig(nil)
+		cfg.ClockMHz = clockMHz
+		base := Run(prog, cfg.withPolicy(func() replacement.Policy { return replacement.NewLRU() }))
+		row := Table5Row{
+			Bench: prog.Name, ClockMHz: clockMHz, LRUNs: base.ExecNs,
+			ReductionPct: map[string]float64{},
+		}
+		for _, f := range policies {
+			r := Run(prog, cfg.withPolicy(f))
+			row.ReductionPct[r.Policy] = 100 * float64(base.ExecNs-r.ExecNs) / float64(base.ExecNs)
+			row.Order = append(row.Order, r.Policy)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3 runs the benchmark programs under LRU on the protocol *without*
+// replacement hints (as in the paper's Table 3) and returns the merged
+// consecutive-miss latency matrix.
+func Table3(progs []*workload.Program, clockMHz int) *LatencyMatrix {
+	merged := &LatencyMatrix{}
+	for _, prog := range progs {
+		cfg := DefaultConfig(func() replacement.Policy { return replacement.NewLRU() })
+		cfg.ClockMHz = clockMHz
+		cfg.Protocol.Hints = false
+		cfg.CollectTable3 = true
+		r := Run(prog, cfg)
+		merged.CycleNs = r.Table3.CycleNs
+		merged.Pairs += r.Table3.Pairs
+		for lt := 0; lt < 2; lt++ {
+			for ls := 0; ls < 3; ls++ {
+				for ct := 0; ct < 2; ct++ {
+					for cs := 0; cs < 3; cs++ {
+						merged.Count[lt][ls][ct][cs] += r.Table3.Count[lt][ls][ct][cs]
+						merged.Mismatch[lt][ls][ct][cs] += r.Table3.Mismatch[lt][ls][ct][cs]
+						merged.AbsDiffNs[lt][ls][ct][cs] += r.Table3.AbsDiffNs[lt][ls][ct][cs]
+					}
+				}
+			}
+		}
+	}
+	return merged
+}
+
+// CalibrationLatencies returns the unloaded latencies of the three Table 4
+// reference transactions, including the requester's L1+L2 lookup: a local
+// clean read, a one-hop remote clean read, and a remote read of a block
+// dirty in a third node (minimum-distance placement).
+func CalibrationLatencies(cfg Config) (localClean, remoteClean, remoteDirty int64) {
+	cyc := cfg.cycleNs()
+	lookup := cyc + 6*cyc
+
+	mk := func(home int) *coherence.Machine {
+		return coherence.New(cfg.Protocol, mesh.New(cfg.Net), func(uint64) int { return home })
+	}
+	m := mk(0)
+	localClean = m.Read(0, 1, 0).Unloaded + lookup
+
+	m = mk(1)
+	remoteClean = m.Read(0, 1, 0).Unloaded + lookup
+
+	m = mk(1)
+	m.Write(5, 1, 0) // node 5 dirties the block homed at node 1
+	remoteDirty = m.Read(0, 1, 10000).Unloaded + lookup
+	return localClean, remoteClean, remoteDirty
+}
+
+// ProgramsFor builds the Program form of the default Table 1 benchmarks.
+func ProgramsFor(gens []workload.Generator) []*workload.Program {
+	var progs []*workload.Program
+	for _, g := range gens {
+		if p, ok := workload.ProgramOf(g); ok {
+			progs = append(progs, p)
+		}
+	}
+	return progs
+}

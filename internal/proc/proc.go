@@ -1,0 +1,152 @@
+// Package proc models the paper's ILP processor (Table 4) at the level the
+// replacement study needs: a 64-entry active list that bounds how far
+// execution runs ahead, an issue rate, a limited number of MSHRs bounding
+// outstanding misses, in-order retirement, and buffered stores. The model is
+// analytic rather than cycle-accurate: each memory reference gets an issue
+// time constrained by the window, the issue rate and MSHR availability, and
+// a completion time from the memory system; overlapping misses therefore
+// hide latency exactly up to the window/MSHR limits, which is what makes
+// miss *cost* differ from miss *count* in ILP processors.
+package proc
+
+// Params describe the processor core.
+type Params struct {
+	// ActiveList is the reorder window size in instructions (64).
+	ActiveList int
+	// MSHRs bounds outstanding misses (8 per cache in Table 4).
+	MSHRs int
+	// ComputePerRef is how many cycles of non-shared work the core retires
+	// per traced shared-memory reference (private data and ALU work are not
+	// in the traces).
+	ComputePerRef int
+	// RefsPerWindowSlot is how many active-list entries one traced
+	// reference plus its surrounding work occupies.
+	RefsPerWindowSlot int
+}
+
+// DefaultParams returns the Table 4 core.
+func DefaultParams() Params {
+	return Params{ActiveList: 64, MSHRs: 8, ComputePerRef: 3, RefsPerWindowSlot: 4}
+}
+
+// Window is one processor's timing state. All times are nanoseconds.
+type Window struct {
+	p       Params
+	cycleNs int64
+
+	ring []int64 // retirement times of the last window's worth of slots
+	head int
+
+	lastRetire  int64
+	issueFree   int64
+	outstanding []int64 // completion times of in-flight misses
+}
+
+// New builds a processor window with the given core parameters and clock
+// period in nanoseconds.
+func New(p Params, cycleNs int64) *Window {
+	if p.ActiveList <= 0 || p.MSHRs <= 0 || cycleNs <= 0 {
+		panic("proc: invalid parameters")
+	}
+	slots := p.ActiveList / max(1, p.RefsPerWindowSlot)
+	if slots < 1 {
+		slots = 1
+	}
+	return &Window{p: p, cycleNs: cycleNs, ring: make([]int64, slots)}
+}
+
+// IssueReady returns the earliest time the next reference can issue: after
+// the issue pipeline's compute work and once an active-list slot is free.
+func (w *Window) IssueReady() int64 {
+	t := w.issueFree
+	if oldest := w.ring[w.head]; oldest > t {
+		t = oldest
+	}
+	return t
+}
+
+// WaitMSHR delays t until an MSHR is free and reserves one completing at
+// the time later supplied to Record. Completed misses are retired from the
+// MSHR file as a side effect.
+func (w *Window) WaitMSHR(t int64) int64 {
+	for {
+		live := w.outstanding[:0]
+		for _, c := range w.outstanding {
+			if c > t {
+				live = append(live, c)
+			}
+		}
+		w.outstanding = live
+		if len(w.outstanding) < w.p.MSHRs {
+			return t
+		}
+		// All MSHRs busy: wait for the earliest completion.
+		earliest := w.outstanding[0]
+		for _, c := range w.outstanding[1:] {
+			if c < earliest {
+				earliest = c
+			}
+		}
+		if earliest > t {
+			t = earliest
+		}
+	}
+}
+
+// AddMiss reserves an MSHR until complete.
+func (w *Window) AddMiss(complete int64) {
+	w.outstanding = append(w.outstanding, complete)
+}
+
+// Record retires a reference issued at issue whose data is complete at
+// complete (for stores, completion is the store-buffer write, one cycle).
+// Retirement is in order; the active-list slot frees at retirement.
+func (w *Window) Record(issue, complete int64) {
+	if complete < w.lastRetire {
+		complete = w.lastRetire
+	}
+	w.lastRetire = complete
+	w.ring[w.head] = complete
+	w.head = (w.head + 1) % len(w.ring)
+	w.issueFree = issue + int64(w.p.ComputePerRef)*w.cycleNs
+}
+
+// LastRetire returns the retirement time of the most recently retired
+// reference; a newly completed miss stalls the processor only beyond this
+// point, which is how the penalty cost metric is measured.
+func (w *Window) LastRetire() int64 { return w.lastRetire }
+
+// DrainTime returns when every issued reference has retired and every
+// outstanding miss completed — the time the processor reaches a barrier.
+func (w *Window) DrainTime() int64 {
+	t := w.lastRetire
+	if w.issueFree > t {
+		t = w.issueFree
+	}
+	for _, c := range w.outstanding {
+		if c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// SyncTo restarts execution at a barrier release time.
+func (w *Window) SyncTo(t int64) {
+	w.issueFree = t
+	w.lastRetire = t
+	for i := range w.ring {
+		w.ring[i] = t
+	}
+	w.outstanding = w.outstanding[:0]
+}
+
+// CycleNs returns the clock period.
+func (w *Window) CycleNs() int64 { return w.cycleNs }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package proc
+
+import "testing"
+
+func TestIssueRate(t *testing.T) {
+	w := New(DefaultParams(), 2) // 500 MHz
+	var last int64
+	for i := 0; i < 10; i++ {
+		issue := w.IssueReady()
+		if issue < last {
+			t.Fatalf("issue times not monotone: %d after %d", issue, last)
+		}
+		last = issue
+		w.Record(issue, issue+2) // L1 hits
+	}
+	// 10 refs at 3 cycles compute each, 2ns cycles: ~60ns of issue time.
+	if got := w.IssueReady(); got != 60 {
+		t.Fatalf("after 10 hits, next issue at %d, want 60", got)
+	}
+}
+
+func TestWindowLimitsRunahead(t *testing.T) {
+	p := DefaultParams() // 64-entry list, 4 per slot -> 16 slots
+	w := New(p, 2)
+	// Issue 16 loads that all miss with 1000ns latency; the 17th must wait
+	// for the first retirement.
+	for i := 0; i < 16; i++ {
+		issue := w.IssueReady()
+		if issue > 100 {
+			t.Fatalf("ref %d issued at %d: window stalled too early", i, issue)
+		}
+		w.Record(issue, issue+1000)
+	}
+	if got := w.IssueReady(); got < 1000 {
+		t.Fatalf("17th ref issued at %d, want >= 1000 (window full)", got)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	p := DefaultParams()
+	p.ActiveList = 1024 // window not the constraint here
+	w := New(p, 2)
+	// 8 outstanding misses allowed; the 9th must wait for the earliest.
+	for i := 0; i < 8; i++ {
+		tt := w.WaitMSHR(int64(i))
+		if tt != int64(i) {
+			t.Fatalf("miss %d delayed to %d", i, tt)
+		}
+		w.AddMiss(500 + int64(i))
+	}
+	if got := w.WaitMSHR(10); got != 500 {
+		t.Fatalf("9th miss at %d, want 500", got)
+	}
+	w.AddMiss(600)
+	// After time 600 everything completed.
+	if got := w.WaitMSHR(10000); got != 10000 {
+		t.Fatalf("idle MSHR wait = %d", got)
+	}
+}
+
+func TestInOrderRetire(t *testing.T) {
+	w := New(DefaultParams(), 1)
+	w.Record(0, 1000) // long miss
+	w.Record(3, 10)   // fast hit issued later must retire after the miss
+	if w.lastRetire != 1000 {
+		t.Fatalf("lastRetire = %d, want 1000 (in-order)", w.lastRetire)
+	}
+}
+
+func TestDrainAndSync(t *testing.T) {
+	w := New(DefaultParams(), 2)
+	w.Record(0, 700)
+	w.AddMiss(900)
+	if got := w.DrainTime(); got != 900 {
+		t.Fatalf("DrainTime = %d, want 900 (outstanding miss)", got)
+	}
+	w.SyncTo(2000)
+	if got := w.IssueReady(); got != 2000 {
+		t.Fatalf("after SyncTo, IssueReady = %d", got)
+	}
+	if got := w.DrainTime(); got != 2000 {
+		t.Fatalf("after SyncTo, DrainTime = %d", got)
+	}
+}
+
+func TestOverlapHidesLatency(t *testing.T) {
+	// With a window of 16 slots and 8 MSHRs, 8 independent misses of 400ns
+	// each overlap: total time well under 8*400.
+	w := New(DefaultParams(), 2)
+	var issue int64
+	for i := 0; i < 8; i++ {
+		issue = w.IssueReady()
+		issue = w.WaitMSHR(issue)
+		w.AddMiss(issue + 400)
+		w.Record(issue, issue+400)
+	}
+	if got := w.DrainTime(); got > 500 {
+		t.Fatalf("8 overlapped misses took %d ns, want < 500", got)
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Params{}, 2)
+}

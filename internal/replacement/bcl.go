@@ -1,0 +1,130 @@
+package replacement
+
+// BCL is the Basic Cost-sensitive LRU algorithm (Section 2.3, Figure 1).
+//
+// The blockframe in the LRU position carries one extra depreciating cost
+// field, Acost, loaded with the block's miss cost whenever a new block enters
+// the LRU position. To pick a victim, BCL scans the LRU stack from the
+// second-LRU position toward the MRU and victimizes the first block whose
+// cost is below Acost, thereby reserving the LRU blockframe; Acost is
+// depreciated by twice the victim's cost on every such reservation ("using
+// twice the cost ... accelerates the depreciation of the high cost", a hedge
+// against the bet that the reserved block will be referenced again). When no
+// block undercuts Acost, the LRU block itself is evicted.
+type BCL struct {
+	stackBase
+	acost []Cost // per set: depreciated cost of the block in the LRU position
+	lruW  []int  // per set: way of the tracked LRU occupant (-1 none)
+	lruT  []uint64
+
+	factor Cost // depreciation multiplier (the paper uses 2)
+
+	invoked   int64
+	succeeded int64
+	reserved  []bool // per set: has the current LRU occupant been reserved?
+}
+
+// NewBCL returns a fresh BCL policy with the paper's 2x depreciation.
+func NewBCL() *BCL { return &BCL{factor: 2} }
+
+// NewBCLWithFactor returns BCL with a custom depreciation multiplier, for
+// the ablation the paper motivates ("using twice the cost instead of once
+// the cost is safer"). factor must be positive.
+func NewBCLWithFactor(factor int) *BCL {
+	if factor <= 0 {
+		panic("replacement: BCL depreciation factor must be positive")
+	}
+	return &BCL{factor: Cost(factor)}
+}
+
+// Name implements Policy.
+func (*BCL) Name() string { return "BCL" }
+
+// Reset implements Policy.
+func (p *BCL) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.acost = make([]Cost, sets)
+	p.lruW = make([]int, sets)
+	p.lruT = make([]uint64, sets)
+	p.reserved = make([]bool, sets)
+	for i := range p.lruW {
+		p.lruW[i] = -1
+	}
+	p.invoked, p.succeeded = 0, 0
+}
+
+// refreshLRU reloads Acost if the occupant of the LRU position changed
+// ("upon_entering_LRU_position: Acost <- c[s]", Figure 1).
+func (p *BCL) refreshLRU(set int) {
+	m := p.set(set)
+	w, tag, ok := m.lruIdent()
+	if !ok {
+		p.lruW[set] = -1
+		p.reserved[set] = false
+		return
+	}
+	if w != p.lruW[set] || tag != p.lruT[set] {
+		p.lruW[set], p.lruT[set] = w, tag
+		p.acost[set] = m.cost[w]
+		p.reserved[set] = false
+	}
+}
+
+// Access implements Policy.
+func (p *BCL) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy.
+func (p *BCL) Touch(set, way int) {
+	m := p.set(set)
+	if p.reserved[set] && way == p.lruW[set] {
+		p.succeeded++ // the reserved block was re-referenced
+	}
+	m.touch(way)
+	p.refreshLRU(set)
+}
+
+// Victim implements Policy, following Figure 1 of the paper: scan stack
+// positions s-1 .. 1 (second-LRU toward MRU; 0-indexed: live-2 .. 0) for the
+// first block with cost below Acost; reserve the LRU blockframe by
+// victimizing it and depreciate Acost by twice its cost. Otherwise evict the
+// LRU block.
+func (p *BCL) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	for pos := m.live - 2; pos >= 0; pos-- {
+		w := m.stack[pos]
+		if m.cost[w] < p.acost[set] {
+			p.acost[set] -= p.factor * m.cost[w]
+			if !p.reserved[set] {
+				p.reserved[set] = true
+				p.invoked++
+			}
+			return w
+		}
+	}
+	return m.lruWay()
+}
+
+// Fill implements Policy.
+func (p *BCL) Fill(set, way int, tag uint64, cost Cost) {
+	p.set(set).fill(way, tag, cost)
+	p.refreshLRU(set)
+}
+
+// Invalidate implements Policy.
+func (p *BCL) Invalidate(set, way int, tag uint64) {
+	if way < 0 {
+		return
+	}
+	p.set(set).invalidate(way)
+	p.refreshLRU(set)
+}
+
+// Reservations implements ReservationStats.
+func (p *BCL) Reservations() (invoked, succeeded int64) { return p.invoked, p.succeeded }
+
+// Acost exposes the current depreciated cost of the reserved LRU block of a
+// set, for tests and visualization.
+func (p *BCL) Acost(set int) Cost { return p.acost[set] }

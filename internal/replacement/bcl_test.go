@@ -1,0 +1,145 @@
+package replacement
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The canonical BCL scenario, worked by hand from Figure 1 of the paper:
+// a 4-way set holding three low-cost blocks and one high-cost block in the
+// LRU position. BCL reserves the high-cost LRU block, sacrificing low-cost
+// blocks while depreciating Acost by twice each victim's cost, and gives the
+// reservation up once Acost is exhausted.
+func TestBCLReservationAndDepreciation(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8}) // block D=3 costs 8, others 1
+	p := NewBCL()
+	c := newTestCache(t, 1, 4, p, costs)
+
+	// Fill so that D ends up LRU: access D,C,B,A -> stack A,B,C,D.
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	if got := p.Acost(0); got != 8 {
+		t.Fatalf("Acost after fills = %d, want 8", got)
+	}
+
+	// Five more cold misses. The first four sacrifice the block closest to
+	// the LRU position with cost < Acost (C, B, A, then E), each knocking
+	// Acost down by 2; the fifth finds Acost exhausted and evicts D itself.
+	wantAcost := []Cost{6, 4, 2, 0}
+	for i, b := range []uint64{4, 5, 6, 7} {
+		c.access(b)
+		if got := p.Acost(0); got != wantAcost[i] {
+			t.Fatalf("after miss %d: Acost = %d, want %d", i, got, wantAcost[i])
+		}
+	}
+	c.access(8)
+	want := []uint64{2, 1, 0, 4, 3} // C, B, A, E, then the reserved D
+	if !reflect.DeepEqual(c.evictions, want) {
+		t.Fatalf("evictions = %v, want %v", c.evictions, want)
+	}
+	// A new block (F=5) entered the LRU position: Acost reloaded to its cost.
+	if got := p.Acost(0); got != 1 {
+		t.Fatalf("Acost after D evicted = %d, want 1", got)
+	}
+	inv, succ := p.Reservations()
+	if inv != 1 || succ != 0 {
+		t.Fatalf("reservations = (%d,%d), want (1,0)", inv, succ)
+	}
+}
+
+func TestBCLReservationSuccess(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewBCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // reserves D, sacrifices C
+	if !c.access(3) {
+		t.Fatal("reserved block D must still be cached")
+	}
+	if _, succ := p.Reservations(); succ != 1 {
+		t.Fatalf("succeeded = %d, want 1", succ)
+	}
+	// D was promoted to MRU; the new LRU occupant is B(1), Acost reloaded.
+	if got := p.Acost(0); got != 1 {
+		t.Fatalf("Acost = %d, want 1", got)
+	}
+}
+
+func TestBCLNoReservationWhenLRUIsCheap(t *testing.T) {
+	costs := costTable(map[uint64]Cost{0: 8}) // high-cost block is MRU, not LRU
+	c := newTestCache(t, 1, 4, NewBCL(), costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	// LRU is D=3 with cost 1; no cached block has cost < 1, so plain LRU.
+	c.access(4)
+	c.access(5)
+	if !reflect.DeepEqual(c.evictions, []uint64{3, 2}) {
+		t.Fatalf("evictions = %v, want [3 2]", c.evictions)
+	}
+}
+
+func TestBCLEqualCostsDegenerateToLRU(t *testing.T) {
+	// With c[i] == Acost the strict < never fires: exact LRU.
+	c := newTestCache(t, 1, 4, NewBCL(), unitCost)
+	for b := uint64(0); b < 12; b++ {
+		c.access(b)
+	}
+	want := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	if !reflect.DeepEqual(c.evictions, want) {
+		t.Fatalf("evictions = %v, want %v", c.evictions, want)
+	}
+}
+
+func TestBCLInvalidationOfReservedBlock(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewBCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4)     // reserve D, sacrificing C
+	c.invalidate(3) // coherence kills the reserved block
+	c.access(5)     // fills the freed way: no further eviction
+	if !reflect.DeepEqual(c.evictions, []uint64{2}) {
+		t.Fatalf("evictions = %v, want [2]", c.evictions)
+	}
+	// New LRU occupant is B(1): Acost reloaded to 1.
+	if got := p.Acost(0); got != 1 {
+		t.Fatalf("Acost = %d, want 1", got)
+	}
+}
+
+func TestBCLInfiniteRatio(t *testing.T) {
+	// Infinite cost ratio: low cost 0, high cost 1. Depreciation subtracts
+	// zero, so a high-cost LRU block is reserved as long as any zero-cost
+	// block remains.
+	costs := func(b uint64) Cost {
+		if b == 3 {
+			return 1
+		}
+		return 0
+	}
+	p := NewBCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	for b := uint64(4); b < 20; b++ {
+		c.access(b)
+	}
+	if got := p.Acost(0); got != 1 {
+		t.Fatalf("Acost = %d, want 1 (zero-cost victims must not depreciate)", got)
+	}
+	if !c.access(3) {
+		t.Fatal("high-cost block must survive an unbounded run of zero-cost misses")
+	}
+	for _, e := range c.evictions {
+		if e == 3 {
+			t.Fatal("block 3 must never be evicted")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package replacement
+
+// This file implements CSOPT: the offline OPTIMAL aggregate miss cost for a
+// single cache set under two (or any) static per-block costs — the oracle
+// of the paper's companion work (Jeong & Dubois, "Optimal Replacements in
+// Caches with Two Miss Costs", SPAA 1999). That work proved that with
+// non-uniform costs the victim cannot always be chosen greedily at
+// replacement time even with full knowledge of the future; the optimal
+// schedule may *reserve* a block and sacrifice others. This oracle searches
+// all eviction schedules by dynamic programming, so it captures
+// reservations by construction. It is exponential in principle and meant
+// for calibration on small traces (tests bound blocks to 64 so cache
+// contents fit a bitmask).
+
+// OptimalAggregateCost returns the minimum achievable aggregate miss cost
+// for the single-set event stream on a fully associative set of the given
+// ways, where costOf gives each block's static miss cost. When allowBypass
+// is true the optimum may additionally choose not to cache a fetched block
+// at all (evict-on-fill), which can only lower the cost.
+//
+// At most 64 distinct blocks may appear in events.
+func OptimalAggregateCost(events []OptEvent, ways int, costOf func(block uint64) Cost, allowBypass bool) int64 {
+	if ways <= 0 {
+		panic("replacement: ways must be positive")
+	}
+	// Dictionary: block address -> bit id.
+	ids := make(map[uint64]uint, len(events))
+	costs := make([]int64, 0, 64)
+	for _, e := range events {
+		if _, ok := ids[e.Block]; !ok {
+			if len(ids) == 64 {
+				panic("replacement: OptimalAggregateCost supports at most 64 distinct blocks")
+			}
+			ids[e.Block] = uint(len(ids))
+			costs = append(costs, int64(costOf(e.Block)))
+		}
+	}
+
+	type key struct {
+		i    int
+		mask uint64
+	}
+	memo := make(map[key]int64)
+
+	var solve func(i int, mask uint64) int64
+	solve = func(i int, mask uint64) int64 {
+		for i < len(events) {
+			e := events[i]
+			id := ids[e.Block]
+			bit := uint64(1) << id
+			if e.Invalidate {
+				mask &^= bit
+				i++
+				continue
+			}
+			if mask&bit != 0 {
+				i++ // hit
+				continue
+			}
+			break
+		}
+		if i >= len(events) {
+			return 0
+		}
+		k := key{i, mask}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		e := events[i]
+		id := ids[e.Block]
+		bit := uint64(1) << id
+		miss := costs[id]
+
+		best := int64(-1)
+		consider := func(next uint64) {
+			c := solve(i+1, next)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if popcount(mask) < ways {
+			consider(mask | bit)
+		} else {
+			for m := mask; m != 0; {
+				v := m & (-m)
+				m &^= v
+				consider(mask&^v | bit)
+			}
+		}
+		if allowBypass {
+			consider(mask) // fetch but do not cache
+		}
+		total := miss + best
+		memo[k] = total
+		return total
+	}
+	return solve(0, 0)
+}
+
+// AggregateCostOf replays the event stream through a policy on a
+// single-set cache and returns its aggregate cost — the online counterpart
+// of OptimalAggregateCost, used to measure how close the heuristics get.
+func AggregateCostOf(p Policy, events []OptEvent, ways int, costOf func(block uint64) Cost) int64 {
+	p.Reset(1, ways)
+	tags := make([]uint64, ways)
+	valid := make([]bool, ways)
+	lookup := func(tag uint64) int {
+		for w := 0; w < ways; w++ {
+			if valid[w] && tags[w] == tag {
+				return w
+			}
+		}
+		return -1
+	}
+	var agg int64
+	for _, e := range events {
+		way := lookup(e.Block)
+		if e.Invalidate {
+			p.Invalidate(0, way, e.Block)
+			if way >= 0 {
+				valid[way] = false
+			}
+			continue
+		}
+		p.Access(0, e.Block, way >= 0)
+		if way >= 0 {
+			p.Touch(0, way)
+			continue
+		}
+		agg += int64(costOf(e.Block))
+		w := -1
+		for i := 0; i < ways; i++ {
+			if !valid[i] {
+				w = i
+				break
+			}
+		}
+		if w < 0 {
+			w = p.Victim(0)
+		}
+		tags[w], valid[w] = e.Block, true
+		p.Fill(0, w, e.Block, costOf(e.Block))
+	}
+	return agg
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,138 @@
+package replacement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoCosts(high map[uint64]bool, r Cost) func(uint64) Cost {
+	return func(b uint64) Cost {
+		if high[b] {
+			return r
+		}
+		return 1
+	}
+}
+
+// A hand-worked case where reservation beats every greedy schedule: two
+// ways, a high-cost block H referenced at distance beyond LRU reach while
+// cheap blocks stream. The optimum keeps H and pays the cheap misses.
+func TestCSOPTReservationBeatsLRU(t *testing.T) {
+	H := uint64(100)
+	ev := refs(H, 1, 2, 3, H) // 2 ways
+	costOf := twoCosts(map[uint64]bool{H: true}, 10)
+	opt := OptimalAggregateCost(ev, 2, costOf, false)
+	// Optimal: miss H(10), miss 1(1), miss 2(1) evicting 1, miss 3(1)
+	// evicting 2, hit H: total 13.
+	if opt != 13 {
+		t.Fatalf("CSOPT = %d, want 13", opt)
+	}
+	lru := AggregateCostOf(NewLRU(), ev, 2, costOf)
+	// LRU evicts H when 2 arrives; the final H access re-misses: 10+1+1+1+10.
+	if lru != 23 {
+		t.Fatalf("LRU = %d, want 23", lru)
+	}
+	// BCL and DCL reserve H and match the optimum here.
+	if got := AggregateCostOf(NewBCL(), ev, 2, costOf); got != opt {
+		t.Fatalf("BCL = %d, want %d", got, opt)
+	}
+	if got := AggregateCostOf(NewDCL(), ev, 2, costOf); got != opt {
+		t.Fatalf("DCL = %d, want %d", got, opt)
+	}
+}
+
+func TestCSOPTUniformCostsEqualsBelady(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		ev := make([]OptEvent, 300)
+		for i := range ev {
+			ev[i] = OptEvent{Block: uint64(rng.Intn(10)), Invalidate: rng.Intn(25) == 0}
+		}
+		ways := 2 + trial%3
+		opt := OptimalAggregateCost(ev, ways, func(uint64) Cost { return 1 }, false)
+		belady := OptimalMisses(ev, ways)
+		if opt != belady {
+			t.Fatalf("uniform CSOPT %d != Belady %d (ways %d)", opt, belady, ways)
+		}
+	}
+}
+
+// CSOPT lower-bounds every online policy on arbitrary two-cost traces.
+func TestCSOPTLowerBoundsOnlinePoliciesQuick(t *testing.T) {
+	factories := []Factory{
+		func() Policy { return NewLRU() },
+		func() Policy { return NewGD() },
+		func() Policy { return NewBCL() },
+		func() Policy { return NewDCL() },
+		func() Policy { return NewACL() },
+	}
+	f := func(seed int64, waysRaw, blocksRaw uint8, r8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := int(waysRaw%3) + 2 // 2..4
+		blocks := int(blocksRaw%8) + ways + 2
+		r := Cost(r8%31) + 2
+		high := map[uint64]bool{}
+		for b := 0; b < blocks; b++ {
+			if rng.Intn(3) == 0 {
+				high[uint64(b)] = true
+			}
+		}
+		costOf := twoCosts(high, r)
+		ev := make([]OptEvent, 150)
+		for i := range ev {
+			ev[i] = OptEvent{Block: uint64(rng.Intn(blocks)), Invalidate: rng.Intn(30) == 0}
+		}
+		opt := OptimalAggregateCost(ev, ways, costOf, false)
+		for _, fac := range factories {
+			if AggregateCostOf(fac(), ev, ways, costOf) < opt {
+				return false
+			}
+		}
+		// Bypass can only improve the optimum.
+		return OptimalAggregateCost(ev, ways, costOf, true) <= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSOPTBypassHelps(t *testing.T) {
+	// One way; a high-cost resident H is interleaved with a one-shot cheap
+	// block. Without bypass the cheap fetch must evict H; with bypass it
+	// streams past.
+	H, C := uint64(1), uint64(2)
+	ev := refs(H, C, H, C, H)
+	costOf := twoCosts(map[uint64]bool{H: true}, 10)
+	noBypass := OptimalAggregateCost(ev, 1, costOf, false)
+	bypass := OptimalAggregateCost(ev, 1, costOf, true)
+	if !(bypass < noBypass) {
+		t.Fatalf("bypass %d should beat no-bypass %d", bypass, noBypass)
+	}
+	// With bypass: pay H once and each C: 10+1+1 = 12.
+	if bypass != 12 {
+		t.Fatalf("bypass = %d, want 12", bypass)
+	}
+}
+
+func TestCSOPTInvalidation(t *testing.T) {
+	H := uint64(1)
+	ev := []OptEvent{
+		{Block: H},
+		{Block: H, Invalidate: true},
+		{Block: H},
+	}
+	costOf := twoCosts(map[uint64]bool{H: true}, 10)
+	if got := OptimalAggregateCost(ev, 2, costOf, false); got != 20 {
+		t.Fatalf("cost = %d, want 20 (invalidation forces a re-miss)", got)
+	}
+}
+
+func TestCSOPTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OptimalAggregateCost(nil, 0, func(uint64) Cost { return 1 }, false)
+}

@@ -1,0 +1,292 @@
+package replacement
+
+import "fmt"
+
+// DCL is the Dynamic Cost-sensitive LRU algorithm (Section 2.4), and — with
+// the adaptive flag — the Adaptive Cost-sensitive LRU algorithm ACL
+// (Section 2.5), which the paper derives from DCL.
+//
+// DCL improves on BCL by depreciating the reserved LRU block's cost only when
+// a block victimized in its place is actually re-referenced before the
+// reserved block: replaced non-LRU blocks are recorded in a per-set Extended
+// Tag Directory (ETD) of s-1 entries; an access that misses in the cache but
+// hits in the ETD depreciates Acost (by twice the recorded cost, as in BCL)
+// and consumes the entry. A hit on the cache's LRU block invalidates all ETD
+// entries, and so does an external invalidation of a recorded block.
+//
+// ACL adds a per-set two-bit saturating counter that enables reservations
+// only while it is positive. The counter increments when a reservation
+// succeeds (the reserved block is re-referenced) and decrements when one
+// fails (the reserved block is finally evicted). While reservations are
+// disabled the ETD is used as a probe: an evicted LRU block enters the ETD
+// whenever some other cached block has a lower cost, and a subsequent ETD hit
+// — evidence that a reservation would have paid off — re-enables reservations
+// by setting the counter to two and clearing the ETD.
+type DCL struct {
+	stackBase
+	acost    []Cost
+	lruW     []int
+	lruT     []uint64
+	reserved []bool
+	etds     []etd
+
+	adaptive bool
+	counter  []uint8 // ACL: saturating counter per set
+
+	opt        Options
+	factor     Cost  // depreciation multiplier
+	counterMax uint8 // saturation value of the ACL counter
+	tagBits    int   // 0 = full tags; otherwise ETD stores tagBits low bits
+
+	invoked, succeeded, failed int64
+	etdProbes, etdHits         int64
+	falseMatches               int64
+	enables                    int64 // ACL: disabled->enabled transitions
+}
+
+// Options configures DCL/ACL variants. The zero value is the paper's
+// configuration.
+type Options struct {
+	// TagBits, when positive, enables ETD tag aliasing: only the low TagBits
+	// bits of each tag are stored and compared (Section 4.3 uses 4).
+	TagBits int
+	// Factor is the cost depreciation multiplier applied on ETD hits; 0
+	// means the paper's 2.
+	Factor int
+	// ETDEntries overrides the ETD size; 0 means the paper's s-1 (larger
+	// values are provably useless under pure LRU, Section 2.4 — the knob
+	// exists for the ablation that demonstrates it).
+	ETDEntries int
+	// CounterBits is the width of ACL's per-set enable counter; 0 means the
+	// paper's 2 bits (saturating at 3, re-enabled at 2).
+	CounterBits int
+}
+
+// NewDCL returns the dynamic cost-sensitive LRU policy with full ETD tags.
+func NewDCL() *DCL { return NewDCLWith(Options{}) }
+
+// NewDCLWith returns DCL with the given options.
+func NewDCLWith(o Options) *DCL { return newDCL(o, false) }
+
+// NewACL returns the adaptive cost-sensitive LRU policy with full ETD tags.
+func NewACL() *DCL { return NewACLWith(Options{}) }
+
+// NewACLWith returns ACL with the given options.
+func NewACLWith(o Options) *DCL { return newDCL(o, true) }
+
+func newDCL(o Options, adaptive bool) *DCL {
+	p := &DCL{adaptive: adaptive, opt: o, tagBits: o.TagBits, factor: 2, counterMax: 3}
+	if o.Factor > 0 {
+		p.factor = Cost(o.Factor)
+	}
+	if o.CounterBits > 0 {
+		p.counterMax = uint8(1<<o.CounterBits - 1)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *DCL) Name() string {
+	base := "DCL"
+	if p.adaptive {
+		base = "ACL"
+	}
+	if p.tagBits > 0 {
+		return fmt.Sprintf("%s-a%d", base, p.tagBits)
+	}
+	return base
+}
+
+// Reset implements Policy.
+func (p *DCL) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.acost = make([]Cost, sets)
+	p.lruW = make([]int, sets)
+	p.lruT = make([]uint64, sets)
+	p.reserved = make([]bool, sets)
+	p.counter = make([]uint8, sets)
+	p.etds = make([]etd, sets)
+	mask := ^uint64(0)
+	if p.tagBits > 0 && p.tagBits < 64 {
+		mask = (uint64(1) << p.tagBits) - 1
+	}
+	entries := ways - 1
+	if p.opt.ETDEntries > 0 {
+		entries = p.opt.ETDEntries
+	}
+	if entries < 1 {
+		entries = 1
+	}
+	for i := range p.etds {
+		p.etds[i] = newETD(entries, mask)
+		p.lruW[i] = -1
+	}
+	p.invoked, p.succeeded, p.failed = 0, 0, 0
+	p.etdProbes, p.etdHits, p.falseMatches, p.enables = 0, 0, 0, 0
+}
+
+func (p *DCL) enabled(set int) bool { return !p.adaptive || p.counter[set] > 0 }
+
+func (p *DCL) refreshLRU(set int) {
+	m := p.set(set)
+	w, tag, ok := m.lruIdent()
+	if !ok {
+		p.lruW[set] = -1
+		p.reserved[set] = false
+		return
+	}
+	if w != p.lruW[set] || tag != p.lruT[set] {
+		p.lruW[set], p.lruT[set] = w, tag
+		p.acost[set] = m.cost[w]
+		p.reserved[set] = false
+	}
+}
+
+// Access implements Policy: on a cache miss, probe the ETD. An ETD hit either
+// depreciates the reserved block's cost (reservations enabled) or re-enables
+// reservations (ACL disabled mode).
+func (p *DCL) Access(set int, tag uint64, hit bool) {
+	if hit {
+		return
+	}
+	p.etdProbes++
+	idx, cost, falseMatch, ok := p.etds[set].probe(tag)
+	if !ok {
+		return
+	}
+	p.etdHits++
+	if falseMatch {
+		p.falseMatches++
+	}
+	if p.adaptive && p.counter[set] == 0 {
+		// Probe hit while disabled: a reservation would have saved cost.
+		p.counter[set] = min8(2, p.counterMax)
+		p.enables++
+		p.etds[set].clear()
+		return
+	}
+	p.acost[set] -= p.factor * cost
+	p.etds[set].consume(idx)
+}
+
+// Touch implements Policy. A hit on the block in the LRU position terminates
+// the bookkeeping for the current reservation round: it is a reservation
+// success and all ETD entries are invalidated.
+func (p *DCL) Touch(set, way int) {
+	m := p.set(set)
+	if way == p.lruW[set] && m.valid[way] {
+		if p.reserved[set] {
+			p.succeeded++
+			if p.adaptive {
+				p.bumpCounter(set, +1)
+			}
+		}
+		p.etds[set].clear()
+	}
+	m.touch(way)
+	p.refreshLRU(set)
+}
+
+// Victim implements Policy.
+func (p *DCL) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	lru := m.lruWay()
+	if p.enabled(set) {
+		for pos := m.live - 2; pos >= 0; pos-- {
+			w := m.stack[pos]
+			if m.cost[w] < p.acost[set] {
+				// Reserve the LRU blockframe; remember the sacrificed block
+				// so its re-reference can be detected.
+				p.etds[set].insert(m.tag[w], m.cost[w])
+				if !p.reserved[set] {
+					p.reserved[set] = true
+					p.invoked++
+				}
+				return w
+			}
+		}
+		if p.reserved[set] {
+			// The reserved block is evicted without having been referenced.
+			p.failed++
+			if p.adaptive {
+				p.bumpCounter(set, -1)
+			}
+			p.reserved[set] = false
+		}
+		return lru
+	}
+	// ACL, reservations disabled: evict LRU, but record it in the ETD when
+	// some other cached block has a lower cost — had reservations been on,
+	// this replacement would have invoked one.
+	lruCost := m.cost[lru]
+	for pos := 0; pos < m.live-1; pos++ {
+		if m.cost[m.stack[pos]] < lruCost {
+			p.etds[set].insert(m.tag[lru], lruCost)
+			break
+		}
+	}
+	return lru
+}
+
+func (p *DCL) bumpCounter(set, delta int) {
+	c := int(p.counter[set]) + delta
+	if c < 0 {
+		c = 0
+	}
+	if c > int(p.counterMax) {
+		c = int(p.counterMax)
+	}
+	p.counter[set] = uint8(c)
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fill implements Policy.
+func (p *DCL) Fill(set, way int, tag uint64, cost Cost) {
+	p.set(set).fill(way, tag, cost)
+	p.refreshLRU(set)
+}
+
+// Invalidate implements Policy. The ETD is purged of the tag even when the
+// block is not cached.
+func (p *DCL) Invalidate(set, way int, tag uint64) {
+	p.etds[set].invalidateTag(tag)
+	if way < 0 {
+		return
+	}
+	m := p.set(set)
+	if way == p.lruW[set] && p.reserved[set] {
+		// The reserved block disappeared through no fault of the policy's:
+		// clear the reservation without counting success or failure.
+		p.reserved[set] = false
+	}
+	m.invalidate(way)
+	p.refreshLRU(set)
+}
+
+// Reservations implements ReservationStats.
+func (p *DCL) Reservations() (invoked, succeeded int64) { return p.invoked, p.succeeded }
+
+// ETDStats reports ETD probe traffic: total probes on cache misses, hits,
+// and how many hits were false matches caused by tag aliasing.
+func (p *DCL) ETDStats() (probes, hits, falseMatches int64) {
+	return p.etdProbes, p.etdHits, p.falseMatches
+}
+
+// Enables reports how many times ACL re-enabled reservations from the
+// disabled state (always 0 for plain DCL).
+func (p *DCL) Enables() int64 { return p.enables }
+
+// Acost exposes a set's depreciated reserved-block cost for tests.
+func (p *DCL) Acost(set int) Cost { return p.acost[set] }
+
+// Counter exposes a set's ACL enable counter for tests.
+func (p *DCL) Counter(set int) uint8 { return p.counter[set] }

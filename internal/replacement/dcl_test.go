@@ -1,0 +1,331 @@
+package replacement
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The DCL counterpart of the BCL scenario: sacrificed blocks are remembered
+// in the ETD and Acost is depreciated only when one of them is re-referenced.
+func TestDCLDepreciatesOnlyOnETDHit(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewDCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b) // stack A,B,C,D; LRU = D(8), Acost 8
+	}
+	c.access(4) // sacrifices C -> ETD{C}
+	c.access(5) // sacrifices B -> ETD{C,B}
+	if got := p.Acost(0); got != 8 {
+		t.Fatalf("Acost = %d, want 8 (no ETD hit yet)", got)
+	}
+	if got := p.etds[0].liveEntries(); got != 2 {
+		t.Fatalf("ETD entries = %d, want 2", got)
+	}
+	// Re-reference C: cache miss, ETD hit -> Acost -= 2*1, entry consumed.
+	c.access(2)
+	if got := p.Acost(0); got != 6 {
+		t.Fatalf("Acost after ETD hit = %d, want 6", got)
+	}
+	_, hits, _ := p.ETDStats()
+	if hits != 1 {
+		t.Fatalf("ETD hits = %d, want 1", hits)
+	}
+	// The refill of C sacrificed A (next block under Acost): D survives all.
+	if !reflect.DeepEqual(c.evictions, []uint64{2, 1, 0}) {
+		t.Fatalf("evictions = %v, want [2 1 0]", c.evictions)
+	}
+	if !c.access(3) {
+		t.Fatal("reserved block D must still be cached")
+	}
+}
+
+func TestDCLHitOnLRUBlockClearsETD(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewDCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // ETD{C}
+	c.access(5) // ETD{C,B}
+	if !c.access(3) {
+		t.Fatal("expected hit on reserved LRU block")
+	}
+	if got := p.etds[0].liveEntries(); got != 0 {
+		t.Fatalf("ETD entries after LRU hit = %d, want 0", got)
+	}
+	if _, succ := p.Reservations(); succ != 1 {
+		t.Fatalf("succeeded = %d, want 1", succ)
+	}
+}
+
+func TestDCLETDCapacityIsWaysMinusOne(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 100})
+	p := NewDCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	// Six sacrifices in a row; the ETD holds at most 3 entries.
+	for b := uint64(4); b < 10; b++ {
+		c.access(b)
+	}
+	if got := p.etds[0].liveEntries(); got != 3 {
+		t.Fatalf("ETD entries = %d, want 3", got)
+	}
+}
+
+func TestDCLExternalInvalidationPurgesETD(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewDCL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // ETD{C}
+	c.invalidate(2)
+	if got := p.etds[0].liveEntries(); got != 0 {
+		t.Fatalf("ETD entries after invalidation = %d, want 0", got)
+	}
+	// Re-reference C: plain miss now, no depreciation.
+	c.access(2)
+	if got := p.Acost(0); got != 8 {
+		t.Fatalf("Acost = %d, want 8", got)
+	}
+}
+
+func TestDCLNeverSacrificesHighCostForLowAtInfiniteRatio(t *testing.T) {
+	// Costs in {0,1}: DCL must never evict a cost-1 block while the set
+	// holds a cost-0 block.
+	cost := func(b uint64) Cost { return Cost((b * 2654435761) % 3 / 2) } // ~1/3 high
+	p := NewDCL()
+	c := newTestCache(t, 4, 4, p, cost)
+	c.onEvict = func(set int, victim uint64) {
+		if cost(victim) == 0 {
+			return
+		}
+		// Victim is high-cost: assert no low-cost block remains in the set.
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[set][w] {
+				continue
+			}
+			b := c.tags[set][w]*uint64(c.sets) + uint64(set)
+			if b != victim && cost(b) == 0 {
+				t.Fatalf("evicted high-cost %d while low-cost %d cached in set %d", victim, b, set)
+			}
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		c.access(uint64(i*7919+i*i*13) % 256)
+	}
+	if c.misses == 0 || len(c.evictions) == 0 {
+		t.Fatal("scenario produced no evictions")
+	}
+}
+
+func TestACLStartsDisabledAndEnablesOnProbeHit(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewACL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	// Disabled: plain LRU evicts the high-cost D, but D enters the ETD
+	// because cheaper blocks were cached.
+	c.access(4)
+	if !reflect.DeepEqual(c.evictions, []uint64{3}) {
+		t.Fatalf("evictions = %v, want [3]", c.evictions)
+	}
+	if got := p.Counter(0); got != 0 {
+		t.Fatalf("counter = %d, want 0", got)
+	}
+	// Re-reference D: ETD probe hit re-enables reservations.
+	c.access(3)
+	if got := p.Counter(0); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if got := p.Enables(); got != 1 {
+		t.Fatalf("enables = %d, want 1", got)
+	}
+	if got := p.etds[0].liveEntries(); got != 0 {
+		t.Fatalf("ETD must be cleared on enable, has %d", got)
+	}
+}
+
+func TestACLCountsSuccessesAndFailures(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewACL()
+	c := newTestCache(t, 1, 4, p, costs)
+	// Warm up and enable via probe: D evicted once, then re-referenced.
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // D evicted, enters ETD
+	c.access(3) // probe hit -> enabled (counter 2); D refilled (MRU)
+
+	// Rotate D to LRU: touch the other residents.
+	// Cache now holds D(3), plus 3 of {0,1,4} (2 was evicted when D refilled
+	// under... determine: after enable, the miss on 3 finds victim via DCL
+	// scan with Acost = cost of current LRU occupant).
+	// Rather than track by hand, just touch every cached block except D.
+	for b := uint64(0); b < 6; b++ {
+		if b != 3 {
+			if c.lookup(c.setTag(b)) >= 0 {
+				c.access(b)
+			}
+		}
+	}
+	// D is now LRU with Acost 8. Drive a reservation to failure by cycling
+	// sacrificed blocks through the ETD until Acost exhausts.
+	base := uint64(100)
+	for i := 0; i < 40 && c.lookup(c.setTag(3)) >= 0; i++ {
+		c.access(base + uint64(i)) // cold misses sacrifice cheap blocks
+		// Re-reference the most recent eviction to score an ETD hit.
+		if n := len(c.evictions); n > 0 && c.evictions[n-1] != 3 {
+			c.access(c.evictions[n-1])
+		}
+	}
+	if c.lookup(c.setTag(3)) >= 0 {
+		t.Fatal("reserved block never evicted; failure path not exercised")
+	}
+	if got := p.Counter(0); got != 1 {
+		t.Fatalf("counter after one failure = %d, want 1", got)
+	}
+	if p.failed != 1 {
+		t.Fatalf("failed = %d, want 1", p.failed)
+	}
+}
+
+func TestACLSuccessIncrementsCounter(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewACL()
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // D evicted (disabled), enters ETD
+	c.access(3) // enable, counter=2
+	// Make D LRU again, reserve it, then hit it.
+	for _, b := range []uint64{0, 1, 4} {
+		if c.lookup(c.setTag(b)) >= 0 {
+			c.access(b)
+		}
+	}
+	evBefore := len(c.evictions)
+	c.access(200) // miss: reservation sacrifices a cheap block
+	if len(c.evictions) != evBefore+1 || c.evictions[len(c.evictions)-1] == 3 {
+		t.Fatalf("expected a cheap sacrifice, evictions=%v", c.evictions)
+	}
+	c.access(3) // hit on reserved LRU block: success
+	if got := p.Counter(0); got != 3 {
+		t.Fatalf("counter = %d, want 3 (2+1)", got)
+	}
+	if _, succ := p.Reservations(); succ != 1 {
+		t.Fatalf("succeeded = %d, want 1", succ)
+	}
+}
+
+func TestDCLAliasedETDFalseMatches(t *testing.T) {
+	// With 1-bit tags, blocks whose tags share the low bit alias in the ETD.
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewDCLWith(Options{TagBits: 1})
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // sacrifices C=2 -> ETD{tag 2 & 1 = 0}
+	// Access block 6 (tag 6&1=0): cache miss, aliased ETD hit.
+	c.access(6)
+	probes, hits, false_ := p.ETDStats()
+	if probes == 0 || hits == 0 {
+		t.Fatalf("expected ETD traffic, got probes=%d hits=%d", probes, hits)
+	}
+	if false_ == 0 {
+		t.Fatal("expected a false match with 1-bit tags")
+	}
+	if p.Name() != "DCL-a1" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"LRU": NewLRU(), "GD": NewGD(), "BCL": NewBCL(),
+		"DCL": NewDCL(), "ACL": NewACL(), "Random": NewRandom(1),
+		"ACL-a4": NewACLWith(Options{TagBits: 4}),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestOptionsAblationKnobs(t *testing.T) {
+	// Factor 1 depreciates half as fast as the paper's 2.
+	costs := costTable(map[uint64]Cost{3: 8})
+	p1 := NewDCLWith(Options{Factor: 1})
+	c := newTestCache(t, 1, 4, p1, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	c.access(4) // sacrifice C -> ETD
+	c.access(2) // ETD hit: Acost -= 1*1
+	if got := p1.Acost(0); got != 7 {
+		t.Fatalf("factor-1 Acost = %d, want 7", got)
+	}
+
+	// A larger ETD holds more than s-1 entries.
+	p2 := NewDCLWith(Options{ETDEntries: 6})
+	c2 := newTestCache(t, 1, 4, p2, costTable(map[uint64]Cost{3: 100}))
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c2.access(b)
+	}
+	for b := uint64(4); b < 12; b++ {
+		c2.access(b)
+	}
+	if got := p2.etds[0].liveEntries(); got != 6 {
+		t.Fatalf("ETD entries = %d, want 6", got)
+	}
+
+	// A 1-bit ACL counter saturates at 1 and the probe enable clamps to it.
+	p3 := NewACLWith(Options{CounterBits: 1})
+	c3 := newTestCache(t, 1, 4, p3, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c3.access(b)
+	}
+	c3.access(4) // disabled LRU eviction of D, D -> ETD
+	c3.access(3) // probe hit: counter = min(2, max=1) = 1
+	if got := p3.Counter(0); got != 1 {
+		t.Fatalf("1-bit counter = %d, want 1", got)
+	}
+}
+
+func TestBCLFactorAblation(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewBCLWithFactor(1)
+	c := newTestCache(t, 1, 4, p, costs)
+	for _, b := range []uint64{3, 2, 1, 0} {
+		c.access(b)
+	}
+	// With factor 1, eight sacrifices fit before Acost exhausts (vs four).
+	for b := uint64(4); b < 11; b++ {
+		c.access(b)
+	}
+	if got := p.Acost(0); got != 1 {
+		t.Fatalf("Acost after 7 sacrifices = %d, want 1", got)
+	}
+	if !c.access(3) {
+		t.Fatal("reserved block must still be cached under slower depreciation")
+	}
+}
+
+func TestBCLFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBCLWithFactor(0)
+}

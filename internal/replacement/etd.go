@@ -1,0 +1,103 @@
+package replacement
+
+// etd is one set's Extended Tag Directory (Section 2.4): s-1 entries, each
+// holding the (possibly truncated) tag and fixed miss cost of a recently
+// replaced non-LRU block. Entries are allocated LRU with invalid entries
+// first. The ETD tells DCL whether a block victimized in place of a reserved
+// LRU block was re-referenced — the condition under which the reservation
+// actually cost something and the reserved block's cost must be depreciated.
+//
+// When tag aliasing is enabled (mask narrower than the tag), the full tag is
+// retained only to count false matches; matching uses the masked tag, exactly
+// like hardware that stores a few tag bits would behave.
+type etd struct {
+	tags  []uint64 // masked tags
+	full  []uint64 // full tags, for false-match accounting only
+	costs []Cost
+	valid []bool
+	used  []uint64 // allocation recency
+	tick  uint64
+	mask  uint64
+}
+
+func newETD(entries int, mask uint64) etd {
+	return etd{
+		tags:  make([]uint64, entries),
+		full:  make([]uint64, entries),
+		costs: make([]Cost, entries),
+		valid: make([]bool, entries),
+		used:  make([]uint64, entries),
+		mask:  mask,
+	}
+}
+
+// probe looks tag up; on a match it returns the recorded cost, whether the
+// match was a false (aliased) one, and true. The entry is left intact; the
+// caller decides whether to consume it.
+func (e *etd) probe(tag uint64) (idx int, cost Cost, falseMatch bool, ok bool) {
+	mt := tag & e.mask
+	for i, v := range e.valid {
+		if v && e.tags[i] == mt {
+			return i, e.costs[i], e.full[i] != tag, true
+		}
+	}
+	return -1, 0, false, false
+}
+
+// consume invalidates entry idx.
+func (e *etd) consume(idx int) { e.valid[idx] = false }
+
+// insert records a replaced block, reusing an invalid entry if possible and
+// otherwise the least recently allocated one.
+func (e *etd) insert(tag uint64, cost Cost) {
+	e.tick++
+	slot := -1
+	for i, v := range e.valid {
+		if !v {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		var oldest uint64
+		for i, u := range e.used {
+			if slot < 0 || u < oldest {
+				slot, oldest = i, u
+			}
+		}
+	}
+	e.tags[slot] = tag & e.mask
+	e.full[slot] = tag
+	e.costs[slot] = cost
+	e.valid[slot] = true
+	e.used[slot] = e.tick
+}
+
+// clear invalidates every entry.
+func (e *etd) clear() {
+	for i := range e.valid {
+		e.valid[i] = false
+	}
+}
+
+// invalidateTag drops any entry matching tag (masked), as on an external
+// coherence invalidation.
+func (e *etd) invalidateTag(tag uint64) {
+	mt := tag & e.mask
+	for i, v := range e.valid {
+		if v && e.tags[i] == mt {
+			e.valid[i] = false
+		}
+	}
+}
+
+// liveEntries returns the number of valid entries (for invariant tests).
+func (e *etd) liveEntries() int {
+	n := 0
+	for _, v := range e.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package replacement
+
+import "testing"
+
+func TestETDInsertProbeConsume(t *testing.T) {
+	e := newETD(3, ^uint64(0))
+	e.insert(10, 5)
+	e.insert(20, 7)
+	idx, cost, falseMatch, ok := e.probe(20)
+	if !ok || cost != 7 || falseMatch {
+		t.Fatalf("probe(20) = (%d,%d,%v,%v)", idx, cost, falseMatch, ok)
+	}
+	e.consume(idx)
+	if _, _, _, ok := e.probe(20); ok {
+		t.Fatal("consumed entry must not match")
+	}
+	if _, _, _, ok := e.probe(10); !ok {
+		t.Fatal("other entry must survive")
+	}
+}
+
+func TestETDLRUAllocation(t *testing.T) {
+	e := newETD(2, ^uint64(0))
+	e.insert(1, 1)
+	e.insert(2, 2)
+	e.insert(3, 3) // evicts tag 1 (oldest)
+	if _, _, _, ok := e.probe(1); ok {
+		t.Fatal("oldest entry should have been replaced")
+	}
+	if _, _, _, ok := e.probe(2); !ok {
+		t.Fatal("tag 2 should survive")
+	}
+	if _, _, _, ok := e.probe(3); !ok {
+		t.Fatal("tag 3 should be present")
+	}
+}
+
+func TestETDInvalidFirstAllocation(t *testing.T) {
+	e := newETD(2, ^uint64(0))
+	e.insert(1, 1)
+	e.insert(2, 2)
+	e.invalidateTag(1)
+	e.insert(3, 3) // must reuse the invalidated slot, not evict tag 2
+	if _, _, _, ok := e.probe(2); !ok {
+		t.Fatal("tag 2 must survive when an invalid slot exists")
+	}
+}
+
+func TestETDClear(t *testing.T) {
+	e := newETD(3, ^uint64(0))
+	e.insert(1, 1)
+	e.insert(2, 2)
+	e.clear()
+	if n := e.liveEntries(); n != 0 {
+		t.Fatalf("liveEntries = %d after clear", n)
+	}
+}
+
+func TestETDAliasing(t *testing.T) {
+	e := newETD(3, 0xF) // 4-bit tags, like Section 4.3
+	e.insert(0x125, 9)
+	// 0x5 matches the stored low nibble of 0x125: a false match.
+	idx, cost, falseMatch, ok := e.probe(0x5)
+	if !ok || cost != 9 || !falseMatch {
+		t.Fatalf("probe(0x5) = (%d,%d,%v,%v), want aliased hit", idx, cost, falseMatch, ok)
+	}
+	// The true tag also matches, and is not a false match.
+	_, _, falseMatch, ok = e.probe(0x125)
+	if !ok || falseMatch {
+		t.Fatalf("probe(0x125) false=%v ok=%v", falseMatch, ok)
+	}
+	// invalidateTag with an aliasing tag drops the entry too (conservative).
+	e.invalidateTag(0xF5)
+	if _, _, _, ok := e.probe(0x125); ok {
+		t.Fatal("aliased invalidation should drop the entry")
+	}
+}

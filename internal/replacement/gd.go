@@ -1,0 +1,82 @@
+package replacement
+
+// GD is GreedyDual (Young 1994; Cao & Irani 1997) adapted to set-associative
+// processor caches as described in Section 2.1 of the paper. Each cached
+// block carries a credit H, initialized to its miss cost. GD evicts the block
+// with the least credit — regardless of recency — and subtracts the victim's
+// credit from every block remaining in the set. On a hit, a block's credit is
+// restored to its full miss cost. Locality therefore only protects high-cost
+// MRU blocks by refreshing their credit; GD is cost-centric and is expected
+// to win only when cost differentials are wide.
+type GD struct {
+	stackBase
+	credit [][]Cost // per set, per way: current (depreciated) cost H
+}
+
+// NewGD returns a fresh GreedyDual policy.
+func NewGD() *GD { return &GD{} }
+
+// Name implements Policy.
+func (*GD) Name() string { return "GD" }
+
+// Reset implements Policy.
+func (p *GD) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.credit = make([][]Cost, sets)
+	for i := range p.credit {
+		p.credit[i] = make([]Cost, ways)
+	}
+}
+
+// Access implements Policy.
+func (p *GD) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy: restore the block's full miss cost.
+func (p *GD) Touch(set, way int) {
+	m := p.set(set)
+	m.touch(way)
+	p.credit[set][way] = m.cost[way]
+}
+
+// Victim implements Policy: the valid way with the least credit; ties are
+// broken toward the least recently used so GD degenerates to exact LRU under
+// uniform costs. The victim's credit is subtracted from all remaining blocks.
+func (p *GD) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	cr := p.credit[set]
+	// Scan from LRU toward MRU so the first strict minimum found is the
+	// least recently used among equals.
+	best := -1
+	var bestCr Cost
+	for pos := m.live - 1; pos >= 0; pos-- {
+		w := m.stack[pos]
+		if best < 0 || cr[w] < bestCr {
+			best = w
+			bestCr = cr[w]
+		}
+	}
+	for pos := 0; pos < m.live; pos++ {
+		w := m.stack[pos]
+		if w != best {
+			cr[w] -= bestCr
+		}
+	}
+	return best
+}
+
+// Fill implements Policy: the new block's credit is its miss cost.
+func (p *GD) Fill(set, way int, tag uint64, cost Cost) {
+	p.set(set).fill(way, tag, cost)
+	p.credit[set][way] = cost
+}
+
+// Invalidate implements Policy.
+func (p *GD) Invalidate(set, way int, tag uint64) {
+	if way >= 0 {
+		p.set(set).invalidate(way)
+		p.credit[set][way] = 0
+	}
+}

@@ -1,0 +1,76 @@
+package replacement
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGDEvictsLeastCredit(t *testing.T) {
+	costs := costTable(map[uint64]Cost{2: 8}) // block C=2 is expensive
+	c := newTestCache(t, 1, 4, NewGD(), costs)
+	// Fill A(0),B(1),C(2),D(3): credits 1,1,8,1.
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	// Miss on 4: min credit is 1, shared by A,B,D; LRU among them is A.
+	c.access(4)
+	if !reflect.DeepEqual(c.evictions, []uint64{0}) {
+		t.Fatalf("evictions = %v, want [0]", c.evictions)
+	}
+	// After subtraction B,D have credit 0, C has 7, E(4) has 1.
+	// Next miss evicts B (LRU of the zero-credit blocks).
+	c.access(5)
+	if !reflect.DeepEqual(c.evictions, []uint64{0, 1}) {
+		t.Fatalf("evictions = %v, want [0 1]", c.evictions)
+	}
+	// The high-cost block C survives both replacements.
+	if !c.access(2) {
+		t.Fatal("high-cost block should still be cached")
+	}
+}
+
+func TestGDHitRestoresCredit(t *testing.T) {
+	costs := costTable(map[uint64]Cost{0: 4})
+	p := NewGD()
+	c := newTestCache(t, 1, 2, p, costs)
+	c.access(0) // credit 4
+	c.access(1) // credit 1
+	c.access(2) // evicts 1 (credit 1 < 4); credit of 0 drops to 3
+	if !reflect.DeepEqual(c.evictions, []uint64{1}) {
+		t.Fatalf("evictions = %v", c.evictions)
+	}
+	if got := p.credit[0][0]; got != 3 {
+		t.Fatalf("credit of block 0 = %d, want 3", got)
+	}
+	c.access(0) // hit restores full cost
+	if got := p.credit[0][0]; got != 4 {
+		t.Fatalf("credit after hit = %d, want 4", got)
+	}
+}
+
+func TestGDHighCostEventuallyEvicted(t *testing.T) {
+	// Without re-references, even an expensive block must eventually leave:
+	// each replacement depreciates it by the victim's credit.
+	costs := costTable(map[uint64]Cost{100: 3})
+	c := newTestCache(t, 1, 2, NewGD(), costs)
+	c.access(100) // credit 3
+	c.access(1)   // credit 1
+	c.access(2)   // evict 1; 100 drops to 2
+	c.access(3)   // evict 2 (credit 1 < 2); 100 drops to 1
+	c.access(4)   // tie at credit 1; LRU is 100 -> evicted
+	if c.access(100) {
+		t.Fatal("block 100 should have been evicted")
+	}
+}
+
+func TestGDInvalidate(t *testing.T) {
+	costs := costTable(map[uint64]Cost{0: 9})
+	c := newTestCache(t, 1, 2, NewGD(), costs)
+	c.access(0)
+	c.access(1)
+	c.invalidate(0)
+	c.access(2) // uses freed way, no eviction
+	if len(c.evictions) != 0 {
+		t.Fatalf("unexpected evictions %v", c.evictions)
+	}
+}

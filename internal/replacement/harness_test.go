@@ -1,0 +1,107 @@
+package replacement
+
+import "testing"
+
+// testCache is a minimal set-associative cache used to drive policies per the
+// Policy contract in unit and property tests. Addresses are block addresses
+// (no offset bits). It mirrors the behaviour of internal/cache without the
+// hierarchy machinery, so policy tests stay self-contained.
+type testCache struct {
+	t          *testing.T
+	sets, ways int
+	p          Policy
+	tags       [][]uint64
+	valid      [][]bool
+	cost       func(block uint64) Cost
+
+	hits, misses int64
+	aggCost      int64
+	evictions    []uint64 // block addresses, in order
+
+	// onEvict, when set, observes each eviction before the fill; the cache
+	// arrays still hold the pre-fill state.
+	onEvict func(set int, victimBlock uint64)
+}
+
+func newTestCache(t *testing.T, sets, ways int, p Policy, cost func(uint64) Cost) *testCache {
+	c := &testCache{t: t, sets: sets, ways: ways, p: p, cost: cost}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+	}
+	p.Reset(sets, ways)
+	return c
+}
+
+func (c *testCache) setTag(block uint64) (int, uint64) {
+	return int(block % uint64(c.sets)), block / uint64(c.sets)
+}
+
+func (c *testCache) lookup(set int, tag uint64) int {
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// access runs one reference; it returns true on a hit.
+func (c *testCache) access(block uint64) bool {
+	set, tag := c.setTag(block)
+	way := c.lookup(set, tag)
+	c.p.Access(set, tag, way >= 0)
+	if way >= 0 {
+		c.hits++
+		c.p.Touch(set, way)
+		return true
+	}
+	c.misses++
+	c.aggCost += int64(c.cost(block))
+	w := -1
+	for i := 0; i < c.ways; i++ {
+		if !c.valid[set][i] {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		w = c.p.Victim(set)
+		if w < 0 || w >= c.ways || !c.valid[set][w] {
+			c.t.Fatalf("Victim(%d) returned invalid way %d", set, w)
+		}
+		victim := c.tags[set][w]*uint64(c.sets) + uint64(set)
+		c.evictions = append(c.evictions, victim)
+		if c.onEvict != nil {
+			c.onEvict(set, victim)
+		}
+	}
+	c.tags[set][w] = tag
+	c.valid[set][w] = true
+	c.p.Fill(set, w, tag, c.cost(block))
+	return false
+}
+
+// invalidate removes the block, notifying the policy either way.
+func (c *testCache) invalidate(block uint64) {
+	set, tag := c.setTag(block)
+	way := c.lookup(set, tag)
+	c.p.Invalidate(set, way, tag)
+	if way >= 0 {
+		c.valid[set][way] = false
+	}
+}
+
+func unitCost(uint64) Cost { return 1 }
+
+// costTable builds a cost function from a map with a default of 1.
+func costTable(m map[uint64]Cost) func(uint64) Cost {
+	return func(b uint64) Cost {
+		if c, ok := m[b]; ok {
+			return c
+		}
+		return 1
+	}
+}

@@ -1,0 +1,157 @@
+package replacement
+
+// LFU is in-cache least-frequently-used: each block counts its hits and the
+// victim is the least-counted block, ties broken toward the LRU position.
+// It represents the frequency end of the LRU-LFU spectrum discussed in the
+// paper's related work ([9], Lee et al.); like LRU it is cost-blind, so it
+// serves as another baseline for the cost-sensitive comparisons.
+type LFU struct {
+	stackBase
+	count [][]uint32
+}
+
+// NewLFU returns a fresh LFU policy.
+func NewLFU() *LFU { return &LFU{} }
+
+// Name implements Policy.
+func (*LFU) Name() string { return "LFU" }
+
+// Reset implements Policy.
+func (p *LFU) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.count = make([][]uint32, sets)
+	for i := range p.count {
+		p.count[i] = make([]uint32, ways)
+	}
+}
+
+// Access implements Policy.
+func (p *LFU) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy.
+func (p *LFU) Touch(set, way int) {
+	p.set(set).touch(way)
+	if p.count[set][way] < ^uint32(0) {
+		p.count[set][way]++
+	}
+}
+
+// Victim implements Policy: the least-counted valid way, LRU-most among
+// equals.
+func (p *LFU) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	best := -1
+	var bestCount uint32
+	for pos := m.live - 1; pos >= 0; pos-- {
+		w := m.stack[pos]
+		if best < 0 || p.count[set][w] < bestCount {
+			best, bestCount = w, p.count[set][w]
+		}
+	}
+	return best
+}
+
+// Fill implements Policy: new blocks start with a count of one.
+func (p *LFU) Fill(set, way int, tag uint64, cost Cost) {
+	p.set(set).fill(way, tag, cost)
+	p.count[set][way] = 1
+}
+
+// Invalidate implements Policy.
+func (p *LFU) Invalidate(set, way int, tag uint64) {
+	if way >= 0 {
+		p.set(set).invalidate(way)
+		p.count[set][way] = 0
+	}
+}
+
+// SLRU is segmented LRU (a common LRU refinement in second-level caches,
+// cf. the paper's related work [18]): each set is split into a protected
+// segment, fed only by hits, and a probationary segment holding new blocks.
+// Victims come from the probationary segment while it is non-empty, so
+// single-use streaming blocks cannot push out proven re-used ones.
+type SLRU struct {
+	stackBase
+	protected [][]bool
+	// capacity of the protected segment per set.
+	protCap int
+}
+
+// NewSLRU returns segmented LRU with a protected segment of half the ways.
+func NewSLRU() *SLRU { return &SLRU{} }
+
+// Name implements Policy.
+func (*SLRU) Name() string { return "SLRU" }
+
+// Reset implements Policy.
+func (p *SLRU) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.protCap = ways / 2
+	if p.protCap < 1 {
+		p.protCap = 1
+	}
+	p.protected = make([][]bool, sets)
+	for i := range p.protected {
+		p.protected[i] = make([]bool, ways)
+	}
+}
+
+// Access implements Policy.
+func (p *SLRU) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy: a hit promotes the block into the protected
+// segment, demoting the protected segment's LRU-most member if it is full.
+func (p *SLRU) Touch(set, way int) {
+	m := p.set(set)
+	m.touch(way)
+	if p.protected[set][way] {
+		return
+	}
+	// Count protected members; demote the stalest if at capacity.
+	n := 0
+	stalest := -1
+	for pos := 0; pos < m.live; pos++ {
+		w := m.stack[pos]
+		if p.protected[set][w] {
+			n++
+			stalest = w // last seen in stack order = most LRU-ward
+		}
+	}
+	if n >= p.protCap && stalest >= 0 {
+		p.protected[set][stalest] = false
+	}
+	p.protected[set][way] = true
+}
+
+// Victim implements Policy: the LRU-most probationary block, or the
+// LRU-most block overall if everything is protected.
+func (p *SLRU) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	for pos := m.live - 1; pos >= 0; pos-- {
+		w := m.stack[pos]
+		if !p.protected[set][w] {
+			return w
+		}
+	}
+	return m.lruWay()
+}
+
+// Fill implements Policy: new blocks enter the probationary segment.
+func (p *SLRU) Fill(set, way int, tag uint64, cost Cost) {
+	p.set(set).fill(way, tag, cost)
+	p.protected[set][way] = false
+}
+
+// Invalidate implements Policy.
+func (p *SLRU) Invalidate(set, way int, tag uint64) {
+	if way >= 0 {
+		p.set(set).invalidate(way)
+		p.protected[set][way] = false
+	}
+}

@@ -1,0 +1,127 @@
+package replacement
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := newTestCache(t, 1, 4, NewLFU(), unitCost)
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	// Hit 0 three times, 1 twice, 2 once; 3 stays at its fill count.
+	c.access(0)
+	c.access(0)
+	c.access(0)
+	c.access(1)
+	c.access(1)
+	c.access(2)
+	c.access(9) // evicts 3 (count 1, least)
+	if !reflect.DeepEqual(c.evictions, []uint64{3}) {
+		t.Fatalf("evictions = %v, want [3]", c.evictions)
+	}
+	// Between equal counts (9 and... 9 has count 1), ties break toward LRU.
+	c.access(10) // 9 (count 1) is the only count-1 block -> evicted
+	if !reflect.DeepEqual(c.evictions, []uint64{3, 9}) {
+		t.Fatalf("evictions = %v, want [3 9]", c.evictions)
+	}
+}
+
+func TestLFUTieBreaksTowardLRU(t *testing.T) {
+	c := newTestCache(t, 1, 2, NewLFU(), unitCost)
+	c.access(0)
+	c.access(1)
+	// Both have count 1; 0 is LRU-most.
+	c.access(2)
+	if !reflect.DeepEqual(c.evictions, []uint64{0}) {
+		t.Fatalf("evictions = %v, want [0]", c.evictions)
+	}
+}
+
+func TestLFUInvalidateResetsCount(t *testing.T) {
+	p := NewLFU()
+	c := newTestCache(t, 1, 2, p, unitCost)
+	c.access(0)
+	c.access(0)
+	c.invalidate(0)
+	if p.count[0][0] != 0 {
+		t.Fatal("count must reset on invalidation")
+	}
+}
+
+func TestSLRUProtectsReusedBlocks(t *testing.T) {
+	c := newTestCache(t, 1, 4, NewSLRU(), unitCost)
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	// Promote 0 and 1 (hits); 2 and 3 stay probationary.
+	c.access(0)
+	c.access(1)
+	// A streaming burst must evict only probationary blocks.
+	c.access(10)
+	c.access(11)
+	c.access(12)
+	for _, e := range c.evictions {
+		if e == 0 || e == 1 {
+			t.Fatalf("protected block %d evicted by streaming: %v", e, c.evictions)
+		}
+	}
+	if !c.access(0) || !c.access(1) {
+		t.Fatal("protected blocks must survive the stream")
+	}
+}
+
+func TestSLRUDemotesWhenProtectedFull(t *testing.T) {
+	p := NewSLRU()
+	c := newTestCache(t, 1, 4, p, unitCost) // protected capacity 2
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	c.access(0) // protect 0
+	c.access(1) // protect 1
+	c.access(2) // protect 2: must demote one of {0,1}
+	n := 0
+	for w := 0; w < 4; w++ {
+		if p.protected[0][w] {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("protected members = %d, want capacity 2", n)
+	}
+}
+
+func TestSLRUVictimWhenAllProtected(t *testing.T) {
+	c := newTestCache(t, 1, 2, NewSLRU(), unitCost) // protected capacity 1
+	c.access(0)
+	c.access(1)
+	c.access(0) // protect 0
+	c.access(2) // evicts probationary 1
+	if !reflect.DeepEqual(c.evictions, []uint64{1}) {
+		t.Fatalf("evictions = %v, want [1]", c.evictions)
+	}
+}
+
+func TestLFUAndSLRUInRegistry(t *testing.T) {
+	for _, name := range []string{"LFU", "SLRU"} {
+		f, ok := ByName(name)
+		if !ok || f().Name() != name {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+}
+
+func TestLFUSLRURandomOpsInvariants(t *testing.T) {
+	for _, f := range []Factory{
+		func() Policy { return NewLFU() },
+		func() Policy { return NewSLRU() },
+	} {
+		ops := genOps(20000, 300, 0.03, 11)
+		cost := func(b uint64) Cost { return Cost(b % 5) }
+		ev, _, misses, _ := runPolicy(t, f(), 8, 4, cost, ops)
+		if misses == 0 || len(ev) == 0 {
+			t.Fatal("no activity")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package replacement
+
+// LRU is the least-recently-used baseline policy: it ignores costs entirely
+// and always evicts the block in the LRU stack position.
+type LRU struct {
+	stackBase
+}
+
+// NewLRU returns a fresh LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// Reset implements Policy.
+func (p *LRU) Reset(sets, ways int) { p.reset(sets, ways) }
+
+// Access implements Policy. LRU has no pre-access state.
+func (p *LRU) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy.
+func (p *LRU) Touch(set, way int) { p.set(set).touch(way) }
+
+// Victim implements Policy: the least recently used valid way.
+func (p *LRU) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	return m.lruWay()
+}
+
+// Fill implements Policy.
+func (p *LRU) Fill(set, way int, tag uint64, cost Cost) { p.set(set).fill(way, tag, cost) }
+
+// Invalidate implements Policy.
+func (p *LRU) Invalidate(set, way int, tag uint64) {
+	if way >= 0 {
+		p.set(set).invalidate(way)
+	}
+}
+
+// firstInvalid returns an invalid way if one exists (defensive: Victim should
+// only be called on full sets, but policies tolerate early calls).
+func firstInvalid(m *setMeta) int {
+	for w, v := range m.valid {
+		if !v {
+			return w
+		}
+	}
+	return -1
+}

@@ -1,0 +1,140 @@
+package replacement
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newTestCache(t, 1, 4, NewLRU(), unitCost)
+	for b := uint64(0); b < 4; b++ {
+		if c.access(b) {
+			t.Fatalf("cold access %d hit", b)
+		}
+	}
+	// Touch 0 so 1 becomes LRU.
+	if !c.access(0) {
+		t.Fatal("expected hit on 0")
+	}
+	c.access(4) // evicts 1
+	c.access(5) // evicts 2
+	want := []uint64{1, 2}
+	if !reflect.DeepEqual(c.evictions, want) {
+		t.Fatalf("evictions = %v, want %v", c.evictions, want)
+	}
+}
+
+func TestLRUHitMissAccounting(t *testing.T) {
+	c := newTestCache(t, 2, 2, NewLRU(), unitCost)
+	// All even blocks map to set 0 of the 2-set cache: {0,2} fill it, the
+	// two re-touches hit, then 4 evicts LRU 0 and the final 0 evicts 2.
+	seq := []uint64{0, 2, 0, 2, 4, 0}
+	for _, b := range seq {
+		c.access(b)
+	}
+	if c.hits != 2 || c.misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 2/4", c.hits, c.misses)
+	}
+	if !reflect.DeepEqual(c.evictions, []uint64{0, 2}) {
+		t.Fatalf("evictions = %v", c.evictions)
+	}
+}
+
+func TestLRUInvalidatedWayReusedFirst(t *testing.T) {
+	c := newTestCache(t, 1, 4, NewLRU(), unitCost)
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	c.invalidate(2)
+	c.access(9) // must use the freed way: no eviction
+	if len(c.evictions) != 0 {
+		t.Fatalf("unexpected evictions %v", c.evictions)
+	}
+	c.access(10) // now a real eviction of LRU = 0
+	if !reflect.DeepEqual(c.evictions, []uint64{0}) {
+		t.Fatalf("evictions = %v, want [0]", c.evictions)
+	}
+}
+
+func TestLRUInvalidateUncachedIsNoop(t *testing.T) {
+	c := newTestCache(t, 1, 2, NewLRU(), unitCost)
+	c.access(1)
+	c.invalidate(99) // not cached
+	if !c.access(1) {
+		t.Fatal("block 1 should still hit")
+	}
+}
+
+func TestRandomVictimAlwaysValid(t *testing.T) {
+	c := newTestCache(t, 4, 4, NewRandom(12345), unitCost)
+	for i := 0; i < 10000; i++ {
+		c.access(uint64(i*7919) % 512)
+	}
+	// The harness fails the test if Victim ever returns an invalid way.
+	if c.misses == 0 {
+		t.Fatal("expected misses")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		c := newTestCache(t, 2, 2, NewRandom(7), unitCost)
+		for i := 0; i < 1000; i++ {
+			c.access(uint64(i*31) % 64)
+		}
+		return c.evictions
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("Random policy with the same seed must be deterministic")
+	}
+}
+
+func TestStackInvariants(t *testing.T) {
+	m := newSetMeta(4)
+	m.fill(0, 10, 1)
+	m.fill(1, 11, 1)
+	m.fill(2, 12, 1)
+	m.touch(0)
+	// stack: 0,2,1 then invalid way 3 at the back
+	if got := m.lruWay(); got != 1 {
+		t.Fatalf("lruWay = %d, want 1", got)
+	}
+	m.invalidate(2)
+	if m.live != 2 {
+		t.Fatalf("live = %d, want 2", m.live)
+	}
+	// invalid ways must form a suffix
+	seenInvalid := false
+	for _, w := range m.stack {
+		if !m.valid[w] {
+			seenInvalid = true
+		} else if seenInvalid {
+			t.Fatalf("valid way after invalid in stack %v", m.stack)
+		}
+	}
+	// stack must stay a permutation
+	seen := map[int]bool{}
+	for _, w := range m.stack {
+		if seen[w] {
+			t.Fatalf("duplicate way %d in stack %v", w, m.stack)
+		}
+		seen[w] = true
+	}
+	if _, _, ok := m.lruIdent(); !ok {
+		t.Fatal("lruIdent should be ok with live blocks")
+	}
+	m.invalidate(0)
+	m.invalidate(1)
+	if w := m.lruWay(); w != -1 {
+		t.Fatalf("empty set lruWay = %d, want -1", w)
+	}
+}
+
+func TestResetPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLRU().Reset(0, 4)
+}

@@ -1,0 +1,140 @@
+package replacement
+
+// This file implements Belady's offline optimal replacement (OPT / MIN,
+// Mattson et al. 1970) for a single cache set, used as the miss-count oracle
+// the paper's related-work section contrasts LRU against. It is an evaluator
+// rather than a Policy: it needs the whole future of the reference stream.
+//
+// The paper's companion work (Jeong & Dubois, SPAA 1999) shows that with two
+// miss costs the optimal schedule may need to keep a victimized block
+// "reserved" past its next reference, so cost-optimal offline replacement is
+// not a simple greedy; OPT here is the classical miss-count optimum, which
+// still lower-bounds the reachable miss count and is useful for calibrating
+// how much room the locality estimate leaves.
+
+// OptEvent is one event of a single-set reference stream: a reference to a
+// block, or an external invalidation of a block.
+type OptEvent struct {
+	// Block is the block address (full address / block size).
+	Block uint64
+	// Invalidate marks a coherence invalidation instead of a reference.
+	Invalidate bool
+}
+
+// OptimalMisses returns the minimum possible number of misses for the event
+// stream on a fully associative set with the given number of ways, using
+// Belady's farthest-next-use rule. Invalidations remove the block (if
+// present) without counting a miss.
+func OptimalMisses(events []OptEvent, ways int) int64 {
+	if ways <= 0 {
+		panic("replacement: ways must be positive")
+	}
+	const never = int(^uint(0) >> 1) // max int
+
+	// next[i] = index of the next EFFECTIVE use of the same block after
+	// event i, or `never`. An invalidation cuts the chain: a block that is
+	// invalidated before its next reference is worthless to retain (the
+	// reference will miss regardless), so its effective next use is never.
+	// Plain farthest-next-REFERENCE Belady is not optimal in the
+	// invalidation model; the CSOPT oracle's exhaustive search exposed the
+	// difference.
+	next := make([]int, len(events))
+	lastRef := make(map[uint64]int)
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Invalidate {
+			next[i] = never
+			delete(lastRef, e.Block)
+			continue
+		}
+		if j, ok := lastRef[e.Block]; ok {
+			next[i] = j
+		} else {
+			next[i] = never
+		}
+		lastRef[e.Block] = i
+	}
+
+	type resident struct {
+		block   uint64
+		nextUse int
+	}
+	cached := make([]resident, 0, ways)
+	find := func(b uint64) int {
+		for i := range cached {
+			if cached[i].block == b {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var misses int64
+	for i, e := range events {
+		idx := find(e.Block)
+		if e.Invalidate {
+			if idx >= 0 {
+				cached[idx] = cached[len(cached)-1]
+				cached = cached[:len(cached)-1]
+			}
+			continue
+		}
+		if idx >= 0 {
+			cached[idx].nextUse = next[i]
+			continue
+		}
+		misses++
+		if len(cached) < ways {
+			cached = append(cached, resident{e.Block, next[i]})
+			continue
+		}
+		// Evict the resident whose next use is farthest in the future.
+		victim := 0
+		for j := 1; j < len(cached); j++ {
+			if cached[j].nextUse > cached[victim].nextUse {
+				victim = j
+			}
+		}
+		cached[victim] = resident{e.Block, next[i]}
+	}
+	return misses
+}
+
+// LRUMisses returns the miss count of pure LRU on the same single-set event
+// stream, for direct comparison with OptimalMisses.
+func LRUMisses(events []OptEvent, ways int) int64 {
+	if ways <= 0 {
+		panic("replacement: ways must be positive")
+	}
+	order := make([]uint64, 0, ways) // order[0] = MRU
+	find := func(b uint64) int {
+		for i, x := range order {
+			if x == b {
+				return i
+			}
+		}
+		return -1
+	}
+	var misses int64
+	for _, e := range events {
+		idx := find(e.Block)
+		if e.Invalidate {
+			if idx >= 0 {
+				order = append(order[:idx], order[idx+1:]...)
+			}
+			continue
+		}
+		if idx >= 0 {
+			b := order[idx]
+			order = append(order[:idx], order[idx+1:]...)
+			order = append([]uint64{b}, order...)
+			continue
+		}
+		misses++
+		if len(order) == ways {
+			order = order[:ways-1]
+		}
+		order = append([]uint64{e.Block}, order...)
+	}
+	return misses
+}

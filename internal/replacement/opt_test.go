@@ -1,0 +1,99 @@
+package replacement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refs(blocks ...uint64) []OptEvent {
+	ev := make([]OptEvent, len(blocks))
+	for i, b := range blocks {
+		ev[i] = OptEvent{Block: b}
+	}
+	return ev
+}
+
+func TestOptimalHandWorked(t *testing.T) {
+	// a b c a b c on 2 ways: OPT gets 4 misses, LRU thrashes with 6.
+	ev := refs(0, 1, 2, 0, 1, 2)
+	if got := OptimalMisses(ev, 2); got != 4 {
+		t.Fatalf("OPT misses = %d, want 4", got)
+	}
+	if got := LRUMisses(ev, 2); got != 6 {
+		t.Fatalf("LRU misses = %d, want 6", got)
+	}
+}
+
+func TestOptimalNoEvictionNeeded(t *testing.T) {
+	ev := refs(0, 1, 0, 1, 0, 1)
+	if got := OptimalMisses(ev, 2); got != 2 {
+		t.Fatalf("misses = %d, want 2", got)
+	}
+	if got := LRUMisses(ev, 2); got != 2 {
+		t.Fatalf("LRU misses = %d, want 2", got)
+	}
+}
+
+func TestOptimalInvalidation(t *testing.T) {
+	ev := []OptEvent{
+		{Block: 0},
+		{Block: 0, Invalidate: true},
+		{Block: 0},
+	}
+	if got := OptimalMisses(ev, 2); got != 2 {
+		t.Fatalf("misses = %d, want 2 (invalidation forces a re-miss)", got)
+	}
+	if got := LRUMisses(ev, 2); got != 2 {
+		t.Fatalf("LRU misses = %d, want 2", got)
+	}
+	// Invalidating an absent block is a no-op.
+	ev = []OptEvent{{Block: 5, Invalidate: true}, {Block: 5}}
+	if got := OptimalMisses(ev, 2); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+// OPT is a lower bound on LRU for any trace (inclusion of the MIN algorithm).
+func TestOptimalLowerBoundsLRUQuick(t *testing.T) {
+	f := func(seed int64, waysRaw uint8, n uint16) bool {
+		ways := int(waysRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		ev := make([]OptEvent, int(n%2000)+10)
+		for i := range ev {
+			ev[i] = OptEvent{
+				Block:      uint64(rng.Intn(40)),
+				Invalidate: rng.Intn(20) == 0,
+			}
+		}
+		return OptimalMisses(ev, ways) <= LRUMisses(ev, ways)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With a single way, OPT and LRU coincide (both miss unless the same block
+// repeats consecutively).
+func TestOptimalOneWayEqualsLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ev := make([]OptEvent, 500)
+		for i := range ev {
+			ev[i] = OptEvent{Block: uint64(rng.Intn(6))}
+		}
+		return OptimalMisses(ev, 1) == LRUMisses(ev, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalPanicsOnBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OptimalMisses(nil, 0)
+}

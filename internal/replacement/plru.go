@@ -1,0 +1,204 @@
+package replacement
+
+import "math/bits"
+
+// PLRU is tree pseudo-LRU, the LRU approximation widely implemented in
+// hardware (the paper notes real systems adopt "LRU or one of its
+// approximations with lower implementation overhead"). Each set keeps a
+// binary tree of direction bits over the ways; a hit flips the bits on its
+// path away from the accessed way, and the victim is found by following the
+// bits. Requires a power-of-two associativity.
+//
+// PLRU also serves as the base for CSPLRU below, which demonstrates the
+// paper's concluding claim that "the general approach of pursuing high-cost
+// block reservation and of depreciating their cost ... could also be
+// applied to other replacement algorithms besides LRU".
+type PLRU struct {
+	ways  int
+	tree  [][]bool // per set: ways-1 internal nodes, heap order
+	tag   [][]uint64
+	cost  [][]Cost
+	valid [][]bool
+
+	// Cost-sensitive extension state. Unlike BCL, whose Acost follows the
+	// unique LRU-position occupant, PLRU's designated victim oscillates as
+	// fills redirect the tree; a candidate-tracked Acost would reload on
+	// every oscillation and pin high-cost blocks forever. Instead each way
+	// carries its own depreciating credit: loaded at fill, restored on a
+	// hit, and reduced by factor x the sacrifice's cost whenever the block
+	// is protected.
+	sensitive bool
+	factor    Cost
+	credit    [][]Cost
+
+	invoked, succeeded int64
+}
+
+// NewPLRU returns plain tree pseudo-LRU.
+func NewPLRU() *PLRU { return &PLRU{} }
+
+// NewCSPLRU returns the cost-sensitive pseudo-LRU extension: the
+// tree-designated victim is reserved while cheaper blocks exist, its cost
+// depreciated by factor x the sacrificed block's cost (BCL's scheme ported
+// off the exact LRU stack). factor <= 0 selects the paper's 2.
+func NewCSPLRU(factor int) *PLRU {
+	if factor <= 0 {
+		factor = 2
+	}
+	return &PLRU{sensitive: true, factor: Cost(factor)}
+}
+
+// Name implements Policy.
+func (p *PLRU) Name() string {
+	if p.sensitive {
+		return "CS-PLRU"
+	}
+	return "PLRU"
+}
+
+// Reset implements Policy.
+func (p *PLRU) Reset(sets, ways int) {
+	if sets <= 0 || ways <= 0 || bits.OnesCount(uint(ways)) != 1 {
+		panic("replacement: PLRU needs positive sets and power-of-two ways")
+	}
+	p.ways = ways
+	p.tree = make([][]bool, sets)
+	p.tag = make([][]uint64, sets)
+	p.cost = make([][]Cost, sets)
+	p.valid = make([][]bool, sets)
+	p.credit = make([][]Cost, sets)
+	for i := 0; i < sets; i++ {
+		p.tree[i] = make([]bool, ways-1)
+		p.tag[i] = make([]uint64, ways)
+		p.cost[i] = make([]Cost, ways)
+		p.valid[i] = make([]bool, ways)
+		p.credit[i] = make([]Cost, ways)
+	}
+	p.invoked, p.succeeded = 0, 0
+}
+
+// touchPath updates the tree so every node on way's path points away from
+// it.
+func (p *PLRU) touchPath(set, way int) {
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.tree[set][node] = true // point right (away)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			p.tree[set][node] = false // point left (away)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// plruVictim follows the direction bits to the pseudo-LRU way.
+func (p *PLRU) plruVictim(set int) int {
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.tree[set][node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cheapVictim follows the direction bits but only descends into subtrees
+// that contain a block cheaper than limit; it returns -1 if none exists.
+func (p *PLRU) cheapVictim(set int, limit Cost) int {
+	hasCheap := func(lo, hi int) bool {
+		for w := lo; w < hi; w++ {
+			if p.valid[set][w] && p.cost[set][w] < limit {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCheap(0, p.ways) {
+		return -1
+	}
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		// Prefer the pseudo-LRU direction when it contains a cheap block.
+		goRight := p.tree[set][node]
+		if goRight && !hasCheap(mid, hi) {
+			goRight = false
+		} else if !goRight && !hasCheap(lo, mid) {
+			goRight = true
+		}
+		if goRight {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Access implements Policy.
+func (p *PLRU) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy.
+func (p *PLRU) Touch(set, way int) {
+	if p.sensitive {
+		if p.credit[set][way] < p.cost[set][way] {
+			// The block had been protected (its credit was depreciated)
+			// and is now re-referenced: the reservation paid off.
+			p.succeeded++
+		}
+		p.credit[set][way] = p.cost[set][way]
+	}
+	p.touchPath(set, way)
+}
+
+// Victim implements Policy.
+func (p *PLRU) Victim(set int) int {
+	for w := 0; w < p.ways; w++ {
+		if !p.valid[set][w] {
+			return w
+		}
+	}
+	v := p.plruVictim(set)
+	if p.sensitive {
+		if w := p.cheapVictim(set, p.credit[set][v]); w >= 0 && w != v {
+			p.credit[set][v] -= p.factor * p.cost[set][w]
+			p.invoked++
+			return w
+		}
+	}
+	return v
+}
+
+// Fill implements Policy.
+func (p *PLRU) Fill(set, way int, tag uint64, cost Cost) {
+	p.tag[set][way] = tag
+	p.cost[set][way] = cost
+	p.credit[set][way] = cost
+	p.valid[set][way] = true
+	p.touchPath(set, way)
+}
+
+// Invalidate implements Policy.
+func (p *PLRU) Invalidate(set, way int, tag uint64) {
+	if way < 0 {
+		return
+	}
+	p.valid[set][way] = false
+}
+
+// Reservations implements ReservationStats.
+func (p *PLRU) Reservations() (invoked, succeeded int64) { return p.invoked, p.succeeded }

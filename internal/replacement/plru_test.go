@@ -1,0 +1,150 @@
+package replacement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPLRUVictimNeverMostRecent(t *testing.T) {
+	c := newTestCache(t, 1, 4, NewPLRU(), unitCost)
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	for i := 0; i < 1000; i++ {
+		mru := uint64(i % 4)
+		c.access(mru) // hit: becomes most recently used
+		before := len(c.evictions)
+		c.access(uint64(100 + i)) // miss: evicts someone
+		if len(c.evictions) != before+1 {
+			t.Fatal("expected an eviction")
+		}
+		if c.evictions[len(c.evictions)-1] == mru {
+			t.Fatalf("step %d: PLRU evicted the most recently touched block", i)
+		}
+		// Restore a full set of the small blocks for the next round.
+		c.access(mru)
+		for b := uint64(0); b < 4; b++ {
+			c.access(b)
+		}
+	}
+}
+
+func TestPLRUProtectsRecentHalf(t *testing.T) {
+	p := NewPLRU()
+	c := newTestCache(t, 1, 4, p, unitCost)
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	c.access(0)
+	c.access(1)
+	// Ways holding 0 and 1 were just touched: the victim must be 2 or 3.
+	c.access(50)
+	got := c.evictions[len(c.evictions)-1]
+	if got != 2 && got != 3 {
+		t.Fatalf("victim = %d, want 2 or 3", got)
+	}
+}
+
+func TestPLRURequiresPowerOfTwoWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPLRU().Reset(4, 3)
+}
+
+func TestCSPLRUUniformCostsEqualsPLRU(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ops := genOps(15000, 200, 0.02, seed)
+		refEv, refH, refM, _ := runPolicy(t, NewPLRU(), 8, 4, unitCost, ops)
+		ev, h, m, _ := runPolicy(t, NewCSPLRU(0), 8, 4, unitCost, ops)
+		if h != refH || m != refM || !reflect.DeepEqual(ev, refEv) {
+			t.Fatalf("seed %d: CS-PLRU diverged from PLRU under uniform costs", seed)
+		}
+	}
+}
+
+func TestCSPLRUReservesHighCostCandidate(t *testing.T) {
+	costs := costTable(map[uint64]Cost{3: 8})
+	p := NewCSPLRU(2)
+	c := newTestCache(t, 1, 4, p, costs)
+	// Fill all ways, then steer the tree at block 3: touching 2 points its
+	// subtree at way 3, touching 0 points the root at the right half.
+	for b := uint64(0); b < 4; b++ {
+		c.access(b)
+	}
+	c.access(2)
+	c.access(0)
+	// Tree victim is now block 3 (cost 8): a miss must sacrifice a cheaper
+	// block instead.
+	c.access(60)
+	if got := c.evictions[len(c.evictions)-1]; got == 3 {
+		t.Fatal("CS-PLRU evicted the high-cost candidate immediately")
+	}
+	inv, _ := p.Reservations()
+	if inv == 0 {
+		t.Fatal("no reservation recorded")
+	}
+	// Depreciation eventually releases the candidate.
+	for b := uint64(61); b < 80 && c.lookup(c.setTag(3)) >= 0; b++ {
+		c.access(b)
+	}
+	if c.lookup(c.setTag(3)) >= 0 {
+		t.Fatal("candidate never released: depreciation broken")
+	}
+}
+
+func TestCSPLRUBeatsPLRUOnFavorableWorkload(t *testing.T) {
+	cost := func(b uint64) Cost {
+		if b < 4 {
+			return 16
+		}
+		return 1
+	}
+	var ops []traceOp
+	for i := 0; i < 500; i++ {
+		for b := uint64(0); b < 4; b++ {
+			ops = append(ops, traceOp{block: b})
+		}
+		for r := 0; r < 2; r++ {
+			for b := uint64(10); b < 13; b++ {
+				ops = append(ops, traceOp{block: b})
+			}
+		}
+	}
+	_, _, _, plain := runPolicy(t, NewPLRU(), 1, 4, cost, ops)
+	_, _, _, cs := runPolicy(t, NewCSPLRU(0), 1, 4, cost, ops)
+	if cs >= plain {
+		t.Fatalf("CS-PLRU cost %d, PLRU %d: expected savings", cs, plain)
+	}
+}
+
+func TestPLRUInvalidateAndRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []Factory{
+		func() Policy { return NewPLRU() },
+		func() Policy { return NewCSPLRU(0) },
+	} {
+		cost := func(b uint64) Cost { return Cost(b % 5) }
+		c := newTestCache(t, 4, 8, f(), cost)
+		for i := 0; i < 30000; i++ {
+			b := uint64(rng.Intn(300))
+			if rng.Intn(20) == 0 {
+				c.invalidate(b)
+			} else {
+				c.access(b)
+			}
+		}
+		if c.misses == 0 {
+			t.Fatal("no activity")
+		}
+	}
+}
+
+func TestPLRUNames(t *testing.T) {
+	if NewPLRU().Name() != "PLRU" || NewCSPLRU(0).Name() != "CS-PLRU" {
+		t.Fatal("names")
+	}
+}

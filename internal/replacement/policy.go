@@ -1,0 +1,82 @@
+// Package replacement implements the cache replacement algorithms studied in
+// "Cost-Sensitive Cache Replacement Algorithms" (Jeong & Dubois, HPCA 2003):
+// the LRU baseline, GreedyDual (GD) adapted to set-associative processor
+// caches, and the paper's three LRU extensions — BCL (basic cost-sensitive
+// LRU), DCL (dynamic cost-sensitive LRU with an Extended Tag Directory), and
+// ACL (adaptive cost-sensitive LRU with a per-set enable automaton).
+//
+// A Policy owns all replacement metadata for a cache (the LRU stack, per-way
+// miss costs, reservation state, the ETD). The cache proper stores only tags
+// and data state and drives the policy through a small set of hooks:
+//
+//	Access    — every reference, before any state change (ETD probe)
+//	Touch     — a cache hit
+//	Victim    — choose a way to evict (may invoke a blockframe reservation)
+//	Fill      — a new block installed, with its predicted next-miss cost
+//	Invalidate— a block removed by external coherence action
+//
+// Costs are opaque non-negative integers: latency in nanoseconds or cycles,
+// energy, bandwidth, or the abstract 1/r values of the paper's static-cost
+// study. A policy never interprets a cost, it only compares and depreciates.
+package replacement
+
+// Cost is the miss cost of a block: any non-negative quantity the replacement
+// policy should try to avoid paying again (latency, energy, bandwidth, ...).
+type Cost int64
+
+// Policy is a replacement algorithm bound to one cache. Implementations own
+// per-set replacement metadata and are not safe for concurrent use.
+//
+// The cache must call the hooks as follows, for a reference to a block with
+// the given tag mapping to the given set:
+//
+//  1. Access(set, tag, hit) — always, first.
+//  2. On a hit at way w: Touch(set, w).
+//  3. On a miss with no invalid way free: w := Victim(set), then evict w and
+//     Fill(set, w, tag, cost).
+//  4. On a miss with an invalid way w free: Fill(set, w, tag, cost).
+//
+// External invalidations call Invalidate(set, way, tag) with way < 0 when the
+// block is not cached (so policies with victim directories can still react).
+type Policy interface {
+	// Name identifies the algorithm ("LRU", "GD", "BCL", "DCL", "ACL", ...).
+	Name() string
+
+	// Reset sizes the policy for a cache with the given geometry and clears
+	// all state. It must be called before any other hook.
+	Reset(sets, ways int)
+
+	// Access records a reference to tag in set before the cache acts on it.
+	// hit reports whether the cache found the block.
+	Access(set int, tag uint64, hit bool)
+
+	// Touch records a cache hit on way (promotes it to MRU).
+	Touch(set, way int)
+
+	// Victim selects the way to evict from a full set. Implementations may
+	// update reservation state (this is the single point where a blockframe
+	// reservation is invoked or abandoned), so the cache must call it exactly
+	// once per eviction and must evict the way returned.
+	Victim(set int) int
+
+	// Fill installs a new block at way with the predicted cost of its next
+	// miss. The block becomes most recently used.
+	Fill(set, way int, tag uint64, cost Cost)
+
+	// Invalidate removes the block with tag from the policy's state. way is
+	// the cache way holding it, or -1 if it is not cached (the hook still
+	// fires so victim-directory state such as the ETD can be purged).
+	Invalidate(set, way int, tag uint64)
+}
+
+// Factory creates a fresh, unbound Policy. Experiment drivers use factories
+// so each simulated cache gets its own policy instance.
+type Factory func() Policy
+
+// ReservationStats is implemented by policies that track blockframe
+// reservations (BCL, DCL, ACL); simulators use it for diagnostics.
+type ReservationStats interface {
+	// Reservations returns how many reservations were invoked and how many
+	// ended with the reserved block re-referenced (successes).
+	Reservations() (invoked, succeeded int64)
+}

@@ -1,0 +1,263 @@
+package replacement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genTrace produces a reference stream with reuse (small working set) and a
+// sprinkling of invalidations.
+type traceOp struct {
+	block      uint64
+	invalidate bool
+}
+
+func genOps(n int, blocks uint64, invalFrac float64, seed int64) []traceOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]traceOp, n)
+	for i := range ops {
+		ops[i] = traceOp{
+			block:      uint64(rng.Int63n(int64(blocks))),
+			invalidate: rng.Float64() < invalFrac,
+		}
+	}
+	return ops
+}
+
+func runPolicy(t *testing.T, p Policy, sets, ways int, cost func(uint64) Cost, ops []traceOp) (evictions []uint64, hits, misses, agg int64) {
+	c := newTestCache(t, sets, ways, p, cost)
+	for _, op := range ops {
+		if op.invalidate {
+			c.invalidate(op.block)
+		} else {
+			c.access(op.block)
+		}
+	}
+	return c.evictions, c.hits, c.misses, c.aggCost
+}
+
+// Under uniform costs, every cost-sensitive algorithm in the paper must
+// degenerate to exact LRU: the strict cost comparisons never fire (BCL, DCL,
+// ACL) and GreedyDual's credits order blocks by recency. This is the
+// strongest sanity property the paper implies ("our algorithms rely on the
+// locality estimate of cached blocks predicted by LRU").
+func TestUniformCostsDegenerateToLRU(t *testing.T) {
+	factories := []Factory{
+		func() Policy { return NewGD() },
+		func() Policy { return NewBCL() },
+		func() Policy { return NewDCL() },
+		func() Policy { return NewACL() },
+		func() Policy { return NewDCLWith(Options{TagBits: 4}) },
+		func() Policy { return NewACLWith(Options{TagBits: 4}) },
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		ops := genOps(20000, 300, 0.02, seed)
+		refEv, refH, refM, _ := runPolicy(t, NewLRU(), 8, 4, unitCost, ops)
+		for _, f := range factories {
+			p := f()
+			ev, h, m, _ := runPolicy(t, p, 8, 4, unitCost, ops)
+			if h != refH || m != refM {
+				t.Fatalf("seed %d: %s hits/misses = %d/%d, LRU = %d/%d",
+					seed, p.Name(), h, m, refH, refM)
+			}
+			if !reflect.DeepEqual(ev, refEv) {
+				t.Fatalf("seed %d: %s eviction sequence diverges from LRU", seed, p.Name())
+			}
+		}
+	}
+}
+
+// All policies must satisfy basic structural invariants on arbitrary
+// workloads with non-uniform costs and invalidations.
+func TestPolicyInvariantsQuick(t *testing.T) {
+	factories := map[string]Factory{
+		"LRU":    func() Policy { return NewLRU() },
+		"GD":     func() Policy { return NewGD() },
+		"BCL":    func() Policy { return NewBCL() },
+		"DCL":    func() Policy { return NewDCL() },
+		"ACL":    func() Policy { return NewACL() },
+		"DCL-a2": func() Policy { return NewDCLWith(Options{TagBits: 2}) },
+		"Random": func() Policy { return NewRandom(99) },
+	}
+	cost := func(b uint64) Cost { return Cost(b%5) * 3 } // includes zero costs
+	for name, f := range factories {
+		f := f
+		check := func(seed int64, waysRaw, setsRaw uint8) bool {
+			ways := int(waysRaw%7) + 2 // 2..8, as in the paper's sweeps
+			sets := 1 << (setsRaw % 4) // 1..8
+			ops := genOps(5000, 200, 0.05, seed)
+			p := f()
+			c := newTestCache(t, sets, ways, p, cost)
+			for _, op := range ops {
+				if op.invalidate {
+					c.invalidate(op.block)
+				} else {
+					c.access(op.block)
+				}
+			}
+			// Structural invariants for the stack-based policies.
+			if sb, ok := stackOf(p); ok {
+				for s := range sb.sets {
+					m := &sb.sets[s]
+					seen := map[int]bool{}
+					valid := 0
+					for _, w := range m.stack {
+						if seen[w] {
+							return false
+						}
+						seen[w] = true
+					}
+					for _, v := range m.valid {
+						if v {
+							valid++
+						}
+					}
+					if valid != m.live {
+						return false
+					}
+					// Valid ways form a prefix of the stack.
+					for i := 0; i < m.live; i++ {
+						if !m.valid[m.stack[i]] {
+							return false
+						}
+					}
+					// Policy metadata agrees with the cache's tag store.
+					for w := 0; w < ways; w++ {
+						if m.valid[w] != c.valid[s][w] {
+							return false
+						}
+						if m.valid[w] && m.tag[w] != c.tags[s][w] {
+							return false
+						}
+					}
+				}
+			}
+			if d, ok := p.(*DCL); ok {
+				for s := range d.etds {
+					if d.etds[s].liveEntries() > ways-1 {
+						return false
+					}
+					if d.Counter(s) > 3 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// stackOf extracts the embedded stackBase from the stack-based policies.
+func stackOf(p Policy) (*stackBase, bool) {
+	switch v := p.(type) {
+	case *LRU:
+		return &v.stackBase, true
+	case *GD:
+		return &v.stackBase, true
+	case *BCL:
+		return &v.stackBase, true
+	case *DCL:
+		return &v.stackBase, true
+	case *Random:
+		return &v.stackBase, true
+	}
+	return nil, false
+}
+
+// With full (non-aliased) ETD tags, the tags in the ETD and the tags in the
+// cache directory must be mutually exclusive (Section 2.4).
+func TestETDCacheMutualExclusion(t *testing.T) {
+	cost := func(b uint64) Cost { return Cost(b % 7) }
+	p := NewDCL()
+	c := newTestCache(t, 4, 4, p, cost)
+	ops := genOps(30000, 150, 0.03, 11)
+	step := 0
+	checkExclusion := func() {
+		for s := range p.etds {
+			e := &p.etds[s]
+			for i, v := range e.valid {
+				if !v {
+					continue
+				}
+				for w := 0; w < c.ways; w++ {
+					if c.valid[s][w] && c.tags[s][w] == e.tags[i] {
+						t.Fatalf("step %d: tag %#x in both cache and ETD of set %d", step, e.tags[i], s)
+					}
+				}
+			}
+		}
+	}
+	for _, op := range ops {
+		if op.invalidate {
+			c.invalidate(op.block)
+		} else {
+			c.access(op.block)
+		}
+		step++
+		if step%997 == 0 {
+			checkExclusion()
+		}
+	}
+	checkExclusion()
+}
+
+// The cost-sensitive algorithms should actually beat LRU on a workload built
+// to reward reservations: a high-cost block with moderate reuse distance
+// competing against streaming low-cost blocks.
+func TestCostSensitiveBeatsLRUOnFavorableWorkload(t *testing.T) {
+	cost := func(b uint64) Cost {
+		if b < 4 {
+			return 16
+		}
+		return 1
+	}
+	// 1 set, 4 ways. Loop: touch high-cost block 0..3 , then stream 6
+	// low-cost blocks twice (so LRU evicts the high-cost blocks, while a
+	// reservation keeps them).
+	var ops []traceOp
+	for i := 0; i < 500; i++ {
+		for b := uint64(0); b < 4; b++ {
+			ops = append(ops, traceOp{block: b})
+		}
+		for r := 0; r < 2; r++ {
+			for b := uint64(10); b < 13; b++ {
+				ops = append(ops, traceOp{block: b})
+			}
+		}
+	}
+	_, _, _, lruCost := runPolicy(t, NewLRU(), 1, 4, cost, ops)
+	for _, f := range []Factory{
+		func() Policy { return NewBCL() },
+		func() Policy { return NewDCL() },
+	} {
+		p := f()
+		_, _, _, got := runPolicy(t, p, 1, 4, cost, ops)
+		if got >= lruCost {
+			t.Errorf("%s aggregate cost %d, LRU %d: expected savings", p.Name(), got, lruCost)
+		}
+	}
+}
+
+// ACL must never be dramatically worse than LRU — the paper's reliability
+// claim ("its cost is never worse than LRU's" in Table 2, within noise).
+func TestACLReliability(t *testing.T) {
+	cost := func(b uint64) Cost {
+		if b%3 == 0 {
+			return 8
+		}
+		return 1
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		ops := genOps(40000, 400, 0.02, seed)
+		_, _, _, lruCost := runPolicy(t, NewLRU(), 8, 4, cost, ops)
+		_, _, _, aclCost := runPolicy(t, NewACL(), 8, 4, cost, ops)
+		if float64(aclCost) > float64(lruCost)*1.02 {
+			t.Errorf("seed %d: ACL cost %d vs LRU %d (> 2%% worse)", seed, aclCost, lruCost)
+		}
+	}
+}

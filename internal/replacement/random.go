@@ -1,0 +1,53 @@
+package replacement
+
+// Random evicts a pseudo-random valid way. It serves as a locality-blind,
+// cost-blind reference point in ablation experiments. The generator is a
+// deterministic xorshift so runs are reproducible.
+type Random struct {
+	stackBase
+	state uint64
+}
+
+// NewRandom returns a Random policy seeded deterministically.
+func NewRandom(seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Random{state: seed}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "Random" }
+
+// Reset implements Policy.
+func (p *Random) Reset(sets, ways int) { p.reset(sets, ways) }
+
+// Access implements Policy.
+func (p *Random) Access(set int, tag uint64, hit bool) {}
+
+// Touch implements Policy.
+func (p *Random) Touch(set, way int) { p.set(set).touch(way) }
+
+// Victim implements Policy: a uniformly chosen valid way.
+func (p *Random) Victim(set int) int {
+	m := p.set(set)
+	if w := firstInvalid(m); w >= 0 {
+		return w
+	}
+	// xorshift64*
+	p.state ^= p.state >> 12
+	p.state ^= p.state << 25
+	p.state ^= p.state >> 27
+	r := p.state * 0x2545f4914f6cdd1d
+	return m.stack[int(r%uint64(m.live))]
+}
+
+// Fill implements Policy.
+func (p *Random) Fill(set, way int, tag uint64, cost Cost) { p.set(set).fill(way, tag, cost) }
+
+// Invalidate implements Policy.
+func (p *Random) Invalidate(set, way int, tag uint64) {
+	if way >= 0 {
+		p.set(set).invalidate(way)
+	}
+}

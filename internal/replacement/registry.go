@@ -1,0 +1,64 @@
+package replacement
+
+// ByName returns a factory for a policy named as in the paper's tables:
+// LRU, GD, BCL, DCL, ACL, the aliased variants DCL-a4 / ACL-a4 (any
+// positive bit count after "-a"), and Random. ok is false for unknown
+// names.
+func ByName(name string) (Factory, bool) {
+	switch name {
+	case "LRU":
+		return func() Policy { return NewLRU() }, true
+	case "GD":
+		return func() Policy { return NewGD() }, true
+	case "BCL":
+		return func() Policy { return NewBCL() }, true
+	case "DCL":
+		return func() Policy { return NewDCL() }, true
+	case "ACL":
+		return func() Policy { return NewACL() }, true
+	case "Random":
+		return func() Policy { return NewRandom(1) }, true
+	case "PLRU":
+		return func() Policy { return NewPLRU() }, true
+	case "CS-PLRU":
+		return func() Policy { return NewCSPLRU(0) }, true
+	case "LFU":
+		return func() Policy { return NewLFU() }, true
+	case "SLRU":
+		return func() Policy { return NewSLRU() }, true
+	}
+	if bits, base, ok := parseAliased(name); ok {
+		switch base {
+		case "DCL":
+			return func() Policy { return NewDCLWith(Options{TagBits: bits}) }, true
+		case "ACL":
+			return func() Policy { return NewACLWith(Options{TagBits: bits}) }, true
+		}
+	}
+	return nil, false
+}
+
+// parseAliased decodes "DCL-a4" style names.
+func parseAliased(name string) (bits int, base string, ok bool) {
+	for _, b := range []string{"DCL", "ACL"} {
+		prefix := b + "-a"
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			n := 0
+			for _, c := range name[len(prefix):] {
+				if c < '0' || c > '9' {
+					return 0, "", false
+				}
+				n = n*10 + int(c-'0')
+			}
+			if n > 0 && n < 64 {
+				return n, b, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// Names lists the registry's canonical policy names.
+func Names() []string {
+	return []string{"LRU", "GD", "BCL", "DCL", "ACL", "DCL-a4", "ACL-a4", "Random", "PLRU", "CS-PLRU", "LFU", "SLRU"}
+}

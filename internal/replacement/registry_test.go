@@ -1,0 +1,35 @@
+package replacement
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		f, ok := ByName(name)
+		if !ok {
+			t.Errorf("ByName(%q) not found", name)
+			continue
+		}
+		if got := f().Name(); got != name {
+			t.Errorf("ByName(%q) built %q", name, got)
+		}
+	}
+}
+
+func TestByNameAliasVariants(t *testing.T) {
+	f, ok := ByName("DCL-a8")
+	if !ok || f().Name() != "DCL-a8" {
+		t.Fatal("DCL-a8 must parse")
+	}
+	f, ok = ByName("ACL-a2")
+	if !ok || f().Name() != "ACL-a2" {
+		t.Fatal("ACL-a2 must parse")
+	}
+}
+
+func TestByNameRejectsGarbage(t *testing.T) {
+	for _, name := range []string{"", "SRRIP", "DCL-a", "DCL-a0", "DCL-a99", "ACL-axy", "dcl"} {
+		if _, ok := ByName(name); ok {
+			t.Errorf("ByName(%q) should fail", name)
+		}
+	}
+}

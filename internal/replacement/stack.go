@@ -1,0 +1,119 @@
+package replacement
+
+// setMeta is the per-set replacement metadata shared by the stack-based
+// policies: an LRU stack of ways plus per-way tag, validity and fixed miss
+// cost. The stack is a permutation of way indices with stack[0] the MRU; all
+// invalid ways form a suffix, so valid blocks occupy a prefix ordered by
+// recency.
+type setMeta struct {
+	stack []int
+	tag   []uint64
+	cost  []Cost
+	valid []bool
+	live  int // number of valid ways (length of the valid prefix)
+}
+
+func newSetMeta(ways int) setMeta {
+	m := setMeta{
+		stack: make([]int, ways),
+		tag:   make([]uint64, ways),
+		cost:  make([]Cost, ways),
+		valid: make([]bool, ways),
+	}
+	for w := range m.stack {
+		m.stack[w] = w
+	}
+	return m
+}
+
+// posOf returns the stack position of way.
+func (m *setMeta) posOf(way int) int {
+	for p, w := range m.stack {
+		if w == way {
+			return p
+		}
+	}
+	panic("replacement: way not in stack")
+}
+
+// toFront moves way to the MRU position.
+func (m *setMeta) toFront(way int) {
+	p := m.posOf(way)
+	copy(m.stack[1:p+1], m.stack[:p])
+	m.stack[0] = way
+}
+
+// toBack moves way to the LRU-most position.
+func (m *setMeta) toBack(way int) {
+	p := m.posOf(way)
+	copy(m.stack[p:], m.stack[p+1:])
+	m.stack[len(m.stack)-1] = way
+}
+
+// touch promotes a valid way to MRU.
+func (m *setMeta) touch(way int) { m.toFront(way) }
+
+// fill installs tag/cost at way and promotes it to MRU.
+func (m *setMeta) fill(way int, tag uint64, cost Cost) {
+	if !m.valid[way] {
+		m.valid[way] = true
+		m.live++
+	}
+	m.tag[way] = tag
+	m.cost[way] = cost
+	m.toFront(way)
+}
+
+// invalidate clears way and demotes it past all valid ways.
+func (m *setMeta) invalidate(way int) {
+	if m.valid[way] {
+		m.valid[way] = false
+		m.live--
+	}
+	m.toBack(way)
+}
+
+// lruWay returns the least recently used valid way, or -1 if the set is
+// empty.
+func (m *setMeta) lruWay() int {
+	if m.live == 0 {
+		return -1
+	}
+	return m.stack[m.live-1]
+}
+
+// lruIdent returns an identity token (way, tag) for the current occupant of
+// the LRU position, used to detect when a new block "enters the LRU
+// position" (the trigger for reloading Acost in BCL/DCL/ACL).
+func (m *setMeta) lruIdent() (way int, tag uint64, ok bool) {
+	w := m.lruWay()
+	if w < 0 {
+		return -1, 0, false
+	}
+	return w, m.tag[w], true
+}
+
+// full reports whether every way is valid.
+func (m *setMeta) full() bool { return m.live == len(m.stack) }
+
+// stackBase provides the common Reset/Touch/Fill/Invalidate plumbing for
+// stack-based policies. Embedders override hooks via the onChange callback,
+// which fires after any mutation so cost-sensitive policies can detect LRU
+// occupancy changes.
+type stackBase struct {
+	ways int
+	sets []setMeta
+}
+
+func (b *stackBase) reset(sets, ways int) {
+	if sets <= 0 || ways <= 0 {
+		panic("replacement: sets and ways must be positive")
+	}
+	b.ways = ways
+	b.sets = make([]setMeta, sets)
+	for i := range b.sets {
+		b.sets[i] = newSetMeta(ways)
+	}
+}
+
+func (b *stackBase) set(i int) *setMeta { return &b.sets[i] }

@@ -1,0 +1,62 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFprintAligned(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Demo\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset on data rows.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestAddPadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Add("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestAddF(t *testing.T) {
+	tb := New("", "s", "f", "i")
+	tb.AddF("x", 3.14159, 42)
+	got := tb.Rows[0]
+	if got[0] != "x" || got[1] != "3.14" || got[2] != "42" {
+		t.Fatalf("AddF row = %v", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add(`va"l`, "x,y")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"va\"\"l\",\"x,y\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.12345) != "12.35" {
+		t.Fatalf("Pct = %q", Pct(0.12345))
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary trace format:
+//
+//	magic "CSTR" | version u8 | numProcs uvarint | name len+bytes | refCount uvarint
+//	then per ref: proc uvarint | op u8 | addr delta zig-zag varint (per-proc last addr)
+//
+// Delta encoding per processor keeps sequential sweeps compact.
+
+const (
+	binMagic   = "CSTR"
+	binVersion = 1
+)
+
+var errBadMagic = errors.New("trace: bad magic (not a costcache binary trace)")
+
+// WriteBinary encodes the trace in the compact binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(t.NumProcs)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Refs))); err != nil {
+		return err
+	}
+	last := make(map[int16]uint64)
+	for _, r := range t.Refs {
+		if err := putUvarint(uint64(r.Proc)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Op)); err != nil {
+			return err
+		}
+		if err := putVarint(int64(r.Addr) - int64(last[r.Proc])); err != nil {
+			return err
+		}
+		last[r.Proc] = r.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, errBadMagic
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	numProcs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{NumProcs: int(numProcs), Name: string(name)}
+	// The count is untrusted input: cap the preallocation so a forged
+	// header cannot force a huge allocation (found by FuzzReadBinary).
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t.Refs = make([]Ref, 0, prealloc)
+	last := make(map[int16]uint64)
+	for i := uint64(0); i < count; i++ {
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ref %d: %w", i, err)
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: ref %d: %w", i, err)
+		}
+		if Op(op) != Read && Op(op) != Write {
+			return nil, fmt.Errorf("trace: ref %d: bad op %d", i, op)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ref %d: %w", i, err)
+		}
+		addr := uint64(int64(last[int16(proc)]) + delta)
+		last[int16(proc)] = addr
+		t.Refs = append(t.Refs, Ref{Addr: addr, Proc: int16(proc), Op: Op(op)})
+	}
+	return t, nil
+}
+
+// WriteText encodes the trace as one reference per line: "<proc> <R|W> 0x<addr>".
+// A header line carries the processor count and name.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# costcache trace procs=%d name=%s\n", t.NumProcs, t.Name); err != nil {
+		return err
+	}
+	for _, r := range t.Refs {
+		if _, err := fmt.Fprintf(bw, "%d %s 0x%x\n", r.Proc, r.Op, r.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a trace written by WriteText. Lines starting with '#' other
+// than the header are ignored, so traces can be annotated by hand.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.Contains(line, "costcache trace") {
+				for _, f := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(f, "procs="); ok {
+						n, err := strconv.Atoi(v)
+						if err != nil {
+							return nil, fmt.Errorf("trace: line %d: bad procs: %w", lineNo, err)
+						}
+						t.NumProcs = n
+					}
+					if v, ok := strings.CutPrefix(f, "name="); ok {
+						t.Name = v
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		proc, err := strconv.ParseInt(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad proc: %w", lineNo, err)
+		}
+		var op Op
+		switch fields[1] {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad addr: %w", lineNo, err)
+		}
+		t.Refs = append(t.Refs, Ref{Addr: addr, Proc: int16(proc), Op: op})
+		if int(proc) >= t.NumProcs {
+			t.NumProcs = int(proc) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the codecs: decoding arbitrary bytes must never panic,
+// and whatever decodes must re-encode to something that decodes to the same
+// references.
+
+func FuzzReadBinary(f *testing.F) {
+	tr := mkTrace(50, 4, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CSTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Refs) != len(got.Refs) {
+			t.Fatalf("ref count changed: %d -> %d", len(got.Refs), len(again.Refs))
+		}
+		for i := range got.Refs {
+			if got.Refs[i] != again.Refs[i] {
+				t.Fatalf("ref %d changed", i)
+			}
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	f.Add("# costcache trace procs=2 name=x\n0 R 0x40\n1 W 0x80\n")
+	f.Add("0 R 0x0\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := ReadText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadText(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

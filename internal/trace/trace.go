@@ -1,0 +1,146 @@
+// Package trace defines memory-reference traces: the input consumed by the
+// trace-driven cost simulator (Section 3 of the paper) and the intermediate
+// form produced by the synthetic workload generators.
+//
+// A trace is a sequence of references, each tagged with the issuing processor
+// and the operation (read or write). Following the paper's methodology
+// (Section 3.1), the per-processor view used for simulation contains all
+// shared-data references of one sample processor plus all writes by other
+// processors, so that cache invalidations are accounted for.
+package trace
+
+import "fmt"
+
+// Op is the kind of memory operation performed by a reference.
+type Op uint8
+
+const (
+	// Read is a load.
+	Read Op = iota
+	// Write is a store.
+	Write
+)
+
+// String returns "R" for Read and "W" for Write.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Ref is a single memory reference in a multiprocessor trace.
+type Ref struct {
+	// Addr is the byte address referenced.
+	Addr uint64
+	// Proc is the issuing processor, in [0, NumProcs).
+	Proc int16
+	// Op is Read or Write.
+	Op Op
+}
+
+// Trace is an ordered multiprocessor reference stream.
+type Trace struct {
+	// Refs is the interleaved reference stream, in global program order.
+	Refs []Ref
+	// NumProcs is the number of processors that contributed references.
+	NumProcs int
+	// Name labels the trace (e.g. the generating workload).
+	Name string
+}
+
+// Append adds a reference to the trace.
+func (t *Trace) Append(r Ref) { t.Refs = append(t.Refs, r) }
+
+// Len returns the number of references in the trace.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// SampleView returns the per-processor trace used by the cost simulator: all
+// references issued by proc plus all writes issued by other processors (which
+// model coherence invalidations at the sample processor's caches). The Remote
+// flag of each returned reference distinguishes the two.
+func (t *Trace) SampleView(proc int16) []SampleRef {
+	out := make([]SampleRef, 0, len(t.Refs))
+	for _, r := range t.Refs {
+		switch {
+		case r.Proc == proc:
+			out = append(out, SampleRef{Addr: r.Addr, Op: r.Op})
+		case r.Op == Write:
+			out = append(out, SampleRef{Addr: r.Addr, Op: Write, Remote: true})
+		}
+	}
+	return out
+}
+
+// SampleRef is one entry of a per-processor trace view. A remote entry is a
+// write by another processor and acts purely as an invalidation; a local
+// entry is a reference by the sample processor.
+type SampleRef struct {
+	// Addr is the byte address referenced.
+	Addr uint64
+	// Op is Read or Write.
+	Op Op
+	// Remote reports whether the reference was issued by another processor.
+	Remote bool
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Refs         int
+	Reads        int
+	Writes       int
+	UniqueBlocks int
+	// FootprintBytes is UniqueBlocks * blockBytes.
+	FootprintBytes int64
+	// PerProc counts references per processor.
+	PerProc []int
+}
+
+// Summarize computes Stats over the trace using the given block size.
+func (t *Trace) Summarize(blockBytes int) Stats {
+	if blockBytes <= 0 {
+		panic("trace: blockBytes must be positive")
+	}
+	s := Stats{PerProc: make([]int, t.NumProcs)}
+	blocks := make(map[uint64]struct{})
+	for _, r := range t.Refs {
+		s.Refs++
+		if r.Op == Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		if int(r.Proc) < len(s.PerProc) {
+			s.PerProc[r.Proc]++
+		}
+		blocks[r.Addr/uint64(blockBytes)] = struct{}{}
+	}
+	s.UniqueBlocks = len(blocks)
+	s.FootprintBytes = int64(s.UniqueBlocks) * int64(blockBytes)
+	return s
+}
+
+// RemoteFraction returns the fraction of proc's references whose block is not
+// homed at proc according to home. It corresponds to the "remote access
+// fraction" column of Table 1 in the paper.
+func (t *Trace) RemoteFraction(proc int16, blockBytes int, home func(block uint64) int16) float64 {
+	var local, remote int
+	for _, r := range t.Refs {
+		if r.Proc != proc {
+			continue
+		}
+		if home(r.Addr/uint64(blockBytes)) == proc {
+			local++
+		} else {
+			remote++
+		}
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(remote) / float64(local+remote)
+}

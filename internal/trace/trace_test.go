@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(n, procs int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{NumProcs: procs, Name: "synthetic"}
+	for i := 0; i < n; i++ {
+		t.Append(Ref{
+			Addr: uint64(rng.Intn(1 << 20)),
+			Proc: int16(rng.Intn(procs)),
+			Op:   Op(rng.Intn(2)),
+		})
+	}
+	return t
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatalf("Op strings: %v %v", Read, Write)
+	}
+	if got := Op(9).String(); got != "Op(9)" {
+		t.Fatalf("bad op string %q", got)
+	}
+}
+
+func TestSampleView(t *testing.T) {
+	tr := &Trace{NumProcs: 3}
+	tr.Append(Ref{Addr: 0x100, Proc: 0, Op: Read})
+	tr.Append(Ref{Addr: 0x200, Proc: 1, Op: Write}) // remote write: kept
+	tr.Append(Ref{Addr: 0x300, Proc: 1, Op: Read})  // remote read: dropped
+	tr.Append(Ref{Addr: 0x400, Proc: 0, Op: Write})
+	tr.Append(Ref{Addr: 0x500, Proc: 2, Op: Write}) // remote write: kept
+
+	view := tr.SampleView(0)
+	want := []SampleRef{
+		{Addr: 0x100, Op: Read},
+		{Addr: 0x200, Op: Write, Remote: true},
+		{Addr: 0x400, Op: Write},
+		{Addr: 0x500, Op: Write, Remote: true},
+	}
+	if !reflect.DeepEqual(view, want) {
+		t.Fatalf("SampleView(0) = %+v, want %+v", view, want)
+	}
+}
+
+func TestSampleViewPreservesOrder(t *testing.T) {
+	tr := mkTrace(5000, 4, 7)
+	view := tr.SampleView(2)
+	// Every local ref and every remote write must appear, in order.
+	j := 0
+	for _, r := range tr.Refs {
+		if r.Proc == 2 || r.Op == Write {
+			if j >= len(view) {
+				t.Fatal("view too short")
+			}
+			v := view[j]
+			if v.Addr != r.Addr || v.Op != r.Op || v.Remote != (r.Proc != 2) {
+				t.Fatalf("view[%d] = %+v, src = %+v", j, v, r)
+			}
+			j++
+		}
+	}
+	if j != len(view) {
+		t.Fatalf("view has %d extra entries", len(view)-j)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{NumProcs: 2}
+	tr.Append(Ref{Addr: 0, Proc: 0, Op: Read})
+	tr.Append(Ref{Addr: 63, Proc: 0, Op: Write})  // same 64B block as 0
+	tr.Append(Ref{Addr: 64, Proc: 1, Op: Read})   // next block
+	tr.Append(Ref{Addr: 1024, Proc: 1, Op: Read}) // third block
+	s := tr.Summarize(64)
+	if s.Refs != 4 || s.Reads != 3 || s.Writes != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.UniqueBlocks != 3 || s.FootprintBytes != 192 {
+		t.Fatalf("blocks: %+v", s)
+	}
+	if s.PerProc[0] != 2 || s.PerProc[1] != 2 {
+		t.Fatalf("per-proc: %+v", s.PerProc)
+	}
+}
+
+func TestSummarizePanicsOnBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Trace{}).Summarize(0)
+}
+
+func TestRemoteFraction(t *testing.T) {
+	tr := &Trace{NumProcs: 2}
+	// proc 0 touches blocks 0,1,2,3; homes: even blocks -> proc 0.
+	for b := uint64(0); b < 4; b++ {
+		tr.Append(Ref{Addr: b * 64, Proc: 0, Op: Read})
+	}
+	home := func(block uint64) int16 { return int16(block % 2) }
+	got := tr.RemoteFraction(0, 64, home)
+	if got != 0.5 {
+		t.Fatalf("RemoteFraction = %v, want 0.5", got)
+	}
+	if f := tr.RemoteFraction(1, 64, home); f != 0 {
+		t.Fatalf("proc with no refs should be 0, got %v", f)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := mkTrace(10000, 8, 42)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs != tr.NumProcs || got.Name != tr.Name {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Refs, tr.Refs) {
+		t.Fatal("refs mismatch after binary round trip")
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(addrs []uint64, procsRaw uint8, seed int64) bool {
+		procs := int(procsRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{NumProcs: procs, Name: "q"}
+		for _, a := range addrs {
+			tr.Append(Ref{Addr: a, Proc: int16(rng.Intn(procs)), Op: Op(rng.Intn(2))})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Refs) == 0 && len(tr.Refs) == 0 {
+			return true // nil vs empty slice are equivalent traces
+		}
+		return reflect.DeepEqual(got.Refs, tr.Refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("expected error on garbage input")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := mkTrace(2000, 4, 3)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs != tr.NumProcs || got.Name != tr.Name {
+		t.Fatalf("header mismatch: procs=%d name=%q", got.NumProcs, got.Name)
+	}
+	if !reflect.DeepEqual(got.Refs, tr.Refs) {
+		t.Fatal("refs mismatch after text round trip")
+	}
+}
+
+func TestTextComments(t *testing.T) {
+	in := "# hand annotation\n0 R 0x40\n\n# another\n1 W 0x80\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Refs) != 2 || got.NumProcs != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"0 R\n",        // missing addr
+		"x R 0x40\n",   // bad proc
+		"0 Q 0x40\n",   // bad op
+		"0 R zzz\n",    // bad addr
+		"0 R 0x40 5\n", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	tr := mkTrace(100000, 8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBinaryTruncatedStream(t *testing.T) {
+	tr := mkTrace(100, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{1, 3, 4, 5, 7, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d: expected error", cut)
+		}
+	}
+}
+
+func TestBinaryWrongVersion(t *testing.T) {
+	tr := mkTrace(10, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // corrupt the version byte
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected version error")
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import "costcache/internal/trace"
+
+// FFT models the SPLASH-2 six-step FFT: a sqrt(n) x sqrt(n) matrix of
+// complex doubles, row-banded across processors. Local butterfly sweeps
+// alternate with all-to-all transposes in which each processor reads a
+// patch from every other processor's band and writes it into its own —
+// the classic burst of remote traffic. The paper's footnote reports FFT
+// (like Water, MP3D and Radix) "yielded no additional insight"; it is
+// included for completeness and as a stress case with phase-bursty remote
+// accesses.
+type FFT struct {
+	// N is the matrix dimension: the transform size is N*N complex points.
+	N int
+	// Sweeps is the number of butterfly sweeps between transposes.
+	Sweeps int
+	// Stages is the number of (butterfly, transpose) rounds.
+	Stages int
+	// Procs is the processor count.
+	Procs int
+	// Seed controls interleaving.
+	Seed int64
+}
+
+// DefaultFFT returns the configuration used by the extra-benchmark drivers.
+func DefaultFFT() FFT { return FFT{N: 128, Sweeps: 2, Stages: 3, Procs: 8, Seed: 5} }
+
+// Name implements Generator.
+func (FFT) Name() string { return "FFT" }
+
+// addr returns the byte address of complex element (i,j): 16 bytes each.
+func (w FFT) addr(i, j int) uint64 { return regionMatrix + uint64(i*w.N+j)*16 }
+
+// Generate implements Generator.
+func (w FFT) Generate() *trace.Trace { return w.emit().build(w.Name()) }
+
+// Program returns the barrier-structured form of the FFT workload.
+func (w FFT) Program() *Program { return w.emit().buildProgram(w.Name()) }
+
+func (w FFT) emit() *builder {
+	b := newBuilder(w.Procs, w.Seed)
+	rows := w.N / w.Procs
+
+	// Initialization: each processor writes its row band (first touch).
+	for p := 0; p < w.Procs; p++ {
+		for i := p * rows; i < (p+1)*rows; i++ {
+			for j := 0; j < w.N; j += 4 { // one ref per 64-byte block
+				b.write(p, w.addr(i, j))
+			}
+		}
+	}
+	b.barrier()
+
+	for stage := 0; stage < w.Stages; stage++ {
+		// Butterfly sweeps over the local band: read pairs, write results.
+		for s := 0; s < w.Sweeps; s++ {
+			stride := 1 << (s % 5)
+			for p := 0; p < w.Procs; p++ {
+				for i := p * rows; i < (p+1)*rows; i++ {
+					for j := 0; j+stride*4 < w.N; j += 4 {
+						b.read(p, w.addr(i, j))
+						b.read(p, w.addr(i, (j+stride*4)%w.N))
+						b.write(p, w.addr(i, j))
+					}
+				}
+			}
+			b.barrier()
+		}
+		// Transpose: processor p reads patch (q-band rows, p-band columns)
+		// from every q and writes it into its own band. Reads from q != p
+		// are remote; writes are local.
+		for p := 0; p < w.Procs; p++ {
+			for q := 0; q < w.Procs; q++ {
+				for i := q * rows; i < (q+1)*rows; i++ {
+					for j := p * rows; j < (p+1)*rows; j += 4 {
+						b.read(p, w.addr(i, j))
+						b.write(p, w.addr(j, i&^3))
+					}
+				}
+			}
+		}
+		b.barrier()
+	}
+	return b
+}

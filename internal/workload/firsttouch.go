@@ -1,0 +1,30 @@
+package workload
+
+import "costcache/internal/trace"
+
+// FirstTouchHomes assigns each block referenced in the trace to the memory
+// of the first processor that touches it — the placement policy the paper
+// uses both for the first-touch cost mapping (Section 3.3) and the CC-NUMA
+// evaluation (Section 4.2).
+func FirstTouchHomes(t *trace.Trace, blockBytes int) map[uint64]int16 {
+	homes := make(map[uint64]int16)
+	for _, r := range t.Refs {
+		b := r.Addr / uint64(blockBytes)
+		if _, ok := homes[b]; !ok {
+			homes[b] = r.Proc
+		}
+	}
+	return homes
+}
+
+// HomeFunc wraps a home map in a lookup function; blocks never touched fall
+// back to def (home 0 is a safe default: it only affects blocks absent from
+// the trace).
+func HomeFunc(homes map[uint64]int16, def int16) func(block uint64) int16 {
+	return func(block uint64) int16 {
+		if h, ok := homes[block]; ok {
+			return h
+		}
+		return def
+	}
+}

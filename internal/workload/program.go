@@ -1,0 +1,63 @@
+package workload
+
+import "costcache/internal/trace"
+
+// Program is the per-processor, barrier-structured form of a workload: the
+// input of the execution-driven CC-NUMA simulator (Section 4). Phases are
+// separated by global barriers; within a phase each processor executes its
+// reference list in order, interleaving with the others under the timing
+// model rather than a pre-chosen trace order.
+type Program struct {
+	// Name is the benchmark name.
+	Name string
+	// Procs is the number of processors.
+	Procs int
+	// Phases holds, for each barrier-delimited phase, each processor's
+	// ordered references.
+	Phases [][][]trace.Ref
+}
+
+// TotalRefs returns the total number of references across all processors.
+func (p *Program) TotalRefs() int {
+	n := 0
+	for _, ph := range p.Phases {
+		for _, refs := range ph {
+			n += len(refs)
+		}
+	}
+	return n
+}
+
+// buildProgram snapshots the builder's phases as a Program. Unlike build it
+// performs no interleaving: the timing simulator decides the global order.
+func (b *builder) buildProgram(name string) *Program {
+	b.barrier()
+	p := &Program{Name: name, Procs: b.procs, Phases: b.phases}
+	b.phases = nil
+	return p
+}
+
+// ProgramOf builds the per-processor program form of a generator. All the
+// package's generators support it; ok is false otherwise.
+func ProgramOf(g Generator) (*Program, bool) {
+	type programmer interface{ Program() *Program }
+	if pg, isP := g.(programmer); isP {
+		return pg.Program(), true
+	}
+	return nil, false
+}
+
+// Program returns the barrier-structured form of the Barnes workload.
+func (w Barnes) Program() *Program { return w.emit().buildProgram(w.Name()) }
+
+// Program returns the barrier-structured form of the LU workload.
+func (l LU) Program() *Program { return l.emit().buildProgram(l.Name()) }
+
+// Program returns the barrier-structured form of the Ocean workload.
+func (w Ocean) Program() *Program { return w.emit().buildProgram(w.Name()) }
+
+// Program returns the barrier-structured form of the Raytrace workload.
+func (w Raytrace) Program() *Program { return w.emit().buildProgram(w.Name()) }
+
+// Program returns the barrier-structured form of the Synthetic workload.
+func (w Synthetic) Program() *Program { return w.emit().buildProgram(w.Name()) }

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+
+	"costcache/internal/trace"
+)
+
+// Radix models the SPLASH-2 radix sort: per-processor key arrays scanned
+// sequentially (local, streaming), a shared histogram updated by everyone
+// (write-shared blocks that bounce between caches), and a permutation phase
+// that writes keys into destination slots scattered over all processors'
+// arrays (remote write bursts). Listed in the paper's footnote as yielding
+// no additional insight; included as the invalidation-heavy extreme.
+type Radix struct {
+	// KeysPerProc is each processor's key count (4 bytes per key).
+	KeysPerProc int
+	// Buckets is the histogram size in entries.
+	Buckets int
+	// Passes is the number of radix passes.
+	Passes int
+	// Procs is the processor count.
+	Procs int
+	// Seed controls destination scattering and interleaving.
+	Seed int64
+}
+
+// DefaultRadix returns the configuration used by the extra-benchmark
+// drivers.
+func DefaultRadix() Radix {
+	return Radix{KeysPerProc: 16384, Buckets: 1024, Passes: 3, Procs: 8, Seed: 6}
+}
+
+// Name implements Generator.
+func (Radix) Name() string { return "Radix" }
+
+func (w Radix) keyAddr(p, i int) uint64 {
+	return regionBodies + uint64(p)<<24 + uint64(i)*4
+}
+
+func (w Radix) bucketAddr(bkt int) uint64 { return regionQueue + uint64(bkt)*4 }
+
+// Generate implements Generator.
+func (w Radix) Generate() *trace.Trace { return w.emit().build(w.Name()) }
+
+// Program returns the barrier-structured form of the Radix workload.
+func (w Radix) Program() *Program { return w.emit().buildProgram(w.Name()) }
+
+func (w Radix) emit() *builder {
+	b := newBuilder(w.Procs, w.Seed)
+
+	// Initialization: write own keys (first touch -> local).
+	for p := 0; p < w.Procs; p++ {
+		for i := 0; i < w.KeysPerProc; i += 16 { // per block
+			b.write(p, w.keyAddr(p, i))
+		}
+	}
+	// Histogram first touch is striped so bucket homes scatter.
+	for p := 0; p < w.Procs; p++ {
+		for bkt := p; bkt < w.Buckets; bkt += w.Procs {
+			b.write(p, w.bucketAddr(bkt))
+		}
+	}
+	b.barrier()
+
+	for pass := 0; pass < w.Passes; pass++ {
+		// Histogram phase: scan own keys, bump shared buckets.
+		for p := 0; p < w.Procs; p++ {
+			rng := rand.New(rand.NewSource(w.Seed + int64(pass*w.Procs+p)))
+			for i := 0; i < w.KeysPerProc; i += 4 {
+				b.read(p, w.keyAddr(p, i))
+				bkt := rng.Intn(w.Buckets)
+				b.read(p, w.bucketAddr(bkt))
+				b.write(p, w.bucketAddr(bkt))
+			}
+		}
+		b.barrier()
+		// Permutation phase: read own keys, write each to a scattered
+		// destination in some processor's array (remote 7/8 of the time).
+		for p := 0; p < w.Procs; p++ {
+			rng := rand.New(rand.NewSource(w.Seed ^ int64(pass*w.Procs+p)*7919))
+			for i := 0; i < w.KeysPerProc; i += 4 {
+				b.read(p, w.keyAddr(p, i))
+				dst := rng.Intn(w.Procs)
+				slot := rng.Intn(w.KeysPerProc) &^ 3
+				b.write(p, w.keyAddr(dst, slot))
+			}
+		}
+		b.barrier()
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math/rand"
+
+	"costcache/internal/trace"
+)
+
+// Synthetic is a tunable generic generator used by tests, examples and
+// microbenchmarks: each processor references a shared Zipf-skewed region
+// plus a private region, with a configurable write fraction.
+type Synthetic struct {
+	// Blocks is the shared footprint in blocks.
+	Blocks int
+	// RefsPerProc is the number of references each processor issues.
+	RefsPerProc int
+	// WriteFrac is the probability a reference is a write.
+	WriteFrac float64
+	// SharedFrac is the probability a reference targets the shared region
+	// (the rest go to a private per-processor region).
+	SharedFrac float64
+	// ZipfS is the Zipf skew of shared accesses (values <= 1 fall back to
+	// uniform).
+	ZipfS float64
+	// Procs is the processor count.
+	Procs int
+	// Seed controls all random choices.
+	Seed int64
+}
+
+// Name implements Generator.
+func (Synthetic) Name() string { return "Synthetic" }
+
+// Generate implements Generator.
+func (w Synthetic) Generate() *trace.Trace { return w.emit().build(w.Name()) }
+
+func (w Synthetic) emit() *builder {
+	b := newBuilder(w.Procs, w.Seed)
+	for p := 0; p < w.Procs; p++ {
+		rng := rand.New(rand.NewSource(w.Seed*7919 + int64(p)))
+		var zipf zipfPicker
+		if w.ZipfS > 1 {
+			zipf = newZipf(rng, w.ZipfS, uint64(w.Blocks))
+		}
+		private := regionPrivate + uint64(p)<<24
+		for i := 0; i < w.RefsPerProc; i++ {
+			var addr uint64
+			if rng.Float64() < w.SharedFrac {
+				var n uint64
+				if w.ZipfS > 1 {
+					n = zipf.pick()
+				} else {
+					n = uint64(rng.Intn(w.Blocks))
+				}
+				addr = regionScene + n*BlockBytes
+			} else {
+				addr = private + uint64(rng.Intn(w.Blocks/4+1))*BlockBytes
+			}
+			op := trace.Read
+			if rng.Float64() < w.WriteFrac {
+				op = trace.Write
+			}
+			b.ref(p, addr, op)
+		}
+	}
+	return b
+}
+
+// ByName returns the default configuration of a named benchmark generator.
+// Recognized names: the Table 1 benchmarks (Barnes, LU, Ocean, Raytrace)
+// plus the footnote extras FFT and Radix (case-sensitive).
+func ByName(name string) (Generator, bool) {
+	switch name {
+	case "Barnes":
+		return DefaultBarnes(), true
+	case "LU":
+		return DefaultLU(), true
+	case "Ocean":
+		return DefaultOcean(), true
+	case "Raytrace":
+		return DefaultRaytrace(), true
+	case "FFT":
+		return DefaultFFT(), true
+	case "Radix":
+		return DefaultRadix(), true
+	}
+	return nil, false
+}
+
+// Defaults returns the four paper benchmarks in Table 1 order.
+func Defaults() []Generator {
+	return []Generator{DefaultBarnes(), DefaultLU(), DefaultOcean(), DefaultRaytrace()}
+}

@@ -1,0 +1,133 @@
+// Package workload generates synthetic multiprocessor reference traces
+// modeled on the four SPLASH-2 benchmarks the paper evaluates (Table 1):
+// Barnes, LU, Ocean and Raytrace. The real traces were gathered from
+// execution-driven simulation of SPARC binaries; these generators are the
+// documented substitution (see DESIGN.md): deterministic kernels that
+// reproduce the trace-level properties the replacement study depends on —
+// footprint, sharing and invalidation traffic, locality structure, and the
+// remote-access fraction under first-touch placement.
+//
+// All generators are deterministic functions of their configuration,
+// including the seed, so experiments are exactly reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"costcache/internal/trace"
+)
+
+// Generator produces a multiprocessor trace.
+type Generator interface {
+	// Name returns the benchmark name ("Barnes", "LU", ...).
+	Name() string
+	// Generate builds the trace. It is deterministic.
+	Generate() *trace.Trace
+}
+
+// BlockBytes is the line size used throughout the paper (64-byte blocks).
+const BlockBytes = 64
+
+// builder assembles per-processor reference streams phase by phase and
+// interleaves them into a single global order. Within a phase, processors'
+// references are merged in randomized chunks (modelling asynchronous
+// progress); phases are separated by barriers, so no reference of phase k+1
+// precedes one of phase k — exactly the structure of the barrier-synchronized
+// SPLASH-2 kernels.
+type builder struct {
+	procs  int
+	rng    *rand.Rand
+	phases [][][]trace.Ref // phase -> proc -> refs
+	cur    [][]trace.Ref
+}
+
+func newBuilder(procs int, seed int64) *builder {
+	b := &builder{procs: procs, rng: rand.New(rand.NewSource(seed))}
+	b.cur = make([][]trace.Ref, procs)
+	return b
+}
+
+// ref appends a reference to proc's stream in the current phase.
+func (b *builder) ref(proc int, addr uint64, op trace.Op) {
+	b.cur[proc] = append(b.cur[proc], trace.Ref{Addr: addr, Proc: int16(proc), Op: op})
+}
+
+func (b *builder) read(proc int, addr uint64)  { b.ref(proc, addr, trace.Read) }
+func (b *builder) write(proc int, addr uint64) { b.ref(proc, addr, trace.Write) }
+
+// barrier closes the current phase.
+func (b *builder) barrier() {
+	b.phases = append(b.phases, b.cur)
+	b.cur = make([][]trace.Ref, b.procs)
+}
+
+// build interleaves all phases into the final trace.
+func (b *builder) build(name string) *trace.Trace {
+	b.barrier()
+	t := &trace.Trace{NumProcs: b.procs, Name: name}
+	total := 0
+	for _, ph := range b.phases {
+		for _, s := range ph {
+			total += len(s)
+		}
+	}
+	t.Refs = make([]trace.Ref, 0, total)
+	for _, ph := range b.phases {
+		pos := make([]int, b.procs)
+		remaining := 0
+		for _, s := range ph {
+			remaining += len(s)
+		}
+		live := make([]int, 0, b.procs)
+		for p, s := range ph {
+			if len(s) > 0 {
+				live = append(live, p)
+			}
+		}
+		for remaining > 0 {
+			// Pick a live processor and emit a chunk of its refs.
+			pi := b.rng.Intn(len(live))
+			p := live[pi]
+			chunk := 16 + b.rng.Intn(96)
+			s := ph[p]
+			n := len(s) - pos[p]
+			if chunk > n {
+				chunk = n
+			}
+			t.Refs = append(t.Refs, s[pos[p]:pos[p]+chunk]...)
+			pos[p] += chunk
+			remaining -= chunk
+			if pos[p] == len(s) {
+				live[pi] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+	}
+	return t
+}
+
+// zipfPicker draws block indices with a Zipf-like popularity skew, used for
+// the irregular shared structures (Barnes tree nodes, Raytrace scene).
+type zipfPicker struct {
+	z *rand.Zipf
+}
+
+func newZipf(rng *rand.Rand, s float64, n uint64) zipfPicker {
+	return zipfPicker{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+func (p zipfPicker) pick() uint64 { return p.z.Uint64() }
+
+// Memory regions keep the synthetic data structures disjoint. Each region is
+// 256 MB, far larger than any structure placed in it.
+const (
+	regionBodies = 0x1000_0000 << iota
+	regionTree
+	regionMatrix
+	regionGridA
+	regionGridB
+	regionScene
+	regionRays
+	regionQueue
+	regionPrivate
+)

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"costcache/internal/trace"
+)
+
+// small returns scaled-down configs so tests stay fast.
+func smallBarnes() Barnes {
+	w := DefaultBarnes()
+	w.Bodies, w.TreeNodes, w.Iterations = 1024, 512, 2
+	return w
+}
+
+// smallLU keeps nb = N/B at twice the processor count so every processor
+// owns interior block columns and performs remote panel reads.
+func smallLU() LU { return LU{N: 256, B: 16, Procs: 8, Seed: 1} }
+
+func smallOcean() Ocean { return Ocean{N: 130, Levels: 2, Iterations: 2, Procs: 16, Seed: 3} }
+
+func smallRaytrace() Raytrace {
+	w := DefaultRaytrace()
+	w.SceneBlocks, w.RaysPerProc = 4096, 800
+	return w
+}
+
+func smallAll() []Generator {
+	return []Generator{smallBarnes(), smallLU(), smallOcean(), smallRaytrace()}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range smallAll() {
+		a := g.Generate()
+		b := g.Generate()
+		if !reflect.DeepEqual(a.Refs, b.Refs) {
+			t.Errorf("%s: two generations differ", g.Name())
+		}
+	}
+}
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	wantProcs := map[string]int{"Barnes": 8, "LU": 8, "Ocean": 16, "Raytrace": 8}
+	for _, g := range smallAll() {
+		tr := g.Generate()
+		if tr.Name != g.Name() {
+			t.Errorf("%s: trace name %q", g.Name(), tr.Name)
+		}
+		if tr.NumProcs != wantProcs[g.Name()] {
+			t.Errorf("%s: procs = %d, want %d", g.Name(), tr.NumProcs, wantProcs[g.Name()])
+		}
+		st := tr.Summarize(BlockBytes)
+		if st.Refs < 50000 {
+			t.Errorf("%s: only %d refs", g.Name(), st.Refs)
+		}
+		if st.Writes == 0 || st.Reads == 0 {
+			t.Errorf("%s: reads=%d writes=%d", g.Name(), st.Reads, st.Writes)
+		}
+		// Every processor participates.
+		for p, n := range st.PerProc {
+			if n == 0 {
+				t.Errorf("%s: proc %d issued no refs", g.Name(), p)
+			}
+		}
+		// Footprint must far exceed the 16KB L2 under study.
+		if st.FootprintBytes < 128<<10 {
+			t.Errorf("%s: footprint %d bytes too small", g.Name(), st.FootprintBytes)
+		}
+	}
+}
+
+// Remote-access fractions under first-touch must land in the qualitative
+// bands of Table 1: Barnes high (~45%), Raytrace moderate (~30%), LU lower
+// (~20%), Ocean lowest (<10%).
+func TestRemoteFractionsMatchTable1Bands(t *testing.T) {
+	type band struct{ lo, hi float64 }
+	bands := map[string]band{
+		"Barnes":   {0.30, 0.60},
+		"LU":       {0.10, 0.30},
+		"Ocean":    {0.01, 0.10},
+		"Raytrace": {0.18, 0.42},
+	}
+	got := map[string]float64{}
+	for _, g := range smallAll() {
+		tr := g.Generate()
+		homes := FirstTouchHomes(tr, BlockBytes)
+		rf := tr.RemoteFraction(0, BlockBytes, HomeFunc(homes, 0))
+		got[g.Name()] = rf
+		b := bands[g.Name()]
+		if rf < b.lo || rf > b.hi {
+			t.Errorf("%s: remote fraction %.3f outside [%.2f,%.2f]", g.Name(), rf, b.lo, b.hi)
+		}
+	}
+	// Ordering property from Table 1: Barnes > Raytrace > LU > Ocean.
+	if !(got["Barnes"] > got["Raytrace"] && got["Raytrace"] > got["LU"] && got["LU"] > got["Ocean"]) {
+		t.Errorf("remote fraction ordering violated: %v", got)
+	}
+}
+
+func TestFirstTouchHomesCoverAllBlocks(t *testing.T) {
+	tr := smallLU().Generate()
+	homes := FirstTouchHomes(tr, BlockBytes)
+	for _, r := range tr.Refs {
+		if _, ok := homes[r.Addr/BlockBytes]; !ok {
+			t.Fatalf("block %#x has no home", r.Addr/BlockBytes)
+		}
+	}
+	// LU panels are written by their owners first: the home of a block
+	// must equal the column owner for most matrix blocks.
+	f := HomeFunc(homes, 0)
+	if f(1<<40) != 0 {
+		t.Fatal("default home must apply to untouched blocks")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// In LU, no interior-phase reference of step k may precede the diagonal
+	// factorization of step k. We verify a weaker, robust form: the
+	// initialization writes of a block column all precede any read of it.
+	tr := smallLU().Generate()
+	firstRead := map[uint64]int{}
+	lastInitWrite := map[uint64]int{}
+	initDone := false
+	for i, r := range tr.Refs {
+		b := r.Addr / BlockBytes
+		if r.Op == trace.Write && !initDone {
+			lastInitWrite[b] = i
+		}
+		if r.Op == trace.Read {
+			initDone = true
+			if _, ok := firstRead[b]; !ok {
+				firstRead[b] = i
+			}
+		}
+	}
+	for b, w := range lastInitWrite {
+		if fr, ok := firstRead[b]; ok && fr < w {
+			t.Fatalf("block %#x read at %d before its init write at %d", b, fr, w)
+		}
+	}
+}
+
+func TestSampleViewInvalidationTraffic(t *testing.T) {
+	// Ocean boundary rows are written by neighbours: the sample view of
+	// proc 0 must contain remote writes.
+	tr := smallOcean().Generate()
+	view := tr.SampleView(0)
+	remote := 0
+	for _, r := range view {
+		if r.Remote {
+			remote++
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no remote writes in sample view")
+	}
+	if remote == len(view) {
+		t.Fatal("sample view has no local refs")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	w := Synthetic{Blocks: 256, RefsPerProc: 5000, WriteFrac: 0.3, SharedFrac: 0.7, ZipfS: 1.2, Procs: 4, Seed: 9}
+	tr := w.Generate()
+	st := tr.Summarize(BlockBytes)
+	if st.Refs != 20000 {
+		t.Fatalf("refs = %d, want 20000", st.Refs)
+	}
+	wf := float64(st.Writes) / float64(st.Refs)
+	if wf < 0.25 || wf > 0.35 {
+		t.Fatalf("write fraction %.3f, want ~0.3", wf)
+	}
+	// Uniform variant.
+	w.ZipfS = 0
+	if w.Generate().Summarize(BlockBytes).Refs != 20000 {
+		t.Fatal("uniform variant broken")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Barnes", "LU", "Ocean", "Raytrace"} {
+		g, ok := ByName(name)
+		if !ok || g.Name() != name {
+			t.Errorf("ByName(%q) = %v,%v", name, g, ok)
+		}
+	}
+	if _, ok := ByName("SPECjbb"); ok {
+		t.Error("ByName must reject unknown benchmarks")
+	}
+	if len(Defaults()) != 4 {
+		t.Error("Defaults must return the four Table 1 benchmarks")
+	}
+}
+
+func TestLUBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LU{N: 100, B: 16, Procs: 8}.Generate()
+}
+
+func TestProgramMatchesTrace(t *testing.T) {
+	for _, g := range smallAll() {
+		prog, ok := ProgramOf(g)
+		if !ok {
+			t.Fatalf("%s: no program form", g.Name())
+		}
+		tr := g.Generate()
+		if prog.TotalRefs() != len(tr.Refs) {
+			t.Errorf("%s: program refs %d != trace refs %d", g.Name(), prog.TotalRefs(), len(tr.Refs))
+		}
+		if prog.Procs != tr.NumProcs || prog.Name != tr.Name {
+			t.Errorf("%s: header mismatch", g.Name())
+		}
+		// Per-processor reference sequences must be identical in both forms
+		// (the trace only interleaves, never reorders one processor).
+		perProcTrace := make([][]trace.Ref, prog.Procs)
+		for _, r := range tr.Refs {
+			perProcTrace[r.Proc] = append(perProcTrace[r.Proc], r)
+		}
+		perProcProg := make([][]trace.Ref, prog.Procs)
+		for _, ph := range prog.Phases {
+			for p, refs := range ph {
+				perProcProg[p] = append(perProcProg[p], refs...)
+			}
+		}
+		for p := range perProcTrace {
+			if !reflect.DeepEqual(perProcTrace[p], perProcProg[p]) {
+				t.Errorf("%s: proc %d sequences differ", g.Name(), p)
+			}
+		}
+	}
+}
+
+func TestProgramHasMultiplePhases(t *testing.T) {
+	prog := smallLU().Program()
+	if len(prog.Phases) < 4 {
+		t.Fatalf("LU program has %d phases, want several (barriers)", len(prog.Phases))
+	}
+}
+
+func TestExtraBenchmarks(t *testing.T) {
+	fft := FFT{N: 64, Sweeps: 2, Stages: 2, Procs: 8, Seed: 5}
+	radix := Radix{KeysPerProc: 2048, Buckets: 256, Passes: 2, Procs: 8, Seed: 6}
+	for _, g := range []Generator{fft, radix} {
+		tr := g.Generate()
+		if tr.Len() < 10000 {
+			t.Errorf("%s: only %d refs", g.Name(), tr.Len())
+		}
+		if !reflect.DeepEqual(tr.Refs, g.Generate().Refs) {
+			t.Errorf("%s: nondeterministic", g.Name())
+		}
+		homes := FirstTouchHomes(tr, BlockBytes)
+		rf := tr.RemoteFraction(0, BlockBytes, HomeFunc(homes, 0))
+		if rf <= 0.02 || rf >= 0.9 {
+			t.Errorf("%s: remote fraction %.3f implausible", g.Name(), rf)
+		}
+		prog, ok := ProgramOf(g)
+		if !ok || prog.TotalRefs() != tr.Len() {
+			t.Errorf("%s: program form broken", g.Name())
+		}
+	}
+	// Radix must be write-heavy relative to FFT (permutation writes).
+	fw := writeFrac(fft.Generate())
+	rw := writeFrac(radix.Generate())
+	if rw <= fw {
+		t.Errorf("Radix write fraction %.2f should exceed FFT's %.2f", rw, fw)
+	}
+}
+
+func writeFrac(tr *trace.Trace) float64 {
+	st := tr.Summarize(BlockBytes)
+	return float64(st.Writes) / float64(st.Refs)
+}
+
+func TestByNameExtras(t *testing.T) {
+	for _, name := range []string{"FFT", "Radix"} {
+		g, ok := ByName(name)
+		if !ok || g.Name() != name {
+			t.Errorf("ByName(%q) broken", name)
+		}
+	}
+}
