@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the concurrency gate: vet + build + full test suite under the race
+# detector (the obs instruments are the main concurrent surface).
+race:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+ci:
+	./scripts/ci.sh
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ import (
 	"costcache/internal/costsim"
 	"costcache/internal/hwcost"
 	"costcache/internal/numasim"
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/trace"
 	"costcache/internal/workload"
@@ -374,4 +375,49 @@ func BenchmarkBaselines(b *testing.B) {
 			b.ReportMetric(s*100, "savings_pct")
 		})
 	}
+}
+
+// BenchmarkObservedVsBare measures what the observability layer costs the
+// trace-driven simulator: "bare" is costsim.Run, "nil-observer" is the same
+// policy with the Observer hook present but detached (the production default;
+// the acceptance bar is parity with bare), "shadow" adds the LRU shadow
+// hierarchy of RunObserved, and "traced" additionally binds a ring-buffer
+// tracer and a live metrics registry.
+func BenchmarkObservedVsBare(b *testing.B) {
+	benchData()
+	view := benchViews["Raytrace"]
+	src := costsim.CalibratedRandom(view, 64, 0.2, costsim.Ratio{Low: 1, High: 8}, 42)
+	cfg := costsim.Default()
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			costsim.Run(view, cfg, replacement.NewDCL(), src)
+		}
+		b.SetBytes(int64(len(view)))
+	})
+	b.Run("nil-observer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := replacement.NewDCL()
+			p.SetObserver(nil)
+			costsim.Run(view, cfg, p, src)
+		}
+		b.SetBytes(int64(len(view)))
+	})
+	b.Run("shadow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			costsim.RunObserved(view, cfg, replacement.NewDCL(), src, nil, 0, nil)
+		}
+		b.SetBytes(int64(len(view)))
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		tracer := obs.NewTracer(1 << 16)
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			costsim.RunObserved(view, cfg, replacement.NewDCL(), src, tracer.Bind("DCL"), 0, reg)
+		}
+		b.SetBytes(int64(len(view)))
+	})
 }

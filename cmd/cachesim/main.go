@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 
 	"costcache/internal/cost"
 	"costcache/internal/costsim"
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/trace"
@@ -39,7 +41,17 @@ func main() {
 	l2size := flag.Int("l2", 16<<10, "L2 size in bytes")
 	l2ways := flag.Int("ways", 4, "L2 associativity")
 	seed := flag.Uint64("seed", 42, "cost mapping seed")
+	obsListen := flag.String("obs.listen", "", "serve /metrics and pprof on this address")
+	obsTrace := flag.String("obs.trace", "", "write the policy's decision trace as JSONL to this file")
 	flag.Parse()
+
+	if *obsListen != "" {
+		ln, err := obs.Serve(*obsListen, obs.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: http://%s\n", ln.Addr())
+	}
 
 	var tr *trace.Trace
 	switch {
@@ -90,7 +102,33 @@ func main() {
 	}
 
 	base := costsim.Run(view, cfg, replacement.NewLRU(), src)
-	res := costsim.Run(view, cfg, factory(), src)
+	p := factory()
+	var tracer *obs.Tracer
+	if *obsTrace != "" {
+		f, err := os.Create(*obsTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		tracer = obs.NewTracer(1 << 16)
+		tracer.SetSink(bw)
+		if ob, ok := p.(replacement.Observable); ok {
+			ob.SetObserver(tracer.Bind(p.Name()))
+		} else {
+			log.Printf("policy %s does not emit decision events; trace will be empty", p.Name())
+		}
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				log.Fatal(err)
+			}
+			if err := tracer.Err(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("decision trace: %d events written to %s\n", tracer.Total(), *obsTrace)
+		}()
+	}
+	res := costsim.Run(view, cfg, p, src)
 
 	t := tabulate.New(fmt.Sprintf("%s on %s, %s %s mapping", *policy, tr.Name, r.Label, *costmap),
 		"Metric", "LRU", *policy)

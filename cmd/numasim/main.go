@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"costcache/internal/numasim"
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
@@ -28,7 +29,17 @@ func main() {
 	nohints := flag.Bool("nohints", false, "disable replacement hints")
 	table3 := flag.Bool("table3", false, "print the consecutive-miss latency matrix")
 	penalty := flag.Bool("penalty", false, "predict miss PENALTY instead of latency as the cost")
+	obsListen := flag.String("obs.listen", "", "serve /metrics and pprof on this address")
+	obsDump := flag.Bool("obs.dump", false, "dump the metrics registry as text after the run")
 	flag.Parse()
+
+	if *obsListen != "" {
+		ln, err := obs.Serve(*obsListen, obs.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: http://%s\n", ln.Addr())
+	}
 
 	g, ok := workload.ByName(*bench)
 	if !ok {
@@ -49,10 +60,12 @@ func main() {
 		return cfg
 	}
 
-	base := numasim.Run(prog, mk(func() replacement.Policy { return replacement.NewLRU() }))
-	res := base
+	cfg := mk(f)
+	cfg.Metrics = obs.Default // instrument the policy run, not the LRU baseline
+	res := numasim.Run(prog, cfg)
+	base := res
 	if *policy != "LRU" {
-		res = numasim.Run(prog, mk(f))
+		base = numasim.Run(prog, mk(func() replacement.Policy { return replacement.NewLRU() }))
 	}
 
 	t := tabulate.New(fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", *bench, *mhz, *policy, !*nohints),
@@ -71,5 +84,10 @@ func main() {
 		fmt.Println()
 		res.Table3.Table().Fprint(os.Stdout)
 		fmt.Printf("same-latency fraction: %.1f%%\n", res.Table3.SameLatencyFraction()*100)
+	}
+
+	if *obsDump {
+		fmt.Println()
+		obs.Default.Snapshot().WriteText(os.Stdout)
 	}
 }

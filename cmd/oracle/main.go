@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"costcache/internal/costsim"
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
@@ -37,7 +38,10 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown benchmark %q", *bench)
 	}
+	prog := obs.NewProgress(os.Stderr, nil, "events")
+	prog.Phase("generate")
 	view := g.Generate().SampleView(0)
+	prog.Add(int64(len(view)))
 	r := costsim.Ratio{Low: 1, High: replacement.Cost(*ratio)}
 	src := costsim.CalibratedRandom(view, 64, *haf, r, 7)
 	costOf := func(b uint64) replacement.Cost { return src.MissCost(b) }
@@ -46,6 +50,7 @@ func main() {
 	totals := map[string]int64{}
 	var optTotal, beladyTotal, lruMissTotal int64
 
+	prog.Phase("evaluate")
 	for set := 0; set < *sets; set++ {
 		var ev []replacement.OptEvent
 		distinct := map[uint64]bool{}
@@ -75,7 +80,9 @@ func main() {
 			f, _ := replacement.ByName(name)
 			totals[name] += replacement.AggregateCostOf(f(), ev, *ways, costOf)
 		}
+		prog.Add(int64(len(ev)))
 	}
+	prog.Done()
 	if optTotal == 0 {
 		log.Fatal("no activity sampled; increase -events")
 	}

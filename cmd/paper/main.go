@@ -5,29 +5,69 @@
 // Usage:
 //
 //	paper [-quick] [-only table1,figure3,table2,table3,table4,table5,assoc,sizes,hwcost]
+//	paper -obs.trace results/decisions.jsonl [-obs.window 50000] [-bench Barnes]
+//	paper -bench-json results/BENCH_obs.json
 //
 // With no -only flag every experiment runs, in paper order. -quick scales
 // the workloads down for a fast smoke run (shapes hold, magnitudes shift).
+//
+// -obs.trace switches to the observability run: the cost-sensitive policies
+// replay one benchmark with the decision tracer attached, every eviction /
+// reservation / automaton event is written as JSONL, the per-policy event
+// counts are reconciled against the cache counters, and per-window interval
+// statistics (misses, cost paid, cost saved vs. an LRU shadow) are printed
+// and written to results/obs_intervals.txt. -obs.listen serves /metrics and
+// pprof during any run. -bench-json times the observed vs. bare simulator
+// and writes the overhead record future PRs track.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
 	"costcache/internal/costsim"
 	"costcache/internal/hwcost"
 	"costcache/internal/numasim"
+	"costcache/internal/obs"
 	"costcache/internal/tabulate"
 	"costcache/internal/trace"
 	"costcache/internal/workload"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast smoke run")
 	only := flag.String("only", "", "comma-separated experiments to run (default: all)")
+	bench := flag.String("bench", "", "benchmark for -obs.trace/-bench-json (default: first workload)")
+	obsListen := flag.String("obs.listen", "", "serve /metrics and pprof on this address (e.g. localhost:6060)")
+	obsTrace := flag.String("obs.trace", "", "write the replacement decision trace as JSONL to this file and run the observability section")
+	obsWindow := flag.Int("obs.window", 50000, "interval-report window in trace references (-obs.trace)")
+	benchJSON := flag.String("bench-json", "", "time observed vs. bare simulation and write the JSON record to this file")
 	flag.Parse()
+
+	if *obsListen != "" {
+		ln, err := obs.Serve(*obsListen, obs.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: serving /metrics and /debug/pprof on http://%s\n\n", ln.Addr())
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, pickBench(*bench, *quick)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *obsTrace != "" {
+		if err := obsSection(*obsTrace, pickBench(*bench, *quick), *obsWindow); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"costcache/internal/cost"
+	"costcache/internal/costsim"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+// observedPolicies are the policies the observability run traces; all of
+// them implement replacement.Observable.
+var observedPolicies = []struct {
+	name string
+	mk   replacement.Factory
+}{
+	{"LRU", func() replacement.Policy { return replacement.NewLRU() }},
+	{"BCL", func() replacement.Policy { return replacement.NewBCL() }},
+	{"DCL", func() replacement.Policy { return replacement.NewDCL() }},
+	{"ACL", func() replacement.Policy { return replacement.NewACL() }},
+}
+
+// pickBench resolves the -bench flag to a generator (first default workload
+// when empty), scaled down when -quick.
+func pickBench(name string, quick bool) workload.Generator {
+	gens := benchmarks(quick)
+	if name == "" {
+		return gens[0]
+	}
+	for _, g := range gens {
+		if strings.EqualFold(g.Name(), name) {
+			return g
+		}
+	}
+	g, ok := workload.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paper: unknown benchmark %q, using %s\n", name, gens[0].Name())
+		return gens[0]
+	}
+	return g
+}
+
+func obsCostSource(view []trace.SampleRef, cfg costsim.Config) cost.Source {
+	return costsim.CalibratedRandom(view, cfg.BlockBytes, 0.2,
+		costsim.Ratio{Low: 1, High: 8, Label: "r=8"}, 42)
+}
+
+// obsSection is the -obs.trace run: trace every decision of the observed
+// policies over one benchmark, reconcile the traced event counts against
+// the cache counters, and report per-window interval statistics.
+func obsSection(traceFile string, gen workload.Generator, window int) error {
+	tr := gen.Generate()
+	view := tr.SampleView(0)
+	cfg := costsim.Default()
+	src := obsCostSource(view, cfg)
+
+	f, err := os.Create(traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	tracer := obs.NewTracer(1 << 16)
+	tracer.SetSink(bw)
+
+	fmt.Printf("== Observability: decision trace of %s (%d refs, r=8 HAF=0.2) ==\n",
+		gen.Name(), len(view))
+
+	recon := tabulate.New("per-policy reconciliation vs. cache.Stats",
+		"Policy", "L2 evictions", "traced evicts", "res. open", "res. success",
+		"res. abandon", "ETD hits", "ACL enable", "match")
+	var intervalTables []*tabulate.Table
+	allMatch := true
+	for _, pol := range observedPolicies {
+		res := costsim.RunObserved(view, cfg, pol.mk(), src,
+			tracer.Bind(pol.name), window, obs.Default)
+		evicts := tracer.Count(pol.name, replacement.EvEvict)
+		match := evicts == res.L2.Evictions
+		allMatch = allMatch && match
+		recon.AddF(pol.name, res.L2.Evictions, evicts,
+			tracer.Count(pol.name, replacement.EvReserveOpen),
+			tracer.Count(pol.name, replacement.EvReserveSuccess),
+			tracer.Count(pol.name, replacement.EvReserveAbandon),
+			tracer.Count(pol.name, replacement.EvETDHit),
+			tracer.Count(pol.name, replacement.EvACLEnable),
+			map[bool]string{true: "ok", false: "MISMATCH"}[match])
+		intervalTables = append(intervalTables, costsim.WindowTable(
+			fmt.Sprintf("%s: per-window statistics (window %d refs)", pol.name, window),
+			res.Windows))
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tracer.Err(); err != nil {
+		return err
+	}
+	tracer.PublishCounts(obs.Default)
+
+	recon.Fprint(os.Stdout)
+	fmt.Printf("\nwrote %d events to %s (ring retained last %d)\n\n",
+		tracer.Total(), traceFile, len(tracer.Events()))
+	for _, t := range intervalTables {
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if err := writeIntervalReport(intervalTables); err != nil {
+		fmt.Fprintf(os.Stderr, "paper: interval report: %v\n", err)
+	}
+	if !allMatch {
+		return fmt.Errorf("traced eviction counts do not reconcile with cache.Stats")
+	}
+	return nil
+}
+
+// writeIntervalReport persists the window tables under results/.
+func writeIntervalReport(tables []*tabulate.Table) error {
+	path := filepath.Join("results", "obs_intervals.txt")
+	if _, err := os.Stat("results"); err != nil {
+		return nil // not running from the repo root; skip the artifact
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, t := range tables {
+		if err := t.Fprint(f); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+	}
+	fmt.Printf("interval report written to %s\n", path)
+	return nil
+}
+
+// benchRecord is the BENCH_obs.json schema: instrumentation overhead of the
+// trace-driven simulator, for tracking across PRs.
+type benchRecord struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	Refs      int    `json:"refs"`
+	// BareNsPerRef runs the plain simulator (no observer attached).
+	BareNsPerRef float64 `json:"bare_ns_per_ref"`
+	// ShadowNsPerRef adds the LRU shadow hierarchy but no tracer.
+	ShadowNsPerRef float64 `json:"shadow_ns_per_ref"`
+	// TracedNsPerRef adds the decision tracer (ring only, no sink) and the
+	// live metrics registry.
+	TracedNsPerRef    float64 `json:"traced_ns_per_ref"`
+	ShadowOverheadPct float64 `json:"shadow_overhead_pct"`
+	TracedOverheadPct float64 `json:"traced_overhead_pct"`
+}
+
+// writeBenchJSON times bare vs. observed simulation (best of three) and
+// writes the record.
+func writeBenchJSON(path string, gen workload.Generator) error {
+	tr := gen.Generate()
+	view := tr.SampleView(0)
+	cfg := costsim.Default()
+	src := obsCostSource(view, cfg)
+
+	best := func(run func()) float64 {
+		bestNs := int64(1) << 62
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			run()
+			if d := time.Since(start).Nanoseconds(); d < bestNs {
+				bestNs = d
+			}
+		}
+		return float64(bestNs) / float64(len(view))
+	}
+
+	rec := benchRecord{Benchmark: gen.Name(), Policy: "DCL", Refs: len(view)}
+	rec.BareNsPerRef = best(func() {
+		costsim.Run(view, cfg, replacement.NewDCL(), src)
+	})
+	rec.ShadowNsPerRef = best(func() {
+		costsim.RunObserved(view, cfg, replacement.NewDCL(), src, nil, 0, nil)
+	})
+	tracer := obs.NewTracer(1 << 16)
+	reg := obs.NewRegistry()
+	rec.TracedNsPerRef = best(func() {
+		costsim.RunObserved(view, cfg, replacement.NewDCL(), src, tracer.Bind("DCL"), 0, reg)
+	})
+	rec.ShadowOverheadPct = 100 * (rec.ShadowNsPerRef - rec.BareNsPerRef) / rec.BareNsPerRef
+	rec.TracedOverheadPct = 100 * (rec.TracedNsPerRef - rec.BareNsPerRef) / rec.BareNsPerRef
+
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: bare %.1f ns/ref, shadow +%.1f%%, traced +%.1f%%\n",
+		path, rec.BareNsPerRef, rec.ShadowOverheadPct, rec.TracedOverheadPct)
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"costcache/internal/obs"
 	"costcache/internal/tabulate"
 	"costcache/internal/trace"
 	"costcache/internal/workload"
@@ -41,16 +42,21 @@ func main() {
 		gens = []workload.Generator{g}
 	}
 
+	prog := obs.NewProgress(os.Stderr, nil, "refs")
+
 	if *out != "" {
 		if len(gens) != 1 {
 			log.Fatal("-o requires a single -bench")
 		}
+		prog.Phase("generate")
 		tr := gens[0].Generate()
+		prog.Add(int64(tr.Len()))
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
+		prog.Phase("write")
 		switch *format {
 		case "bin":
 			err = trace.WriteBinary(f, tr)
@@ -62,6 +68,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		prog.Add(int64(tr.Len()))
+		prog.Done()
 		fmt.Printf("wrote %d references to %s\n", tr.Len(), *out)
 		return
 	}
@@ -69,8 +77,10 @@ func main() {
 	t := tabulate.New("Synthetic benchmark characteristics (cf. Table 1)",
 		"Benchmark", "Procs", "Refs (all)", "Refs (sample)", "Sample view",
 		"Footprint MB", "Remote %")
+	prog.Phase("summarize")
 	for _, g := range gens {
 		tr := g.Generate()
+		prog.Add(int64(tr.Len()))
 		st := tr.Summarize(workload.BlockBytes)
 		homes := workload.FirstTouchHomes(tr, workload.BlockBytes)
 		rf := tr.RemoteFraction(int16(*sample), workload.BlockBytes, workload.HomeFunc(homes, 0))
@@ -78,5 +88,6 @@ func main() {
 		t.AddF(g.Name(), tr.NumProcs, st.Refs, st.PerProc[*sample], len(view),
 			float64(st.FootprintBytes)/(1<<20), rf*100)
 	}
+	prog.Done()
 	t.Fprint(os.Stdout)
 }

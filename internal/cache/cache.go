@@ -39,6 +39,12 @@ type Stats struct {
 	// AggCost is the aggregate miss cost: the sum of the cost source's value
 	// for every miss, the quantity the paper's algorithms minimize.
 	AggCost int64
+	// CostPaid is the total PREDICTED next-miss cost loaded into blocks at
+	// fill time. It equals AggCost whenever the charged and predicted costs
+	// coincide (all trace-driven runs); in timing runs that charge a
+	// measured latency via FillWithCost the two diverge, and the gap is the
+	// predictor's aggregate error.
+	CostPaid int64
 }
 
 // MissRate returns Misses/Accesses, or 0 for an untouched cache.
@@ -105,7 +111,9 @@ func (c *Cache) Sets() int { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.cfg.Ways }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters: a value copy taken at call
+// time, not a live view. Counters that tick after the call are not
+// reflected in the returned struct; call Stats again for fresh numbers.
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Policy returns the replacement policy driving this cache.
@@ -194,6 +202,7 @@ func (c *Cache) FillWithCost(addr uint64, write bool, charge, predicted replacem
 }
 
 func (c *Cache) fill(set int, tag uint64, predicted replacement.Cost, write bool) {
+	c.stats.CostPaid += int64(predicted)
 	w := -1
 	for i := 0; i < c.cfg.Ways; i++ {
 		if !c.valid[set][i] {

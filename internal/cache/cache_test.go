@@ -273,3 +273,47 @@ func TestCacheAgreesWithReferenceModel(t *testing.T) {
 		t.Fatal("no misses exercised")
 	}
 }
+
+func TestCostPaidTracksPredictedCost(t *testing.T) {
+	c := paperL2(nil, cost.Uniform(3))
+	for b := uint64(0); b < 100; b++ {
+		c.Access(b*64, false)
+	}
+	st := c.Stats()
+	if st.CostPaid != 300 {
+		t.Fatalf("CostPaid = %d, want 300 (100 misses x predicted 3)", st.CostPaid)
+	}
+	if st.CostPaid != st.AggCost {
+		t.Fatalf("trace-driven run: CostPaid %d must equal AggCost %d", st.CostPaid, st.AggCost)
+	}
+	// Hits must not charge anything.
+	before := c.Stats()
+	c.Access(99*64, false)
+	if after := c.Stats(); after.CostPaid != before.CostPaid || after.AggCost != before.AggCost {
+		t.Fatal("hit changed CostPaid or AggCost")
+	}
+}
+
+func TestCostPaidDivergesUnderFillWithCost(t *testing.T) {
+	c := paperL2(nil, nil)
+	// Charge the measured cost (7) while predicting a different one (2): the
+	// gap between AggCost and CostPaid is the prediction error.
+	c.FillWithCost(0, false, 7, 2)
+	st := c.Stats()
+	if st.AggCost != 7 || st.CostPaid != 2 {
+		t.Fatalf("AggCost=%d CostPaid=%d, want 7/2", st.AggCost, st.CostPaid)
+	}
+}
+
+// TestStatsIsValueCopy pins the documented snapshot semantics of Stats.
+func TestStatsIsValueCopy(t *testing.T) {
+	c := paperL2(nil, cost.Uniform(1))
+	snap := c.Stats()
+	c.Access(0, false)
+	if snap.Accesses != 0 {
+		t.Fatal("Stats() returned a live view, want a value copy")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("fresh Stats() call missing the new access")
+	}
+}

@@ -15,6 +15,7 @@ package coherence
 
 import (
 	"costcache/internal/mesh"
+	"costcache/internal/obs"
 )
 
 // State is the block state recorded at the home directory, using the
@@ -83,6 +84,35 @@ type Machine struct {
 	Downgrade func(node int, block uint64, at int64)
 
 	stats Stats
+	met   *Metrics
+}
+
+// Metrics are the protocol's observability instruments (nil when detached).
+type Metrics struct {
+	// DirWait is the distribution of per-request directory wait (ns);
+	// DirWaitNs/MemWaitNs mirror the Stats totals; Invalidations counts
+	// invalidation messages.
+	DirWait       *obs.Histogram
+	DirWaitNs     *obs.Counter
+	MemWaitNs     *obs.Counter
+	Invalidations *obs.Counter
+}
+
+// AttachMetrics registers the protocol instruments in reg under
+// coherence_dir_wait_ns (histogram), coherence_dir_wait_total_ns,
+// coherence_mem_wait_total_ns and coherence_invalidations. Pass nil to
+// detach.
+func (m *Machine) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	m.met = &Metrics{
+		DirWait:       reg.Histogram("coherence_dir_wait_ns", obs.ExpBuckets(5, 2, 8)),
+		DirWaitNs:     reg.Counter("coherence_dir_wait_total_ns"),
+		MemWaitNs:     reg.Counter("coherence_mem_wait_total_ns"),
+		Invalidations: reg.Counter("coherence_invalidations"),
+	}
 }
 
 // Stats counts protocol events.
@@ -91,6 +121,12 @@ type Stats struct {
 	Invalidations          int64 // invalidation messages sent
 	Forwards, ForwardNacks int64
 	Writebacks, Hints      int64
+	// DirAccesses counts directory engine reservations; DirWaitNs is the
+	// total time requests waited for a busy directory — together the
+	// directory-occupancy picture (mean wait = DirWaitNs/DirAccesses).
+	DirAccesses, DirWaitNs int64
+	// MemWaitNs is the total time requests waited for busy memory banks.
+	MemWaitNs int64
 }
 
 // New builds a protocol engine for the given mesh and home mapping.
@@ -138,8 +174,16 @@ func (m *Machine) entryOf(block uint64) *entry {
 
 // dirAccess reserves the home directory engine.
 func (m *Machine) dirAccess(node int, t int64) int64 {
+	m.stats.DirAccesses++
+	var wait int64
 	if m.dirFree[node] > t {
+		wait = m.dirFree[node] - t
+		m.stats.DirWaitNs += wait
 		t = m.dirFree[node]
+	}
+	if m.met != nil {
+		m.met.DirWait.Observe(wait)
+		m.met.DirWaitNs.Add(wait)
 	}
 	m.dirFree[node] = t + m.p.DirAccess
 	return t + m.p.DirAccess
@@ -152,6 +196,11 @@ func (m *Machine) memAccess(node int, block uint64, t int64) int64 {
 		b = -b
 	}
 	if m.bankFree[node][b] > t {
+		wait := m.bankFree[node][b] - t
+		m.stats.MemWaitNs += wait
+		if m.met != nil {
+			m.met.MemWaitNs.Add(wait)
+		}
 		t = m.bankFree[node][b]
 	}
 	m.bankFree[node][b] = t + m.p.MemAccess
@@ -280,6 +329,9 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 				continue
 			}
 			m.stats.Invalidations++
+			if m.met != nil {
+				m.met.Invalidations.Inc()
+			}
 			it := m.net.Send(h, s, mesh.CtrlFlits, t)
 			iu := m.net.Unloaded(h, s, mesh.CtrlFlits)
 			if m.Invalidate != nil {

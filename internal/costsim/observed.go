@@ -1,0 +1,169 @@
+package costsim
+
+import (
+	"fmt"
+
+	"costcache/internal/cache"
+	"costcache/internal/cost"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/trace"
+)
+
+// Window is one reporting interval of an observed run: the policy-under-test
+// and the LRU shadow replayed the same references, so the cost columns are
+// directly comparable per window, not just at end of run.
+type Window struct {
+	// EndRef is the 1-based index in the view at which the window closed.
+	EndRef int64
+	// Misses and CostPaid are the observed policy's L2 misses and aggregate
+	// miss cost charged during the window.
+	Misses   int64
+	CostPaid int64
+	// ShadowMisses and ShadowCost are the LRU shadow's numbers for the same
+	// window.
+	ShadowMisses int64
+	ShadowCost   int64
+}
+
+// Saved is the cost the policy avoided relative to LRU in this window
+// (negative when the policy paid more).
+func (w Window) Saved() int64 { return w.ShadowCost - w.CostPaid }
+
+// ObservedResult extends Result with the LRU shadow's counters and the
+// per-window statistics.
+type ObservedResult struct {
+	Result
+	// Shadow is the LRU shadow L2's counters over the full run.
+	Shadow cache.Stats
+	// Windows are the interval statistics (last window may be short).
+	Windows []Window
+}
+
+// RunObserved replays view like Run, but with decision-level observability:
+//
+//   - o (when non-nil) is attached to the policy for the duration of the run
+//     if the policy implements replacement.Observable, so every eviction,
+//     reservation and automaton transition is emitted;
+//   - an LRU shadow hierarchy replays the same references, giving the
+//     "cost saved vs. LRU" attribution per window;
+//   - every windowRefs view records a Window is cut (windowRefs <= 0
+//     disables windowing);
+//   - reg (when non-nil) receives live counters: costsim_refs plus
+//     costsim_l2_misses, costsim_cost_paid and costsim_shadow_cost labeled
+//     by policy, updated at every window boundary and at end of run.
+//
+// The final stats are identical to an un-observed Run over the same inputs:
+// observation never changes a decision.
+func RunObserved(view []trace.SampleRef, cfg Config, p replacement.Policy, src cost.Source,
+	o replacement.Observer, windowRefs int, reg *obs.Registry) ObservedResult {
+	cfg = cfg.orDefault()
+	if o != nil {
+		if ob, ok := p.(replacement.Observable); ok {
+			ob.SetObserver(o)
+			defer ob.SetObserver(nil)
+		}
+	}
+	l1 := cache.New(cache.Config{
+		Name: "L1", SizeBytes: cfg.L1Size, Ways: 1, BlockBytes: cfg.BlockBytes,
+	})
+	l2 := cache.New(cache.Config{
+		Name: "L2", SizeBytes: cfg.L2Size, Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes,
+		Policy: p, Cost: src,
+	})
+	h := cache.NewHierarchy(l1, l2)
+
+	sl1 := cache.New(cache.Config{
+		Name: "shadow-L1", SizeBytes: cfg.L1Size, Ways: 1, BlockBytes: cfg.BlockBytes,
+	})
+	sl2 := cache.New(cache.Config{
+		Name: "shadow-L2", SizeBytes: cfg.L2Size, Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes,
+		Policy: replacement.NewLRU(), Cost: src,
+	})
+	shadow := cache.NewHierarchy(sl1, sl2)
+
+	var refsCtr, missCtr, paidCtr, shadowCtr *obs.Counter
+	if reg != nil {
+		refsCtr = reg.Counter("costsim_refs")
+		missCtr = reg.Counter(obs.Name("costsim_l2_misses", "policy", p.Name()))
+		paidCtr = reg.Counter(obs.Name("costsim_cost_paid", "policy", p.Name()))
+		shadowCtr = reg.Counter(obs.Name("costsim_shadow_cost", "policy", p.Name()))
+	}
+
+	res := ObservedResult{Result: Result{Policy: p.Name()}}
+	var prev, prevShadow cache.Stats
+	cut := func(end int64) {
+		cur, scur := l2.Stats(), sl2.Stats()
+		res.Windows = append(res.Windows, Window{
+			EndRef:       end,
+			Misses:       cur.Misses - prev.Misses,
+			CostPaid:     cur.AggCost - prev.AggCost,
+			ShadowMisses: scur.Misses - prevShadow.Misses,
+			ShadowCost:   scur.AggCost - prevShadow.AggCost,
+		})
+		if reg != nil {
+			missCtr.Add(cur.Misses - prev.Misses)
+			paidCtr.Add(cur.AggCost - prev.AggCost)
+			shadowCtr.Add(scur.AggCost - prevShadow.AggCost)
+		}
+		prev, prevShadow = cur, scur
+	}
+
+	observer, _ := src.(cost.Observer)
+	for i, r := range view {
+		if r.Remote {
+			h.Invalidate(r.Addr)
+			shadow.Invalidate(r.Addr)
+			res.Invalidations++
+		} else {
+			if observer != nil {
+				observer.OnAccess(r.Addr/uint64(cfg.BlockBytes), r.Op == trace.Write)
+			}
+			h.Access(r.Addr, r.Op == trace.Write)
+			shadow.Access(r.Addr, r.Op == trace.Write)
+		}
+		if refsCtr != nil {
+			refsCtr.Inc()
+		}
+		if windowRefs > 0 && (i+1)%windowRefs == 0 {
+			cut(int64(i + 1))
+		}
+	}
+	if windowRefs > 0 && len(view)%windowRefs != 0 {
+		cut(int64(len(view)))
+	}
+	if windowRefs <= 0 && reg != nil {
+		cut(int64(len(view))) // sync the counters even without windowing
+		res.Windows = nil
+	}
+	res.L1 = l1.Stats()
+	res.L2 = l2.Stats()
+	res.Shadow = sl2.Stats()
+	return res
+}
+
+// WindowTable renders windows as the paper-style interval report: misses,
+// cost paid, LRU shadow cost, and cost saved per window, with a totals row.
+func WindowTable(title string, windows []Window) *tabulate.Table {
+	t := tabulate.New(title, "refs", "misses", "cost paid", "LRU misses", "LRU cost", "cost saved", "saved %")
+	var tot Window
+	for _, w := range windows {
+		t.AddF(fmt.Sprint(w.EndRef), w.Misses, w.CostPaid, w.ShadowMisses, w.ShadowCost,
+			w.Saved(), savedPct(w))
+		tot.Misses += w.Misses
+		tot.CostPaid += w.CostPaid
+		tot.ShadowMisses += w.ShadowMisses
+		tot.ShadowCost += w.ShadowCost
+	}
+	t.AddF("total", tot.Misses, tot.CostPaid, tot.ShadowMisses, tot.ShadowCost,
+		tot.Saved(), savedPct(tot))
+	return t
+}
+
+func savedPct(w Window) float64 {
+	if w.ShadowCost == 0 {
+		return 0
+	}
+	return 100 * float64(w.Saved()) / float64(w.ShadowCost)
+}

@@ -1,0 +1,132 @@
+package costsim
+
+import (
+	"testing"
+
+	"costcache/internal/cost"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+func observedSrc(t *testing.T) cost.Source {
+	t.Helper()
+	return cost.Random{Low: 1, High: 8, Fraction: 0.2, Seed: 9}
+}
+
+// TestRunObservedMatchesRun is the observation-is-passive contract: attaching
+// the shadow hierarchy, a tracer, and a registry must not change a single
+// counter of the policy under test.
+func TestRunObservedMatchesRun(t *testing.T) {
+	view := testView(t)
+	cfg := Default()
+	src := observedSrc(t)
+	for _, mk := range []struct {
+		name string
+		f    replacement.Factory
+	}{
+		{"LRU", func() replacement.Policy { return replacement.NewLRU() }},
+		{"BCL", func() replacement.Policy { return replacement.NewBCL() }},
+		{"DCL", func() replacement.Policy { return replacement.NewDCL() }},
+		{"ACL", func() replacement.Policy { return replacement.NewACL() }},
+	} {
+		bare := Run(view, cfg, mk.f(), src)
+		tracer := obs.NewTracer(1 << 12)
+		reg := obs.NewRegistry()
+		res := RunObserved(view, cfg, mk.f(), src, tracer.Bind(mk.name), 10000, reg)
+		if res.L2 != bare.L2 {
+			t.Errorf("%s: observed L2 stats %+v != bare %+v", mk.name, res.L2, bare.L2)
+		}
+		if res.L1 != bare.L1 || res.Invalidations != bare.Invalidations {
+			t.Errorf("%s: observed L1/invalidation counters differ from bare run", mk.name)
+		}
+		if got := tracer.Count(mk.name, replacement.EvEvict); got != res.L2.Evictions {
+			t.Errorf("%s: traced evictions %d != cache.Stats.Evictions %d",
+				mk.name, got, res.L2.Evictions)
+		}
+	}
+}
+
+// TestObservedWindowsReconcile checks that the per-window deltas sum back to
+// the end-of-run aggregates, for both the policy and the LRU shadow.
+func TestObservedWindowsReconcile(t *testing.T) {
+	view := testView(t)
+	cfg := Default()
+	const windowRefs = 7000 // deliberately not a divisor of len(view)
+	res := RunObserved(view, cfg, replacement.NewDCL(), observedSrc(t), nil, windowRefs, nil)
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows recorded")
+	}
+	var tot Window
+	for _, w := range res.Windows {
+		tot.Misses += w.Misses
+		tot.CostPaid += w.CostPaid
+		tot.ShadowMisses += w.ShadowMisses
+		tot.ShadowCost += w.ShadowCost
+	}
+	if tot.Misses != res.L2.Misses || tot.CostPaid != res.L2.AggCost {
+		t.Errorf("window sums (%d misses, %d cost) != L2 totals (%d, %d)",
+			tot.Misses, tot.CostPaid, res.L2.Misses, res.L2.AggCost)
+	}
+	if tot.ShadowMisses != res.Shadow.Misses || tot.ShadowCost != res.Shadow.AggCost {
+		t.Errorf("shadow window sums (%d misses, %d cost) != shadow totals (%d, %d)",
+			tot.ShadowMisses, tot.ShadowCost, res.Shadow.Misses, res.Shadow.AggCost)
+	}
+	if last := res.Windows[len(res.Windows)-1]; last.EndRef != int64(len(view)) {
+		t.Errorf("last window ends at %d, want %d", last.EndRef, len(view))
+	}
+}
+
+// TestObservedShadowIsLRU checks that the shadow hierarchy reproduces a plain
+// LRU run exactly, so Window.Saved is a true vs-LRU attribution.
+func TestObservedShadowIsLRU(t *testing.T) {
+	view := testView(t)
+	cfg := Default()
+	res := RunObserved(view, cfg, replacement.NewBCL(), observedSrc(t), nil, 0, nil)
+	lru := Run(view, cfg, replacement.NewLRU(), observedSrc(t))
+	if res.Shadow != lru.L2 {
+		t.Errorf("shadow L2 stats %+v != plain LRU run %+v", res.Shadow, lru.L2)
+	}
+}
+
+// TestObservedRegistryCounters checks the live counters agree with the final
+// stats even when windowing is off.
+func TestObservedRegistryCounters(t *testing.T) {
+	view := testView(t)
+	cfg := Default()
+	reg := obs.NewRegistry()
+	res := RunObserved(view, cfg, replacement.NewACL(), observedSrc(t), nil, 0, reg)
+	if res.Windows != nil {
+		t.Errorf("windowRefs=0 must not record windows, got %d", len(res.Windows))
+	}
+	if got := reg.Counter("costsim_refs").Value(); got != int64(len(view)) {
+		t.Errorf("costsim_refs = %d, want %d", got, len(view))
+	}
+	if got := reg.Counter(obs.Name("costsim_l2_misses", "policy", "ACL")).Value(); got != res.L2.Misses {
+		t.Errorf("costsim_l2_misses = %d, want %d", got, res.L2.Misses)
+	}
+	if got := reg.Counter(obs.Name("costsim_cost_paid", "policy", "ACL")).Value(); got != res.L2.AggCost {
+		t.Errorf("costsim_cost_paid = %d, want %d", got, res.L2.AggCost)
+	}
+	if got := reg.Counter(obs.Name("costsim_shadow_cost", "policy", "ACL")).Value(); got != res.Shadow.AggCost {
+		t.Errorf("costsim_shadow_cost = %d, want %d", got, res.Shadow.AggCost)
+	}
+}
+
+// TestWindowTable smoke-tests the interval rendering, including the totals
+// row.
+func TestWindowTable(t *testing.T) {
+	windows := []Window{
+		{EndRef: 100, Misses: 10, CostPaid: 40, ShadowMisses: 12, ShadowCost: 55},
+		{EndRef: 200, Misses: 5, CostPaid: 20, ShadowMisses: 6, ShadowCost: 18},
+	}
+	tbl := WindowTable("w", windows)
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if got := windows[0].Saved(); got != 15 {
+		t.Errorf("Saved = %d, want 15", got)
+	}
+	if got := windows[1].Saved(); got != -2 {
+		t.Errorf("Saved = %d, want -2", got)
+	}
+}

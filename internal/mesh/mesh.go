@@ -15,7 +15,11 @@
 // remote clean 380 ns, remote dirty 480 ns).
 package mesh
 
-import "fmt"
+import (
+	"fmt"
+
+	"costcache/internal/obs"
+)
 
 // Params are the network timing constants, in nanoseconds.
 type Params struct {
@@ -55,6 +59,38 @@ type Mesh struct {
 	// stats
 	messages, flits int64
 	queuedNs        int64
+
+	met *Metrics
+}
+
+// Metrics are the mesh's observability instruments (nil when detached; the
+// send path pays one nil check).
+type Metrics struct {
+	// Messages and Flits count injected traffic; QueuedNs accumulates total
+	// time messages spent waiting for busy links.
+	Messages, Flits, QueuedNs *obs.Counter
+	// QueueDelay is the distribution of per-message queueing delay (ns).
+	QueueDelay *obs.Histogram
+	// MaxBacklog is the deepest link backlog (ns past the message's arrival)
+	// seen at any send — a queue-depth high-water mark.
+	MaxBacklog *obs.Gauge
+}
+
+// AttachMetrics registers the mesh's instruments in reg under
+// mesh_messages, mesh_flits, mesh_queued_ns, mesh_queue_delay_ns and
+// mesh_max_backlog_ns, and starts publishing. Pass nil to detach.
+func (m *Mesh) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	m.met = &Metrics{
+		Messages:   reg.Counter("mesh_messages"),
+		Flits:      reg.Counter("mesh_flits"),
+		QueuedNs:   reg.Counter("mesh_queued_ns"),
+		QueueDelay: reg.Histogram("mesh_queue_delay_ns", obs.ExpBuckets(4, 2, 10)),
+		MaxBacklog: reg.Gauge("mesh_max_backlog_ns"),
+	}
 }
 
 const (
@@ -117,18 +153,31 @@ func (m *Mesh) route(src, dst int) []int {
 func (m *Mesh) Send(src, dst, flits int, now int64) int64 {
 	m.messages++
 	m.flits += int64(flits)
+	if m.met != nil {
+		m.met.Messages.Inc()
+		m.met.Flits.Add(int64(flits))
+	}
 	if src == dst {
 		return now + m.p.NIBase
 	}
 	t := now + m.p.NIRemote
+	var queued int64
 	for _, l := range m.route(src, dst) {
-		if m.linkFree[l] > t {
-			m.queuedNs += m.linkFree[l] - t
+		if backlog := m.linkFree[l] - t; backlog > 0 {
+			m.queuedNs += backlog
+			queued += backlog
+			if m.met != nil {
+				m.met.MaxBacklog.SetMax(backlog)
+			}
 			t = m.linkFree[l]
 		}
 		occupy := m.p.HopDelay + int64(flits)*m.p.FlitDelay
 		m.linkFree[l] = t + occupy
 		t += occupy
+	}
+	if m.met != nil {
+		m.met.QueuedNs.Add(queued)
+		m.met.QueueDelay.Observe(queued)
 	}
 	return t
 }

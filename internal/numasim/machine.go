@@ -8,10 +8,13 @@
 package numasim
 
 import (
+	"fmt"
+
 	"costcache/internal/cache"
 	"costcache/internal/coherence"
 	"costcache/internal/cost"
 	"costcache/internal/mesh"
+	"costcache/internal/obs"
 	"costcache/internal/proc"
 	"costcache/internal/replacement"
 	"costcache/internal/trace"
@@ -37,6 +40,11 @@ type Config struct {
 	BarrierNs int64
 	// CollectTable3 turns on consecutive-miss latency instrumentation.
 	CollectTable3 bool
+	// Metrics, when non-nil, receives live instrumentation: per-node miss
+	// latency histograms (numasim_miss_latency_ns{node="i"}), reference and
+	// miss counters, mesh queue metrics and directory-occupancy counters.
+	// nil runs pay only nil checks.
+	Metrics *obs.Registry
 	// UsePenalty switches the predicted cost from the measured miss
 	// latency to the miss PENALTY — the stall the miss adds beyond already
 	// outstanding work (zero for buffered stores and fully overlapped
@@ -92,6 +100,8 @@ type node struct {
 
 	misses, hits int64
 	missNs       int64 // sum of measured (loaded) miss latencies
+
+	missHist *obs.Histogram // per-node miss latency (nil when unobserved)
 }
 
 type missRecord struct {
@@ -146,6 +156,13 @@ func Run(prog *workload.Program, cfg Config) Result {
 		}
 		return 0
 	})
+	var refsCtr, missCtr *obs.Counter
+	if cfg.Metrics != nil {
+		net.AttachMetrics(cfg.Metrics)
+		coh.AttachMetrics(cfg.Metrics)
+		refsCtr = cfg.Metrics.Counter("numasim_refs")
+		missCtr = cfg.Metrics.Counter("numasim_l2_misses")
+	}
 
 	nodes := make([]*node, prog.Procs)
 	blockShift := uint(0)
@@ -162,6 +179,11 @@ func Run(prog *workload.Program, cfg Config) Result {
 			win:      proc.New(cfg.Core, cyc),
 			pred:     cost.NewLastLatency(replacement.Cost(cfg.PredictorDefault)),
 			lastMiss: make(map[uint64]missRecord),
+		}
+		if cfg.Metrics != nil {
+			n.missHist = cfg.Metrics.Histogram(
+				obs.Name("numasim_miss_latency_ns", "node", fmt.Sprint(i)),
+				obs.ExpBuckets(60, 1.5, 12))
 		}
 		l1 := cache.New(cache.Config{
 			Name: "L1", SizeBytes: cfg.L1Size, Ways: 1, BlockBytes: cfg.BlockBytes,
@@ -226,6 +248,9 @@ func Run(prog *workload.Program, cfg Config) Result {
 			pos[p]++
 			remaining--
 			totalRefs++
+			if refsCtr != nil {
+				refsCtr.Inc()
+			}
 
 			t := best
 			now = t
@@ -268,6 +293,10 @@ func Run(prog *workload.Program, cfg Config) Result {
 			}
 			measured := res.Done - issue
 			n.missNs += measured
+			if n.missHist != nil {
+				n.missHist.Observe(measured)
+				missCtr.Inc()
+			}
 			observed := measured
 			if cfg.UsePenalty {
 				// Anticipated retire stall: the part of the miss latency

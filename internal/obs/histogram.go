@@ -1,0 +1,152 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket distribution with atomic, allocation-free
+// observation. Bucket i counts values v <= Bounds[i] (with earlier buckets
+// taking precedence); the final implicit bucket counts everything above the
+// last bound. Bounds are fixed at creation so Observe never allocates or
+// locks.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket bounds.
+// An empty bounds slice yields a single overflow bucket (count/sum only).
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// ExpBuckets returns n strictly ascending bounds starting at start and
+// multiplying by factor (rounded up so bounds never repeat): the usual shape
+// for latency histograms.
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		next := int64(float64(v) * factor)
+		if next <= v {
+			next = v + 1
+		}
+		v = next
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+step, ...
+func LinearBuckets(start, step int64, n int) []int64 {
+	if step <= 0 || n <= 0 {
+		panic("obs: LinearBuckets needs step > 0, n > 0")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*step
+	}
+	return out
+}
+
+// Observe records one value. It never allocates; bucket search is a linear
+// scan, which beats binary search at the typical 8-24 bucket sizes.
+func (h *Histogram) Observe(v int64) {
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Snapshot copies the histogram state. Under concurrent Observe traffic the
+// per-bucket counts and the totals are each atomically read but not mutually
+// consistent; for the repository's single-writer simulators they are exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable, shared
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1, last is the overflow bucket
+	Count  int64
+	Sum    int64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// bound of the bucket containing that rank, or the last bound for the
+// overflow bucket. It returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if rank < cum {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Sub returns the bucket-wise difference s - prev (a window delta). A
+// zero-value prev subtracts nothing.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Bounds: s.Bounds, Counts: make([]int64, len(s.Counts)),
+		Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		v := s.Counts[i]
+		if i < len(prev.Counts) {
+			v -= prev.Counts[i]
+		}
+		d.Counts[i] = v
+	}
+	return d
+}

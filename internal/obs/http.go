@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability HTTP handler for a registry:
+//
+//	/metrics        plain-text exposition of every instrument
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// A dedicated mux is used so commands never expose pprof by accident through
+// http.DefaultServeMux.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "costcache observability: /metrics, /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the observability server on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound listener so callers can report
+// the actual address (addr may use port 0). The server lives until the
+// process exits; experiment commands are short-lived, so there is no
+// shutdown plumbing.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln, nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"costcache/internal/tabulate"
+)
+
+// IntervalReporter renders periodic registry snapshots as a tabulate table:
+// one row per window, one column per watched counter, each cell the
+// counter's delta over the window. It turns end-of-run aggregates into the
+// per-interval statistics that make simulator runs interpretable (when did
+// the misses happen, not just how many).
+type IntervalReporter struct {
+	reg   *Registry
+	names []string
+	prev  Snapshot
+	table *tabulate.Table
+}
+
+// NewIntervalReporter watches the named counters in reg. The label column
+// header is labelHeader ("refs", "time", ...); cols name both the counters
+// and the table columns.
+func NewIntervalReporter(reg *Registry, title, labelHeader string, cols ...string) *IntervalReporter {
+	header := append([]string{labelHeader}, cols...)
+	return &IntervalReporter{
+		reg:   reg,
+		names: cols,
+		prev:  reg.Snapshot(),
+		table: tabulate.New(title, header...),
+	}
+}
+
+// Tick closes the current window: it appends a row of per-window counter
+// deltas labeled with label and starts the next window.
+func (r *IntervalReporter) Tick(label string) {
+	cur := r.reg.Snapshot()
+	d := cur.Delta(r.prev)
+	r.prev = cur
+	row := make([]any, 0, len(r.names)+1)
+	row = append(row, label)
+	for _, n := range r.names {
+		row = append(row, d.Counters[n])
+	}
+	r.table.AddF(row...)
+}
+
+// Table returns the accumulated window table.
+func (r *IntervalReporter) Table() *tabulate.Table { return r.table }

@@ -1,0 +1,241 @@
+// Package obs is the decision-level observability substrate of the
+// repository: a zero-allocation-on-hot-path metrics core (atomic counters,
+// gauges and fixed-bucket histograms in labeled registries with
+// snapshot/delta support), a replacement decision tracer that turns the
+// policies' Observer events into a ring buffer and an optional JSONL stream,
+// interval reporting over registry snapshots, and a plain-text /metrics +
+// pprof HTTP exposition for long runs.
+//
+// The instruments are safe for concurrent use. Un-observed code paths pay
+// only a nil check: every hook in the simulators and policies is gated on a
+// nil Observer or nil Registry.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v exceeds the current value (a high-water
+// mark, e.g. the deepest queue backlog seen).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name composes a metric identifier from a base name and label key/value
+// pairs: Name("miss_latency_ns", "node", "3") = `miss_latency_ns{node="3"}`.
+// Labels are rendered in the order given; callers should use a consistent
+// order so identical series get identical names.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Name needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is a named collection of instruments. The get-or-create lookups
+// take a mutex and are meant for setup; hot paths hold the returned pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the commands expose over -obs.listen.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use. Later calls ignore bounds (the first
+// registration wins), so concurrent get-or-create is safe.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the current value of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and histograms subtract
+// (instruments absent from prev count from zero), gauges keep their current
+// value since they are not cumulative.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		d.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		d.Histograms[n] = h.Sub(prev.Histograms[n])
+	}
+	return d
+}
+
+// WriteText renders the snapshot in the expvar-style plain-text exposition
+// format served at /metrics: one sorted "name value" line per series, with
+// histograms expanded into cumulative le-labeled buckets plus _count/_sum.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+8*len(s.Histograms))
+	for n, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+	}
+	for n, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+	}
+	for n, h := range s.Histograms {
+		base, labels := splitName(n)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			lines = append(lines, fmt.Sprintf("%s %d", histName(base, labels, fmt.Sprint(b)), cum))
+		}
+		cum += h.Counts[len(h.Bounds)]
+		lines = append(lines, fmt.Sprintf("%s %d", histName(base, labels, "+Inf"), cum))
+		lines = append(lines, fmt.Sprintf("%s_count%s %d", base, labels, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum%s %d", base, labels, h.Sum))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText snapshots the registry and renders it as text.
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
+
+// splitName separates `base{labels}` into "base" and "{labels}" ("" if none).
+func splitName(n string) (base, labels string) {
+	if i := strings.IndexByte(n, '{'); i >= 0 {
+		return n[:i], n[i:]
+	}
+	return n, ""
+}
+
+// histName renders a bucket series name, merging the le label into any
+// existing label set.
+func histName(base, labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+	}
+	return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels[1:len(labels)-1], le)
+}

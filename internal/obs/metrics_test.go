@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(12)
+	if got := g.Value(); got != 12 {
+		t.Fatalf("SetMax(12) = %d, want 12", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("misses"); got != "misses" {
+		t.Errorf("Name no labels = %q", got)
+	}
+	got := Name("miss_latency_ns", "node", "3", "level", "l2")
+	want := `miss_latency_ns{node="3",level="l2"}`
+	if got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	for _, v := range []int64{5, 10, 11, 25, 40, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{2, 1, 2, 1} // <=10: {5,10}; <=20: {11}; <=40: {25,40}; over: {1000}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 || s.Sum != 5+10+11+25+40+1000 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != float64(s.Sum)/6 {
+		t.Errorf("mean = %v", m)
+	}
+	if q := s.Quantile(0.5); q != 40 {
+		t.Errorf("p50 = %d, want 40", q)
+	}
+	if q := s.Quantile(0); q != 10 {
+		t.Errorf("p0 = %d, want 10", q)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(5)
+	prev := h.Snapshot()
+	h.Observe(50)
+	d := h.Snapshot().Sub(prev)
+	if d.Count != 1 || d.Sum != 50 || d.Counts[0] != 0 || d.Counts[1] != 1 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(4, 2, 5)
+	want := []int64{4, 8, 16, 32, 64}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	// A factor close to 1 must still produce strictly ascending bounds.
+	b = ExpBuckets(1, 1.01, 10)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("ExpBuckets not ascending: %v", b)
+		}
+	}
+	b = LinearBuckets(10, 5, 3)
+	if b[0] != 10 || b[1] != 15 || b[2] != 20 {
+		t.Fatalf("LinearBuckets = %v", b)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", []int64{100})
+
+	c.Add(3)
+	g.Set(9)
+	h.Observe(50)
+	prev := r.Snapshot()
+
+	c.Add(2)
+	g.Set(4)
+	h.Observe(500)
+	d := r.Snapshot().Delta(prev)
+
+	if d.Counters["hits"] != 2 {
+		t.Errorf("counter delta = %d, want 2", d.Counters["hits"])
+	}
+	if d.Gauges["depth"] != 4 {
+		t.Errorf("gauge delta keeps current value; got %d, want 4", d.Gauges["depth"])
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 1 || hd.Sum != 500 || hd.Counts[1] != 1 {
+		t.Errorf("histogram delta = %+v", hd)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_gauge").Set(7)
+	h := r.Histogram(Name("lat", "node", "0"), []int64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `a_gauge 7
+b_total 2
+lat_bucket{node="0",le="+Inf"} 3
+lat_bucket{node="0",le="10"} 1
+lat_bucket{node="0",le="20"} 2
+lat_count{node="0"} 3
+lat_sum{node="0"} 119
+`
+	if sb.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestIntervalReporter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("misses")
+	ir := NewIntervalReporter(r, "windows", "refs", "misses")
+	c.Add(4)
+	ir.Tick("0-100")
+	c.Add(6)
+	ir.Tick("100-200")
+
+	var sb strings.Builder
+	if err := ir.Table().Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"0-100", "100-200", "4", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interval table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentInstruments exercises every instrument from many goroutines
+// so `go test -race` can vet the atomic paths.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []int64{8, 64, 512})
+			for j := int64(0); j < 1000; j++ {
+				c.Inc()
+				g.SetMax(id*1000 + j)
+				h.Observe(j)
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 7999 {
+		t.Fatalf("gauge high-water = %d, want 7999", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

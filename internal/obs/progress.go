@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress reports phased command progress (references processed, events per
+// second) through the metrics core: each phase owns a counter named
+// progress_<phase>_items in the registry, and a human-readable line is
+// printed to w when a phase ends (plus rate-limited lines mid-phase for
+// incremental work). cmd/tracegen and cmd/oracle use it so long runs are no
+// longer silent.
+type Progress struct {
+	w     io.Writer // nil silences printing; counters still update
+	reg   *Registry
+	unit  string
+	phase string
+	items *Counter
+	start time.Time
+	last  time.Time
+}
+
+// NewProgress returns a reporter writing to w (nil for metrics-only) and
+// registering counters in reg (nil for Default). unit names the counted
+// items ("refs", "events").
+func NewProgress(w io.Writer, reg *Registry, unit string) *Progress {
+	if reg == nil {
+		reg = Default
+	}
+	return &Progress{w: w, reg: reg, unit: unit}
+}
+
+// Phase finishes any current phase (printing its summary line) and starts a
+// new one.
+func (p *Progress) Phase(name string) {
+	p.finish()
+	p.phase = name
+	p.items = p.reg.Counter("progress_" + name + "_items")
+	p.start = time.Now()
+	p.last = p.start
+}
+
+// Add records n processed items in the current phase and prints a
+// rate-limited progress line (at most ~5/sec).
+func (p *Progress) Add(n int64) {
+	if p.items == nil {
+		return
+	}
+	p.items.Add(n)
+	if p.w == nil {
+		return
+	}
+	if now := time.Now(); now.Sub(p.last) >= 200*time.Millisecond {
+		p.last = now
+		p.line(now)
+	}
+}
+
+// Done finishes the current phase.
+func (p *Progress) Done() { p.finish(); p.phase, p.items = "", nil }
+
+func (p *Progress) finish() {
+	if p.items == nil || p.w == nil {
+		return
+	}
+	p.line(time.Now())
+}
+
+func (p *Progress) line(now time.Time) {
+	n := p.items.Value()
+	el := now.Sub(p.start).Seconds()
+	rate := float64(n)
+	if el > 0 {
+		rate = float64(n) / el
+	}
+	fmt.Fprintf(p.w, "%s: %d %s (%.0f %s/sec)\n", p.phase, n, p.unit, rate, p.unit)
+}

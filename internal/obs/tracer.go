@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"costcache/internal/replacement"
+)
+
+// Record is one traced decision event, stamped with the emitting policy and
+// a global sequence number.
+type Record struct {
+	// Seq is the 1-based global sequence number across all bound policies.
+	Seq uint64
+	// Policy is the label the event's observer was bound with.
+	Policy string
+	// Event is the raw decision event.
+	replacement.Event
+}
+
+// Tracer collects replacement decision events into a fixed ring buffer,
+// counts them per (policy, kind), and optionally streams each event as one
+// JSON line to a sink. Bind returns a replacement.Observer that stamps
+// events with a policy label; a single Tracer can observe many policies.
+//
+// Tracing an un-observed policy costs nothing (policies gate on a nil
+// observer); tracing with no sink costs a mutex and a ring-slot copy per
+// event and does not allocate after the ring fills.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []Record
+	seq    uint64
+	sink   io.Writer
+	buf    []byte
+	err    error
+	counts map[string]*[replacement.NumEventKinds]int64
+}
+
+// NewTracer returns a tracer whose ring keeps the last capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		ring:   make([]Record, 0, capacity),
+		counts: make(map[string]*[replacement.NumEventKinds]int64),
+	}
+}
+
+// SetSink streams every subsequent event to w as JSONL. Pass nil to stop
+// streaming. The caller owns buffering and closing of w.
+func (t *Tracer) SetSink(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = w
+}
+
+// Err returns the first sink write error, if any; once a write fails the
+// sink is dropped and tracing continues ring-only.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Bind returns an observer that records events under the given policy
+// label. Attach it with replacement.Observable.SetObserver.
+func (t *Tracer) Bind(policy string) replacement.Observer {
+	t.mu.Lock()
+	if _, ok := t.counts[policy]; !ok {
+		t.counts[policy] = new([replacement.NumEventKinds]int64)
+	}
+	t.mu.Unlock()
+	return boundObserver{t: t, policy: policy}
+}
+
+type boundObserver struct {
+	t      *Tracer
+	policy string
+}
+
+// Observe implements replacement.Observer.
+func (b boundObserver) Observe(e replacement.Event) { b.t.record(b.policy, e) }
+
+func (t *Tracer) record(policy string, e replacement.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	r := Record{Seq: t.seq, Policy: policy, Event: e}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[int((t.seq-1)%uint64(cap(t.ring)))] = r
+	}
+	if c, ok := t.counts[policy]; ok {
+		c[e.Kind]++
+	} else {
+		c := new([replacement.NumEventKinds]int64)
+		c[e.Kind]++
+		t.counts[policy] = c
+	}
+	if t.sink != nil {
+		t.buf = appendJSON(t.buf[:0], r)
+		if _, err := t.sink.Write(t.buf); err != nil {
+			t.err = fmt.Errorf("obs: trace sink: %w", err)
+			t.sink = nil
+		}
+	}
+}
+
+// appendJSON renders one record as a single JSON line with a fixed field
+// order, so traces are byte-for-byte deterministic (the golden tests rely on
+// this). Optional fields (counter, false_match) appear only when set.
+func appendJSON(b []byte, r Record) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, r.Seq, 10)
+	b = append(b, `,"policy":"`...)
+	b = append(b, r.Policy...)
+	b = append(b, `","kind":"`...)
+	b = append(b, r.Kind.String()...)
+	b = append(b, `","set":`...)
+	b = strconv.AppendInt(b, int64(r.Set), 10)
+	b = append(b, `,"way":`...)
+	b = strconv.AppendInt(b, int64(r.Way), 10)
+	b = append(b, `,"pos":`...)
+	b = strconv.AppendInt(b, int64(r.StackPos), 10)
+	b = append(b, `,"tag":`...)
+	b = strconv.AppendUint(b, r.Tag, 10)
+	b = append(b, `,"cost":`...)
+	b = strconv.AppendInt(b, int64(r.Cost), 10)
+	if r.Kind == replacement.EvEvict {
+		b = append(b, `,"lru_cost":`...)
+		b = strconv.AppendInt(b, int64(r.LRUCost), 10)
+	}
+	if r.Counter != 0 {
+		b = append(b, `,"counter":`...)
+		b = strconv.AppendUint(b, uint64(r.Counter), 10)
+	}
+	if r.FalseMatch {
+		b = append(b, `,"false_match":true`...)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// Events returns the ring contents oldest-first (at most the ring capacity;
+// older events have been overwritten).
+func (t *Tracer) Events() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		copy(out, t.ring)
+		return out
+	}
+	head := int(t.seq % uint64(cap(t.ring))) // index of the oldest record
+	n := copy(out, t.ring[head:])
+	copy(out[n:], t.ring[:head])
+	return out
+}
+
+// Total returns the number of events observed (including any that fell out
+// of the ring).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Count returns how many events of kind the given policy emitted.
+func (t *Tracer) Count(policy string, kind replacement.EventKind) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.counts[policy]; ok {
+		return c[kind]
+	}
+	return 0
+}
+
+// Policies returns the labels Bind has been called with, in no particular
+// order.
+func (t *Tracer) Policies() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.counts))
+	for p := range t.counts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PublishCounts mirrors the per-(policy, kind) event totals into reg as
+// counters named trace_events{policy="...",kind="..."}. Call it after a run
+// (or periodically) to expose trace statistics on /metrics.
+func (t *Tracer) PublishCounts(reg *Registry) {
+	t.mu.Lock()
+	type cell struct {
+		name string
+		v    int64
+	}
+	cells := make([]cell, 0, len(t.counts)*replacement.NumEventKinds)
+	for policy, c := range t.counts {
+		for k, v := range c {
+			if v == 0 {
+				continue
+			}
+			kind := replacement.EventKind(k)
+			cells = append(cells, cell{Name("trace_events", "policy", policy, "kind", kind.String()), v})
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range cells {
+		ctr := reg.Counter(c.name)
+		if d := c.v - ctr.Value(); d > 0 {
+			ctr.Add(d)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"costcache/internal/replacement"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// scriptDriver drives a policy through the documented cache call contract
+// (Access, then Touch on hit / Victim+Fill on miss) over a single set, so
+// tests can replay a deterministic reference script without a full cache.
+type scriptDriver struct {
+	p      replacement.Policy
+	tags   []uint64
+	valid  []bool
+	evicts int64
+}
+
+func newScriptDriver(p replacement.Policy, ways int) *scriptDriver {
+	p.Reset(1, ways)
+	return &scriptDriver{p: p, tags: make([]uint64, ways), valid: make([]bool, ways)}
+}
+
+func (d *scriptDriver) access(tag uint64, cost replacement.Cost) {
+	way := -1
+	for w := range d.tags {
+		if d.valid[w] && d.tags[w] == tag {
+			way = w
+			break
+		}
+	}
+	d.p.Access(0, tag, way >= 0)
+	if way >= 0 {
+		d.p.Touch(0, way)
+		return
+	}
+	for w := range d.tags {
+		if !d.valid[w] {
+			d.p.Fill(0, w, tag, cost)
+			d.tags[w], d.valid[w] = tag, true
+			return
+		}
+	}
+	w := d.p.Victim(0)
+	d.evicts++
+	d.p.Fill(0, w, tag, cost)
+	d.tags[w] = tag
+}
+
+func (d *scriptDriver) invalidate(tag uint64) {
+	for w := range d.tags {
+		if d.valid[w] && d.tags[w] == tag {
+			d.p.Invalidate(0, w, tag)
+			d.valid[w] = false
+			return
+		}
+	}
+	d.p.Invalidate(0, -1, tag)
+}
+
+// step is one scripted reference: tag, its miss cost, or an invalidation.
+type step struct {
+	tag  uint64
+	cost replacement.Cost
+	inv  bool
+}
+
+func runScript(t *testing.T, p replacement.Policy, script []step) (*Tracer, *bytes.Buffer, *scriptDriver) {
+	t.Helper()
+	tracer := NewTracer(1 << 10)
+	var sink bytes.Buffer
+	tracer.SetSink(&sink)
+	ob, ok := p.(replacement.Observable)
+	if !ok {
+		t.Fatalf("policy %s is not Observable", p.Name())
+	}
+	ob.SetObserver(tracer.Bind(p.Name()))
+	d := newScriptDriver(p, 2)
+	for _, s := range script {
+		if s.inv {
+			d.invalidate(s.tag)
+		} else {
+			d.access(s.tag, s.cost)
+		}
+	}
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return tracer, &sink, d
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/obs` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from %s:\ngot:\n%swant:\n%s", path, got, want)
+	}
+}
+
+// The scripts below run a 2-way set. Tags are small integers; costs contrast
+// a high-cost block (10 or 20) against cheap ones (1) so the cost-sensitive
+// paths (reservation open/success/abandon, ETD probe hits, ACL automaton
+// transitions) all fire deterministically.
+
+func bclScript() []step {
+	return []step{
+		{tag: 1, cost: 10},  // A: fills way 0
+		{tag: 2, cost: 1},   // B: fills way 1; LRU occupant A, Acost 10
+		{tag: 3, cost: 1},   // C misses: B undercuts Acost -> reserve A, evict B
+		{tag: 1, cost: 10},  // A hits while reserved -> reserve_success
+		{tag: 4, cost: 1},   // D misses: new LRU C (Acost 1), plain LRU evict of C
+		{tag: 5, cost: 1},   // E misses: LRU A (Acost 10), D undercuts -> reserve A, evict D
+		{tag: 6, cost: 20},  // F misses: E undercuts depreciated Acost -> evict E
+		{tag: 7, cost: 20},  // G misses: F does not undercut -> abandon A, evict A
+		{tag: 8, cost: 1},   // H misses: LRU F (Acost 20), G does not undercut -> evict F
+		{tag: 9, cost: 1},   // I misses: H undercuts -> reserve G, evict H
+		{tag: 7, inv: true}, // G invalidated while reserved -> reserve_cancel
+	}
+}
+
+func aclScript() []step {
+	return []step{
+		{tag: 1, cost: 10},  // A fills; ACL starts with counter 0 (disabled)
+		{tag: 2, cost: 1},   // B fills
+		{tag: 3, cost: 1},   // C: disabled evict of LRU A; A recorded in the ETD
+		{tag: 1, cost: 10},  // A again: ETD probe hit while disabled -> acl_enable
+		{tag: 4, cost: 1},   // D: enabled, nothing undercuts Acost 1 -> evict C
+		{tag: 5, cost: 1},   // E: LRU A (Acost 10), D undercuts -> reserve A, evict D
+		{tag: 6, cost: 1},   // F: E undercuts -> evict E
+		{tag: 7, cost: 20},  // G: F undercuts -> evict F
+		{tag: 8, cost: 20},  // H: G does not undercut -> abandon A (counter 2->1), evict A
+		{tag: 9, cost: 1},   // I: plain evict of LRU G
+		{tag: 10, cost: 1},  // J: I undercuts -> reserve H, evict I
+		{tag: 11, cost: 20}, // K: J undercuts -> evict J
+		{tag: 12, cost: 1},  // L: K does not undercut -> abandon H (counter 1->0, acl_disable), evict H
+		{tag: 13, cost: 1},  // M: disabled evict of LRU K; K recorded in the ETD
+		{tag: 11, cost: 20}, // K again: probe hit while disabled -> acl_enable; evict L
+		{tag: 14, cost: 1},  // N: nothing undercuts Acost 1 -> evict M
+		{tag: 15, cost: 1},  // O: LRU K (Acost 20), N undercuts -> reserve K, evict N into ETD
+		{tag: 14, cost: 1},  // N again: ETD probe hit while enabled -> etd_hit; evict O
+		{tag: 11, cost: 20}, // K hits while reserved -> reserve_success (counter 2->3)
+	}
+}
+
+func TestTracerGoldenBCL(t *testing.T) {
+	tracer, sink, d := runScript(t, replacement.NewBCL(), bclScript())
+	checkGolden(t, "bcl_trace.jsonl", sink.Bytes())
+	if got := tracer.Count("BCL", replacement.EvEvict); got != d.evicts {
+		t.Errorf("traced evictions %d, driver counted %d", got, d.evicts)
+	}
+	for _, k := range []replacement.EventKind{replacement.EvReserveOpen,
+		replacement.EvReserveSuccess, replacement.EvReserveAbandon,
+		replacement.EvReserveCancel} {
+		if tracer.Count("BCL", k) == 0 {
+			t.Errorf("script never exercised %v", k)
+		}
+	}
+}
+
+func TestTracerGoldenACL(t *testing.T) {
+	tracer, sink, d := runScript(t, replacement.NewACL(), aclScript())
+	checkGolden(t, "acl_trace.jsonl", sink.Bytes())
+	if got := tracer.Count("ACL", replacement.EvEvict); got != d.evicts {
+		t.Errorf("traced evictions %d, driver counted %d", got, d.evicts)
+	}
+	for _, k := range []replacement.EventKind{replacement.EvReserveOpen,
+		replacement.EvReserveSuccess, replacement.EvReserveAbandon,
+		replacement.EvETDHit, replacement.EvACLEnable, replacement.EvACLDisable} {
+		if tracer.Count("ACL", k) == 0 {
+			t.Errorf("script never exercised %v", k)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	o := tr.Bind("P")
+	for i := 1; i <= 10; i++ {
+		o.Observe(replacement.Event{Kind: replacement.EvEvict, Tag: uint64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(ev))
+	}
+	for i, r := range ev {
+		if want := uint64(7 + i); r.Seq != want || r.Tag != want {
+			t.Errorf("ring[%d] = seq %d tag %d, want %d (oldest-first)", i, r.Seq, r.Tag, want)
+		}
+	}
+}
+
+func TestTracerPublishCounts(t *testing.T) {
+	tr := NewTracer(8)
+	o := tr.Bind("DCL")
+	o.Observe(replacement.Event{Kind: replacement.EvEvict})
+	o.Observe(replacement.Event{Kind: replacement.EvEvict})
+	o.Observe(replacement.Event{Kind: replacement.EvETDHit})
+	r := NewRegistry()
+	tr.PublishCounts(r)
+	tr.PublishCounts(r) // idempotent: republishing must not double-count
+	if got := r.Counter(Name("trace_events", "policy", "DCL", "kind", "evict")).Value(); got != 2 {
+		t.Errorf("published evict count = %d, want 2", got)
+	}
+	if got := r.Counter(Name("trace_events", "policy", "DCL", "kind", "etd_hit")).Value(); got != 1 {
+		t.Errorf("published etd_hit count = %d, want 1", got)
+	}
+}
+
+// TestNilObserverAllocs is the acceptance check for the zero-overhead
+// contract: a policy with no observer attached must not allocate on the
+// Access/Victim/Fill path.
+func TestNilObserverAllocs(t *testing.T) {
+	for _, mk := range []replacement.Factory{
+		func() replacement.Policy { return replacement.NewLRU() },
+		func() replacement.Policy { return replacement.NewBCL() },
+		func() replacement.Policy { return replacement.NewDCL() },
+		func() replacement.Policy { return replacement.NewACL() },
+	} {
+		p := mk()
+		p.Reset(4, 4)
+		tag := uint64(0)
+		fill := func() {
+			p.Access(0, tag, false)
+			w := p.Victim(0)
+			p.Fill(0, w, tag, replacement.Cost(1+tag%8))
+			tag++
+		}
+		for i := 0; i < 16; i++ {
+			fill() // populate the set past the free-way phase
+		}
+		if allocs := testing.AllocsPerRun(500, fill); allocs != 0 {
+			t.Errorf("%s: nil-observer miss path allocates %.1f objects/op, want 0", p.Name(), allocs)
+		}
+	}
+}
+
+// TestTracedAllocs checks the observed path: once the ring has filled and the
+// JSON scratch buffer has grown, tracing allocates nothing per event either.
+func TestTracedAllocs(t *testing.T) {
+	p := replacement.NewDCL()
+	tr := NewTracer(64)
+	p.SetObserver(tr.Bind("DCL"))
+	p.Reset(4, 4)
+	tag := uint64(0)
+	fill := func() {
+		p.Access(0, tag, false)
+		w := p.Victim(0)
+		p.Fill(0, w, tag, replacement.Cost(1+tag%8))
+		tag++
+	}
+	for i := 0; i < 128; i++ {
+		fill() // warm up: fill the ring so record stops appending
+	}
+	if allocs := testing.AllocsPerRun(500, fill); allocs != 0 {
+		t.Errorf("traced miss path allocates %.1f objects/op after warmup, want 0", allocs)
+	}
+}

@@ -22,7 +22,12 @@ type BCL struct {
 	invoked   int64
 	succeeded int64
 	reserved  []bool // per set: has the current LRU occupant been reserved?
+
+	obs Observer
 }
+
+// SetObserver implements Observable.
+func (p *BCL) SetObserver(o Observer) { p.obs = o }
 
 // NewBCL returns a fresh BCL policy with the paper's 2x depreciation.
 func NewBCL() *BCL { return &BCL{factor: 2} }
@@ -78,6 +83,10 @@ func (p *BCL) Touch(set, way int) {
 	m := p.set(set)
 	if p.reserved[set] && way == p.lruW[set] {
 		p.succeeded++ // the reserved block was re-referenced
+		if p.obs != nil {
+			p.obs.Observe(Event{Kind: EvReserveSuccess, Set: set, Way: way,
+				StackPos: -1, Tag: p.lruT[set], Cost: m.cost[way]})
+		}
 	}
 	m.touch(way)
 	p.refreshLRU(set)
@@ -93,6 +102,7 @@ func (p *BCL) Victim(set int) int {
 	if w := firstInvalid(m); w >= 0 {
 		return w
 	}
+	lru := m.lruWay()
 	for pos := m.live - 2; pos >= 0; pos-- {
 		w := m.stack[pos]
 		if m.cost[w] < p.acost[set] {
@@ -100,11 +110,28 @@ func (p *BCL) Victim(set int) int {
 			if !p.reserved[set] {
 				p.reserved[set] = true
 				p.invoked++
+				if p.obs != nil {
+					p.obs.Observe(Event{Kind: EvReserveOpen, Set: set, Way: lru,
+						StackPos: m.live - 1, Tag: p.lruT[set], Cost: m.cost[lru]})
+				}
+			}
+			if p.obs != nil {
+				p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: w, StackPos: pos,
+					Tag: m.tag[w], Cost: m.cost[w], LRUCost: m.cost[lru]})
 			}
 			return w
 		}
 	}
-	return m.lruWay()
+	if p.obs != nil {
+		if p.reserved[set] {
+			// The reserved block is evicted without having been re-referenced.
+			p.obs.Observe(Event{Kind: EvReserveAbandon, Set: set, Way: lru,
+				StackPos: m.live - 1, Tag: p.lruT[set], Cost: m.cost[lru]})
+		}
+		p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: lru, StackPos: m.live - 1,
+			Tag: m.tag[lru], Cost: m.cost[lru], LRUCost: m.cost[lru]})
+	}
+	return lru
 }
 
 // Fill implements Policy.
@@ -117,6 +144,10 @@ func (p *BCL) Fill(set, way int, tag uint64, cost Cost) {
 func (p *BCL) Invalidate(set, way int, tag uint64) {
 	if way < 0 {
 		return
+	}
+	if p.obs != nil && p.reserved[set] && way == p.lruW[set] {
+		p.obs.Observe(Event{Kind: EvReserveCancel, Set: set, Way: way,
+			StackPos: -1, Tag: tag, Cost: p.set(set).cost[way]})
 	}
 	p.set(set).invalidate(way)
 	p.refreshLRU(set)

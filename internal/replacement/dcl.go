@@ -42,7 +42,12 @@ type DCL struct {
 	etdProbes, etdHits         int64
 	falseMatches               int64
 	enables                    int64 // ACL: disabled->enabled transitions
+
+	obs Observer
 }
+
+// SetObserver implements Observable.
+func (p *DCL) SetObserver(o Observer) { p.obs = o }
 
 // Options configures DCL/ACL variants. The zero value is the paper's
 // configuration.
@@ -163,10 +168,18 @@ func (p *DCL) Access(set int, tag uint64, hit bool) {
 		p.counter[set] = min8(2, p.counterMax)
 		p.enables++
 		p.etds[set].clear()
+		if p.obs != nil {
+			p.obs.Observe(Event{Kind: EvACLEnable, Set: set, Way: -1, StackPos: -1,
+				Tag: tag, Cost: cost, Counter: p.counter[set], FalseMatch: falseMatch})
+		}
 		return
 	}
 	p.acost[set] -= p.factor * cost
 	p.etds[set].consume(idx)
+	if p.obs != nil {
+		p.obs.Observe(Event{Kind: EvETDHit, Set: set, Way: -1, StackPos: -1,
+			Tag: tag, Cost: cost, Counter: p.counter[set], FalseMatch: falseMatch})
+	}
 }
 
 // Touch implements Policy. A hit on the block in the LRU position terminates
@@ -179,6 +192,10 @@ func (p *DCL) Touch(set, way int) {
 			p.succeeded++
 			if p.adaptive {
 				p.bumpCounter(set, +1)
+			}
+			if p.obs != nil {
+				p.obs.Observe(Event{Kind: EvReserveSuccess, Set: set, Way: way,
+					StackPos: -1, Tag: p.lruT[set], Cost: m.cost[way], Counter: p.counter[set]})
 			}
 		}
 		p.etds[set].clear()
@@ -204,6 +221,16 @@ func (p *DCL) Victim(set int) int {
 				if !p.reserved[set] {
 					p.reserved[set] = true
 					p.invoked++
+					if p.obs != nil {
+						p.obs.Observe(Event{Kind: EvReserveOpen, Set: set, Way: lru,
+							StackPos: m.live - 1, Tag: p.lruT[set], Cost: m.cost[lru],
+							Counter: p.counter[set]})
+					}
+				}
+				if p.obs != nil {
+					p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: w, StackPos: pos,
+						Tag: m.tag[w], Cost: m.cost[w], LRUCost: m.cost[lru],
+						Counter: p.counter[set]})
 				}
 				return w
 			}
@@ -215,6 +242,20 @@ func (p *DCL) Victim(set int) int {
 				p.bumpCounter(set, -1)
 			}
 			p.reserved[set] = false
+			if p.obs != nil {
+				p.obs.Observe(Event{Kind: EvReserveAbandon, Set: set, Way: lru,
+					StackPos: m.live - 1, Tag: p.lruT[set], Cost: m.cost[lru],
+					Counter: p.counter[set]})
+				if p.adaptive && p.counter[set] == 0 {
+					p.obs.Observe(Event{Kind: EvACLDisable, Set: set, Way: -1,
+						StackPos: -1, Tag: p.lruT[set], Cost: m.cost[lru]})
+				}
+			}
+		}
+		if p.obs != nil {
+			p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: lru, StackPos: m.live - 1,
+				Tag: m.tag[lru], Cost: m.cost[lru], LRUCost: m.cost[lru],
+				Counter: p.counter[set]})
 		}
 		return lru
 	}
@@ -227,6 +268,10 @@ func (p *DCL) Victim(set int) int {
 			p.etds[set].insert(m.tag[lru], lruCost)
 			break
 		}
+	}
+	if p.obs != nil {
+		p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: lru, StackPos: m.live - 1,
+			Tag: m.tag[lru], Cost: lruCost, LRUCost: lruCost})
 	}
 	return lru
 }
@@ -267,6 +312,10 @@ func (p *DCL) Invalidate(set, way int, tag uint64) {
 		// The reserved block disappeared through no fault of the policy's:
 		// clear the reservation without counting success or failure.
 		p.reserved[set] = false
+		if p.obs != nil {
+			p.obs.Observe(Event{Kind: EvReserveCancel, Set: set, Way: way,
+				StackPos: -1, Tag: tag, Cost: m.cost[way], Counter: p.counter[set]})
+		}
 	}
 	m.invalidate(way)
 	p.refreshLRU(set)

@@ -4,7 +4,11 @@ package replacement
 // and always evicts the block in the LRU stack position.
 type LRU struct {
 	stackBase
+	obs Observer
 }
+
+// SetObserver implements Observable.
+func (p *LRU) SetObserver(o Observer) { p.obs = o }
 
 // NewLRU returns a fresh LRU policy.
 func NewLRU() *LRU { return &LRU{} }
@@ -27,7 +31,12 @@ func (p *LRU) Victim(set int) int {
 	if w := firstInvalid(m); w >= 0 {
 		return w
 	}
-	return m.lruWay()
+	w := m.lruWay()
+	if p.obs != nil {
+		p.obs.Observe(Event{Kind: EvEvict, Set: set, Way: w, StackPos: m.live - 1,
+			Tag: m.tag[w], Cost: m.cost[w], LRUCost: m.cost[w]})
+	}
+	return w
 }
 
 // Fill implements Policy.

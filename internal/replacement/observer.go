@@ -1,0 +1,107 @@
+package replacement
+
+// EventKind classifies a replacement decision event.
+type EventKind uint8
+
+// Decision event kinds emitted by the observable policies (LRU, BCL,
+// DCL/ACL). Every eviction from a full set emits exactly one EvEvict, so a
+// trace's eviction count reconciles with cache.Stats.Evictions.
+const (
+	// EvEvict: a victim was chosen from a full set. Way/StackPos/Tag/Cost
+	// describe the victim; LRUCost is the cost of the block plain LRU would
+	// have evicted (the current LRU occupant).
+	EvEvict EventKind = iota
+	// EvReserveOpen: the LRU blockframe was newly reserved (a cheaper block
+	// is victimized in its place). Way/Tag/Cost describe the reserved block.
+	EvReserveOpen
+	// EvReserveSuccess: the reserved block was re-referenced — the bet paid.
+	EvReserveSuccess
+	// EvReserveAbandon: the reserved block was finally evicted without a
+	// re-reference — the bet failed.
+	EvReserveAbandon
+	// EvReserveCancel: the reserved block was removed by an external
+	// invalidation; the reservation ends with no verdict.
+	EvReserveCancel
+	// EvETDHit: a cache miss hit the Extended Tag Directory; Cost is the
+	// recorded cost whose depreciation the hit triggers, FalseMatch marks
+	// aliased matches under narrow ETD tags.
+	EvETDHit
+	// EvACLEnable: ACL's per-set automaton re-enabled reservations (an ETD
+	// probe hit while disabled). Counter is the value after the transition.
+	EvACLEnable
+	// EvACLDisable: the automaton counter reached zero and reservations are
+	// now disabled for the set.
+	EvACLDisable
+
+	numEventKinds = iota
+)
+
+var eventKindNames = [...]string{
+	EvEvict:          "evict",
+	EvReserveOpen:    "reserve_open",
+	EvReserveSuccess: "reserve_success",
+	EvReserveAbandon: "reserve_abandon",
+	EvReserveCancel:  "reserve_cancel",
+	EvETDHit:         "etd_hit",
+	EvACLEnable:      "acl_enable",
+	EvACLDisable:     "acl_disable",
+}
+
+// String returns the snake_case name used in the JSONL trace schema.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// NumEventKinds is the number of defined event kinds, for dense per-kind
+// counter arrays.
+const NumEventKinds = int(numEventKinds)
+
+// Event is one replacement decision, passed to the Observer by value so the
+// un-observed path costs a nil check and the observed path allocates
+// nothing.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Set is the cache set the event happened in.
+	Set int
+	// Way is the affected way: the victim for EvEvict, the reserved LRU way
+	// for reservation events, -1 when not applicable.
+	Way int
+	// StackPos is the victim's LRU stack position for EvEvict (0 = MRU,
+	// ways-1 = LRU); -1 when not applicable.
+	StackPos int
+	// Tag is the affected block's tag (victim, reserved block, or ETD
+	// entry).
+	Tag uint64
+	// Cost is the event's cost operand: the victim's cost (EvEvict), the
+	// reserved block's cost (reservation events), or the recorded cost an
+	// ETD hit depreciates by.
+	Cost Cost
+	// LRUCost is, for EvEvict, the cost of the block plain LRU would have
+	// chosen — the current LRU occupant. Comparing it against Cost
+	// attributes the cost the decision kept resident.
+	LRUCost Cost
+	// Counter is the ACL automaton counter after EvACLEnable/EvACLDisable
+	// and after the bump on EvReserveSuccess/EvReserveAbandon (0 for
+	// non-adaptive policies).
+	Counter uint8
+	// FalseMatch marks EvETDHit events caused by tag aliasing.
+	FalseMatch bool
+}
+
+// Observer receives decision events from a policy. Implementations must not
+// call back into the policy. Observe is invoked synchronously on the
+// simulation path, so it should be cheap; the obs package's Tracer records
+// into a preallocated ring buffer.
+type Observer interface {
+	Observe(Event)
+}
+
+// Observable is implemented by policies that can emit decision events.
+// SetObserver(nil) detaches, restoring the zero-overhead path.
+type Observable interface {
+	SetObserver(Observer)
+}

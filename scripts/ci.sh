@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, tests, and the full suite under the race
+# detector. Run from the repository root.
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
