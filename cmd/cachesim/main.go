@@ -46,11 +46,12 @@ func main() {
 	flag.Parse()
 
 	if *obsListen != "" {
-		ln, err := obs.Serve(*obsListen, obs.Default)
+		srv, err := obs.Serve(*obsListen, obs.Default)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("observability: http://%s\n", ln.Addr())
+		defer srv.Close()
+		fmt.Printf("observability: http://%s\n", srv.Addr())
 	}
 
 	var tr *trace.Trace

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	costsweep -bench Barnes [-map random|firsttouch] [-csv]
+//	costsweep -bench Barnes -obs.listen localhost:6060 -manifest results/sweep.json
+//
+// Sweeps are long: phase progress (one phase per ratio) is reported on
+// stderr, -obs.listen serves live /metrics and pprof while the sweep runs,
+// -obs.dump prints the metrics registry afterwards, and -manifest writes the
+// savings grid as a run manifest for cmd/report.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"os"
 
 	"costcache/internal/costsim"
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
 )
@@ -28,7 +36,19 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	procFlag := flag.Int("proc", 0, "sample processor")
 	seed := flag.Uint64("seed", 42, "random mapping seed")
+	obsListen := flag.String("obs.listen", "", "serve /metrics and pprof on this address")
+	obsDump := flag.Bool("obs.dump", false, "dump the metrics registry as text after the sweep")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
 	flag.Parse()
+
+	if *obsListen != "" {
+		srv, err := obs.Serve(*obsListen, obs.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s\n", srv.Addr())
+	}
 
 	g, ok := workload.ByName(*bench)
 	if !ok {
@@ -37,6 +57,31 @@ func main() {
 	tr := g.Generate()
 	view := tr.SampleView(int16(*procFlag))
 	cfg := costsim.Default()
+
+	// Phase progress on stderr: tables go to stdout, so redirections stay
+	// clean while long sweeps remain visibly alive.
+	prog := obs.NewProgress(os.Stderr, obs.Default, "cells")
+
+	var man *manifest.Manifest
+	if *manifestPath != "" {
+		man = manifest.New("costsweep")
+		man.SetConfig("bench", *bench)
+		man.SetConfig("map", *mapping)
+		man.SetConfig("proc", *procFlag)
+		man.SetConfig("seed", *seed)
+		man.SetConfig("refs", len(view))
+	}
+	record := func(label string, pts []costsim.SweepPoint, ptLabel func(costsim.SweepPoint) string) {
+		if man == nil {
+			return
+		}
+		for _, pt := range pts {
+			for name, sav := range pt.Savings {
+				man.SetMetric(obs.Name("savings_pct",
+					"sweep", label, "point", ptLabel(pt), "policy", name), sav*100)
+			}
+		}
+	}
 
 	emit := func(t *tabulate.Table) {
 		if *csv {
@@ -51,8 +96,13 @@ func main() {
 	switch *mapping {
 	case "random":
 		for _, r := range costsim.PaperRatios() {
+			prog.Phase(r.Label)
 			pts := costsim.RandomSweep(view, cfg, []costsim.Ratio{r},
 				costsim.PaperHAFs(), costsim.PaperPolicies(), *seed)
+			prog.Add(int64(len(pts)))
+			record(r.Label, pts, func(pt costsim.SweepPoint) string {
+				return fmt.Sprintf("haf=%.2f", pt.TargetHAF)
+			})
 			t := tabulate.New(fmt.Sprintf("%s, %s: relative cost savings over LRU (%%)", *bench, r.Label),
 				"HAF", "measured", "GD", "BCL", "DCL", "ACL")
 			for _, pt := range pts {
@@ -63,10 +113,15 @@ func main() {
 			emit(t)
 			fmt.Println()
 		}
+		prog.Done()
 	case "firsttouch":
+		prog.Phase("firsttouch")
 		homes := workload.FirstTouchHomes(tr, cfg.BlockBytes)
 		pts := costsim.FirstTouchSweep(view, cfg, workload.HomeFunc(homes, 0),
 			int16(*procFlag), costsim.Table2Ratios(), costsim.PaperPolicies())
+		prog.Add(int64(len(pts)))
+		record("firsttouch", pts, func(pt costsim.SweepPoint) string { return pt.Ratio.Label })
+		prog.Done()
 		t := tabulate.New(fmt.Sprintf("%s: first-touch cost savings over LRU (%%)", *bench),
 			"ratio", "remote frac", "GD", "BCL", "DCL", "ACL")
 		for _, pt := range pts {
@@ -77,5 +132,16 @@ func main() {
 		emit(t)
 	default:
 		log.Fatalf("unknown mapping %q", *mapping)
+	}
+
+	if man != nil {
+		if err := man.WriteFile(*manifestPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifestPath)
+	}
+	if *obsDump {
+		fmt.Println()
+		obs.Default.Snapshot().WriteText(os.Stdout)
 	}
 }

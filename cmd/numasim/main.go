@@ -4,17 +4,32 @@
 //
 // Usage:
 //
-//	numasim -bench Barnes -policy DCL [-mhz 500|1000] [-nohints] [-table3]
+//	numasim -bench Barnes -policy DCL [-mhz 500|1000] [-nohints] [-table3] [-quick]
+//	numasim -bench Barnes -policy DCL -span.trace trace.json -span.jsonl spans.jsonl
+//	numasim -bench Barnes -policy DCL -manifest results/manifest.json
+//
+// -span.trace / -span.jsonl attach the miss-lifecycle tracer to the policy
+// run: every L2 miss becomes a span recording MSHR wait, lookup, network,
+// directory, memory, forward, invalidation and reply stages in simulated
+// time. trace.json is Chrome trace-event JSON (load it at ui.perfetto.dev or
+// chrome://tracing), spans.jsonl one JSON object per miss. Either flag also
+// prints the per-class latency breakdown and reconciles the span counts
+// against the per-node miss counters (the run fails on mismatch). -manifest
+// writes a self-describing run manifest for cmd/report.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"costcache/internal/manifest"
 	"costcache/internal/numasim"
 	"costcache/internal/obs"
+	"costcache/internal/obs/span"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
@@ -29,21 +44,29 @@ func main() {
 	nohints := flag.Bool("nohints", false, "disable replacement hints")
 	table3 := flag.Bool("table3", false, "print the consecutive-miss latency matrix")
 	penalty := flag.Bool("penalty", false, "predict miss PENALTY instead of latency as the cost")
+	quick := flag.Bool("quick", false, "scale the workload down for a fast smoke run")
 	obsListen := flag.String("obs.listen", "", "serve /metrics and pprof on this address")
 	obsDump := flag.Bool("obs.dump", false, "dump the metrics registry as text after the run")
+	spanTrace := flag.String("span.trace", "", "write the policy run's miss spans as Chrome trace-event JSON to this file")
+	spanJSONL := flag.String("span.jsonl", "", "write the policy run's miss spans as JSONL to this file")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
 	flag.Parse()
 
 	if *obsListen != "" {
-		ln, err := obs.Serve(*obsListen, obs.Default)
+		srv, err := obs.Serve(*obsListen, obs.Default)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("observability: http://%s\n", ln.Addr())
+		defer srv.Close()
+		fmt.Printf("observability: http://%s\n", srv.Addr())
 	}
 
 	g, ok := workload.ByName(*bench)
 	if !ok {
 		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	if *quick {
+		g = workload.Quick(g)
 	}
 	prog, _ := workload.ProgramOf(g)
 	f, ok := replacement.ByName(*policy)
@@ -60,15 +83,25 @@ func main() {
 		return cfg
 	}
 
+	// The miss-lifecycle tracer attaches to the policy run only.
+	var tracer *span.Tracer
+	var sinks []*spanSink
+	if *spanTrace != "" || *spanJSONL != "" {
+		jsonl := openSink(&sinks, *spanJSONL)
+		chrome := openSink(&sinks, *spanTrace)
+		tracer = span.NewTracer(jsonl, chrome)
+	}
+
 	cfg := mk(f)
 	cfg.Metrics = obs.Default // instrument the policy run, not the LRU baseline
+	cfg.Spans = tracer
 	res := numasim.Run(prog, cfg)
 	base := res
 	if *policy != "LRU" {
 		base = numasim.Run(prog, mk(func() replacement.Policy { return replacement.NewLRU() }))
 	}
 
-	t := tabulate.New(fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", *bench, *mhz, *policy, !*nohints),
+	t := tabulate.New(fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", g.Name(), *mhz, *policy, !*nohints),
 		"Metric", "LRU", *policy)
 	t.AddF("execution time (us)", float64(base.ExecNs)/1000, float64(res.ExecNs)/1000)
 	t.AddF("L2 misses", base.L2Misses, res.L2Misses)
@@ -80,14 +113,118 @@ func main() {
 	fmt.Printf("execution time reduction over LRU: %.2f%%\n",
 		100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
 
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range sinks {
+			s.close()
+		}
+		reconcileSpans(tracer, res)
+		fmt.Println()
+		tracer.Breakdown().Table(fmt.Sprintf("miss-latency breakdown of %s under %s (mean ns per miss)",
+			g.Name(), *policy)).Fprint(os.Stdout)
+		if *spanJSONL != "" {
+			fmt.Printf("wrote %d spans to %s\n", tracer.Count(), *spanJSONL)
+		}
+		if *spanTrace != "" {
+			fmt.Printf("wrote chrome trace to %s (load at ui.perfetto.dev)\n", *spanTrace)
+		}
+	}
+
 	if *table3 && res.Table3 != nil {
 		fmt.Println()
 		res.Table3.Table().Fprint(os.Stdout)
 		fmt.Printf("same-latency fraction: %.1f%%\n", res.Table3.SameLatencyFraction()*100)
 	}
 
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, g.Name(), *policy, *mhz, *quick, !*nohints, res, base, tracer); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote manifest to %s\n", *manifestPath)
+	}
+
 	if *obsDump {
 		fmt.Println()
 		obs.Default.Snapshot().WriteText(os.Stdout)
 	}
+}
+
+// spanSink is one buffered span output file.
+type spanSink struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func (s *spanSink) close() {
+	if err := s.bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// openSink creates path (nil writer when path is empty) and tracks it for the
+// post-run flush. It returns io.Writer, not *bufio.Writer: a typed-nil
+// *bufio.Writer would pass the tracer's interface nil checks and crash on the
+// first write when only one of the two sink flags is set.
+func openSink(sinks *[]*spanSink, path string) io.Writer {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &spanSink{f: f, bw: bufio.NewWriterSize(f, 1<<20)}
+	*sinks = append(*sinks, s)
+	return s.bw
+}
+
+// reconcileSpans cross-checks the tracer against the simulator: exactly one
+// span per L2 miss, per node. A mismatch means the instrumentation drifted
+// from the miss path and the artifacts cannot be trusted, so it is fatal.
+func reconcileSpans(tr *span.Tracer, res numasim.Result) {
+	counts := tr.NodeCounts()
+	var total int64
+	for i, ns := range res.PerNode {
+		var got int64
+		if i < len(counts) {
+			got = counts[i]
+		}
+		if got != ns.Misses {
+			log.Fatalf("span reconciliation: node %d has %d spans but %d L2 misses", i, got, ns.Misses)
+		}
+		total += got
+	}
+	if total != res.L2Misses || int64(tr.Count()) != res.L2Misses {
+		log.Fatalf("span reconciliation: %d spans vs %d L2 misses", tr.Count(), res.L2Misses)
+	}
+	fmt.Printf("span reconciliation: %d spans == %d L2 misses across %d nodes\n",
+		tr.Count(), res.L2Misses, len(res.PerNode))
+}
+
+// writeManifest captures the run configuration and headline metrics (policy
+// run and LRU baseline) plus the latency breakdown when spans were traced.
+func writeManifest(path, bench, policy string, mhz int, quick, hints bool, res, base numasim.Result, tr *span.Tracer) error {
+	m := manifest.New("numasim")
+	m.SetConfig("bench", bench)
+	m.SetConfig("policy", policy)
+	m.SetConfig("mhz", mhz)
+	m.SetConfig("quick", quick)
+	m.SetConfig("hints", hints)
+	for label, r := range map[string]numasim.Result{"policy": res, "baseline-lru": base} {
+		m.SetMetric(obs.Name("exec_ns", "run", label), float64(r.ExecNs))
+		m.SetMetric(obs.Name("l2_misses", "run", label), float64(r.L2Misses))
+		m.SetMetric(obs.Name("agg_miss_ns", "run", label), float64(r.AggMissNs))
+		m.SetMetric(obs.Name("avg_miss_ns", "run", label), r.AvgMissNs)
+	}
+	m.SetMetric("exec_reduction_pct", 100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+	if tr != nil {
+		m.SetMetric("spans", float64(tr.Count()))
+		m.SetBreakdown(tr.Breakdown())
+	}
+	return m.WriteFile(path)
 }

@@ -30,6 +30,7 @@ import (
 
 	"costcache/internal/costsim"
 	"costcache/internal/hwcost"
+	"costcache/internal/manifest"
 	"costcache/internal/numasim"
 	"costcache/internal/obs"
 	"costcache/internal/tabulate"
@@ -47,14 +48,16 @@ func main() {
 	obsTrace := flag.String("obs.trace", "", "write the replacement decision trace as JSONL to this file and run the observability section")
 	obsWindow := flag.Int("obs.window", 50000, "interval-report window in trace references (-obs.trace)")
 	benchJSON := flag.String("bench-json", "", "time observed vs. bare simulation and write the JSON record to this file")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) capturing the configuration and the metrics registry to this file")
 	flag.Parse()
 
 	if *obsListen != "" {
-		ln, err := obs.Serve(*obsListen, obs.Default)
+		srv, err := obs.Serve(*obsListen, obs.Default)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("observability: serving /metrics and /debug/pprof on http://%s\n\n", ln.Addr())
+		defer srv.Close()
+		fmt.Printf("observability: serving /metrics and /debug/pprof on http://%s\n\n", srv.Addr())
 	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, pickBench(*bench, *quick)); err != nil {
@@ -76,6 +79,12 @@ func main() {
 		}
 	}
 	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if *manifestPath != "" {
+		man = manifest.New("paper")
+		man.SetConfig("quick", *quick)
+		man.SetConfig("only", *only)
+	}
 
 	gens := benchmarks(*quick)
 
@@ -105,6 +114,23 @@ func main() {
 	}
 	if run("hwcost") {
 		hwcostSection()
+	}
+	if man != nil {
+		man.AddSnapshot(obs.Default.Snapshot())
+		if err := man.WriteFile(*manifestPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote manifest to %s\n", *manifestPath)
+	}
+}
+
+// man is the optional run manifest (-manifest); the per-policy experiment
+// sections record their headline numbers into it through record.
+var man *manifest.Manifest
+
+func record(name string, v float64) {
+	if man != nil {
+		man.SetMetric(name, v)
 	}
 }
 
@@ -147,18 +173,13 @@ func sizeSection(gens []workload.Generator) {
 
 // benchmarks returns the four Table 1 workloads, optionally scaled down.
 func benchmarks(quick bool) []workload.Generator {
-	if !quick {
-		return workload.Defaults()
+	gens := workload.Defaults()
+	if quick {
+		for i, g := range gens {
+			gens[i] = workload.Quick(g)
+		}
 	}
-	b := workload.DefaultBarnes()
-	b.Bodies, b.Iterations = 2048, 2
-	l := workload.DefaultLU()
-	l.N, l.B = 256, 16 // keep N/B at twice the processor count
-	o := workload.DefaultOcean()
-	o.Iterations = 3
-	r := workload.DefaultRaytrace()
-	r.RaysPerProc = 1500
-	return []workload.Generator{b, l, o, r}
+	return gens
 }
 
 // views generates each benchmark's trace, sample view and first-touch homes
@@ -234,6 +255,9 @@ func table2(gens []workload.Generator) {
 			row := []any{d.gen.Name(), name}
 			for _, pt := range pts {
 				row = append(row, pt.Savings[name]*100)
+				record(obs.Name("table2_savings_pct",
+					"bench", d.gen.Name(), "policy", name, "ratio", pt.Ratio.Label),
+					pt.Savings[name]*100)
 			}
 			t.AddF(row...)
 		}
@@ -282,6 +306,9 @@ func table5(gens []workload.Generator, quick bool) {
 			row := []any{r.Bench}
 			for _, n := range names {
 				row = append(row, r.ReductionPct[n])
+				record(obs.Name("table5_reduction_pct",
+					"mhz", fmt.Sprint(mhz), "bench", r.Bench, "policy", n),
+					r.ReductionPct[n])
 			}
 			t.AddF(row...)
 		}

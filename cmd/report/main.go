@@ -1,0 +1,167 @@
+// Command report works with the run manifests the other commands write into
+// results/ (see internal/manifest).
+//
+// Diff mode compares two manifests and flags metric drift:
+//
+//	report [-tol 2] [-strict] old.json new.json
+//
+// Each metric beyond the tolerance is classified improved or regressed by
+// the metric's good direction (latencies down, savings up). Exit status: 0
+// on ok/improved/drift (warn-only by default), 1 with -strict when anything
+// regressed, 2 when either manifest is malformed.
+//
+// Check mode validates observability artifacts structurally:
+//
+//	report -check file...
+//
+// Files are sniffed by content: a JSON array is validated as a Chrome
+// trace, a .jsonl file as span JSONL, anything else as a manifest. Exit
+// status 1 if any file is malformed.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costcache/internal/manifest"
+	"costcache/internal/tabulate"
+)
+
+func main() {
+	tol := flag.Float64("tol", 2, "relative drift tolerance in percent")
+	strict := flag.Bool("strict", false, "exit 1 when any metric regressed")
+	check := flag.Bool("check", false, "validate files instead of diffing manifests")
+	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(flag.Args()))
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: report [-tol pct] [-strict] old.json new.json\n       report -check file...")
+		os.Exit(2)
+	}
+	os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *tol, *strict))
+}
+
+func runDiff(oldPath, newPath string, tol float64, strict bool) int {
+	oldM, err := manifest.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	newM, err := manifest.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	fmt.Printf("old: %s (%s, rev %s)\n", oldPath, oldM.CreatedUTC, orDash(oldM.GitRev))
+	fmt.Printf("new: %s (%s, rev %s)\n", newPath, newM.CreatedUTC, orDash(newM.GitRev))
+
+	entries := manifest.Diff(oldM, newM, tol)
+	var regressed, improved, churn int
+	t := tabulate.New(fmt.Sprintf("metric drift (tolerance %.3g%%)", tol),
+		"metric", "old", "new", "delta %", "verdict")
+	for _, e := range entries {
+		switch e.Verdict {
+		case manifest.VerdictRegressed:
+			regressed++
+		case manifest.VerdictImproved:
+			improved++
+		case manifest.VerdictAdded, manifest.VerdictRemoved:
+			churn++
+		default:
+			continue // keep the table to actionable rows
+		}
+		t.Add(e.Name, num(e.Old), num(e.New), fmt.Sprintf("%+.2f", e.DeltaPct), string(e.Verdict))
+	}
+	if regressed+improved+churn == 0 {
+		fmt.Printf("all %d metrics within tolerance\n", len(entries))
+		return 0
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("%d regressed, %d improved, %d added/removed, %d ok\n",
+		regressed, improved, churn, len(entries)-regressed-improved-churn)
+	if regressed > 0 {
+		if strict {
+			return 1
+		}
+		fmt.Println("warning: regressions above; rerun with -strict to fail on them")
+	}
+	return 0
+}
+
+func runCheck(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "report: -check needs at least one file")
+		return 1
+	}
+	bad := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			bad++
+			continue
+		}
+		switch kindOf(p, data) {
+		case "chrome":
+			events, spans, err := manifest.ValidateChromeTrace(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: %v\n", p, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: valid chrome trace, %d events, %d spans\n", p, events, spans)
+		case "jsonl":
+			spans, err := manifest.ValidateSpanJSONL(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: %v\n", p, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: valid span jsonl, %d spans\n", p, spans)
+		default:
+			m, err := manifest.ReadFile(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "report:", err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: valid manifest, %s, %d metrics, %d breakdown rows\n",
+				p, m.Command, len(m.Metrics), len(m.LatencyBreakdown))
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// kindOf sniffs the artifact kind: a leading '[' is a Chrome trace array, a
+// .jsonl extension the span stream, anything else a manifest.
+func kindOf(path string, data []byte) string {
+	if strings.HasSuffix(path, ".jsonl") {
+		return "jsonl"
+	}
+	if d := bytes.TrimLeft(data, " \t\r\n"); len(d) > 0 && d[0] == '[' {
+		return "chrome"
+	}
+	return "manifest"
+}
+
+func num(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

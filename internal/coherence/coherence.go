@@ -16,6 +16,7 @@ package coherence
 import (
 	"costcache/internal/mesh"
 	"costcache/internal/obs"
+	"costcache/internal/obs/span"
 )
 
 // State is the block state recorded at the home directory, using the
@@ -85,6 +86,33 @@ type Machine struct {
 
 	stats Stats
 	met   *Metrics
+	sp    *span.Span
+}
+
+// SetSpan attaches the active miss-lifecycle span: until cleared with nil,
+// Read/Write record their stage segments (request, directory, memory,
+// forward, invalidation fan-out, reply) into sp, and the underlying mesh
+// records every link hop. The simulator sets the span around exactly one
+// transaction at a time; the un-traced path pays nil checks only.
+func (m *Machine) SetSpan(sp *span.Span) {
+	m.sp = sp
+	m.net.SetSpan(sp)
+}
+
+// seg records a stage segment on the active span, attributing the link
+// queueing accumulated since hopQ0 to it.
+func (m *Machine) seg(st span.Stage, start, hopQ0, end int64) {
+	if m.sp != nil {
+		m.sp.SegQ(st, start, m.sp.HopQueueNs()-hopQ0, end)
+	}
+}
+
+// hopQ returns the active span's running link-queueing total (0 untraced).
+func (m *Machine) hopQ() int64 {
+	if m.sp == nil {
+		return 0
+	}
+	return m.sp.HopQueueNs()
 }
 
 // Metrics are the protocol's observability instruments (nil when detached).
@@ -175,6 +203,7 @@ func (m *Machine) entryOf(block uint64) *entry {
 // dirAccess reserves the home directory engine.
 func (m *Machine) dirAccess(node int, t int64) int64 {
 	m.stats.DirAccesses++
+	arrive := t
 	var wait int64
 	if m.dirFree[node] > t {
 		wait = m.dirFree[node] - t
@@ -186,6 +215,9 @@ func (m *Machine) dirAccess(node int, t int64) int64 {
 		m.met.DirWaitNs.Add(wait)
 	}
 	m.dirFree[node] = t + m.p.DirAccess
+	if m.sp != nil {
+		m.sp.SegQ(span.StageDirectory, arrive, wait, t+m.p.DirAccess)
+	}
 	return t + m.p.DirAccess
 }
 
@@ -195,8 +227,10 @@ func (m *Machine) memAccess(node int, block uint64, t int64) int64 {
 	if b < 0 {
 		b = -b
 	}
+	arrive := t
+	var wait int64
 	if m.bankFree[node][b] > t {
-		wait := m.bankFree[node][b] - t
+		wait = m.bankFree[node][b] - t
 		m.stats.MemWaitNs += wait
 		if m.met != nil {
 			m.met.MemWaitNs.Add(wait)
@@ -204,6 +238,9 @@ func (m *Machine) memAccess(node int, block uint64, t int64) int64 {
 		t = m.bankFree[node][b]
 	}
 	m.bankFree[node][b] = t + m.p.MemAccess
+	if m.sp != nil {
+		m.sp.SegQ(span.StageMemory, arrive, wait, t+m.p.MemAccess)
+	}
 	return t + m.p.MemAccess
 }
 
@@ -224,6 +261,11 @@ type Result struct {
 	Unloaded int64
 	// StateBefore is the home directory state when the request arrived.
 	StateBefore State
+	// Local reports that the home was the requesting node; Dirty that a
+	// dirty owner copy was involved (a cache-to-cache transfer or owner
+	// writeback). Together they select the paper's latency class (local
+	// clean 120 ns, remote clean 380 ns, remote dirty ~480 ns).
+	Local, Dirty bool
 }
 
 // Read performs a read miss (GetS) by node r for block b issued at time now.
@@ -232,8 +274,11 @@ func (m *Machine) Read(r int, b uint64, now int64) Result {
 	h := m.home(b)
 	e := m.entryOf(b)
 	before := e.state
+	dirty := false
 
+	q0 := m.hopQ()
 	t := m.net.Send(r, h, mesh.CtrlFlits, now)
+	m.seg(span.StageRequest, now, q0, t)
 	u := m.net.Unloaded(r, h, mesh.CtrlFlits)
 	t = m.dirAccess(h, t)
 	u += m.p.DirAccess
@@ -244,14 +289,18 @@ func (m *Machine) Read(r int, b uint64, now int64) Result {
 		t = m.memAccess(h, b, t)
 		u += m.p.MemAccess
 		e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, false, 1<<uint(r)
+		t0, q0 := t, m.hopQ()
 		t = m.net.Send(h, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(h, r, mesh.DataFlits)
 
 	case Shared:
 		t = m.memAccess(h, b, t)
 		u += m.p.MemAccess
 		e.sharers |= 1 << uint(r)
+		t0, q0 := t, m.hopQ()
 		t = m.net.Send(h, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(h, r, mesh.DataFlits)
 
 	case Exclusive:
@@ -262,17 +311,21 @@ func (m *Machine) Read(r int, b uint64, now int64) Result {
 			if o != r {
 				m.stats.Forwards++
 				m.stats.ForwardNacks++
+				t0, q0 := t, m.hopQ()
 				t = m.net.Send(h, o, mesh.CtrlFlits, t)
 				u += m.net.Unloaded(h, o, mesh.CtrlFlits)
 				t += m.p.OwnerLookup
 				u += m.p.OwnerLookup
 				t = m.net.Send(o, h, mesh.CtrlFlits, t)
+				m.seg(span.StageForward, t0, q0, t)
 				u += m.net.Unloaded(o, h, mesh.CtrlFlits)
 			}
 			t = m.memAccess(h, b, t)
 			u += m.p.MemAccess
 			e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, false, 1<<uint(r)
+			t0, q0 := t, m.hopQ()
 			t = m.net.Send(h, r, mesh.DataFlits, t)
+			m.seg(span.StageReply, t0, q0, t)
 			u += m.net.Unloaded(h, r, mesh.DataFlits)
 			break
 		}
@@ -280,23 +333,32 @@ func (m *Machine) Read(r int, b uint64, now int64) Result {
 		// to Shared, sends the data to the requester and (if dirty) a
 		// writeback to the home.
 		m.stats.Forwards++
+		dirty = e.ownerDirty
+		t0, fq0 := t, m.hopQ()
 		t = m.net.Send(h, o, mesh.CtrlFlits, t)
 		u += m.net.Unloaded(h, o, mesh.CtrlFlits)
 		t += m.p.OwnerLookup
 		u += m.p.OwnerLookup
+		m.seg(span.StageForward, t0, fq0, t)
 		if e.ownerDirty {
 			m.stats.Writebacks++
-			m.net.Send(o, h, mesh.DataFlits, t) // sharing writeback, off the critical path
+			// Sharing writeback, off the critical path: its link occupancy
+			// still contends, but its hops are not this miss's to pay.
+			m.net.SetSpan(nil)
+			m.net.Send(o, h, mesh.DataFlits, t)
+			m.net.SetSpan(m.sp)
 		}
 		if m.Downgrade != nil {
 			m.Downgrade(o, b, t)
 		}
 		e.state, e.ownerDirty = Shared, false
 		e.sharers = (1 << uint(o)) | (1 << uint(r))
+		t0, q0 = t, m.hopQ()
 		t = m.net.Send(o, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(o, r, mesh.DataFlits)
 	}
-	return Result{Done: t, Unloaded: u, StateBefore: before}
+	return Result{Done: t, Unloaded: u, StateBefore: before, Local: h == r, Dirty: dirty}
 }
 
 // Write performs a write miss or upgrade (GetX) by node r for block b.
@@ -305,8 +367,11 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 	h := m.home(b)
 	e := m.entryOf(b)
 	before := e.state
+	dirty := false
 
+	q0 := m.hopQ()
 	t := m.net.Send(r, h, mesh.CtrlFlits, now)
+	m.seg(span.StageRequest, now, q0, t)
 	u := m.net.Unloaded(r, h, mesh.CtrlFlits)
 	t = m.dirAccess(h, t)
 	u += m.p.DirAccess
@@ -315,7 +380,9 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 	case Uncached:
 		t = m.memAccess(h, b, t)
 		u += m.p.MemAccess
+		t0, q0 := t, m.hopQ()
 		t = m.net.Send(h, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(h, r, mesh.DataFlits)
 
 	case Shared:
@@ -324,10 +391,12 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 		memT := m.memAccess(h, b, t)
 		memU := m.p.MemAccess
 		ackT, ackU := t, int64(0)
+		iq0, invals := m.hopQ(), false
 		for s := 0; s < m.net.Nodes(); s++ {
 			if s == r || e.sharers&(1<<uint(s)) == 0 {
 				continue
 			}
+			invals = true
 			m.stats.Invalidations++
 			if m.met != nil {
 				m.met.Invalidations.Inc()
@@ -346,6 +415,11 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 				ackU = au
 			}
 		}
+		if invals {
+			// One merged segment over the fan-out window: first
+			// invalidation out to last ack in.
+			m.seg(span.StageInval, t, iq0, ackT)
+		}
 		if memT > ackT {
 			ackT = memT
 		}
@@ -354,7 +428,9 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 		}
 		t = ackT
 		u += ackU
+		t0, q0 := t, m.hopQ()
 		t = m.net.Send(h, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(h, r, mesh.DataFlits)
 
 	case Exclusive:
@@ -363,34 +439,43 @@ func (m *Machine) Write(r int, b uint64, now int64) Result {
 			if o != r {
 				m.stats.Forwards++
 				m.stats.ForwardNacks++
+				t0, q0 := t, m.hopQ()
 				t = m.net.Send(h, o, mesh.CtrlFlits, t)
 				u += m.net.Unloaded(h, o, mesh.CtrlFlits)
 				t += m.p.OwnerLookup
 				u += m.p.OwnerLookup
 				t = m.net.Send(o, h, mesh.CtrlFlits, t)
+				m.seg(span.StageForward, t0, q0, t)
 				u += m.net.Unloaded(o, h, mesh.CtrlFlits)
 			}
 			t = m.memAccess(h, b, t)
 			u += m.p.MemAccess
+			t0, q0 := t, m.hopQ()
 			t = m.net.Send(h, r, mesh.DataFlits, t)
+			m.seg(span.StageReply, t0, q0, t)
 			u += m.net.Unloaded(h, r, mesh.DataFlits)
 			break
 		}
 		// Ownership transfer: the owner invalidates its copy and sends the
 		// (possibly dirty) data straight to the requester.
 		m.stats.Forwards++
+		dirty = e.ownerDirty
+		t0, fq0 := t, m.hopQ()
 		t = m.net.Send(h, o, mesh.CtrlFlits, t)
 		u += m.net.Unloaded(h, o, mesh.CtrlFlits)
 		t += m.p.OwnerLookup
 		u += m.p.OwnerLookup
+		m.seg(span.StageForward, t0, fq0, t)
 		if m.Invalidate != nil {
 			m.Invalidate(o, b, t)
 		}
+		t0, q0 = t, m.hopQ()
 		t = m.net.Send(o, r, mesh.DataFlits, t)
+		m.seg(span.StageReply, t0, q0, t)
 		u += m.net.Unloaded(o, r, mesh.DataFlits)
 	}
 	e.state, e.owner, e.ownerDirty, e.sharers = Exclusive, r, true, 1<<uint(r)
-	return Result{Done: t, Unloaded: u, StateBefore: before}
+	return Result{Done: t, Unloaded: u, StateBefore: before, Local: h == r, Dirty: dirty}
 }
 
 // Evict informs the protocol that node r dropped block b from its caches.

@@ -1,0 +1,165 @@
+package coherence
+
+import (
+	"testing"
+
+	"costcache/internal/obs/span"
+)
+
+// stagesOf runs one transaction with a span attached and returns the span.
+func stagesOf(t *testing.T, m *Machine, run func() Result) (*span.Span, Result) {
+	t.Helper()
+	tr := span.NewTracer(nil, nil)
+	sp := tr.Begin(0, 1, false, 0)
+	m.SetSpan(sp)
+	res := run()
+	m.SetSpan(nil)
+	// Leave the span un-finished so the test can inspect it; Finish would
+	// reset nothing but the test has no sinks to feed anyway.
+	return sp, res
+}
+
+func segs(sp *span.Span, st span.Stage) []span.Seg {
+	var out []span.Seg
+	for _, s := range sp.Segs {
+		if s.Stage == st {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestSpanRemoteCleanReadStages(t *testing.T) {
+	m := machine(1, true)
+	sp, res := stagesOf(t, m, func() Result { return m.Read(0, 1, 0) })
+	if res.Local || res.Dirty {
+		t.Fatalf("remote clean read classified local=%v dirty=%v", res.Local, res.Dirty)
+	}
+	for _, st := range []span.Stage{span.StageRequest, span.StageDirectory, span.StageMemory, span.StageReply} {
+		if len(segs(sp, st)) != 1 {
+			t.Errorf("stage %s recorded %d times, want 1", st, len(segs(sp, st)))
+		}
+	}
+	for _, st := range []span.Stage{span.StageForward, span.StageInval} {
+		if len(segs(sp, st)) != 0 {
+			t.Errorf("clean read recorded stage %s", st)
+		}
+	}
+	// The stages tile the transaction: request ends where the directory
+	// starts, and the reply ends at the result time.
+	req := segs(sp, span.StageRequest)[0]
+	dir := segs(sp, span.StageDirectory)[0]
+	rep := segs(sp, span.StageReply)[0]
+	if req.End != dir.Start {
+		t.Errorf("request ends at %d, directory starts at %d", req.End, dir.Start)
+	}
+	if rep.End != res.Done {
+		t.Errorf("reply ends at %d, transaction done at %d", rep.End, res.Done)
+	}
+	// Requester-to-home is one hop; home-to-requester another.
+	if len(sp.Hops) != 2 {
+		t.Errorf("recorded %d hops, want 2 (1 each way)", len(sp.Hops))
+	}
+}
+
+func TestSpanLocalReadClassAndHops(t *testing.T) {
+	m := machine(0, true)
+	sp, res := stagesOf(t, m, func() Result { return m.Read(0, 1, 0) })
+	if !res.Local || res.Dirty {
+		t.Fatalf("local clean read classified local=%v dirty=%v", res.Local, res.Dirty)
+	}
+	if len(sp.Hops) != 0 {
+		t.Errorf("node-local messages crossed %d links", len(sp.Hops))
+	}
+}
+
+func TestSpanDirtyReadForward(t *testing.T) {
+	m := machine(1, true)
+	m.Write(2, 1, 0) // node 2 dirties the block (home 1); untraced
+	sp, res := stagesOf(t, m, func() Result { return m.Read(0, 1, 10000) })
+	if res.Local || !res.Dirty {
+		t.Fatalf("dirty remote read classified local=%v dirty=%v", res.Local, res.Dirty)
+	}
+	fwd := segs(sp, span.StageForward)
+	if len(fwd) != 1 {
+		t.Fatalf("forward stage recorded %d times, want 1", len(fwd))
+	}
+	// No memory stage on the critical path: the owner supplies the data, and
+	// the sharing writeback is off-path (excluded from the span).
+	if len(segs(sp, span.StageMemory)) != 0 {
+		t.Error("cache-to-cache transfer recorded a critical-path memory stage")
+	}
+	rep := segs(sp, span.StageReply)
+	if len(rep) != 1 || rep[0].End != res.Done {
+		t.Fatalf("reply segs %v, want one ending at %d", rep, res.Done)
+	}
+}
+
+func TestSpanWriteInvalFanout(t *testing.T) {
+	m := machine(0, true)
+	m.Read(1, 7, 0)
+	m.Read(2, 7, 1000)
+	if m.StateOf(7) != Shared {
+		t.Fatalf("setup: state %v, want Shared", m.StateOf(7))
+	}
+	sp, res := stagesOf(t, m, func() Result { return m.Write(3, 7, 2000) })
+	inval := segs(sp, span.StageInval)
+	if len(inval) != 1 {
+		t.Fatalf("inval stage recorded %d times, want 1 merged window", len(inval))
+	}
+	rep := segs(sp, span.StageReply)
+	if len(rep) != 1 || rep[0].Start < inval[0].End {
+		// The reply leaves after memory AND all acks; with remote sharers the
+		// ack window is the binding constraint here.
+		t.Fatalf("reply %v must start at the inval window end %d", rep, inval[0].End)
+	}
+	if res.Dirty {
+		t.Error("invalidating a Shared block is not a dirty transfer")
+	}
+	if res.Done != rep[0].End {
+		t.Errorf("reply ends at %d, transaction done at %d", rep[0].End, res.Done)
+	}
+}
+
+func TestSpanStaleForwardNack(t *testing.T) {
+	m := machine(1, false) // no hints: directory goes stale on silent eviction
+	m.HasBlock = func(int, uint64) bool { return false }
+	m.Write(2, 1, 0) // node 2 nominally owns the block but "evicted" it
+	sp, _ := stagesOf(t, m, func() Result { return m.Read(0, 1, 10000) })
+	// Stale owner: forward + nack, then memory supplies the data.
+	if len(segs(sp, span.StageForward)) != 1 {
+		t.Fatal("stale forward not recorded")
+	}
+	if len(segs(sp, span.StageMemory)) != 1 {
+		t.Fatal("memory fallback not recorded")
+	}
+}
+
+// TestSpanQueueAttribution drives two back-to-back transactions over the
+// same route and checks the second span carries link-queueing delay.
+func TestSpanQueueAttribution(t *testing.T) {
+	m := machine(3, true)
+	tr := span.NewTracer(nil, nil)
+
+	// Two reads from the same node at the same instant: the second's request
+	// queues behind the first's flit train on the shared links.
+	sp1 := tr.Begin(0, 1, false, 0)
+	m.SetSpan(sp1)
+	r1 := m.Read(0, 1, 0)
+	tr.Finish(sp1, r1.Done, 'U', r1.Local, r1.Dirty)
+	sp2 := tr.Begin(0, 2, false, 0)
+	m.SetSpan(sp2)
+	r2 := m.Read(0, 2, 0)
+	m.SetSpan(nil)
+	if sp2.HopQueueNs() == 0 {
+		t.Fatal("second transaction saw no link queueing")
+	}
+	req := segs(sp2, span.StageRequest)
+	if len(req) != 1 || req[0].Queue == 0 {
+		t.Fatalf("request stage %v did not absorb the queueing delay", req)
+	}
+	// Contention must also lengthen the loaded latency beyond the unloaded.
+	if loaded := r2.Done - 0; loaded <= r2.Unloaded {
+		t.Errorf("loaded latency %d not above unloaded %d despite queueing", loaded, r2.Unloaded)
+	}
+}

@@ -1,0 +1,96 @@
+package manifest
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one metric's movement between two manifests.
+type Verdict string
+
+// Verdicts, from benign to actionable.
+const (
+	// VerdictOK: within tolerance.
+	VerdictOK Verdict = "ok"
+	// VerdictImproved: moved beyond tolerance in the good direction.
+	VerdictImproved Verdict = "improved"
+	// VerdictRegressed: moved beyond tolerance in the bad direction.
+	VerdictRegressed Verdict = "regressed"
+	// VerdictAdded / VerdictRemoved: present in only one manifest.
+	VerdictAdded   Verdict = "added"
+	VerdictRemoved Verdict = "removed"
+)
+
+// DiffEntry is one metric's comparison.
+type DiffEntry struct {
+	Name     string
+	Old, New float64
+	// DeltaPct is the relative change in percent (0 when Old is 0).
+	DeltaPct float64
+	Verdict  Verdict
+}
+
+// HigherIsBetter guesses a metric's good direction from its name: savings,
+// reductions, hit and success counts improve upward; everything else
+// (latencies, misses, execution time, queueing) improves downward.
+func HigherIsBetter(name string) bool {
+	base := name
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		base = base[:i]
+	}
+	for _, good := range []string{"savings", "reduction", "hits", "hit_", "success"} {
+		if strings.Contains(base, good) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares two manifests' metrics. tolPct is the relative drift (in
+// percent) still classified as ok. Entries are sorted: regressions first,
+// then improvements, added/removed, and ok, each alphabetically.
+func Diff(prev, cur *Manifest, tolPct float64) []DiffEntry {
+	var out []DiffEntry
+	for name, ov := range prev.Metrics {
+		nv, ok := cur.Metrics[name]
+		if !ok {
+			out = append(out, DiffEntry{Name: name, Old: ov, Verdict: VerdictRemoved})
+			continue
+		}
+		e := DiffEntry{Name: name, Old: ov, New: nv, Verdict: VerdictOK}
+		if ov != 0 {
+			e.DeltaPct = (nv - ov) / math.Abs(ov) * 100
+		} else if nv != 0 {
+			e.DeltaPct = math.Inf(1)
+			if nv < 0 {
+				e.DeltaPct = math.Inf(-1)
+			}
+		}
+		if math.Abs(e.DeltaPct) > tolPct {
+			up := nv > ov
+			if up == HigherIsBetter(name) {
+				e.Verdict = VerdictImproved
+			} else {
+				e.Verdict = VerdictRegressed
+			}
+		}
+		out = append(out, e)
+	}
+	for name, nv := range cur.Metrics {
+		if _, ok := prev.Metrics[name]; !ok {
+			out = append(out, DiffEntry{Name: name, New: nv, Verdict: VerdictAdded})
+		}
+	}
+	rank := map[Verdict]int{
+		VerdictRegressed: 0, VerdictImproved: 1,
+		VerdictAdded: 2, VerdictRemoved: 2, VerdictOK: 3,
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := rank[out[i].Verdict], rank[out[j].Verdict]; ri != rj {
+			return ri < rj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

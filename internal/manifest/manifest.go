@@ -1,0 +1,156 @@
+// Package manifest defines the self-describing run manifest the commands
+// write into results/: one JSON document per run capturing what was run
+// (command, arguments, git revision, configuration), when, and what came out
+// (flat metrics plus the miss-lifecycle latency breakdown). Manifests are the
+// unit of regression tracking: cmd/report diffs two of them and flags metric
+// drift, and scripts/ci.sh validates a fresh smoke-run manifest against the
+// archived baseline.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/span"
+)
+
+// Schema identifies the manifest document format; bump the version on
+// incompatible changes.
+const Schema = "costcache/run-manifest/v1"
+
+// Manifest is one run's self-description.
+type Manifest struct {
+	// Schema is always the package's Schema constant.
+	Schema string `json:"schema"`
+	// Command is the producing binary's name; Args its full argument list.
+	Command string   `json:"command"`
+	Args    []string `json:"args,omitempty"`
+	// CreatedUTC is the RFC 3339 creation time in UTC.
+	CreatedUTC string `json:"created_utc"`
+	// GitRev is the repository revision ("" when not in a git checkout).
+	GitRev string `json:"git_rev,omitempty"`
+	// Config are the run parameters as rendered strings (flag values,
+	// workload names, cache geometry).
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics are the run's scalar results, keyed by metric name (optionally
+	// labeled in obs.Name style).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// LatencyBreakdown is the per-class, per-stage miss-latency aggregation
+	// from the span tracer, when the run traced spans.
+	LatencyBreakdown []span.BreakdownRow `json:"latency_breakdown,omitempty"`
+}
+
+// New returns a manifest stamped with the current time, the process argument
+// list and the repository revision (best effort).
+func New(command string) *Manifest {
+	return &Manifest{
+		Schema:     Schema,
+		Command:    command,
+		Args:       os.Args[1:],
+		CreatedUTC: time.Now().UTC().Format(time.RFC3339),
+		GitRev:     gitRev(),
+		Config:     make(map[string]string),
+		Metrics:    make(map[string]float64),
+	}
+}
+
+// gitRev returns the short HEAD revision, or "" outside a checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// SetConfig records one configuration parameter.
+func (m *Manifest) SetConfig(key string, value any) {
+	m.Config[key] = fmt.Sprint(value)
+}
+
+// SetMetric records one scalar result.
+func (m *Manifest) SetMetric(name string, value float64) {
+	m.Metrics[name] = value
+}
+
+// AddSnapshot flattens a registry snapshot into the metric map: counters and
+// gauges verbatim, histograms as name_count, name_sum and name_mean.
+func (m *Manifest) AddSnapshot(s obs.Snapshot) {
+	for n, v := range s.Counters {
+		m.Metrics[n] = float64(v)
+	}
+	for n, v := range s.Gauges {
+		m.Metrics[n] = float64(v)
+	}
+	for n, h := range s.Histograms {
+		base, labels := n, ""
+		if i := strings.IndexByte(n, '{'); i >= 0 {
+			base, labels = n[:i], n[i:]
+		}
+		m.Metrics[base+"_count"+labels] = float64(h.Count)
+		m.Metrics[base+"_sum"+labels] = float64(h.Sum)
+		m.Metrics[base+"_mean"+labels] = h.Mean()
+	}
+}
+
+// SetBreakdown records the span tracer's latency aggregation.
+func (m *Manifest) SetBreakdown(b *span.Breakdown) {
+	m.LatencyBreakdown = b.Rows()
+}
+
+// Validate checks the structural invariants cmd/report relies on.
+func (m *Manifest) Validate() error {
+	if m.Schema != Schema {
+		return fmt.Errorf("manifest: schema %q, want %q", m.Schema, Schema)
+	}
+	if m.Command == "" {
+		return fmt.Errorf("manifest: missing command")
+	}
+	if m.CreatedUTC != "" {
+		if _, err := time.Parse(time.RFC3339, m.CreatedUTC); err != nil {
+			return fmt.Errorf("manifest: bad created_utc: %v", err)
+		}
+	}
+	for _, r := range m.LatencyBreakdown {
+		if r.Class == "" || r.Stage == "" {
+			return fmt.Errorf("manifest: latency_breakdown row missing class/stage")
+		}
+		if r.Count < 0 || r.TotalNs < 0 {
+			return fmt.Errorf("manifest: negative %s/%s aggregate", r.Class, r.Stage)
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the manifest (indented, trailing newline) to path.
+func (m *Manifest) WriteFile(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses and validates a manifest file.
+func ReadFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &m, nil
+}

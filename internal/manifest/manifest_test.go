@@ -1,0 +1,203 @@
+package manifest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/span"
+)
+
+func sample() *Manifest {
+	m := New("test")
+	m.SetConfig("bench", "Barnes")
+	m.SetConfig("mhz", 500)
+	m.SetMetric("exec_ns", 1_000_000)
+	m.SetMetric("l2_misses", 31622)
+	return m
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sample()
+	tr := span.NewTracer(nil, nil)
+	s := tr.Begin(0, 1, false, 0)
+	s.SegQ(span.StageLookup, 0, 0, 14)
+	tr.Finish(s, 120, 'U', true, false)
+	m.SetBreakdown(tr.Breakdown())
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Command != "test" {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if got.Config["bench"] != "Barnes" || got.Config["mhz"] != "500" {
+		t.Fatalf("config mangled: %v", got.Config)
+	}
+	if got.Metrics["exec_ns"] != 1_000_000 {
+		t.Fatalf("metrics mangled: %v", got.Metrics)
+	}
+	if len(got.LatencyBreakdown) != 2 { // total + lookup rows for local-clean
+		t.Fatalf("breakdown rows = %d, want 2", len(got.LatencyBreakdown))
+	}
+	if got.LatencyBreakdown[0].Class != "local-clean" || got.LatencyBreakdown[0].Stage != "total" {
+		t.Fatalf("first row = %+v", got.LatencyBreakdown[0])
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"not-json.json":   `{"schema": `,
+		"bad-schema.json": `{"schema":"something/else","command":"x","created_utc":""}`,
+		"no-command.json": `{"schema":"` + Schema + `","created_utc":""}`,
+		"bad-time.json":   `{"schema":"` + Schema + `","command":"x","created_utc":"yesterday"}`,
+	}
+	for name, content := range cases {
+		if _, err := ReadFile(write(name, content)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAddSnapshotFlattens(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("evictions").Add(7)
+	reg.Gauge("depth").Set(3)
+	h := reg.Histogram(obs.Name("lat_ns", "node", "0"), obs.ExpBuckets(10, 2, 4))
+	h.Observe(10)
+	h.Observe(30)
+
+	m := New("test")
+	m.AddSnapshot(reg.Snapshot())
+	if m.Metrics["evictions"] != 7 || m.Metrics["depth"] != 3 {
+		t.Fatalf("scalar instruments mangled: %v", m.Metrics)
+	}
+	if m.Metrics[`lat_ns_count{node="0"}`] != 2 ||
+		m.Metrics[`lat_ns_sum{node="0"}`] != 40 ||
+		m.Metrics[`lat_ns_mean{node="0"}`] != 20 {
+		t.Fatalf("histogram flattening wrong: %v", m.Metrics)
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	a, b := sample(), sample()
+	b.Metrics["exec_ns"] = 1_100_000 // +10%: regression (lower is better)
+	b.Metrics["l2_misses"] = 31000   // -2%: within a 5% tolerance
+	a.Metrics["hits"] = 100          // +50%: improvement (higher is better)
+	b.Metrics["hits"] = 150          //
+	a.Metrics["savings_pct"] = 10    // -50%: regression despite dropping
+	b.Metrics["savings_pct"] = 5     //
+	a.Metrics["gone"] = 1            // removed
+	b.Metrics["fresh"] = 1           // added
+
+	got := map[string]Verdict{}
+	for _, e := range Diff(a, b, 5) {
+		got[e.Name] = e.Verdict
+	}
+	want := map[string]Verdict{
+		"exec_ns":     VerdictRegressed,
+		"l2_misses":   VerdictOK,
+		"hits":        VerdictImproved,
+		"savings_pct": VerdictRegressed,
+		"gone":        VerdictRemoved,
+		"fresh":       VerdictAdded,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s: verdict %s, want %s", k, got[k], v)
+		}
+	}
+	// Sorted with regressions first.
+	entries := Diff(a, b, 5)
+	if entries[0].Verdict != VerdictRegressed {
+		t.Errorf("first entry %+v, want a regression", entries[0])
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	a, b := sample(), sample()
+	a.Metrics["queued_ns"] = 0
+	b.Metrics["queued_ns"] = 50
+	var e DiffEntry
+	for _, entry := range Diff(a, b, 2) {
+		if entry.Name == "queued_ns" {
+			e = entry
+		}
+	}
+	if e.Verdict != VerdictRegressed {
+		t.Fatalf("0 -> 50 on a lower-is-better metric: %+v, want regressed", e)
+	}
+}
+
+func TestValidateChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := span.NewTracer(nil, &buf)
+	s := tr.Begin(3, 9, true, 100)
+	s.SegQ(span.StageRequest, 100, 0, 160)
+	tr.Finish(s, 480, 'S', false, true)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, spans, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 1 {
+		t.Errorf("spans = %d, want 1", spans)
+	}
+	if events < 3 { // metadata + span + stage
+		t.Errorf("events = %d, want >= 3", events)
+	}
+	if _, _, err := ValidateChromeTrace([]byte(`[{"ph":"B","name":"x"}]`)); err == nil {
+		t.Error("accepted a non-X/M phase")
+	}
+	if _, _, err := ValidateChromeTrace([]byte(`{"not":"an array"}`)); err == nil {
+		t.Error("accepted a non-array document")
+	}
+}
+
+func TestValidateSpanJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := span.NewTracer(&buf, nil)
+	s := tr.Begin(0, 1, false, 0)
+	s.SegQ(span.StageLookup, 0, 0, 14)
+	tr.Finish(s, 120, 'U', true, false)
+	s = tr.Begin(1, 2, true, 50)
+	tr.Finish(s, 550, 'E', false, true)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateSpanJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 2 {
+		t.Errorf("spans = %d, want 2", spans)
+	}
+	bad := []string{
+		`{"node":0,"class":"local-clean","start":0,"end":10}`,        // no id
+		`{"id":1,"node":0,"class":"local-clean","start":10,"end":0}`, // ends first
+		strings.Replace(buf.String(), `"stage":"lookup","start":0`, `"stage":"lookup","start":-5`, 1),
+	}
+	for i, doc := range bad {
+		if _, err := ValidateSpanJSONL([]byte(doc)); err == nil {
+			t.Errorf("bad document %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package manifest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is the subset of a trace-event record the validator inspects.
+type chromeEvent struct {
+	Name  string   `json:"name"`
+	Cat   string   `json:"cat"`
+	Ph    string   `json:"ph"`
+	Pid   *int     `json:"pid"`
+	Tid   *int     `json:"tid"`
+	Ts    *float64 `json:"ts"`
+	Dur   *float64 `json:"dur"`
+	Args  any      `json:"args"`
+	Scope string   `json:"s"`
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// JSON array as emitted by the span tracer: every event is "X" (complete,
+// with pid/tid/ts and non-negative dur) or "M" (metadata). It returns the
+// total event count and the number of span slices (cat "miss" named by a
+// latency class — stage child slices share the category but not the names).
+func ValidateChromeTrace(data []byte) (events, spans int, err error) {
+	var evs []chromeEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return 0, 0, fmt.Errorf("chrome trace: %v", err)
+	}
+	classes := map[string]bool{
+		"local-clean": true, "local-dirty": true,
+		"remote-clean": true, "remote-dirty": true,
+	}
+	for i, e := range evs {
+		switch e.Ph {
+		case "M":
+			// metadata: process_name / thread_name
+		case "X":
+			if e.Pid == nil || e.Tid == nil || e.Ts == nil || e.Dur == nil {
+				return 0, 0, fmt.Errorf("chrome trace: event %d: X slice missing pid/tid/ts/dur", i)
+			}
+			if *e.Dur < 0 {
+				return 0, 0, fmt.Errorf("chrome trace: event %d: negative dur", i)
+			}
+			if e.Cat == "miss" && classes[e.Name] {
+				spans++
+			}
+		default:
+			return 0, 0, fmt.Errorf("chrome trace: event %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+	return len(evs), spans, nil
+}
+
+// spanLine is the subset of a JSONL span record the validator inspects.
+type spanLine struct {
+	ID     *uint64 `json:"id"`
+	Node   *int    `json:"node"`
+	Class  string  `json:"class"`
+	Start  *int64  `json:"start"`
+	End    *int64  `json:"end"`
+	Stages []struct {
+		Stage string `json:"stage"`
+		Start *int64 `json:"start"`
+		End   *int64 `json:"end"`
+	} `json:"stages"`
+}
+
+// ValidateSpanJSONL checks that every line of data is a well-formed span
+// record (id, node, class, start <= end, stages within the span window) and
+// returns the span count.
+func ValidateSpanJSONL(data []byte) (spans int, err error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var s spanLine
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return 0, fmt.Errorf("span jsonl: line %d: %v", line, err)
+		}
+		if s.ID == nil || s.Node == nil || s.Class == "" || s.Start == nil || s.End == nil {
+			return 0, fmt.Errorf("span jsonl: line %d: missing id/node/class/start/end", line)
+		}
+		if *s.End < *s.Start {
+			return 0, fmt.Errorf("span jsonl: line %d: end %d before start %d", line, *s.End, *s.Start)
+		}
+		for _, st := range s.Stages {
+			if st.Stage == "" || st.Start == nil || st.End == nil {
+				return 0, fmt.Errorf("span jsonl: line %d: malformed stage", line)
+			}
+			if *st.Start < *s.Start || *st.End > *s.End {
+				return 0, fmt.Errorf("span jsonl: line %d: stage %s [%d,%d] outside span [%d,%d]",
+					line, st.Stage, *st.Start, *st.End, *s.Start, *s.End)
+			}
+		}
+		spans++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("span jsonl: %v", err)
+	}
+	return spans, nil
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"costcache/internal/obs"
+	"costcache/internal/obs/span"
 )
 
 // Params are the network timing constants, in nanoseconds.
@@ -56,12 +57,21 @@ type Mesh struct {
 	// linkFree[l] is the time the directional link l is free. Links are
 	// indexed by (node, direction): 4 directions per node.
 	linkFree []int64
+	// routeBuf is the reused scratch for route(), so Send never allocates.
+	routeBuf []int
 	// stats
 	messages, flits int64
 	queuedNs        int64
 
 	met *Metrics
+	sp  *span.Span
 }
+
+// SetSpan directs per-hop recording of subsequent Sends into sp: every link
+// traversal is appended with its queueing delay, the attribution the
+// miss-lifecycle tracer surfaces. Pass nil to stop recording. The un-traced
+// send path pays one nil check per link.
+func (m *Mesh) SetSpan(sp *span.Span) { m.sp = sp }
 
 // Metrics are the mesh's observability instruments (nil when detached; the
 // send path pays one nil check).
@@ -119,9 +129,10 @@ func (m *Mesh) Hops(src, dst int) int {
 	return abs(sx-dx) + abs(sy-dy)
 }
 
-// route appends the directional links of the X-then-Y path.
+// route returns the directional links of the X-then-Y path. The returned
+// slice is a reused scratch buffer, valid until the next route call.
 func (m *Mesh) route(src, dst int) []int {
-	var links []int
+	links := m.routeBuf[:0]
 	x, y := src%m.p.Dim, src/m.p.Dim
 	dx, dy := dst%m.p.Dim, dst/m.p.Dim
 	for x != dx {
@@ -144,6 +155,7 @@ func (m *Mesh) route(src, dst int) []int {
 		links = append(links, (y*m.p.Dim+x)*numDirs+d)
 		y = ny
 	}
+	m.routeBuf = links
 	return links
 }
 
@@ -163,17 +175,24 @@ func (m *Mesh) Send(src, dst, flits int, now int64) int64 {
 	t := now + m.p.NIRemote
 	var queued int64
 	for _, l := range m.route(src, dst) {
-		if backlog := m.linkFree[l] - t; backlog > 0 {
+		arrive := t
+		var backlog int64
+		if backlog = m.linkFree[l] - t; backlog > 0 {
 			m.queuedNs += backlog
 			queued += backlog
 			if m.met != nil {
 				m.met.MaxBacklog.SetMax(backlog)
 			}
 			t = m.linkFree[l]
+		} else {
+			backlog = 0
 		}
 		occupy := m.p.HopDelay + int64(flits)*m.p.FlitDelay
 		m.linkFree[l] = t + occupy
 		t += occupy
+		if m.sp != nil {
+			m.sp.Hop(int32(l), arrive, backlog, t)
+		}
 	}
 	if m.met != nil {
 		m.met.QueuedNs.Add(queued)

@@ -1,0 +1,100 @@
+package mesh
+
+import (
+	"testing"
+
+	"costcache/internal/obs/span"
+)
+
+func TestSendRecordsHops(t *testing.T) {
+	m := New(Default())
+	tr := span.NewTracer(nil, nil)
+	sp := tr.Begin(0, 0, false, 0)
+	m.SetSpan(sp)
+
+	// Node 0 to node 5 (1,1): 2 hops, dimension order.
+	done := m.Send(0, 5, CtrlFlits, 0)
+	if want := m.Hops(0, 5); len(sp.Hops) != want {
+		t.Fatalf("recorded %d hops, want %d", len(sp.Hops), want)
+	}
+	// Hops chain: each starts where the previous ended, the last ends at the
+	// arrival time, and an idle mesh has zero queueing.
+	prev := int64(0 + m.p.NIRemote)
+	for i, h := range sp.Hops {
+		if h.Start != prev {
+			t.Errorf("hop %d starts at %d, want %d", i, h.Start, prev)
+		}
+		if h.Queue != 0 {
+			t.Errorf("hop %d queued %d ns on an idle mesh", i, h.Queue)
+		}
+		prev = h.End
+	}
+	if prev != done {
+		t.Errorf("last hop ends at %d, message arrived at %d", prev, done)
+	}
+}
+
+func TestSendQueueing(t *testing.T) {
+	m := New(Default())
+	tr := span.NewTracer(nil, nil)
+	sp := tr.Begin(0, 0, false, 0)
+	m.SetSpan(sp)
+	m.Send(0, 3, DataFlits, 0) // occupy the eastbound links
+	h0 := len(sp.Hops)
+	done2 := m.Send(0, 3, CtrlFlits, 0)
+	if sp.HopQueueNs() == 0 {
+		t.Fatal("second message saw no queueing")
+	}
+	var queued int64
+	for _, h := range sp.Hops[h0:] {
+		queued += h.Queue
+	}
+	if queued != sp.HopQueueNs() {
+		t.Errorf("per-hop queues sum to %d, span total %d", queued, sp.HopQueueNs())
+	}
+	if unloaded := m.Unloaded(0, 3, CtrlFlits); done2 <= unloaded {
+		t.Errorf("loaded arrival %d not above unloaded %d", done2, unloaded)
+	}
+}
+
+func TestLocalSendRecordsNoHops(t *testing.T) {
+	m := New(Default())
+	tr := span.NewTracer(nil, nil)
+	sp := tr.Begin(0, 0, false, 0)
+	m.SetSpan(sp)
+	m.Send(2, 2, CtrlFlits, 0)
+	if len(sp.Hops) != 0 {
+		t.Fatalf("node-local send recorded %d hops", len(sp.Hops))
+	}
+	m.SetSpan(nil)
+	m.Send(0, 5, CtrlFlits, 0)
+	if len(sp.Hops) != 0 {
+		t.Fatal("detached span still received hops")
+	}
+}
+
+// TestSendNoAllocs pins the hot path: routing and hop recording reuse
+// scratch buffers, so Send performs zero allocations either way.
+func TestSendNoAllocs(t *testing.T) {
+	m := New(Default())
+	tr := span.NewTracer(nil, nil)
+	sp := tr.Begin(0, 0, false, 0)
+	now := int64(0)
+	m.SetSpan(sp)
+	for i := 0; i < 16; i++ { // warm the hop slice
+		now = m.Send(0, 15, DataFlits, now)
+	}
+	sp.Hops = sp.Hops[:0]
+	if avg := testing.AllocsPerRun(200, func() {
+		now = m.Send(0, 15, DataFlits, now)
+		sp.Hops = sp.Hops[:0]
+	}); avg != 0 {
+		t.Errorf("traced Send allocates %v allocs/op, want 0", avg)
+	}
+	m.SetSpan(nil)
+	if avg := testing.AllocsPerRun(200, func() {
+		now = m.Send(0, 15, DataFlits, now)
+	}); avg != 0 {
+		t.Errorf("untraced Send allocates %v allocs/op, want 0", avg)
+	}
+}

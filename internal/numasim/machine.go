@@ -15,6 +15,7 @@ import (
 	"costcache/internal/cost"
 	"costcache/internal/mesh"
 	"costcache/internal/obs"
+	"costcache/internal/obs/span"
 	"costcache/internal/proc"
 	"costcache/internal/replacement"
 	"costcache/internal/trace"
@@ -45,6 +46,13 @@ type Config struct {
 	// miss counters, mesh queue metrics and directory-occupancy counters.
 	// nil runs pay only nil checks.
 	Metrics *obs.Registry
+	// Spans, when non-nil, traces every L2 miss's lifecycle — MSHR wait,
+	// lookup, network, directory, memory, forwards, invalidations, reply —
+	// with simulated-cycle timestamps. Exactly one span is begun per L2 miss
+	// (upgrades on store hits are not traced), so the tracer's per-node span
+	// counts reconcile one-to-one with Result.PerNode misses. Tracing never
+	// perturbs timing: results are bit-identical with Spans nil or set.
+	Spans *span.Tracer
 	// UsePenalty switches the predicted cost from the measured miss
 	// latency to the miss PENALTY — the stall the miss adds beyond already
 	// outstanding work (zero for buffered stores and fully overlapped
@@ -284,12 +292,26 @@ func Run(prog *workload.Program, cfg Config) Result {
 
 			// L2 miss: wait for an MSHR, run the transaction, then fill.
 			n.misses++
-			issue := n.win.WaitMSHR(t) + lookup
+			var sp *span.Span
+			if cfg.Spans != nil {
+				sp = cfg.Spans.Begin(p, block, write, t)
+			}
+			issue := n.win.WaitMSHRSpan(t, sp) + lookup
+			if sp != nil {
+				sp.SegQ(span.StageLookup, issue-lookup, 0, issue)
+				coh.SetSpan(sp)
+			}
 			var res coherence.Result
 			if write {
 				res = coh.Write(p, block, issue)
 			} else {
 				res = coh.Read(p, block, issue)
+			}
+			if sp != nil {
+				// Detach before the fill below: eviction traffic the fill
+				// triggers is not part of this miss's critical path.
+				coh.SetSpan(nil)
+				cfg.Spans.Finish(sp, res.Done, res.StateBefore.String()[0], res.Local, res.Dirty)
 			}
 			measured := res.Done - issue
 			n.missNs += measured

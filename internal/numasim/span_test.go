@@ -1,0 +1,193 @@
+package numasim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"costcache/internal/obs/span"
+)
+
+// tracedRun runs smallProgram with the miss-lifecycle tracer attached to
+// both sinks and returns the tracer plus the result and raw outputs.
+func tracedRun(t *testing.T) (*span.Tracer, Result, []byte, []byte) {
+	t.Helper()
+	var jsonl, chrome bytes.Buffer
+	tr := span.NewTracer(&jsonl, &chrome)
+	cfg := DefaultConfig(nil)
+	cfg.Spans = tr
+	res := Run(smallProgram(), cfg)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, res, jsonl.Bytes(), chrome.Bytes()
+}
+
+// TestSpanTracingDoesNotPerturbResults pins the acceptance criterion: with
+// tracing disabled the results are bit-identical to a traced run.
+func TestSpanTracingDoesNotPerturbResults(t *testing.T) {
+	bare := Run(smallProgram(), DefaultConfig(nil))
+	_, traced, _, _ := tracedRun(t)
+	if !reflect.DeepEqual(bare, traced) {
+		t.Fatalf("tracing perturbed the simulation:\nbare   %+v\ntraced %+v", bare, traced)
+	}
+}
+
+// TestSpanCountsReconcile pins the one-span-per-miss invariant, per node.
+func TestSpanCountsReconcile(t *testing.T) {
+	tr, res, jsonl, _ := tracedRun(t)
+	if int64(tr.Count()) != res.L2Misses {
+		t.Fatalf("%d spans, %d L2 misses", tr.Count(), res.L2Misses)
+	}
+	counts := tr.NodeCounts()
+	for i, ns := range res.PerNode {
+		var got int64
+		if i < len(counts) {
+			got = counts[i]
+		}
+		if got != ns.Misses {
+			t.Errorf("node %d: %d spans, %d misses", i, got, ns.Misses)
+		}
+	}
+	if n := int64(bytes.Count(jsonl, []byte{'\n'})); n != res.L2Misses {
+		t.Errorf("JSONL has %d lines, want %d", n, res.L2Misses)
+	}
+}
+
+// TestSpanBreakdownPhysical checks the aggregated stage breakdown against
+// the machine's physics: every miss latency is at least the unloaded local
+// minimum, and a remote transaction is at least as expensive as a local one
+// (Table 4: 120 ns local vs 380+ ns remote, before queueing).
+func TestSpanBreakdownPhysical(t *testing.T) {
+	tr, _, _, _ := tracedRun(t)
+	b := tr.Breakdown()
+
+	var local, remote struct{ spans, ns int64 }
+	for ci, c := range b.Classes {
+		if c.Spans == 0 {
+			continue
+		}
+		txn := c.TotalNs - c.Stages[span.StageIssue].Ns
+		switch span.Class(ci) {
+		case span.LocalClean, span.LocalDirty:
+			local.spans += c.Spans
+			local.ns += txn
+		default:
+			remote.spans += c.Spans
+			remote.ns += txn
+		}
+		// Every class's mean transaction latency covers at least the lookup
+		// (14 ns) plus the local round trip (~120 ns).
+		if m := c.MeanTransactionNs(); m < 120 {
+			t.Errorf("%s mean transaction %f ns below the local minimum", span.Class(ci), m)
+		}
+	}
+	if local.spans == 0 || remote.spans == 0 {
+		t.Fatalf("degenerate class split: %d local, %d remote spans", local.spans, remote.spans)
+	}
+	lm := float64(local.ns) / float64(local.spans)
+	rm := float64(remote.ns) / float64(remote.spans)
+	if rm < lm {
+		t.Errorf("remote mean transaction latency %.1f ns below local %.1f ns", rm, lm)
+	}
+}
+
+// TestSpanJSONLStagesWithinWindow samples the JSONL stream and checks every
+// stage lies inside its span window and that request precedes reply.
+func TestSpanJSONLStagesWithinWindow(t *testing.T) {
+	_, _, jsonl, _ := tracedRun(t)
+	type seg struct {
+		Stage      string `json:"stage"`
+		Start, End int64
+		Queue      int64
+	}
+	type rec struct {
+		Start, End int64
+		Class      string
+		Stages     []seg `json:"stages"`
+		Hops       []seg `json:"hops"`
+	}
+	lines := bytes.Split(bytes.TrimSpace(jsonl), []byte{'\n'})
+	for i, line := range lines {
+		if i%97 != 0 { // sample; the full set is covered by cmd/report -check in CI
+			continue
+		}
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r.End < r.Start {
+			t.Fatalf("line %d: span ends before it starts: %+v", i, r)
+		}
+		var request, reply *seg
+		for j, s := range r.Stages {
+			if s.Start < r.Start || s.End > r.End {
+				t.Fatalf("line %d: stage %s [%d,%d] outside span [%d,%d]",
+					i, s.Stage, s.Start, s.End, r.Start, r.End)
+			}
+			switch s.Stage {
+			case "request":
+				request = &r.Stages[j]
+			case "reply":
+				reply = &r.Stages[j]
+			}
+		}
+		if request != nil && reply != nil && reply.End < request.Start {
+			t.Fatalf("line %d: reply before request", i)
+		}
+		if r.Class == "local-clean" && len(r.Hops) != 0 {
+			t.Fatalf("line %d: local-clean span crossed %d links", i, len(r.Hops))
+		}
+	}
+}
+
+// TestSpanChromeTraceParses checks the Chrome trace is a valid JSON array of
+// X/M events with exactly one class-named slice per miss and non-overlapping
+// slices per (pid, tid) lane.
+func TestSpanChromeTraceParses(t *testing.T) {
+	_, res, _, chrome := tracedRun(t)
+	var evs []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(chrome, &evs); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	classes := map[string]bool{
+		"local-clean": true, "local-dirty": true,
+		"remote-clean": true, "remote-dirty": true,
+	}
+	spans := int64(0)
+	type lane struct{ pid, tid int }
+	laneEnd := map[lane]int64{}
+	// Timestamps are fractional microseconds, exact to the ns; compare in
+	// integer ns to dodge float64 rounding.
+	ns := func(us float64) int64 { return int64(us*1000 + 0.5) }
+	for i, e := range evs {
+		switch e.Ph {
+		case "M":
+		case "X":
+			if !classes[e.Name] {
+				continue // stage child slice: nested, shares the lane
+			}
+			spans++
+			l := lane{e.Pid, e.Tid}
+			if ns(e.Ts) < laneEnd[l] {
+				t.Fatalf("event %d: span slice at ts=%f overlaps lane %v busy until %d ns",
+					i, e.Ts, l, laneEnd[l])
+			}
+			laneEnd[l] = ns(e.Ts) + ns(e.Dur)
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+	if spans != res.L2Misses {
+		t.Fatalf("chrome trace has %d span slices, want %d", spans, res.L2Misses)
+	}
+}

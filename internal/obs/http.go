@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the observability HTTP handler for a registry:
@@ -31,17 +33,47 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// Server is a running observability endpoint. Close it when the command is
+// done so in-flight scrapes finish and the port frees deterministically.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Addr returns the bound address (useful when addr used port 0).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the server down gracefully, letting in-flight requests (bounded
+// by a short timeout, pprof profiles excepted) complete before forcing the
+// remaining connections closed. It is safe to call more than once.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Timed out draining (a long pprof profile, say): hard-close.
+		s.srv.Close()
+	}
+	<-s.done
+	if err == http.ErrServerClosed || err == context.DeadlineExceeded {
+		return nil
+	}
+	return err
+}
+
 // Serve starts the observability server on addr (e.g. "localhost:6060") in a
-// background goroutine and returns the bound listener so callers can report
-// the actual address (addr may use port 0). The server lives until the
-// process exits; experiment commands are short-lived, so there is no
-// shutdown plumbing.
-func Serve(addr string, r *Registry) (net.Listener, error) {
+// background goroutine and returns a handle exposing the bound address (addr
+// may use port 0) and a graceful Close for the commands' defer paths.
+func Serve(addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
-	go srv.Serve(ln)
-	return ln, nil
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(r)}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
 }

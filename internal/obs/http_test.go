@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeAndGracefulClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/metrics", srv.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hits 3") {
+		t.Fatalf("/metrics response missing counter:\n%s", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	// The port is released: new connections must fail.
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still accepting connections after Close")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIntervalReporterUnwatchedAndMissingCounters(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("watched").Add(5)
+	reg.Counter("ignored").Add(50)
+	// "ghost" is watched but never registered: deltas must read as zero, not
+	// panic, even though no instrument exists at Tick time.
+	r := NewIntervalReporter(reg, "t", "w", "watched", "ghost")
+	reg.Counter("watched").Add(2)
+	reg.Counter("ignored").Add(100)
+	r.Tick("w1")
+	rows := r.Table().Rows
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0][1] != "2" {
+		t.Errorf("watched delta = %q, want 2 (ignored counter leaked in?)", rows[0][1])
+	}
+	if rows[0][2] != "0" {
+		t.Errorf("unregistered counter delta = %q, want 0", rows[0][2])
+	}
+	// The ghost appearing mid-run starts counting from zero in its window.
+	reg.Counter("ghost").Add(9)
+	r.Tick("w2")
+	if got := r.Table().Rows[1][2]; got != "9" {
+		t.Errorf("late-registered counter delta = %q, want 9", got)
+	}
+}
+
+func TestSnapshotDeltaCounterReset(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n")
+	c.Add(10)
+	prev := reg.Snapshot()
+
+	// A "reset" between ticks (a fresh registry reusing the name is the
+	// realistic path; counters themselves are monotonic): the delta goes
+	// negative rather than wrapping or panicking — visible, not masked.
+	reg2 := NewRegistry()
+	reg2.Counter("n").Add(3)
+	d := reg2.Snapshot().Delta(prev)
+	if d.Counters["n"] != -7 {
+		t.Errorf("post-reset delta = %d, want -7 (3 - 10)", d.Counters["n"])
+	}
+
+	// Forward progress keeps ordinary semantics.
+	c.Add(5)
+	if d := reg.Snapshot().Delta(prev); d.Counters["n"] != 5 {
+		t.Errorf("delta = %d, want 5", d.Counters["n"])
+	}
+}
+
+func TestSnapshotDeltaGaugeAndHistogram(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	h := reg.Histogram("lat", []int64{10, 100})
+	g.Set(4)
+	h.Observe(5)
+	prev := reg.Snapshot()
+	g.Set(2) // gauges report current value, not delta
+	h.Observe(50)
+	d := reg.Snapshot().Delta(prev)
+	if d.Gauges["depth"] != 2 {
+		t.Errorf("gauge delta = %d, want current value 2", d.Gauges["depth"])
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 1 || hd.Sum != 50 {
+		t.Errorf("histogram window = %+v, want count 1 sum 50", hd)
+	}
+	if hd.Counts[0] != 0 || hd.Counts[1] != 1 {
+		t.Errorf("bucket deltas = %v, want [0 1 0]", hd.Counts)
+	}
+}
+
+// TestIntervalReporterConcurrentTick drives registry updates from background
+// goroutines while Tick snapshots: run under -race this pins that interval
+// reporting is safe against live instruments, and every count lands in
+// exactly one window.
+func TestIntervalReporterConcurrentTick(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("events")
+	r := NewIntervalReporter(reg, "t", "w", "events")
+
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	// Tick concurrently with the writers, then once more after the dust
+	// settles so the last window catches the tail.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Tick(fmt.Sprintf("w%d", i))
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	r.Tick("final")
+
+	var sum int64
+	for _, row := range r.Table().Rows {
+		var v int64
+		if _, err := fmt.Sscan(row[1], &v); err != nil {
+			t.Fatalf("unparsable cell %q: %v", row[1], err)
+		}
+		if v < 0 {
+			t.Fatalf("negative window delta %d on a monotonic counter", v)
+		}
+		sum += v
+	}
+	if want := int64(writers * perWriter); sum != want {
+		t.Fatalf("windows sum to %d, want %d (events lost or double-counted)", sum, want)
+	}
+}

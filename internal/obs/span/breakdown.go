@@ -1,0 +1,176 @@
+package span
+
+import "costcache/internal/tabulate"
+
+// Class buckets spans by the paper's latency classes: whether the home was
+// the requesting node and whether a dirty owner copy was involved.
+type Class uint8
+
+// Latency classes.
+const (
+	LocalClean Class = iota
+	LocalDirty
+	RemoteClean
+	RemoteDirty
+	// NumClasses is the number of latency classes.
+	NumClasses = int(RemoteDirty) + 1
+)
+
+var classNames = [NumClasses]string{"local-clean", "local-dirty", "remote-clean", "remote-dirty"}
+
+// String returns the class's schema name ("local-clean", ...).
+func (c Class) String() string { return classNames[c] }
+
+// ClassOf maps the span attributes to a class.
+func ClassOf(local, dirty bool) Class {
+	switch {
+	case local && !dirty:
+		return LocalClean
+	case local:
+		return LocalDirty
+	case !dirty:
+		return RemoteClean
+	default:
+		return RemoteDirty
+	}
+}
+
+// StageAgg accumulates one stage within one class.
+type StageAgg struct {
+	// Count is the number of segments, Ns their total duration, QueueNs the
+	// queueing share of that total.
+	Count, Ns, QueueNs int64
+}
+
+// ClassAgg accumulates one latency class.
+type ClassAgg struct {
+	// Spans is the number of misses in the class, TotalNs their summed
+	// end-to-end latency, HopQueueNs the summed link-queueing delay.
+	Spans, TotalNs, HopQueueNs int64
+	// Stages are the per-stage accumulators.
+	Stages [NumStages]StageAgg
+}
+
+// MeanNs returns the class's mean end-to-end miss latency.
+func (c ClassAgg) MeanNs() float64 {
+	if c.Spans == 0 {
+		return 0
+	}
+	return float64(c.TotalNs) / float64(c.Spans)
+}
+
+// MeanTransactionNs returns the mean transaction latency: end-to-end minus
+// the pre-issue MSHR wait. This is the memory system's latency — the measure
+// on which a remote miss is structurally at least as expensive as a local
+// one — while MeanNs also reflects processor-side MSHR backpressure.
+func (c ClassAgg) MeanTransactionNs() float64 {
+	if c.Spans == 0 {
+		return 0
+	}
+	return float64(c.TotalNs-c.Stages[StageIssue].Ns) / float64(c.Spans)
+}
+
+// Breakdown is the per-class, per-stage latency aggregation of a run — the
+// table that exhibits the miss-cost variability the paper exploits.
+type Breakdown struct {
+	Classes [NumClasses]ClassAgg
+}
+
+func (b *Breakdown) record(s *Span) {
+	c := &b.Classes[ClassOf(s.Local, s.Dirty)]
+	c.Spans++
+	c.TotalNs += s.End - s.Start
+	c.HopQueueNs += s.hopQueue
+	for _, seg := range s.Segs {
+		st := &c.Stages[seg.Stage]
+		st.Count++
+		st.Ns += seg.End - seg.Start
+		st.QueueNs += seg.Queue
+	}
+}
+
+// BreakdownRow is one (class, stage) cell in flattened, manifest-friendly
+// form; the pseudo-stage "total" carries the class's end-to-end numbers.
+type BreakdownRow struct {
+	Class   string  `json:"class"`
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	QueueNs int64   `json:"queue_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+}
+
+// Rows flattens the breakdown into rows, omitting empty cells. MeanNs of a
+// stage row is per miss of the class (not per occurrence), so the stage rows
+// of a class sum to its "total" row up to stage overlap.
+func (b *Breakdown) Rows() []BreakdownRow {
+	var rows []BreakdownRow
+	for ci := range b.Classes {
+		c := &b.Classes[ci]
+		if c.Spans == 0 {
+			continue
+		}
+		rows = append(rows, BreakdownRow{
+			Class: Class(ci).String(), Stage: "total",
+			Count: c.Spans, TotalNs: c.TotalNs, QueueNs: c.HopQueueNs,
+			MeanNs: c.MeanNs(),
+		})
+		for si := range c.Stages {
+			st := c.Stages[si]
+			if st.Count == 0 {
+				continue
+			}
+			rows = append(rows, BreakdownRow{
+				Class: Class(ci).String(), Stage: Stage(si).String(),
+				Count: st.Count, TotalNs: st.Ns, QueueNs: st.QueueNs,
+				MeanNs: float64(st.Ns) / float64(c.Spans),
+			})
+		}
+	}
+	return rows
+}
+
+// Table renders the breakdown: one row per stage (mean ns per miss of the
+// class, so a column sums to roughly its total row; overlapped stages — a
+// write miss's parallel memory access and invalidation fan-out — can exceed
+// it), plus the span counts, the mean end-to-end latency and the mean link
+// queueing per class.
+func (b *Breakdown) Table(title string) *tabulate.Table {
+	t := tabulate.New(title, "stage", classNames[0], classNames[1], classNames[2], classNames[3])
+	for si := 0; si < NumStages; si++ {
+		row := []any{Stage(si).String()}
+		seen := false
+		for ci := range b.Classes {
+			c := &b.Classes[ci]
+			v := 0.0
+			if c.Spans > 0 {
+				v = float64(c.Stages[si].Ns) / float64(c.Spans)
+			}
+			seen = seen || c.Stages[si].Count > 0
+			row = append(row, v)
+		}
+		if seen {
+			t.AddF(row...)
+		}
+	}
+	misses := []any{"misses"}
+	mean := []any{"mean latency (ns)"}
+	txn := []any{"mean transaction latency (ns)"}
+	queue := []any{"mean link queueing (ns)"}
+	for ci := range b.Classes {
+		c := &b.Classes[ci]
+		misses = append(misses, c.Spans)
+		mean = append(mean, c.MeanNs())
+		txn = append(txn, c.MeanTransactionNs())
+		q := 0.0
+		if c.Spans > 0 {
+			q = float64(c.HopQueueNs) / float64(c.Spans)
+		}
+		queue = append(queue, q)
+	}
+	t.AddF(misses...)
+	t.AddF(mean...)
+	t.AddF(txn...)
+	t.AddF(queue...)
+	return t
+}

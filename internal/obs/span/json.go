@@ -1,0 +1,219 @@
+package span
+
+import (
+	"io"
+	"strconv"
+)
+
+// appendSpanJSON renders one span as a single JSON line with a fixed field
+// order, so traces are byte-for-byte deterministic. Schema (all times in
+// simulated ns):
+//
+//	{"id":1,"node":3,"block":512,"op":"r","state":"S","class":"remote-clean",
+//	 "start":100,"end":480,
+//	 "stages":[{"stage":"request","start":100,"queue":0,"end":160},...],
+//	 "hops":[{"link":12,"start":100,"queue":6,"end":130},...]}
+func appendSpanJSON(b []byte, s *Span) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendUint(b, s.ID, 10)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(s.Node), 10)
+	b = append(b, `,"block":`...)
+	b = strconv.AppendUint(b, s.Block, 10)
+	b = append(b, `,"op":"`...)
+	b = append(b, opByte(s.Write))
+	b = append(b, `","state":"`...)
+	b = append(b, s.State)
+	b = append(b, `","class":"`...)
+	b = append(b, ClassOf(s.Local, s.Dirty).String()...)
+	b = append(b, `","start":`...)
+	b = strconv.AppendInt(b, s.Start, 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendInt(b, s.End, 10)
+	b = append(b, `,"stages":[`...)
+	for i, seg := range s.Segs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"stage":"`...)
+		b = append(b, seg.Stage.String()...)
+		b = append(b, `","start":`...)
+		b = strconv.AppendInt(b, seg.Start, 10)
+		b = append(b, `,"queue":`...)
+		b = strconv.AppendInt(b, seg.Queue, 10)
+		b = append(b, `,"end":`...)
+		b = strconv.AppendInt(b, seg.End, 10)
+		b = append(b, '}')
+	}
+	b = append(b, `],"hops":[`...)
+	for i, h := range s.Hops {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"link":`...)
+		b = strconv.AppendInt(b, int64(h.Link), 10)
+		b = append(b, `,"start":`...)
+		b = strconv.AppendInt(b, h.Start, 10)
+		b = append(b, `,"queue":`...)
+		b = strconv.AppendInt(b, h.Queue, 10)
+		b = append(b, `,"end":`...)
+		b = strconv.AppendInt(b, h.End, 10)
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}', '\n')
+	return b
+}
+
+func opByte(write bool) byte {
+	if write {
+		return 'w'
+	}
+	return 'r'
+}
+
+// chromeWriter streams spans as a Chrome trace-event JSON array, loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Each simulated node is a
+// "process"; concurrent misses of a node (MSHR overlap) are laid out on
+// separate lanes ("threads") so complete events never overlap within a
+// track. Every span becomes one "X" slice named by its latency class, with
+// its stage segments as nested child slices; stages that start together (a
+// write miss's parallel memory access and invalidation window) nest by
+// containment, which the trace processors accept. Per-hop link records are
+// not emitted as slices (parallel fan-out hops would violate slice nesting);
+// their aggregate appears in the span's args and the full detail in the
+// JSONL output.
+type chromeWriter struct {
+	w     io.Writer
+	buf   []byte
+	wrote bool
+	lanes map[int][]int64 // per node: lane -> last slice end (ns)
+	err   error
+}
+
+func newChromeWriter(w io.Writer) *chromeWriter {
+	return &chromeWriter{w: w, lanes: make(map[int][]int64)}
+}
+
+// lane picks the first lane of the node whose previous slice ended at or
+// before start, extending the lane set if every lane is still busy.
+func (c *chromeWriter) lane(node int, start, end int64) int {
+	ends := c.lanes[node]
+	for i, e := range ends {
+		if e <= start {
+			ends[i] = end
+			return i
+		}
+	}
+	c.lanes[node] = append(ends, end)
+	if len(ends) == 0 {
+		c.meta(node, `"process_name"`, `"name":"node `, int64(node), 0)
+	}
+	c.meta(node, `"thread_name"`, `"name":"miss lane `, int64(len(ends)), len(ends))
+	return len(ends)
+}
+
+// meta emits a process_name/thread_name metadata event.
+func (c *chromeWriter) meta(node int, kind, namePrefix string, nameN int64, tid int) {
+	b := c.eventStart()
+	b = append(b, `{"name":`...)
+	b = append(b, kind...)
+	b = append(b, `,"ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(node), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{`...)
+	b = append(b, namePrefix...)
+	b = strconv.AppendInt(b, nameN, 10)
+	b = append(b, `"}}`...)
+	c.flush(b)
+}
+
+// eventStart returns the scratch buffer primed with the array/element
+// separator for the next event.
+func (c *chromeWriter) eventStart() []byte {
+	b := c.buf[:0]
+	if c.wrote {
+		b = append(b, ',', '\n')
+	} else {
+		b = append(b, '[', '\n')
+		c.wrote = true
+	}
+	return b
+}
+
+func (c *chromeWriter) flush(b []byte) {
+	c.buf = b[:0]
+	if c.err != nil {
+		return
+	}
+	if _, err := c.w.Write(b); err != nil {
+		c.err = err
+	}
+}
+
+// appendTs renders a ns timestamp or duration as fractional microseconds
+// (the trace-event format's unit), exact to the nanosecond.
+func appendTs(b []byte, ns int64) []byte {
+	b = strconv.AppendInt(b, ns/1000, 10)
+	b = append(b, '.')
+	frac := ns % 1000
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+func (c *chromeWriter) slice(pid, tid int, name string, start, end int64) []byte {
+	b := c.eventStart()
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","cat":"miss","ph":"X","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = appendTs(b, start)
+	b = append(b, `,"dur":`...)
+	b = appendTs(b, end-start)
+	return b
+}
+
+func (c *chromeWriter) span(s *Span) {
+	tid := c.lane(s.Node, s.Start, s.End)
+
+	// The span slice, named by class, carrying the identifying args.
+	b := c.slice(s.Node, tid, ClassOf(s.Local, s.Dirty).String(), s.Start, s.End)
+	b = append(b, `,"args":{"id":`...)
+	b = strconv.AppendUint(b, s.ID, 10)
+	b = append(b, `,"block":`...)
+	b = strconv.AppendUint(b, s.Block, 10)
+	b = append(b, `,"op":"`...)
+	b = append(b, opByte(s.Write))
+	b = append(b, `","state":"`...)
+	b = append(b, s.State)
+	b = append(b, `","hops":`...)
+	b = strconv.AppendInt(b, int64(len(s.Hops)), 10)
+	b = append(b, `,"hop_queue_ns":`...)
+	b = strconv.AppendInt(b, s.hopQueue, 10)
+	b = append(b, `}}`...)
+	c.flush(b)
+
+	// Stage child slices.
+	for _, seg := range s.Segs {
+		if seg.End <= seg.Start {
+			continue // zero-length stages would confuse slice nesting
+		}
+		b := c.slice(s.Node, tid, seg.Stage.String(), seg.Start, seg.End)
+		b = append(b, `,"args":{"queue_ns":`...)
+		b = strconv.AppendInt(b, seg.Queue, 10)
+		b = append(b, `}}`...)
+		c.flush(b)
+	}
+}
+
+func (c *chromeWriter) close() {
+	b := c.buf[:0]
+	if !c.wrote {
+		b = append(b, '[')
+	}
+	b = append(b, '\n', ']', '\n')
+	c.flush(b)
+}

@@ -1,0 +1,224 @@
+// Package span is the miss-lifecycle tracer of the execution-driven
+// simulator: every L2 miss becomes one Span that records, in simulated
+// nanoseconds, each stage the transaction traverses — MSHR wait at issue,
+// cache lookup, the request's network traversal, directory occupancy, memory
+// access, owner forwards, invalidation fan-out and the data reply — plus
+// every individual mesh-link hop with its queueing delay. Spans are the
+// trace-grounded evidence for the paper's premise that miss costs are
+// non-uniform: the aggregated Breakdown shows exactly where a local miss's
+// 120 ns and a remote dirty miss's ~500 ns go.
+//
+// The tracer is built for the simulator's single-threaded hot path: one span
+// is active at a time, Begin/Finish reuse a single scratch Span, and the
+// JSONL and Chrome trace-event encoders append into reused buffers, so
+// steady-state recording performs zero allocations per miss (pinned by
+// TestSpanRecordAllocs). A nil *Tracer in the simulator config costs one nil
+// check per miss and leaves results bit-identical.
+package span
+
+import "io"
+
+// Stage identifies one segment kind of a miss lifecycle.
+type Stage uint8
+
+// Lifecycle stages, in the order a maximal transaction traverses them.
+const (
+	// StageIssue is the wait for a free MSHR before the miss could issue.
+	StageIssue Stage = iota
+	// StageLookup is the L1+L2 lookup that detected the miss.
+	StageLookup
+	// StageRequest is the requester-to-home network traversal.
+	StageRequest
+	// StageDirectory is the home directory occupancy (wait + access).
+	StageDirectory
+	// StageMemory is the memory bank occupancy (wait + access).
+	StageMemory
+	// StageForward is the home-to-owner forward, the owner's L2 lookup and,
+	// for stale directories, the empty-handed nack back to the home.
+	StageForward
+	// StageInval is the invalidation fan-out window of a write miss to a
+	// shared block: from the first invalidation sent to the last ack back.
+	StageInval
+	// StageReply is the data reply's network traversal to the requester.
+	StageReply
+	// NumStages is the number of stage kinds.
+	NumStages = int(StageReply) + 1
+)
+
+var stageNames = [NumStages]string{
+	"issue", "lookup", "request", "directory", "memory", "forward", "inval", "reply",
+}
+
+// String returns the stage's schema name ("issue", "lookup", ...).
+func (s Stage) String() string { return stageNames[s] }
+
+// Seg is one stage segment: [Start, End] in simulated ns, with Queue the
+// portion spent waiting (for an MSHR, a busy directory or bank, or — derived
+// from the hop records — busy mesh links).
+type Seg struct {
+	Stage Stage
+	Start int64
+	Queue int64
+	End   int64
+}
+
+// Hop is one mesh-link traversal: the flit train arrived at the directional
+// link at Start, waited Queue ns for it to drain, and left at End.
+type Hop struct {
+	Link  int32
+	Start int64
+	Queue int64
+	End   int64
+}
+
+// Span is the lifecycle of one L2 miss. It is owned by the Tracer between
+// Begin and Finish; callers append segments but must not retain it.
+type Span struct {
+	// ID is the 1-based global span sequence number.
+	ID uint64
+	// Node is the requesting processor; Block the missing block number.
+	Node  int
+	Block uint64
+	// Write distinguishes write misses (GetX) from read misses (GetS).
+	Write bool
+	// State is the home directory state when the request arrived
+	// ('U', 'S' or 'E'), recorded at Finish.
+	State byte
+	// Local reports home == requester; Dirty that a dirty owner copy was
+	// involved. Together they select the paper's latency class.
+	Local, Dirty bool
+	// Start is the reference's processing time, End the data arrival.
+	Start, End int64
+	// Segs are the stage segments, in recording order.
+	Segs []Seg
+	// Hops are the individual link traversals, in recording order.
+	Hops []Hop
+
+	hopQueue int64 // running sum of Hops[i].Queue
+}
+
+// SegQ appends a stage segment with an explicit queueing share.
+func (s *Span) SegQ(st Stage, start, queue, end int64) {
+	s.Segs = append(s.Segs, Seg{Stage: st, Start: start, Queue: queue, End: end})
+}
+
+// Hop appends one link traversal.
+func (s *Span) Hop(link int32, start, queue, end int64) {
+	s.Hops = append(s.Hops, Hop{Link: link, Start: start, Queue: queue, End: end})
+	s.hopQueue += queue
+}
+
+// HopQueueNs returns the total link queueing recorded so far; instrumented
+// code deltas it around a network exchange to attribute queueing per stage.
+func (s *Span) HopQueueNs() int64 { return s.hopQueue }
+
+// Tracer turns L2 misses into spans and fans each finished span out to the
+// optional JSONL sink, the optional Chrome trace-event sink, and the running
+// per-class latency Breakdown. It is not safe for concurrent use: the
+// simulators drive it from their single event loop, and exactly one span may
+// be active between Begin and Finish.
+type Tracer struct {
+	jsonl  io.Writer
+	chrome *chromeWriter
+	cur    Span
+	active bool
+	seq    uint64
+	nodes  []int64
+	agg    Breakdown
+	buf    []byte
+	err    error
+}
+
+// NewTracer returns a tracer writing spans as JSON lines to jsonl and as
+// Chrome trace events to chrome; either (or both) may be nil, in which case
+// only the Breakdown and the reconciliation counts are maintained.
+func NewTracer(jsonl, chrome io.Writer) *Tracer {
+	t := &Tracer{jsonl: jsonl}
+	if chrome != nil {
+		t.chrome = newChromeWriter(chrome)
+	}
+	return t
+}
+
+// Begin starts the span of one L2 miss. The returned Span is valid until the
+// matching Finish and must not be retained.
+func (t *Tracer) Begin(node int, block uint64, write bool, start int64) *Span {
+	if t.active {
+		panic("span: Begin with a span still active")
+	}
+	t.active = true
+	t.seq++
+	s := &t.cur
+	s.ID = t.seq
+	s.Node, s.Block, s.Write = node, block, write
+	s.State, s.Local, s.Dirty = 0, false, false
+	s.Start, s.End = start, start
+	s.Segs = s.Segs[:0]
+	s.Hops = s.Hops[:0]
+	s.hopQueue = 0
+	return s
+}
+
+// Finish completes the active span: end is the data-arrival time, state the
+// home directory state the request found ('U', 'S' or 'E'), and local/dirty
+// the latency class. The span is aggregated and emitted to the sinks.
+func (t *Tracer) Finish(s *Span, end int64, state byte, local, dirty bool) {
+	if !t.active || s != &t.cur {
+		panic("span: Finish without matching Begin")
+	}
+	t.active = false
+	s.End, s.State, s.Local, s.Dirty = end, state, local, dirty
+	for len(t.nodes) <= s.Node {
+		t.nodes = append(t.nodes, 0)
+	}
+	t.nodes[s.Node]++
+	t.agg.record(s)
+	if t.jsonl != nil {
+		t.buf = appendSpanJSON(t.buf[:0], s)
+		if _, err := t.jsonl.Write(t.buf); err != nil && t.err == nil {
+			t.err = err
+			t.jsonl = nil
+		}
+	}
+	if t.chrome != nil {
+		t.chrome.span(s)
+	}
+}
+
+// Close finalizes the Chrome trace (writing the closing bracket of the JSON
+// array) and returns the first sink error, if any. The JSONL sink is the
+// caller's to flush and close.
+func (t *Tracer) Close() error {
+	if t.chrome != nil {
+		t.chrome.close()
+		if t.err == nil {
+			t.err = t.chrome.err
+		}
+		t.chrome = nil
+	}
+	return t.err
+}
+
+// Err returns the first sink write error, if any; after an error the failed
+// sink is dropped and tracing continues on the remaining outputs.
+func (t *Tracer) Err() error {
+	if t.err == nil && t.chrome != nil {
+		return t.chrome.err
+	}
+	return t.err
+}
+
+// Count returns the number of finished spans.
+func (t *Tracer) Count() uint64 { return t.seq }
+
+// NodeCounts returns the per-node finished-span counts, indexed by node id
+// (length = highest node seen + 1). The counts reconcile one-to-one with the
+// simulator's per-node L2 miss counters.
+func (t *Tracer) NodeCounts() []int64 {
+	out := make([]int64, len(t.nodes))
+	copy(out, t.nodes)
+	return out
+}
+
+// Breakdown returns the running per-class, per-stage latency aggregation.
+func (t *Tracer) Breakdown() *Breakdown { return &t.agg }

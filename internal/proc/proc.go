@@ -9,6 +9,8 @@
 // miss *cost* differ from miss *count* in ILP processors.
 package proc
 
+import "costcache/internal/obs/span"
+
 // Params describe the processor core.
 type Params struct {
 	// ActiveList is the reorder window size in instructions (64).
@@ -91,6 +93,17 @@ func (w *Window) WaitMSHR(t int64) int64 {
 			t = earliest
 		}
 	}
+}
+
+// WaitMSHRSpan is WaitMSHR with miss-lifecycle tracing: any time spent
+// waiting for a free MSHR is recorded on sp as the issue stage (entirely
+// queueing). A nil sp reduces to WaitMSHR.
+func (w *Window) WaitMSHRSpan(t int64, sp *span.Span) int64 {
+	ready := w.WaitMSHR(t)
+	if sp != nil && ready > t {
+		sp.SegQ(span.StageIssue, t, ready-t, ready)
+	}
+	return ready
 }
 
 // AddMiss reserves an MSHR until complete.

@@ -1,0 +1,46 @@
+package proc
+
+import (
+	"testing"
+
+	"costcache/internal/obs/span"
+)
+
+func TestWaitMSHRSpanRecordsIssueStall(t *testing.T) {
+	p := DefaultParams()
+	p.MSHRs = 1
+	w := New(p, 2)
+	tr := span.NewTracer(nil, nil)
+
+	// First miss occupies the sole MSHR until t=500; no wait, no segment.
+	sp := tr.Begin(0, 1, false, 0)
+	if got := w.WaitMSHRSpan(0, sp); got != 0 {
+		t.Fatalf("free MSHR delayed issue to %d", got)
+	}
+	if len(sp.Segs) != 0 {
+		t.Fatalf("stall-free wait recorded %v", sp.Segs)
+	}
+	w.AddMiss(500)
+	tr.Finish(sp, 500, 'U', true, false)
+
+	// Second miss at t=100 must wait until 500, recorded as pure queueing.
+	sp2 := tr.Begin(0, 2, false, 100)
+	got := w.WaitMSHRSpan(100, sp2)
+	if got != 500 {
+		t.Fatalf("issue at %d, want 500", got)
+	}
+	if len(sp2.Segs) != 1 {
+		t.Fatalf("MSHR stall recorded %d segments, want 1", len(sp2.Segs))
+	}
+	seg := sp2.Segs[0]
+	if seg.Stage != span.StageIssue || seg.Start != 100 || seg.End != 500 || seg.Queue != 400 {
+		t.Fatalf("issue segment = %+v, want [100,500] queue 400", seg)
+	}
+
+	// nil span: same timing, no recording, no panic.
+	w2 := New(p, 2)
+	w2.AddMiss(500)
+	if got := w2.WaitMSHRSpan(100, nil); got != 500 {
+		t.Fatalf("nil-span wait = %d, want 500", got)
+	}
+}

@@ -91,3 +91,26 @@ func ByName(name string) (Generator, bool) {
 func Defaults() []Generator {
 	return []Generator{DefaultBarnes(), DefaultLU(), DefaultOcean(), DefaultRaytrace()}
 }
+
+// Quick scales a benchmark generator down for smoke runs: the access-pattern
+// shapes hold while the trace shrinks by roughly an order of magnitude.
+// Generators without a quick recipe pass through unchanged. The commands'
+// -quick flags all route through here so "quick Barnes" means the same
+// deterministic workload everywhere (CI baselines depend on that).
+func Quick(g Generator) Generator {
+	switch w := g.(type) {
+	case Barnes:
+		w.Bodies, w.Iterations = 2048, 2
+		return w
+	case LU:
+		w.N, w.B = 256, 16 // keep N/B at twice the processor count
+		return w
+	case Ocean:
+		w.Iterations = 3
+		return w
+	case Raytrace:
+		w.RaysPerProc = 1500
+		return w
+	}
+	return g
+}

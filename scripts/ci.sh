@@ -1,6 +1,8 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, tests, and the full suite under the race
-# detector. Run from the repository root.
+# CI gate: formatting, vet, build, tests, the full suite under the race
+# detector, and an observability smoke run whose artifacts (run manifest,
+# span JSONL, Chrome trace) are validated structurally and diffed against
+# the archived baseline. Run from the repository root.
 set -eu
 
 unformatted=$(gofmt -l .)
@@ -13,3 +15,27 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Observability smoke: a quick deterministic numasim run producing every
+# artifact kind. cmd/report -check fails the gate on malformed output; the
+# manifest diff against the archived baseline warns on metric drift (the
+# simulator is deterministic, so drift means behaviour changed) but only
+# fails on malformed manifests (exit 2).
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+
+go run ./cmd/numasim -quick -bench Barnes -policy DCL \
+    -span.trace "$smoke/trace.json" -span.jsonl "$smoke/spans.jsonl" \
+    -manifest "$smoke/manifest.json" > "$smoke/stdout.txt"
+
+go run ./cmd/report -check \
+    "$smoke/manifest.json" "$smoke/spans.jsonl" "$smoke/trace.json"
+
+baseline=results/MANIFEST_numasim_quick.json
+if [ -f "$baseline" ]; then
+    go run ./cmd/report -tol 0.5 "$baseline" "$smoke/manifest.json"
+else
+    echo "ci: $baseline missing; skipping manifest diff" >&2
+fi
+
+echo "ci: ok"
