@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"costcache/internal/cli"
 	"costcache/internal/cost"
 	"costcache/internal/costsim"
 	"costcache/internal/obs"
@@ -45,6 +46,22 @@ func main() {
 	obsTrace := flag.String("obs.trace", "", "write the policy's decision trace as JSONL to this file")
 	flag.Parse()
 
+	// Validate enumerated flags up front so a typo fails fast with the list
+	// of valid values, before any trace is generated.
+	if *bench != "" {
+		if _, ok := workload.ByName(*bench); !ok {
+			cli.BadFlag("cachesim", "-bench", *bench, workload.Names())
+		}
+	}
+	if _, ok := replacement.ByName(*policy); !ok {
+		cli.BadFlag("cachesim", "-policy", *policy, replacement.Names())
+	}
+	switch *costmap {
+	case "random", "firsttouch", "uniform":
+	default:
+		cli.BadFlag("cachesim", "-costmap", *costmap, []string{"random", "firsttouch", "uniform"})
+	}
+
 	if *obsListen != "" {
 		srv, err := obs.Serve(*obsListen, obs.Default)
 		if err != nil {
@@ -57,10 +74,7 @@ func main() {
 	var tr *trace.Trace
 	switch {
 	case *bench != "":
-		g, ok := workload.ByName(*bench)
-		if !ok {
-			log.Fatalf("unknown benchmark %q", *bench)
-		}
+		g, _ := workload.ByName(*bench)
 		tr = g.Generate()
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
@@ -76,10 +90,7 @@ func main() {
 		log.Fatal("need -bench or -trace")
 	}
 
-	factory, ok := replacement.ByName(*policy)
-	if !ok {
-		log.Fatalf("unknown policy %q", *policy)
-	}
+	factory, _ := replacement.ByName(*policy)
 
 	cfg := costsim.Default()
 	cfg.L2Size, cfg.L2Ways = *l2size, *l2ways

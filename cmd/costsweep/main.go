@@ -13,6 +13,11 @@
 // stderr, -obs.listen serves live /metrics and pprof while the sweep runs,
 // -obs.dump prints the metrics registry afterwards, and -manifest writes the
 // savings grid as a run manifest for cmd/report.
+//
+// SIGINT/SIGTERM stop the sweep at the next ratio boundary: completed cells
+// are printed, a partial manifest is flushed with "interrupted": true, and
+// the process exits 130. A cell that panics (a bad configuration) is reported
+// as a per-row error instead of killing the sweep.
 package main
 
 import (
@@ -21,12 +26,15 @@ import (
 	"log"
 	"os"
 
+	"costcache/internal/cli"
 	"costcache/internal/costsim"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
 )
+
+var validMaps = []string{"random", "firsttouch"}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +48,14 @@ func main() {
 	obsDump := flag.Bool("obs.dump", false, "dump the metrics registry as text after the sweep")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
 	flag.Parse()
+	stopped := cli.Interrupt()
+
+	if _, ok := workload.ByName(*bench); !ok {
+		cli.BadFlag("costsweep", "-bench", *bench, workload.Names())
+	}
+	if *mapping != "random" && *mapping != "firsttouch" {
+		cli.BadFlag("costsweep", "-map", *mapping, validMaps)
+	}
 
 	if *obsListen != "" {
 		srv, err := obs.Serve(*obsListen, obs.Default)
@@ -50,10 +66,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observability: http://%s\n", srv.Addr())
 	}
 
-	g, ok := workload.ByName(*bench)
-	if !ok {
-		log.Fatalf("unknown benchmark %q", *bench)
-	}
+	g, _ := workload.ByName(*bench)
 	tr := g.Generate()
 	view := tr.SampleView(int16(*procFlag))
 	cfg := costsim.Default()
@@ -71,11 +84,21 @@ func main() {
 		man.SetConfig("seed", *seed)
 		man.SetConfig("refs", len(view))
 	}
+	// record stamps each cell's savings into the manifest; a cell that
+	// panicked is recorded as a per-row error (config name + stack) and
+	// reported on stderr instead of aborting the sweep.
 	record := func(label string, pts []costsim.SweepPoint, ptLabel func(costsim.SweepPoint) string) {
-		if man == nil {
-			return
-		}
 		for _, pt := range pts {
+			if pt.Err != "" {
+				log.Printf("cell %s/%s failed: %s\n%s", label, ptLabel(pt), pt.Err, pt.Stack)
+				if man != nil {
+					man.SetConfig(obs.Name("sweep_error", "sweep", label, "point", ptLabel(pt)), pt.Err)
+				}
+				continue
+			}
+			if man == nil {
+				continue
+			}
 			for name, sav := range pt.Savings {
 				man.SetMetric(obs.Name("savings_pct",
 					"sweep", label, "point", ptLabel(pt), "policy", name), sav*100)
@@ -93,9 +116,14 @@ func main() {
 		t.Fprint(os.Stdout)
 	}
 
+	interrupted := false
 	switch *mapping {
 	case "random":
 		for _, r := range costsim.PaperRatios() {
+			if stopped() {
+				interrupted = true
+				break
+			}
 			prog.Phase(r.Label)
 			pts := costsim.RandomSweep(view, cfg, []costsim.Ratio{r},
 				costsim.PaperHAFs(), costsim.PaperPolicies(), *seed)
@@ -106,6 +134,10 @@ func main() {
 			t := tabulate.New(fmt.Sprintf("%s, %s: relative cost savings over LRU (%%)", *bench, r.Label),
 				"HAF", "measured", "GD", "BCL", "DCL", "ACL")
 			for _, pt := range pts {
+				if pt.Err != "" {
+					t.Add(fmt.Sprintf("%.2f", pt.TargetHAF), "ERROR", pt.Err, "", "", "")
+					continue
+				}
 				t.AddF(fmt.Sprintf("%.2f", pt.TargetHAF), pt.MeasuredHAF,
 					pt.Savings["GD"]*100, pt.Savings["BCL"]*100,
 					pt.Savings["DCL"]*100, pt.Savings["ACL"]*100)
@@ -115,6 +147,10 @@ func main() {
 		}
 		prog.Done()
 	case "firsttouch":
+		if stopped() {
+			interrupted = true
+			break
+		}
 		prog.Phase("firsttouch")
 		homes := workload.FirstTouchHomes(tr, cfg.BlockBytes)
 		pts := costsim.FirstTouchSweep(view, cfg, workload.HomeFunc(homes, 0),
@@ -125,16 +161,24 @@ func main() {
 		t := tabulate.New(fmt.Sprintf("%s: first-touch cost savings over LRU (%%)", *bench),
 			"ratio", "remote frac", "GD", "BCL", "DCL", "ACL")
 		for _, pt := range pts {
+			if pt.Err != "" {
+				t.Add(pt.Ratio.Label, "ERROR", pt.Err, "", "", "")
+				continue
+			}
 			t.AddF(pt.Ratio.Label, pt.MeasuredHAF,
 				pt.Savings["GD"]*100, pt.Savings["BCL"]*100,
 				pt.Savings["DCL"]*100, pt.Savings["ACL"]*100)
 		}
 		emit(t)
-	default:
-		log.Fatalf("unknown mapping %q", *mapping)
 	}
 
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "costsweep: interrupted — flushing partial results")
+	}
 	if man != nil {
+		if interrupted {
+			man.MarkInterrupted()
+		}
 		if err := man.WriteFile(*manifestPath); err != nil {
 			log.Fatal(err)
 		}
@@ -143,5 +187,8 @@ func main() {
 	if *obsDump {
 		fmt.Println()
 		obs.Default.Snapshot().WriteText(os.Stdout)
+	}
+	if interrupted || stopped() {
+		os.Exit(cli.ExitInterrupted)
 	}
 }

@@ -7,6 +7,8 @@
 //	numasim -bench Barnes -policy DCL [-mhz 500|1000] [-nohints] [-table3] [-quick]
 //	numasim -bench Barnes -policy DCL -span.trace trace.json -span.jsonl spans.jsonl
 //	numasim -bench Barnes -policy DCL -manifest results/manifest.json
+//	numasim -bench Barnes -policy DCL -fault.scenario link-outage -fault.seed 7
+//	numasim -bench Barnes -policy DCL -fault.plan plan.json
 //
 // -span.trace / -span.jsonl attach the miss-lifecycle tracer to the policy
 // run: every L2 miss becomes a span recording MSHR wait, lookup, network,
@@ -16,6 +18,13 @@
 // prints the per-class latency breakdown and reconciles the span counts
 // against the per-node miss counters (the run fails on mismatch). -manifest
 // writes a self-describing run manifest for cmd/report.
+//
+// -fault.plan / -fault.scenario inject a deterministic fault plan (see
+// docs/FAULTS.md) into BOTH the policy run and the LRU baseline, so the
+// comparison stays fault-for-fault fair; the manifest records the plan hash
+// and the NACK/retry/backoff counters. SIGINT/SIGTERM stop the run at the
+// next reference boundary, flush a partial manifest marked
+// "interrupted": true, and exit 130.
 package main
 
 import (
@@ -26,6 +35,8 @@ import (
 	"log"
 	"os"
 
+	"costcache/internal/cli"
+	"costcache/internal/fault"
 	"costcache/internal/manifest"
 	"costcache/internal/numasim"
 	"costcache/internal/obs"
@@ -50,7 +61,13 @@ func main() {
 	spanTrace := flag.String("span.trace", "", "write the policy run's miss spans as Chrome trace-event JSON to this file")
 	spanJSONL := flag.String("span.jsonl", "", "write the policy run's miss spans as JSONL to this file")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
+	ff := cli.FaultFlags{
+		Plan:     flag.String("fault.plan", "", "inject the fault plan in this JSON file (docs/FAULTS.md)"),
+		Scenario: flag.String("fault.scenario", "", "inject a named fault scenario (link-brownout, link-outage, hot-bank, hot-dir, slow-node, mixed)"),
+		Seed:     flag.Uint64("fault.seed", 1, "fault scenario generator seed"),
+	}
 	flag.Parse()
+	stopped := cli.Interrupt()
 
 	if *obsListen != "" {
 		srv, err := obs.Serve(*obsListen, obs.Default)
@@ -63,7 +80,7 @@ func main() {
 
 	g, ok := workload.ByName(*bench)
 	if !ok {
-		log.Fatalf("unknown benchmark %q", *bench)
+		cli.BadFlag("numasim", "-bench", *bench, workload.Names())
 	}
 	if *quick {
 		g = workload.Quick(g)
@@ -71,8 +88,9 @@ func main() {
 	prog, _ := workload.ProgramOf(g)
 	f, ok := replacement.ByName(*policy)
 	if !ok {
-		log.Fatalf("unknown policy %q", *policy)
+		cli.BadFlag("numasim", "-policy", *policy, replacement.Names())
 	}
+	plan := ff.Resolve("numasim", numasim.DefaultConfig(nil).Net.Dim)
 
 	mk := func(fac replacement.Factory) numasim.Config {
 		cfg := numasim.DefaultConfig(fac)
@@ -80,6 +98,8 @@ func main() {
 		cfg.Protocol.Hints = !*nohints
 		cfg.CollectTable3 = *table3
 		cfg.UsePenalty = *penalty
+		cfg.Faults = plan
+		cfg.Stop = stopped
 		return cfg
 	}
 
@@ -101,17 +121,31 @@ func main() {
 		base = numasim.Run(prog, mk(func() replacement.Policy { return replacement.NewLRU() }))
 	}
 
-	t := tabulate.New(fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", g.Name(), *mhz, *policy, !*nohints),
-		"Metric", "LRU", *policy)
+	title := fmt.Sprintf("%s on %d MHz, policy %s (hints=%v)", g.Name(), *mhz, *policy, !*nohints)
+	if plan != nil {
+		title += fmt.Sprintf(", faults=%s", plan.Name)
+	}
+	t := tabulate.New(title, "Metric", "LRU", *policy)
 	t.AddF("execution time (us)", float64(base.ExecNs)/1000, float64(res.ExecNs)/1000)
 	t.AddF("L2 misses", base.L2Misses, res.L2Misses)
 	t.AddF("aggregate miss latency (us)", float64(base.AggMissNs)/1000, float64(res.AggMissNs)/1000)
 	t.AddF("avg miss latency (ns)", base.AvgMissNs, res.AvgMissNs)
 	t.AddF("invalidation msgs", base.Protocol.Invalidations, res.Protocol.Invalidations)
 	t.AddF("forward nacks", base.Protocol.ForwardNacks, res.Protocol.ForwardNacks)
+	if res.Faults != nil && base.Faults != nil {
+		t.AddF("fault NACKs", base.Faults.Nacks, res.Faults.Nacks)
+		t.AddF("fault backoff (us)", float64(base.Faults.BackoffNs)/1000, float64(res.Faults.BackoffNs)/1000)
+		t.AddF("fault slowed hops", base.Faults.SlowedHops, res.Faults.SlowedHops)
+		t.AddF("fault degraded misses", base.Faults.DegradedMisses, res.Faults.DegradedMisses)
+	}
 	t.Fprint(os.Stdout)
-	fmt.Printf("execution time reduction over LRU: %.2f%%\n",
-		100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+	if base.ExecNs > 0 {
+		fmt.Printf("execution time reduction over LRU: %.2f%%\n",
+			100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+	}
+	if res.Interrupted {
+		fmt.Println("run interrupted: partial results up to the stop boundary")
+	}
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
@@ -139,7 +173,7 @@ func main() {
 	}
 
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, g.Name(), *policy, *mhz, *quick, !*nohints, res, base, tracer); err != nil {
+		if err := writeManifest(*manifestPath, g.Name(), *policy, *mhz, *quick, !*nohints, plan, res, base, tracer); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote manifest to %s\n", *manifestPath)
@@ -148,6 +182,9 @@ func main() {
 	if *obsDump {
 		fmt.Println()
 		obs.Default.Snapshot().WriteText(os.Stdout)
+	}
+	if res.Interrupted || stopped() {
+		os.Exit(cli.ExitInterrupted)
 	}
 }
 
@@ -207,21 +244,33 @@ func reconcileSpans(tr *span.Tracer, res numasim.Result) {
 }
 
 // writeManifest captures the run configuration and headline metrics (policy
-// run and LRU baseline) plus the latency breakdown when spans were traced.
-func writeManifest(path, bench, policy string, mhz int, quick, hints bool, res, base numasim.Result, tr *span.Tracer) error {
+// run and LRU baseline) plus the latency breakdown when spans were traced
+// and the fault-plan identity and counters when faults were injected.
+func writeManifest(path, bench, policy string, mhz int, quick, hints bool,
+	plan *fault.Plan, res, base numasim.Result, tr *span.Tracer) error {
 	m := manifest.New("numasim")
 	m.SetConfig("bench", bench)
 	m.SetConfig("policy", policy)
 	m.SetConfig("mhz", mhz)
 	m.SetConfig("quick", quick)
 	m.SetConfig("hints", hints)
+	if res.Interrupted {
+		m.MarkInterrupted()
+	}
+	if res.Faults != nil {
+		cli.RecordFaults(m, plan, *res.Faults)
+	}
 	for label, r := range map[string]numasim.Result{"policy": res, "baseline-lru": base} {
 		m.SetMetric(obs.Name("exec_ns", "run", label), float64(r.ExecNs))
 		m.SetMetric(obs.Name("l2_misses", "run", label), float64(r.L2Misses))
 		m.SetMetric(obs.Name("agg_miss_ns", "run", label), float64(r.AggMissNs))
 		m.SetMetric(obs.Name("avg_miss_ns", "run", label), r.AvgMissNs)
 	}
-	m.SetMetric("exec_reduction_pct", 100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+	if base.ExecNs > 0 {
+		// Guard the division: an interrupt between the two runs can leave
+		// the baseline empty, and Inf does not survive JSON encoding.
+		m.SetMetric("exec_reduction_pct", 100*float64(base.ExecNs-res.ExecNs)/float64(base.ExecNs))
+	}
 	if tr != nil {
 		m.SetMetric("spans", float64(tr.Count()))
 		m.SetBreakdown(tr.Breakdown())

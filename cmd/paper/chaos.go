@@ -1,0 +1,104 @@
+// The chaos section runs the execution-driven simulator under the named
+// fault-injection scenarios (docs/FAULTS.md) and compares how the
+// cost-sensitive policies hold up against LRU when the machine degrades:
+// per-scenario execution times, the relative reduction over LRU, and the
+// fault counters (NACKs, retry backoff, slowed hops, degraded misses). The
+// plans are deterministic in (scenario, seed), so the table is reproducible
+// and its metrics are manifest-diffable run to run.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"costcache/internal/fault"
+	"costcache/internal/numasim"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+// chaosPolicies are the cost-sensitive policies raced against LRU under each
+// fault scenario.
+var chaosPolicies = []string{"BCL", "DCL", "ACL"}
+
+// chaosScenarios picks the scenario set: a three-scenario core for -quick
+// smoke runs, every named scenario (mixed included) otherwise.
+func chaosScenarios(quick bool) []string {
+	if quick {
+		return []string{"link-outage", "hot-bank", "slow-node"}
+	}
+	return fault.ScenarioNames()
+}
+
+// chaosSection prints the chaos table for the first benchmark: one row per
+// fault scenario with LRU and cost-sensitive execution times (us) and the
+// DCL reduction over LRU. Per-scenario execution times and fault counters go
+// into the manifest. stopped is polled between runs so SIGINT abandons the
+// section at a safe boundary; the return value reports whether it did.
+func chaosSection(gens []workload.Generator, quick bool, seed uint64, stopped func() bool) bool {
+	g := gens[0]
+	prog, _ := workload.ProgramOf(g)
+	dim := numasim.DefaultConfig(nil).Net.Dim
+
+	fmt.Printf("== Chaos: execution time (us) under fault injection, %s, seed %d ==\n", g.Name(), seed)
+	t := tabulate.New("", append([]string{"Scenario", "LRU"}, append(append([]string{}, chaosPolicies...), "DCL reduction %", "NACKs", "degraded misses")...)...)
+
+	run := func(plan *fault.Plan, policy string) numasim.Result {
+		f, _ := replacement.ByName(policy)
+		cfg := numasim.DefaultConfig(f)
+		cfg.Faults = plan
+		cfg.Stop = stopped
+		return numasim.Run(prog, cfg)
+	}
+
+	for _, name := range chaosScenarios(quick) {
+		if stopped() {
+			return true
+		}
+		plan, err := fault.Scenario(name, seed, dim)
+		if err != nil {
+			// Scenario names are hardwired above; a failure here is a bug.
+			panic(err)
+		}
+		base := run(plan, "LRU")
+		if base.Interrupted {
+			return true
+		}
+		record(obs.Name("chaos_exec_ns", "scenario", name, "policy", "LRU"), float64(base.ExecNs))
+		row := []any{name, float64(base.ExecNs) / 1000}
+		var dcl numasim.Result
+		for _, p := range chaosPolicies {
+			if stopped() {
+				return true
+			}
+			res := run(plan, p)
+			if res.Interrupted {
+				return true
+			}
+			if p == "DCL" {
+				dcl = res
+			}
+			record(obs.Name("chaos_exec_ns", "scenario", name, "policy", p), float64(res.ExecNs))
+			row = append(row, float64(res.ExecNs)/1000)
+		}
+		row = append(row, 100*float64(base.ExecNs-dcl.ExecNs)/float64(base.ExecNs))
+		if st := dcl.Faults; st != nil {
+			row = append(row, st.Nacks, st.DegradedMisses)
+			record(obs.Name("chaos_fault_nacks", "scenario", name), float64(st.Nacks))
+			record(obs.Name("chaos_fault_retries", "scenario", name), float64(st.Retries))
+			record(obs.Name("chaos_fault_backoff_ns", "scenario", name), float64(st.BackoffNs))
+			record(obs.Name("chaos_fault_slowed_hops", "scenario", name), float64(st.SlowedHops))
+			record(obs.Name("chaos_fault_degraded_misses", "scenario", name), float64(st.DegradedMisses))
+			record(obs.Name("chaos_fault_events", "scenario", name), float64(st.Events()))
+		}
+		if man != nil {
+			man.SetConfig(obs.Name("chaos_plan_hash", "scenario", name), plan.Hash())
+		}
+		t.AddF(row...)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+	return false
+}

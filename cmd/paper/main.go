@@ -19,6 +19,12 @@
 // and written to results/obs_intervals.txt. -obs.listen serves /metrics and
 // pprof during any run. -bench-json times the observed vs. bare simulator
 // and writes the overhead record future PRs track.
+//
+// The chaos experiment (-only chaos) races LRU against the cost-sensitive
+// policies under the deterministic fault-injection scenarios of
+// docs/FAULTS.md; -fault.seed varies which links/nodes each scenario
+// afflicts. SIGINT/SIGTERM stop the run at the next experiment boundary,
+// flush a partial manifest marked "interrupted": true, and exit 130.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"costcache/internal/cli"
 	"costcache/internal/costsim"
 	"costcache/internal/hwcost"
 	"costcache/internal/manifest"
@@ -37,6 +44,9 @@ import (
 	"costcache/internal/trace"
 	"costcache/internal/workload"
 )
+
+// sectionNames lists the experiments -only accepts, in paper order.
+var sectionNames = []string{"table1", "figure3", "table2", "table4", "table3", "table5", "assoc", "sizes", "hwcost", "chaos"}
 
 func main() {
 	log.SetFlags(0)
@@ -49,7 +59,29 @@ func main() {
 	obsWindow := flag.Int("obs.window", 50000, "interval-report window in trace references (-obs.trace)")
 	benchJSON := flag.String("bench-json", "", "time observed vs. bare simulation and write the JSON record to this file")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) capturing the configuration and the metrics registry to this file")
+	faultSeed := flag.Uint64("fault.seed", 1, "fault scenario seed for the chaos experiment")
 	flag.Parse()
+	stopped := cli.Interrupt()
+
+	if *bench != "" {
+		if _, ok := workload.ByName(*bench); !ok {
+			cli.BadFlag("paper", "-bench", *bench, workload.Names())
+		}
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		known := map[string]bool{}
+		for _, k := range sectionNames {
+			known[k] = true
+		}
+		for _, k := range strings.Split(*only, ",") {
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				cli.BadFlag("paper", "-only", k, sectionNames)
+			}
+			want[k] = true
+		}
+	}
 
 	if *obsListen != "" {
 		srv, err := obs.Serve(*obsListen, obs.Default)
@@ -72,14 +104,6 @@ func main() {
 		return
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
-		}
-	}
-	run := func(name string) bool { return len(want) == 0 || want[name] }
-
 	if *manifestPath != "" {
 		man = manifest.New("paper")
 		man.SetConfig("quick", *quick)
@@ -88,39 +112,55 @@ func main() {
 
 	gens := benchmarks(*quick)
 
-	if run("table1") {
-		table1(gens)
+	// Experiments run in paper order; stopped() is polled between them so a
+	// signal abandons the remaining sections, flushes the partial manifest
+	// and exits 130 (the chaos section also polls internally — it is the
+	// longest).
+	interrupted := false
+	sections := []struct {
+		name string
+		fn   func()
+	}{
+		{"table1", func() { table1(gens) }},
+		{"figure3", func() { figure3(gens, *quick) }},
+		{"table2", func() { table2(gens) }},
+		{"table4", table4},
+		{"table3", func() { table3(gens) }},
+		{"table5", func() { table5(gens, *quick) }},
+		{"assoc", func() { assocSection(gens) }},
+		{"sizes", func() { sizeSection(gens) }},
+		{"hwcost", hwcostSection},
+		{"chaos", func() { interrupted = chaosSection(gens, *quick, *faultSeed, stopped) }},
 	}
-	if run("figure3") {
-		figure3(gens, *quick)
+	for _, s := range sections {
+		if len(want) != 0 && !want[s.name] {
+			continue
+		}
+		if stopped() {
+			interrupted = true
+			break
+		}
+		s.fn()
+		if interrupted {
+			break
+		}
 	}
-	if run("table2") {
-		table2(gens)
-	}
-	if run("table4") {
-		table4()
-	}
-	if run("table3") {
-		table3(gens)
-	}
-	if run("table5") {
-		table5(gens, *quick)
-	}
-	if run("assoc") {
-		assocSection(gens)
-	}
-	if run("sizes") {
-		sizeSection(gens)
-	}
-	if run("hwcost") {
-		hwcostSection()
+
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "paper: interrupted — flushing partial results")
 	}
 	if man != nil {
+		if interrupted {
+			man.MarkInterrupted()
+		}
 		man.AddSnapshot(obs.Default.Snapshot())
 		if err := man.WriteFile(*manifestPath); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote manifest to %s\n", *manifestPath)
+	}
+	if interrupted || stopped() {
+		os.Exit(cli.ExitInterrupted)
 	}
 }
 

@@ -1,0 +1,106 @@
+// Package cli holds the small pieces the commands share: graceful
+// SIGINT/SIGTERM handling (first signal requests a stop at the next safe
+// boundary so partial artifacts are flushed with "interrupted": true and the
+// process exits 130; a second signal kills immediately), up-front flag
+// validation with exit 2 and the list of valid values, and the fault-plan
+// flag set (-fault.plan / -fault.scenario / -fault.seed) plus the manifest
+// plumbing for fault counters.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"costcache/internal/fault"
+	"costcache/internal/manifest"
+)
+
+// Exit codes: ExitUsage for invalid flags (the list of valid values is
+// printed), ExitInterrupted for a run stopped by SIGINT/SIGTERM (128 + 2,
+// the shell convention).
+const (
+	ExitUsage       = 2
+	ExitInterrupted = 130
+)
+
+// Interrupt installs SIGINT/SIGTERM handling and returns a polling function
+// that reports whether a stop was requested. The first signal cancels the
+// context — long loops poll stopped() at safe boundaries, flush partial
+// artifacts and exit with ExitInterrupted — and also restores default signal
+// disposition, so a second ^C terminates the process immediately.
+func Interrupt() (stopped func() bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop() // next signal uses the default handler: die now
+	}()
+	return func() bool { return ctx.Err() != nil }
+}
+
+// BadFlag reports an invalid flag value with its valid alternatives and
+// exits with ExitUsage.
+func BadFlag(prog, flagName, got string, valid []string) {
+	fmt.Fprintf(os.Stderr, "%s: unknown %s %q (valid: %s)\n",
+		prog, flagName, got, strings.Join(valid, ", "))
+	os.Exit(ExitUsage)
+}
+
+// FaultFlags are the parsed fault-injection flags every simulator harness
+// shares.
+type FaultFlags struct {
+	Plan     *string // -fault.plan: JSON plan file
+	Scenario *string // -fault.scenario: named scenario
+	Seed     *uint64 // -fault.seed: scenario generator seed
+}
+
+// Resolve loads the plan file or builds the named scenario for a dim x dim
+// mesh. It returns nil when no fault flag was given, and exits with
+// ExitUsage on an unknown scenario or a malformed plan.
+func (f FaultFlags) Resolve(prog string, dim int) *fault.Plan {
+	if *f.Plan != "" && *f.Scenario != "" {
+		fmt.Fprintf(os.Stderr, "%s: -fault.plan and -fault.scenario are mutually exclusive\n", prog)
+		os.Exit(ExitUsage)
+	}
+	switch {
+	case *f.Plan != "":
+		p, err := fault.ReadFile(*f.Plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			os.Exit(ExitUsage)
+		}
+		return p
+	case *f.Scenario != "":
+		p, err := fault.Scenario(*f.Scenario, *f.Seed, dim)
+		if err != nil {
+			BadFlag(prog, "-fault.scenario", *f.Scenario, fault.ScenarioNames())
+		}
+		return p
+	}
+	return nil
+}
+
+// RecordFaults stamps a run manifest with the plan identity (name, seed,
+// canonical hash) and the injection counters, the fields regression tooling
+// diffs fault-for-fault.
+func RecordFaults(m *manifest.Manifest, plan *fault.Plan, st fault.Stats) {
+	if m == nil || plan == nil {
+		return
+	}
+	m.SetConfig("fault_plan", plan.Name)
+	m.SetConfig("fault_plan_hash", plan.Hash())
+	m.SetConfig("fault_seed", plan.Seed)
+	m.SetMetric("fault_nacks", float64(st.Nacks))
+	m.SetMetric("fault_retries", float64(st.Retries))
+	m.SetMetric("fault_backoff_ns", float64(st.BackoffNs))
+	m.SetMetric("fault_slowed_hops", float64(st.SlowedHops))
+	m.SetMetric("fault_slow_ns", float64(st.SlowNs))
+	m.SetMetric("fault_dir_hot_ns", float64(st.DirHotNs))
+	m.SetMetric("fault_bank_hot_ns", float64(st.BankHotNs))
+	m.SetMetric("fault_degraded_misses", float64(st.DegradedMisses))
+	m.SetMetric("fault_node_degraded_ns", float64(st.NodeDegNs))
+	m.SetMetric("fault_events", float64(st.Events()))
+}

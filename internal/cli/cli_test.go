@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"costcache/internal/fault"
+	"costcache/internal/manifest"
+)
+
+func TestInterruptObservesSignal(t *testing.T) {
+	stopped := Interrupt()
+	if stopped() {
+		t.Fatal("stop requested before any signal")
+	}
+	// SIGTERM to ourselves: the notify context must cancel. Only one signal —
+	// the handler restores default disposition after the first, and a second
+	// would kill the test binary.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("stop not observed within 5s of SIGTERM")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRecordFaults(t *testing.T) {
+	plan := &fault.Plan{
+		Name:  "test-plan",
+		Seed:  9,
+		Nodes: []fault.NodeFault{{Window: fault.Window{EndNs: 100}, ExtraNs: 10}},
+	}
+	st := fault.Stats{Nacks: 3, Retries: 3, BackoffNs: 450, SlowedHops: 2, DegradedMisses: 1}
+
+	m := manifest.New("test")
+	RecordFaults(m, plan, st)
+	if m.Config["fault_plan"] != "test-plan" || m.Config["fault_seed"] != "9" {
+		t.Fatalf("config = %+v", m.Config)
+	}
+	if m.Config["fault_plan_hash"] != plan.Hash() {
+		t.Fatal("hash not recorded")
+	}
+	if m.Metrics["fault_nacks"] != 3 || m.Metrics["fault_backoff_ns"] != 450 {
+		t.Fatalf("metrics = %+v", m.Metrics)
+	}
+	if m.Metrics["fault_events"] != float64(st.Events()) {
+		t.Fatal("event total not recorded")
+	}
+
+	// Nil manifest or nil plan: quiet no-ops.
+	RecordFaults(nil, plan, st)
+	empty := manifest.New("test")
+	RecordFaults(empty, nil, st)
+	if len(empty.Metrics) != 0 {
+		t.Fatal("nil plan recorded metrics")
+	}
+}

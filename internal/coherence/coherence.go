@@ -14,6 +14,7 @@
 package coherence
 
 import (
+	"costcache/internal/fault"
 	"costcache/internal/mesh"
 	"costcache/internal/obs"
 	"costcache/internal/obs/span"
@@ -87,7 +88,14 @@ type Machine struct {
 	stats Stats
 	met   *Metrics
 	sp    *span.Span
+	flt   *fault.Injector
 }
+
+// SetFaults attaches a fault injector: hot-directory windows add occupancy
+// to every directory reservation and hot-bank windows to every memory-bank
+// reservation. Pass nil to detach; the un-faulted path pays one nil check,
+// and an empty plan injects nothing.
+func (m *Machine) SetFaults(in *fault.Injector) { m.flt = in }
 
 // SetSpan attaches the active miss-lifecycle span: until cleared with nil,
 // Read/Write record their stage segments (request, directory, memory,
@@ -214,11 +222,15 @@ func (m *Machine) dirAccess(node int, t int64) int64 {
 		m.met.DirWait.Observe(wait)
 		m.met.DirWaitNs.Add(wait)
 	}
-	m.dirFree[node] = t + m.p.DirAccess
-	if m.sp != nil {
-		m.sp.SegQ(span.StageDirectory, arrive, wait, t+m.p.DirAccess)
+	occupy := m.p.DirAccess
+	if m.flt != nil {
+		occupy += m.flt.DirExtra(node, t)
 	}
-	return t + m.p.DirAccess
+	m.dirFree[node] = t + occupy
+	if m.sp != nil {
+		m.sp.SegQ(span.StageDirectory, arrive, wait, t+occupy)
+	}
+	return t + occupy
 }
 
 // memAccess reserves the interleaved memory bank for block at node.
@@ -237,11 +249,15 @@ func (m *Machine) memAccess(node int, block uint64, t int64) int64 {
 		}
 		t = m.bankFree[node][b]
 	}
-	m.bankFree[node][b] = t + m.p.MemAccess
-	if m.sp != nil {
-		m.sp.SegQ(span.StageMemory, arrive, wait, t+m.p.MemAccess)
+	occupy := m.p.MemAccess
+	if m.flt != nil {
+		occupy += m.flt.BankExtra(node, b, t)
 	}
-	return t + m.p.MemAccess
+	m.bankFree[node][b] = t + occupy
+	if m.sp != nil {
+		m.sp.SegQ(span.StageMemory, arrive, wait, t+occupy)
+	}
+	return t + occupy
 }
 
 func (m *Machine) hasBlock(node int, block uint64) bool {

@@ -2,6 +2,7 @@ package costsim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"costcache/internal/cost"
 	"costcache/internal/replacement"
@@ -19,6 +20,22 @@ type GeomPoint struct {
 	MissRate float64
 	// Savings maps policy name to relative savings over LRU.
 	Savings map[string]float64
+	// Err is non-empty when this configuration panicked; the sweep carries
+	// on with the remaining geometries (Savings is empty for error points).
+	Err   string
+	Stack string
+}
+
+// safeGeomPoint evaluates one geometry, converting a panic into an error
+// point instead of aborting the sweep.
+func safeGeomPoint(view []trace.SampleRef, cfg Config, label string, src cost.Source,
+	policies []replacement.Factory) (pt GeomPoint) {
+	defer func() {
+		if r := recover(); r != nil {
+			pt = GeomPoint{Label: label, Err: fmt.Sprintf("panic: %v", r), Stack: string(debug.Stack())}
+		}
+	}()
+	return geomPoint(view, cfg, label, src, policies)
 }
 
 // AssocSweep evaluates the policies across associativities (the paper
@@ -32,7 +49,7 @@ func AssocSweep(view []trace.SampleRef, cfg Config, waysList []int, r Ratio, haf
 	for _, ways := range waysList {
 		c := cfg
 		c.L2Ways = ways
-		out = append(out, geomPoint(view, c, fmt.Sprintf("%d-way", ways), src, policies))
+		out = append(out, safeGeomPoint(view, c, fmt.Sprintf("%d-way", ways), src, policies))
 	}
 	return out
 }
@@ -47,7 +64,7 @@ func SizeSweep(view []trace.SampleRef, cfg Config, sizes []int, r Ratio, haf flo
 	for _, size := range sizes {
 		c := cfg
 		c.L2Size = size
-		out = append(out, geomPoint(view, c, fmt.Sprintf("%dKB", size>>10), src, policies))
+		out = append(out, safeGeomPoint(view, c, fmt.Sprintf("%dKB", size>>10), src, policies))
 	}
 	return out
 }

@@ -1,0 +1,107 @@
+package costsim
+
+import (
+	"strings"
+	"testing"
+
+	"costcache/internal/replacement"
+	"costcache/internal/trace"
+	"costcache/internal/workload"
+)
+
+// boomPolicy panics on its first eviction — a stand-in for a buggy policy
+// configuration that must be contained to its own sweep cell.
+type boomPolicy struct{ replacement.Policy }
+
+func (boomPolicy) Victim(set int) int { panic("boom: injected test failure") }
+
+func boomFactory() replacement.Policy { return boomPolicy{replacement.NewLRU()} }
+
+func recoverView(t *testing.T) []trace.SampleRef {
+	t.Helper()
+	w := workload.Synthetic{
+		Blocks: 512, RefsPerProc: 20000, WriteFrac: 0.2, SharedFrac: 0.8,
+		ZipfS: 1.3, Procs: 2, Seed: 5,
+	}
+	return w.Generate().SampleView(0)
+}
+
+func TestRandomSweepRecoversCellPanic(t *testing.T) {
+	view := recoverView(t)
+	pts := RandomSweep(view, Default(), PaperRatios()[:1], []float64{0.2, 0.5},
+		[]replacement.Factory{boomFactory}, 42)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Err == "" {
+			t.Fatalf("cell haf=%.2f: panic not captured", pt.TargetHAF)
+		}
+		if !strings.Contains(pt.Err, "boom: injected test failure") {
+			t.Fatalf("Err = %q", pt.Err)
+		}
+		if !strings.Contains(pt.Stack, "Victim") {
+			t.Fatal("Stack does not point at the panicking method")
+		}
+		if pt.Savings != nil || pt.Costs != nil {
+			t.Fatal("error cell kept partial results")
+		}
+		if pt.TargetHAF == 0 {
+			t.Fatal("error cell lost its configuration identity")
+		}
+	}
+}
+
+func TestRandomSweepPanicDoesNotPoisonNeighbors(t *testing.T) {
+	view := recoverView(t)
+	pts := RandomSweep(view, Default(), PaperRatios()[:1], []float64{0.2},
+		[]replacement.Factory{
+			func() replacement.Policy { return replacement.NewDCL() },
+		}, 42)
+	if len(pts) != 1 || pts[0].Err != "" {
+		t.Fatalf("healthy sweep reported an error: %+v", pts)
+	}
+	if _, ok := pts[0].Savings["DCL"]; !ok {
+		t.Fatal("healthy sweep lost its savings")
+	}
+}
+
+func TestFirstTouchSweepRecoversCellPanic(t *testing.T) {
+	view := recoverView(t)
+	home := func(block uint64) int16 { return int16(block % 2) }
+	pts := FirstTouchSweep(view, Default(), home, 0, Table2Ratios()[:2],
+		[]replacement.Factory{boomFactory})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Err == "" || !strings.Contains(pt.Err, "boom") {
+			t.Fatalf("cell %s: Err = %q", pt.Ratio.Label, pt.Err)
+		}
+		if pt.Ratio.Label == "" {
+			t.Fatal("error cell lost its ratio label")
+		}
+	}
+}
+
+func TestGeometrySweepsRecoverCellPanic(t *testing.T) {
+	view := recoverView(t)
+	r := Ratio{Low: 1, High: 8, Label: "r=8"}
+	assoc := AssocSweep(view, Default(), []int{2, 4}, r, 0.2,
+		[]replacement.Factory{boomFactory}, 42)
+	for _, pt := range assoc {
+		if pt.Err == "" || !strings.Contains(pt.Err, "boom") {
+			t.Fatalf("assoc %s: Err = %q", pt.Label, pt.Err)
+		}
+	}
+	sizes := SizeSweep(view, Default(), []int{4 << 10, 16 << 10}, r, 0.2,
+		[]replacement.Factory{boomFactory}, 42)
+	for _, pt := range sizes {
+		if pt.Err == "" || !strings.Contains(pt.Err, "boom") {
+			t.Fatalf("size %s: Err = %q", pt.Label, pt.Err)
+		}
+		if pt.Label == "" {
+			t.Fatal("error cell lost its size label")
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package costsim
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"costcache/internal/cost"
@@ -68,6 +70,22 @@ type SweepPoint struct {
 	Savings map[string]float64
 	// Order lists policy names in evaluation order, for stable printing.
 	Order []string
+	// Err is non-empty when evaluating this cell panicked: the cell is
+	// reported as a per-row error (with the panic's Stack) instead of
+	// aborting the whole sweep. Costs/Savings are empty for error cells.
+	Err   string
+	Stack string
+}
+
+// recoverCell converts a panic inside one sweep cell into a per-cell error
+// entry, so one bad configuration cannot kill a long sweep. Use as
+// `defer recoverCell(&out[i])`.
+func recoverCell(pt *SweepPoint) {
+	if r := recover(); r != nil {
+		pt.Costs, pt.Savings, pt.Order = nil, nil, nil
+		pt.Err = fmt.Sprintf("panic: %v", r)
+		pt.Stack = string(debug.Stack())
+	}
 }
 
 // RandomSweep runs the Figure 3 experiment on one benchmark view: for every
@@ -100,15 +118,14 @@ func RandomSweep(view []trace.SampleRef, cfg Config, ratios []Ratio, hafs []floa
 		go func(i int, c cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			out[i] = SweepPoint{Ratio: c.r, TargetHAF: c.haf}
+			defer recoverCell(&out[i])
 			src := CalibratedRandom(view, cfg.BlockBytes, c.haf, c.r, seed)
-			pt := SweepPoint{
-				Ratio:       c.r,
-				TargetHAF:   c.haf,
-				MeasuredHAF: MeasuredHAF(view, cfg.BlockBytes, IsHighFunc(src, c.r)),
-				LRUCost:     CostOf(counts, src),
-				Costs:       map[string]int64{},
-				Savings:     map[string]float64{},
-			}
+			pt := &out[i]
+			pt.MeasuredHAF = MeasuredHAF(view, cfg.BlockBytes, IsHighFunc(src, c.r))
+			pt.LRUCost = CostOf(counts, src)
+			pt.Costs = map[string]int64{}
+			pt.Savings = map[string]float64{}
 			for _, f := range policies {
 				p := f()
 				res := Run(view, cfg, p, src)
@@ -116,7 +133,6 @@ func RandomSweep(view []trace.SampleRef, cfg Config, ratios []Ratio, hafs []floa
 				pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
 				pt.Order = append(pt.Order, res.Policy)
 			}
-			out[i] = pt
 		}(i, c)
 	}
 	wg.Wait()
@@ -129,26 +145,26 @@ func FirstTouchSweep(view []trace.SampleRef, cfg Config, home func(block uint64)
 	proc int16, ratios []Ratio, policies []replacement.Factory) []SweepPoint {
 	cfg = cfg.orDefault()
 	counts, _ := MissCounts(view, cfg)
-	var out []SweepPoint
-	for _, r := range ratios {
-		src := cost.FirstTouch{Home: home, Proc: proc, Low: r.Low, High: r.High}
-		isHigh := func(block uint64) bool { return home(block) != proc }
-		pt := SweepPoint{
-			Ratio:       r,
-			TargetHAF:   -1,
-			MeasuredHAF: MeasuredHAF(view, cfg.BlockBytes, isHigh),
-			LRUCost:     CostOf(counts, src),
-			Costs:       map[string]int64{},
-			Savings:     map[string]float64{},
-		}
-		for _, f := range policies {
-			p := f()
-			res := Run(view, cfg, p, src)
-			pt.Costs[res.Policy] = res.L2.AggCost
-			pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
-			pt.Order = append(pt.Order, res.Policy)
-		}
-		out = append(out, pt)
+	out := make([]SweepPoint, len(ratios))
+	for i, r := range ratios {
+		func() {
+			out[i] = SweepPoint{Ratio: r, TargetHAF: -1}
+			defer recoverCell(&out[i])
+			src := cost.FirstTouch{Home: home, Proc: proc, Low: r.Low, High: r.High}
+			isHigh := func(block uint64) bool { return home(block) != proc }
+			pt := &out[i]
+			pt.MeasuredHAF = MeasuredHAF(view, cfg.BlockBytes, isHigh)
+			pt.LRUCost = CostOf(counts, src)
+			pt.Costs = map[string]int64{}
+			pt.Savings = map[string]float64{}
+			for _, f := range policies {
+				p := f()
+				res := Run(view, cfg, p, src)
+				pt.Costs[res.Policy] = res.L2.AggCost
+				pt.Savings[res.Policy] = RelativeSavings(pt.LRUCost, res.L2.AggCost)
+				pt.Order = append(pt.Order, res.Policy)
+			}
+		}()
 	}
 	return out
 }

@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWindowActiveOneShot(t *testing.T) {
+	w := Window{StartNs: 100, EndNs: 200}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{{0, false}, {99, false}, {100, true}, {199, true}, {200, false}, {1000, false}} {
+		if got := w.Active(c.t); got != c.want {
+			t.Errorf("Active(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := w.End(150); got != 200 {
+		t.Errorf("End(150) = %d, want 200", got)
+	}
+}
+
+func TestWindowActivePeriodic(t *testing.T) {
+	w := Window{StartNs: 100, EndNs: 200, PeriodNs: 1000}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{
+		{0, false}, {100, true}, {199, true}, {200, false}, {999, false},
+		{1100, true}, {1199, true}, {1200, false}, {5150, true},
+	} {
+		if got := w.Active(c.t); got != c.want {
+			t.Errorf("Active(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := w.End(5150); got != 5200 {
+		t.Errorf("End(5150) = %d, want 5200", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"empty window", Plan{Links: []LinkFault{{Dir: "east", Outage: true}}}, "is empty"},
+		{"negative start", Plan{Links: []LinkFault{{Dir: "east", Outage: true, Window: Window{StartNs: -5, EndNs: 5}}}}, "before t=0"},
+		{"short period", Plan{Links: []LinkFault{{Dir: "east", Outage: true, Window: Window{EndNs: 100, PeriodNs: 50}}}}, "period 50 shorter"},
+		{"bad dir", Plan{Links: []LinkFault{{Dir: "up", Outage: true, Window: Window{EndNs: 100}}}}, `dir "up"`},
+		{"no effect", Plan{Links: []LinkFault{{Dir: "east", Window: Window{EndNs: 100}}}}, "needs outage or slowdown"},
+		{"eternal outage", Plan{Links: []LinkFault{{Dir: "east", Outage: true, Window: Window{EndNs: 1<<40 + 1}}}}, "stall the run"},
+		{"gapless periodic outage", Plan{Links: []LinkFault{{Dir: "east", Outage: true, Window: Window{EndNs: 100, PeriodNs: 100}}}}, "no idle gap"},
+		{"dir no extra", Plan{Dirs: []HotFault{{Window: Window{EndNs: 100}}}}, "extra_ns > 0"},
+		{"bank bad node", Plan{Banks: []HotFault{{Node: -2, ExtraNs: 5, Window: Window{EndNs: 100}}}}, "node -2"},
+		{"node no extra", Plan{Nodes: []NodeFault{{Window: Window{EndNs: 100}}}}, "extra_ns > 0"},
+		{"negative retry", Plan{Retry: Retry{BaseNs: -1}, Nodes: []NodeFault{{ExtraNs: 1, Window: Window{EndNs: 1}}}}, "negative retry"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Name: "round-trip",
+		Seed: 42,
+		Links: []LinkFault{
+			{Node: 3, Dir: "east", Window: Window{StartNs: 10, EndNs: 500, PeriodNs: 1000}, Outage: true},
+			{Node: -1, Dir: "any", Window: Window{EndNs: 200}, Slowdown: 4},
+		},
+		Dirs:  []HotFault{{Node: 1, Window: Window{EndNs: 100}, ExtraNs: 60}},
+		Banks: []HotFault{{Node: 2, Bank: -1, Window: Window{EndNs: 100}, ExtraNs: 30}},
+		Nodes: []NodeFault{{Node: 0, Window: Window{EndNs: 100}, ExtraNs: 400}},
+		Retry: Retry{BaseNs: 25, CapNs: 800},
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed the plan:\nwrote %+v\nread  %+v", p, got)
+	}
+	if p.Hash() != got.Hash() {
+		t.Fatal("round trip changed the hash")
+	}
+}
+
+func TestReadFileNamesUnnamedPlans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	p := &Plan{Nodes: []NodeFault{{Window: Window{EndNs: 100}, ExtraNs: 10}}}
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != path {
+		t.Fatalf("Name = %q, want the file path %q", got.Name, path)
+	}
+}
+
+func TestHash(t *testing.T) {
+	a := &Plan{Nodes: []NodeFault{{Window: Window{EndNs: 100}, ExtraNs: 10}}}
+	b := &Plan{Nodes: []NodeFault{{Window: Window{EndNs: 100}, ExtraNs: 10}}}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical plans hash differently")
+	}
+	b.Nodes[0].ExtraNs = 11
+	if a.Hash() == b.Hash() {
+		t.Fatal("different plans share a hash")
+	}
+	empty := &Plan{Name: "named but empty"}
+	if empty.Hash() != "" {
+		t.Fatalf("empty plan hash = %q, want \"\"", empty.Hash())
+	}
+	var nilPlan *Plan
+	if nilPlan.Hash() != "" {
+		t.Fatal("nil plan must hash to \"\"")
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		a, err := Scenario(name, 7, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Scenario(name, 7, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed built different plans", name)
+		}
+		if a.Empty() {
+			t.Errorf("%s: scenario built an empty plan", name)
+		}
+		c, err := Scenario(name, 8, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Hash() == c.Hash() {
+			t.Errorf("%s: seeds 7 and 8 built identical plans", name)
+		}
+	}
+}
+
+func TestScenarioUnknown(t *testing.T) {
+	_, err := Scenario("power-sag", 1, 4)
+	if err == nil || !strings.Contains(err.Error(), "link-brownout") {
+		t.Fatalf("want an error listing valid scenarios, got %v", err)
+	}
+}
+
+func TestLinkIndex(t *testing.T) {
+	if got := LinkIndex(0, DirEast); got != 0 {
+		t.Errorf("LinkIndex(0, east) = %d", got)
+	}
+	if got := LinkIndex(5, DirSouth); got != 5*LinksPerNode+DirSouth {
+		t.Errorf("LinkIndex(5, south) = %d", got)
+	}
+}
+
+func TestInjectorEmptyPlanIsIdentity(t *testing.T) {
+	in := NewInjector(&Plan{}, 4, 4)
+	for _, tm := range []int64{0, 50, 12345} {
+		if got := in.LinkReady(3, tm); got != tm {
+			t.Errorf("LinkReady(3, %d) = %d", tm, got)
+		}
+		if got := in.LinkOccupy(3, tm, 62); got != 62 {
+			t.Errorf("LinkOccupy = %d, want 62", got)
+		}
+		if in.DirExtra(0, tm) != 0 || in.BankExtra(0, 0, tm) != 0 || in.NodeExtra(0, tm) != 0 {
+			t.Error("empty plan injected extra occupancy")
+		}
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("empty plan accumulated stats: %+v", st)
+	}
+}
+
+func TestLinkReadyBackoffSequence(t *testing.T) {
+	p := &Plan{
+		Links: []LinkFault{{Node: 0, Dir: "east", Outage: true, Window: Window{EndNs: 1000}}},
+		Retry: Retry{BaseNs: 50, CapNs: 3200},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p, 4, 4)
+	l := LinkIndex(0, DirEast)
+	// Backoff walk from t=0: +50 +100 +200 +400 +800 clears the [0,1000)
+	// outage at t=1550.
+	if got := in.LinkReady(l, 0); got != 1550 {
+		t.Fatalf("LinkReady = %d, want 1550", got)
+	}
+	st := in.Stats()
+	if st.Nacks != 5 || st.Retries != 5 || st.BackoffNs != 1550 {
+		t.Fatalf("stats = %+v, want 5 NACKs / 5 retries / 1550 ns backoff", st)
+	}
+	// Other links and post-outage times are unaffected.
+	if got := in.LinkReady(LinkIndex(0, DirWest), 0); got != 0 {
+		t.Fatalf("unaffected link delayed to %d", got)
+	}
+	if got := in.LinkReady(l, 1000); got != 1000 {
+		t.Fatalf("post-outage send delayed to %d", got)
+	}
+}
+
+func TestLinkReadyBackoffCaps(t *testing.T) {
+	p := &Plan{
+		Links: []LinkFault{{Node: 0, Dir: "east", Outage: true, Window: Window{EndNs: 200_000}}},
+		Retry: Retry{BaseNs: 50, CapNs: 3200},
+	}
+	in := NewInjector(p, 4, 4)
+	got := in.LinkReady(LinkIndex(0, DirEast), 0)
+	if got < 200_000 {
+		t.Fatalf("cleared at %d, inside the outage", got)
+	}
+	// Once capped, retries step by exactly CapNs.
+	if got-200_000 >= 3200 {
+		t.Fatalf("cleared %d ns late, more than one capped backoff", got-200_000)
+	}
+	st := in.Stats()
+	if st.BackoffNs != got {
+		t.Fatalf("backoff %d ns, but the walk covered %d ns from t=0", st.BackoffNs, got)
+	}
+}
+
+func TestLinkReadyPermanentOutagePanics(t *testing.T) {
+	// Two phase-shifted periodic windows tile all of simulated time; each
+	// passes Validate alone (both have idle gaps), but their union never
+	// clears. The retry loop must fail with a Diagnostic, not spin forever.
+	p := &Plan{
+		Links: []LinkFault{
+			{Node: 0, Dir: "east", Outage: true, Window: Window{StartNs: 0, EndNs: 60, PeriodNs: 100}},
+			{Node: 0, Dir: "east", Outage: true, Window: Window{StartNs: 50, EndNs: 110, PeriodNs: 100}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p, 4, 4)
+	defer func() {
+		d, ok := recover().(Diagnostic)
+		if !ok {
+			t.Fatal("want a Diagnostic panic")
+		}
+		if !strings.Contains(d.Error(), "never clears") {
+			t.Fatalf("diagnostic %q", d.Error())
+		}
+	}()
+	in.LinkReady(LinkIndex(0, DirEast), 0)
+	t.Fatal("LinkReady returned from a permanent outage")
+}
+
+func TestSlowdownPicksStrongestWindow(t *testing.T) {
+	p := &Plan{Links: []LinkFault{
+		{Node: 0, Dir: "east", Slowdown: 2, Window: Window{EndNs: 1000}},
+		{Node: 0, Dir: "east", Slowdown: 5, Window: Window{EndNs: 500}},
+	}}
+	in := NewInjector(p, 4, 4)
+	l := LinkIndex(0, DirEast)
+	if got := in.LinkOccupy(l, 100, 62); got != 310 {
+		t.Fatalf("overlap occupancy = %d, want 62*5 = 310", got)
+	}
+	if got := in.LinkOccupy(l, 700, 62); got != 124 {
+		t.Fatalf("single-window occupancy = %d, want 62*2 = 124", got)
+	}
+	if got := in.LinkOccupy(l, 2000, 62); got != 62 {
+		t.Fatalf("post-window occupancy = %d, want 62", got)
+	}
+	st := in.Stats()
+	if st.SlowedHops != 2 || st.SlowNs != (310-62)+(124-62) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHotAndNodeExtras(t *testing.T) {
+	p := &Plan{
+		Dirs:  []HotFault{{Node: 1, Window: Window{EndNs: 100}, ExtraNs: 60}},
+		Banks: []HotFault{{Node: 2, Bank: 3, Window: Window{EndNs: 100}, ExtraNs: 30}},
+		Nodes: []NodeFault{{Node: -1, Window: Window{EndNs: 100}, ExtraNs: 400}},
+	}
+	in := NewInjector(p, 4, 4)
+	if got := in.DirExtra(1, 50); got != 60 {
+		t.Errorf("DirExtra(1) = %d", got)
+	}
+	if got := in.DirExtra(0, 50); got != 0 {
+		t.Errorf("DirExtra(0) = %d", got)
+	}
+	if got := in.BankExtra(2, 3, 50); got != 30 {
+		t.Errorf("BankExtra(2,3) = %d", got)
+	}
+	if got := in.BankExtra(2, 0, 50); got != 0 {
+		t.Errorf("BankExtra(2,0) = %d", got)
+	}
+	// Node -1 selects every node.
+	if in.NodeExtra(0, 50) != 400 || in.NodeExtra(15, 50) != 400 {
+		t.Error("node -1 fault must afflict every node")
+	}
+	st := in.Stats()
+	if st.DirHotNs != 60 || st.BankHotNs != 30 || st.DegradedMisses != 2 || st.NodeDegNs != 800 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Events() != st.Nacks+st.SlowedHops+st.DegradedMisses {
+		t.Fatal("Events() out of sync with the counters")
+	}
+}
+
+func TestRetryDefaults(t *testing.T) {
+	p := &Plan{}
+	if r := p.retry(); r != DefaultRetry() {
+		t.Fatalf("zero retry = %+v, want default", r)
+	}
+	p.Retry = Retry{BaseNs: 5000} // cap below base: lift cap to base
+	if r := p.retry(); r.CapNs != 5000 {
+		t.Fatalf("cap = %d, want lifted to base 5000", r.CapNs)
+	}
+}

@@ -1,0 +1,328 @@
+package fault
+
+import (
+	"fmt"
+
+	"costcache/internal/obs"
+)
+
+// Mesh link indexing. The mesh reserves one directional link per (node,
+// direction) pair and indexes them node*LinksPerNode + dir; the mesh package
+// aliases these constants so the injector and the network agree on the
+// encoding.
+const (
+	DirEast = iota
+	DirWest
+	DirNorth
+	DirSouth
+	LinksPerNode
+)
+
+// LinkIndex returns the mesh's index of node's outgoing link in direction d.
+func LinkIndex(node, d int) int { return node*LinksPerNode + d }
+
+func dirsOf(name string) []int {
+	switch name {
+	case "east":
+		return []int{DirEast}
+	case "west":
+		return []int{DirWest}
+	case "north":
+		return []int{DirNorth}
+	case "south":
+		return []int{DirSouth}
+	}
+	return []int{DirEast, DirWest, DirNorth, DirSouth}
+}
+
+type slowWin struct {
+	Window
+	factor float64
+}
+
+type extraWin struct {
+	Window
+	extra int64
+}
+
+// Stats counts what the injector actually did to a run. All figures are in
+// simulated nanoseconds or event counts.
+type Stats struct {
+	// Nacks counts messages bounced by an outage link; Retries the resends
+	// (one per NACK); BackoffNs the total simulated time spent backing off.
+	Nacks, Retries, BackoffNs int64
+	// SlowedHops counts link traversals that paid a slowdown; SlowNs the
+	// total extra occupancy those traversals paid.
+	SlowedHops, SlowNs int64
+	// DirHotNs and BankHotNs are the extra occupancy injected into hot
+	// directory engines and memory banks.
+	DirHotNs, BankHotNs int64
+	// DegradedMisses counts L2 misses issued inside a node-degradation
+	// window; NodeDegNs the total extra latency they paid.
+	DegradedMisses, NodeDegNs int64
+}
+
+// Events returns the total count of injected fault events.
+func (s Stats) Events() int64 {
+	return s.Nacks + s.SlowedHops + s.DegradedMisses
+}
+
+// Metrics are the injector's observability instruments (nil when detached;
+// faulted paths pay one nil check).
+type Metrics struct {
+	Nacks, Retries, BackoffNs *obs.Counter
+	SlowedHops, SlowNs        *obs.Counter
+	DirHotNs, BankHotNs       *obs.Counter
+	DegradedMisses, NodeDegNs *obs.Counter
+}
+
+// Injector compiles a Plan into per-link and per-node window lists the
+// timing models query on their hot paths. Queries are pure functions of
+// (plan, time) except for the statistics counters, so runs stay
+// deterministic. An injector belongs to one run; build a fresh one per run
+// so counters do not mix.
+type Injector struct {
+	plan  *Plan
+	retry Retry
+
+	linkOut  [][]Window   // by link index
+	linkSlow [][]slowWin  // by link index
+	dirHot   [][]extraWin // by node
+	bankHot  [][]extraWin // by node*banks+bank
+	nodeDeg  [][]extraWin // by node
+	banks    int
+
+	st  Stats
+	met *Metrics
+
+	// Watchdog, when non-nil, is ticked from the NACK-retry loop so a
+	// zero-progress retry storm is detected instead of spinning forever.
+	Watchdog *Watchdog
+}
+
+// NewInjector compiles plan for a dim x dim mesh with banks memory banks per
+// node. The plan must already be validated.
+func NewInjector(plan *Plan, dim, banks int) *Injector {
+	nodes := dim * dim
+	in := &Injector{
+		plan:     plan,
+		retry:    plan.retry(),
+		linkOut:  make([][]Window, nodes*LinksPerNode),
+		linkSlow: make([][]slowWin, nodes*LinksPerNode),
+		dirHot:   make([][]extraWin, nodes),
+		bankHot:  make([][]extraWin, nodes*banks),
+		nodeDeg:  make([][]extraWin, nodes),
+		banks:    banks,
+	}
+	eachNode := func(sel int, f func(node int)) {
+		if sel >= 0 {
+			if sel < nodes {
+				f(sel)
+			}
+			return
+		}
+		for n := 0; n < nodes; n++ {
+			f(n)
+		}
+	}
+	for _, lf := range plan.Links {
+		lf := lf
+		eachNode(lf.Node, func(node int) {
+			for _, d := range dirsOf(lf.Dir) {
+				l := LinkIndex(node, d)
+				if lf.Outage {
+					in.linkOut[l] = append(in.linkOut[l], lf.Window)
+				} else {
+					in.linkSlow[l] = append(in.linkSlow[l], slowWin{lf.Window, lf.Slowdown})
+				}
+			}
+		})
+	}
+	for _, df := range plan.Dirs {
+		df := df
+		eachNode(df.Node, func(node int) {
+			in.dirHot[node] = append(in.dirHot[node], extraWin{df.Window, df.ExtraNs})
+		})
+	}
+	for _, bf := range plan.Banks {
+		bf := bf
+		eachNode(bf.Node, func(node int) {
+			for b := 0; b < banks; b++ {
+				if bf.Bank >= 0 && bf.Bank != b {
+					continue
+				}
+				in.bankHot[node*banks+b] = append(in.bankHot[node*banks+b], extraWin{bf.Window, bf.ExtraNs})
+			}
+		})
+	}
+	for _, nf := range plan.Nodes {
+		nf := nf
+		eachNode(nf.Node, func(node int) {
+			in.nodeDeg[node] = append(in.nodeDeg[node], extraWin{nf.Window, nf.ExtraNs})
+		})
+	}
+	return in
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() Stats { return in.st }
+
+// AttachMetrics registers the injector's counters in reg under fault_nacks,
+// fault_retries, fault_backoff_ns, fault_slowed_hops, fault_slow_ns,
+// fault_dir_hot_ns, fault_bank_hot_ns, fault_degraded_misses and
+// fault_node_degraded_ns. Pass nil to detach.
+func (in *Injector) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		in.met = nil
+		return
+	}
+	in.met = &Metrics{
+		Nacks:          reg.Counter("fault_nacks"),
+		Retries:        reg.Counter("fault_retries"),
+		BackoffNs:      reg.Counter("fault_backoff_ns"),
+		SlowedHops:     reg.Counter("fault_slowed_hops"),
+		SlowNs:         reg.Counter("fault_slow_ns"),
+		DirHotNs:       reg.Counter("fault_dir_hot_ns"),
+		BankHotNs:      reg.Counter("fault_bank_hot_ns"),
+		DegradedMisses: reg.Counter("fault_degraded_misses"),
+		NodeDegNs:      reg.Counter("fault_node_degraded_ns"),
+	}
+}
+
+// maxRetryAttempts bounds the NACK-retry loop for one message. Validated
+// plans always clear (every outage window ends or has an idle gap), but
+// overlapping periodic windows can tile simulated time completely; at the
+// backoff cap this limit is hit after seconds of simulated time, far beyond
+// any transient, so tripping it means the plan describes a permanent outage.
+const maxRetryAttempts = 1 << 20
+
+// LinkReady returns the first time at or after t the link accepts a flit
+// train. While an outage window covers the attempt, the message is NACKed
+// and the sender retries with exponential backoff (retry.BaseNs doubling up
+// to retry.CapNs). If the outage never clears (overlapping windows covering
+// all of simulated time), the loop panics with a Diagnostic instead of
+// spinning forever.
+func (in *Injector) LinkReady(l int, t int64) int64 {
+	wins := in.linkOut[l]
+	if len(wins) == 0 {
+		return t
+	}
+	b := in.retry.BaseNs
+	for attempts := 0; ; {
+		down := false
+		for _, w := range wins {
+			if w.Active(t) {
+				down = true
+				break
+			}
+		}
+		if !down {
+			return t
+		}
+		if attempts++; attempts > maxRetryAttempts {
+			panic(Diagnostic{
+				SimNs:      t,
+				Events:     in.st.Nacks,
+				StuckTicks: int64(attempts),
+				Detail:     fmt.Sprintf("fault: link %d outage never clears; message cannot make progress", l),
+			})
+		}
+		in.st.Nacks++
+		in.st.Retries++
+		in.st.BackoffNs += b
+		if in.met != nil {
+			in.met.Nacks.Inc()
+			in.met.Retries.Inc()
+			in.met.BackoffNs.Add(b)
+		}
+		t += b
+		if b < in.retry.CapNs {
+			b *= 2
+			if b > in.retry.CapNs {
+				b = in.retry.CapNs
+			}
+		}
+		in.Watchdog.Tick(t)
+	}
+}
+
+// LinkOccupy returns the (possibly inflated) occupancy of a link traversal
+// starting at t: the strongest active slowdown window multiplies the base
+// occupancy.
+func (in *Injector) LinkOccupy(l int, t, occupy int64) int64 {
+	wins := in.linkSlow[l]
+	if len(wins) == 0 {
+		return occupy
+	}
+	factor := 1.0
+	for _, w := range wins {
+		if w.Active(t) && w.factor > factor {
+			factor = w.factor
+		}
+	}
+	if factor <= 1 {
+		return occupy
+	}
+	slowed := int64(float64(occupy) * factor)
+	in.st.SlowedHops++
+	in.st.SlowNs += slowed - occupy
+	if in.met != nil {
+		in.met.SlowedHops.Inc()
+		in.met.SlowNs.Add(slowed - occupy)
+	}
+	return slowed
+}
+
+func sumExtra(wins []extraWin, t int64) int64 {
+	var extra int64
+	for _, w := range wins {
+		if w.Active(t) {
+			extra += w.extra
+		}
+	}
+	return extra
+}
+
+// DirExtra returns the extra occupancy a directory access at node pays at
+// time t (hot-directory windows).
+func (in *Injector) DirExtra(node int, t int64) int64 {
+	extra := sumExtra(in.dirHot[node], t)
+	if extra > 0 {
+		in.st.DirHotNs += extra
+		if in.met != nil {
+			in.met.DirHotNs.Add(extra)
+		}
+	}
+	return extra
+}
+
+// BankExtra returns the extra occupancy a memory-bank access at (node, bank)
+// pays at time t (hot-bank windows).
+func (in *Injector) BankExtra(node, bank int, t int64) int64 {
+	extra := sumExtra(in.bankHot[node*in.banks+bank], t)
+	if extra > 0 {
+		in.st.BankHotNs += extra
+		if in.met != nil {
+			in.met.BankHotNs.Add(extra)
+		}
+	}
+	return extra
+}
+
+// NodeExtra returns the extra latency an L2 miss issued by node at time t
+// pays (whole-node degradation windows).
+func (in *Injector) NodeExtra(node int, t int64) int64 {
+	extra := sumExtra(in.nodeDeg[node], t)
+	if extra > 0 {
+		in.st.DegradedMisses++
+		in.st.NodeDegNs += extra
+		if in.met != nil {
+			in.met.DegradedMisses.Inc()
+			in.met.NodeDegNs.Add(extra)
+		}
+	}
+	return extra
+}

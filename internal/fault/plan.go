@@ -1,0 +1,267 @@
+// Package fault is the deterministic fault-injection subsystem: a seed-driven
+// fault Plan (JSON-loadable or generated from a named scenario) describes
+// transient and persistent degradations of the simulated machine — per-link
+// slowdowns and outages (with NACK-and-retry plus capped exponential backoff
+// in the mesh), hot directory and memory-bank windows in the coherence
+// engine, and whole-node latency degradation windows in the simulator — and
+// an Injector compiles the plan into cheap point queries the timing models
+// consult. A no-progress Watchdog fails a run with a diagnostic dump when
+// simulated time and the event count both stop advancing.
+//
+// Everything is a pure function of the plan and the queried time, so two runs
+// with the same seed and plan are bit-identical, and an empty plan is
+// bit-identical with an un-faulted run. See docs/FAULTS.md for the JSON
+// schema and injection points.
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Window is a simulated-time activity interval in nanoseconds. A zero
+// PeriodNs means one-shot: active during [StartNs, EndNs). A positive
+// PeriodNs repeats the interval: active whenever
+// (t-StartNs) mod PeriodNs < EndNs-StartNs (and t >= StartNs), which makes
+// plans independent of the run's total length.
+type Window struct {
+	StartNs  int64 `json:"start_ns"`
+	EndNs    int64 `json:"end_ns"`
+	PeriodNs int64 `json:"period_ns,omitempty"`
+}
+
+// Active reports whether the window covers simulated time t.
+func (w Window) Active(t int64) bool {
+	if t < w.StartNs {
+		return false
+	}
+	if w.PeriodNs <= 0 {
+		return t < w.EndNs
+	}
+	return (t-w.StartNs)%w.PeriodNs < w.EndNs-w.StartNs
+}
+
+// End returns the end of the active interval covering t (the time the fault
+// clears). Callers must only use it when Active(t) is true.
+func (w Window) End(t int64) int64 {
+	if w.PeriodNs <= 0 {
+		return w.EndNs
+	}
+	k := (t - w.StartNs) / w.PeriodNs
+	return w.StartNs + k*w.PeriodNs + (w.EndNs - w.StartNs)
+}
+
+func (w Window) validate(kind string) error {
+	if w.EndNs <= w.StartNs {
+		return fmt.Errorf("fault: %s window [%d,%d) is empty", kind, w.StartNs, w.EndNs)
+	}
+	if w.StartNs < 0 {
+		return fmt.Errorf("fault: %s window starts before t=0", kind)
+	}
+	if w.PeriodNs > 0 && w.PeriodNs < w.EndNs-w.StartNs {
+		return fmt.Errorf("fault: %s window period %d shorter than its duration", kind, w.PeriodNs)
+	}
+	return nil
+}
+
+// LinkFault degrades mesh links. Node selects the link's source node (-1 for
+// every node); Dir is east, west, north, south or any. During the window an
+// Outage link NACKs messages, which retry with capped exponential backoff;
+// otherwise Slowdown (> 1) multiplies the link's occupancy time.
+type LinkFault struct {
+	Node int    `json:"node"`
+	Dir  string `json:"dir"`
+	Window
+	Slowdown float64 `json:"slowdown,omitempty"`
+	Outage   bool    `json:"outage,omitempty"`
+}
+
+// HotFault makes a node-local resource (home directory engine or a memory
+// bank) slower: ExtraNs is added to every access occupancy during the
+// window. Node -1 selects every node; for banks, Bank -1 selects every bank.
+type HotFault struct {
+	Node int `json:"node"`
+	Bank int `json:"bank,omitempty"`
+	Window
+	ExtraNs int64 `json:"extra_ns"`
+}
+
+// NodeFault degrades a whole node: every L2 miss the node issues during the
+// window pays ExtraNs before the coherence transaction starts (a slow local
+// pipeline, thermal throttling, a sick NIC). Node -1 selects every node.
+type NodeFault struct {
+	Node int `json:"node"`
+	Window
+	ExtraNs int64 `json:"extra_ns"`
+}
+
+// Retry tunes the NACK-and-retry backoff of outage links: the first retry
+// waits BaseNs, each further retry doubles the wait up to CapNs.
+type Retry struct {
+	BaseNs int64 `json:"base_ns"`
+	CapNs  int64 `json:"cap_ns"`
+}
+
+// DefaultRetry is used when a plan leaves Retry zero: first retry after
+// 50 ns, doubling to a 3200 ns cap.
+func DefaultRetry() Retry { return Retry{BaseNs: 50, CapNs: 3200} }
+
+// Plan is a complete fault schedule. The zero value is the empty plan, which
+// injects nothing and is guaranteed bit-identical with an un-faulted run.
+type Plan struct {
+	// Name labels the plan in tables and manifests (scenario name or file).
+	Name string `json:"name,omitempty"`
+	// Seed records the generator seed for scenario-built plans.
+	Seed  uint64      `json:"seed,omitempty"`
+	Links []LinkFault `json:"links,omitempty"`
+	Dirs  []HotFault  `json:"dirs,omitempty"`
+	Banks []HotFault  `json:"banks,omitempty"`
+	Nodes []NodeFault `json:"nodes,omitempty"`
+	Retry Retry       `json:"retry,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Links)+len(p.Dirs)+len(p.Banks)+len(p.Nodes) == 0
+}
+
+// retry returns the effective backoff parameters.
+func (p *Plan) retry() Retry {
+	r := p.Retry
+	if r.BaseNs <= 0 {
+		r.BaseNs = DefaultRetry().BaseNs
+	}
+	if r.CapNs < r.BaseNs {
+		r.CapNs = DefaultRetry().CapNs
+		if r.CapNs < r.BaseNs {
+			r.CapNs = r.BaseNs
+		}
+	}
+	return r
+}
+
+// Validate checks the plan's structural invariants. A valid plan can always
+// make progress: outage windows are finite (or periodic with idle gaps) and
+// backoff is strictly positive, so every NACKed message eventually transits.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, l := range p.Links {
+		if err := l.validate(fmt.Sprintf("links[%d]", i)); err != nil {
+			return err
+		}
+		switch l.Dir {
+		case "east", "west", "north", "south", "any":
+		default:
+			return fmt.Errorf("fault: links[%d] dir %q (want east|west|north|south|any)", i, l.Dir)
+		}
+		if !l.Outage && l.Slowdown <= 1 {
+			return fmt.Errorf("fault: links[%d] needs outage or slowdown > 1", i)
+		}
+		if l.Outage && l.PeriodNs <= 0 && l.EndNs-l.StartNs > 1<<40 {
+			return fmt.Errorf("fault: links[%d] outage longer than 2^40 ns would stall the run", i)
+		}
+		if l.Outage && l.PeriodNs > 0 && l.PeriodNs == l.EndNs-l.StartNs {
+			return fmt.Errorf("fault: links[%d] periodic outage with no idle gap never clears", i)
+		}
+		if l.Node < -1 {
+			return fmt.Errorf("fault: links[%d] node %d", i, l.Node)
+		}
+	}
+	for i, d := range p.Dirs {
+		if err := d.validate(fmt.Sprintf("dirs[%d]", i)); err != nil {
+			return err
+		}
+		if d.ExtraNs <= 0 {
+			return fmt.Errorf("fault: dirs[%d] needs extra_ns > 0", i)
+		}
+		if d.Node < -1 {
+			return fmt.Errorf("fault: dirs[%d] node %d", i, d.Node)
+		}
+	}
+	for i, b := range p.Banks {
+		if err := b.validate(fmt.Sprintf("banks[%d]", i)); err != nil {
+			return err
+		}
+		if b.ExtraNs <= 0 {
+			return fmt.Errorf("fault: banks[%d] needs extra_ns > 0", i)
+		}
+		if b.Node < -1 || b.Bank < -1 {
+			return fmt.Errorf("fault: banks[%d] node %d bank %d", i, b.Node, b.Bank)
+		}
+	}
+	for i, n := range p.Nodes {
+		if err := n.validate(fmt.Sprintf("nodes[%d]", i)); err != nil {
+			return err
+		}
+		if n.ExtraNs <= 0 {
+			return fmt.Errorf("fault: nodes[%d] needs extra_ns > 0", i)
+		}
+		if n.Node < -1 {
+			return fmt.Errorf("fault: nodes[%d] node %d", i, n.Node)
+		}
+	}
+	if p.Retry.BaseNs < 0 || p.Retry.CapNs < 0 {
+		return fmt.Errorf("fault: negative retry backoff")
+	}
+	return nil
+}
+
+// Hash returns the hex SHA-256 of the plan's canonical JSON encoding, the
+// identity manifests record so two runs can be compared fault-for-fault. The
+// empty plan hashes to "".
+func (p *Plan) Hash() string {
+	if p.Empty() {
+		return ""
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("fault: hash encoding: %v", err)) // plan types are always encodable
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseJSON decodes and validates a plan document.
+func ParseJSON(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadFile loads and validates a plan from a JSON file.
+func ReadFile(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if p.Name == "" {
+		p.Name = path
+	}
+	return p, nil
+}
+
+// WriteFile marshals the plan (indented, trailing newline) to path.
+func (p *Plan) WriteFile(path string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Scenario periods: faults recur every cycleNs with a scenario-specific duty
+// so plans stress any run length — a quick smoke (a couple of simulated
+// milliseconds) sees dozens of fault windows, a full run thousands.
+const cycleNs = 100_000
+
+// scenarios maps each named degradation scenario to its generator.
+var scenarios = map[string]func(r *rand.Rand, dim int, p *Plan){
+	// link-brownout: three nodes' outgoing links run 3-6x slower in
+	// recurring windows — every remote message those nodes send is hit.
+	"link-brownout": func(r *rand.Rand, dim int, p *Plan) {
+		for _, node := range pickNodes(r, dim*dim, 3) {
+			start := int64(r.Intn(cycleNs / 2))
+			p.Links = append(p.Links, LinkFault{
+				Node:     node,
+				Dir:      "any",
+				Window:   Window{StartNs: start, EndNs: start + cycleNs/2, PeriodNs: cycleNs},
+				Slowdown: 3 + float64(r.Intn(4)),
+			})
+		}
+	},
+	// link-outage: two nodes' outgoing links go dark for a quarter of every
+	// cycle; their traffic NACKs and retries with capped exponential
+	// backoff.
+	"link-outage": func(r *rand.Rand, dim int, p *Plan) {
+		for _, node := range pickNodes(r, dim*dim, 2) {
+			start := int64(r.Intn(cycleNs / 2))
+			p.Links = append(p.Links, LinkFault{
+				Node:   node,
+				Dir:    "any",
+				Window: Window{StartNs: start, EndNs: start + cycleNs/4, PeriodNs: cycleNs},
+				Outage: true,
+			})
+		}
+	},
+	// hot-dir: a quarter of the home directories run hot (every lookup pays
+	// extra occupancy) for half of every cycle.
+	"hot-dir": func(r *rand.Rand, dim int, p *Plan) {
+		nodes := dim * dim
+		for _, node := range pickNodes(r, nodes, (nodes+3)/4) {
+			start := int64(r.Intn(cycleNs / 2))
+			p.Dirs = append(p.Dirs, HotFault{
+				Node:    node,
+				Window:  Window{StartNs: start, EndNs: start + cycleNs/2, PeriodNs: cycleNs},
+				ExtraNs: 100 + int64(r.Intn(200)),
+			})
+		}
+	},
+	// hot-bank: a quarter of the nodes' memory banks stall on every access
+	// for a third of every cycle.
+	"hot-bank": func(r *rand.Rand, dim int, p *Plan) {
+		nodes := dim * dim
+		for _, node := range pickNodes(r, nodes, (nodes+3)/4) {
+			start := int64(r.Intn(cycleNs / 2))
+			p.Banks = append(p.Banks, HotFault{
+				Node:    node,
+				Bank:    -1,
+				Window:  Window{StartNs: start, EndNs: start + cycleNs/3, PeriodNs: cycleNs},
+				ExtraNs: 120 + int64(r.Intn(120)),
+			})
+		}
+	},
+	// slow-node: three whole nodes degrade — every L2 miss they issue pays
+	// a few hundred extra nanoseconds — for half of every cycle.
+	"slow-node": func(r *rand.Rand, dim int, p *Plan) {
+		for _, node := range pickNodes(r, dim*dim, 3) {
+			start := int64(r.Intn(cycleNs / 2))
+			p.Nodes = append(p.Nodes, NodeFault{
+				Node:    node,
+				Window:  Window{StartNs: start, EndNs: start + cycleNs/2, PeriodNs: cycleNs},
+				ExtraNs: 300 + int64(r.Intn(500)),
+			})
+		}
+	},
+}
+
+// pickNodes draws k distinct node ids from the lower half of the mesh. The
+// paper's workloads run 8 processors on the 16-node mesh and first-touch
+// homes land on the active processors, so low node ids are where faults
+// actually meet traffic; an unbiased draw regularly afflicts idle corners.
+func pickNodes(r *rand.Rand, nodes, k int) []int {
+	if nodes > 2 {
+		nodes /= 2
+	}
+	if k > nodes {
+		k = nodes
+	}
+	return r.Perm(nodes)[:k]
+}
+
+// ScenarioNames lists the named scenarios, sorted, with "mixed" last.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios)+1)
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return append(names, "mixed")
+}
+
+// Scenario builds a deterministic plan for a named degradation scenario on a
+// dim x dim mesh. The same (name, seed, dim) always yields the same plan;
+// different seeds vary the afflicted links, nodes and window phases. "mixed"
+// layers every scenario into one plan.
+func Scenario(name string, seed uint64, dim int) (*Plan, error) {
+	p := &Plan{Name: name, Seed: seed, Retry: DefaultRetry()}
+	r := rand.New(rand.NewSource(int64(seed)*2654435761 + int64(dim)))
+	if name == "mixed" {
+		for _, n := range ScenarioNames() {
+			if gen, ok := scenarios[n]; ok {
+				gen(r, dim, p)
+			}
+		}
+	} else {
+		gen, ok := scenarios[name]
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown scenario %q (valid: %s)",
+				name, strings.Join(ScenarioNames(), ", "))
+		}
+		gen(r, dim, p)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

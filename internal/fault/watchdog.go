@@ -1,0 +1,94 @@
+package fault
+
+import "fmt"
+
+// Diagnostic is the state dump a stalled watchdog reports.
+type Diagnostic struct {
+	// SimNs is the simulated time the run froze at; Events the progress
+	// counter's final value; StuckTicks how many consecutive ticks saw
+	// neither advance.
+	SimNs      int64
+	Events     int64
+	StuckTicks int64
+	// Detail is the run's own dump (reference counts, injector statistics),
+	// when a Dump hook was installed.
+	Detail string
+}
+
+// Error implements error.
+func (d Diagnostic) Error() string {
+	s := fmt.Sprintf("fault: watchdog: no progress for %d ticks at sim time %d ns (%d events)",
+		d.StuckTicks, d.SimNs, d.Events)
+	if d.Detail != "" {
+		s += "\n" + d.Detail
+	}
+	return s
+}
+
+// Watchdog detects livelock: a run that stops advancing either simulated
+// time or its event counter. Progress points call Event (a completed unit of
+// work) and Tick (with the current simulated time); when Limit consecutive
+// ticks observe neither a later time nor a larger event count, the watchdog
+// calls OnStall with a Diagnostic (default: panic), failing the run instead
+// of spinning forever.
+//
+// The watchdog is deterministic — it watches simulated, not wall-clock,
+// time — so it never perturbs results and fires identically on every run.
+// A nil *Watchdog is inert: every method is a no-op.
+type Watchdog struct {
+	// Limit is the stuck-tick threshold (default 1<<20). Legitimate ticks at
+	// an unchanged simulated time (two references issued in the same cycle)
+	// are common, so the limit must be far above any real burst.
+	Limit int64
+	// OnStall handles the stall (default: panic with the Diagnostic).
+	OnStall func(Diagnostic)
+	// Dump, when set, contributes the run's own state to the Diagnostic.
+	Dump func() string
+
+	events  int64
+	lastT   int64
+	lastEv  int64
+	stuck   int64
+	started bool
+	fired   bool
+}
+
+// Event records one unit of completed work (a retired reference, a finished
+// transaction). Advancing the event count counts as progress even when
+// simulated time stands still.
+func (w *Watchdog) Event() {
+	if w == nil {
+		return
+	}
+	w.events++
+}
+
+// Tick checks progress at simulated time simNs. If neither time nor the
+// event count advanced for Limit consecutive ticks, the watchdog fires.
+func (w *Watchdog) Tick(simNs int64) {
+	if w == nil {
+		return
+	}
+	if !w.started || simNs > w.lastT || w.events > w.lastEv {
+		w.started = true
+		w.lastT, w.lastEv, w.stuck = simNs, w.events, 0
+		return
+	}
+	w.stuck++
+	limit := w.Limit
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	if w.stuck >= limit && !w.fired {
+		w.fired = true
+		d := Diagnostic{SimNs: simNs, Events: w.events, StuckTicks: w.stuck}
+		if w.Dump != nil {
+			d.Detail = w.Dump()
+		}
+		if w.OnStall != nil {
+			w.OnStall(d)
+			return
+		}
+		panic(d)
+	}
+}

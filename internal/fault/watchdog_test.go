@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWatchdogFiresOnLivelock(t *testing.T) {
+	var got *Diagnostic
+	w := &Watchdog{
+		Limit:   10,
+		OnStall: func(d Diagnostic) { got = &d },
+		Dump:    func() string { return "retry storm on link 3" },
+	}
+	// Simulated time frozen at 500 and no events: the 11th tick at the same
+	// time is the Limit-th consecutive stuck tick.
+	for i := 0; i < 11; i++ {
+		w.Tick(500)
+	}
+	if got == nil {
+		t.Fatal("watchdog never fired")
+	}
+	if got.SimNs != 500 || got.StuckTicks < 10 {
+		t.Fatalf("diagnostic = %+v", got)
+	}
+	if !strings.Contains(got.Error(), "retry storm on link 3") {
+		t.Fatalf("diagnostic %q is missing the Dump detail", got.Error())
+	}
+	// Once fired, it does not fire again for the same stall.
+	fired := *got
+	for i := 0; i < 5; i++ {
+		w.Tick(500)
+	}
+	if *got != fired {
+		t.Fatal("watchdog fired twice for one stall")
+	}
+}
+
+func TestWatchdogProgressResets(t *testing.T) {
+	w := &Watchdog{Limit: 5, OnStall: func(d Diagnostic) { t.Fatalf("fired: %+v", d) }}
+	// Advancing simulated time is progress.
+	for i := int64(0); i < 100; i++ {
+		w.Tick(i)
+	}
+	// Frozen time with advancing events is also progress.
+	for i := 0; i < 100; i++ {
+		w.Event()
+		w.Tick(100)
+	}
+	// Almost stall, then progress: the counter must reset.
+	for i := 0; i < 4; i++ {
+		w.Tick(100)
+	}
+	w.Event()
+	for i := 0; i < 4; i++ {
+		w.Tick(100)
+	}
+}
+
+func TestWatchdogPanicsByDefault(t *testing.T) {
+	w := &Watchdog{Limit: 3}
+	defer func() {
+		if _, ok := recover().(Diagnostic); !ok {
+			t.Fatal("want a Diagnostic panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		w.Tick(7)
+	}
+	t.Fatal("watchdog never fired")
+}
+
+func TestWatchdogNilSafe(t *testing.T) {
+	var w *Watchdog
+	w.Event()
+	w.Tick(42)
+}

@@ -1,0 +1,49 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInterruptedRoundTrip(t *testing.T) {
+	m := New("test")
+	m.SetConfig("bench", "Barnes")
+	m.SetMetric("refs", 123)
+	m.MarkInterrupted()
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"interrupted": true`) {
+		t.Fatal("interrupted flag missing from the JSON document")
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Interrupted {
+		t.Fatal("interrupted flag lost in the round trip")
+	}
+}
+
+func TestUninterruptedOmitsFlag(t *testing.T) {
+	m := New("test")
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "interrupted") {
+		t.Fatal("complete run's manifest mentions interruption")
+	}
+}

@@ -32,6 +32,11 @@ type Manifest struct {
 	Args    []string `json:"args,omitempty"`
 	// CreatedUTC is the RFC 3339 creation time in UTC.
 	CreatedUTC string `json:"created_utc"`
+	// Interrupted marks a partial manifest: the run was stopped early
+	// (SIGINT/SIGTERM) and flushed what it had. Metrics cover only the work
+	// completed before the stop, so regression diffs should not treat them
+	// as a full run's figures.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// GitRev is the repository revision ("" when not in a git checkout).
 	GitRev string `json:"git_rev,omitempty"`
 	// Config are the run parameters as rendered strings (flag values,
@@ -67,6 +72,10 @@ func gitRev() string {
 	}
 	return strings.TrimSpace(string(out))
 }
+
+// MarkInterrupted flags the manifest as a partial flush of an interrupted
+// run.
+func (m *Manifest) MarkInterrupted() { m.Interrupted = true }
 
 // SetConfig records one configuration parameter.
 func (m *Manifest) SetConfig(key string, value any) {

@@ -1,0 +1,125 @@
+package mesh
+
+import (
+	"testing"
+
+	"costcache/internal/fault"
+)
+
+func TestOutageNacksAndDelays(t *testing.T) {
+	p := &fault.Plan{
+		Links: []fault.LinkFault{{Node: 0, Dir: "east", Outage: true,
+			Window: fault.Window{EndNs: 2000}}},
+		Retry: fault.Retry{BaseNs: 50, CapNs: 3200},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Default())
+	m.SetFaults(fault.NewInjector(p, Default().Dim, 4))
+
+	unfaulted := New(Default()).Send(0, 1, CtrlFlits, 0)
+	got := m.Send(0, 1, CtrlFlits, 0)
+	if got <= unfaulted {
+		t.Fatalf("outage send arrived at %d, unfaulted at %d: no delay", got, unfaulted)
+	}
+	// The hop itself begins only after the outage clears at t=2000.
+	if got < 2000 {
+		t.Fatalf("arrived at %d, inside the outage window", got)
+	}
+
+	// A message after the window pays nothing (occupancy from the first send
+	// aside, on a fresh mesh).
+	m2 := New(Default())
+	m2.SetFaults(fault.NewInjector(p, Default().Dim, 4))
+	if late := m2.Send(0, 1, CtrlFlits, 5000); late-5000 != unfaulted {
+		t.Fatalf("post-outage latency %d, want unfaulted %d", late-5000, unfaulted)
+	}
+
+	// The return path 1 -> 0 uses node 1's west link, not node 0's east link.
+	m3 := New(Default())
+	m3.SetFaults(fault.NewInjector(p, Default().Dim, 4))
+	if back := m3.Send(1, 0, CtrlFlits, 0); back != unfaulted {
+		t.Fatalf("reverse direction delayed: %d, want %d", back, unfaulted)
+	}
+}
+
+func TestOutageRetryCountersAccumulate(t *testing.T) {
+	p := &fault.Plan{
+		Links: []fault.LinkFault{{Node: 0, Dir: "east", Outage: true,
+			Window: fault.Window{EndNs: 10_000}}},
+	}
+	in := fault.NewInjector(p, Default().Dim, 4)
+	m := New(Default())
+	m.SetFaults(in)
+	m.Send(0, 1, DataFlits, 0)
+	st := in.Stats()
+	if st.Nacks == 0 || st.Retries != st.Nacks || st.BackoffNs == 0 {
+		t.Fatalf("stats = %+v, want NACKs with matching retries and backoff", st)
+	}
+}
+
+func TestSlowdownInflatesLatency(t *testing.T) {
+	p := &fault.Plan{
+		Links: []fault.LinkFault{{Node: 0, Dir: "east", Slowdown: 4,
+			Window: fault.Window{EndNs: 1 << 30}}},
+	}
+	in := fault.NewInjector(p, Default().Dim, 4)
+	m := New(Default())
+	m.SetFaults(in)
+
+	// One hop east: NIRemote + 4*(HopDelay + 9*FlitDelay) = 102 + 4*62.
+	if got := m.Send(0, 1, DataFlits, 0); got != 102+4*62 {
+		t.Fatalf("slowed send arrived at %d, want %d", got, 102+4*62)
+	}
+	st := in.Stats()
+	if st.SlowedHops != 1 || st.SlowNs != 3*62 {
+		t.Fatalf("stats = %+v, want 1 slowed hop / %d extra ns", st, 3*62)
+	}
+	// The slowed occupancy also holds the link longer for the next message:
+	// it queues until the first train's inflated occupancy clears at 350,
+	// then pays its own inflated occupancy.
+	if second := m.Send(0, 1, DataFlits, 0); second != 350+4*62 {
+		t.Fatalf("second send arrived at %d, want %d", second, 350+4*62)
+	}
+}
+
+func TestEmptyPlanInjectorBitIdentical(t *testing.T) {
+	bare := New(Default())
+	faulted := New(Default())
+	faulted.SetFaults(fault.NewInjector(&fault.Plan{}, Default().Dim, 4))
+	pairs := [][2]int{{0, 5}, {2, 14}, {7, 7}, {15, 0}, {3, 12}}
+	for i, pair := range pairs {
+		at := int64(i * 37)
+		a := bare.Send(pair[0], pair[1], DataFlits, at)
+		b := faulted.Send(pair[0], pair[1], DataFlits, at)
+		if a != b {
+			t.Fatalf("Send(%v) differs with an empty plan: %d vs %d", pair, a, b)
+		}
+	}
+	am, af, aq := bare.Stats()
+	bm, bf, bq := faulted.Stats()
+	if am != bm || af != bf || aq != bq {
+		t.Fatal("stats differ with an empty plan")
+	}
+}
+
+func TestWatchdogTicksFromRetryLoop(t *testing.T) {
+	p := &fault.Plan{
+		Links: []fault.LinkFault{{Node: 0, Dir: "east", Outage: true,
+			Window: fault.Window{EndNs: 5000}}},
+	}
+	in := fault.NewInjector(p, Default().Dim, 4)
+	in.Watchdog = &fault.Watchdog{
+		Limit:   1 << 30,
+		OnStall: func(d fault.Diagnostic) { t.Fatalf("fired: %+v", d) },
+	}
+	// The retry loop ticks the watchdog with advancing backoff times, so a
+	// healthy (finite) outage never trips it.
+	m := New(Default())
+	m.SetFaults(in)
+	m.Send(0, 1, CtrlFlits, 0)
+	if st := in.Stats(); st.Nacks == 0 {
+		t.Fatal("no NACKs: the retry loop never ran")
+	}
+}

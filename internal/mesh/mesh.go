@@ -18,6 +18,7 @@ package mesh
 import (
 	"fmt"
 
+	"costcache/internal/fault"
 	"costcache/internal/obs"
 	"costcache/internal/obs/span"
 )
@@ -65,6 +66,7 @@ type Mesh struct {
 
 	met *Metrics
 	sp  *span.Span
+	flt *fault.Injector
 }
 
 // SetSpan directs per-hop recording of subsequent Sends into sp: every link
@@ -72,6 +74,13 @@ type Mesh struct {
 // miss-lifecycle tracer surfaces. Pass nil to stop recording. The un-traced
 // send path pays one nil check per link.
 func (m *Mesh) SetSpan(sp *span.Span) { m.sp = sp }
+
+// SetFaults attaches a fault injector: outage links NACK messages into the
+// injector's retry-with-backoff loop and slowdown windows inflate link
+// occupancy. Pass nil to detach; the un-faulted path pays one nil check per
+// link, and an injector compiled from an empty plan leaves every latency
+// bit-identical.
+func (m *Mesh) SetFaults(in *fault.Injector) { m.flt = in }
 
 // Metrics are the mesh's observability instruments (nil when detached; the
 // send path pays one nil check).
@@ -103,12 +112,14 @@ func (m *Mesh) AttachMetrics(reg *obs.Registry) {
 	}
 }
 
+// Directions alias the fault package's link encoding so injector plans and
+// the mesh agree on which physical link a (node, dir) pair names.
 const (
-	dirEast = iota
-	dirWest
-	dirNorth
-	dirSouth
-	numDirs
+	dirEast  = fault.DirEast
+	dirWest  = fault.DirWest
+	dirNorth = fault.DirNorth
+	dirSouth = fault.DirSouth
+	numDirs  = fault.LinksPerNode
 )
 
 // New builds a mesh with the given parameters.
@@ -176,6 +187,11 @@ func (m *Mesh) Send(src, dst, flits int, now int64) int64 {
 	var queued int64
 	for _, l := range m.route(src, dst) {
 		arrive := t
+		if m.flt != nil {
+			// An outage NACKs the message; the injector's retry loop walks t
+			// forward with capped exponential backoff until the link is up.
+			t = m.flt.LinkReady(l, t)
+		}
 		var backlog int64
 		if backlog = m.linkFree[l] - t; backlog > 0 {
 			m.queuedNs += backlog
@@ -188,6 +204,9 @@ func (m *Mesh) Send(src, dst, flits int, now int64) int64 {
 			backlog = 0
 		}
 		occupy := m.p.HopDelay + int64(flits)*m.p.FlitDelay
+		if m.flt != nil {
+			occupy = m.flt.LinkOccupy(l, t, occupy)
+		}
 		m.linkFree[l] = t + occupy
 		t += occupy
 		if m.sp != nil {

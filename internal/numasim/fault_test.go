@@ -1,0 +1,159 @@
+package numasim
+
+import (
+	"reflect"
+	"testing"
+
+	"costcache/internal/fault"
+)
+
+// TestEmptyPlanBitIdentical is the PR's hard invariant: a configured-but-empty
+// fault plan must leave every figure of the run bit-identical with a run that
+// never saw the fault subsystem.
+func TestEmptyPlanBitIdentical(t *testing.T) {
+	prog := smallProgram()
+	base := Run(prog, DefaultConfig(lruFactory))
+
+	cfg := DefaultConfig(lruFactory)
+	cfg.Faults = &fault.Plan{Name: "empty"}
+	faulted := Run(prog, cfg)
+
+	if faulted.Faults == nil {
+		t.Fatal("fault stats missing: the injector was not attached")
+	}
+	if *faulted.Faults != (fault.Stats{}) {
+		t.Fatalf("empty plan injected faults: %+v", *faulted.Faults)
+	}
+	faulted.Faults = nil
+	if !reflect.DeepEqual(base, faulted) {
+		t.Fatalf("empty plan perturbed the run:\nbase    %+v\nfaulted %+v", base, faulted)
+	}
+}
+
+// TestFaultedRunReproducible: same program, same plan, same seed — the whole
+// Result must be bit-identical across runs.
+func TestFaultedRunReproducible(t *testing.T) {
+	plan, err := fault.Scenario("mixed", 7, DefaultConfig(nil).Net.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := smallProgram()
+	run := func() Result {
+		cfg := DefaultConfig(lruFactory)
+		cfg.Faults = plan
+		return Run(prog, cfg)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan, different results:\na %+v\nb %+v", a, b)
+	}
+	if a.Faults.Events() == 0 {
+		t.Fatal("mixed scenario injected nothing")
+	}
+}
+
+// TestFaultsDegradeExecution: an outage plan must slow the run down and the
+// counters must show why.
+func TestFaultsDegradeExecution(t *testing.T) {
+	prog := smallProgram()
+	base := Run(prog, DefaultConfig(lruFactory))
+
+	cfg := DefaultConfig(lruFactory)
+	cfg.Faults = &fault.Plan{
+		Name: "all-links-outage",
+		Links: []fault.LinkFault{{Node: -1, Dir: "any", Outage: true,
+			Window: fault.Window{EndNs: 25_000, PeriodNs: 100_000}}},
+	}
+	faulted := Run(prog, cfg)
+	if faulted.ExecNs <= base.ExecNs {
+		t.Fatalf("outage exec %d ns <= baseline %d ns", faulted.ExecNs, base.ExecNs)
+	}
+	if faulted.Faults.Nacks == 0 || faulted.Faults.BackoffNs == 0 {
+		t.Fatalf("no NACK/backoff recorded: %+v", faulted.Faults)
+	}
+	if faulted.L2Misses != base.L2Misses {
+		// Faults change timing, not the reference stream or the cache
+		// contents under LRU (timing-independent replacement).
+		t.Fatalf("outage changed LRU miss count: %d vs %d", faulted.L2Misses, base.L2Misses)
+	}
+}
+
+// TestNodeDegradationCountsMisses: a whole-node window must charge exactly the
+// misses issued inside it.
+func TestNodeDegradationCountsMisses(t *testing.T) {
+	prog := smallProgram()
+	cfg := DefaultConfig(lruFactory)
+	cfg.Faults = &fault.Plan{
+		Name:  "always-slow-node0",
+		Nodes: []fault.NodeFault{{Node: 0, Window: fault.Window{EndNs: 1, PeriodNs: 0}, ExtraNs: 200}},
+	}
+	// Window [0,1) is effectively a no-op: only a miss at exactly t=0 pays.
+	res := Run(prog, cfg)
+	if res.Faults.DegradedMisses > 1 {
+		t.Fatalf("1-ns window degraded %d misses", res.Faults.DegradedMisses)
+	}
+
+	cfg.Faults = &fault.Plan{
+		Name:  "slow-node0",
+		Nodes: []fault.NodeFault{{Node: 0, Window: fault.Window{EndNs: 1 << 40}, ExtraNs: 200}},
+	}
+	res = Run(prog, cfg)
+	if res.Faults.DegradedMisses != res.PerNode[0].Misses {
+		t.Fatalf("degraded %d misses, node 0 issued %d", res.Faults.DegradedMisses, res.PerNode[0].Misses)
+	}
+	if res.Faults.NodeDegNs != 200*res.Faults.DegradedMisses {
+		t.Fatalf("degradation ns %d, want 200 per miss", res.Faults.NodeDegNs)
+	}
+}
+
+// TestStopReturnsPartialResult: Config.Stop ends the run at a reference
+// boundary with Interrupted set and partial figures.
+func TestStopReturnsPartialResult(t *testing.T) {
+	prog := smallProgram()
+	full := Run(prog, DefaultConfig(lruFactory))
+
+	calls := 0
+	cfg := DefaultConfig(lruFactory)
+	cfg.Stop = func() bool { calls++; return calls > 1000 }
+	res := Run(prog, cfg)
+	if !res.Interrupted {
+		t.Fatal("run not marked interrupted")
+	}
+	if res.Refs == 0 || res.Refs >= full.Refs {
+		t.Fatalf("partial run executed %d of %d refs", res.Refs, full.Refs)
+	}
+
+	// A stop that never fires changes nothing.
+	cfg = DefaultConfig(lruFactory)
+	cfg.Stop = func() bool { return false }
+	same := Run(prog, cfg)
+	if !reflect.DeepEqual(full, same) {
+		t.Fatal("inert Stop hook perturbed the run")
+	}
+}
+
+// TestInvalidPlanPanics: Run must refuse a plan that fails validation rather
+// than simulate nonsense.
+func TestInvalidPlanPanics(t *testing.T) {
+	cfg := DefaultConfig(lruFactory)
+	cfg.Faults = &fault.Plan{Links: []fault.LinkFault{{Dir: "up", Outage: true,
+		Window: fault.Window{EndNs: 100}}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run accepted an invalid plan")
+		}
+	}()
+	Run(smallProgram(), cfg)
+}
+
+// TestWatchdogLimitConfigurable: a tiny watchdog limit must not false-fire on
+// a healthy run (progress resets the counter at every reference).
+func TestWatchdogLimitConfigurable(t *testing.T) {
+	cfg := DefaultConfig(lruFactory)
+	cfg.Faults = &fault.Plan{Name: "empty"}
+	cfg.WatchdogLimit = 1 << 16
+	res := Run(smallProgram(), cfg)
+	if res.ExecNs <= 0 {
+		t.Fatal("run with watchdog produced no result")
+	}
+}

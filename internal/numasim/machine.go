@@ -13,6 +13,7 @@ import (
 	"costcache/internal/cache"
 	"costcache/internal/coherence"
 	"costcache/internal/cost"
+	"costcache/internal/fault"
 	"costcache/internal/mesh"
 	"costcache/internal/obs"
 	"costcache/internal/obs/span"
@@ -60,6 +61,23 @@ type Config struct {
 	// ("if we can measure memory access penalty instead of latency and use
 	// the penalty as the target cost function").
 	UsePenalty bool
+	// Faults, when non-nil, is the deterministic fault plan injected into
+	// the run: link slowdowns/outages in the mesh, hot directory and memory
+	// banks in the coherence engine, and whole-node miss-latency degradation
+	// here. Each Run compiles its own injector so two runs never share
+	// counters; an empty (or nil) plan is bit-identical with no plan at all.
+	// Injection also arms a no-progress watchdog that fails the run with a
+	// diagnostic dump if simulated time and the reference count both stop
+	// advancing (see WatchdogLimit).
+	Faults *fault.Plan
+	// WatchdogLimit overrides the watchdog's stuck-tick threshold (0 keeps
+	// the fault package default). Tests use a tiny limit to provoke it.
+	WatchdogLimit int64
+	// Stop, when non-nil, is polled once per reference; when it returns
+	// true the run stops at that reference boundary, drains in-flight work
+	// and returns a partial Result with Interrupted set. Harnesses wire
+	// SIGINT/SIGTERM here so a long run still flushes artifacts.
+	Stop func() bool
 }
 
 // DefaultConfig returns the Table 4 machine at 500 MHz with the given L2
@@ -140,6 +158,12 @@ type Result struct {
 	// PerNode reports each processor's miss count and mean miss latency,
 	// exposing the load imbalance execution time hides.
 	PerNode []NodeStats
+	// Faults counts what the fault injector did (nil when no plan was
+	// configured).
+	Faults *fault.Stats
+	// Interrupted reports that Config.Stop ended the run early; every
+	// figure above covers only the references issued before the stop.
+	Interrupted bool
 }
 
 // NodeStats is one processor's memory behaviour.
@@ -170,6 +194,26 @@ func Run(prog *workload.Program, cfg Config) Result {
 		coh.AttachMetrics(cfg.Metrics)
 		refsCtr = cfg.Metrics.Counter("numasim_refs")
 		missCtr = cfg.Metrics.Counter("numasim_l2_misses")
+	}
+
+	// Fault injection: compile the plan into a per-run injector (so counters
+	// never mix across runs) and arm the no-progress watchdog. A nil plan
+	// leaves every hook nil; an empty plan compiles but injects nothing, and
+	// either way results are bit-identical with the un-faulted simulator.
+	var inj *fault.Injector
+	var wd *fault.Watchdog
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			panic("numasim: " + err.Error())
+		}
+		inj = fault.NewInjector(cfg.Faults, cfg.Net.Dim, cfg.Protocol.MemBanks)
+		net.SetFaults(inj)
+		coh.SetFaults(inj)
+		if cfg.Metrics != nil {
+			inj.AttachMetrics(cfg.Metrics)
+		}
+		wd = &fault.Watchdog{Limit: cfg.WatchdogLimit}
+		inj.Watchdog = wd
 	}
 
 	nodes := make([]*node, prog.Procs)
@@ -233,13 +277,29 @@ func Run(prog *workload.Program, cfg Config) Result {
 
 	var totalRefs int64
 	barrier := int64(0)
+	interrupted := false
+	if wd != nil {
+		wd.Dump = func() string {
+			return fmt.Sprintf("numasim: bench %s: %d refs issued, fault stats %+v",
+				prog.Name, totalRefs, inj.Stats())
+		}
+	}
 	for _, phase := range prog.Phases {
+		if interrupted {
+			break
+		}
 		pos := make([]int, prog.Procs)
 		remaining := 0
 		for _, refs := range phase {
 			remaining += len(refs)
 		}
 		for remaining > 0 {
+			if cfg.Stop != nil && cfg.Stop() {
+				// Safe boundary: no reference is mid-flight; the barrier
+				// below drains what is, then the partial result is returned.
+				interrupted = true
+				break
+			}
 			// Pick the processor whose next reference issues earliest.
 			p := -1
 			var best int64
@@ -262,6 +322,8 @@ func Run(prog *workload.Program, cfg Config) Result {
 
 			t := best
 			now = t
+			wd.Event()
+			wd.Tick(now)
 			addr := ref.Addr
 			block := addr >> blockShift
 			write := ref.Op == trace.Write
@@ -296,9 +358,16 @@ func Run(prog *workload.Program, cfg Config) Result {
 			if cfg.Spans != nil {
 				sp = cfg.Spans.Begin(p, block, write, t)
 			}
-			issue := n.win.WaitMSHRSpan(t, sp) + lookup
+			var deg int64
+			if inj != nil {
+				// Whole-node degradation: the miss pays the window's extra
+				// latency before the coherence transaction starts. The span's
+				// lookup stage absorbs it so stage timelines stay contiguous.
+				deg = inj.NodeExtra(p, t)
+			}
+			issue := n.win.WaitMSHRSpan(t, sp) + lookup + deg
 			if sp != nil {
-				sp.SegQ(span.StageLookup, issue-lookup, 0, issue)
+				sp.SegQ(span.StageLookup, issue-lookup-deg, 0, issue)
 				coh.SetSpan(sp)
 			}
 			var res coherence.Result
@@ -371,6 +440,11 @@ func Run(prog *workload.Program, cfg Config) Result {
 	res := Result{
 		Name: prog.Name, ClockMHz: cfg.ClockMHz, ExecNs: barrier,
 		Refs: totalRefs, Protocol: coh.Stats(), Table3: matrix,
+		Interrupted: interrupted,
+	}
+	if inj != nil {
+		st := inj.Stats()
+		res.Faults = &st
 	}
 	var pol replacement.Policy
 	for _, n := range nodes {

@@ -87,6 +87,12 @@ func ByName(name string) (Generator, bool) {
 	return nil, false
 }
 
+// Names lists every benchmark ByName recognizes, in Table 1 order plus the
+// footnote extras — the valid values commands print on a bad -bench flag.
+func Names() []string {
+	return []string{"Barnes", "LU", "Ocean", "Raytrace", "FFT", "Radix"}
+}
+
 // Defaults returns the four paper benchmarks in Table 1 order.
 func Defaults() []Generator {
 	return []Generator{DefaultBarnes(), DefaultLU(), DefaultOcean(), DefaultRaytrace()}

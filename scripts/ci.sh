@@ -38,4 +38,41 @@ else
     echo "ci: $baseline missing; skipping manifest diff" >&2
 fi
 
+# Fault-injection smoke: a deterministic scenario run must produce a valid
+# manifest carrying the plan identity and nonzero fault counters.
+go run ./cmd/numasim -quick -bench Barnes -policy DCL \
+    -fault.scenario link-outage -fault.seed 7 \
+    -manifest "$smoke/faulted.json" > "$smoke/faulted.txt"
+go run ./cmd/report -check "$smoke/faulted.json"
+grep -q '"fault_plan_hash": "[0-9a-f]' "$smoke/faulted.json" || {
+    echo "ci: faulted manifest missing fault_plan_hash" >&2; exit 1; }
+grep -Eq '"fault_nacks": [1-9]' "$smoke/faulted.json" || {
+    echo "ci: link-outage run recorded zero NACKs" >&2; exit 1; }
+
+# Interrupt smoke: SIGINT a run mid-flight; it must exit 130 and still
+# flush a well-formed partial manifest marked interrupted. Built as a
+# binary so the signal reaches the simulator, not `go run`. Raytrace is the
+# longest full run (~2s), so the signal lands well inside it.
+go build -o "$smoke/numasim" ./cmd/numasim
+"$smoke/numasim" -bench Raytrace -policy DCL \
+    -manifest "$smoke/interrupted.json" > "$smoke/interrupted.txt" 2>&1 &
+pid=$!
+sleep 0.5
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "ci: interrupted run exited $rc, want 130" >&2; exit 1
+fi
+go run ./cmd/report -check "$smoke/interrupted.json"
+grep -q '"interrupted": true' "$smoke/interrupted.json" || {
+    echo "ci: partial manifest not marked interrupted" >&2; exit 1; }
+
+# Degraded-mode flag validation: unknown enum values must exit 2.
+rc=0
+"$smoke/numasim" -bench NoSuchBench >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "ci: bad -bench exited $rc, want 2" >&2; exit 1
+fi
+
 echo "ci: ok"
