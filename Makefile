@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench ci clean
+.PHONY: all build test race vet fmt bench loadtest ci clean
 
 all: build
 
@@ -25,6 +25,12 @@ fmt:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# loadtest drives the concurrent sharded engine with the open-loop zipfian
+# harness (see docs/ENGINE.md) and archives the run manifest for diffing.
+loadtest:
+	$(GO) run ./cmd/cachebench -policy DCL -shards 16 \
+	    -manifest results/MANIFEST_cachebench.json
 
 ci:
 	./scripts/ci.sh

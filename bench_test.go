@@ -7,10 +7,13 @@
 package costcache_test
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"costcache/internal/costsim"
+	"costcache/internal/engine"
 	"costcache/internal/hwcost"
 	"costcache/internal/numasim"
 	"costcache/internal/obs"
@@ -373,6 +376,99 @@ func BenchmarkBaselines(b *testing.B) {
 				s = costsim.RelativeSavings(lru.L2.AggCost, res.L2.AggCost)
 			}
 			b.ReportMetric(s*100, "savings_pct")
+		})
+	}
+}
+
+// benchLoader is a no-delay engine loader with an address-hashed two-level
+// cost, the serving analogue of the paper's random cost mapping.
+func benchLoader(key uint64) (any, replacement.Cost, error) {
+	c := replacement.Cost(1)
+	if key%5 == 0 {
+		c = 8
+	}
+	return key, c, nil
+}
+
+// benchKeys is a tiny per-goroutine xorshift key stream with a 90/10
+// hot/cold skew, allocation- and lock-free so the benchmark measures the
+// engine, not the generator.
+type benchKeys struct{ state uint64 }
+
+func (k *benchKeys) next() uint64 {
+	k.state ^= k.state << 13
+	k.state ^= k.state >> 7
+	k.state ^= k.state << 17
+	if k.state%10 < 9 {
+		return k.state % 2048 // hot set, mostly cached
+	}
+	return k.state % 65536 // cold tail, misses and evicts
+}
+
+// BenchmarkEngineParallel measures GetOrLoad throughput under b.RunParallel
+// across shard counts: the scaling the sharded design buys on a fixed total
+// geometry (4096 sets × 4 ways, DCL). Hit rate is reported so runs are
+// comparable.
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := engine.New(engine.Config{
+				Shards: shards, Sets: 4096, Ways: 4,
+				Policy: func() replacement.Policy { return replacement.NewDCL() },
+			})
+			var seed atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				keys := benchKeys{state: seed.Add(0x9e3779b97f4a7c15)}
+				for pb.Next() {
+					if _, err := e.GetOrLoad(keys.next(), benchLoader); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := e.Stats()
+			if st.Hits+st.Misses > 0 {
+				b.ReportMetric(100*st.HitRate(), "hit_pct")
+				b.ReportMetric(float64(st.LockWaitNs)/float64(st.Hits+st.Misses+st.Coalesced), "lockwait_ns/op")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineContention is the worst case for the shard mutex: every
+// goroutine hammers one hot (always-cached) key, so all traffic serializes
+// on a single shard regardless of the shard count. The gap between this and
+// BenchmarkEngineParallel bounds what sharding can and cannot buy.
+func BenchmarkEngineContention(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := engine.New(engine.Config{
+				Shards: shards, Sets: 4096, Ways: 4,
+				Policy: func() replacement.Policy { return replacement.NewDCL() },
+			})
+			if _, err := e.GetOrLoad(1, benchLoader); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := e.GetOrLoad(1, benchLoader); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := e.Stats()
+			if ops := st.Hits + st.Misses + st.Coalesced; ops > 0 {
+				b.ReportMetric(float64(st.LockWaitNs)/float64(ops), "lockwait_ns/op")
+			}
 		})
 	}
 }

@@ -1,0 +1,205 @@
+// Command cachebench load-tests the concurrent sharded engine: it replays a
+// zipfian key stream or a synthetic SPLASH-2-like workload against
+// internal/engine with G goroutines, closed- or open-loop, and reports
+// throughput, latency percentiles and the live cost savings of the chosen
+// policy over the per-shard LRU shadow.
+//
+//	cachebench -policy DCL -shards 16                      # open-loop zipfian
+//	cachebench -mode closed -workers 1 -seed 7             # deterministic run
+//	cachebench -workload Barnes -mode closed -workers 8    # trace replay
+//
+// -manifest writes a self-describing run manifest (engine counters, latency
+// percentiles, per-shard series) that cmd/report can validate with -check
+// and diff against other runs. SIGINT/SIGTERM stop the run at the next
+// request boundary, flush a partial manifest marked "interrupted": true and
+// exit 130.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"costcache/internal/cli"
+	"costcache/internal/engine"
+	"costcache/internal/loadgen"
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/tabulate"
+	"costcache/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "DCL", "replacement policy (see -help of cmd/cachesim)")
+	shards := flag.Int("shards", 8, "power-of-two shard count")
+	sets := flag.Int("sets", 4096, "total sets across all shards (power of two)")
+	ways := flag.Int("ways", 4, "set associativity")
+	workers := flag.Int("workers", 8, "request goroutines")
+	mode := flag.String("mode", "open", "load discipline: open (fixed arrival rate) or closed")
+	rate := flag.Float64("rate", 20000, "open-loop arrival rate, requests/second")
+	ops := flag.Int("ops", 100000, "total requests")
+	keys := flag.Int("keys", 32768, "zipfian key-space size")
+	zipf := flag.Float64("zipf", 1.1, "zipf skew (<=1 means uniform)")
+	bench := flag.String("workload", "", "replay this synthetic benchmark instead of the zipfian stream")
+	seed := flag.Int64("seed", 42, "seed for key streams and the cost mapping")
+	costLow := flag.Int64("costlow", 1, "low miss cost")
+	costHigh := flag.Int64("costhigh", 8, "high miss cost")
+	haf := flag.Float64("haf", 0.2, "high-cost key fraction")
+	loadDelay := flag.Duration("loaddelay", 200*time.Microsecond, "simulated backend latency per unit of miss cost")
+	noShadow := flag.Bool("noshadow", false, "disable the per-shard LRU shadow (and the savings report)")
+	quiet := flag.Bool("quiet", false, "suppress the per-second progress line on stderr")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
+	flag.Parse()
+
+	factory, ok := replacement.ByName(*policy)
+	if !ok {
+		cli.BadFlag("cachebench", "-policy", *policy, replacement.Names())
+	}
+	if *mode != string(loadgen.Open) && *mode != string(loadgen.Closed) {
+		cli.BadFlag("cachebench", "-mode", *mode, loadgen.Modes())
+	}
+	if *bench != "" {
+		if _, ok := workload.ByName(*bench); !ok {
+			cli.BadFlag("cachebench", "-workload", *bench, workload.Names())
+		}
+	}
+
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Config{
+		Shards:   *shards,
+		Sets:     *sets,
+		Ways:     *ways,
+		Policy:   factory,
+		Registry: reg,
+		Shadow:   !*noShadow,
+	})
+	cfg := loadgen.Config{
+		Mode:      loadgen.Mode(*mode),
+		Workers:   *workers,
+		Ops:       *ops,
+		Rate:      *rate,
+		Keys:      *keys,
+		ZipfS:     *zipf,
+		Workload:  *bench,
+		Seed:      *seed,
+		CostLow:   replacement.Cost(*costLow),
+		CostHigh:  replacement.Cost(*costHigh),
+		HighFrac:  *haf,
+		LoadDelay: *loadDelay,
+	}
+	stopped := cli.Interrupt()
+
+	stopProgress := make(chan struct{})
+	if !*quiet {
+		go progress(eng, stopProgress)
+	}
+	res, err := loadgen.Run(eng, cfg, stopped)
+	close(stopProgress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachebench:", err)
+		os.Exit(2)
+	}
+
+	printSummary(*policy, *shards, *workers, *mode, res)
+
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res); err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote manifest to %s\n", *manifestPath)
+	}
+	if res.Interrupted {
+		os.Exit(cli.ExitInterrupted)
+	}
+}
+
+// progress prints a once-a-second live line to stderr: total operations,
+// hit rate and shadow savings so far.
+func progress(eng *engine.Engine, stop <-chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			st := eng.Stats()
+			fmt.Fprintf(os.Stderr, "cachebench: t=%3.0fs ops=%d hit=%.1f%% coalesced=%d savings=%.1f%%\n",
+				time.Since(start).Seconds(), st.Hits+st.Misses+st.Coalesced,
+				100*st.HitRate(), st.Coalesced, 100*st.Savings())
+		}
+	}
+}
+
+func printSummary(policy string, shards, workers int, mode string, res loadgen.Result) {
+	st := res.Stats
+	t := tabulate.New(fmt.Sprintf("cachebench · %s · %d shards · %d workers · %s-loop",
+		policy, shards, workers, mode),
+		"metric", "value")
+	t.AddF("ops", res.Ops)
+	t.AddF("wall_s", float64(res.WallNs)/1e9)
+	t.AddF("throughput_ops_s", res.Throughput)
+	t.AddF("hits", st.Hits)
+	t.AddF("misses", st.Misses)
+	t.AddF("hit_rate_pct", 100*st.HitRate())
+	t.AddF("coalesced", st.Coalesced)
+	t.AddF("evictions", st.Evictions)
+	t.AddF("cost_paid", st.CostPaid)
+	t.AddF("lock_wait_ms", float64(st.LockWaitNs)/1e6)
+	t.AddF("p50_us", float64(res.P50Ns)/1e3)
+	t.AddF("p95_us", float64(res.P95Ns)/1e3)
+	t.AddF("p99_us", float64(res.P99Ns)/1e3)
+	if st.ShadowCost > 0 {
+		t.AddF("shadow_cost_lru", st.ShadowCost)
+		t.AddF("savings_vs_lru_pct", 100*st.Savings())
+	}
+	t.Fprint(os.Stdout)
+	if res.Interrupted {
+		fmt.Println("run interrupted; figures cover the completed portion only")
+	}
+}
+
+func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
+	eng *engine.Engine, reg *obs.Registry, res loadgen.Result) error {
+	m := manifest.New("cachebench")
+	m.SetConfig("policy", policy)
+	m.SetConfig("mode", mode)
+	m.SetConfig("shards", eng.Shards())
+	m.SetConfig("capacity", eng.Capacity())
+	m.SetConfig("workers", cfg.Workers)
+	m.SetConfig("rate", cfg.Rate)
+	m.SetConfig("keys", cfg.Keys)
+	m.SetConfig("zipf", cfg.ZipfS)
+	m.SetConfig("seed", cfg.Seed)
+	m.SetConfig("loaddelay", cfg.LoadDelay)
+	if bench != "" {
+		m.SetConfig("workload", bench)
+	}
+	if res.Interrupted {
+		m.MarkInterrupted()
+	}
+	st := res.Stats
+	m.SetMetric("ops", float64(res.Ops))
+	m.SetMetric("wall_ns", float64(res.WallNs))
+	m.SetMetric("throughput_ops_s", res.Throughput)
+	m.SetMetric("engine_hits", float64(st.Hits))
+	m.SetMetric("engine_misses", float64(st.Misses))
+	m.SetMetric("engine_coalesced", float64(st.Coalesced))
+	m.SetMetric("engine_evictions", float64(st.Evictions))
+	m.SetMetric("engine_cost_paid", float64(st.CostPaid))
+	m.SetMetric("engine_lock_wait_ns", float64(st.LockWaitNs))
+	m.SetMetric("hit_rate_pct", 100*st.HitRate())
+	m.SetMetric("latency_p50_ns", float64(res.P50Ns))
+	m.SetMetric("latency_p95_ns", float64(res.P95Ns))
+	m.SetMetric("latency_p99_ns", float64(res.P99Ns))
+	if st.ShadowCost > 0 {
+		m.SetMetric("engine_shadow_cost", float64(st.ShadowCost))
+		m.SetMetric("savings_vs_lru_pct", 100*st.Savings())
+	}
+	m.AddSnapshot(reg.Snapshot()) // per-shard engine_* series
+	return m.WriteFile(path)
+}

@@ -17,6 +17,10 @@
 //     execution-driven CC-NUMA simulator (see internal/costsim,
 //     internal/workload and internal/numasim; their experiment drivers
 //     regenerate every table and figure in the paper via cmd/paper).
+//   - A concurrent sharded serving engine (NewEngine) with singleflight
+//     miss coalescing and a live LRU shadow, plus a load harness (RunLoad)
+//     — the policies on a real request path (docs/ENGINE.md,
+//     examples/serving).
 //
 // Quick start:
 //
@@ -33,6 +37,8 @@ import (
 	"costcache/internal/cache"
 	"costcache/internal/cost"
 	"costcache/internal/costsim"
+	"costcache/internal/engine"
+	"costcache/internal/loadgen"
 	"costcache/internal/numasim"
 	"costcache/internal/replacement"
 	"costcache/internal/trace"
@@ -197,6 +203,53 @@ func OptimalMisses(events []OptEvent, ways int) int64 {
 // traces for calibration.
 func OptimalAggregateCost(events []OptEvent, ways int, costOf func(block uint64) Cost, allowBypass bool) int64 {
 	return replacement.OptimalAggregateCost(events, ways, costOf, allowBypass)
+}
+
+// Engine is the concurrent sharded cost-sensitive cache: any Policy served
+// thread-safely behind per-shard mutexes, with singleflight miss coalescing
+// and an optional live LRU shadow reporting cost savings (docs/ENGINE.md).
+type Engine = engine.Engine
+
+// EngineConfig configures an Engine: global geometry (Sets x Ways), the
+// power-of-two shard count, the policy factory, an optional obs registry
+// and the LRU shadow switch.
+type EngineConfig = engine.Config
+
+// EngineStats is a point-in-time roll-up of an Engine's counters.
+type EngineStats = engine.Stats
+
+// Loader fetches a missing value and reports its miss cost; see
+// Engine.GetOrLoad.
+type Loader = engine.Loader
+
+// NewEngine builds a concurrent sharded engine. It panics on invalid
+// geometry, like NewCache.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// LoadgenConfig configures a load-generation run against an Engine:
+// closed- or open-loop discipline, worker count, zipfian or workload-replay
+// key streams, and the simulated backend's cost model.
+type LoadgenConfig = loadgen.Config
+
+// LoadgenResult carries a load run's throughput, latency percentiles and
+// the engine counter deltas it produced.
+type LoadgenResult = loadgen.Result
+
+// Load-generation modes for LoadgenConfig.Mode.
+const (
+	// ClosedLoop issues each worker's next request when the previous one
+	// completes (measures capacity; deterministic with one worker).
+	ClosedLoop = loadgen.Closed
+	// OpenLoop issues requests on a fixed arrival schedule and measures
+	// latency from the scheduled arrival, queueing included.
+	OpenLoop = loadgen.Open
+)
+
+// RunLoad drives an Engine with the configured load. stopped is polled
+// between requests and may be nil; cmd/cachebench passes the SIGINT handle
+// so runs stop cleanly.
+func RunLoad(e *Engine, cfg LoadgenConfig, stopped func() bool) (LoadgenResult, error) {
+	return loadgen.Run(e, cfg, stopped)
 }
 
 // NUMAResult is the outcome of an execution-driven CC-NUMA simulation.

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"costcache/internal/replacement"
+)
+
+// guardedPolicy enforces the Policy interface's single-goroutine contract at
+// runtime: every hook asserts that no other goroutine is inside the policy.
+// Plugged into an engine, it proves the shard mutex really is the stated
+// synchronization boundary.
+type guardedPolicy struct {
+	inner      replacement.Policy
+	inside     atomic.Int32
+	violations *atomic.Int64
+}
+
+func (g *guardedPolicy) enter() {
+	if !g.inside.CompareAndSwap(0, 1) {
+		g.violations.Add(1)
+	}
+}
+func (g *guardedPolicy) leave() { g.inside.Store(0) }
+
+func (g *guardedPolicy) Name() string { return "guarded-" + g.inner.Name() }
+func (g *guardedPolicy) Reset(sets, ways int) {
+	g.enter()
+	defer g.leave()
+	g.inner.Reset(sets, ways)
+}
+func (g *guardedPolicy) Access(set int, tag uint64, hit bool) {
+	g.enter()
+	defer g.leave()
+	g.inner.Access(set, tag, hit)
+}
+func (g *guardedPolicy) Touch(set, way int) {
+	g.enter()
+	defer g.leave()
+	g.inner.Touch(set, way)
+}
+func (g *guardedPolicy) Victim(set int) int {
+	g.enter()
+	defer g.leave()
+	return g.inner.Victim(set)
+}
+func (g *guardedPolicy) Fill(set, way int, tag uint64, cost replacement.Cost) {
+	g.enter()
+	defer g.leave()
+	g.inner.Fill(set, way, tag, cost)
+}
+func (g *guardedPolicy) Invalidate(set, way int, tag uint64) {
+	g.enter()
+	defer g.leave()
+	g.inner.Invalidate(set, way, tag)
+}
+
+// TestShardsSerializePolicy hammers an engine whose policies detect
+// concurrent entry: with one policy per shard behind the shard mutex, no
+// hook may ever observe another goroutine inside the same policy instance —
+// the engine, not the policy, owns synchronization (see the contract note on
+// replacement.Policy).
+func TestShardsSerializePolicy(t *testing.T) {
+	var violations atomic.Int64
+	e := New(Config{
+		Shards: 4, Sets: 64, Ways: 4,
+		Policy: func() replacement.Policy {
+			return &guardedPolicy{inner: replacement.NewDCL(), violations: &violations}
+		},
+	})
+	const goroutines, opsEach = 32, 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := uint64((g*opsEach + i*13) % 1024)
+				switch i % 8 {
+				case 6:
+					e.Set(key, key, replacement.Cost(key%8))
+				case 7:
+					e.Invalidate(key)
+				default:
+					_, _ = e.GetOrLoad(key, constLoader(key, 1))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("policy hooks entered concurrently %d times; shard mutex failed to serialize", n)
+	}
+}

@@ -1,0 +1,339 @@
+// Package engine turns the paper's cost-sensitive replacement policies into
+// a serving component: a thread-safe, sharded in-process cache that sits on a
+// request path and answers Get/Set/GetOrLoad under concurrent load.
+//
+// The engine partitions a set-associative key space across a power-of-two
+// number of shards. A key hashes to one global set; the low set-index bits
+// select the shard and the high bits the set within it, so a set — and with
+// it every replacement decision — always lives entirely inside one shard.
+// Each shard drives its own replacement.Policy instance behind a mutex,
+// which is the synchronization boundary the Policy interface documents:
+// policies stay single-goroutine, the engine serializes per shard.
+//
+// Because the key→set mapping never depends on the shard count, a
+// deterministic (single-goroutine) request stream produces bit-identical
+// hit/miss/cost counters whether the engine runs 1 shard or 64: sharding
+// changes only how much of the key space shares a lock, never what any
+// policy decides.
+//
+// Misses coalesce singleflight-style: concurrent GetOrLoad calls for one key
+// run the loader once, charge its miss cost once, and share the resulting
+// value (or error, or panic — a loader panic propagates to the leader and
+// every coalesced waiter, never to the shard itself).
+//
+// Each shard keeps hit/miss/coalesce/eviction/cost counters — registered
+// with shard labels in an obs.Registry when one is configured — and can run
+// an LRU shadow cache of identical geometry that replays the same touches
+// and installs, so the live cost savings of a cost-sensitive policy over
+// plain LRU (the paper's headline metric) are measurable on a serving
+// engine, not just in a simulator.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+// Config describes an engine. Geometry is global: Sets is the total set
+// count across all shards, so results are comparable (and, for deterministic
+// streams, identical) across shard counts.
+type Config struct {
+	// Shards is the power-of-two shard count (0 means 1). Must not exceed
+	// Sets: a set never spans shards.
+	Shards int
+	// Sets is the total number of sets across all shards, a power of two
+	// (0 means 1024).
+	Sets int
+	// Ways is the set associativity (0 means 4).
+	Ways int
+	// Policy builds one replacement policy per shard. nil means LRU.
+	Policy replacement.Factory
+	// Registry, when non-nil, receives the per-shard counters under
+	// engine_* names with a shard label (see docs/ENGINE.md).
+	Registry *obs.Registry
+	// Shadow enables a per-shard LRU shadow cache that replays the same
+	// touches and installs, so Stats reports the aggregate cost plain LRU
+	// would have paid for the same stream.
+	Shadow bool
+}
+
+// Engine is a sharded, thread-safe cost-sensitive cache.
+type Engine struct {
+	shards    []*shard
+	setMask   uint64
+	shardMask uint64
+	shardBits uint
+	ways      int
+}
+
+// Loader produces the value for a missing key along with the miss cost the
+// engine charges and loads into the block (the predicted cost of missing
+// this key again — latency, energy, bytes, any non-negative quantity).
+type Loader func(key uint64) (value any, cost replacement.Cost, err error)
+
+// LoaderPanic wraps a panic that escaped a Loader when it is re-raised in
+// the coalesced waiters of the load. The leader goroutine re-panics with the
+// original value; waiters panic with a *LoaderPanic carrying it.
+type LoaderPanic struct{ Value any }
+
+func (p *LoaderPanic) Error() string {
+	return fmt.Sprintf("engine: coalesced loader panicked: %v", p.Value)
+}
+
+// New builds an engine. It panics on an invalid geometry (a programming
+// error, matching cache.New).
+func New(cfg Config) *Engine {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Sets == 0 {
+		cfg.Sets = 1024
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 4
+	}
+	if cfg.Shards < 0 || bits.OnesCount(uint(cfg.Shards)) != 1 {
+		panic(fmt.Sprintf("engine: Shards %d must be a power of two", cfg.Shards))
+	}
+	if cfg.Sets < 0 || bits.OnesCount(uint(cfg.Sets)) != 1 {
+		panic(fmt.Sprintf("engine: Sets %d must be a power of two", cfg.Sets))
+	}
+	if cfg.Shards > cfg.Sets {
+		panic(fmt.Sprintf("engine: Shards %d exceeds Sets %d", cfg.Shards, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("engine: Ways %d must be positive", cfg.Ways))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = func() replacement.Policy { return replacement.NewLRU() }
+	}
+	e := &Engine{
+		setMask:   uint64(cfg.Sets - 1),
+		shardMask: uint64(cfg.Shards - 1),
+		shardBits: uint(bits.TrailingZeros(uint(cfg.Shards))),
+		ways:      cfg.Ways,
+	}
+	localSets := cfg.Sets / cfg.Shards
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow)
+	}
+	return e
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche hash spreading keys
+// over sets and shards regardless of their input distribution.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// place returns the shard holding key and the set index within it. The
+// global set is derived from the key hash alone; the shard takes the low
+// set bits, so placement commutes with the shard count.
+func (e *Engine) place(key uint64) (*shard, int) {
+	gs := mix64(key) & e.setMask
+	return e.shards[gs&e.shardMask], int(gs >> e.shardBits)
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Capacity returns the total number of cacheable entries (sets × ways).
+func (e *Engine) Capacity() int {
+	return len(e.shards) * e.shards[0].sets * e.ways
+}
+
+// Get returns the cached value for key. A hit promotes the entry; a miss
+// changes no replacement state (nothing is installed, so the policy never
+// sees the reference).
+func (e *Engine) Get(key uint64) (any, bool) {
+	s, set := e.place(key)
+	s.lock()
+	defer s.mu.Unlock()
+	if w := s.find(set, key); w >= 0 {
+		s.hits.Inc()
+		s.policy.Access(set, key, true)
+		s.policy.Touch(set, w)
+		s.touchShadow(set, key)
+		return s.vals[set][w], true
+	}
+	s.misses.Inc()
+	return nil, false
+}
+
+// Set installs or refreshes key with the given value and predicted next-miss
+// cost. Installing into a full set evicts the policy's victim.
+func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
+	s, set := e.place(key)
+	s.lock()
+	defer s.mu.Unlock()
+	if w := s.find(set, key); w >= 0 {
+		s.hits.Inc()
+		s.policy.Access(set, key, true)
+		s.policy.Touch(set, w)
+		s.vals[set][w] = value
+		s.setShadowCost(set, key, cost)
+		s.touchShadow(set, key)
+		return
+	}
+	s.misses.Inc()
+	s.install(set, key, value, cost)
+}
+
+// GetOrLoad returns the cached value for key, or runs load to produce it.
+// Concurrent calls for the same key coalesce: one goroutine (the leader)
+// runs the loader while the others wait off-lock and share its value, error
+// and single cost charge. A loader panic is re-raised in the leader (with
+// the original value) and in every waiter (wrapped in *LoaderPanic); the
+// shard itself stays healthy.
+func (e *Engine) GetOrLoad(key uint64, load Loader) (any, error) {
+	s, set := e.place(key)
+	s.lock()
+	if w := s.find(set, key); w >= 0 {
+		s.hits.Inc()
+		s.policy.Access(set, key, true)
+		s.policy.Touch(set, w)
+		s.touchShadow(set, key)
+		v := s.vals[set][w]
+		s.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.coalesced.Inc()
+		s.mu.Unlock()
+		<-f.done
+		if f.panicked {
+			panic(&LoaderPanic{Value: f.pan})
+		}
+		return f.val, f.err
+	}
+	s.misses.Inc()
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked, f.pan = true, r
+			}
+		}()
+		f.val, f.cost, f.err = load(key)
+	}()
+
+	s.lock()
+	delete(s.flights, key)
+	if !f.panicked && f.err == nil {
+		if w := s.find(set, key); w >= 0 {
+			// A concurrent Set installed the key while the loader ran; the
+			// loader's value wins so leader and waiters agree with the cache.
+			s.vals[set][w] = f.val
+		} else {
+			s.install(set, key, f.val, f.cost)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	if f.panicked {
+		panic(f.pan)
+	}
+	return f.val, f.err
+}
+
+// Invalidate removes key if cached (e.g. an upstream change notification).
+// The policy hook fires either way so victim-directory state (the ETD) is
+// purged too. It reports whether a cached entry was removed.
+func (e *Engine) Invalidate(key uint64) bool {
+	s, set := e.place(key)
+	s.lock()
+	defer s.mu.Unlock()
+	w := s.find(set, key)
+	s.policy.Invalidate(set, w, key)
+	if w < 0 {
+		return false
+	}
+	s.valid[set][w] = false
+	s.vals[set][w] = nil
+	return true
+}
+
+// Stats is a point-in-time sum of the per-shard counters.
+type Stats struct {
+	// Hits and Misses count lookups; Coalesced counts GetOrLoad calls that
+	// waited on another goroutine's in-flight load (they are neither hits
+	// nor misses, so Hits+Misses+Coalesced is the total operation count).
+	Hits, Misses, Coalesced int64
+	// Evictions counts policy victimizations (not invalidations).
+	Evictions int64
+	// CostPaid is the aggregate miss cost charged on fills — the quantity
+	// the paper's policies minimize, counted once per coalesced load.
+	CostPaid int64
+	// LockWaitNs is the total time goroutines spent blocked on shard locks.
+	LockWaitNs int64
+	// ShadowCost is the aggregate cost the per-shard LRU shadows paid for
+	// the same stream (0 when the shadow is disabled).
+	ShadowCost int64
+}
+
+// Stats sums the shard counters. Under concurrent traffic the fields are
+// individually atomic but not mutually consistent.
+func (e *Engine) Stats() Stats {
+	var t Stats
+	for _, s := range e.shards {
+		t.Hits += s.hits.Value()
+		t.Misses += s.misses.Value()
+		t.Coalesced += s.coalesced.Value()
+		t.Evictions += s.evictions.Value()
+		t.CostPaid += s.costPaid.Value()
+		t.LockWaitNs += s.lockWait.Value()
+		t.ShadowCost += s.shadowCost()
+	}
+	return t
+}
+
+// Sub returns the counter-wise difference s - prev (a window delta).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		Coalesced:  s.Coalesced - prev.Coalesced,
+		Evictions:  s.Evictions - prev.Evictions,
+		CostPaid:   s.CostPaid - prev.CostPaid,
+		LockWaitNs: s.LockWaitNs - prev.LockWaitNs,
+		ShadowCost: s.ShadowCost - prev.ShadowCost,
+	}
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 for an idle engine. Coalesced
+// waiters count toward neither side.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Savings returns the paper's relative-savings metric measured live against
+// the LRU shadow: (ShadowCost-CostPaid)/ShadowCost, or 0 when the shadow is
+// disabled or has paid nothing.
+func (s Stats) Savings() float64 {
+	if s.ShadowCost <= 0 {
+		return 0
+	}
+	return float64(s.ShadowCost-s.CostPaid) / float64(s.ShadowCost)
+}
+
+// shardLabel renders the canonical label for shard i, shared by every
+// engine_* series so identical shards yield identical series names.
+func shardLabel(base string, i int) string {
+	return obs.Name(base, "shard", strconv.Itoa(i))
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+func lruFactory() replacement.Policy { return replacement.NewLRU() }
+
+func constLoader(v any, c replacement.Cost) Loader {
+	return func(uint64) (any, replacement.Cost, error) { return v, c, nil }
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	e := New(Config{Shards: 4, Sets: 16, Ways: 2, Policy: lruFactory})
+	if _, ok := e.Get(1); ok {
+		t.Fatal("hit on empty engine")
+	}
+	e.Set(1, "one", 5)
+	v, ok := e.Get(1)
+	if !ok || v != "one" {
+		t.Fatalf("Get(1) = %v, %v", v, ok)
+	}
+	e.Set(1, "uno", 5) // refresh
+	if v, _ := e.Get(1); v != "uno" {
+		t.Fatalf("refreshed value = %v", v)
+	}
+	st := e.Stats()
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 3 hits / 2 misses", st)
+	}
+	if st.CostPaid != 5 {
+		t.Fatalf("cost paid %d, want 5 (refresh must not re-charge)", st.CostPaid)
+	}
+}
+
+func TestGetOrLoadInstallsAndCharges(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	calls := 0
+	load := func(key uint64) (any, replacement.Cost, error) {
+		calls++
+		return key * 10, 3, nil
+	}
+	for i := 0; i < 2; i++ { // second call must hit
+		v, err := e.GetOrLoad(7, load)
+		if err != nil || v != uint64(70) {
+			t.Fatalf("GetOrLoad = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls)
+	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.CostPaid != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrLoadErrorDoesNotInstall(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	boom := errors.New("origin down")
+	if _, err := e.GetOrLoad(3, func(uint64) (any, replacement.Cost, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, ok := e.Get(3); ok {
+		t.Fatal("errored load was installed")
+	}
+	// The key must be retryable: a later successful load installs.
+	if v, err := e.GetOrLoad(3, constLoader("ok", 1)); err != nil || v != "ok" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+func TestEvictionRespectsPolicy(t *testing.T) {
+	// One set, 2 ways, LRU: keys mapping to the same set must evict in LRU
+	// order. With Sets=1 every key shares the set.
+	e := New(Config{Shards: 1, Sets: 1, Ways: 2, Policy: lruFactory})
+	e.Set(1, 1, 1)
+	e.Set(2, 2, 1)
+	e.Get(1)       // 2 is now LRU
+	e.Set(3, 3, 1) // evicts 2
+	if _, ok := e.Get(2); ok {
+		t.Fatal("LRU victim 2 still cached")
+	}
+	for _, k := range []uint64{1, 3} {
+		if _, ok := e.Get(k); !ok {
+			t.Fatalf("key %d evicted unexpectedly", k)
+		}
+	}
+	if st := e.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	e := New(Config{Shards: 2, Sets: 8, Ways: 2, Policy: lruFactory})
+	e.Set(9, "x", 1)
+	if !e.Invalidate(9) {
+		t.Fatal("Invalidate missed a cached key")
+	}
+	if e.Invalidate(9) {
+		t.Fatal("Invalidate hit an uncached key")
+	}
+	if _, ok := e.Get(9); ok {
+		t.Fatal("key survived invalidation")
+	}
+}
+
+func TestShadowReportsLRUCost(t *testing.T) {
+	// Identical policy (LRU) and shadow: the shadow must pay exactly what
+	// the engine pays, so savings are zero by construction.
+	e := New(Config{Shards: 2, Sets: 4, Ways: 2, Policy: lruFactory, Shadow: true})
+	for i := 0; i < 500; i++ {
+		k := uint64(i % 37)
+		if _, err := e.GetOrLoad(k, constLoader(k, replacement.Cost(1+k%8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.ShadowCost == 0 || st.CostPaid == 0 {
+		t.Fatalf("stats = %+v, want nonzero costs", st)
+	}
+	if st.ShadowCost != st.CostPaid {
+		t.Fatalf("LRU engine paid %d but LRU shadow paid %d; shadow must mirror the engine",
+			st.CostPaid, st.ShadowCost)
+	}
+	if s := st.Savings(); s != 0 {
+		t.Fatalf("savings = %v, want 0 for LRU vs LRU", s)
+	}
+}
+
+func TestShadowDisabledReportsZero(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 4, Ways: 2, Policy: lruFactory})
+	e.Set(1, 1, 9)
+	if st := e.Stats(); st.ShadowCost != 0 || st.Savings() != 0 {
+		t.Fatalf("stats = %+v, want zero shadow", st)
+	}
+}
+
+func TestRegistrySeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Shards: 2, Sets: 4, Ways: 2, Policy: lruFactory, Registry: reg})
+	e.Set(1, 1, 4)
+	e.Get(1)
+	snap := reg.Snapshot()
+	var hits, paid int64
+	for i := 0; i < 2; i++ {
+		hits += snap.Counters[fmt.Sprintf("engine_hits{shard=%q}", fmt.Sprint(i))]
+		paid += snap.Counters[fmt.Sprintf("engine_cost_paid{shard=%q}", fmt.Sprint(i))]
+	}
+	if hits != 1 || paid != 4 {
+		t.Fatalf("registry rollup hits=%d paid=%d; series: %v", hits, paid, snap.Counters)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"shards-not-pow2": {Shards: 3, Sets: 8, Ways: 2},
+		"sets-not-pow2":   {Shards: 2, Sets: 12, Ways: 2},
+		"shards-gt-sets":  {Shards: 16, Sets: 8, Ways: 2},
+		"negative-ways":   {Shards: 1, Sets: 8, Ways: -1},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		})
+	}
+}
+
+func TestPlacementShardCountInvariant(t *testing.T) {
+	// The same key must land in the same global set at every shard count:
+	// shard index and local set recombine to one global set.
+	for _, shards := range []int{1, 2, 4, 8} {
+		e := New(Config{Shards: shards, Sets: 64, Ways: 2, Policy: lruFactory})
+		for key := uint64(0); key < 1000; key++ {
+			s, local := e.place(key)
+			idx := -1
+			for i, sh := range e.shards {
+				if sh == s {
+					idx = i
+				}
+			}
+			global := idx + local*shards
+			want := int(mix64(key) & 63)
+			if global != want {
+				t.Fatalf("shards=%d key=%d: global set %d, want %d", shards, key, global, want)
+			}
+		}
+	}
+}

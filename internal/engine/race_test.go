@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costcache/internal/replacement"
+)
+
+// TestHammerMixedOps drives Get/Set/GetOrLoad from 32 goroutines (run under
+// -race in CI). Every operation resolves to exactly one of hit, miss or
+// coalesced-wait, so the counters must add up to the operation total.
+func TestHammerMixedOps(t *testing.T) {
+	e := New(Config{Shards: 4, Sets: 64, Ways: 4, Policy: lruFactory, Shadow: true})
+	const goroutines, opsEach = 32, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := uint64((g*31 + i) % 512)
+				switch i % 4 {
+				case 0:
+					e.Get(key)
+				case 1:
+					e.Set(key, key, replacement.Cost(1+key%8))
+				default:
+					if _, err := e.GetOrLoad(key, constLoader(key, 2)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	if total := st.Hits + st.Misses + st.Coalesced; total != goroutines*opsEach {
+		t.Fatalf("hits+misses+coalesced = %d, want %d (stats %+v)", total, goroutines*opsEach, st)
+	}
+}
+
+// TestCoalescingRunsLoaderOnce parks 32 goroutines on one key behind a gated
+// loader: the loader must run exactly once, every caller must observe its
+// value, and the cost must be charged once.
+func TestCoalescingRunsLoaderOnce(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	const waiters = 32
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	load := func(uint64) (any, replacement.Cost, error) {
+		calls.Add(1)
+		<-gate
+		return "loaded", 7, nil
+	}
+	results := make(chan any, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			v, err := e.GetOrLoad(42, load)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}()
+	}
+	// Wait until every non-leader goroutine is enqueued on the flight, then
+	// release the loader.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Coalesced != waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d coalesced waiters after 5s", e.Stats().Coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		if v := <-results; v != "loaded" {
+			t.Fatalf("waiter got %v", v)
+		}
+	}
+	st := e.Stats()
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times", calls.Load())
+	}
+	if st.Misses != 1 || st.Coalesced != waiters-1 || st.CostPaid != 7 {
+		t.Fatalf("stats = %+v, want 1 miss, %d coalesced, cost 7", st, waiters-1)
+	}
+}
+
+// TestLoaderPanicPropagates gates 32 goroutines on one key whose loader
+// panics: the panic must reach the leader (original value) and every
+// coalesced waiter (wrapped in *LoaderPanic) — and only them; the shard must
+// stay usable afterwards.
+func TestLoaderPanicPropagates(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	const waiters = 32
+	gate := make(chan struct{})
+	load := func(uint64) (any, replacement.Cost, error) {
+		<-gate
+		panic("origin exploded")
+	}
+	var leaders, wrapped atomic.Int64
+	panics := make(chan any, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer func() { panics <- recover() }()
+			_, _ = e.GetOrLoad(99, load)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Coalesced != waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d coalesced waiters after 5s", e.Stats().Coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		switch r := <-panics; v := r.(type) {
+		case string:
+			if v != "origin exploded" {
+				t.Fatalf("leader panic = %q", v)
+			}
+			leaders.Add(1)
+		case *LoaderPanic:
+			if v.Value != "origin exploded" {
+				t.Fatalf("waiter panic wraps %v", v.Value)
+			}
+			wrapped.Add(1)
+		default:
+			t.Fatalf("goroutine did not panic (recovered %v)", r)
+		}
+	}
+	if leaders.Load() != 1 || wrapped.Load() != waiters-1 {
+		t.Fatalf("%d leader / %d wrapped panics, want 1 / %d", leaders.Load(), wrapped.Load(), waiters-1)
+	}
+	// The shard must not be deadlocked or poisoned: no install happened, the
+	// flight is gone, and a clean load succeeds.
+	if _, ok := e.Get(99); ok {
+		t.Fatal("panicked load left an install behind")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.GetOrLoad(99, constLoader("fine", 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard deadlocked after loader panic")
+	}
+}
+
+// TestCoalescedErrorShared gates 32 goroutines on a failing loader: all must
+// see the same error, nothing installs, nothing is charged.
+func TestCoalescedErrorShared(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	const waiters = 16
+	gate := make(chan struct{})
+	boom := errors.New("load failed")
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := e.GetOrLoad(5, func(uint64) (any, replacement.Cost, error) {
+				<-gate
+				return nil, 0, boom
+			})
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Coalesced != waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d coalesced waiters after 5s", e.Stats().Coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	}
+	if st := e.Stats(); st.CostPaid != 0 || st.Evictions != 0 {
+		t.Fatalf("failed load charged cost: %+v", st)
+	}
+}
+
+// TestConcurrentSetDuringLoad exercises the install race: a Set lands while
+// the loader for the same key is in flight. The loader's value must win (so
+// leader, waiters and cache agree) and the cost must not be double-charged
+// beyond the Set's own install.
+func TestConcurrentSetDuringLoad(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go func() {
+		_, _ = e.GetOrLoad(11, func(uint64) (any, replacement.Cost, error) {
+			close(started)
+			<-gate
+			return "from-loader", 3, nil
+		})
+	}()
+	<-started
+	e.Set(11, "from-set", 4)
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := e.Get(11); ok && v == "from-loader" {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := e.Get(11)
+			t.Fatalf("cached value = %v, want from-loader", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

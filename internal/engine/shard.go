@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"costcache/internal/cache"
+	"costcache/internal/cost"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+// shard is one lock domain of the engine: a slice of the global set space,
+// its own policy instance, the in-flight load table and the optional LRU
+// shadow. All fields below mu are guarded by it; the counters are atomic so
+// Stats can read them without stopping traffic.
+type shard struct {
+	mu     sync.Mutex
+	policy replacement.Policy
+	sets   int // local set count (global sets / shards)
+	ways   int
+
+	keys  [][]uint64
+	valid [][]bool
+	vals  [][]any
+
+	// flights holds the in-flight GetOrLoad per key; waiters block on the
+	// flight's done channel off-lock, so a slow loader never holds the shard.
+	flights map[uint64]*flight
+
+	// shadow replays touches and installs through a same-geometry LRU cache;
+	// costs holds the last charged cost per shadow block so the shadow's
+	// misses are priced like the engine's.
+	shadow *cache.Cache
+	costs  map[uint64]replacement.Cost
+
+	hits, misses, coalesced *obs.Counter
+	evictions, costPaid     *obs.Counter
+	lockWait                *obs.Counter
+}
+
+// flight is one in-flight load. The result fields are written by the leader
+// before done is closed and read by waiters after it, so the channel close
+// publishes them.
+type flight struct {
+	done     chan struct{}
+	val      any
+	cost     replacement.Cost
+	err      error
+	panicked bool
+	pan      any
+}
+
+func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withShadow bool) *shard {
+	s := &shard{
+		policy:  p,
+		sets:    sets,
+		ways:    ways,
+		keys:    make([][]uint64, sets),
+		valid:   make([][]bool, sets),
+		vals:    make([][]any, sets),
+		flights: make(map[uint64]*flight),
+	}
+	for i := 0; i < sets; i++ {
+		s.keys[i] = make([]uint64, ways)
+		s.valid[i] = make([]bool, ways)
+		s.vals[i] = make([]any, ways)
+	}
+	p.Reset(sets, ways)
+	counter := func(base string) *obs.Counter {
+		if reg == nil {
+			return &obs.Counter{}
+		}
+		return reg.Counter(shardLabel(base, id))
+	}
+	s.hits = counter("engine_hits")
+	s.misses = counter("engine_misses")
+	s.coalesced = counter("engine_coalesced")
+	s.evictions = counter("engine_evictions")
+	s.costPaid = counter("engine_cost_paid")
+	s.lockWait = counter("engine_lock_wait_ns")
+	if withShadow {
+		s.costs = make(map[uint64]replacement.Cost)
+		s.shadow = cache.New(cache.Config{
+			Name:       fmt.Sprintf("shadow-%d", id),
+			SizeBytes:  sets * ways,
+			Ways:       ways,
+			BlockBytes: 1, // keys are "blocks": no spatial locality to model
+			Policy:     replacement.NewLRU(),
+			Cost:       cost.Func(func(block uint64) replacement.Cost { return s.costs[block] }),
+		})
+	}
+	return s
+}
+
+// lock acquires the shard mutex, charging blocked time to the lock-wait
+// counter. TryLock keeps the uncontended fast path free of clock reads.
+func (s *shard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	s.lockWait.Add(time.Since(t0).Nanoseconds())
+}
+
+// find returns the way holding key in set, or -1.
+func (s *shard) find(set int, key uint64) int {
+	for w := 0; w < s.ways; w++ {
+		if s.valid[set][w] && s.keys[set][w] == key {
+			return w
+		}
+	}
+	return -1
+}
+
+// install places key into set (which must not already hold it), evicting the
+// policy's victim from a full set, charging cost and mirroring the install
+// into the shadow. Callers hold the shard lock and have counted the miss.
+func (s *shard) install(set int, key uint64, value any, c replacement.Cost) {
+	s.policy.Access(set, key, false)
+	w := -1
+	for i := 0; i < s.ways; i++ {
+		if !s.valid[set][i] {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		w = s.policy.Victim(set)
+		if w < 0 || w >= s.ways || !s.valid[set][w] {
+			panic(fmt.Sprintf("engine: policy %s returned bad victim %d", s.policy.Name(), w))
+		}
+		s.evictions.Inc()
+	}
+	s.keys[set][w] = key
+	s.valid[set][w] = true
+	s.vals[set][w] = value
+	s.policy.Fill(set, w, key, c)
+	s.costPaid.Add(int64(c))
+	s.setShadowCost(set, key, c)
+	s.touchShadow(set, key)
+}
+
+// shadowBlock maps (set, key) to the shadow cache's block address: the low
+// bits pin the shadow set to the engine set, the rest carry the key, so the
+// shadow sees the same set partition the engine uses.
+func (s *shard) shadowBlock(set int, key uint64) uint64 {
+	return key*uint64(s.sets) + uint64(set)
+}
+
+// setShadowCost records the cost the shadow charges when it misses key.
+func (s *shard) setShadowCost(set int, key uint64, c replacement.Cost) {
+	if s.costs != nil {
+		s.costs[s.shadowBlock(set, key)] = c
+	}
+}
+
+// touchShadow replays one engine touch or install into the LRU shadow.
+func (s *shard) touchShadow(set int, key uint64) {
+	if s.shadow != nil {
+		s.shadow.Access(s.shadowBlock(set, key), false)
+	}
+}
+
+// shadowCost returns the aggregate cost the shadow has paid.
+func (s *shard) shadowCost() int64 {
+	if s.shadow == nil {
+		return 0
+	}
+	s.lock()
+	defer s.mu.Unlock()
+	return s.shadow.Stats().AggCost
+}

@@ -1,0 +1,270 @@
+// Package loadgen drives an engine.Engine with realistic concurrent request
+// streams and measures what the paper's simulators cannot: latency under
+// load. It supports two disciplines — closed-loop (each worker issues its
+// next request as soon as the previous one completes; measures capacity) and
+// open-loop (requests arrive on a fixed global schedule regardless of
+// completion; measures latency at an offered rate, including queueing delay,
+// the way a production SLO would) — over zipfian key streams or replays of
+// the synthetic SPLASH-2-like workload traces.
+//
+// Every request is a GetOrLoad against the engine; the simulated backend
+// sleeps in proportion to the key's miss cost, so cost-sensitive policies
+// that keep expensive keys resident show up directly in the latency
+// percentiles, not just in the aggregate-cost counters.
+//
+// Closed-loop runs with a single worker are fully deterministic: the same
+// seed produces identical hit/miss/cost counters at any shard count (the
+// engine's placement is shard-count-invariant), which is what makes engine
+// runs diffable via run manifests like simulator runs.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costcache/internal/cost"
+	"costcache/internal/engine"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/workload"
+)
+
+// Mode is the load discipline.
+type Mode string
+
+const (
+	// Closed issues each worker's next request when the previous completes.
+	Closed Mode = "closed"
+	// Open issues requests on a fixed arrival schedule (Rate per second),
+	// measuring latency from the scheduled arrival, so a backlogged engine
+	// accrues queueing delay instead of silently shedding load.
+	Open Mode = "open"
+)
+
+// Modes lists the valid -mode flag values.
+func Modes() []string { return []string{string(Closed), string(Open)} }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Mode is the load discipline ("" means Closed).
+	Mode Mode
+	// Workers is the number of request goroutines (0 means 1).
+	Workers int
+	// Ops is the total number of requests across workers (0 means 100000).
+	Ops int
+	// Rate is the open-loop arrival rate in requests/second; Closed ignores
+	// it.
+	Rate float64
+	// Keys is the zipfian key-space size (0 means 65536).
+	Keys int
+	// ZipfS is the zipf skew; values <= 1 fall back to a uniform stream.
+	ZipfS float64
+	// Workload, when non-empty, replays the named synthetic benchmark's
+	// block-address stream (quick-scaled) instead of the zipfian stream;
+	// Keys and ZipfS are then ignored.
+	Workload string
+	// Seed drives every random choice (key streams and cost mapping).
+	Seed int64
+	// CostLow/CostHigh/HighFrac configure the paper's random cost mapping:
+	// a key is high-cost with probability HighFrac (defaults 1, 8, 0.2).
+	CostLow, CostHigh replacement.Cost
+	// HighFrac is the high-cost key fraction.
+	HighFrac float64
+	// LoadDelay is the simulated backend latency per unit of miss cost: a
+	// miss on a cost-c key sleeps c×LoadDelay in its loader. 0 disables
+	// sleeping (counters stay meaningful, latency collapses).
+	LoadDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = Closed
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Ops == 0 {
+		c.Ops = 100000
+	}
+	if c.Keys == 0 {
+		c.Keys = 65536
+	}
+	if c.CostLow == 0 && c.CostHigh == 0 {
+		c.CostLow, c.CostHigh, c.HighFrac = 1, 8, 0.2
+	}
+	return c
+}
+
+// Result summarizes one load run.
+type Result struct {
+	// Ops is the number of requests completed; WallNs the run duration.
+	Ops    int64
+	WallNs int64
+	// Throughput is completed requests per second.
+	Throughput float64
+	// Stats is the engine counter delta over the run.
+	Stats engine.Stats
+	// Latency is the request latency distribution in nanoseconds
+	// (closed-loop: service time; open-loop: scheduled-arrival to
+	// completion, queueing included), with P50/P95/P99 upper bounds
+	// extracted from its buckets.
+	Latency             obs.HistogramSnapshot
+	P50Ns, P95Ns, P99Ns int64
+	// Interrupted reports a run stopped early via the stopped callback.
+	Interrupted bool
+}
+
+// latencyBuckets spans 250ns to ~25s in ×1.6 steps: sub-microsecond cache
+// hits up to badly backlogged open-loop tails.
+func latencyBuckets() []int64 { return obs.ExpBuckets(250, 1.6, 40) }
+
+// Run drives e with cfg. stopped, when non-nil, is polled at request
+// boundaries; a true return stops the run early and marks the result
+// Interrupted (the cli package's SIGINT handler plugs in here).
+func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode != Closed && cfg.Mode != Open {
+		return Result{}, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+	if cfg.Mode == Open && cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: open-loop mode needs Rate > 0")
+	}
+	if cfg.Workers < 0 || cfg.Ops < 0 {
+		return Result{}, fmt.Errorf("loadgen: negative Workers or Ops")
+	}
+	streams, err := keyStreams(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	src := cost.Random{Low: cfg.CostLow, High: cfg.CostHigh, Fraction: cfg.HighFrac, Seed: uint64(cfg.Seed)}
+	load := func(key uint64) (any, replacement.Cost, error) {
+		c := src.MissCost(key)
+		if cfg.LoadDelay > 0 && c > 0 {
+			time.Sleep(time.Duration(c) * cfg.LoadDelay)
+		}
+		return key, c, nil
+	}
+
+	hist := obs.NewHistogram(latencyBuckets())
+	var done, interrupted atomic.Int64
+	before := e.Stats()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			next := streams[w]
+			for i := 0; ; i++ {
+				key, ok := next()
+				if !ok {
+					return
+				}
+				if stopped != nil && i%64 == 0 && stopped() {
+					interrupted.Store(1)
+					return
+				}
+				var origin time.Time
+				if cfg.Mode == Open {
+					// Arrival w+i*Workers of the global schedule.
+					origin = start.Add(time.Duration(
+						float64(w+i*cfg.Workers) / cfg.Rate * float64(time.Second)))
+					if d := time.Until(origin); d > 0 {
+						time.Sleep(d)
+					}
+				} else {
+					origin = time.Now()
+				}
+				if _, err := e.GetOrLoad(key, load); err != nil {
+					// The synthetic loader never fails; a real one's errors
+					// still count as completed (errored) requests.
+					_ = err
+				}
+				hist.Observe(time.Since(origin).Nanoseconds())
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	wall := time.Since(start)
+	snap := hist.Snapshot()
+	res := Result{
+		Ops:         done.Load(),
+		WallNs:      wall.Nanoseconds(),
+		Stats:       e.Stats().Sub(before),
+		Latency:     snap,
+		P50Ns:       snap.Quantile(0.50),
+		P95Ns:       snap.Quantile(0.95),
+		P99Ns:       snap.Quantile(0.99),
+		Interrupted: interrupted.Load() != 0,
+	}
+	if wall > 0 {
+		res.Throughput = float64(res.Ops) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// keyStreams builds one key generator per worker. Each returns (key, true)
+// until its share of the run is exhausted. Streams depend only on cfg, never
+// on timing, so a single-worker closed-loop run is deterministic.
+func keyStreams(cfg Config) ([]func() (uint64, bool), error) {
+	share := func(w int) int { // worker w's share of cfg.Ops
+		n := cfg.Ops / cfg.Workers
+		if w < cfg.Ops%cfg.Workers {
+			n++
+		}
+		return n
+	}
+	if cfg.Workload != "" {
+		g, ok := workload.ByName(cfg.Workload)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown workload %q (valid: %v)", cfg.Workload, workload.Names())
+		}
+		refs := workload.Quick(g).Generate().Refs
+		if cfg.Ops < len(refs) {
+			refs = refs[:cfg.Ops]
+		}
+		streams := make([]func() (uint64, bool), cfg.Workers)
+		for w := range streams {
+			w := w
+			i := w // round-robin split keeps per-worker shares deterministic
+			streams[w] = func() (uint64, bool) {
+				if i >= len(refs) {
+					return 0, false
+				}
+				key := refs[i].Addr / workload.BlockBytes
+				i += cfg.Workers
+				return key, true
+			}
+		}
+		return streams, nil
+	}
+	streams := make([]func() (uint64, bool), cfg.Workers)
+	for w := range streams {
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(w)))
+		var zipf *rand.Zipf
+		if cfg.ZipfS > 1 {
+			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+		}
+		n := share(w)
+		i := 0
+		streams[w] = func() (uint64, bool) {
+			if i >= n {
+				return 0, false
+			}
+			i++
+			if zipf != nil {
+				return zipf.Uint64(), true
+			}
+			return uint64(rng.Intn(cfg.Keys)), true
+		}
+	}
+	return streams, nil
+}

@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"costcache/internal/engine"
+	"costcache/internal/replacement"
+)
+
+func dclFactory() replacement.Policy { return replacement.NewDCL() }
+
+// TestClosedLoopDeterministicAcrossShardCounts is the engine's core
+// reproducibility guarantee: a same-seed single-worker closed-loop run
+// produces identical hit/miss/cost counters at every shard count, because
+// key→set placement and per-set policy state never depend on sharding.
+func TestClosedLoopDeterministicAcrossShardCounts(t *testing.T) {
+	cfg := Config{
+		Mode: Closed, Workers: 1, Ops: 20000,
+		Keys: 4096, ZipfS: 1.2, Seed: 7,
+	}
+	var ref engine.Stats
+	for i, shards := range []int{1, 4, 16} {
+		e := engine.New(engine.Config{
+			Shards: shards, Sets: 256, Ways: 4, Policy: dclFactory, Shadow: true,
+		})
+		res, err := Run(e, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		st.LockWaitNs = 0 // timing, legitimately varies
+		if i == 0 {
+			ref = st
+			if ref.Hits == 0 || ref.Misses == 0 || ref.CostPaid == 0 || ref.ShadowCost == 0 {
+				t.Fatalf("degenerate reference run: %+v", ref)
+			}
+			continue
+		}
+		if st != ref {
+			t.Fatalf("shards=%d diverged:\n got %+v\nwant %+v", shards, st, ref)
+		}
+	}
+}
+
+// TestClosedLoopDeterministicReplay checks the workload-replay stream the
+// same way on the smallest benchmark trace.
+func TestClosedLoopDeterministicReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace generation in -short")
+	}
+	cfg := Config{Mode: Closed, Workers: 1, Ops: 10000, Workload: "LU", Seed: 3}
+	var ref engine.Stats
+	for i, shards := range []int{1, 8} {
+		e := engine.New(engine.Config{
+			Shards: shards, Sets: 128, Ways: 4, Policy: dclFactory, Shadow: true,
+		})
+		res, err := Run(e, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		st.LockWaitNs = 0
+		if i == 0 {
+			ref = st
+			continue
+		}
+		if st != ref {
+			t.Fatalf("shards=%d diverged:\n got %+v\nwant %+v", shards, st, ref)
+		}
+	}
+}
+
+func TestOpenLoopSmoke(t *testing.T) {
+	e := engine.New(engine.Config{Shards: 4, Sets: 64, Ways: 4, Policy: dclFactory, Shadow: true})
+	res, err := Run(e, Config{
+		Mode: Open, Workers: 4, Ops: 2000, Rate: 50000,
+		Keys: 1024, ZipfS: 1.3, Seed: 9,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("completed %d ops, want 2000", res.Ops)
+	}
+	if res.Latency.Count != res.Ops {
+		t.Fatalf("latency histogram holds %d samples, want %d", res.Latency.Count, res.Ops)
+	}
+	if res.Throughput <= 0 || res.P99Ns < res.P50Ns {
+		t.Fatalf("bad derived figures: %+v", res)
+	}
+	st := res.Stats
+	if st.Hits+st.Misses+st.Coalesced != res.Ops {
+		t.Fatalf("counter total %d != ops %d", st.Hits+st.Misses+st.Coalesced, res.Ops)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	e := engine.New(engine.Config{Shards: 1, Sets: 8, Ways: 2})
+	if _, err := Run(e, Config{Mode: "sideways"}, nil); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := Run(e, Config{Mode: Open}, nil); err == nil {
+		t.Fatal("open loop without rate accepted")
+	}
+	if _, err := Run(e, Config{Workload: "NoSuchBench"}, nil); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStoppedInterruptsRun(t *testing.T) {
+	e := engine.New(engine.Config{Shards: 1, Sets: 64, Ways: 4})
+	var n atomic.Int64
+	stopped := func() bool { return n.Add(1) > 3 }
+	res, err := Run(e, Config{Mode: Closed, Workers: 2, Ops: 1000000, Keys: 1024}, stopped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("run not marked interrupted")
+	}
+	if res.Ops >= 1000000 {
+		t.Fatal("run did not stop early")
+	}
+}

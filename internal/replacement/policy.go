@@ -27,6 +27,17 @@ type Cost int64
 // Policy is a replacement algorithm bound to one cache. Implementations own
 // per-set replacement metadata and are not safe for concurrent use.
 //
+// Concurrency contract: a Policy is single-goroutine. Every implementation
+// in this package mutates per-set state (LRU stacks, reservation flags, the
+// ETD, ACL automata) without internal locking, and no hook may run while
+// another hook is executing on the same instance — not even on a different
+// set. Callers that serve concurrent traffic must serialize externally and
+// use one instance per lock domain; the engine package's shards are the
+// canonical synchronization boundary (one Policy per shard, every hook
+// invoked under that shard's mutex — see internal/engine). Simulators that
+// run caches on several goroutines likewise give each cache its own
+// instance via a Factory.
+//
 // The cache must call the hooks as follows, for a reference to a block with
 // the given tag mapping to the given set:
 //

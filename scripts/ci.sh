@@ -49,6 +49,19 @@ grep -q '"fault_plan_hash": "[0-9a-f]' "$smoke/faulted.json" || {
 grep -Eq '"fault_nacks": [1-9]' "$smoke/faulted.json" || {
     echo "ci: link-outage run recorded zero NACKs" >&2; exit 1; }
 
+# Engine load smoke: a short zipfian open-loop cachebench run against the
+# sharded engine must produce a valid manifest with nonzero hit and coalesce
+# counters (coalescing is forced by a slow loader plus 8 workers on a cold,
+# highly skewed key stream).
+go run ./cmd/cachebench -policy DCL -shards 16 -workers 8 -mode open \
+    -rate 20000 -ops 20000 -keys 4096 -zipf 1.3 -loaddelay 2ms -seed 42 \
+    -quiet -manifest "$smoke/engine.json" > "$smoke/engine.txt"
+go run ./cmd/report -check "$smoke/engine.json"
+grep -Eq '"engine_hits": [1-9]' "$smoke/engine.json" || {
+    echo "ci: cachebench run recorded zero hits" >&2; exit 1; }
+grep -Eq '"engine_coalesced": [1-9]' "$smoke/engine.json" || {
+    echo "ci: cachebench run recorded zero coalesced loads" >&2; exit 1; }
+
 # Interrupt smoke: SIGINT a run mid-flight; it must exit 130 and still
 # flush a well-formed partial manifest marked interrupted. Built as a
 # binary so the signal reaches the simulator, not `go run`. Raytrace is the
