@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench loadtest ci clean
+.PHONY: all build test race vet fmt bench benchall loadtest ci clean
 
 all: build
 
@@ -23,7 +23,14 @@ vet:
 fmt:
 	gofmt -l .
 
+# bench regenerates the engine hot-path baseline manifest that ci.sh diffs
+# fresh runs against (generous tolerance; see results/README.md). For the
+# full raw benchmark suite use `make benchall`.
 bench:
+	BENCH_MANIFEST=results/BENCH_engine.json \
+	    $(GO) test -run TestWriteBenchManifest -count=1 .
+
+benchall:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # loadtest drives the concurrent sharded engine with the open-loop zipfian

@@ -1,0 +1,113 @@
+// Engine benchmark baseline: TestWriteBenchManifest re-runs the GetOrLoad
+// hot-path benchmarks (BenchmarkEngineParallel / BenchmarkEngineContention's
+// configurations, without sub-benchmark output) through testing.Benchmark
+// and writes the figures as a run manifest, so `make bench` produces
+// results/BENCH_engine.json in the same stable schema cmd/report already
+// validates and diffs. The test is a no-op unless BENCH_MANIFEST names the
+// output file, so a plain `go test ./...` never spends benchmark time;
+// -benchtime scales the measurement window as usual.
+package costcache_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"costcache/internal/engine"
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+// benchEngineParallel measures GetOrLoad under RunParallel on the standard
+// bench geometry (4096 sets × 4 ways, DCL, 90/10 hot/cold keys) and returns
+// the result plus the engine's own counters for derived metrics.
+func benchEngineParallel(shards int) (testing.BenchmarkResult, engine.Stats) {
+	var st engine.Stats
+	r := testing.Benchmark(func(b *testing.B) {
+		e := engine.New(engine.Config{
+			Shards: shards, Sets: 4096, Ways: 4,
+			Policy: func() replacement.Policy { return replacement.NewDCL() },
+		})
+		var seed atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			keys := benchKeys{state: seed.Add(0x9e3779b97f4a7c15)}
+			for pb.Next() {
+				if _, err := e.GetOrLoad(keys.next(), benchLoader); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		st = e.Stats()
+	})
+	return r, st
+}
+
+// benchEngineContention hammers one always-cached key: the serialized
+// single-shard floor.
+func benchEngineContention(shards int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		e := engine.New(engine.Config{
+			Shards: shards, Sets: 4096, Ways: 4,
+			Policy: func() replacement.Policy { return replacement.NewDCL() },
+		})
+		if _, err := e.GetOrLoad(1, benchLoader); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := e.GetOrLoad(1, benchLoader); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// TestWriteBenchManifest writes the engine benchmark baseline manifest to
+// $BENCH_MANIFEST (skipped when unset). scripts/ci.sh runs it with a short
+// -benchtime into a scratch directory and diffs against the archived
+// results/BENCH_engine.json with a generous tolerance; `make bench`
+// regenerates the archive itself.
+func TestWriteBenchManifest(t *testing.T) {
+	path := os.Getenv("BENCH_MANIFEST")
+	if path == "" {
+		t.Skip("set BENCH_MANIFEST=<path> to write the engine benchmark manifest")
+	}
+	m := manifest.New("bench")
+	m.SetConfig("sets", 4096)
+	m.SetConfig("ways", 4)
+	m.SetConfig("policy", "DCL")
+	m.SetConfig("gomaxprocs", runtime.GOMAXPROCS(0))
+	m.SetConfig("cpus", runtime.NumCPU())
+	for _, shards := range []int{1, 4, 16} {
+		label := fmt.Sprint(shards)
+		r, st := benchEngineParallel(shards)
+		m.SetMetric(obs.Name("bench_parallel_ns_op", "shards", label), float64(r.NsPerOp()))
+		m.SetMetric(obs.Name("bench_parallel_allocs_op", "shards", label), float64(r.AllocsPerOp()))
+		if ops := st.Hits + st.Misses + st.Coalesced; ops > 0 {
+			m.SetMetric(obs.Name("bench_parallel_hit_pct", "shards", label), 100*st.HitRate())
+			m.SetMetric(obs.Name("bench_parallel_lockwait_ns_op", "shards", label),
+				float64(st.LockWaitNs)/float64(ops))
+		}
+	}
+	for _, shards := range []int{1, 16} {
+		label := fmt.Sprint(shards)
+		r := benchEngineContention(shards)
+		m.SetMetric(obs.Name("bench_contention_ns_op", "shards", label), float64(r.NsPerOp()))
+		m.SetMetric(obs.Name("bench_contention_allocs_op", "shards", label), float64(r.AllocsPerOp()))
+	}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote engine benchmark manifest to %s", path)
+}

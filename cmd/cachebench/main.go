@@ -7,17 +7,34 @@
 //	cachebench -policy DCL -shards 16                      # open-loop zipfian
 //	cachebench -mode closed -workers 1 -seed 7             # deterministic run
 //	cachebench -workload Barnes -mode closed -workers 8    # trace replay
+//	cachebench -attr -attr.sample 1                        # stage attribution
+//	cachebench -span.trace trace.json -obs.sample 0.05     # request spans
+//	cachebench -obs.listen localhost:0 -profile.dir prof/  # live + profiling
+//
+// -attr samples requests into stage-attributed spans (lock wait, decision,
+// coalesce wait, load, fill, shadow) and prints the decomposition of the
+// latency percentiles on stderr; -attr.sample sets the measured fraction.
+// -span.jsonl / -span.trace additionally emit an -obs.sample fraction of
+// full spans as JSONL / Chrome trace-event JSON (same formats as numasim's
+// miss spans — a merged file renders both in one Perfetto timeline; see
+// report -merge). Span counts are reconciled against the engine counters
+// after the run; a mismatch is fatal. -obs.listen serves /metrics, pprof
+// and the /debug/engine analytics JSON (hot shards, lock-wait and
+// coalesce-depth heatmaps, keyspace skew). -profile.dir captures periodic
+// CPU/heap/mutex/block pprof snapshots keyed to the run manifest.
 //
 // -manifest writes a self-describing run manifest (engine counters, latency
-// percentiles, per-shard series) that cmd/report can validate with -check
-// and diff against other runs. SIGINT/SIGTERM stop the run at the next
-// request boundary, flush a partial manifest marked "interrupted": true and
-// exit 130.
+// percentiles, per-shard series, stage attribution) that cmd/report can
+// validate with -check and diff against other runs (-attr diffs the stage
+// tables). SIGINT/SIGTERM stop the run at the next request boundary, flush
+// a partial manifest marked "interrupted": true and exit 130.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -26,6 +43,8 @@ import (
 	"costcache/internal/loadgen"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/obs/span"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
@@ -51,6 +70,14 @@ func main() {
 	noShadow := flag.Bool("noshadow", false, "disable the per-shard LRU shadow (and the savings report)")
 	quiet := flag.Bool("quiet", false, "suppress the per-second progress line on stderr")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file")
+	attr := flag.Bool("attr", false, "print the serving-path stage-attribution table on stderr")
+	attrSample := flag.Float64("attr.sample", 1.0, "fraction of requests measured into stage attribution, in (0,1]")
+	obsSample := flag.Float64("obs.sample", 0.01, "fraction of requests emitted as full spans, in (0,1]")
+	spanJSONL := flag.String("span.jsonl", "", "write emitted request spans as JSONL to this file")
+	spanTrace := flag.String("span.trace", "", "write emitted request spans as Chrome trace-event JSON to this file")
+	obsListen := flag.String("obs.listen", "", "serve /metrics, /debug/engine and pprof on this address")
+	profileDir := flag.String("profile.dir", "", "capture periodic CPU/heap/mutex/block pprof snapshots into this directory")
+	profileInterval := flag.Duration("profile.interval", 30*time.Second, "continuous-profiling snapshot period")
 	flag.Parse()
 
 	factory, ok := replacement.ByName(*policy)
@@ -65,6 +92,33 @@ func main() {
 			cli.BadFlag("cachebench", "-workload", *bench, workload.Names())
 		}
 	}
+	rateValid := []string{"a sampling fraction in (0, 1]"}
+	if *attrSample <= 0 || *attrSample > 1 {
+		cli.BadFlag("cachebench", "-attr.sample", fmt.Sprint(*attrSample), rateValid)
+	}
+	if *obsSample <= 0 || *obsSample > 1 {
+		cli.BadFlag("cachebench", "-obs.sample", fmt.Sprint(*obsSample), rateValid)
+	}
+
+	// The request tracer attaches when any consumer of its data is on:
+	// the attribution table, span emission, or the live debug endpoint.
+	var tracer *reqspan.Tracer
+	var sinks []*spanSink
+	var chromeSink *span.ChromeSink
+	if *attr || *spanJSONL != "" || *spanTrace != "" || *obsListen != "" {
+		tcfg := reqspan.Config{AttrRate: *attrSample}
+		var jsonlSink *span.LineSink
+		if *spanJSONL != "" {
+			jsonlSink = span.NewLineSink(openSink(&sinks, *spanJSONL))
+		}
+		if *spanTrace != "" {
+			chromeSink = span.NewChromeSink(openSink(&sinks, *spanTrace))
+		}
+		if jsonlSink != nil || chromeSink != nil {
+			tcfg.EmitRate = *obsSample
+		}
+		tracer = reqspan.New(tcfg, jsonlSink, chromeSink)
+	}
 
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Config{
@@ -74,6 +128,7 @@ func main() {
 		Policy:   factory,
 		Registry: reg,
 		Shadow:   !*noShadow,
+		Tracer:   tracer,
 	})
 	cfg := loadgen.Config{
 		Mode:      loadgen.Mode(*mode),
@@ -88,8 +143,32 @@ func main() {
 		CostHigh:  replacement.Cost(*costHigh),
 		HighFrac:  *haf,
 		LoadDelay: *loadDelay,
+		Tracer:    tracer,
 	}
 	stopped := cli.Interrupt()
+
+	if *obsListen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg))
+		mux.Handle("/debug/engine", engine.DebugHandler(eng, tracer))
+		srv, err := obs.ServeHandler(*obsListen, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s (metrics, pprof, debug/engine)\n", srv.Addr())
+	}
+
+	var prof *obs.Profiler
+	if *profileDir != "" {
+		var err error
+		prof, err = obs.StartProfiler(obs.ProfilerConfig{Dir: *profileDir, Interval: *profileInterval})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench:", err)
+			os.Exit(1)
+		}
+	}
 
 	stopProgress := make(chan struct{})
 	if !*quiet {
@@ -102,10 +181,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	if prof != nil {
+		if err := prof.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench: profiler:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d profile snapshots to %s\n", len(prof.Snapshots()), *profileDir)
+	}
+
 	printSummary(*policy, *shards, *workers, *mode, res)
 
+	if tracer != nil {
+		if chromeSink != nil {
+			chromeSink.Close()
+		}
+		for _, s := range sinks {
+			s.close()
+		}
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench: span sink:", err)
+			os.Exit(1)
+		}
+		reconcileSpans(tracer, res.Stats)
+		if *attr {
+			fmt.Fprintln(os.Stderr)
+			tracer.Attribution().WriteTable(os.Stderr,
+				fmt.Sprintf("serving-path attribution · %s · %d shards", *policy, *shards))
+		}
+		if *spanJSONL != "" || *spanTrace != "" {
+			fmt.Printf("wrote request spans (1 in %d sampled; jsonl=%q chrome=%q; load chrome traces at ui.perfetto.dev)\n",
+				tracer.AttrEvery(), *spanJSONL, *spanTrace)
+		}
+	}
+
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res); err != nil {
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, prof, *profileDir); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
@@ -113,6 +223,83 @@ func main() {
 	}
 	if res.Interrupted {
 		os.Exit(cli.ExitInterrupted)
+	}
+}
+
+// spanSink is one buffered span output file.
+type spanSink struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func (s *spanSink) close() {
+	if err := s.bw.Flush(); err == nil {
+		err = s.f.Close()
+	} else {
+		s.f.Close()
+		fmt.Fprintln(os.Stderr, "cachebench:", err)
+		os.Exit(1)
+	}
+}
+
+// openSink creates path and tracks the file for the post-run flush.
+func openSink(sinks *[]*spanSink, path string) *bufio.Writer {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachebench:", err)
+		os.Exit(1)
+	}
+	s := &spanSink{f: f, bw: bufio.NewWriterSize(f, 1<<20)}
+	*sinks = append(*sinks, s)
+	return s.bw
+}
+
+// reconcileSpans cross-checks the tracer against the engine counters. The
+// deterministic sampling stride makes the total exact at any rate — spans
+// == floor(requests/stride) — and the per-outcome counts exact at stride 1
+// (hits ↔ hit spans, misses ↔ miss+error spans, coalesced ↔ coalesced
+// spans). It also checks the accounting identity that stage sums plus the
+// unattributed remainder tile the sampled latency histogram's total within
+// 1% (exact on a quiesced run; the slack covers future concurrent readers).
+// Any mismatch means the instrumentation drifted off the request path, so
+// it is fatal.
+func reconcileSpans(tr *reqspan.Tracer, st engine.Stats) {
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cachebench: span reconciliation: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	a := tr.Attribution()
+	total := st.Hits + st.Misses + st.Coalesced
+	every := int64(tr.AttrEvery())
+	if int64(tr.Requests()) != total {
+		fatal("tracer saw %d requests, engine counted %d", tr.Requests(), total)
+	}
+	if want := total / every; a.Spans != want {
+		fatal("%d spans, want %d (%d requests / %d stride)", a.Spans, want, total, every)
+	}
+	if every == 1 {
+		if a.Outcomes[reqspan.OutcomeHit] != st.Hits {
+			fatal("%d hit spans vs %d engine hits", a.Outcomes[reqspan.OutcomeHit], st.Hits)
+		}
+		if got := a.Outcomes[reqspan.OutcomeMiss] + a.Outcomes[reqspan.OutcomeError]; got != st.Misses {
+			fatal("%d miss+error spans vs %d engine misses", got, st.Misses)
+		}
+		if a.Outcomes[reqspan.OutcomeCoalesced] != st.Coalesced {
+			fatal("%d coalesced spans vs %d engine coalesced", a.Outcomes[reqspan.OutcomeCoalesced], st.Coalesced)
+		}
+	}
+	if a.Latency.Sum != a.TotalNs {
+		fatal("latency histogram sum %d != span total %d", a.Latency.Sum, a.TotalNs)
+	}
+	if a.TotalNs > 0 {
+		cover := float64(a.StageSumNs()+a.OtherNs) / float64(a.TotalNs)
+		if cover < 0.99 || cover > 1.01 {
+			fatal("stage sums cover %.4f of span time, want 1±0.01", cover)
+		}
+		fmt.Printf("span reconciliation: %d spans == %d requests / %d; stage sums cover %.2f%% of sampled latency\n",
+			a.Spans, total, every, 100*cover)
+	} else {
+		fmt.Printf("span reconciliation: %d spans == %d requests / %d\n", a.Spans, total, every)
 	}
 }
 
@@ -164,7 +351,8 @@ func printSummary(policy string, shards, workers int, mode string, res loadgen.R
 }
 
 func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
-	eng *engine.Engine, reg *obs.Registry, res loadgen.Result) error {
+	eng *engine.Engine, reg *obs.Registry, res loadgen.Result,
+	tracer *reqspan.Tracer, prof *obs.Profiler, profileDir string) error {
 	m := manifest.New("cachebench")
 	m.SetConfig("policy", policy)
 	m.SetConfig("mode", mode)
@@ -199,6 +387,13 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	if st.ShadowCost > 0 {
 		m.SetMetric("engine_shadow_cost", float64(st.ShadowCost))
 		m.SetMetric("savings_vs_lru_pct", 100*st.Savings())
+	}
+	if tracer != nil {
+		m.SetAttribution(tracer.Attribution())
+	}
+	if prof != nil {
+		m.SetConfig("profile_dir", profileDir)
+		m.SetMetric("profile_snapshots", float64(len(prof.Snapshots())))
 	}
 	m.AddSnapshot(reg.Snapshot()) // per-shard engine_* series
 	return m.WriteFile(path)

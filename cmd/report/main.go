@@ -17,13 +17,33 @@
 // Files are sniffed by content: a JSON array is validated as a Chrome
 // trace, a .jsonl file as span JSONL, anything else as a manifest. Exit
 // status 1 if any file is malformed.
+//
+// Attribution mode diffs the serving-path stage-attribution tables of two
+// cachebench manifests (the attr_* series written under -attr):
+//
+//	report -attr [-tol 10] [-strict] old.json new.json
+//
+// Each stage's per-span mean nanoseconds is compared; stages whose mean
+// grew beyond the tolerance and that carry at least 1% of the new run's
+// span time are flagged regressed — "p99 went up" becomes "the load stage
+// regressed 40%, everything else held". Exit status as in diff mode.
+//
+// Merge mode concatenates Chrome trace arrays into one timeline:
+//
+//	report -merge combined.json engine.json simulator.json
+//
+// Engine request spans render on pids 1000+shard and simulator miss spans
+// on pids 0..63, so the merged file shows both in one Perfetto view. The
+// result is validated before writing; exit status 1 on malformed input.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"costcache/internal/manifest"
@@ -34,14 +54,22 @@ func main() {
 	tol := flag.Float64("tol", 2, "relative drift tolerance in percent")
 	strict := flag.Bool("strict", false, "exit 1 when any metric regressed")
 	check := flag.Bool("check", false, "validate files instead of diffing manifests")
+	attr := flag.Bool("attr", false, "diff the stage-attribution tables of two manifests")
+	merge := flag.Bool("merge", false, "merge Chrome trace files: out.json in.json...")
 	flag.Parse()
 
 	if *check {
 		os.Exit(runCheck(flag.Args()))
 	}
+	if *merge {
+		os.Exit(runMerge(flag.Args()))
+	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: report [-tol pct] [-strict] old.json new.json\n       report -check file...")
+		fmt.Fprintln(os.Stderr, "usage: report [-attr] [-tol pct] [-strict] old.json new.json\n       report -check file...\n       report -merge out.json in.json...")
 		os.Exit(2)
+	}
+	if *attr {
+		os.Exit(runAttr(flag.Arg(0), flag.Arg(1), *tol, *strict))
 	}
 	os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *tol, *strict))
 }
@@ -138,6 +166,174 @@ func runCheck(paths []string) int {
 		return 1
 	}
 	return 0
+}
+
+// attrRow is one stage of a manifest's flattened attribution table.
+type attrRow struct {
+	ns, count float64
+}
+
+// attribution reconstructs the stage table from a manifest's attr_* metrics.
+// ok is false when the manifest carries no attribution (run without -attr
+// sampling).
+func attribution(m *manifest.Manifest) (stages map[string]attrRow, spans, totalNs float64, ok bool) {
+	spans, ok = m.Metrics["attr_spans"]
+	if !ok || spans <= 0 {
+		return nil, 0, 0, false
+	}
+	totalNs = m.Metrics["attr_total_ns"]
+	stages = map[string]attrRow{
+		"other": {ns: m.Metrics["attr_other_ns"], count: spans},
+	}
+	const pre = `attr_stage_ns{stage="`
+	for name, v := range m.Metrics {
+		if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, `"}`) {
+			continue
+		}
+		stage := name[len(pre) : len(name)-2]
+		stages[stage] = attrRow{
+			ns:    v,
+			count: m.Metrics[`attr_stage_count{stage="`+stage+`"}`],
+		}
+	}
+	return stages, spans, totalNs, true
+}
+
+// runAttr diffs two manifests' stage-attribution tables by per-span mean
+// nanoseconds, attributing a latency regression to the stages that moved.
+func runAttr(oldPath, newPath string, tol float64, strict bool) int {
+	oldM, err := manifest.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	newM, err := manifest.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	oldT, oldSpans, _, ok := attribution(oldM)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "report: %s carries no attr_* metrics (run cachebench with -attr)\n", oldPath)
+		return 2
+	}
+	newT, newSpans, newTotal, ok := attribution(newM)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "report: %s carries no attr_* metrics (run cachebench with -attr)\n", newPath)
+		return 2
+	}
+	fmt.Printf("old: %s (%.0f spans)  new: %s (%.0f spans)\n", oldPath, oldSpans, newPath, newSpans)
+	for _, q := range []string{"p50", "p95", "p99"} {
+		name := "attr_latency_" + q + "_ns"
+		fmt.Printf("  %s %s -> %s\n", q, dur(oldM.Metrics[name]), dur(newM.Metrics[name]))
+	}
+
+	names := make([]string, 0, len(newT))
+	for n := range newT {
+		if n != "other" {
+			names = append(names, n)
+		}
+	}
+	for n := range oldT {
+		if _, seen := newT[n]; !seen && n != "other" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	names = append(names, "other")
+
+	regressed := 0
+	t := tabulate.New(fmt.Sprintf("stage attribution drift (per-span mean, tolerance %.3g%%)", tol),
+		"stage", "old ns/span", "new ns/span", "delta %", "new share %", "verdict")
+	for _, n := range names {
+		oldMean := safeDiv(oldT[n].ns, oldSpans)
+		newMean := safeDiv(newT[n].ns, newSpans)
+		delta := 100 * safeDiv(newMean-oldMean, oldMean)
+		share := 100 * safeDiv(newT[n].ns, newTotal)
+		verdict := "ok"
+		switch {
+		case oldMean == 0 && newMean == 0:
+			verdict = "-"
+		case delta > tol && share >= 1:
+			verdict = "regressed"
+			regressed++
+		case delta < -tol && share >= 1:
+			verdict = "improved"
+		}
+		t.Add(n, fmt.Sprintf("%.0f", oldMean), fmt.Sprintf("%.0f", newMean),
+			fmt.Sprintf("%+.2f", delta), fmt.Sprintf("%.2f", share), verdict)
+	}
+	t.Fprint(os.Stdout)
+	if regressed > 0 {
+		fmt.Printf("%d stage(s) regressed beyond %.3g%%\n", regressed, tol)
+		if strict {
+			return 1
+		}
+		fmt.Println("warning: stage regressions above; rerun with -strict to fail on them")
+	} else {
+		fmt.Println("no stage regressed beyond tolerance")
+	}
+	return 0
+}
+
+// runMerge concatenates Chrome trace arrays (first arg is the output path)
+// and validates the combined timeline before writing it.
+func runMerge(paths []string) int {
+	if len(paths) < 3 {
+		fmt.Fprintln(os.Stderr, "report: -merge needs an output and at least two inputs")
+		return 2
+	}
+	out, inputs := paths[0], paths[1:]
+	var merged []json.RawMessage
+	for _, p := range inputs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			return 1
+		}
+		var evs []json.RawMessage
+		if err := json.Unmarshal(data, &evs); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: not a Chrome trace array: %v\n", p, err)
+			return 1
+		}
+		merged = append(merged, evs...)
+	}
+	data, err := json.Marshal(merged)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	events, spans, err := manifest.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: merged trace invalid: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	fmt.Printf("%s: merged %d files, %d events, %d spans (load at ui.perfetto.dev)\n",
+		out, len(inputs), events, spans)
+	return 0
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// dur renders nanoseconds in a human unit.
+func dur(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
 }
 
 // kindOf sniffs the artifact kind: a leading '[' is a Chrome trace array, a

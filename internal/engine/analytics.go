@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"costcache/internal/obs/reqspan"
+)
+
+// ShardStats is one shard's cumulative counters plus its instantaneous
+// coalescing state — the raw material for hot-shard detection and the
+// lock-wait / coalesce-depth heatmaps served at /debug/engine.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Hits/Misses/Coalesced/Evictions/CostPaid/LockWaitNs mirror Stats,
+	// unaggregated.
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced"`
+	Evictions  int64 `json:"evictions"`
+	CostPaid   int64 `json:"cost_paid"`
+	LockWaitNs int64 `json:"lock_wait_ns"`
+	// InFlight is the number of loads currently in flight on the shard;
+	// MaxInFlight the deepest the flight table has ever been (the
+	// coalesce-depth high-water mark).
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+}
+
+// Ops returns the shard's total request count (hits + misses + coalesced).
+func (s ShardStats) Ops() int64 { return s.Hits + s.Misses + s.Coalesced }
+
+// ShardStats snapshots every shard. The counters are atomic; the flight
+// depths take each shard lock briefly.
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		st := ShardStats{
+			Shard:      i,
+			Hits:       s.hits.Value(),
+			Misses:     s.misses.Value(),
+			Coalesced:  s.coalesced.Value(),
+			Evictions:  s.evictions.Value(),
+			CostPaid:   s.costPaid.Value(),
+			LockWaitNs: s.lockWait.Value(),
+		}
+		s.lock()
+		st.InFlight = len(s.flights)
+		st.MaxInFlight = s.flightsMax
+		s.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// hotShareFactor flags a shard as hot when its share of window traffic
+// exceeds this multiple of the uniform share (1/shards). 2× is well past
+// the splitmix64 placement's natural imbalance at any realistic op count,
+// so flags indicate genuinely skewed keyspaces, not hash noise.
+const hotShareFactor = 2.0
+
+// ShardWindow is one shard's activity over an analytics window.
+type ShardWindow struct {
+	Shard int `json:"shard"`
+	// Ops is the window's request count and Share its fraction of the
+	// whole engine's window traffic.
+	Ops   int64   `json:"ops"`
+	Share float64 `json:"share"`
+	// LockWaitNs and Coalesced are window deltas; InFlight and MaxInFlight
+	// are instantaneous/cumulative (the heatmap columns).
+	LockWaitNs  int64 `json:"lock_wait_ns"`
+	Coalesced   int64 `json:"coalesced"`
+	InFlight    int   `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	// Hot marks a share above hotShareFactor× the uniform share.
+	Hot bool `json:"hot"`
+}
+
+// Analytics is a windowed decomposition of engine activity by shard: who is
+// hot, where lock wait concentrates, and how deep miss coalescing stacks.
+type Analytics struct {
+	// WindowNs is the wall-clock span the deltas cover (0 = since start).
+	WindowNs int64 `json:"window_ns"`
+	// Ops is the engine-wide window request count.
+	Ops int64 `json:"ops"`
+	// UniformShare is 1/shards, the no-skew baseline for Share columns.
+	UniformShare float64 `json:"uniform_share"`
+	// Shards is the per-shard window breakdown, shard-ordered.
+	Shards []ShardWindow `json:"shards"`
+	// Hot lists the indices of hot shards, hottest first.
+	Hot []int `json:"hot"`
+}
+
+// Analyze decomposes the window between two ShardStats snapshots (prev may
+// be nil: the window then spans from engine start). windowNs is the
+// wall-clock duration between the snapshots.
+func Analyze(cur, prev []ShardStats, windowNs int64) Analytics {
+	a := Analytics{WindowNs: windowNs, UniformShare: 1 / float64(len(cur))}
+	a.Shards = make([]ShardWindow, len(cur))
+	for i, c := range cur {
+		w := ShardWindow{
+			Shard:       i,
+			Ops:         c.Ops(),
+			LockWaitNs:  c.LockWaitNs,
+			Coalesced:   c.Coalesced,
+			InFlight:    c.InFlight,
+			MaxInFlight: c.MaxInFlight,
+		}
+		if i < len(prev) {
+			w.Ops -= prev[i].Ops()
+			w.LockWaitNs -= prev[i].LockWaitNs
+			w.Coalesced -= prev[i].Coalesced
+		}
+		a.Ops += w.Ops
+		a.Shards[i] = w
+	}
+	for i := range a.Shards {
+		if a.Ops > 0 {
+			a.Shards[i].Share = float64(a.Shards[i].Ops) / float64(a.Ops)
+		}
+		a.Shards[i].Hot = a.Shards[i].Ops > 0 &&
+			a.Shards[i].Share > hotShareFactor*a.UniformShare
+		if a.Shards[i].Hot {
+			a.Hot = append(a.Hot, i)
+		}
+	}
+	sort.Slice(a.Hot, func(x, y int) bool {
+		return a.Shards[a.Hot[x]].Share > a.Shards[a.Hot[y]].Share
+	})
+	return a
+}
+
+// debugState is the rolling window kept by the /debug/engine handler: each
+// request reports activity since the previous request (or since start).
+type debugState struct {
+	mu   sync.Mutex
+	prev []ShardStats
+	at   time.Time
+}
+
+// debugPayload is the /debug/engine response document (see
+// docs/OBSERVABILITY.md for the schema).
+type debugPayload struct {
+	// Stats is the engine-wide cumulative counter sum.
+	Stats Stats `json:"stats"`
+	// Window is the rolling per-shard analytics since the last scrape.
+	Window Analytics `json:"window"`
+	// Cumulative is the per-shard counter snapshot the window was cut from.
+	Cumulative []ShardStats `json:"cumulative"`
+	// Attribution and Keyspace appear when a request tracer is attached:
+	// stage attribution with exemplar-carrying latency buckets, and the
+	// sampled keyspace-skew estimate.
+	Attribution *reqspan.Attribution  `json:"attribution,omitempty"`
+	Keyspace    *reqspan.KeyspaceSkew `json:"keyspace,omitempty"`
+}
+
+// DebugHandler serves the engine's live analytics as JSON — mounted at
+// /debug/engine by cachebench's -obs.listen server. Consecutive scrapes
+// see rolling windows: each response covers activity since the previous
+// one. tr may be nil (attribution and keyspace are then omitted).
+func DebugHandler(e *Engine, tr *reqspan.Tracer) http.Handler {
+	st := &debugState{at: time.Now()}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		cur := e.ShardStats()
+		now := time.Now()
+		st.mu.Lock()
+		prev, at := st.prev, st.at
+		st.prev, st.at = cur, now
+		st.mu.Unlock()
+
+		p := debugPayload{
+			Stats:      e.Stats(),
+			Window:     Analyze(cur, prev, now.Sub(at).Nanoseconds()),
+			Cumulative: cur,
+		}
+		if tr != nil {
+			a := tr.Attribution()
+			k := tr.Keyspace(16)
+			p.Attribution, p.Keyspace = &a, &k
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p)
+	})
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/replacement"
+)
+
+// TestAnalyzeHotShard pins the detector: a shard carrying well over the
+// uniform share of window traffic is flagged; balanced shards are not.
+func TestAnalyzeHotShard(t *testing.T) {
+	prev := []ShardStats{{Shard: 0, Hits: 100}, {Shard: 1, Hits: 100},
+		{Shard: 2, Hits: 100}, {Shard: 3, Hits: 100}}
+	cur := []ShardStats{{Shard: 0, Hits: 1000, LockWaitNs: 500}, {Shard: 1, Hits: 150},
+		{Shard: 2, Hits: 150}, {Shard: 3, Hits: 150}}
+	a := Analyze(cur, prev, 1e9)
+	if a.Ops != 1050 {
+		t.Fatalf("window ops = %d, want 1050", a.Ops)
+	}
+	if len(a.Hot) != 1 || a.Hot[0] != 0 {
+		t.Fatalf("hot = %v, want [0]", a.Hot)
+	}
+	if !a.Shards[0].Hot || a.Shards[1].Hot {
+		t.Fatalf("hot flags wrong: %+v", a.Shards)
+	}
+	if a.Shards[0].LockWaitNs != 500 {
+		t.Fatalf("lock-wait delta = %d, want 500", a.Shards[0].LockWaitNs)
+	}
+
+	// Balanced traffic, nil prev (window = since start): nothing is hot.
+	a = Analyze(prev, nil, 0)
+	if len(a.Hot) != 0 || a.Ops != 400 {
+		t.Fatalf("balanced window flagged hot shards: %+v", a)
+	}
+}
+
+// TestDebugHandler drives a traced engine and scrapes /debug/engine: the
+// payload must carry cumulative stats, per-shard windows, hot-shard info,
+// attribution with exemplars and the keyspace estimate — and a second
+// scrape must report a rolling (smaller) window.
+func TestDebugHandler(t *testing.T) {
+	tr := reqspan.New(reqspan.Config{AttrRate: 1}, nil, nil)
+	e := New(Config{Shards: 4, Sets: 32, Ways: 2, Policy: lruFactory, Tracer: tr})
+	h := DebugHandler(e, tr)
+
+	for i := 0; i < 300; i++ {
+		e.Set(77, i, 2) // one hot key → one hot shard
+	}
+	for k := uint64(0); k < 20; k++ {
+		e.Get(k)
+	}
+
+	scrape := func() debugPayload {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/engine", nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var p debugPayload
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatalf("payload not JSON: %v\n%s", err, rec.Body.String())
+		}
+		return p
+	}
+
+	p := scrape()
+	if p.Stats.Hits+p.Stats.Misses != 320 {
+		t.Fatalf("stats = %+v, want 320 lookups", p.Stats)
+	}
+	if len(p.Window.Shards) != 4 || len(p.Cumulative) != 4 {
+		t.Fatalf("per-shard arrays: window %d cumulative %d, want 4/4", len(p.Window.Shards), len(p.Cumulative))
+	}
+	if len(p.Window.Hot) == 0 {
+		t.Fatalf("hot-key traffic not flagged: %+v", p.Window)
+	}
+	if p.Attribution == nil || p.Attribution.Spans != 320 {
+		t.Fatalf("attribution missing or wrong: %+v", p.Attribution)
+	}
+	if p.Attribution.Latency.Exemplars == nil {
+		t.Fatal("attribution latency lacks exemplar slots")
+	}
+	if p.Keyspace == nil || p.Keyspace.Top[0].Key != 77 {
+		t.Fatalf("keyspace estimate missing key 77: %+v", p.Keyspace)
+	}
+
+	// Rolling window: nothing happened since the first scrape.
+	if p2 := scrape(); p2.Window.Ops != 0 || p2.Stats.Hits != p.Stats.Hits {
+		t.Fatalf("second scrape window not rolling: %+v", p2.Window)
+	}
+
+	// A tracer-less handler omits the optional sections.
+	h2 := DebugHandler(New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory}), nil)
+	rec := httptest.NewRecorder()
+	h2.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/engine", nil))
+	var p3 debugPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p3); err != nil {
+		t.Fatal(err)
+	}
+	if p3.Attribution != nil || p3.Keyspace != nil {
+		t.Fatal("untraced payload carries attribution/keyspace")
+	}
+}
+
+// TestShardStatsDepth pins the coalesce-depth high-water mark.
+func TestShardStatsDepth(t *testing.T) {
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		k := uint64(i)
+		go func() {
+			e.GetOrLoad(k, func(uint64) (any, replacement.Cost, error) {
+				<-gate
+				return "v", 1, nil
+			})
+			done <- struct{}{}
+		}()
+	}
+	for e.ShardStats()[0].InFlight != 3 {
+	}
+	close(gate)
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	st := e.ShardStats()[0]
+	if st.InFlight != 0 || st.MaxInFlight != 3 {
+		t.Fatalf("in-flight %d max %d, want 0/3", st.InFlight, st.MaxInFlight)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"strconv"
 
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// touches and installs, so Stats reports the aggregate cost plain LRU
 	// would have paid for the same stream.
 	Shadow bool
+	// Tracer, when non-nil, samples requests into stage-attributed spans
+	// (see internal/obs/reqspan). Unsampled requests pay one atomic add;
+	// a nil Tracer pays a nil check per request.
+	Tracer *reqspan.Tracer
 }
 
 // Engine is a sharded, thread-safe cost-sensitive cache.
@@ -68,6 +73,7 @@ type Engine struct {
 	shardMask uint64
 	shardBits uint
 	ways      int
+	tracer    *reqspan.Tracer
 }
 
 // Loader produces the value for a missing key along with the miss cost the
@@ -116,6 +122,7 @@ func New(cfg Config) *Engine {
 		shardMask: uint64(cfg.Shards - 1),
 		shardBits: uint(bits.TrailingZeros(uint(cfg.Shards))),
 		ways:      cfg.Ways,
+		tracer:    cfg.Tracer,
 	}
 	localSets := cfg.Sets / cfg.Shards
 	e.shards = make([]*shard, cfg.Shards)
@@ -155,18 +162,34 @@ func (e *Engine) Capacity() int {
 // Get returns the cached value for key. A hit promotes the entry; a miss
 // changes no replacement state (nothing is installed, so the policy never
 // sees the reference).
+//
+// Get, Set and GetOrLoad share a tracing protocol: place the key, Begin a
+// (usually nil) span, then Mark each stage boundary as the request crosses
+// it and Finish after the shard lock is released, so span aggregation and
+// emission never run under a shard mutex. The marks are contiguous — each
+// closes the segment since the previous boundary — which is what makes the
+// per-stage attribution sums tile the end-to-end latency exactly.
 func (e *Engine) Get(key uint64) (any, bool) {
 	s, set := e.place(key)
+	sp := e.tracer.Begin(reqspan.OpGet, s.id, key)
 	s.lock()
-	defer s.mu.Unlock()
+	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {
 		s.hits.Inc()
 		s.policy.Access(set, key, true)
 		s.policy.Touch(set, w)
+		sp.Mark(reqspan.StageDecision)
 		s.touchShadow(set, key)
-		return s.vals[set][w], true
+		sp.Mark(reqspan.StageShadow)
+		v := s.vals[set][w]
+		s.mu.Unlock()
+		e.tracer.Finish(sp, reqspan.OutcomeHit)
+		return v, true
 	}
 	s.misses.Inc()
+	sp.Mark(reqspan.StageDecision)
+	s.mu.Unlock()
+	e.tracer.Finish(sp, reqspan.OutcomeMiss)
 	return nil, false
 }
 
@@ -174,19 +197,27 @@ func (e *Engine) Get(key uint64) (any, bool) {
 // cost. Installing into a full set evicts the policy's victim.
 func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
 	s, set := e.place(key)
+	sp := e.tracer.Begin(reqspan.OpSet, s.id, key)
 	s.lock()
-	defer s.mu.Unlock()
+	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {
 		s.hits.Inc()
 		s.policy.Access(set, key, true)
 		s.policy.Touch(set, w)
 		s.vals[set][w] = value
+		sp.Mark(reqspan.StageDecision)
 		s.setShadowCost(set, key, cost)
 		s.touchShadow(set, key)
+		sp.Mark(reqspan.StageShadow)
+		s.mu.Unlock()
+		e.tracer.Finish(sp, reqspan.OutcomeHit)
 		return
 	}
 	s.misses.Inc()
-	s.install(set, key, value, cost)
+	sp.Mark(reqspan.StageDecision)
+	s.install(set, key, value, cost, sp)
+	s.mu.Unlock()
+	e.tracer.Finish(sp, reqspan.OutcomeMiss)
 }
 
 // GetOrLoad returns the cached value for key, or runs load to produce it.
@@ -197,28 +228,41 @@ func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
 // shard itself stays healthy.
 func (e *Engine) GetOrLoad(key uint64, load Loader) (any, error) {
 	s, set := e.place(key)
+	sp := e.tracer.Begin(reqspan.OpGetOrLoad, s.id, key)
 	s.lock()
+	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {
 		s.hits.Inc()
 		s.policy.Access(set, key, true)
 		s.policy.Touch(set, w)
+		sp.Mark(reqspan.StageDecision)
 		s.touchShadow(set, key)
+		sp.Mark(reqspan.StageShadow)
 		v := s.vals[set][w]
 		s.mu.Unlock()
+		e.tracer.Finish(sp, reqspan.OutcomeHit)
 		return v, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.coalesced.Inc()
+		sp.Mark(reqspan.StageDecision)
 		s.mu.Unlock()
 		<-f.done
+		sp.Mark(reqspan.StageCoalesce)
 		if f.panicked {
+			e.tracer.Finish(sp, reqspan.OutcomeError)
 			panic(&LoaderPanic{Value: f.pan})
 		}
+		e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
 		return f.val, f.err
 	}
 	s.misses.Inc()
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
+	if len(s.flights) > s.flightsMax {
+		s.flightsMax = len(s.flights)
+	}
+	sp.Mark(reqspan.StageDecision)
 	s.mu.Unlock()
 
 	func() {
@@ -229,23 +273,32 @@ func (e *Engine) GetOrLoad(key uint64, load Loader) (any, error) {
 		}()
 		f.val, f.cost, f.err = load(key)
 	}()
+	sp.Mark(reqspan.StageLoad)
 
 	s.lock()
+	sp.Mark(reqspan.StageLockWait) // the leader's second acquisition, to install
 	delete(s.flights, key)
 	if !f.panicked && f.err == nil {
 		if w := s.find(set, key); w >= 0 {
 			// A concurrent Set installed the key while the loader ran; the
 			// loader's value wins so leader and waiters agree with the cache.
 			s.vals[set][w] = f.val
+			sp.Mark(reqspan.StageFill)
 		} else {
-			s.install(set, key, f.val, f.cost)
+			s.install(set, key, f.val, f.cost, sp)
 		}
 	}
 	s.mu.Unlock()
 	close(f.done)
 	if f.panicked {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
 		panic(f.pan)
 	}
+	if f.err != nil {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		return f.val, f.err
+	}
+	e.tracer.Finish(sp, reqspan.OutcomeMiss)
 	return f.val, f.err
 }
 

@@ -8,6 +8,7 @@ import (
 	"costcache/internal/cache"
 	"costcache/internal/cost"
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
 )
 
@@ -18,6 +19,7 @@ import (
 type shard struct {
 	mu     sync.Mutex
 	policy replacement.Policy
+	id     int // shard index, stamped into spans and analytics
 	sets   int // local set count (global sets / shards)
 	ways   int
 
@@ -27,7 +29,9 @@ type shard struct {
 
 	// flights holds the in-flight GetOrLoad per key; waiters block on the
 	// flight's done channel off-lock, so a slow loader never holds the shard.
-	flights map[uint64]*flight
+	// flightsMax is the table's high-water depth (mutex-guarded).
+	flights    map[uint64]*flight
+	flightsMax int
 
 	// shadow replays touches and installs through a same-geometry LRU cache;
 	// costs holds the last charged cost per shadow block so the shadow's
@@ -55,6 +59,7 @@ type flight struct {
 func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withShadow bool) *shard {
 	s := &shard{
 		policy:  p,
+		id:      id,
 		sets:    sets,
 		ways:    ways,
 		keys:    make([][]uint64, sets),
@@ -117,8 +122,10 @@ func (s *shard) find(set int, key uint64) int {
 
 // install places key into set (which must not already hold it), evicting the
 // policy's victim from a full set, charging cost and mirroring the install
-// into the shadow. Callers hold the shard lock and have counted the miss.
-func (s *shard) install(set int, key uint64, value any, c replacement.Cost) {
+// into the shadow. Callers hold the shard lock and have counted the miss; sp
+// is the caller's (usually nil) request span, marked at the fill/shadow
+// stage boundaries.
+func (s *shard) install(set int, key uint64, value any, c replacement.Cost, sp *reqspan.Span) {
 	s.policy.Access(set, key, false)
 	w := -1
 	for i := 0; i < s.ways; i++ {
@@ -139,8 +146,10 @@ func (s *shard) install(set int, key uint64, value any, c replacement.Cost) {
 	s.vals[set][w] = value
 	s.policy.Fill(set, w, key, c)
 	s.costPaid.Add(int64(c))
+	sp.Mark(reqspan.StageFill)
 	s.setShadowCost(set, key, c)
 	s.touchShadow(set, key)
+	sp.Mark(reqspan.StageShadow)
 }
 
 // shadowBlock maps (set, key) to the shadow cache's block address: the low

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/obs/span"
+	"costcache/internal/replacement"
+)
+
+// TestTracedReconciliation runs a traced engine at sampling rate 1 and
+// checks the span-side outcome counts agree exactly with the engine's own
+// counters: hits ↔ hit spans, misses ↔ miss + error spans (the engine
+// counts a failed leader load as a miss), coalesced ↔ coalesced spans —
+// and that stage attribution tiles total latency exactly once quiesced.
+func TestTracedReconciliation(t *testing.T) {
+	tr := reqspan.New(reqspan.Config{AttrRate: 1}, nil, nil)
+	e := New(Config{Shards: 2, Sets: 16, Ways: 2, Policy: lruFactory, Shadow: true, Tracer: tr})
+
+	for k := uint64(0); k < 40; k++ {
+		e.Set(k, k, replacement.Cost(1+k%5)) // misses, some evicting
+	}
+	for k := uint64(0); k < 40; k++ {
+		e.Get(k) // mixed hits and misses after evictions
+	}
+	if _, err := e.GetOrLoad(1000, constLoader("v", 3)); err != nil { // leader miss
+		t.Fatal(err)
+	}
+	if _, err := e.GetOrLoad(1000, constLoader("v", 3)); err != nil { // hit
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := e.GetOrLoad(1001, func(uint64) (any, replacement.Cost, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) { // failed leader: engine miss, span error
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// Coalesced waiters: gate one slow load, pile waiters on it.
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.GetOrLoad(2000, func(uint64) (any, replacement.Cost, error) {
+				<-gate
+				return "slow", 1, nil
+			})
+		}()
+	}
+	deadline := 0
+	for e.Stats().Coalesced != waiters-1 {
+		if deadline++; deadline > 5_000_000 {
+			t.Fatal("coalesced waiters never queued")
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	st := e.Stats()
+	a := tr.Attribution()
+	total := st.Hits + st.Misses + st.Coalesced
+	if int64(tr.Requests()) != total || a.Spans != total {
+		t.Fatalf("requests %d spans %d, want %d (every request sampled)",
+			tr.Requests(), a.Spans, total)
+	}
+	if a.Outcomes[reqspan.OutcomeHit] != st.Hits {
+		t.Errorf("hit spans = %d, engine hits = %d", a.Outcomes[reqspan.OutcomeHit], st.Hits)
+	}
+	if got := a.Outcomes[reqspan.OutcomeMiss] + a.Outcomes[reqspan.OutcomeError]; got != st.Misses {
+		t.Errorf("miss+error spans = %d, engine misses = %d", got, st.Misses)
+	}
+	if a.Outcomes[reqspan.OutcomeCoalesced] != st.Coalesced {
+		t.Errorf("coalesced spans = %d, engine coalesced = %d",
+			a.Outcomes[reqspan.OutcomeCoalesced], st.Coalesced)
+	}
+	if a.Outcomes[reqspan.OutcomeError] != 1 {
+		t.Errorf("error spans = %d, want 1", a.Outcomes[reqspan.OutcomeError])
+	}
+	if got := a.StageSumNs() + a.OtherNs; got != a.TotalNs {
+		t.Errorf("stage sum + other = %d, total = %d (tiling broken)", got, a.TotalNs)
+	}
+	// Shadow replay ran inside spans: the shadow stage must have segments.
+	if a.Stages[reqspan.StageShadow].Count == 0 || a.Stages[reqspan.StageLoad].Count == 0 {
+		t.Errorf("stage counts missing shadow/load segments: %+v", a.Stages)
+	}
+}
+
+// TestTracedEmission pins the engine→sink wiring: emitted spans land in the
+// JSONL stream with real shard ids and in a valid Chrome trace array.
+func TestTracedEmission(t *testing.T) {
+	var jb, cb bytes.Buffer
+	tr := reqspan.New(reqspan.Config{AttrRate: 1, EmitRate: 1},
+		span.NewLineSink(&jb), span.NewChromeSink(&cb))
+	e := New(Config{Shards: 4, Sets: 16, Ways: 2, Policy: lruFactory, Tracer: tr})
+	for k := uint64(0); k < 32; k++ {
+		if _, err := e.GetOrLoad(k, constLoader(k, 2)); err != nil {
+			t.Fatal(err)
+		}
+		e.Get(k)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := span.NewChromeSink(nil).Close(); err != nil { // exercise nil close path
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) != 64 {
+		t.Fatalf("emitted %d spans, want 64", len(lines))
+	}
+	shards := map[int]bool{}
+	for _, line := range lines {
+		var rec struct {
+			Kind  string `json:"kind"`
+			Shard int    `json:"shard"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad span line: %v\n%s", err, line)
+		}
+		if rec.Kind != "req" {
+			t.Fatalf("kind = %q, want req", rec.Kind)
+		}
+		shards[rec.Shard] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("all spans on %v — shard ids not threaded", shards)
+	}
+}
+
+// TestEngineUnsampledAllocs pins the tentpole's zero-alloc contract: with a
+// tracer attached but the request unsampled (and with no tracer at all), a
+// Get hit performs zero heap allocations.
+func TestEngineUnsampledAllocs(t *testing.T) {
+	build := func(tr *reqspan.Tracer) *Engine {
+		e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory, Tracer: tr})
+		e.Set(1, "v", 1)
+		return e
+	}
+	// 1e-9 rate → stride 1e9: nothing in this test is ever sampled.
+	for name, e := range map[string]*Engine{
+		"nil-tracer":      build(nil),
+		"unsampled-trace": build(reqspan.New(reqspan.Config{AttrRate: 1e-9}, nil, nil)),
+	} {
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, ok := e.Get(1); !ok {
+				t.Fatal("lost the warm entry")
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Get hit allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestTracedPanicFinishes: a loader panic must still finish the leader's
+// and waiters' spans (as errors) before propagating.
+func TestTracedPanicFinishes(t *testing.T) {
+	tr := reqspan.New(reqspan.Config{AttrRate: 1}, nil, nil)
+	e := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory, Tracer: tr})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		e.GetOrLoad(5, func(uint64) (any, replacement.Cost, error) { panic("kaboom") })
+	}()
+	a := tr.Attribution()
+	if a.Spans != 1 || a.Outcomes[reqspan.OutcomeError] != 1 {
+		t.Fatalf("attribution after panic = %+v, want 1 error span", a)
+	}
+}

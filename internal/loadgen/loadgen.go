@@ -28,6 +28,7 @@ import (
 	"costcache/internal/cost"
 	"costcache/internal/engine"
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
 	"costcache/internal/workload"
 )
@@ -77,6 +78,13 @@ type Config struct {
 	// miss on a cost-c key sleeps c×LoadDelay in its loader. 0 disables
 	// sleeping (counters stay meaningful, latency collapses).
 	LoadDelay time.Duration
+	// Tracer, when non-nil, is the request tracer attached to the engine
+	// (engine.Config.Tracer). The load generator does not drive it — the
+	// engine does — but uses it to link its arrival-latency histogram to
+	// traces: each bucket's exemplar is the most recently finished sampled
+	// span, so a "p99" bucket points at a concrete request to open in
+	// Perfetto.
+	Tracer *reqspan.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +158,9 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 	}
 
 	hist := obs.NewHistogram(latencyBuckets())
+	if cfg.Tracer != nil {
+		hist = obs.NewHistogramExemplars(latencyBuckets())
+	}
 	var done, interrupted atomic.Int64
 	before := e.Stats()
 	start := time.Now()
@@ -186,7 +197,10 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 					// still count as completed (errored) requests.
 					_ = err
 				}
-				hist.Observe(time.Since(origin).Nanoseconds())
+				// LastID is the span that most recently finished, which for
+				// this worker is usually its own request when it was sampled
+				// — an approximate but cheap bucket→trace link.
+				hist.ObserveExemplar(time.Since(origin).Nanoseconds(), cfg.Tracer.LastID())
 				done.Add(1)
 			}
 		}()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
 	"costcache/internal/obs/span"
 )
 
@@ -110,6 +111,26 @@ func (m *Manifest) AddSnapshot(s obs.Snapshot) {
 // SetBreakdown records the span tracer's latency aggregation.
 func (m *Manifest) SetBreakdown(b *span.Breakdown) {
 	m.LatencyBreakdown = b.Rows()
+}
+
+// SetAttribution flattens a request-span stage attribution into the metric
+// map under attr_* names — the series `report -attr` decomposes and diffs
+// between two runs. Stage series carry a stage label in obs.Name style.
+func (m *Manifest) SetAttribution(a reqspan.Attribution) {
+	m.SetMetric("attr_spans", float64(a.Spans))
+	m.SetMetric("attr_sample_every", float64(a.AttrEvery))
+	m.SetMetric("attr_total_ns", float64(a.TotalNs))
+	m.SetMetric("attr_other_ns", float64(a.OtherNs))
+	for i, n := range a.Outcomes {
+		m.SetMetric(obs.Name("attr_outcome", "outcome", reqspan.Outcome(i).String()), float64(n))
+	}
+	for _, s := range a.Stages {
+		m.SetMetric(obs.Name("attr_stage_ns", "stage", s.Stage), float64(s.Ns))
+		m.SetMetric(obs.Name("attr_stage_count", "stage", s.Stage), float64(s.Count))
+	}
+	m.SetMetric("attr_latency_p50_ns", float64(a.Latency.Quantile(0.50)))
+	m.SetMetric("attr_latency_p95_ns", float64(a.Latency.Quantile(0.95)))
+	m.SetMetric("attr_latency_p99_ns", float64(a.Latency.Quantile(0.99)))
 }
 
 // Validate checks the structural invariants cmd/report relies on.

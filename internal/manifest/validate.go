@@ -21,10 +21,12 @@ type chromeEvent struct {
 }
 
 // ValidateChromeTrace checks that data is a well-formed Chrome trace-event
-// JSON array as emitted by the span tracer: every event is "X" (complete,
+// JSON array as emitted by the span tracers: every event is "X" (complete,
 // with pid/tid/ts and non-negative dur) or "M" (metadata). It returns the
-// total event count and the number of span slices (cat "miss" named by a
-// latency class — stage child slices share the category but not the names).
+// total event count and the number of span slices — simulator misses (cat
+// "miss" named by a latency class) plus engine requests (cat "req" named by
+// an outcome); stage child slices share the categories but not the names.
+// A combined trace carrying both kinds validates as one file.
 func ValidateChromeTrace(data []byte) (events, spans int, err error) {
 	var evs []chromeEvent
 	if err := json.Unmarshal(data, &evs); err != nil {
@@ -33,6 +35,9 @@ func ValidateChromeTrace(data []byte) (events, spans int, err error) {
 	classes := map[string]bool{
 		"local-clean": true, "local-dirty": true,
 		"remote-clean": true, "remote-dirty": true,
+	}
+	outcomes := map[string]bool{
+		"hit": true, "miss": true, "coalesced": true, "error": true,
 	}
 	for i, e := range evs {
 		switch e.Ph {
@@ -45,7 +50,7 @@ func ValidateChromeTrace(data []byte) (events, spans int, err error) {
 			if *e.Dur < 0 {
 				return 0, 0, fmt.Errorf("chrome trace: event %d: negative dur", i)
 			}
-			if e.Cat == "miss" && classes[e.Name] {
+			if (e.Cat == "miss" && classes[e.Name]) || (e.Cat == "req" && outcomes[e.Name]) {
 				spans++
 			}
 		default:
@@ -56,13 +61,18 @@ func ValidateChromeTrace(data []byte) (events, spans int, err error) {
 }
 
 // spanLine is the subset of a JSONL span record the validator inspects.
+// Simulator miss lines carry node/class; engine request lines are marked
+// "kind":"req" and carry shard/outcome instead.
 type spanLine struct {
-	ID     *uint64 `json:"id"`
-	Node   *int    `json:"node"`
-	Class  string  `json:"class"`
-	Start  *int64  `json:"start"`
-	End    *int64  `json:"end"`
-	Stages []struct {
+	ID      *uint64 `json:"id"`
+	Kind    string  `json:"kind"`
+	Node    *int    `json:"node"`
+	Class   string  `json:"class"`
+	Shard   *int    `json:"shard"`
+	Outcome string  `json:"outcome"`
+	Start   *int64  `json:"start"`
+	End     *int64  `json:"end"`
+	Stages  []struct {
 		Stage string `json:"stage"`
 		Start *int64 `json:"start"`
 		End   *int64 `json:"end"`
@@ -70,8 +80,10 @@ type spanLine struct {
 }
 
 // ValidateSpanJSONL checks that every line of data is a well-formed span
-// record (id, node, class, start <= end, stages within the span window) and
-// returns the span count.
+// record — a simulator miss (id, node, class) or an engine request
+// ("kind":"req" with id, shard, outcome), each with start <= end and stages
+// within the span window — and returns the span count. Interleaved streams
+// carrying both kinds validate as one file.
 func ValidateSpanJSONL(data []byte) (spans int, err error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -85,7 +97,11 @@ func ValidateSpanJSONL(data []byte) (spans int, err error) {
 		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
 			return 0, fmt.Errorf("span jsonl: line %d: %v", line, err)
 		}
-		if s.ID == nil || s.Node == nil || s.Class == "" || s.Start == nil || s.End == nil {
+		if s.Kind == "req" {
+			if s.ID == nil || s.Shard == nil || s.Outcome == "" || s.Start == nil || s.End == nil {
+				return 0, fmt.Errorf("span jsonl: line %d: req span missing id/shard/outcome/start/end", line)
+			}
+		} else if s.ID == nil || s.Node == nil || s.Class == "" || s.Start == nil || s.End == nil {
 			return 0, fmt.Errorf("span jsonl: line %d: missing id/node/class/start/end", line)
 		}
 		if *s.End < *s.Start {

@@ -8,10 +8,11 @@ import "sync/atomic"
 // last bound. Bounds are fixed at creation so Observe never allocates or
 // locks.
 type Histogram struct {
-	bounds []int64
-	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
-	count  atomic.Int64
-	sum    atomic.Int64
+	bounds    []int64
+	counts    []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count     atomic.Int64
+	sum       atomic.Int64
+	exemplars []atomic.Uint64 // nil unless built by NewHistogramExemplars
 }
 
 // NewHistogram builds a histogram over the given ascending bucket bounds.
@@ -25,6 +26,16 @@ func NewHistogram(bounds []int64) *Histogram {
 	b := make([]int64, len(bounds))
 	copy(b, bounds)
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// NewHistogramExemplars builds a histogram that additionally retains, per
+// bucket, the ID of the most recent sampled span observed into it — the link
+// from "p99 = 1.8 ms" back to a concrete trace. Exemplar slots cost one
+// atomic store per exemplar-carrying observation and nothing otherwise.
+func NewHistogramExemplars(bounds []int64) *Histogram {
+	h := NewHistogram(bounds)
+	h.exemplars = make([]atomic.Uint64, len(h.bounds)+1)
+	return h
 }
 
 // ExpBuckets returns n strictly ascending bounds starting at start and
@@ -62,16 +73,32 @@ func LinearBuckets(start, step int64, n int) []int64 {
 // Observe records one value. It never allocates; bucket search is a linear
 // scan, which beats binary search at the typical 8-24 bucket sizes.
 func (h *Histogram) Observe(v int64) {
-	i := len(h.bounds)
-	for j, b := range h.bounds {
-		if v <= b {
-			i = j
-			break
-		}
-	}
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when spanID is non-zero and the
+// histogram was built with NewHistogramExemplars, stamps the value's bucket
+// with spanID as its most recent exemplar (last writer wins under
+// concurrency — any recent sampled span is an equally good example).
+func (h *Histogram) ObserveExemplar(v int64, spanID uint64) {
+	i := h.bucket(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	if h.exemplars != nil && spanID != 0 {
+		h.exemplars[i].Store(spanID)
+	}
+}
+
+func (h *Histogram) bucket(v int64) int {
+	for j, b := range h.bounds {
+		if v <= b {
+			return j
+		}
+	}
+	return len(h.bounds)
 }
 
 // Count returns the number of observations.
@@ -93,6 +120,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	if h.exemplars != nil {
+		s.Exemplars = make([]uint64, len(h.exemplars))
+		for i := range h.exemplars {
+			s.Exemplars[i] = h.exemplars[i].Load()
+		}
+	}
 	return s
 }
 
@@ -102,6 +135,9 @@ type HistogramSnapshot struct {
 	Counts []int64 // len(Bounds)+1, last is the overflow bucket
 	Count  int64
 	Sum    int64
+	// Exemplars holds, per bucket, the most recent sampled span ID observed
+	// into it (0 = none); nil unless the histogram retains exemplars.
+	Exemplars []uint64 `json:",omitempty"`
 }
 
 // Mean returns the average observed value (0 when empty).
@@ -136,11 +172,12 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
-// Sub returns the bucket-wise difference s - prev (a window delta). A
-// zero-value prev subtracts nothing.
+// Sub returns the bucket-wise difference s - prev (a window delta).
+// Exemplars are instantaneous, not cumulative, so the delta keeps the
+// current snapshot's. A zero-value prev subtracts nothing.
 func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	d := HistogramSnapshot{Bounds: s.Bounds, Counts: make([]int64, len(s.Counts)),
-		Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+		Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum, Exemplars: s.Exemplars}
 	for i := range s.Counts {
 		v := s.Counts[i]
 		if i < len(prev.Counts) {

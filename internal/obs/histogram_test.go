@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEmpty pins the empty-histogram contract: every quantile is 0.
+func TestQuantileEmpty(t *testing.T) {
+	s := NewHistogram(LinearBuckets(10, 10, 4)).Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty histogram Mean() = %g, want 0", s.Mean())
+	}
+}
+
+// TestQuantileSingleObservation: with one sample every quantile reports the
+// bound of its bucket.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 4)) // bounds 10,20,30,40
+	h.Observe(25)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 30 {
+			t.Errorf("Quantile(%g) = %d, want 30 (the sample's bucket bound)", q, got)
+		}
+	}
+}
+
+// TestQuantileAllOneBucket: when every observation lands in one bucket, all
+// quantiles collapse to that bucket's bound — including observations beyond
+// the last bound, which report the last bound (the documented upper-bound
+// semantics of the overflow bucket).
+func TestQuantileAllOneBucket(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 4))
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.999} {
+		if got := s.Quantile(q); got != 20 {
+			t.Errorf("Quantile(%g) = %d, want 20", q, got)
+		}
+	}
+
+	over := NewHistogram(LinearBuckets(10, 10, 4))
+	for i := 0; i < 100; i++ {
+		over.Observe(1000) // all overflow
+	}
+	if got := over.Snapshot().Quantile(0.99); got != 40 {
+		t.Errorf("overflow Quantile(0.99) = %d, want last bound 40", got)
+	}
+}
+
+// TestQuantileNoBounds: a bounds-less histogram tracks count/sum only and
+// reports 0 for every quantile.
+func TestQuantileNoBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 7 {
+		t.Fatalf("count/sum = %d/%d, want 1/7", s.Count, s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %d, want 0 for a bounds-less histogram", got)
+	}
+}
+
+// TestExemplarReplacement: the bucket exemplar is the most recent non-zero
+// span ID observed into it; zero IDs and plain Observe leave it untouched.
+func TestExemplarReplacement(t *testing.T) {
+	h := NewHistogramExemplars(LinearBuckets(10, 10, 4))
+	h.ObserveExemplar(15, 101)
+	h.ObserveExemplar(15, 102)
+	h.ObserveExemplar(15, 0) // unsampled observation: bucket counted, exemplar kept
+	h.Observe(15)
+	h.ObserveExemplar(1000, 900) // overflow bucket
+	s := h.Snapshot()
+	if s.Exemplars[1] != 102 {
+		t.Errorf("bucket 1 exemplar = %d, want 102 (most recent sampled)", s.Exemplars[1])
+	}
+	if s.Exemplars[len(s.Bounds)] != 900 {
+		t.Errorf("overflow exemplar = %d, want 900", s.Exemplars[len(s.Bounds)])
+	}
+	if s.Counts[1] != 4 {
+		t.Errorf("bucket 1 count = %d, want 4", s.Counts[1])
+	}
+	// A plain histogram never materializes exemplars.
+	if plain := NewHistogram(LinearBuckets(10, 10, 4)); plain.Snapshot().Exemplars != nil {
+		t.Error("plain histogram snapshot carries exemplars")
+	}
+}
+
+// TestExemplarConcurrentObserves hammers one bucket from many goroutines
+// under -race and checks the surviving exemplar is one of the IDs written —
+// last-writer-wins, never a torn or invented value.
+func TestExemplarConcurrentObserves(t *testing.T) {
+	h := NewHistogramExemplars(LinearBuckets(10, 10, 4))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				h.ObserveExemplar(15, uint64(w*per+i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Counts[1] != workers*per {
+		t.Fatalf("bucket count = %d, want %d", s.Counts[1], workers*per)
+	}
+	ex := s.Exemplars[1]
+	if ex == 0 || ex > workers*per {
+		t.Fatalf("exemplar %d is not one of the written IDs [1,%d]", ex, workers*per)
+	}
+}
+
+// TestWriteTextExemplars pins the OpenMetrics-style exemplar rendering on
+// bucket lines.
+func TestWriteTextExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_ns", LinearBuckets(10, 10, 2))
+	h.Observe(5) // no exemplar support on registry histograms by default
+	var plain strings.Builder
+	if err := r.WriteText(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "span_id") {
+		t.Errorf("plain histogram rendered an exemplar:\n%s", plain.String())
+	}
+
+	s := Snapshot{Histograms: map[string]HistogramSnapshot{}}
+	he := NewHistogramExemplars(LinearBuckets(10, 10, 2))
+	he.ObserveExemplar(5, 42)
+	s.Histograms["lat_ns"] = he.Snapshot()
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `lat_ns_bucket{le="10"} 1 # {span_id="42"}`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}

@@ -66,11 +66,19 @@ func (s *Server) Close() error {
 // background goroutine and returns a handle exposing the bound address (addr
 // may use port 0) and a graceful Close for the commands' defer paths.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler is Serve for an arbitrary handler — commands that add
+// endpoints beyond the registry exposition (cachebench mounts the engine's
+// /debug/engine analytics next to /metrics) compose their mux and serve it
+// with the same lifecycle.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(r)}, done: make(chan struct{})}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln)

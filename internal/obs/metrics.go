@@ -204,10 +204,12 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			lines = append(lines, fmt.Sprintf("%s %d", histName(base, labels, fmt.Sprint(b)), cum))
+			lines = append(lines, fmt.Sprintf("%s %d%s",
+				histName(base, labels, fmt.Sprint(b)), cum, exemplarSuffix(h, i)))
 		}
 		cum += h.Counts[len(h.Bounds)]
-		lines = append(lines, fmt.Sprintf("%s %d", histName(base, labels, "+Inf"), cum))
+		lines = append(lines, fmt.Sprintf("%s %d%s",
+			histName(base, labels, "+Inf"), cum, exemplarSuffix(h, len(h.Bounds))))
 		lines = append(lines, fmt.Sprintf("%s_count%s %d", base, labels, h.Count))
 		lines = append(lines, fmt.Sprintf("%s_sum%s %d", base, labels, h.Sum))
 	}
@@ -229,6 +231,17 @@ func splitName(n string) (base, labels string) {
 		return n[:i], n[i:]
 	}
 	return n, ""
+}
+
+// exemplarSuffix renders a bucket's exemplar as an OpenMetrics-style
+// trailing comment (`# {span_id="7"}`), linking the bucket to the most
+// recent sampled span observed into it; "" when the histogram carries no
+// exemplars or the bucket never saw a sampled observation.
+func exemplarSuffix(h HistogramSnapshot, i int) string {
+	if i >= len(h.Exemplars) || h.Exemplars[i] == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" # {span_id=\"%d\"}", h.Exemplars[i])
 }
 
 // histName renders a bucket series name, merging the le label into any

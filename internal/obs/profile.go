@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig parameterizes continuous profiling.
+type ProfilerConfig struct {
+	// Dir receives the snapshot files; it is created if missing.
+	Dir string
+	// Interval is the snapshot period (default 30s): each cycle captures
+	// the CPU profile covering the whole interval, then point-in-time heap,
+	// mutex and block profiles.
+	Interval time.Duration
+	// MutexFraction and BlockRate set the runtime sampling rates while the
+	// profiler runs (defaults 5 and 10µs); both are restored to off on
+	// Close. Set to -1 to leave a rate untouched.
+	MutexFraction int
+	BlockRate     int
+}
+
+// Profiler captures periodic pprof snapshots for the lifetime of a run —
+// the "what was the process doing during that regressed window" complement
+// to the span/attribution layer. Snapshot files are named
+// <kind>-<seq>.pprof so a run manifest's profile entry (dir + count) keys
+// every snapshot unambiguously.
+type Profiler struct {
+	cfg   ProfilerConfig
+	stop  chan struct{}
+	done  chan struct{}
+	mu    sync.Mutex
+	files []string
+	seq   int
+	err   error
+}
+
+// StartProfiler begins continuous profiling into cfg.Dir. The first CPU
+// window starts immediately; Close ends the last window early and captures
+// a final point-in-time set, so short runs still produce one full snapshot.
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.MutexFraction == 0 {
+		cfg.MutexFraction = 5
+	}
+	if cfg.BlockRate == 0 {
+		cfg.BlockRate = 10_000 // one sample per 10µs of cumulative blocking
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRate)
+	}
+	go p.run()
+	return p, nil
+}
+
+func (p *Profiler) run() {
+	defer close(p.done)
+	for {
+		cpu, err := p.startCPU()
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		select {
+		case <-time.After(p.cfg.Interval):
+			p.stopCPU(cpu)
+			p.pointInTime()
+		case <-p.stop:
+			p.stopCPU(cpu)
+			p.pointInTime()
+			return
+		}
+	}
+}
+
+// startCPU opens the next CPU profile window.
+func (p *Profiler) startCPU() (*os.File, error) {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	f, err := os.Create(p.path("cpu", seq))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		// Another CPU profile is active (e.g. a /debug/pprof/profile scrape):
+		// skip CPU this cycle rather than kill the profiler.
+		return nil, nil
+	}
+	p.record(f.Name())
+	return f, nil
+}
+
+func (p *Profiler) stopCPU(f *os.File) {
+	if f == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		p.fail(err)
+	}
+}
+
+// pointInTime writes the heap, mutex and block profiles for the cycle.
+func (p *Profiler) pointInTime() {
+	p.mu.Lock()
+	seq := p.seq
+	p.mu.Unlock()
+	for _, kind := range []string{"heap", "mutex", "block"} {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			continue
+		}
+		f, err := os.Create(p.path(kind, seq))
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		err = prof.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.record(f.Name())
+	}
+}
+
+func (p *Profiler) path(kind string, seq int) string {
+	return filepath.Join(p.cfg.Dir, fmt.Sprintf("%s-%04d.pprof", kind, seq))
+}
+
+func (p *Profiler) record(name string) {
+	p.mu.Lock()
+	p.files = append(p.files, filepath.Base(name))
+	p.mu.Unlock()
+}
+
+func (p *Profiler) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Snapshots returns the snapshot file names written so far (base names,
+// relative to the configured dir) — recorded into the run manifest so a
+// report reader can key each profile to its run.
+func (p *Profiler) Snapshots() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.files))
+	copy(out, p.files)
+	return out
+}
+
+// Close ends the current CPU window, captures the final point-in-time
+// profiles, restores the runtime sampling rates and returns the first
+// capture error, if any.
+func (p *Profiler) Close() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+	if p.cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(0)
+	}
+	if p.cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(0)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfilerSnapshots runs the continuous profiler over one short cycle
+// and checks every profile kind lands on disk, is recorded in Snapshots,
+// and the runtime sampling rates are restored after Close.
+func TestProfilerSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfilerConfig{Dir: dir, Interval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little work so the CPU window has samples to take.
+	x := 0
+	deadline := time.Now().Add(80 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		x += len(strings.Repeat("a", 64))
+	}
+	_ = x
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]bool{}
+	for _, name := range p.Snapshots() {
+		full := filepath.Join(dir, name)
+		if fi, err := os.Stat(full); err != nil || fi.Size() == 0 {
+			t.Errorf("snapshot %s missing or empty (err %v)", name, err)
+		}
+		kinds[strings.SplitN(name, "-", 2)[0]] = true
+	}
+	for _, k := range []string{"cpu", "heap", "mutex", "block"} {
+		if !kinds[k] {
+			t.Errorf("no %s snapshot captured; files: %v", k, p.Snapshots())
+		}
+	}
+	if f := runtime.SetMutexProfileFraction(-1); f != 0 {
+		t.Errorf("mutex profile fraction left at %d after Close", f)
+	}
+	// Close is idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package reqspan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"costcache/internal/obs"
+)
+
+// StageAttr is one stage's aggregate contribution across sampled spans.
+type StageAttr struct {
+	// Stage is the stage's schema name.
+	Stage string `json:"stage"`
+	// Count is the number of segments observed for this stage (a request
+	// can contribute more than one, e.g. a leader's two lock waits).
+	Count int64 `json:"count"`
+	// Ns is the total nanoseconds spent in this stage across sampled spans.
+	Ns int64 `json:"ns"`
+}
+
+// Attribution is a point-in-time copy of the tracer's aggregates: where
+// sampled requests spent their time, stage by stage. The accounting
+// invariant — stages are contiguous segments tiling each span — means
+// Σ Stages[i].Ns + OtherNs == TotalNs exactly, which is what cachebench
+// -attr and the CI reconciliation smoke check.
+type Attribution struct {
+	// Spans is the number of sampled spans aggregated.
+	Spans int64 `json:"spans"`
+	// AttrEvery is the sampling stride (1 in AttrEvery requests sampled).
+	AttrEvery uint64 `json:"attr_every"`
+	// Outcomes counts sampled spans per outcome, indexed like Outcome.
+	Outcomes [NumOutcomes]int64 `json:"outcomes"`
+	// TotalNs is the summed end-to-end latency of sampled spans.
+	TotalNs int64 `json:"total_ns"`
+	// OtherNs is the unattributed remainder: time between a span's last
+	// stage boundary and its Finish (a few ns of bookkeeping per span).
+	OtherNs int64 `json:"other_ns"`
+	// Stages is each stage's aggregate, indexed like Stage.
+	Stages [NumStages]StageAttr `json:"stages"`
+	// Latency is the sampled end-to-end latency histogram with per-bucket
+	// span-ID exemplars.
+	Latency obs.HistogramSnapshot `json:"latency"`
+}
+
+// Attribution snapshots the tracer's aggregates. Under concurrent traffic
+// the atomics are read individually, so the tiling identity holds to within
+// the handful of spans in flight during the snapshot; quiesced (as in
+// cachebench's end-of-run table) it is exact.
+func (t *Tracer) Attribution() Attribution {
+	if t == nil {
+		return Attribution{}
+	}
+	a := Attribution{
+		Spans:     t.spans.Load(),
+		AttrEvery: t.attrEvery,
+		TotalNs:   t.totalNs.Load(),
+		OtherNs:   t.otherNs.Load(),
+		Latency:   t.hist.Snapshot(),
+	}
+	for i := range a.Outcomes {
+		a.Outcomes[i] = t.outcomes[i].Load()
+	}
+	for i := range a.Stages {
+		a.Stages[i] = StageAttr{
+			Stage: Stage(i).String(),
+			Count: t.stageCount[i].Load(),
+			Ns:    t.stageNs[i].Load(),
+		}
+	}
+	return a
+}
+
+// StageSumNs returns the summed attributed nanoseconds across all stages.
+func (a Attribution) StageSumNs() int64 {
+	var sum int64
+	for _, s := range a.Stages {
+		sum += s.Ns
+	}
+	return sum
+}
+
+// WriteTable renders the stage-attribution table cachebench -attr prints:
+// the sampled latency percentiles, then each stage's share of total sampled
+// time, per-occurrence mean, and occurrence count. Shares are of TotalNs,
+// so the share column plus "other" sums to 100%.
+func (a Attribution) WriteTable(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "%s: %d sampled spans (1 in %d)", title, a.Spans, a.AttrEvery); err != nil {
+		return err
+	}
+	var outs []string
+	for i, n := range a.Outcomes {
+		if n > 0 {
+			outs = append(outs, fmt.Sprintf("%s %d", Outcome(i), n))
+		}
+	}
+	if len(outs) > 0 {
+		if _, err := fmt.Fprintf(w, " — %s", strings.Join(outs, ", ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n  latency p50 %s  p95 %s  p99 %s  mean %s\n",
+		fmtNs(a.Latency.Quantile(0.50)), fmtNs(a.Latency.Quantile(0.95)),
+		fmtNs(a.Latency.Quantile(0.99)), fmtNs(int64(a.Latency.Mean()))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-10s %8s %10s %10s %8s\n",
+		"stage", "share", "total", "mean", "count"); err != nil {
+		return err
+	}
+	row := func(name string, ns, count int64) error {
+		share := 0.0
+		if a.TotalNs > 0 {
+			share = 100 * float64(ns) / float64(a.TotalNs)
+		}
+		mean := "-"
+		if count > 0 {
+			mean = fmtNs(ns / count)
+		}
+		_, err := fmt.Fprintf(w, "  %-10s %7.2f%% %10s %10s %8d\n",
+			name, share, fmtNs(ns), mean, count)
+		return err
+	}
+	for _, s := range a.Stages {
+		if err := row(s.Stage, s.Ns, s.Count); err != nil {
+			return err
+		}
+	}
+	if err := row("other", a.OtherNs, a.Spans); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  %-10s %7.2f%% %10s %10s %8d\n",
+		"total", 100.0, fmtNs(a.TotalNs), fmtNs(safeDiv(a.TotalNs, a.Spans)), a.Spans)
+	return err
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// fmtNs renders a nanosecond quantity with a human unit (ns/µs/ms/s).
+func fmtNs(ns int64) string {
+	switch {
+	case ns < 10_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 10_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 10_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

@@ -1,0 +1,161 @@
+package reqspan
+
+import (
+	"strconv"
+
+	"costcache/internal/obs/span"
+)
+
+// appendChromeTs renders a ns timestamp as the trace-event format's
+// fractional microseconds, identical to the simulator tracer's rendering.
+func appendChromeTs(b []byte, ns int64) []byte { return span.AppendChromeTs(b, ns) }
+
+// appendReqSpanJSON renders one request span as a single JSON line with a
+// fixed field order, byte-for-byte deterministic for a given span. Schema
+// (all times in wall-clock ns since the tracer epoch):
+//
+//	{"id":7,"kind":"req","shard":3,"key":9041144,"op":"getorload",
+//	 "outcome":"miss","start":10250,"end":91375,
+//	 "stages":[{"stage":"lock_wait","start":10250,"end":10400},...]}
+//
+// The "kind":"req" discriminator is what lets the manifest validator and
+// downstream tooling tell engine request lines from the simulator's
+// miss-lifecycle lines in a shared JSONL stream.
+func appendReqSpanJSON(b []byte, s *Span) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendUint(b, s.ID, 10)
+	b = append(b, `,"kind":"req","shard":`...)
+	b = strconv.AppendInt(b, int64(s.Shard), 10)
+	b = append(b, `,"key":`...)
+	b = strconv.AppendUint(b, s.Key, 10)
+	b = append(b, `,"op":"`...)
+	b = append(b, s.Op.String()...)
+	b = append(b, `","outcome":"`...)
+	b = append(b, s.Outcome.String()...)
+	b = append(b, `","start":`...)
+	b = strconv.AppendInt(b, s.Start, 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendInt(b, s.End, 10)
+	b = append(b, `,"stages":[`...)
+	for i, seg := range s.Segs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"stage":"`...)
+		b = append(b, seg.Stage.String()...)
+		b = append(b, `","start":`...)
+		b = strconv.AppendInt(b, seg.Start, 10)
+		b = append(b, `,"end":`...)
+		b = strconv.AppendInt(b, seg.End, 10)
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}', '\n')
+	return b
+}
+
+// chromePidBase offsets engine-shard "processes" past the simulator's node
+// pids (0..nodes-1), so merged traces lay the two systems out side by side
+// without track collisions.
+const chromePidBase = 1000
+
+// emit renders a finished span to whichever sinks are attached. One mutex
+// serializes emitters: concurrent request goroutines finish spans in any
+// order, and the Chrome lane allocator (first-fit on per-lane end times)
+// is only correct single-threaded.
+func (t *Tracer) emit(sp *Span) {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
+	if t.jsonl != nil {
+		t.buf = appendReqSpanJSON(t.buf[:0], sp)
+		t.jsonl.WriteLine(t.buf)
+	}
+	if t.chrome != nil {
+		t.chromeSpan(sp)
+	}
+}
+
+// lane picks the first lane of the shard whose previous slice ended at or
+// before start, extending the lane set when all lanes are busy. Because
+// spans are emitted at Finish, not Begin, a later-finishing span can start
+// earlier than an already-placed one; first-fit on end times still yields
+// non-overlapping lanes because a lane is granted only when its previous
+// occupant ended before the newcomer began.
+func (t *Tracer) lane(shard int, start, end int64) int {
+	ends := t.lanes[shard]
+	for i, e := range ends {
+		if e <= start {
+			if end > e {
+				ends[i] = end
+			}
+			return i
+		}
+	}
+	t.lanes[shard] = append(ends, end)
+	if len(ends) == 0 {
+		t.chromeMeta(shard, `"process_name"`, `"name":"engine shard `, int64(shard), 0)
+	}
+	t.chromeMeta(shard, `"thread_name"`, `"name":"req lane `, int64(len(ends)), len(ends))
+	return len(ends)
+}
+
+// chromeMeta emits a process_name/thread_name metadata event for a shard
+// track.
+func (t *Tracer) chromeMeta(shard int, kind, namePrefix string, nameN int64, tid int) {
+	b := t.buf[:0]
+	b = append(b, `{"name":`...)
+	b = append(b, kind...)
+	b = append(b, `,"ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(chromePidBase+shard), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{`...)
+	b = append(b, namePrefix...)
+	b = strconv.AppendInt(b, nameN, 10)
+	b = append(b, `"}}`...)
+	t.chrome.Event(b)
+	t.buf = b[:0]
+}
+
+// chromeSlice starts one complete ("X") event carrying the shared slice
+// fields; the caller appends args and the closing braces before flushing.
+func (t *Tracer) chromeSlice(shard, tid int, name string, start, end int64) []byte {
+	b := t.buf[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","cat":"req","ph":"X","pid":`...)
+	b = strconv.AppendInt(b, int64(chromePidBase+shard), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = appendChromeTs(b, start)
+	b = append(b, `,"dur":`...)
+	b = appendChromeTs(b, end-start)
+	return b
+}
+
+// chromeSpan renders one request as a slice named by its outcome with its
+// stage segments as nested child slices, on a per-shard track.
+func (t *Tracer) chromeSpan(sp *Span) {
+	tid := t.lane(sp.Shard, sp.Start, sp.End)
+
+	b := t.chromeSlice(sp.Shard, tid, sp.Outcome.String(), sp.Start, sp.End)
+	b = append(b, `,"args":{"id":`...)
+	b = strconv.AppendUint(b, sp.ID, 10)
+	b = append(b, `,"key":`...)
+	b = strconv.AppendUint(b, sp.Key, 10)
+	b = append(b, `,"op":"`...)
+	b = append(b, sp.Op.String()...)
+	b = append(b, `"}}`...)
+	t.chrome.Event(b)
+	t.buf = b[:0]
+
+	for _, seg := range sp.Segs {
+		if seg.End <= seg.Start {
+			continue // zero-length stages would confuse slice nesting
+		}
+		b := t.chromeSlice(sp.Shard, tid, seg.Stage.String(), seg.Start, seg.End)
+		b = append(b, '}')
+		t.chrome.Event(b)
+		t.buf = b[:0]
+	}
+}

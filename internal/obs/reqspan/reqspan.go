@@ -1,0 +1,403 @@
+// Package reqspan is the serving-path counterpart of the simulator's
+// miss-lifecycle tracer (internal/obs/span): every sampled engine request —
+// Get, Set or GetOrLoad — becomes one Span recording, in wall-clock
+// nanoseconds, each stage the request traverses: shard lock wait, the
+// hit/miss decision under the lock, coalesce wait on another goroutine's
+// in-flight load, loader execution, the fill (eviction + cost charge) and
+// the LRU-shadow replay. Stages are contiguous — each Mark closes the
+// segment since the previous boundary — so per-stage sums tile the span's
+// end-to-end latency exactly (the unattributed remainder is the few ns
+// between the last Mark and Finish), which is what lets cachebench -attr
+// reconcile the stage-attribution table against the latency histogram.
+//
+// Sampling is two-tiered and decided per request by a deterministic stride
+// over an atomic request counter: an attr-sampled request pays a pooled
+// span, a handful of clock reads and atomic aggregate updates; an
+// emit-sampled request (a subset of the attr samples) is additionally
+// rendered to the shared JSONL and Chrome-trace sinks of internal/obs/span,
+// so engine request spans and simulator miss spans land in one Perfetto
+// timeline. An unsampled request costs one atomic add and allocates
+// nothing; a nil *Tracer costs a nil check. Both fast paths are pinned by
+// TestEngineUnsampledAllocs and BenchmarkEngineTraced.
+package reqspan
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/span"
+)
+
+// Stage identifies one segment kind of a request's path through the engine.
+type Stage uint8
+
+// Request stages, in the order a maximal (leader-miss) request traverses
+// them. LockWait and Decision can repeat: a leader re-acquires the shard
+// lock to install, producing a second segment of each.
+const (
+	// StageLockWait is time blocked acquiring the shard mutex.
+	StageLockWait Stage = iota
+	// StageDecision is the lookup and policy bookkeeping under the lock.
+	StageDecision
+	// StageCoalesce is time waiting on another goroutine's in-flight load.
+	StageCoalesce
+	// StageLoad is the loader execution, off-lock.
+	StageLoad
+	// StageFill is the install: victim choice, eviction and cost charge.
+	StageFill
+	// StageShadow is the LRU-shadow replay of the touch or install.
+	StageShadow
+	// NumStages is the number of stage kinds.
+	NumStages = int(StageShadow) + 1
+)
+
+var stageNames = [NumStages]string{
+	"lock_wait", "decision", "coalesce", "load", "fill", "shadow",
+}
+
+// String returns the stage's schema name ("lock_wait", "decision", ...).
+func (s Stage) String() string { return stageNames[s] }
+
+// Op is the engine entry point a span covers.
+type Op uint8
+
+// Operations.
+const (
+	OpGet Op = iota
+	OpSet
+	OpGetOrLoad
+	// NumOps is the number of operation kinds.
+	NumOps = int(OpGetOrLoad) + 1
+)
+
+var opNames = [NumOps]string{"get", "set", "getorload"}
+
+// String returns the op's schema name.
+func (o Op) String() string { return opNames[o] }
+
+// Outcome classifies how a request resolved.
+type Outcome uint8
+
+// Outcomes. Error covers a leader whose loader returned an error or
+// panicked: the engine counted it as a miss, so reconciliation folds Error
+// into the miss side.
+const (
+	OutcomeHit Outcome = iota
+	OutcomeMiss
+	OutcomeCoalesced
+	OutcomeError
+	// NumOutcomes is the number of outcome kinds.
+	NumOutcomes = int(OutcomeError) + 1
+)
+
+var outcomeNames = [NumOutcomes]string{"hit", "miss", "coalesced", "error"}
+
+// String returns the outcome's schema name.
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Seg is one contiguous stage segment: [Start, End) in ns since the
+// tracer's epoch.
+type Seg struct {
+	Stage      Stage
+	Start, End int64
+}
+
+// Span is the lifecycle of one sampled engine request. It is leased from
+// the tracer between Begin and Finish; the engine marks stage boundaries
+// but must not retain it. All Span methods are nil-receiver safe, so
+// unsampled requests thread a nil *Span through the same code path at the
+// cost of a branch.
+type Span struct {
+	// ID is the 1-based sampled-span sequence number (the exemplar key).
+	ID uint64
+	// Shard is the engine shard serving the request; Key the request key.
+	Shard int
+	Key   uint64
+	// Op is the entry point; Outcome how the request resolved (at Finish).
+	Op      Op
+	Outcome Outcome
+	// Start is Begin time, End Finish time, in ns since the tracer epoch.
+	Start, End int64
+	// Segs are the contiguous stage segments, in boundary order.
+	Segs []Seg
+
+	tr     *Tracer
+	cursor int64 // end of the last closed segment
+	emit   bool
+}
+
+// Mark closes the segment running since the previous boundary (Begin or the
+// last Mark) and labels it st. Contiguity is the package's accounting
+// invariant: segment sums tile the span exactly.
+func (s *Span) Mark(st Stage) {
+	if s == nil {
+		return
+	}
+	now := s.tr.now()
+	s.Segs = append(s.Segs, Seg{Stage: st, Start: s.cursor, End: now})
+	s.cursor = now
+}
+
+// Config parameterizes a tracer. Rates are fractions of all requests in
+// (0, 1]; values above 1 clamp to 1 and values at or below 0 disable that
+// tier. Sampling is a deterministic stride (every round(1/rate)-th
+// request), so sampled counts reconcile exactly against the engine's
+// counters: spans == floor(requests × rate).
+type Config struct {
+	// AttrRate is the fraction of requests measured into the attribution
+	// aggregates (stage totals, latency histogram, key-skew table).
+	AttrRate float64
+	// EmitRate is the fraction of requests additionally emitted as full
+	// spans to the sinks. Emitted spans are a subset of the attr samples;
+	// an EmitRate above AttrRate raises the attr tier to match.
+	EmitRate float64
+}
+
+// Tracer samples engine requests into spans. It is safe for concurrent use
+// by any number of request goroutines. A nil *Tracer is a valid no-op:
+// Begin returns nil and every method is nil-receiver safe.
+type Tracer struct {
+	epoch     time.Time
+	attrEvery uint64 // sample every Nth request (0 = never)
+	emitNth   uint64 // emit every Nth sampled span (0 = never)
+
+	seq  atomic.Uint64 // all requests
+	ids  atomic.Uint64 // sampled spans (span IDs)
+	last atomic.Uint64 // most recently finished sampled span ID
+
+	pool sync.Pool
+
+	stageNs    [NumStages]atomic.Int64
+	stageCount [NumStages]atomic.Int64
+	outcomes   [NumOutcomes]atomic.Int64
+	totalNs    atomic.Int64
+	otherNs    atomic.Int64
+	spans      atomic.Int64
+	hist       *obs.Histogram
+
+	keymu      sync.Mutex
+	keyCounts  map[uint64]int64
+	keySamples int64
+
+	emitMu sync.Mutex
+	jsonl  *span.LineSink
+	chrome *span.ChromeSink
+	lanes  map[int][]int64 // per shard: lane -> last slice end (ns)
+	buf    []byte
+}
+
+// latencyBuckets spans 250 ns to ~25 s in ×1.6 steps, matching the load
+// harness's histogram so percentiles line up bucket-for-bucket.
+func latencyBuckets() []int64 { return obs.ExpBuckets(250, 1.6, 40) }
+
+// New builds a tracer. Either sink may be nil; the caller owns both (Close
+// here never writes the Chrome array's closing bracket), which is what lets
+// a command or test share them with a simulator span.Tracer.
+func New(cfg Config, jsonl *span.LineSink, chrome *span.ChromeSink) *Tracer {
+	every := func(rate float64) uint64 {
+		if rate <= 0 {
+			return 0
+		}
+		if rate >= 1 {
+			return 1
+		}
+		return uint64(1/rate + 0.5)
+	}
+	if cfg.EmitRate > cfg.AttrRate {
+		cfg.AttrRate = cfg.EmitRate
+	}
+	t := &Tracer{
+		epoch:     time.Now(),
+		attrEvery: every(cfg.AttrRate),
+		jsonl:     jsonl,
+		chrome:    chrome,
+		lanes:     make(map[int][]int64),
+		hist:      obs.NewHistogramExemplars(latencyBuckets()),
+		keyCounts: make(map[uint64]int64, keyTableCap),
+	}
+	if e, a := every(cfg.EmitRate), t.attrEvery; e != 0 && a != 0 {
+		t.emitNth = (e + a - 1) / a // emitted 1-in-emitNth of sampled spans
+	}
+	t.pool.New = func() any { return &Span{tr: t} }
+	return t
+}
+
+// now returns ns since the tracer epoch (monotonic).
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Begin counts one request and, when the request is attr-sampled, leases a
+// span for it. The returned span is nil for unsampled requests (and on a
+// nil tracer); the engine threads it through Mark/Finish regardless — nil
+// spans cost a branch per call and allocate nothing.
+func (t *Tracer) Begin(op Op, shard int, key uint64) *Span {
+	if t == nil || t.attrEvery == 0 {
+		return nil
+	}
+	if t.seq.Add(1)%t.attrEvery != 0 {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	id := t.ids.Add(1)
+	sp.ID = id
+	sp.Shard, sp.Key, sp.Op = shard, key, op
+	sp.Segs = sp.Segs[:0]
+	sp.emit = t.emitNth != 0 && id%t.emitNth == 0
+	sp.Start = t.now()
+	sp.cursor = sp.Start
+	return sp
+}
+
+// Finish completes a span: aggregates its segments, observes the end-to-end
+// latency into the exemplar histogram, samples the key for the skew
+// estimate and, for emit-sampled spans, renders it to the sinks. The span
+// returns to the pool; callers must not touch it afterwards. Finishing a
+// nil span is a no-op.
+func (t *Tracer) Finish(sp *Span, outcome Outcome) {
+	if sp == nil {
+		return
+	}
+	sp.End = t.now()
+	sp.Outcome = outcome
+	var stageSum int64
+	for _, seg := range sp.Segs {
+		d := seg.End - seg.Start
+		t.stageNs[seg.Stage].Add(d)
+		t.stageCount[seg.Stage].Add(1)
+		stageSum += d
+	}
+	total := sp.End - sp.Start
+	t.totalNs.Add(total)
+	t.otherNs.Add(total - stageSum)
+	t.outcomes[outcome].Add(1)
+	t.spans.Add(1)
+	t.hist.ObserveExemplar(total, sp.ID)
+	t.sampleKey(sp.Key)
+	if sp.emit {
+		t.emit(sp)
+	}
+	t.last.Store(sp.ID)
+	t.pool.Put(sp)
+}
+
+// LastID returns the ID of the most recently finished sampled span (0 when
+// none finished yet) — the approximate linkage the load harness stamps into
+// its arrival-latency exemplars.
+func (t *Tracer) LastID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.last.Load()
+}
+
+// AttrEvery returns the attribution sampling stride N (one request in N is
+// sampled; 0 = tracing disabled), the number reconciliation scales by.
+func (t *Tracer) AttrEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.attrEvery
+}
+
+// Requests returns the number of requests seen (sampled or not).
+func (t *Tracer) Requests() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Err returns the first sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.jsonl.Err(); err != nil {
+		return err
+	}
+	return t.chrome.Err()
+}
+
+// keyTableCap bounds the space-saving key table: small enough to stay cheap
+// under its mutex, large enough to rank heads of a zipfian keyspace.
+const keyTableCap = 256
+
+// sampleKey feeds the space-saving top-K sketch: present or spare-capacity
+// keys increment; a full table evicts the minimum-count entry and credits
+// the newcomer with its count + 1 (the classic overestimate bound).
+func (t *Tracer) sampleKey(key uint64) {
+	t.keymu.Lock()
+	defer t.keymu.Unlock()
+	t.keySamples++
+	if n, ok := t.keyCounts[key]; ok {
+		t.keyCounts[key] = n + 1
+		return
+	}
+	if len(t.keyCounts) < keyTableCap {
+		t.keyCounts[key] = 1
+		return
+	}
+	minKey, minN := uint64(0), int64(1<<62)
+	for k, n := range t.keyCounts {
+		if n < minN {
+			minKey, minN = k, n
+		}
+	}
+	delete(t.keyCounts, minKey)
+	t.keyCounts[key] = minN + 1
+}
+
+// KeyCount is one sampled key with its (over-)estimated request count.
+type KeyCount struct {
+	Key   uint64 `json:"key"`
+	Count int64  `json:"count"`
+}
+
+// KeyspaceSkew is the sampled-key concentration estimate served by
+// /debug/engine: how much of the sampled traffic the hottest keys absorb.
+type KeyspaceSkew struct {
+	// SampledKeys is the number of key samples taken (one per sampled span).
+	SampledKeys int64 `json:"sampled_keys"`
+	// Tracked is the number of distinct keys currently in the sketch.
+	Tracked int `json:"tracked"`
+	// Top are the hottest sampled keys, count-descending.
+	Top []KeyCount `json:"top"`
+	// TopShare is the fraction of key samples absorbed by Top — the skew
+	// headline (≈ 0 for uniform traffic, → 1 for a single hot key).
+	TopShare float64 `json:"top_share"`
+}
+
+// Keyspace returns the skew estimate over the hottest n sampled keys.
+func (t *Tracer) Keyspace(n int) KeyspaceSkew {
+	if t == nil {
+		return KeyspaceSkew{}
+	}
+	t.keymu.Lock()
+	all := make([]KeyCount, 0, len(t.keyCounts))
+	for k, c := range t.keyCounts {
+		all = append(all, KeyCount{Key: k, Count: c})
+	}
+	samples := t.keySamples
+	t.keymu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	s := KeyspaceSkew{SampledKeys: samples, Tracked: len(all)}
+	if n > len(all) {
+		n = len(all)
+	}
+	var topSum int64
+	for _, kc := range all[:n] {
+		topSum += kc.Count
+	}
+	s.Top = all[:n:n]
+	if samples > 0 {
+		s.TopShare = float64(topSum) / float64(samples)
+	}
+	return s
+}

@@ -1,0 +1,315 @@
+package reqspan
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"costcache/internal/obs/span"
+)
+
+// drive pushes n requests through the tracer, finishing every sampled span
+// with two marked stages, and returns the sampled count.
+func drive(t *Tracer, n int) int {
+	sampled := 0
+	for i := 0; i < n; i++ {
+		sp := t.Begin(OpGet, i%4, uint64(i))
+		if sp != nil {
+			sampled++
+			sp.Mark(StageLockWait)
+			sp.Mark(StageDecision)
+			t.Finish(sp, OutcomeHit)
+		}
+	}
+	return sampled
+}
+
+// TestStrideSamplingExact pins the deterministic stride: at rate 1 every
+// request is sampled; at rate 1/k exactly floor(n/k) are. This exactness is
+// what lets cachebench reconcile span counts against engine counters
+// fatally rather than within a tolerance.
+func TestStrideSamplingExact(t *testing.T) {
+	tr := New(Config{AttrRate: 1}, nil, nil)
+	if got := drive(tr, 100); got != 100 {
+		t.Fatalf("rate 1: sampled %d of 100", got)
+	}
+	if tr.Requests() != 100 || tr.Attribution().Spans != 100 {
+		t.Fatalf("requests %d spans %d, want 100/100", tr.Requests(), tr.Attribution().Spans)
+	}
+
+	tr = New(Config{AttrRate: 0.25}, nil, nil)
+	if got := drive(tr, 103); got != 103/4 {
+		t.Fatalf("rate 0.25: sampled %d of 103, want %d", got, 103/4)
+	}
+	if tr.AttrEvery() != 4 {
+		t.Fatalf("AttrEvery = %d, want 4", tr.AttrEvery())
+	}
+
+	// Disabled and nil tracers sample nothing and never allocate.
+	if New(Config{}, nil, nil).Begin(OpGet, 0, 1) != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+	var nilT *Tracer
+	if nilT.Begin(OpGet, 0, 1) != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	nilT.Finish(nil, OutcomeHit) // must not panic
+	if nilT.AttrEvery() != 0 || nilT.LastID() != 0 || nilT.Err() != nil {
+		t.Fatal("nil tracer accessors not zero")
+	}
+	if a := nilT.Attribution(); a.Spans != 0 {
+		t.Fatal("nil tracer attribution not empty")
+	}
+}
+
+// TestAttributionTiles pins the accounting invariant: contiguous Mark
+// segments plus the unattributed tail sum to the end-to-end total exactly,
+// for every span, at any rate — the identity the -attr reconciliation
+// smoke asserts within 1% (slack only for in-flight spans, none here).
+func TestAttributionTiles(t *testing.T) {
+	tr := New(Config{AttrRate: 1}, nil, nil)
+	for i := 0; i < 500; i++ {
+		sp := tr.Begin(OpGetOrLoad, 0, uint64(i))
+		sp.Mark(StageLockWait)
+		sp.Mark(StageDecision)
+		if i%3 == 0 {
+			sp.Mark(StageLoad)
+			sp.Mark(StageLockWait)
+			sp.Mark(StageFill)
+			sp.Mark(StageShadow)
+			tr.Finish(sp, OutcomeMiss)
+		} else {
+			sp.Mark(StageShadow)
+			tr.Finish(sp, OutcomeHit)
+		}
+	}
+	a := tr.Attribution()
+	if a.Spans != 500 {
+		t.Fatalf("spans = %d, want 500", a.Spans)
+	}
+	if got := a.StageSumNs() + a.OtherNs; got != a.TotalNs {
+		t.Fatalf("stage sum %d + other %d = %d, want total %d (tiling broken)",
+			a.StageSumNs(), a.OtherNs, got, a.TotalNs)
+	}
+	if a.Latency.Count != 500 {
+		t.Fatalf("latency count = %d, want 500", a.Latency.Count)
+	}
+	if a.Outcomes[OutcomeMiss] == 0 || a.Outcomes[OutcomeHit] == 0 {
+		t.Fatalf("outcomes = %v, want both hits and misses", a.Outcomes)
+	}
+	// The leader path marks lock_wait twice: segment count exceeds span count.
+	if lw := a.Stages[StageLockWait]; lw.Count != 500+167 {
+		t.Fatalf("lock_wait segments = %d, want 667 (500 spans + 167 second acquisitions)", lw.Count)
+	}
+	var table strings.Builder
+	if err := a.WriteTable(&table, "test"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lock_wait", "decision", "other", "total", "p99", "100.00%"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestEmitJSONLAndChrome pins the emitted-span schema on both sinks: JSONL
+// lines carry the "kind":"req" discriminator with stage segments; the
+// Chrome sink yields one valid JSON array whose slices sit on engine-shard
+// pids (1000+shard) under cat "req".
+func TestEmitJSONLAndChrome(t *testing.T) {
+	var jb, cb bytes.Buffer
+	jsonl, chrome := span.NewLineSink(&jb), span.NewChromeSink(&cb)
+	tr := New(Config{AttrRate: 1, EmitRate: 1}, jsonl, chrome)
+
+	sp := tr.Begin(OpGetOrLoad, 3, 42)
+	sp.Mark(StageLockWait)
+	sp.Mark(StageDecision)
+	sp.Mark(StageLoad)
+	tr.Finish(sp, OutcomeMiss)
+	sp = tr.Begin(OpGet, 3, 43)
+	sp.Mark(StageLockWait)
+	tr.Finish(sp, OutcomeHit)
+	if tr.LastID() != 2 {
+		t.Fatalf("LastID = %d, want 2", tr.LastID())
+	}
+	if err := chrome.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2:\n%s", len(lines), jb.String())
+	}
+	var rec struct {
+		ID      uint64 `json:"id"`
+		Kind    string `json:"kind"`
+		Shard   int    `json:"shard"`
+		Key     uint64 `json:"key"`
+		Op      string `json:"op"`
+		Outcome string `json:"outcome"`
+		Start   int64  `json:"start"`
+		End     int64  `json:"end"`
+		Stages  []struct {
+			Stage      string `json:"stage"`
+			Start, End int64
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("jsonl line not valid JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Kind != "req" || rec.Shard != 3 || rec.Key != 42 || rec.Op != "getorload" ||
+		rec.Outcome != "miss" || len(rec.Stages) != 3 || rec.Stages[0].Stage != "lock_wait" {
+		t.Fatalf("unexpected span record: %+v", rec)
+	}
+	if rec.End < rec.Start {
+		t.Fatalf("span ends before it starts: %+v", rec)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(cb.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output not a JSON array: %v\n%s", err, cb.String())
+	}
+	var reqSlices, metas int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] != "req" {
+				t.Fatalf("slice with cat %v, want req: %v", ev["cat"], ev)
+			}
+			if pid := ev["pid"].(float64); pid != chromePidBase+3 {
+				t.Fatalf("slice pid = %v, want %d", pid, chromePidBase+3)
+			}
+			reqSlices++
+		case "M":
+			metas++
+		}
+	}
+	if reqSlices == 0 || metas == 0 {
+		t.Fatalf("chrome trace has %d slices, %d metadata events", reqSlices, metas)
+	}
+}
+
+// TestInterleavedSinkOrdering shares one LineSink and one ChromeSink
+// between a simulator miss tracer and an engine request tracer and
+// interleaves their spans — the combined-Perfetto-timeline configuration.
+// Every JSONL line must stay intact (no interleaved partial writes), the
+// two span kinds must be distinguishable, and the Chrome output must be one
+// valid JSON array carrying both cat "miss" and cat "req" slices on
+// disjoint pid ranges.
+func TestInterleavedSinkOrdering(t *testing.T) {
+	var jb, cb bytes.Buffer
+	jsonl, chrome := span.NewLineSink(&jb), span.NewChromeSink(&cb)
+
+	sim := span.NewTracerSinks(jsonl, chrome)
+	eng := New(Config{AttrRate: 1, EmitRate: 1}, jsonl, chrome)
+
+	for i := 0; i < 10; i++ {
+		// One simulator miss span...
+		ms := sim.Begin(i%4, uint64(1000+i), false, int64(i*100))
+		ms.SegQ(span.StageLookup, int64(i*100), 0, int64(i*100+20))
+		sim.Finish(ms, int64(i*100+80), 'U', true, false)
+		// ...interleaved with one engine request span.
+		rs := eng.Begin(OpGet, i%2, uint64(i))
+		rs.Mark(StageLockWait)
+		rs.Mark(StageDecision)
+		eng.Finish(rs, OutcomeHit)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chrome.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var miss, req int
+	for _, line := range strings.Split(strings.TrimSpace(jb.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaving corrupted a JSONL line: %v\n%s", err, line)
+		}
+		if rec["kind"] == "req" {
+			req++
+		} else {
+			miss++
+		}
+	}
+	if miss != 10 || req != 10 {
+		t.Fatalf("jsonl kinds: %d miss, %d req, want 10/10", miss, req)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(cb.Bytes(), &events); err != nil {
+		t.Fatalf("combined chrome trace invalid: %v", err)
+	}
+	cats := map[string]int{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			cats[ev["cat"].(string)]++
+			pid := int(ev["pid"].(float64))
+			if ev["cat"] == "req" && pid < chromePidBase {
+				t.Fatalf("req slice on simulator pid %d", pid)
+			}
+			if ev["cat"] == "miss" && pid >= chromePidBase {
+				t.Fatalf("miss slice on engine pid %d", pid)
+			}
+		}
+	}
+	if cats["miss"] == 0 || cats["req"] == 0 {
+		t.Fatalf("combined trace slice cats = %v, want both miss and req", cats)
+	}
+}
+
+// TestEmitSubsetOfAttr: emitting is a subsampling of attribution — with
+// AttrRate 1 and EmitRate 0.5, every request is measured but only every
+// second span reaches the sinks.
+func TestEmitSubsetOfAttr(t *testing.T) {
+	var jb bytes.Buffer
+	tr := New(Config{AttrRate: 1, EmitRate: 0.5}, span.NewLineSink(&jb), nil)
+	drive(tr, 100)
+	if a := tr.Attribution(); a.Spans != 100 {
+		t.Fatalf("attributed %d spans, want 100", a.Spans)
+	}
+	if got := strings.Count(jb.String(), "\n"); got != 50 {
+		t.Fatalf("emitted %d spans, want 50", got)
+	}
+	// EmitRate above AttrRate raises attribution to match rather than
+	// emitting unmeasured spans.
+	tr = New(Config{AttrRate: 0.1, EmitRate: 1}, nil, nil)
+	if tr.AttrEvery() != 1 {
+		t.Fatalf("AttrEvery = %d, want 1 (raised to EmitRate)", tr.AttrEvery())
+	}
+}
+
+// TestKeyspaceSkew: a hot key dominating sampled traffic must surface with
+// a top-share near its true frequency; a uniform stream must not.
+func TestKeyspaceSkew(t *testing.T) {
+	tr := New(Config{AttrRate: 1}, nil, nil)
+	for i := 0; i < 1000; i++ {
+		key := uint64(7) // 90% of traffic on one key
+		if i%10 == 0 {
+			key = uint64(100 + i)
+		}
+		sp := tr.Begin(OpGet, 0, key)
+		tr.Finish(sp, OutcomeHit)
+	}
+	s := tr.Keyspace(1)
+	if s.SampledKeys != 1000 || len(s.Top) != 1 || s.Top[0].Key != 7 {
+		t.Fatalf("skew = %+v, want key 7 on top of 1000 samples", s)
+	}
+	if s.TopShare < 0.85 || s.TopShare > 0.95 {
+		t.Fatalf("top share = %g, want ≈0.9", s.TopShare)
+	}
+	// More keys than tracked: the sketch stays bounded and Keyspace clamps n.
+	for i := 0; i < 10*keyTableCap; i++ {
+		sp := tr.Begin(OpGet, 0, uint64(100000+i))
+		tr.Finish(sp, OutcomeMiss)
+	}
+	s = tr.Keyspace(2 * keyTableCap)
+	if s.Tracked > keyTableCap || len(s.Top) > keyTableCap {
+		t.Fatalf("sketch overflowed its cap: tracked %d", s.Tracked)
+	}
+}

@@ -1,7 +1,6 @@
 package span
 
 import (
-	"io"
 	"strconv"
 )
 
@@ -83,15 +82,13 @@ func opByte(write bool) byte {
 // their aggregate appears in the span's args and the full detail in the
 // JSONL output.
 type chromeWriter struct {
-	w     io.Writer
+	sink  *ChromeSink
 	buf   []byte
-	wrote bool
 	lanes map[int][]int64 // per node: lane -> last slice end (ns)
-	err   error
 }
 
-func newChromeWriter(w io.Writer) *chromeWriter {
-	return &chromeWriter{w: w, lanes: make(map[int][]int64)}
+func newChromeWriter(sink *ChromeSink) *chromeWriter {
+	return &chromeWriter{sink: sink, lanes: make(map[int][]int64)}
 }
 
 // lane picks the first lane of the node whose previous slice ended at or
@@ -114,7 +111,7 @@ func (c *chromeWriter) lane(node int, start, end int64) int {
 
 // meta emits a process_name/thread_name metadata event.
 func (c *chromeWriter) meta(node int, kind, namePrefix string, nameN int64, tid int) {
-	b := c.eventStart()
+	b := c.buf[:0]
 	b = append(b, `{"name":`...)
 	b = append(b, kind...)
 	b = append(b, `,"ph":"M","pid":`...)
@@ -128,32 +125,17 @@ func (c *chromeWriter) meta(node int, kind, namePrefix string, nameN int64, tid 
 	c.flush(b)
 }
 
-// eventStart returns the scratch buffer primed with the array/element
-// separator for the next event.
-func (c *chromeWriter) eventStart() []byte {
-	b := c.buf[:0]
-	if c.wrote {
-		b = append(b, ',', '\n')
-	} else {
-		b = append(b, '[', '\n')
-		c.wrote = true
-	}
-	return b
-}
-
+// flush hands one complete event to the sink, which frames it into the
+// trace array, and reclaims the scratch buffer.
 func (c *chromeWriter) flush(b []byte) {
+	c.sink.Event(b)
 	c.buf = b[:0]
-	if c.err != nil {
-		return
-	}
-	if _, err := c.w.Write(b); err != nil {
-		c.err = err
-	}
 }
 
-// appendTs renders a ns timestamp or duration as fractional microseconds
-// (the trace-event format's unit), exact to the nanosecond.
-func appendTs(b []byte, ns int64) []byte {
+// AppendChromeTs renders a ns timestamp or duration as fractional
+// microseconds (the trace-event format's unit), exact to the nanosecond.
+// Exported so the engine's request tracer renders timestamps identically.
+func AppendChromeTs(b []byte, ns int64) []byte {
 	b = strconv.AppendInt(b, ns/1000, 10)
 	b = append(b, '.')
 	frac := ns % 1000
@@ -161,8 +143,10 @@ func appendTs(b []byte, ns int64) []byte {
 	return b
 }
 
+func appendTs(b []byte, ns int64) []byte { return AppendChromeTs(b, ns) }
+
 func (c *chromeWriter) slice(pid, tid int, name string, start, end int64) []byte {
-	b := c.eventStart()
+	b := c.buf[:0]
 	b = append(b, `{"name":"`...)
 	b = append(b, name...)
 	b = append(b, `","cat":"miss","ph":"X","pid":`...)
@@ -207,13 +191,4 @@ func (c *chromeWriter) span(s *Span) {
 		b = append(b, `}}`...)
 		c.flush(b)
 	}
-}
-
-func (c *chromeWriter) close() {
-	b := c.buf[:0]
-	if !c.wrote {
-		b = append(b, '[')
-	}
-	b = append(b, '\n', ']', '\n')
-	c.flush(b)
 }

@@ -1,0 +1,131 @@
+package span
+
+import (
+	"io"
+	"sync"
+)
+
+// LineSink serializes whole-line writes from concurrent tracers onto one
+// io.Writer, so the simulator's miss-lifecycle tracer and the engine's
+// request tracer (internal/obs/reqspan) can interleave records in a single
+// JSONL file without tearing lines. The first write error drops the sink
+// (further writes are no-ops) and is reported by Err.
+type LineSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewLineSink wraps w. A nil w yields a sink that drops everything.
+func NewLineSink(w io.Writer) *LineSink {
+	return &LineSink{w: w}
+}
+
+// WriteLine writes one complete line (b must include the trailing newline)
+// atomically with respect to other writers.
+func (s *LineSink) WriteLine(b []byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil || s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		s.w = nil
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *LineSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ChromeSink frames individually rendered Chrome trace events into one JSON
+// array. Each producer builds a complete `{...}` event object in its own
+// buffer and hands it to Event; the sink owns only the `[ , ]` framing, so
+// any number of tracers — the simulator's per-miss tracer and the engine's
+// per-request tracer — can emit into one Perfetto-loadable file.
+type ChromeSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	buf    []byte
+	wrote  bool
+	closed bool
+	err    error
+}
+
+// NewChromeSink wraps w. A nil w yields a sink that drops everything.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w}
+}
+
+// Event appends one complete trace-event object (without separators) to the
+// array.
+func (c *ChromeSink) Event(b []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w == nil || c.closed || c.err != nil {
+		return
+	}
+	out := c.buf[:0]
+	if c.wrote {
+		out = append(out, ',', '\n')
+	} else {
+		out = append(out, '[', '\n')
+		c.wrote = true
+	}
+	out = append(out, b...)
+	c.buf = out[:0]
+	if _, err := c.w.Write(out); err != nil {
+		c.err = err
+		c.w = nil
+	}
+}
+
+// Close writes the closing bracket of the JSON array (an empty array when no
+// event was emitted) and returns the first write error. It is idempotent.
+func (c *ChromeSink) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	if c.w == nil {
+		return c.err
+	}
+	out := c.buf[:0]
+	if !c.wrote {
+		out = append(out, '[')
+	}
+	out = append(out, '\n', ']', '\n')
+	c.buf = out[:0]
+	if _, err := c.w.Write(out); err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Err returns the first write error, if any.
+func (c *ChromeSink) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -118,21 +118,40 @@ func (s *Span) HopQueueNs() int64 { return s.hopQueue }
 // simulators drive it from their single event loop, and exactly one span may
 // be active between Begin and Finish.
 type Tracer struct {
-	jsonl  io.Writer
-	chrome *chromeWriter
-	cur    Span
-	active bool
-	seq    uint64
-	nodes  []int64
-	agg    Breakdown
-	buf    []byte
-	err    error
+	jsonl      *LineSink
+	chrome     *chromeWriter
+	ownsChrome bool
+	cur        Span
+	active     bool
+	seq        uint64
+	nodes      []int64
+	agg        Breakdown
+	buf        []byte
+	err        error
 }
 
 // NewTracer returns a tracer writing spans as JSON lines to jsonl and as
 // Chrome trace events to chrome; either (or both) may be nil, in which case
-// only the Breakdown and the reconciliation counts are maintained.
+// only the Breakdown and the reconciliation counts are maintained. The
+// tracer owns both sinks: Close finalizes the Chrome trace array.
 func NewTracer(jsonl, chrome io.Writer) *Tracer {
+	t := &Tracer{}
+	if jsonl != nil {
+		t.jsonl = NewLineSink(jsonl)
+	}
+	if chrome != nil {
+		t.chrome = newChromeWriter(NewChromeSink(chrome))
+		t.ownsChrome = true
+	}
+	return t
+}
+
+// NewTracerSinks returns a tracer emitting into shared sinks — the
+// configuration that interleaves simulator miss spans with engine request
+// spans (internal/obs/reqspan) in one JSONL stream and one Perfetto
+// timeline. Either sink may be nil. The caller owns the sinks: Close here
+// does NOT write the Chrome array's closing bracket.
+func NewTracerSinks(jsonl *LineSink, chrome *ChromeSink) *Tracer {
 	t := &Tracer{jsonl: jsonl}
 	if chrome != nil {
 		t.chrome = newChromeWriter(chrome)
@@ -175,26 +194,29 @@ func (t *Tracer) Finish(s *Span, end int64, state byte, local, dirty bool) {
 	t.agg.record(s)
 	if t.jsonl != nil {
 		t.buf = appendSpanJSON(t.buf[:0], s)
-		if _, err := t.jsonl.Write(t.buf); err != nil && t.err == nil {
-			t.err = err
-			t.jsonl = nil
-		}
+		t.jsonl.WriteLine(t.buf)
 	}
 	if t.chrome != nil {
 		t.chrome.span(s)
 	}
 }
 
-// Close finalizes the Chrome trace (writing the closing bracket of the JSON
-// array) and returns the first sink error, if any. The JSONL sink is the
-// caller's to flush and close.
+// Close finalizes an owned Chrome trace (writing the closing bracket of the
+// JSON array; shared sinks from NewTracerSinks are the caller's to close)
+// and returns the first sink error, if any. The JSONL sink's underlying
+// writer is the caller's to flush and close.
 func (t *Tracer) Close() error {
 	if t.chrome != nil {
-		t.chrome.close()
+		if t.ownsChrome {
+			t.chrome.sink.Close()
+		}
 		if t.err == nil {
-			t.err = t.chrome.err
+			t.err = t.chrome.sink.Err()
 		}
 		t.chrome = nil
+	}
+	if t.err == nil {
+		t.err = t.jsonl.Err()
 	}
 	return t.err
 }
@@ -202,8 +224,13 @@ func (t *Tracer) Close() error {
 // Err returns the first sink write error, if any; after an error the failed
 // sink is dropped and tracing continues on the remaining outputs.
 func (t *Tracer) Err() error {
+	if t.err == nil {
+		if err := t.jsonl.Err(); err != nil {
+			return err
+		}
+	}
 	if t.err == nil && t.chrome != nil {
-		return t.chrome.err
+		return t.chrome.sink.Err()
 	}
 	return t.err
 }

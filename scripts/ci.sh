@@ -88,4 +88,55 @@ if [ "$rc" -ne 2 ]; then
     echo "ci: bad -bench exited $rc, want 2" >&2; exit 1
 fi
 
+# Serving-path attribution smoke: a fully sampled -attr run self-checks
+# that span counts reconcile exactly with the engine counters and that the
+# stage sums tile the sampled latency histogram within 1% (cachebench exits
+# nonzero otherwise); we additionally pin the reconciliation line and that
+# the emitted spans merge with the simulator's into one valid timeline.
+go build -o "$smoke/cachebench" ./cmd/cachebench
+"$smoke/cachebench" -policy DCL -shards 8 -workers 4 -mode closed \
+    -ops 20000 -loaddelay 50us -seed 42 -quiet \
+    -attr -attr.sample 1 -obs.sample 0.02 \
+    -span.trace "$smoke/req-trace.json" -span.jsonl "$smoke/req-spans.jsonl" \
+    -manifest "$smoke/attr.json" > "$smoke/attr.txt" 2> "$smoke/attr-table.txt"
+grep -q 'stage sums cover' "$smoke/attr.txt" || {
+    echo "ci: -attr run printed no reconciliation line" >&2; exit 1; }
+grep -q 'serving-path attribution' "$smoke/attr-table.txt" || {
+    echo "ci: -attr run printed no attribution table" >&2; exit 1; }
+grep -Eq '"attr_spans": 20000' "$smoke/attr.json" || {
+    echo "ci: attr manifest missing full span count" >&2; exit 1; }
+go run ./cmd/report -check \
+    "$smoke/attr.json" "$smoke/req-spans.jsonl" "$smoke/req-trace.json"
+go run ./cmd/report -merge "$smoke/combined-trace.json" \
+    "$smoke/req-trace.json" "$smoke/trace.json"
+cat "$smoke/req-spans.jsonl" "$smoke/spans.jsonl" > "$smoke/combined.jsonl"
+go run ./cmd/report -check "$smoke/combined-trace.json" "$smoke/combined.jsonl"
+
+# Zero-sample guard: with a tracer attached but nothing sampled, the
+# serving path must be allocation-identical to an untraced engine.
+go test -run TestEngineUnsampledAllocs -count=1 ./internal/engine/
+
+# Sampling-rate flag validation: rates outside (0,1] must exit 2.
+for bad in "-attr.sample 1.5" "-attr.sample 0" "-obs.sample -0.1"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachebench" $bad -ops 10 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+
+# Engine benchmark baseline: regenerate the hot-path manifest with a short
+# measurement window and diff against the archive. The tolerance is
+# deliberately generous (shared CI hardware); only schema breakage or
+# malformed output fails the gate.
+BENCH_MANIFEST="$smoke/bench.json" \
+    go test -run TestWriteBenchManifest -count=1 -benchtime 0.05s .
+go run ./cmd/report -check "$smoke/bench.json"
+if [ -f results/BENCH_engine.json ]; then
+    go run ./cmd/report -tol 75 results/BENCH_engine.json "$smoke/bench.json"
+else
+    echo "ci: results/BENCH_engine.json missing; skipping bench diff" >&2
+fi
+
 echo "ci: ok"
