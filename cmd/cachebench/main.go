@@ -20,8 +20,16 @@
 // report -merge). Span counts are reconciled against the engine counters
 // after the run; a mismatch is fatal. -obs.listen serves /metrics, pprof
 // and the /debug/engine analytics JSON (hot shards, lock-wait and
-// coalesce-depth heatmaps, keyspace skew). -profile.dir captures periodic
-// CPU/heap/mutex/block pprof snapshots keyed to the run manifest.
+// coalesce-depth heatmaps, keyspace skew). -hot.factor tunes the hot-shard
+// detector threshold and -keys.sketch the keyspace-skew sketch capacity.
+// -profile.dir captures periodic CPU/heap/mutex/block pprof snapshots keyed
+// to the run manifest.
+//
+// -decisions streams every replacement decision (reservations, ETD
+// detections, victim choices) as JSONL tagged with shard and cost class —
+// the per-run input to report -explain, which joins two runs' decision
+// streams and attributes a metric delta to decision-level causes (see
+// docs/OBSERVABILITY.md).
 //
 // -manifest writes a self-describing run manifest (engine counters, latency
 // percentiles, per-shard series, stage attribution) that cmd/report can
@@ -78,6 +86,9 @@ func main() {
 	obsListen := flag.String("obs.listen", "", "serve /metrics, /debug/engine and pprof on this address")
 	profileDir := flag.String("profile.dir", "", "capture periodic CPU/heap/mutex/block pprof snapshots into this directory")
 	profileInterval := flag.Duration("profile.interval", 30*time.Second, "continuous-profiling snapshot period")
+	decisions := flag.String("decisions", "", "write per-shard replacement decision events as JSONL to this file (input to report -explain)")
+	hotFactor := flag.Float64("hot.factor", engine.DefaultHotShareFactor, "hot-shard threshold: flag a shard whose window traffic share exceeds this multiple of the uniform share")
+	keysSketch := flag.Int("keys.sketch", 0, "keyspace-skew sketch capacity (distinct sampled keys tracked; 0 = default)")
 	flag.Parse()
 
 	factory, ok := replacement.ByName(*policy)
@@ -99,6 +110,12 @@ func main() {
 	if *obsSample <= 0 || *obsSample > 1 {
 		cli.BadFlag("cachebench", "-obs.sample", fmt.Sprint(*obsSample), rateValid)
 	}
+	if *hotFactor <= 0 {
+		cli.BadFlag("cachebench", "-hot.factor", fmt.Sprint(*hotFactor), []string{"a share multiple > 0"})
+	}
+	if *keysSketch < 0 {
+		cli.BadFlag("cachebench", "-keys.sketch", fmt.Sprint(*keysSketch), []string{"a sketch capacity >= 0 (0 = default)"})
+	}
 
 	// The request tracer attaches when any consumer of its data is on:
 	// the attribution table, span emission, or the live debug endpoint.
@@ -106,7 +123,7 @@ func main() {
 	var sinks []*spanSink
 	var chromeSink *span.ChromeSink
 	if *attr || *spanJSONL != "" || *spanTrace != "" || *obsListen != "" {
-		tcfg := reqspan.Config{AttrRate: *attrSample}
+		tcfg := reqspan.Config{AttrRate: *attrSample, KeyCap: *keysSketch}
 		var jsonlSink *span.LineSink
 		if *spanJSONL != "" {
 			jsonlSink = span.NewLineSink(openSink(&sinks, *spanJSONL))
@@ -120,15 +137,25 @@ func main() {
 		tracer = reqspan.New(tcfg, jsonlSink, chromeSink)
 	}
 
+	// The decision tracer streams every replacement decision (reservations,
+	// ETD detections, victim choices) as JSONL — the per-run half of the
+	// report -explain join.
+	var decTracer *obs.Tracer
+	if *decisions != "" {
+		decTracer = obs.NewTracer(1024)
+		decTracer.SetSink(openSink(&sinks, *decisions))
+	}
+
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Config{
-		Shards:   *shards,
-		Sets:     *sets,
-		Ways:     *ways,
-		Policy:   factory,
-		Registry: reg,
-		Shadow:   !*noShadow,
-		Tracer:   tracer,
+		Shards:    *shards,
+		Sets:      *sets,
+		Ways:      *ways,
+		Policy:    factory,
+		Registry:  reg,
+		Shadow:    !*noShadow,
+		Tracer:    tracer,
+		Decisions: decTracer,
 	})
 	cfg := loadgen.Config{
 		Mode:      loadgen.Mode(*mode),
@@ -150,7 +177,7 @@ func main() {
 	if *obsListen != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", obs.Handler(reg))
-		mux.Handle("/debug/engine", engine.DebugHandler(eng, tracer))
+		mux.Handle("/debug/engine", engine.DebugHandler(eng, tracer, *hotFactor))
 		srv, err := obs.ServeHandler(*obsListen, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
@@ -191,13 +218,20 @@ func main() {
 
 	printSummary(*policy, *shards, *workers, *mode, res)
 
+	if chromeSink != nil {
+		chromeSink.Close()
+	}
+	for _, s := range sinks {
+		s.close()
+	}
+	if decTracer != nil {
+		if err := decTracer.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench: decision sink:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d decision events to %s\n", decTracer.Total(), *decisions)
+	}
 	if tracer != nil {
-		if chromeSink != nil {
-			chromeSink.Close()
-		}
-		for _, s := range sinks {
-			s.close()
-		}
 		if err := tracer.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench: span sink:", err)
 			os.Exit(1)
@@ -215,7 +249,8 @@ func main() {
 	}
 
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, prof, *profileDir); err != nil {
+		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL, spanTrace: *spanTrace}
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, art, prof, *profileDir); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
@@ -287,6 +322,9 @@ func reconcileSpans(tr *reqspan.Tracer, st engine.Stats) {
 		if a.Outcomes[reqspan.OutcomeCoalesced] != st.Coalesced {
 			fatal("%d coalesced spans vs %d engine coalesced", a.Outcomes[reqspan.OutcomeCoalesced], st.Coalesced)
 		}
+		if a.CostPaid != st.CostPaid {
+			fatal("span cost sum %d vs engine cost_paid %d", a.CostPaid, st.CostPaid)
+		}
 	}
 	if a.Latency.Sum != a.TotalNs {
 		fatal("latency histogram sum %d != span total %d", a.Latency.Sum, a.TotalNs)
@@ -350,9 +388,16 @@ func printSummary(policy string, shards, workers int, mode string, res loadgen.R
 	}
 }
 
+// artifacts collects the companion trace file paths the run was asked to
+// write, for recording in the manifest's artifact map.
+type artifacts struct {
+	decisions, spanJSONL, spanTrace string
+}
+
 func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	eng *engine.Engine, reg *obs.Registry, res loadgen.Result,
-	tracer *reqspan.Tracer, prof *obs.Profiler, profileDir string) error {
+	tracer *reqspan.Tracer, decTracer *obs.Tracer, art artifacts,
+	prof *obs.Profiler, profileDir string) error {
 	m := manifest.New("cachebench")
 	m.SetConfig("policy", policy)
 	m.SetConfig("mode", mode)
@@ -363,6 +408,9 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	m.SetConfig("keys", cfg.Keys)
 	m.SetConfig("zipf", cfg.ZipfS)
 	m.SetConfig("seed", cfg.Seed)
+	m.SetConfig("costlow", cfg.CostLow)
+	m.SetConfig("costhigh", cfg.CostHigh)
+	m.SetConfig("haf", cfg.HighFrac)
 	m.SetConfig("loaddelay", cfg.LoadDelay)
 	if bench != "" {
 		m.SetConfig("workload", bench)
@@ -390,11 +438,21 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	}
 	if tracer != nil {
 		m.SetAttribution(tracer.Attribution())
+		if art.spanJSONL != "" {
+			m.SetArtifact("request_spans", art.spanJSONL)
+		}
+		if art.spanTrace != "" {
+			m.SetArtifact("span_trace", art.spanTrace)
+		}
+	}
+	if decTracer != nil {
+		decTracer.PublishCounts(reg) // trace_events{policy,kind} land in the snapshot
+		m.SetArtifact("decision_trace", art.decisions)
 	}
 	if prof != nil {
 		m.SetConfig("profile_dir", profileDir)
 		m.SetMetric("profile_snapshots", float64(len(prof.Snapshots())))
 	}
-	m.AddSnapshot(reg.Snapshot()) // per-shard engine_* series
+	m.AddSnapshot(reg.Snapshot()) // per-shard engine_* and trace_events series
 	return m.WriteFile(path)
 }

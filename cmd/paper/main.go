@@ -98,7 +98,7 @@ func main() {
 		return
 	}
 	if *obsTrace != "" {
-		if err := obsSection(*obsTrace, pickBench(*bench, *quick), *obsWindow); err != nil {
+		if err := obsSection(*obsTrace, pickBench(*bench, *quick), *obsWindow, *manifestPath); err != nil {
 			log.Fatal(err)
 		}
 		return

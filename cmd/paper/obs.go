@@ -11,6 +11,7 @@ import (
 
 	"costcache/internal/cost"
 	"costcache/internal/costsim"
+	"costcache/internal/manifest"
 	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
@@ -57,8 +58,11 @@ func obsCostSource(view []trace.SampleRef, cfg costsim.Config) cost.Source {
 
 // obsSection is the -obs.trace run: trace every decision of the observed
 // policies over one benchmark, reconcile the traced event counts against
-// the cache counters, and report per-window interval statistics.
-func obsSection(traceFile string, gen workload.Generator, window int) error {
+// the cache counters, and report per-window interval statistics. With
+// manifestPath set it also writes a run manifest carrying the published
+// trace_events{policy,kind} counters and the decision-trace artifact path,
+// so simulator runs join report -explain's decisions-only path.
+func obsSection(traceFile string, gen workload.Generator, window int, manifestPath string) error {
 	tr := gen.Generate()
 	view := tr.SampleView(0)
 	cfg := costsim.Default()
@@ -118,6 +122,18 @@ func obsSection(traceFile string, gen workload.Generator, window int) error {
 	}
 	if !allMatch {
 		return fmt.Errorf("traced eviction counts do not reconcile with cache.Stats")
+	}
+	if manifestPath != "" {
+		m := manifest.New("paper")
+		m.SetConfig("section", "obs")
+		m.SetConfig("bench", gen.Name())
+		m.SetConfig("window", window)
+		m.SetArtifact("decision_trace", traceFile)
+		m.AddSnapshot(obs.Default.Snapshot()) // includes trace_events{policy,kind}
+		if err := m.WriteFile(manifestPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote manifest to %s\n", manifestPath)
 	}
 	return nil
 }

@@ -28,6 +28,22 @@
 // span time are flagged regressed — "p99 went up" becomes "the load stage
 // regressed 40%, everything else held". Exit status as in diff mode.
 //
+// Explain mode joins two runs' decision streams and request spans and
+// attributes the hit-rate / cost-paid delta to ranked decision-level causes:
+//
+//	report -explain [-tol 2] [-strict] [-windows 4] [-json] baseline.json candidate.json
+//
+// Both manifests must declare trace artifacts (cachebench -decisions for
+// the decision stream, -span.jsonl with full sampling for request spans).
+// The output ranks decision-kind shifts (reservation flips, ETD
+// detections, victim choices) and decomposes the delta by key cost class,
+// shard and request-order time window; every contribution table sums
+// exactly to the manifest-level delta, and the join's invariants are
+// machine-checked. Exit status: 0 when ok (identical runs explain to an
+// all-zero table), 1 with -strict when the candidate regressed beyond the
+// tolerance, 2 on malformed inputs, absent streams or a failed invariant.
+// See docs/OBSERVABILITY.md ("Explaining a regression") for a walkthrough.
+//
 // Merge mode concatenates Chrome trace arrays into one timeline:
 //
 //	report -merge combined.json engine.json simulator.json
@@ -47,6 +63,7 @@ import (
 	"strings"
 
 	"costcache/internal/manifest"
+	"costcache/internal/obs/explain"
 	"costcache/internal/tabulate"
 )
 
@@ -55,6 +72,9 @@ func main() {
 	strict := flag.Bool("strict", false, "exit 1 when any metric regressed")
 	check := flag.Bool("check", false, "validate files instead of diffing manifests")
 	attr := flag.Bool("attr", false, "diff the stage-attribution tables of two manifests")
+	explainF := flag.Bool("explain", false, "attribute the metric delta between two manifests to decision-level causes")
+	windows := flag.Int("windows", 4, "request-order time windows in the -explain contribution tables")
+	jsonOut := flag.Bool("json", false, "emit the -explain report as JSON instead of tables")
 	merge := flag.Bool("merge", false, "merge Chrome trace files: out.json in.json...")
 	flag.Parse()
 
@@ -65,13 +85,65 @@ func main() {
 		os.Exit(runMerge(flag.Args()))
 	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: report [-attr] [-tol pct] [-strict] old.json new.json\n       report -check file...\n       report -merge out.json in.json...")
+		fmt.Fprintln(os.Stderr, "usage: report [-attr|-explain] [-tol pct] [-strict] old.json new.json\n       report -check file...\n       report -merge out.json in.json...")
 		os.Exit(2)
+	}
+	if *explainF {
+		if *windows < 1 {
+			fmt.Fprintf(os.Stderr, "report: -windows %d invalid; want a count >= 1\n", *windows)
+			os.Exit(2)
+		}
+		os.Exit(runExplain(flag.Arg(0), flag.Arg(1), *tol, *strict, *windows, *jsonOut))
 	}
 	if *attr {
 		os.Exit(runAttr(flag.Arg(0), flag.Arg(1), *tol, *strict))
 	}
 	os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *tol, *strict))
+}
+
+// runExplain joins two runs' manifests, decision streams and request spans
+// and attributes the hit-rate / cost-paid delta to ranked causes. Exit 2
+// when either run is malformed, carries no joinable stream, or a join
+// invariant fails (the tables would not be trustworthy); 1 with -strict
+// when the candidate regressed beyond the tolerance; 0 otherwise.
+func runExplain(basePath, candPath string, tol float64, strict bool, windows int, jsonOut bool) int {
+	base, err := explain.Load(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	cand, err := explain.Load(candPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 2
+	}
+	if !base.HasStreams() && !cand.HasStreams() {
+		fmt.Fprintln(os.Stderr, "report: neither manifest declares a decision_trace or request_spans artifact; rerun cachebench with -decisions and/or -span.jsonl")
+		return 2
+	}
+	r := explain.Explain(base, cand, windows)
+	if jsonOut {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			return 2
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		r.WriteText(os.Stdout)
+	}
+	if r.Failed() {
+		fmt.Fprintln(os.Stderr, "report: explain join invariants failed (see checks above)")
+		return 2
+	}
+	if r.Regressed(tol) {
+		if strict {
+			fmt.Fprintf(os.Stderr, "report: candidate regressed beyond %.3g%%\n", tol)
+			return 1
+		}
+		fmt.Println("warning: candidate regressed; rerun with -strict to fail on it")
+	}
+	return 0
 }
 
 func runDiff(oldPath, newPath string, tol float64, strict bool) int {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
+)
+
+// writeAttrManifest builds a manifest carrying a hand-rolled attr_* table:
+// spans and per-stage (ns, count) cells, the shape cachebench writes under
+// -attr. stages maps stage name → total ns; every stage gets count = spans.
+func writeAttrManifest(t *testing.T, dir, name string, spans float64, stages map[string]float64) string {
+	t.Helper()
+	m := manifest.New("cachebench")
+	if spans > 0 {
+		m.SetMetric("attr_spans", spans)
+		m.SetMetric("attr_sample_every", 1)
+		var total float64
+		for s, ns := range stages {
+			m.SetMetric(obs.Name("attr_stage_ns", "stage", s), ns)
+			m.SetMetric(obs.Name("attr_stage_count", "stage", s), spans)
+			total += ns
+		}
+		m.SetMetric("attr_total_ns", total)
+		m.SetMetric("attr_other_ns", 0)
+	}
+	path := filepath.Join(dir, name)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunAttrMissingTable: a manifest with no attribution (or an empty one)
+// is a usage error — exit 2, pointing at the -attr rerun — in either
+// argument position.
+func TestRunAttrMissingTable(t *testing.T) {
+	dir := t.TempDir()
+	with := writeAttrManifest(t, dir, "with.json", 100, map[string]float64{"load": 1000})
+	without := writeAttrManifest(t, dir, "without.json", 0, nil)
+
+	if got := runAttr(without, with, 2, false); got != 2 {
+		t.Fatalf("empty old table: exit %d, want 2", got)
+	}
+	if got := runAttr(with, without, 2, false); got != 2 {
+		t.Fatalf("empty new table: exit %d, want 2", got)
+	}
+	if got := runAttr(filepath.Join(dir, "absent.json"), with, 2, false); got != 2 {
+		t.Fatalf("missing file: exit %d, want 2", got)
+	}
+}
+
+// TestRunAttrMismatchedStages: stage sets that only partly overlap diff
+// cleanly — stages unique to either side render without flagging a
+// spurious regression (a new stage has no old mean to regress from).
+func TestRunAttrMismatchedStages(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeAttrManifest(t, dir, "old.json", 100, map[string]float64{"load": 1000, "shadow": 50})
+	newP := writeAttrManifest(t, dir, "new.json", 100, map[string]float64{"load": 1000, "fill": 70})
+	if got := runAttr(oldP, newP, 2, true); got != 0 {
+		t.Fatalf("mismatched stage sets: exit %d, want 0", got)
+	}
+}
+
+// TestRunAttrZeroLatencyStages: all-zero stage times on both sides are a
+// no-op diff (verdict "-"), not a divide-by-zero or a regression.
+func TestRunAttrZeroLatencyStages(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeAttrManifest(t, dir, "old.json", 50, map[string]float64{"lock_wait": 0, "decision": 0})
+	newP := writeAttrManifest(t, dir, "new.json", 50, map[string]float64{"lock_wait": 0, "decision": 0})
+	if got := runAttr(oldP, newP, 2, true); got != 0 {
+		t.Fatalf("zero-latency stages: exit %d, want 0", got)
+	}
+}
+
+// TestRunAttrExitCodes: a genuine stage regression warns at exit 0 by
+// default and fails with 1 under -strict.
+func TestRunAttrExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeAttrManifest(t, dir, "old.json", 100, map[string]float64{"load": 1000})
+	newP := writeAttrManifest(t, dir, "new.json", 100, map[string]float64{"load": 2000})
+	if got := runAttr(oldP, newP, 2, false); got != 0 {
+		t.Fatalf("regression without -strict: exit %d, want 0", got)
+	}
+	if got := runAttr(oldP, newP, 2, true); got != 1 {
+		t.Fatalf("regression with -strict: exit %d, want 1", got)
+	}
+	if got := runAttr(oldP, newP, 300, true); got != 0 {
+		t.Fatalf("regression inside tolerance: exit %d, want 0", got)
+	}
+}
+
+// TestRunExplainExitCodes: manifests without any joinable stream exit 2, as
+// do unreadable manifests; a self-join with a declared stream exits 0.
+func TestRunExplainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	bare := writeAttrManifest(t, dir, "bare.json", 0, nil)
+	if got := runExplain(bare, bare, 2, false, 4, false); got != 2 {
+		t.Fatalf("streamless manifests: exit %d, want 2", got)
+	}
+	if got := runExplain(filepath.Join(dir, "nope.json"), bare, 2, false, 4, false); got != 2 {
+		t.Fatalf("missing manifest: exit %d, want 2", got)
+	}
+
+	dec := filepath.Join(dir, "dec.jsonl")
+	if err := os.WriteFile(dec, []byte("{\"seq\":1,\"policy\":\"BCL\",\"kind\":\"evict\",\"class\":\"cost=1\",\"set\":0,\"cost\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := manifest.New("cachebench")
+	m.SetMetric("engine_hits", 1)
+	m.SetMetric("engine_misses", 1)
+	m.SetMetric("engine_cost_paid", 1)
+	m.SetArtifact("decision_trace", "dec.jsonl")
+	withDec := filepath.Join(dir, "dec.json")
+	if err := m.WriteFile(withDec); err != nil {
+		t.Fatal(err)
+	}
+	if got := runExplain(withDec, withDec, 2, true, 4, false); got != 0 {
+		t.Fatalf("identical decisions-only runs: exit %d, want 0", got)
+	}
+}

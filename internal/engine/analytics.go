@@ -57,11 +57,12 @@ func (e *Engine) ShardStats() []ShardStats {
 	return out
 }
 
-// hotShareFactor flags a shard as hot when its share of window traffic
-// exceeds this multiple of the uniform share (1/shards). 2× is well past
-// the splitmix64 placement's natural imbalance at any realistic op count,
-// so flags indicate genuinely skewed keyspaces, not hash noise.
-const hotShareFactor = 2.0
+// DefaultHotShareFactor flags a shard as hot when its share of window
+// traffic exceeds this multiple of the uniform share (1/shards). 2× is well
+// past the splitmix64 placement's natural imbalance at any realistic op
+// count, so flags indicate genuinely skewed keyspaces, not hash noise.
+// cachebench -hot.factor overrides it per run.
+const DefaultHotShareFactor = 2.0
 
 // ShardWindow is one shard's activity over an analytics window.
 type ShardWindow struct {
@@ -89,6 +90,9 @@ type Analytics struct {
 	Ops int64 `json:"ops"`
 	// UniformShare is 1/shards, the no-skew baseline for Share columns.
 	UniformShare float64 `json:"uniform_share"`
+	// HotShareFactor is the detector threshold in effect: a shard is hot
+	// when its Share exceeds HotShareFactor × UniformShare.
+	HotShareFactor float64 `json:"hot_share_factor"`
 	// Shards is the per-shard window breakdown, shard-ordered.
 	Shards []ShardWindow `json:"shards"`
 	// Hot lists the indices of hot shards, hottest first.
@@ -97,9 +101,13 @@ type Analytics struct {
 
 // Analyze decomposes the window between two ShardStats snapshots (prev may
 // be nil: the window then spans from engine start). windowNs is the
-// wall-clock duration between the snapshots.
-func Analyze(cur, prev []ShardStats, windowNs int64) Analytics {
-	a := Analytics{WindowNs: windowNs, UniformShare: 1 / float64(len(cur))}
+// wall-clock duration between the snapshots; hotFactor is the hot-shard
+// detector threshold (0 means DefaultHotShareFactor).
+func Analyze(cur, prev []ShardStats, windowNs int64, hotFactor float64) Analytics {
+	if hotFactor <= 0 {
+		hotFactor = DefaultHotShareFactor
+	}
+	a := Analytics{WindowNs: windowNs, UniformShare: 1 / float64(len(cur)), HotShareFactor: hotFactor}
 	a.Shards = make([]ShardWindow, len(cur))
 	for i, c := range cur {
 		w := ShardWindow{
@@ -123,7 +131,7 @@ func Analyze(cur, prev []ShardStats, windowNs int64) Analytics {
 			a.Shards[i].Share = float64(a.Shards[i].Ops) / float64(a.Ops)
 		}
 		a.Shards[i].Hot = a.Shards[i].Ops > 0 &&
-			a.Shards[i].Share > hotShareFactor*a.UniformShare
+			a.Shards[i].Share > hotFactor*a.UniformShare
 		if a.Shards[i].Hot {
 			a.Hot = append(a.Hot, i)
 		}
@@ -161,8 +169,9 @@ type debugPayload struct {
 // DebugHandler serves the engine's live analytics as JSON — mounted at
 // /debug/engine by cachebench's -obs.listen server. Consecutive scrapes
 // see rolling windows: each response covers activity since the previous
-// one. tr may be nil (attribution and keyspace are then omitted).
-func DebugHandler(e *Engine, tr *reqspan.Tracer) http.Handler {
+// one. tr may be nil (attribution and keyspace are then omitted); hotFactor
+// is the hot-shard threshold (0 means DefaultHotShareFactor).
+func DebugHandler(e *Engine, tr *reqspan.Tracer, hotFactor float64) http.Handler {
 	st := &debugState{at: time.Now()}
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		cur := e.ShardStats()
@@ -174,7 +183,7 @@ func DebugHandler(e *Engine, tr *reqspan.Tracer) http.Handler {
 
 		p := debugPayload{
 			Stats:      e.Stats(),
-			Window:     Analyze(cur, prev, now.Sub(at).Nanoseconds()),
+			Window:     Analyze(cur, prev, now.Sub(at).Nanoseconds(), hotFactor),
 			Cumulative: cur,
 		}
 		if tr != nil {

@@ -16,9 +16,12 @@ func TestAnalyzeHotShard(t *testing.T) {
 		{Shard: 2, Hits: 100}, {Shard: 3, Hits: 100}}
 	cur := []ShardStats{{Shard: 0, Hits: 1000, LockWaitNs: 500}, {Shard: 1, Hits: 150},
 		{Shard: 2, Hits: 150}, {Shard: 3, Hits: 150}}
-	a := Analyze(cur, prev, 1e9)
+	a := Analyze(cur, prev, 1e9, 0)
 	if a.Ops != 1050 {
 		t.Fatalf("window ops = %d, want 1050", a.Ops)
+	}
+	if a.HotShareFactor != DefaultHotShareFactor {
+		t.Fatalf("hot factor = %g, want default %g", a.HotShareFactor, DefaultHotShareFactor)
 	}
 	if len(a.Hot) != 1 || a.Hot[0] != 0 {
 		t.Fatalf("hot = %v, want [0]", a.Hot)
@@ -30,8 +33,18 @@ func TestAnalyzeHotShard(t *testing.T) {
 		t.Fatalf("lock-wait delta = %d, want 500", a.Shards[0].LockWaitNs)
 	}
 
+	// A custom threshold moves the boundary: at 10× the uniform share the
+	// same skew is no longer flagged; well under the skew, every active
+	// shard above its share would be.
+	if a := Analyze(cur, prev, 1e9, 10); len(a.Hot) != 0 {
+		t.Fatalf("10x threshold still flagged shards: %v", a.Hot)
+	}
+	if a := Analyze(cur, prev, 1e9, 1.5); len(a.Hot) != 1 || a.Hot[0] != 0 {
+		t.Fatalf("1.5x threshold hot = %v, want [0]", a.Hot)
+	}
+
 	// Balanced traffic, nil prev (window = since start): nothing is hot.
-	a = Analyze(prev, nil, 0)
+	a = Analyze(prev, nil, 0, 0)
 	if len(a.Hot) != 0 || a.Ops != 400 {
 		t.Fatalf("balanced window flagged hot shards: %+v", a)
 	}
@@ -44,7 +57,7 @@ func TestAnalyzeHotShard(t *testing.T) {
 func TestDebugHandler(t *testing.T) {
 	tr := reqspan.New(reqspan.Config{AttrRate: 1}, nil, nil)
 	e := New(Config{Shards: 4, Sets: 32, Ways: 2, Policy: lruFactory, Tracer: tr})
-	h := DebugHandler(e, tr)
+	h := DebugHandler(e, tr, 0)
 
 	for i := 0; i < 300; i++ {
 		e.Set(77, i, 2) // one hot key → one hot shard
@@ -92,7 +105,7 @@ func TestDebugHandler(t *testing.T) {
 	}
 
 	// A tracer-less handler omits the optional sections.
-	h2 := DebugHandler(New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory}), nil)
+	h2 := DebugHandler(New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory}), nil, 0)
 	rec := httptest.NewRecorder()
 	h2.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/engine", nil))
 	var p3 debugPayload

@@ -64,6 +64,13 @@ type Config struct {
 	// (see internal/obs/reqspan). Unsampled requests pay one atomic add;
 	// a nil Tracer pays a nil check per request.
 	Tracer *reqspan.Tracer
+	// Decisions, when non-nil, attaches the decision tracer to every shard
+	// whose policy implements replacement.Observable: each reservation, ETD
+	// detection and victim choice is recorded with the shard it happened on
+	// and its stable cost-class tag, the stream report -explain joins across
+	// runs. Events are recorded under the shard lock (one tracer mutex plus
+	// a ring-slot copy per decision); nil keeps the zero-overhead path.
+	Decisions *obs.Tracer
 }
 
 // Engine is a sharded, thread-safe cost-sensitive cache.
@@ -127,7 +134,13 @@ func New(cfg Config) *Engine {
 	localSets := cfg.Sets / cfg.Shards
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow)
+		s := newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow)
+		if cfg.Decisions != nil {
+			if ob, ok := s.policy.(replacement.Observable); ok {
+				ob.SetObserver(cfg.Decisions.BindShard(s.policy.Name(), i))
+			}
+		}
+		e.shards[i] = s
 	}
 	return e
 }

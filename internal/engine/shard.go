@@ -146,6 +146,7 @@ func (s *shard) install(set int, key uint64, value any, c replacement.Cost, sp *
 	s.vals[set][w] = value
 	s.policy.Fill(set, w, key, c)
 	s.costPaid.Add(int64(c))
+	sp.AddCost(int64(c))
 	sp.Mark(reqspan.StageFill)
 	s.setShadowCost(set, key, c)
 	s.touchShadow(set, key)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"costcache/internal/obs"
 	"costcache/internal/obs/reqspan"
 	"costcache/internal/obs/span"
 	"costcache/internal/replacement"
@@ -157,6 +158,48 @@ func TestEngineUnsampledAllocs(t *testing.T) {
 		}); allocs != 0 {
 			t.Errorf("%s: Get hit allocates %.1f per op, want 0", name, allocs)
 		}
+	}
+}
+
+// TestDecisionTracerBinding pins Config.Decisions: every shard whose policy
+// implements replacement.Observable streams its decisions into the tracer
+// stamped with the shard it ran on, under the policy's registry name — the
+// two tags report -explain slices kinds by when it joins two runs.
+func TestDecisionTracerBinding(t *testing.T) {
+	dt := obs.NewTracer(1 << 12)
+	e := New(Config{Shards: 4, Sets: 16, Ways: 2,
+		Policy:    func() replacement.Policy { return replacement.NewBCL() },
+		Decisions: dt})
+	for k := uint64(0); k < 200; k++ {
+		e.Set(k, k, replacement.Cost(1+k%7)) // overfill: evictions everywhere
+	}
+	if dt.Count("BCL", replacement.EvEvict) == 0 {
+		t.Fatal("no evict decisions recorded through Config.Decisions")
+	}
+	shards := map[int]bool{}
+	for _, r := range dt.Events() {
+		if r.Policy != "BCL" {
+			t.Fatalf("event policy %q, want BCL", r.Policy)
+		}
+		if r.Shard < 0 || r.Shard > 3 {
+			t.Fatalf("event shard %d outside the engine's [0,3]", r.Shard)
+		}
+		shards[r.Shard] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("decisions all on shards %v — shard binding not threaded", shards)
+	}
+
+	// Each shard binds under its own policy instance's name: an LRU engine
+	// records under "LRU", not the first engine's label.
+	lt := obs.NewTracer(1 << 10)
+	plain := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory, Decisions: lt})
+	for k := uint64(0); k < 64; k++ {
+		plain.Set(k, k, 1)
+	}
+	if lt.Count("LRU", replacement.EvEvict) == 0 || lt.Count("BCL", replacement.EvEvict) != 0 {
+		t.Fatalf("LRU decisions mislabeled: LRU=%d BCL=%d",
+			lt.Count("LRU", replacement.EvEvict), lt.Count("BCL", replacement.EvEvict))
 	}
 }
 

@@ -46,6 +46,13 @@ type Manifest struct {
 	// Metrics are the run's scalar results, keyed by metric name (optionally
 	// labeled in obs.Name style).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Artifacts maps the run's companion trace files by kind —
+	// "decision_trace" (obs decision JSONL), "request_spans" (reqspan
+	// JSONL), "span_jsonl"/"span_trace" (simulator spans / Chrome trace) —
+	// to the paths they were written to, as given on the command line.
+	// report -explain resolves relative paths against the manifest's own
+	// directory first, so a results/ tree stays relocatable.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
 	// LatencyBreakdown is the per-class, per-stage miss-latency aggregation
 	// from the span tracer, when the run traced spans.
 	LatencyBreakdown []span.BreakdownRow `json:"latency_breakdown,omitempty"`
@@ -87,6 +94,17 @@ func (m *Manifest) SetConfig(key string, value any) {
 func (m *Manifest) SetMetric(name string, value float64) {
 	m.Metrics[name] = value
 }
+
+// SetArtifact records the path of a companion trace artifact by kind.
+func (m *Manifest) SetArtifact(kind, path string) {
+	if m.Artifacts == nil {
+		m.Artifacts = make(map[string]string)
+	}
+	m.Artifacts[kind] = path
+}
+
+// Artifact returns the recorded path for kind ("" when absent).
+func (m *Manifest) Artifact(kind string) string { return m.Artifacts[kind] }
 
 // AddSnapshot flattens a registry snapshot into the metric map: counters and
 // gauges verbatim, histograms as name_count, name_sum and name_mean.
@@ -144,6 +162,11 @@ func (m *Manifest) Validate() error {
 	if m.CreatedUTC != "" {
 		if _, err := time.Parse(time.RFC3339, m.CreatedUTC); err != nil {
 			return fmt.Errorf("manifest: bad created_utc: %v", err)
+		}
+	}
+	for kind, path := range m.Artifacts {
+		if kind == "" || path == "" {
+			return fmt.Errorf("manifest: artifact entry with empty kind or path")
 		}
 	}
 	for _, r := range m.LatencyBreakdown {

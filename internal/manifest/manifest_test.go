@@ -53,6 +53,45 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestArtifactsRoundTrip pins the artifact registry report -explain joins
+// on: SetArtifact/Artifact round-trip through the JSON document, absent
+// kinds read as "", and Validate rejects empty kinds and paths.
+func TestArtifactsRoundTrip(t *testing.T) {
+	m := sample()
+	if m.Artifact("decision_trace") != "" {
+		t.Fatal("absent artifact kind not empty")
+	}
+	m.SetArtifact("decision_trace", "dec.jsonl")
+	m.SetArtifact("request_spans", "results/spans.jsonl")
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid artifacts rejected: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Artifact("decision_trace") != "dec.jsonl" ||
+		got.Artifact("request_spans") != "results/spans.jsonl" {
+		t.Fatalf("artifacts mangled in round-trip: %+v", got.Artifacts)
+	}
+
+	bad := sample()
+	bad.SetArtifact("decision_trace", "")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty artifact path passed Validate")
+	}
+	bad = sample()
+	bad.SetArtifact("", "dec.jsonl")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty artifact kind passed Validate")
+	}
+}
+
 func TestValidateRejectsBadDocuments(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, content string) string {

@@ -1,0 +1,630 @@
+// Package explain joins two runs' manifests, decision streams and request
+// spans and attributes the observed hit-rate and cost-paid delta to ranked
+// concrete causes: which decision kinds flipped (reservations, ETD
+// detections, victim choices), which key cost classes, shards and time
+// windows the movement concentrates in.
+//
+// The accounting discipline is the same one reqspan uses for latency: every
+// dimension partitions an additive stream, so per-group deltas sum exactly
+// to the total. Cost is additive outright — each group's cost delta sums
+// bit-for-bit to the manifest-level Δcost_paid. The hit rate is a ratio, so
+// groups carry the exact decomposition
+//
+//	contrib(g) = (Δhits(g) − r_base·Δlookups(g)) / lookups_cand
+//
+// whose sum telescopes to r_cand − r_base: a group contributes by winning or
+// losing hits (Δhits) and by shifting traffic into or out of itself
+// (Δlookups weighted by the baseline rate). Both identities are
+// machine-checked (Report.Checks) against the manifests' engine counters,
+// so a broken join fails loudly instead of producing a plausible table.
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Side is one run's headline figures, read from its manifest's engine
+// counters (the ground truth the span streams must reconcile with).
+type Side struct {
+	Path      string  `json:"path"`
+	Policy    string  `json:"policy,omitempty"`
+	Lookups   int64   `json:"lookups"` // hits + misses (coalesced waiters excluded)
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	CostPaid  int64   `json:"cost_paid"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// KindDelta is one decision-kind row of the "why" table: how often the
+// baseline and candidate took this decision, and the shift between them.
+type KindDelta struct {
+	Policy    string `json:"policy,omitempty"`
+	Kind      string `json:"kind"`
+	Class     string `json:"class,omitempty"`
+	Baseline  int64  `json:"baseline"`
+	Candidate int64  `json:"candidate"`
+	Delta     int64  `json:"delta"`
+}
+
+// Contribution is one group's share of the metric delta along one dimension
+// ("class", "shard" or "window"). Within a dimension the DeltaCost fields
+// sum exactly to the manifest-level cost delta and the HitRateContrib
+// fields to the hit-rate delta.
+type Contribution struct {
+	Dim            string  `json:"dim"`
+	Group          string  `json:"group"`
+	LookupsBase    int64   `json:"lookups_base"`
+	LookupsCand    int64   `json:"lookups_cand"`
+	HitsBase       int64   `json:"hits_base"`
+	HitsCand       int64   `json:"hits_cand"`
+	CostBase       int64   `json:"cost_base"`
+	CostCand       int64   `json:"cost_cand"`
+	DeltaCost      int64   `json:"delta_cost"`
+	HitRateContrib float64 `json:"hit_rate_contrib"`
+}
+
+// Check is one machine-verified invariant of the join.
+type Check struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	OK     bool   `json:"ok"`
+}
+
+// Report is the full attribution of a candidate run's drift from a baseline.
+type Report struct {
+	Baseline  Side `json:"baseline"`
+	Candidate Side `json:"candidate"`
+	// DeltaHitRate and DeltaCost are candidate − baseline, from the
+	// manifests' engine counters.
+	DeltaHitRate float64 `json:"delta_hit_rate"`
+	DeltaCost    int64   `json:"delta_cost"`
+	// Notes carry comparability caveats: config keys that differ, missing
+	// artifact streams, degraded (partial) tables.
+	Notes []string `json:"notes,omitempty"`
+	// Kinds ranks decision kinds by |Δcount| — the "why" headline.
+	// KindClasses refines the top shifts by cost class.
+	Kinds       []KindDelta `json:"kinds,omitempty"`
+	KindClasses []KindDelta `json:"kind_classes,omitempty"`
+	// Classes, Shards and Windows are the "where" contribution tables; each
+	// sums exactly to the manifest-level delta.
+	Classes []Contribution `json:"classes,omitempty"`
+	Shards  []Contribution `json:"shards,omitempty"`
+	Windows []Contribution `json:"windows,omitempty"`
+	// Checks are the exact-sum and reconciliation invariants.
+	Checks []Check `json:"checks"`
+}
+
+// Failed reports whether any join invariant was violated — the report's
+// tables are then not trustworthy and callers should treat the inputs as
+// malformed.
+func (r *Report) Failed() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressed reports whether the candidate is worse than the baseline beyond
+// tol percent relative: cost paid up, or hit rate down.
+func (r *Report) Regressed(tol float64) bool {
+	if r.Baseline.CostPaid > 0 {
+		if 100*float64(r.DeltaCost)/float64(r.Baseline.CostPaid) > tol {
+			return true
+		}
+	} else if r.DeltaCost > 0 {
+		return true
+	}
+	if r.Baseline.HitRate > 0 && 100*(-r.DeltaHitRate)/r.Baseline.HitRate > tol {
+		return true
+	}
+	return false
+}
+
+// Explain joins two loaded runs and attributes the candidate's drift.
+// windows is the number of equal request-order slices in the Windows table
+// (minimum 1). The result degrades gracefully: runs without decision
+// streams skip the kind tables, runs without span streams skip the
+// contribution tables, and every omission is recorded in Notes.
+func Explain(base, cand *Run, windows int) *Report {
+	if windows < 1 {
+		windows = 1
+	}
+	r := &Report{
+		Baseline:  side(base),
+		Candidate: side(cand),
+	}
+	r.DeltaHitRate = r.Candidate.HitRate - r.Baseline.HitRate
+	r.DeltaCost = r.Candidate.CostPaid - r.Baseline.CostPaid
+	r.noteConfigDiffs(base, cand)
+	r.explainKinds(base, cand)
+	r.explainSpans(base, cand, windows)
+	return r
+}
+
+// side reads one run's headline counters out of its manifest.
+func side(run *Run) Side {
+	m := run.Manifest.Metrics
+	s := Side{
+		Path:      run.Path,
+		Policy:    run.Manifest.Config["policy"],
+		Hits:      int64(m["engine_hits"]),
+		Misses:    int64(m["engine_misses"]),
+		Coalesced: int64(m["engine_coalesced"]),
+		CostPaid:  int64(m["engine_cost_paid"]),
+	}
+	s.Lookups = s.Hits + s.Misses
+	if s.Lookups > 0 {
+		s.HitRate = float64(s.Hits) / float64(s.Lookups)
+	}
+	return s
+}
+
+// noteConfigDiffs records manifest config keys whose values differ — the
+// run parameters the attribution is conditioned on. A seed or workload
+// mismatch does not stop the join, but the caveat rides with the report.
+func (r *Report) noteConfigDiffs(base, cand *Run) {
+	keys := make(map[string]bool)
+	for k := range base.Manifest.Config {
+		keys[k] = true
+	}
+	for k := range cand.Manifest.Config {
+		keys[k] = true
+	}
+	diff := make([]string, 0, len(keys))
+	for k := range keys {
+		if b, c := base.Manifest.Config[k], cand.Manifest.Config[k]; b != c {
+			diff = append(diff, fmt.Sprintf("%s: %s -> %s", k, orDash(b), orDash(c)))
+		}
+	}
+	sort.Strings(diff)
+	for _, d := range diff {
+		r.Notes = append(r.Notes, "config "+d)
+	}
+	for _, k := range []string{"seed", "workload", "keys", "zipf", "ops"} {
+		if b, c := base.Manifest.Config[k], cand.Manifest.Config[k]; b != c {
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("warning: %s differs — the runs saw different request streams, attribute with care", k))
+		}
+	}
+}
+
+// explainKinds builds the ranked decision-kind tables. Counts come from the
+// decision streams when present, falling back to the manifests'
+// trace_events counters; when a stream and the counters are both present
+// they must agree (a Check).
+func (r *Report) explainKinds(base, cand *Run) {
+	bk, bkc := countDecisions(base.Decisions)
+	ck, ckc := countDecisions(cand.Decisions)
+	if base.Decisions == nil {
+		bk = traceEventCounts(base)
+	}
+	if cand.Decisions == nil {
+		ck = traceEventCounts(cand)
+	}
+	if base.Decisions == nil && cand.Decisions == nil && len(bk)+len(ck) == 0 {
+		r.Notes = append(r.Notes, "no decision streams or trace_events counters: kind tables omitted (rerun with -decisions)")
+		return
+	}
+	if base.Decisions != nil {
+		r.checkDecisionCounts("baseline", base, bk)
+	}
+	if cand.Decisions != nil {
+		r.checkDecisionCounts("candidate", cand, ck)
+	}
+	// When the sides ran under different policy labels (an ablation like
+	// BCL vs BCL-f4), keeping the label in the key would split every kind
+	// into two rows that each diff against zero. Collapse the policy
+	// dimension so "evict: 1943 -> 1884" is one comparable row.
+	if !samePolicies(bk, ck) {
+		bk, ck = collapsePolicy(bk), collapsePolicy(ck)
+		bkc, ckc = collapsePolicy(bkc), collapsePolicy(ckc)
+		r.Notes = append(r.Notes, "policy labels differ: decision kinds compared across policies")
+	}
+	r.Kinds = rankDeltas(bk, ck)
+	if base.Decisions != nil && cand.Decisions != nil {
+		r.KindClasses = rankDeltas(bkc, ckc)
+	} else if base.Decisions == nil || cand.Decisions == nil {
+		r.Notes = append(r.Notes, "decision stream missing on one side: kind×class table omitted")
+	}
+}
+
+// countDecisions aggregates a decision stream per (policy, kind) and per
+// (policy, kind, class). nil input yields nil maps.
+func countDecisions(ds []Decision) (kinds, kindClasses map[kindKey]int64) {
+	if ds == nil {
+		return nil, nil
+	}
+	kinds = make(map[kindKey]int64)
+	kindClasses = make(map[kindKey]int64)
+	for _, d := range ds {
+		kinds[kindKey{policy: d.Policy, kind: d.Kind}]++
+		kindClasses[kindKey{policy: d.Policy, kind: d.Kind, class: d.Class}]++
+	}
+	return kinds, kindClasses
+}
+
+// kindKey identifies one decision-kind aggregation cell.
+type kindKey struct {
+	policy, kind, class string
+}
+
+// samePolicies reports whether two count maps cover the same policy labels.
+func samePolicies(a, b map[kindKey]int64) bool {
+	pa, pb := make(map[string]bool), make(map[string]bool)
+	for k := range a {
+		pa[k.policy] = true
+	}
+	for k := range b {
+		pb[k.policy] = true
+	}
+	if len(pa) != len(pb) {
+		return false
+	}
+	for p := range pa {
+		if !pb[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// collapsePolicy re-aggregates a count map with the policy label erased.
+func collapsePolicy(m map[kindKey]int64) map[kindKey]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[kindKey]int64, len(m))
+	for k, v := range m {
+		k.policy = ""
+		out[k] += v
+	}
+	return out
+}
+
+// traceEventCounts reads the trace_events{policy,kind} counters a manifest
+// carries when the run published its tracer counts.
+func traceEventCounts(run *Run) map[kindKey]int64 {
+	out := make(map[kindKey]int64)
+	for name, v := range run.Manifest.Metrics {
+		policy, kind, ok := parseTraceEvents(name)
+		if !ok {
+			continue
+		}
+		out[kindKey{policy: policy, kind: kind}] = int64(v)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// parseTraceEvents decodes a trace_events{policy="P",kind="K"} metric name.
+func parseTraceEvents(name string) (policy, kind string, ok bool) {
+	const pre = `trace_events{policy="`
+	const mid = `",kind="`
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, `"}`) {
+		return "", "", false
+	}
+	rest := name[len(pre) : len(name)-2]
+	i := strings.Index(rest, mid)
+	if i < 0 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+len(mid):], true
+}
+
+// checkDecisionCounts cross-checks a run's parsed decision stream against
+// its manifest's trace_events counters, when it carries them.
+func (r *Report) checkDecisionCounts(label string, run *Run, kinds map[kindKey]int64) {
+	want := traceEventCounts(run)
+	if want == nil {
+		return
+	}
+	for k, n := range want {
+		if got := kinds[k]; got != n {
+			r.Checks = append(r.Checks, Check{
+				Name: label + " decision stream matches trace_events counters",
+				Detail: fmt.Sprintf("%s/%s: stream has %d events, manifest counter says %d",
+					k.policy, k.kind, kinds[k], n),
+				OK: false,
+			})
+			return
+		}
+	}
+	for k, n := range kinds {
+		if _, ok := want[k]; !ok && n > 0 {
+			r.Checks = append(r.Checks, Check{
+				Name:   label + " decision stream matches trace_events counters",
+				Detail: fmt.Sprintf("%s/%s: %d events in stream but no manifest counter", k.policy, k.kind, n),
+				OK:     false,
+			})
+			return
+		}
+	}
+	r.Checks = append(r.Checks, Check{Name: label + " decision stream matches trace_events counters", OK: true})
+}
+
+// rankDeltas turns two count maps into rows ranked by |Δ| (ties broken by
+// name, so the ranking is deterministic).
+func rankDeltas(base, cand map[kindKey]int64) []KindDelta {
+	keys := make(map[kindKey]bool)
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cand {
+		keys[k] = true
+	}
+	rows := make([]KindDelta, 0, len(keys))
+	for k := range keys {
+		rows = append(rows, KindDelta{
+			Policy:    k.policy,
+			Kind:      k.kind,
+			Class:     k.class,
+			Baseline:  base[k],
+			Candidate: cand[k],
+			Delta:     cand[k] - base[k],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs64(rows[i].Delta), abs64(rows[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind
+		}
+		if rows[i].Policy != rows[j].Policy {
+			return rows[i].Policy < rows[j].Policy
+		}
+		return rows[i].Class < rows[j].Class
+	})
+	return rows
+}
+
+// cell is one group's additive aggregates on one side.
+type cell struct {
+	lookups, hits, cost int64
+}
+
+// sideAgg partitions one run's span stream along the three dimensions.
+type sideAgg struct {
+	lookups, hits, coalesced, cost int64
+	byClass, byShard, byWindow     map[string]*cell
+}
+
+// aggregateSpans folds a span stream into per-dimension cells. Key classes
+// come from the run's own fill costs: every key's first access is a miss
+// whose span carries the charged cost, so the key→class map is total for
+// any key that was ever looked up (hits on keys whose fill predates the
+// stream fall into "unknown"). Windows slice the stream into equal
+// request-order chunks of the run's own length, so "window 0" is the first
+// 1/n of either run regardless of absolute op counts.
+func aggregateSpans(spans []SpanRow, windows int) *sideAgg {
+	a := &sideAgg{
+		byClass:  make(map[string]*cell),
+		byShard:  make(map[string]*cell),
+		byWindow: make(map[string]*cell),
+	}
+	sorted := make([]SpanRow, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	keyClass := make(map[uint64]string)
+	for _, s := range sorted {
+		if s.Outcome == "miss" {
+			if _, ok := keyClass[s.Key]; !ok {
+				keyClass[s.Key] = "cost=" + strconv.FormatInt(s.Cost, 10)
+			}
+		}
+	}
+	get := func(m map[string]*cell, k string) *cell {
+		c := m[k]
+		if c == nil {
+			c = &cell{}
+			m[k] = c
+		}
+		return c
+	}
+	for i, s := range sorted {
+		if s.Outcome == "coalesced" {
+			a.coalesced++
+			continue
+		}
+		hit := int64(0)
+		if s.Outcome == "hit" {
+			hit = 1
+		}
+		a.lookups++
+		a.hits += hit
+		a.cost += s.Cost
+
+		class := keyClass[s.Key]
+		if class == "" {
+			class = "unknown"
+		}
+		w := i * windows / len(sorted)
+		for _, c := range []*cell{
+			get(a.byClass, class),
+			get(a.byShard, "shard "+strconv.Itoa(s.Shard)),
+			get(a.byWindow, windowLabel(w, windows)),
+		} {
+			c.lookups++
+			c.hits += hit
+			c.cost += s.Cost
+		}
+	}
+	return a
+}
+
+// windowLabel names request-order slice w of n as a percentage range.
+func windowLabel(w, n int) string {
+	return fmt.Sprintf("w%d [%d-%d%%)", w, 100*w/n, 100*(w+1)/n)
+}
+
+// explainSpans builds the class/shard/window contribution tables and their
+// exact-sum checks. Both sides must carry span streams; a missing side is
+// noted and the tables omitted.
+func (r *Report) explainSpans(base, cand *Run, windows int) {
+	if base.Spans == nil || cand.Spans == nil {
+		miss := make([]string, 0, 2)
+		if base.Spans == nil {
+			miss = append(miss, "baseline")
+		}
+		if cand.Spans == nil {
+			miss = append(miss, "candidate")
+		}
+		r.Notes = append(r.Notes, strings.Join(miss, " and ")+
+			" span stream missing: class/shard/window tables omitted (rerun with -span.jsonl and full sampling)")
+		return
+	}
+	ab := aggregateSpans(base.Spans, windows)
+	ac := aggregateSpans(cand.Spans, windows)
+	r.checkReconcile("baseline", r.Baseline, ab)
+	r.checkReconcile("candidate", r.Candidate, ac)
+
+	r.Classes = r.contributions("class", ab.byClass, ac.byClass)
+	r.Shards = r.contributions("shard", ab.byShard, ac.byShard)
+	r.Windows = r.contributions("window", ab.byWindow, ac.byWindow)
+}
+
+// checkReconcile verifies one side's span stream tiles its manifest
+// counters exactly — the precondition for the contribution sums meaning
+// anything. A partial stream (sampled emission or attribution stride > 1)
+// fails here with rerun guidance.
+func (r *Report) checkReconcile(label string, s Side, a *sideAgg) {
+	fail := func(format string, args ...any) {
+		r.Checks = append(r.Checks, Check{
+			Name: label + " spans reconcile with manifest counters",
+			Detail: fmt.Sprintf(format, args...) +
+				" (need every request in the stream: rerun with -span.jsonl -attr.sample 1 -obs.sample 1)",
+			OK: false,
+		})
+	}
+	switch {
+	case a.lookups != s.Lookups:
+		fail("%d span lookups vs %d manifest hits+misses", a.lookups, s.Lookups)
+	case a.hits != s.Hits:
+		fail("%d hit spans vs %d manifest hits", a.hits, s.Hits)
+	case a.coalesced != s.Coalesced:
+		fail("%d coalesced spans vs %d manifest coalesced", a.coalesced, s.Coalesced)
+	case a.cost != s.CostPaid:
+		fail("span cost sum %d vs manifest cost_paid %d", a.cost, s.CostPaid)
+	default:
+		r.Checks = append(r.Checks, Check{Name: label + " spans reconcile with manifest counters", OK: true})
+	}
+}
+
+// contributions builds one dimension's table plus its exact-sum check. The
+// hit-rate decomposition uses the package-comment identity; its sum is
+// checked against the manifest-level delta within 1e-9 and the cost sum
+// bit-for-bit.
+func (r *Report) contributions(dim string, base, cand map[string]*cell) []Contribution {
+	groups := make(map[string]bool)
+	for g := range base {
+		groups[g] = true
+	}
+	for g := range cand {
+		groups[g] = true
+	}
+	rBase := r.Baseline.HitRate
+	lCand := r.Candidate.Lookups
+
+	rows := make([]Contribution, 0, len(groups))
+	var sumCost int64
+	var sumRate float64
+	for g := range groups {
+		b, c := base[g], cand[g]
+		if b == nil {
+			b = &cell{}
+		}
+		if c == nil {
+			c = &cell{}
+		}
+		row := Contribution{
+			Dim:         dim,
+			Group:       g,
+			LookupsBase: b.lookups,
+			LookupsCand: c.lookups,
+			HitsBase:    b.hits,
+			HitsCand:    c.hits,
+			CostBase:    b.cost,
+			CostCand:    c.cost,
+			DeltaCost:   c.cost - b.cost,
+		}
+		if lCand > 0 {
+			row.HitRateContrib = (float64(c.hits-b.hits) - rBase*float64(c.lookups-b.lookups)) / float64(lCand)
+		}
+		sumCost += row.DeltaCost
+		sumRate += row.HitRateContrib
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs64(rows[i].DeltaCost), abs64(rows[j].DeltaCost)
+		if di != dj {
+			return di > dj
+		}
+		return groupLess(rows[i].Group, rows[j].Group)
+	})
+
+	okCost := sumCost == r.DeltaCost
+	okRate := abs(sumRate-r.DeltaHitRate) <= 1e-9
+	check := Check{Name: dim + " contributions sum to manifest delta", OK: okCost && okRate}
+	if !okCost {
+		check.Detail = fmt.Sprintf("cost contributions sum to %+d, manifest delta is %+d", sumCost, r.DeltaCost)
+	} else if !okRate {
+		check.Detail = fmt.Sprintf("hit-rate contributions sum to %+.9f, manifest delta is %+.9f", sumRate, r.DeltaHitRate)
+	}
+	r.Checks = append(r.Checks, check)
+	return rows
+}
+
+// groupLess orders group labels with numeric awareness, so "cost=2" sorts
+// before "cost=10" and "shard 2" before "shard 10".
+func groupLess(a, b string) bool {
+	na, oka := trailingInt(a)
+	nb, okb := trailingInt(b)
+	if oka && okb && na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// trailingInt parses a decimal run ending the string ("cost=10" → 10).
+func trailingInt(s string) (int64, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s[i:], 10, 64)
+	return n, err == nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

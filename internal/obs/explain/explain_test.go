@@ -1,0 +1,330 @@
+package explain
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"costcache/internal/manifest"
+)
+
+// mkManifest builds a minimal cachebench-shaped manifest for a synthetic
+// run: hits/misses/cost counters plus any extra metrics and config.
+func mkManifest(hits, misses, cost int64, config map[string]string, extra map[string]float64) *manifest.Manifest {
+	m := manifest.New("cachebench")
+	m.SetMetric("engine_hits", float64(hits))
+	m.SetMetric("engine_misses", float64(misses))
+	m.SetMetric("engine_coalesced", 0)
+	m.SetMetric("engine_cost_paid", float64(cost))
+	for k, v := range config {
+		m.SetConfig(k, v)
+	}
+	for k, v := range extra {
+		m.SetMetric(k, v)
+	}
+	return m
+}
+
+// The synthetic fixture: six lookups over two shards and two cost classes.
+// The candidate turns one cost=5 hit into a re-miss, so Δcost = +5 and
+// Δhit-rate = −1/6 — small enough to verify every contribution by hand.
+func baseRun() *Run {
+	return &Run{
+		Path: "base.json",
+		Manifest: mkManifest(3, 3, 11,
+			map[string]string{"policy": "BCL", "seed": "7"}, nil),
+		Decisions: []Decision{
+			{Seq: 1, Policy: "BCL", Kind: "evict", Class: "cost=5", Shard: 0, Cost: 5},
+		},
+		Spans: []SpanRow{
+			{ID: 1, Kind: "req", Shard: 0, Key: 1, Outcome: "miss", Cost: 5},
+			{ID: 2, Kind: "req", Shard: 0, Key: 1, Outcome: "hit"},
+			{ID: 3, Kind: "req", Shard: 0, Key: 1, Outcome: "hit"},
+			{ID: 4, Kind: "req", Shard: 1, Key: 2, Outcome: "miss", Cost: 1},
+			{ID: 5, Kind: "req", Shard: 1, Key: 2, Outcome: "hit"},
+			{ID: 6, Kind: "req", Shard: 0, Key: 3, Outcome: "miss", Cost: 5},
+		},
+	}
+}
+
+func candRun() *Run {
+	return &Run{
+		Path: "cand.json",
+		Manifest: mkManifest(2, 4, 16,
+			map[string]string{"policy": "BCL", "seed": "7"}, nil),
+		Decisions: []Decision{
+			{Seq: 1, Policy: "BCL", Kind: "evict", Class: "cost=5", Shard: 0, Cost: 5},
+			{Seq: 2, Policy: "BCL", Kind: "reserve_open", Class: "cost=5", Shard: 0, Cost: 5},
+		},
+		Spans: []SpanRow{
+			{ID: 1, Kind: "req", Shard: 0, Key: 1, Outcome: "miss", Cost: 5},
+			{ID: 2, Kind: "req", Shard: 0, Key: 1, Outcome: "hit"},
+			{ID: 3, Kind: "req", Shard: 0, Key: 1, Outcome: "miss", Cost: 5},
+			{ID: 4, Kind: "req", Shard: 1, Key: 2, Outcome: "miss", Cost: 1},
+			{ID: 5, Kind: "req", Shard: 1, Key: 2, Outcome: "hit"},
+			{ID: 6, Kind: "req", Shard: 0, Key: 3, Outcome: "miss", Cost: 5},
+		},
+	}
+}
+
+// TestExplainExactSums pins the attribution identities: within every
+// dimension the cost contributions sum bit-for-bit to the manifest delta
+// and the hit-rate contributions to the rate delta, and the join's checks
+// all pass on consistent inputs.
+func TestExplainExactSums(t *testing.T) {
+	r := Explain(baseRun(), candRun(), 2)
+	if r.Failed() {
+		t.Fatalf("consistent fixture failed checks: %+v", r.Checks)
+	}
+	if r.DeltaCost != 5 {
+		t.Fatalf("DeltaCost = %d, want 5", r.DeltaCost)
+	}
+	for _, dim := range [][]Contribution{r.Classes, r.Shards, r.Windows} {
+		var cost int64
+		var rate float64
+		for _, c := range dim {
+			cost += c.DeltaCost
+			rate += c.HitRateContrib
+		}
+		if cost != r.DeltaCost {
+			t.Fatalf("%s cost sum %d != delta %d", dim[0].Dim, cost, r.DeltaCost)
+		}
+		if d := rate - r.DeltaHitRate; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("%s rate sum %g != delta %g", dim[0].Dim, rate, r.DeltaHitRate)
+		}
+	}
+	// The whole movement is in cost=5 / shard 0: ranked first.
+	if r.Classes[0].Group != "cost=5" || r.Classes[0].DeltaCost != 5 {
+		t.Fatalf("top class = %+v, want cost=5 +5", r.Classes[0])
+	}
+	if r.Shards[0].Group != "shard 0" {
+		t.Fatalf("top shard = %+v, want shard 0", r.Shards[0])
+	}
+	// The injected decision shift (one extra reserve_open) ranks first.
+	if r.Kinds[0].Kind != "reserve_open" || r.Kinds[0].Delta != 1 {
+		t.Fatalf("top kind = %+v, want reserve_open +1", r.Kinds[0])
+	}
+	if !r.Regressed(2) {
+		t.Fatal("a +45%% cost delta must count as regressed at 2%% tolerance")
+	}
+}
+
+// TestExplainIdenticalRuns: a run explained against itself yields all-zero
+// deltas, passes every check and does not regress.
+func TestExplainIdenticalRuns(t *testing.T) {
+	r := Explain(baseRun(), baseRun(), 4)
+	if r.Failed() {
+		t.Fatalf("identical runs failed checks: %+v", r.Checks)
+	}
+	if r.DeltaCost != 0 || r.DeltaHitRate != 0 {
+		t.Fatalf("identical runs have delta cost %d rate %g", r.DeltaCost, r.DeltaHitRate)
+	}
+	for _, k := range r.Kinds {
+		if k.Delta != 0 {
+			t.Fatalf("kind delta nonzero: %+v", k)
+		}
+	}
+	for _, c := range append(append(r.Classes, r.Shards...), r.Windows...) {
+		if c.DeltaCost != 0 || c.HitRateContrib != 0 {
+			t.Fatalf("contribution nonzero: %+v", c)
+		}
+	}
+	if r.Regressed(0) {
+		t.Fatal("identical runs must not regress at any tolerance")
+	}
+}
+
+// TestExplainReconcileFailure: a span stream that does not tile the
+// manifest counters (here: a stale cost_paid) fails the reconcile check,
+// so partial streams cannot masquerade as attributions.
+func TestExplainReconcileFailure(t *testing.T) {
+	cand := candRun()
+	cand.Manifest.SetMetric("engine_cost_paid", 17) // spans sum to 16
+	r := Explain(baseRun(), cand, 2)
+	if !r.Failed() {
+		t.Fatal("mismatched counters must fail a check")
+	}
+	found := false
+	for _, c := range r.Checks {
+		if !c.OK && strings.Contains(c.Detail, "rerun with") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed check lacks rerun guidance: %+v", r.Checks)
+	}
+}
+
+// TestExplainDecisionCounterMismatch: trace_events counters in the manifest
+// must agree with the parsed stream.
+func TestExplainDecisionCounterMismatch(t *testing.T) {
+	base := baseRun()
+	base.Manifest.SetMetric(`trace_events{policy="BCL",kind="evict"}`, 2) // stream has 1
+	r := Explain(base, candRun(), 2)
+	if !r.Failed() {
+		t.Fatal("decision counter mismatch must fail a check")
+	}
+}
+
+// TestExplainDegradedModes: missing streams degrade to partial tables with
+// notes, never to fabricated numbers.
+func TestExplainDegradedModes(t *testing.T) {
+	base, cand := baseRun(), candRun()
+	base.Spans, cand.Spans = nil, nil
+	r := Explain(base, cand, 2)
+	if len(r.Classes)+len(r.Shards)+len(r.Windows) != 0 {
+		t.Fatal("span tables built without span streams")
+	}
+	if len(r.Kinds) == 0 {
+		t.Fatal("decision tables lost with spans")
+	}
+	noted := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "span stream missing") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("missing spans not noted: %v", r.Notes)
+	}
+
+	// Decisions-only on one side: kind counts fall back to trace_events.
+	base, cand = baseRun(), candRun()
+	base.Decisions = nil
+	base.Manifest.SetMetric(`trace_events{policy="BCL",kind="evict"}`, 1)
+	r = Explain(base, cand, 2)
+	if r.Failed() {
+		t.Fatalf("fallback counters failed: %+v", r.Checks)
+	}
+	var evict *KindDelta
+	for i := range r.Kinds {
+		if r.Kinds[i].Kind == "evict" {
+			evict = &r.Kinds[i]
+		}
+	}
+	if evict == nil || evict.Baseline != 1 {
+		t.Fatalf("trace_events fallback not used: %+v", r.Kinds)
+	}
+	if len(r.KindClasses) != 0 {
+		t.Fatal("kind×class table built without both streams")
+	}
+}
+
+// TestExplainPolicyCollapse: runs under different policy labels (an
+// ablation) compare kinds across the labels instead of splitting every
+// kind into two against-zero rows.
+func TestExplainPolicyCollapse(t *testing.T) {
+	cand := candRun()
+	cand.Manifest.Config["policy"] = "BCL-f4"
+	for i := range cand.Decisions {
+		cand.Decisions[i].Policy = "BCL-f4"
+	}
+	r := Explain(baseRun(), cand, 2)
+	if r.Failed() {
+		t.Fatalf("collapse failed checks: %+v", r.Checks)
+	}
+	for _, k := range r.Kinds {
+		if k.Policy != "" {
+			t.Fatalf("policy label survived collapse: %+v", k)
+		}
+		if k.Kind == "evict" && (k.Baseline != 1 || k.Candidate != 1 || k.Delta != 0) {
+			t.Fatalf("evict not compared across labels: %+v", k)
+		}
+	}
+}
+
+// TestExplainConfigNotes: differing config keys are noted, and stream-
+// identity keys (seed) carry an explicit warning.
+func TestExplainConfigNotes(t *testing.T) {
+	cand := candRun()
+	cand.Manifest.Config["seed"] = "8"
+	r := Explain(baseRun(), cand, 2)
+	var diff, warn bool
+	for _, n := range r.Notes {
+		if strings.Contains(n, "config seed: 7 -> 8") {
+			diff = true
+		}
+		if strings.Contains(n, "different request streams") {
+			warn = true
+		}
+	}
+	if !diff || !warn {
+		t.Fatalf("seed change not surfaced: %v", r.Notes)
+	}
+}
+
+// TestLoadResolvesArtifacts: artifact paths resolve relative to the
+// manifest's directory, streams parse, and a declared-but-missing artifact
+// is an error (the manifest asserts it was written).
+func TestLoadResolvesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	dec := "{\"seq\":1,\"policy\":\"BCL\",\"kind\":\"evict\",\"class\":\"cost=5\",\"shard\":0,\"set\":3,\"cost\":5}\n"
+	spans := "{\"id\":1,\"kind\":\"req\",\"shard\":0,\"key\":9,\"op\":\"get\",\"outcome\":\"miss\",\"cost\":5,\"start\":0,\"end\":10,\"stages\":[]}\n" +
+		"{\"id\":2,\"kind\":\"miss\",\"shard\":0}\n" // simulator line: skipped
+	if err := os.WriteFile(filepath.Join(dir, "dec.jsonl"), []byte(dec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spans.jsonl"), []byte(spans), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := mkManifest(0, 1, 5, nil, nil)
+	m.SetArtifact("decision_trace", "dec.jsonl")
+	m.SetArtifact("request_spans", "spans.jsonl")
+	mpath := filepath.Join(dir, "run.json")
+	if err := m.WriteFile(mpath); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := Load(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Decisions) != 1 || run.Decisions[0].Class != "cost=5" {
+		t.Fatalf("decisions = %+v", run.Decisions)
+	}
+	if len(run.Spans) != 1 || run.Spans[0].Outcome != "miss" {
+		t.Fatalf("spans = %+v (simulator line must be skipped)", run.Spans)
+	}
+	if !run.HasStreams() {
+		t.Fatal("loaded run reports no streams")
+	}
+
+	m2 := mkManifest(0, 1, 5, nil, nil)
+	m2.SetArtifact("decision_trace", "gone.jsonl")
+	mpath2 := filepath.Join(dir, "run2.json")
+	if err := m2.WriteFile(mpath2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(mpath2); err == nil {
+		t.Fatal("declared-but-missing artifact must be an error")
+	}
+}
+
+// TestParseRejectsCorruptStreams: non-monotonic decision sequence numbers
+// and non-JSON lines are parse errors, not silently dropped data.
+func TestParseRejectsCorruptStreams(t *testing.T) {
+	if _, err := parseDecisions([]byte("{\"seq\":2,\"kind\":\"evict\"}\n{\"seq\":1,\"kind\":\"evict\"}\n")); err == nil {
+		t.Fatal("non-monotonic seq must fail")
+	}
+	if _, err := parseDecisions([]byte("not json\n")); err == nil {
+		t.Fatal("garbage line must fail")
+	}
+	if _, err := parseSpans([]byte("{\"id\":1,\"kind\":\"req\"}\n")); err == nil {
+		t.Fatal("request span without outcome must fail")
+	}
+}
+
+// TestWindowPartition: every lookup lands in exactly one window whatever
+// the window count, so the dimension stays a partition.
+func TestWindowPartition(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 7} {
+		r := Explain(baseRun(), candRun(), w)
+		if r.Failed() {
+			t.Fatalf("windows=%d failed checks: %+v", w, r.Checks)
+		}
+		if len(r.Windows) > w {
+			t.Fatalf("windows=%d produced %d groups", w, len(r.Windows))
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package explain
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"costcache/internal/manifest"
+)
+
+// Decision is one parsed line of an obs.Tracer decision stream (see
+// internal/obs appendJSON for the schema).
+type Decision struct {
+	Seq    uint64 `json:"seq"`
+	Policy string `json:"policy"`
+	Kind   string `json:"kind"`
+	Class  string `json:"class"`
+	// Shard is -1 for simulator streams (observers bound without a shard).
+	Shard int   `json:"shard"`
+	Set   int   `json:"set"`
+	Cost  int64 `json:"cost"`
+}
+
+// SpanRow is one parsed line of a reqspan request-span stream (see
+// internal/obs/reqspan appendReqSpanJSON for the schema). Only the fields
+// the join needs are kept.
+type SpanRow struct {
+	ID      uint64 `json:"id"`
+	Kind    string `json:"kind"`
+	Shard   int    `json:"shard"`
+	Key     uint64 `json:"key"`
+	Outcome string `json:"outcome"`
+	Cost    int64  `json:"cost"`
+}
+
+// Run is one side of an explain join: a manifest plus whichever trace
+// artifacts it declared and Load could read. A nil Decisions or Spans slice
+// means the run carries no such stream (the distinction from an empty one).
+type Run struct {
+	Path      string
+	Manifest  *manifest.Manifest
+	Decisions []Decision
+	Spans     []SpanRow
+}
+
+// HasStreams reports whether the run carries at least one joinable stream.
+func (r *Run) HasStreams() bool { return r.Decisions != nil || r.Spans != nil }
+
+// Load reads a manifest and the trace artifacts it declares. Relative
+// artifact paths resolve against the manifest's own directory first — a
+// results/ tree moved wholesale keeps working — falling back to the path as
+// written (relative to the working directory). A declared artifact that
+// exists but does not parse is an error; one that is absent in both
+// locations is an error too, since the manifest asserts it was written.
+func Load(manifestPath string) (*Run, error) {
+	m, err := manifest.ReadFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{Path: manifestPath, Manifest: m}
+	if p := m.Artifact("decision_trace"); p != "" {
+		data, err := readArtifact(manifestPath, p)
+		if err != nil {
+			return nil, err
+		}
+		if run.Decisions, err = parseDecisions(data); err != nil {
+			return nil, fmt.Errorf("%s: decision_trace %s: %v", manifestPath, p, err)
+		}
+	}
+	if p := m.Artifact("request_spans"); p != "" {
+		data, err := readArtifact(manifestPath, p)
+		if err != nil {
+			return nil, err
+		}
+		if run.Spans, err = parseSpans(data); err != nil {
+			return nil, fmt.Errorf("%s: request_spans %s: %v", manifestPath, p, err)
+		}
+	}
+	return run, nil
+}
+
+// readArtifact loads an artifact path declared by the manifest at mpath.
+func readArtifact(mpath, artifact string) ([]byte, error) {
+	try := []string{artifact}
+	if !filepath.IsAbs(artifact) {
+		try = []string{filepath.Join(filepath.Dir(mpath), artifact), artifact}
+	}
+	var firstErr error
+	for _, p := range try {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("%s declares artifact %s: %v", mpath, artifact, firstErr)
+}
+
+// parseDecisions parses a decision JSONL stream. Lines must arrive in
+// sequence order — the tracer writes them that way, so disorder means a
+// corrupt or concatenated file.
+func parseDecisions(data []byte) ([]Decision, error) {
+	out := []Decision{}
+	var prevSeq uint64
+	err := eachLine(data, func(n int, line []byte) error {
+		d := Decision{Shard: -1}
+		if err := json.Unmarshal(line, &d); err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		if d.Kind == "" {
+			return fmt.Errorf("line %d: missing decision kind", n)
+		}
+		if d.Seq <= prevSeq {
+			return fmt.Errorf("line %d: seq %d not increasing (prev %d)", n, d.Seq, prevSeq)
+		}
+		prevSeq = d.Seq
+		out = append(out, d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSpans parses a request-span JSONL stream, skipping non-request lines
+// (a merged stream may carry the simulator's miss-lifecycle lines too).
+func parseSpans(data []byte) ([]SpanRow, error) {
+	out := []SpanRow{}
+	err := eachLine(data, func(n int, line []byte) error {
+		var s SpanRow
+		if err := json.Unmarshal(line, &s); err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		if s.Kind != "req" {
+			return nil
+		}
+		if s.Outcome == "" {
+			return fmt.Errorf("line %d: request span missing outcome", n)
+		}
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// eachLine calls fn for every non-empty line, 1-based.
+func eachLine(data []byte, fn func(n int, line []byte) error) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(n, line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

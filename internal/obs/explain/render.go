@@ -1,0 +1,87 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+
+	"costcache/internal/tabulate"
+)
+
+// kindClassRows caps the kind×class refinement table — the ranking puts the
+// biggest shifts first, so the tail is noise.
+const kindClassRows = 12
+
+// WriteText renders the report as ranked human-readable tables: the
+// headline deltas, the decision-kind shifts ("why"), the per-class /
+// per-shard / per-window contributions ("where"), notes and the invariant
+// checklist.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "baseline:  %s (%s)\n", r.Baseline.Path, orDash(r.Baseline.Policy))
+	fmt.Fprintf(w, "candidate: %s (%s)\n", r.Candidate.Path, orDash(r.Candidate.Policy))
+	fmt.Fprintf(w, "hit rate  %7.4f%% -> %7.4f%%  (%+.4f pp)\n",
+		100*r.Baseline.HitRate, 100*r.Candidate.HitRate, 100*r.DeltaHitRate)
+	fmt.Fprintf(w, "cost paid %8d -> %8d  (%+d)\n\n",
+		r.Baseline.CostPaid, r.Candidate.CostPaid, r.DeltaCost)
+
+	if len(r.Kinds) > 0 {
+		t := tabulate.New("decision-kind shifts (ranked by |delta|)",
+			"policy", "kind", "baseline", "candidate", "delta")
+		for _, k := range r.Kinds {
+			t.AddF(k.Policy, k.Kind, k.Baseline, k.Candidate, fmt.Sprintf("%+d", k.Delta))
+		}
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	if len(r.KindClasses) > 0 {
+		t := tabulate.New(fmt.Sprintf("decision shifts by cost class (top %d)", kindClassRows),
+			"policy", "kind", "class", "baseline", "candidate", "delta")
+		for i, k := range r.KindClasses {
+			if i == kindClassRows {
+				break
+			}
+			t.AddF(k.Policy, k.Kind, k.Class, k.Baseline, k.Candidate, fmt.Sprintf("%+d", k.Delta))
+		}
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	r.writeContribTable(w, "cost-class contributions", r.Classes)
+	r.writeContribTable(w, "shard contributions", r.Shards)
+	r.writeContribTable(w, "time-window contributions", r.Windows)
+
+	for _, n := range r.Notes {
+		fmt.Fprintln(w, "note:", n)
+	}
+	for _, c := range r.Checks {
+		status := "ok"
+		if !c.OK {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "check: %s: %s", c.Name, status)
+		if c.Detail != "" {
+			fmt.Fprintf(w, " (%s)", c.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writeContribTable renders one dimension's contribution rows; each row
+// shows the group's traffic and cost on both sides, its exact share of the
+// cost delta and its contribution to the hit-rate delta in percentage
+// points.
+func (r *Report) writeContribTable(w io.Writer, title string, rows []Contribution) {
+	if len(rows) == 0 {
+		return
+	}
+	t := tabulate.New(title+" (sum exactly to the manifest delta)",
+		"group", "lookups b->c", "hits b->c", "cost b->c", "Δcost", "Δhit-rate pp")
+	for _, c := range rows {
+		t.Add(c.Group,
+			fmt.Sprintf("%d -> %d", c.LookupsBase, c.LookupsCand),
+			fmt.Sprintf("%d -> %d", c.HitsBase, c.HitsCand),
+			fmt.Sprintf("%d -> %d", c.CostBase, c.CostCand),
+			fmt.Sprintf("%+d", c.DeltaCost),
+			fmt.Sprintf("%+.4f", 100*c.HitRateContrib))
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w)
+}

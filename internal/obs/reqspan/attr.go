@@ -36,6 +36,10 @@ type Attribution struct {
 	// OtherNs is the unattributed remainder: time between a span's last
 	// stage boundary and its Finish (a few ns of bookkeeping per span).
 	OtherNs int64 `json:"other_ns"`
+	// CostPaid is the summed fill-cost charge of sampled spans. At stride 1
+	// it equals the engine's cost_paid counter exactly (every charge lands
+	// in a span), a cross-check cachebench enforces after each run.
+	CostPaid int64 `json:"cost_paid"`
 	// Stages is each stage's aggregate, indexed like Stage.
 	Stages [NumStages]StageAttr `json:"stages"`
 	// Latency is the sampled end-to-end latency histogram with per-bucket
@@ -56,6 +60,7 @@ func (t *Tracer) Attribution() Attribution {
 		AttrEvery: t.attrEvery,
 		TotalNs:   t.totalNs.Load(),
 		OtherNs:   t.otherNs.Load(),
+		CostPaid:  t.costPaid.Load(),
 		Latency:   t.hist.Snapshot(),
 	}
 	for i := range a.Outcomes {

@@ -15,8 +15,12 @@ func appendChromeTs(b []byte, ns int64) []byte { return span.AppendChromeTs(b, n
 // (all times in wall-clock ns since the tracer epoch):
 //
 //	{"id":7,"kind":"req","shard":3,"key":9041144,"op":"getorload",
-//	 "outcome":"miss","start":10250,"end":91375,
+//	 "outcome":"miss","cost":8,"start":10250,"end":91375,
 //	 "stages":[{"stage":"lock_wait","start":10250,"end":10400},...]}
+//
+// "cost" is the fill charge the request paid (0 for hits and coalesced
+// waiters); at stride-1 sampling the emitted costs sum to the engine's
+// cost_paid counter, the identity report -explain reconciles.
 //
 // The "kind":"req" discriminator is what lets the manifest validator and
 // downstream tooling tell engine request lines from the simulator's
@@ -32,7 +36,9 @@ func appendReqSpanJSON(b []byte, s *Span) []byte {
 	b = append(b, s.Op.String()...)
 	b = append(b, `","outcome":"`...)
 	b = append(b, s.Outcome.String()...)
-	b = append(b, `","start":`...)
+	b = append(b, `","cost":`...)
+	b = strconv.AppendInt(b, s.Cost, 10)
+	b = append(b, `,"start":`...)
 	b = strconv.AppendInt(b, s.Start, 10)
 	b = append(b, `,"end":`...)
 	b = strconv.AppendInt(b, s.End, 10)

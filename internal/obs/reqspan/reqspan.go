@@ -121,12 +121,24 @@ type Span struct {
 	Outcome Outcome
 	// Start is Begin time, End Finish time, in ns since the tracer epoch.
 	Start, End int64
+	// Cost is the miss cost this request charged (the engine's fill charge;
+	// 0 for hits, coalesced waiters and failed loads). At stride-1 sampling
+	// the span costs sum exactly to the engine's cost_paid counter, which is
+	// what lets report -explain attribute a cost delta per key.
+	Cost int64
 	// Segs are the contiguous stage segments, in boundary order.
 	Segs []Seg
 
 	tr     *Tracer
 	cursor int64 // end of the last closed segment
 	emit   bool
+}
+
+// AddCost records a fill's cost charge on the span (nil-safe, like Mark).
+func (s *Span) AddCost(c int64) {
+	if s != nil {
+		s.Cost += c
+	}
 }
 
 // Mark closes the segment running since the previous boundary (Begin or the
@@ -154,6 +166,10 @@ type Config struct {
 	// spans to the sinks. Emitted spans are a subset of the attr samples;
 	// an EmitRate above AttrRate raises the attr tier to match.
 	EmitRate float64
+	// KeyCap bounds the space-saving keyspace sketch (0 means 256): larger
+	// values rank deeper into the key distribution at the price of a longer
+	// scan per eviction from the sketch.
+	KeyCap int
 }
 
 // Tracer samples engine requests into spans. It is safe for concurrent use
@@ -176,9 +192,11 @@ type Tracer struct {
 	totalNs    atomic.Int64
 	otherNs    atomic.Int64
 	spans      atomic.Int64
+	costPaid   atomic.Int64
 	hist       *obs.Histogram
 
 	keymu      sync.Mutex
+	keyCap     int
 	keyCounts  map[uint64]int64
 	keySamples int64
 
@@ -209,6 +227,9 @@ func New(cfg Config, jsonl *span.LineSink, chrome *span.ChromeSink) *Tracer {
 	if cfg.EmitRate > cfg.AttrRate {
 		cfg.AttrRate = cfg.EmitRate
 	}
+	if cfg.KeyCap <= 0 {
+		cfg.KeyCap = defaultKeyCap
+	}
 	t := &Tracer{
 		epoch:     time.Now(),
 		attrEvery: every(cfg.AttrRate),
@@ -216,7 +237,8 @@ func New(cfg Config, jsonl *span.LineSink, chrome *span.ChromeSink) *Tracer {
 		chrome:    chrome,
 		lanes:     make(map[int][]int64),
 		hist:      obs.NewHistogramExemplars(latencyBuckets()),
-		keyCounts: make(map[uint64]int64, keyTableCap),
+		keyCap:    cfg.KeyCap,
+		keyCounts: make(map[uint64]int64, cfg.KeyCap),
 	}
 	if e, a := every(cfg.EmitRate), t.attrEvery; e != 0 && a != 0 {
 		t.emitNth = (e + a - 1) / a // emitted 1-in-emitNth of sampled spans
@@ -243,6 +265,7 @@ func (t *Tracer) Begin(op Op, shard int, key uint64) *Span {
 	id := t.ids.Add(1)
 	sp.ID = id
 	sp.Shard, sp.Key, sp.Op = shard, key, op
+	sp.Cost = 0
 	sp.Segs = sp.Segs[:0]
 	sp.emit = t.emitNth != 0 && id%t.emitNth == 0
 	sp.Start = t.now()
@@ -273,6 +296,7 @@ func (t *Tracer) Finish(sp *Span, outcome Outcome) {
 	t.otherNs.Add(total - stageSum)
 	t.outcomes[outcome].Add(1)
 	t.spans.Add(1)
+	t.costPaid.Add(sp.Cost)
 	t.hist.ObserveExemplar(total, sp.ID)
 	t.sampleKey(sp.Key)
 	if sp.emit {
@@ -320,9 +344,10 @@ func (t *Tracer) Err() error {
 	return t.chrome.Err()
 }
 
-// keyTableCap bounds the space-saving key table: small enough to stay cheap
-// under its mutex, large enough to rank heads of a zipfian keyspace.
-const keyTableCap = 256
+// defaultKeyCap bounds the space-saving key table when Config.KeyCap is 0:
+// small enough to stay cheap under its mutex, large enough to rank heads of
+// a zipfian keyspace.
+const defaultKeyCap = 256
 
 // sampleKey feeds the space-saving top-K sketch: present or spare-capacity
 // keys increment; a full table evicts the minimum-count entry and credits
@@ -335,7 +360,7 @@ func (t *Tracer) sampleKey(key uint64) {
 		t.keyCounts[key] = n + 1
 		return
 	}
-	if len(t.keyCounts) < keyTableCap {
+	if len(t.keyCounts) < t.keyCap {
 		t.keyCounts[key] = 1
 		return
 	}

@@ -63,6 +63,53 @@ func TestStrideSamplingExact(t *testing.T) {
 	}
 }
 
+// TestSpanCostFlowsToAttribution pins the cost channel report -explain
+// reconciles against engine_cost_paid: at stride 1 every AddCost charge lands
+// in Attribution().CostPaid exactly, a nil span swallows the charge, and an
+// uncharged span contributes zero.
+func TestSpanCostFlowsToAttribution(t *testing.T) {
+	tr := New(Config{AttrRate: 1}, nil, nil)
+	var want int64
+	for i := 0; i < 50; i++ {
+		sp := tr.Begin(OpGetOrLoad, 0, uint64(i))
+		if i%2 == 0 { // "misses": charge a fill cost
+			c := int64(1 + i%7)
+			sp.AddCost(c)
+			want += c
+			tr.Finish(sp, OutcomeMiss)
+		} else { // "hits": no charge
+			tr.Finish(sp, OutcomeHit)
+		}
+	}
+	if got := tr.Attribution().CostPaid; got != want {
+		t.Fatalf("CostPaid = %d, want %d (exact sum of AddCost charges)", got, want)
+	}
+	var nilSpan *Span
+	nilSpan.AddCost(99) // must not panic
+	if got := tr.Attribution().CostPaid; got != want {
+		t.Fatalf("nil-span AddCost leaked into CostPaid: %d, want %d", got, want)
+	}
+}
+
+// TestKeyCapBoundsSketch pins the -keys.sketch knob: a custom Config.KeyCap
+// bounds the space-saving table at that capacity instead of the default.
+func TestKeyCapBoundsSketch(t *testing.T) {
+	const cap = 8
+	tr := New(Config{AttrRate: 1, KeyCap: cap}, nil, nil)
+	for i := 0; i < 40*cap; i++ {
+		sp := tr.Begin(OpGet, 0, uint64(i)) // all-distinct keys: worst case
+		tr.Finish(sp, OutcomeMiss)
+	}
+	s := tr.Keyspace(4 * cap)
+	if s.Tracked > cap || len(s.Top) > cap {
+		t.Fatalf("tracked %d keys, top %d rows — KeyCap %d not enforced",
+			s.Tracked, len(s.Top), cap)
+	}
+	if s.SampledKeys != 40*cap {
+		t.Fatalf("sketch saw %d samples, want %d", s.SampledKeys, 40*cap)
+	}
+}
+
 // TestAttributionTiles pins the accounting invariant: contiguous Mark
 // segments plus the unattributed tail sum to the end-to-end total exactly,
 // for every span, at any rate — the identity the -attr reconciliation
@@ -304,12 +351,12 @@ func TestKeyspaceSkew(t *testing.T) {
 		t.Fatalf("top share = %g, want ≈0.9", s.TopShare)
 	}
 	// More keys than tracked: the sketch stays bounded and Keyspace clamps n.
-	for i := 0; i < 10*keyTableCap; i++ {
+	for i := 0; i < 10*defaultKeyCap; i++ {
 		sp := tr.Begin(OpGet, 0, uint64(100000+i))
 		tr.Finish(sp, OutcomeMiss)
 	}
-	s = tr.Keyspace(2 * keyTableCap)
-	if s.Tracked > keyTableCap || len(s.Top) > keyTableCap {
+	s = tr.Keyspace(2 * defaultKeyCap)
+	if s.Tracked > defaultKeyCap || len(s.Top) > defaultKeyCap {
 		t.Fatalf("sketch overflowed its cap: tracked %d", s.Tracked)
 	}
 }

@@ -16,7 +16,13 @@ type Record struct {
 	Seq uint64
 	// Policy is the label the event's observer was bound with.
 	Policy string
-	// Event is the raw decision event.
+	// Shard is the engine shard the emitting policy serves, stamped by
+	// BindShard (-1 for observers bound with Bind: simulators have no
+	// shards). With it, Event.Set — a shard-local index — becomes a stable
+	// cross-run identity for the decision site.
+	Shard int
+	// Event is the raw decision event. Its CostClass() is the record's
+	// stable key-class tag, rendered into the JSONL line as "class".
 	replacement.Event
 }
 
@@ -69,27 +75,37 @@ func (t *Tracer) Err() error {
 // Bind returns an observer that records events under the given policy
 // label. Attach it with replacement.Observable.SetObserver.
 func (t *Tracer) Bind(policy string) replacement.Observer {
+	return t.BindShard(policy, -1)
+}
+
+// BindShard returns an observer that records events under the given policy
+// label with a shard tag — the engine binds one per shard, so every record
+// carries the shard its decision happened on (rendered into the JSONL line
+// when non-negative). Counts aggregate across shards under the one policy
+// label, keeping trace_events series comparable with simulator runs.
+func (t *Tracer) BindShard(policy string, shard int) replacement.Observer {
 	t.mu.Lock()
 	if _, ok := t.counts[policy]; !ok {
 		t.counts[policy] = new([replacement.NumEventKinds]int64)
 	}
 	t.mu.Unlock()
-	return boundObserver{t: t, policy: policy}
+	return boundObserver{t: t, policy: policy, shard: shard}
 }
 
 type boundObserver struct {
 	t      *Tracer
 	policy string
+	shard  int
 }
 
 // Observe implements replacement.Observer.
-func (b boundObserver) Observe(e replacement.Event) { b.t.record(b.policy, e) }
+func (b boundObserver) Observe(e replacement.Event) { b.t.record(b.policy, b.shard, e) }
 
-func (t *Tracer) record(policy string, e replacement.Event) {
+func (t *Tracer) record(policy string, shard int, e replacement.Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
-	r := Record{Seq: t.seq, Policy: policy, Event: e}
+	r := Record{Seq: t.seq, Policy: policy, Shard: shard, Event: e}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, r)
 	} else {
@@ -113,7 +129,9 @@ func (t *Tracer) record(policy string, e replacement.Event) {
 
 // appendJSON renders one record as a single JSON line with a fixed field
 // order, so traces are byte-for-byte deterministic (the golden tests rely on
-// this). Optional fields (counter, false_match) appear only when set.
+// this). Optional fields (shard, counter, false_match) appear only when set;
+// "class" is the stable key-class tag (Event.CostClass) cross-run diffing
+// groups by.
 func appendJSON(b []byte, r Record) []byte {
 	b = append(b, `{"seq":`...)
 	b = strconv.AppendUint(b, r.Seq, 10)
@@ -121,7 +139,14 @@ func appendJSON(b []byte, r Record) []byte {
 	b = append(b, r.Policy...)
 	b = append(b, `","kind":"`...)
 	b = append(b, r.Kind.String()...)
-	b = append(b, `","set":`...)
+	b = append(b, `","class":"`...)
+	b = replacement.AppendClass(b, r.Cost)
+	b = append(b, `"`...)
+	if r.Shard >= 0 {
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendInt(b, int64(r.Shard), 10)
+	}
+	b = append(b, `,"set":`...)
 	b = strconv.AppendInt(b, int64(r.Set), 10)
 	b = append(b, `,"way":`...)
 	b = strconv.AppendInt(b, int64(r.Way), 10)

@@ -211,6 +211,32 @@ func TestTracerRing(t *testing.T) {
 	}
 }
 
+// TestTracerBindShard pins the cross-run decision identity: shard-bound
+// observers stamp records with their shard (rendered into the JSONL line
+// between class and set), plain Bind leaves -1 (no "shard" field), and the
+// stable cost-class tag rides on every line. Counts aggregate across shards
+// under the one policy label.
+func TestTracerBindShard(t *testing.T) {
+	tr := NewTracer(8)
+	var sink bytes.Buffer
+	tr.SetSink(&sink)
+	tr.BindShard("BCL", 3).Observe(replacement.Event{Kind: replacement.EvEvict, Set: 5, Cost: 8})
+	tr.Bind("BCL").Observe(replacement.Event{Kind: replacement.EvEvict, Set: 5, Cost: 1})
+
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Shard != 3 || ev[1].Shard != -1 {
+		t.Fatalf("shards = %+v, want 3 then -1", ev)
+	}
+	if got := tr.Count("BCL", replacement.EvEvict); got != 2 {
+		t.Fatalf("count = %d, want shard-aggregated 2", got)
+	}
+	want := `{"seq":1,"policy":"BCL","kind":"evict","class":"cost=8","shard":3,"set":5,"way":0,"pos":0,"tag":0,"cost":8,"lru_cost":0}` + "\n" +
+		`{"seq":2,"policy":"BCL","kind":"evict","class":"cost=1","set":5,"way":0,"pos":0,"tag":0,"cost":1,"lru_cost":0}` + "\n"
+	if sink.String() != want {
+		t.Fatalf("jsonl:\ngot:  %swant: %s", sink.String(), want)
+	}
+}
+
 func TestTracerPublishCounts(t *testing.T) {
 	tr := NewTracer(8)
 	o := tr.Bind("DCL")

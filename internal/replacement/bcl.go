@@ -1,5 +1,7 @@
 package replacement
 
+import "fmt"
+
 // BCL is the Basic Cost-sensitive LRU algorithm (Section 2.3, Figure 1).
 //
 // The blockframe in the LRU position carries one extra depreciating cost
@@ -42,8 +44,14 @@ func NewBCLWithFactor(factor int) *BCL {
 	return &BCL{factor: Cost(factor)}
 }
 
-// Name implements Policy.
-func (*BCL) Name() string { return "BCL" }
+// Name implements Policy. Non-default depreciation factors render as
+// "BCL-f<N>" so ablation runs stay distinguishable in traces and manifests.
+func (p *BCL) Name() string {
+	if p.factor != 2 {
+		return fmt.Sprintf("BCL-f%d", p.factor)
+	}
+	return "BCL"
+}
 
 // Reset implements Policy.
 func (p *BCL) Reset(sets, ways int) {

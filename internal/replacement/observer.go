@@ -1,5 +1,7 @@
 package replacement
 
+import "strconv"
+
 // EventKind classifies a replacement decision event.
 type EventKind uint8
 
@@ -90,6 +92,20 @@ type Event struct {
 	Counter uint8
 	// FalseMatch marks EvETDHit events caused by tag aliasing.
 	FalseMatch bool
+}
+
+// CostClass returns the event's stable key-class tag: blocks are classed by
+// their miss cost (the paper's low/high cost classes), so "cost=8" names the
+// same class in any two runs that share a cost mapping. Cross-run diff
+// tooling (internal/obs/explain) groups decisions by this label; AppendClass
+// is the alloc-free variant the JSONL tracer uses.
+func (e Event) CostClass() string { return string(AppendClass(nil, e.Cost)) }
+
+// AppendClass appends the CostClass label for cost c to b without
+// allocating (beyond b's growth).
+func AppendClass(b []byte, c Cost) []byte {
+	b = append(b, "cost="...)
+	return strconv.AppendInt(b, int64(c), 10)
 }
 
 // Observer receives decision events from a policy. Implementations must not

@@ -2,8 +2,9 @@ package replacement
 
 // ByName returns a factory for a policy named as in the paper's tables:
 // LRU, GD, BCL, DCL, ACL, the aliased variants DCL-a4 / ACL-a4 (any
-// positive bit count after "-a"), and Random. ok is false for unknown
-// names.
+// positive bit count after "-a"), the BCL depreciation ablation BCL-f1 /
+// BCL-f4 (any positive factor after "-f"; the paper's BCL is BCL-f2), and
+// Random. ok is false for unknown names.
 func ByName(name string) (Factory, bool) {
 	switch name {
 	case "LRU":
@@ -35,30 +36,39 @@ func ByName(name string) (Factory, bool) {
 			return func() Policy { return NewACLWith(Options{TagBits: bits}) }, true
 		}
 	}
+	if factor, ok := parseSuffixInt(name, "BCL-f"); ok {
+		return func() Policy { return NewBCLWithFactor(factor) }, true
+	}
 	return nil, false
 }
 
 // parseAliased decodes "DCL-a4" style names.
 func parseAliased(name string) (bits int, base string, ok bool) {
 	for _, b := range []string{"DCL", "ACL"} {
-		prefix := b + "-a"
-		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
-			n := 0
-			for _, c := range name[len(prefix):] {
-				if c < '0' || c > '9' {
-					return 0, "", false
-				}
-				n = n*10 + int(c-'0')
-			}
-			if n > 0 && n < 64 {
-				return n, b, true
-			}
+		if n, ok := parseSuffixInt(name, b+"-a"); ok && n < 64 {
+			return n, b, true
 		}
 	}
 	return 0, "", false
 }
 
+// parseSuffixInt decodes a positive decimal suffix after prefix ("BCL-f2"
+// with prefix "BCL-f" yields 2).
+func parseSuffixInt(name, prefix string) (int, bool) {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for _, c := range name[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, n > 0
+}
+
 // Names lists the registry's canonical policy names.
 func Names() []string {
-	return []string{"LRU", "GD", "BCL", "DCL", "ACL", "DCL-a4", "ACL-a4", "Random", "PLRU", "CS-PLRU", "LFU", "SLRU"}
+	return []string{"LRU", "GD", "BCL", "BCL-f1", "DCL", "ACL", "DCL-a4", "ACL-a4", "Random", "PLRU", "CS-PLRU", "LFU", "SLRU"}
 }

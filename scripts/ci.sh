@@ -126,6 +126,53 @@ for bad in "-attr.sample 1.5" "-attr.sample 0" "-obs.sample -0.1"; do
     fi
 done
 
+# Explain smoke: record the quick workload twice — identical except for one
+# degraded policy parameter (BCL's depreciation factor raised from the
+# paper's 2 to 50, which makes reservations open and abandon unreferenced
+# and regresses cost paid) — then assert report -explain (a) fails the pair
+# under -strict, (b) ranks the injected reservation mechanism first, and
+# (c) passes every sum-to-manifest-delta join check.
+for side in base cand; do
+    pol=BCL; [ "$side" = cand ] && pol=BCL-f50
+    "$smoke/cachebench" -policy "$pol" -mode closed -workers 1 -ops 30000 \
+        -keys 4096 -sets 512 -ways 4 -shards 4 -seed 7 -loaddelay 0 -quiet \
+        -attr -attr.sample 1 -obs.sample 1 \
+        -span.jsonl "$smoke/${side}_spans.jsonl" \
+        -decisions "$smoke/${side}_dec.jsonl" \
+        -manifest "$smoke/${side}.json" > "$smoke/${side}.txt" 2>/dev/null
+done
+rc=0
+go run ./cmd/report -explain -strict "$smoke/base.json" "$smoke/cand.json" \
+    > "$smoke/explain.txt" || rc=$?
+if [ "$rc" -ne 1 ]; then
+    cat "$smoke/explain.txt" >&2
+    echo "ci: explain of degraded run exited $rc, want 1 (-strict regression)" >&2
+    exit 1
+fi
+top=$(sed -n '/decision-kind shifts/,/^$/p' "$smoke/explain.txt" | sed -n 4p)
+case "$top" in
+*reserve_*) ;;
+*) echo "ci: explain top cause is not a reservation kind: $top" >&2; exit 1 ;;
+esac
+if grep 'check:' "$smoke/explain.txt" | grep -qv ': ok$'; then
+    grep 'check:' "$smoke/explain.txt" >&2
+    echo "ci: explain join checks not all ok" >&2; exit 1
+fi
+# The same run joined against itself must be an all-zero report, exit 0.
+go run ./cmd/report -explain -strict "$smoke/base.json" "$smoke/base.json" \
+    > /dev/null
+
+# Flag validation for the new analytics knobs: non-positive hot-shard
+# factors and negative sketch capacities must exit 2.
+for bad in "-hot.factor 0" "-keys.sketch -1"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachebench" $bad -ops 10 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+
 # Engine benchmark baseline: regenerate the hot-path manifest with a short
 # measurement window and diff against the archive. The tolerance is
 # deliberately generous (shared CI hardware); only schema breakage or
