@@ -23,12 +23,15 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench regenerates the engine hot-path baseline manifest that ci.sh diffs
-# fresh runs against (generous tolerance; see results/README.md). For the
-# full raw benchmark suite use `make benchall`.
+# bench regenerates the baseline manifests that ci.sh diffs fresh runs
+# against (generous tolerance; see results/README.md): the engine hot path
+# and the instrumentation-overhead figures (simulator observation cost plus
+# the telemetry store's sampling hot path). For the full raw benchmark suite
+# use `make benchall`.
 bench:
 	BENCH_MANIFEST=results/BENCH_engine.json \
 	    $(GO) test -run TestWriteBenchManifest -count=1 .
+	$(GO) run ./cmd/paper -quick -bench-json results/BENCH_obs.json
 
 benchall:
 	$(GO) test -run xxx -bench . -benchtime 1x .

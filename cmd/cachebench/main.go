@@ -25,6 +25,19 @@
 // -profile.dir captures periodic CPU/heap/mutex/block pprof snapshots keyed
 // to the run manifest.
 //
+// A live time-series store (internal/obs/tsdb) attaches whenever -obs.listen,
+// -alerts or -ts.everyops is set: it samples every registry instrument into
+// multi-resolution ring buffers (bucket width -ts.step) and serves windowed
+// rates, ratios and latency quantiles at /debug/timeseries — the feed for
+// cmd/cachetop. -alerts evaluates SLO rules over those windows (hit-rate
+// burn rate with -slo.hitrate/-alert.burn/-alert.fast/-alert.slow, latency
+// p99 vs -slo.p99, lock-wait share, shard skew), streams state transitions
+// to -alerts.jsonl, serves /debug/alerts and folds firing counts into the
+// manifest. -ts.everyops N swaps the wall clock for an op-indexed simulated
+// clock (one step per N completed ops) so single-worker closed-loop runs
+// produce byte-identical alert streams — CI pins exact firing counts on a
+// same-seed healthy/degraded pair.
+//
 // -decisions streams every replacement decision (reservations, ETD
 // detections, victim choices) as JSONL tagged with shard and cost class —
 // the per-run input to report -explain, which joins two runs' decision
@@ -42,7 +55,6 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"time"
 
@@ -51,8 +63,10 @@ import (
 	"costcache/internal/loadgen"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
+	"costcache/internal/obs/alert"
 	"costcache/internal/obs/reqspan"
 	"costcache/internal/obs/span"
+	"costcache/internal/obs/tsdb"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
@@ -89,6 +103,15 @@ func main() {
 	decisions := flag.String("decisions", "", "write per-shard replacement decision events as JSONL to this file (input to report -explain)")
 	hotFactor := flag.Float64("hot.factor", engine.DefaultHotShareFactor, "hot-shard threshold: flag a shard whose window traffic share exceeds this multiple of the uniform share")
 	keysSketch := flag.Int("keys.sketch", 0, "keyspace-skew sketch capacity (distinct sampled keys tracked; 0 = default)")
+	tsStep := flag.Duration("ts.step", time.Second, "live time-series bucket width (finest ring)")
+	tsEvery := flag.Int("ts.everyops", 0, "advance the telemetry clock one step every N completed ops instead of wall time (deterministic; 0 = wall clock)")
+	alerts := flag.Bool("alerts", false, "evaluate SLO alert rules against the live time-series and print a post-run summary")
+	alertsJSONL := flag.String("alerts.jsonl", "", "write alert state transitions as JSONL to this file (implies -alerts)")
+	sloHitrate := flag.Float64("slo.hitrate", 0.9, "hit-rate SLO objective in (0,1) for the hit-rate-burn rule")
+	sloP99 := flag.Duration("slo.p99", 250*time.Millisecond, "request-latency p99 threshold for the latency-p99 rule")
+	alertBurn := flag.Float64("alert.burn", 2, "burn-rate factor: fire when the error budget burns at this multiple of the sustainable rate")
+	alertFast := flag.Duration("alert.fast", 5*time.Second, "burn-rate short window (also the static rules' window)")
+	alertSlow := flag.Duration("alert.slow", 30*time.Second, "burn-rate long window")
 	flag.Parse()
 
 	factory, ok := replacement.ByName(*policy)
@@ -115,6 +138,28 @@ func main() {
 	}
 	if *keysSketch < 0 {
 		cli.BadFlag("cachebench", "-keys.sketch", fmt.Sprint(*keysSketch), []string{"a sketch capacity >= 0 (0 = default)"})
+	}
+	if *tsStep <= 0 {
+		cli.BadFlag("cachebench", "-ts.step", fmt.Sprint(*tsStep), []string{"a bucket width > 0"})
+	}
+	if *tsEvery < 0 {
+		cli.BadFlag("cachebench", "-ts.everyops", fmt.Sprint(*tsEvery), []string{"an op count >= 0 (0 = wall clock)"})
+	}
+	if *sloHitrate <= 0 || *sloHitrate >= 1 {
+		cli.BadFlag("cachebench", "-slo.hitrate", fmt.Sprint(*sloHitrate), []string{"an objective in (0, 1)"})
+	}
+	if *sloP99 <= 0 {
+		cli.BadFlag("cachebench", "-slo.p99", fmt.Sprint(*sloP99), []string{"a latency threshold > 0"})
+	}
+	if *alertBurn <= 0 {
+		cli.BadFlag("cachebench", "-alert.burn", fmt.Sprint(*alertBurn), []string{"a burn factor > 0"})
+	}
+	if *alertFast <= 0 || *alertSlow < *alertFast {
+		cli.BadFlag("cachebench", "-alert.fast/-alert.slow", fmt.Sprintf("%v/%v", *alertFast, *alertSlow),
+			[]string{"windows with 0 < fast <= slow"})
+	}
+	if *alertsJSONL != "" {
+		*alerts = true
 	}
 
 	// The request tracer attaches when any consumer of its data is on:
@@ -170,21 +215,89 @@ func main() {
 		CostHigh:  replacement.Cost(*costHigh),
 		HighFrac:  *haf,
 		LoadDelay: *loadDelay,
+		Registry:  reg, // request_latency_ns feeds the live quantile signals
 		Tracer:    tracer,
 	}
 	stopped := cli.Interrupt()
 
+	// The live time-series store attaches when anything consumes it: the
+	// debug endpoints, the alert engine, or a deterministic telemetry clock.
+	var store *tsdb.Store
+	var alertEng *alert.Engine
+	if *obsListen != "" || *alerts || *tsEvery > 0 {
+		store = tsdb.New(tsdb.Config{Registry: reg, Resolutions: tsdb.Resolutions(*tsStep)})
+	}
+	if *alerts {
+		alertEng = alert.New(store, alert.DefaultRules(alert.Defaults{
+			HitRateObjective: *sloHitrate,
+			BurnFactor:       *alertBurn,
+			Short:            *alertFast,
+			Long:             *alertSlow,
+			P99:              *sloP99,
+		}))
+		if *alertsJSONL != "" {
+			alertEng.SetSink(openSink(&sinks, *alertsJSONL))
+		}
+	}
+	if store != nil {
+		if *tsEvery > 0 {
+			// Deterministic mode: the telemetry clock starts at the Unix
+			// epoch and advances one step every N completed ops, so a
+			// same-seed single-worker run samples and evaluates alerts at
+			// identical simulated times — CI pins exact firing counts on
+			// this.
+			base := time.Unix(0, 0)
+			every := int64(*tsEvery)
+			step := *tsStep
+			cfg.OnDone = func(n int64) {
+				if n%every != 0 {
+					return
+				}
+				now := base.Add(time.Duration(n/every) * step)
+				store.Sample(now)
+				if alertEng != nil {
+					alertEng.Eval(now)
+				}
+			}
+		} else {
+			stopSampler := store.Start()
+			defer stopSampler()
+			if alertEng != nil {
+				done := make(chan struct{})
+				defer close(done)
+				go func() {
+					t := time.NewTicker(*tsStep)
+					defer t.Stop()
+					for {
+						select {
+						case <-done:
+							return
+						case now := <-t.C:
+							alertEng.Eval(now)
+						}
+					}
+				}()
+			}
+		}
+	}
+
 	if *obsListen != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/", obs.Handler(reg))
-		mux.Handle("/debug/engine", engine.DebugHandler(eng, tracer, *hotFactor))
+		mux := obs.NewMux(reg)
+		mux.Handle("/debug/engine", "live shard analytics (hot shards, lock wait, coalesce depth)",
+			engine.DebugHandler(eng, tracer, *hotFactor))
+		mux.Handle("/debug/timeseries", "windowed rates, ratios and latency quantiles from the live time-series store",
+			tsdb.Handler(store))
+		if alertEng != nil {
+			mux.Handle("/debug/alerts", "alert rule states and recent transitions",
+				alert.Handler(alertEng, store.LastTime))
+		}
 		srv, err := obs.ServeHandler(*obsListen, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s (metrics, pprof, debug/engine)\n", srv.Addr())
+		fmt.Printf("observability: http://%s (metrics, pprof, debug/engine, debug/timeseries)\n", srv.Addr())
 	}
 
 	var prof *obs.Profiler
@@ -217,12 +330,21 @@ func main() {
 	}
 
 	printSummary(*policy, *shards, *workers, *mode, res)
+	if alertEng != nil {
+		printAlerts(alertEng, store)
+	}
 
 	if chromeSink != nil {
 		chromeSink.Close()
 	}
 	for _, s := range sinks {
 		s.close()
+	}
+	if alertEng != nil {
+		if err := alertEng.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench: alert sink:", err)
+			os.Exit(1)
+		}
 	}
 	if decTracer != nil {
 		if err := decTracer.Err(); err != nil {
@@ -249,8 +371,9 @@ func main() {
 	}
 
 	if *manifestPath != "" {
-		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL, spanTrace: *spanTrace}
-		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, art, prof, *profileDir); err != nil {
+		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL,
+			spanTrace: *spanTrace, alertEvents: *alertsJSONL}
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
@@ -388,15 +511,29 @@ func printSummary(policy string, shards, workers int, mode string, res loadgen.R
 	}
 }
 
+// printAlerts reports each rule's post-run standing on stdout, evaluated at
+// the telemetry clock's last sample time (deterministic under -ts.everyops).
+func printAlerts(alertEng *alert.Engine, store *tsdb.Store) {
+	now := store.LastTime()
+	if now.IsZero() {
+		now = time.Now()
+	}
+	for _, s := range alertEng.Summaries(now) {
+		fmt.Printf("alert %-16s state=%-8s fired=%d firing_ms=%d\n",
+			s.Rule, s.State, s.Fired, s.FiringNS/int64(time.Millisecond))
+	}
+}
+
 // artifacts collects the companion trace file paths the run was asked to
 // write, for recording in the manifest's artifact map.
 type artifacts struct {
-	decisions, spanJSONL, spanTrace string
+	decisions, spanJSONL, spanTrace, alertEvents string
 }
 
 func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	eng *engine.Engine, reg *obs.Registry, res loadgen.Result,
-	tracer *reqspan.Tracer, decTracer *obs.Tracer, art artifacts,
+	tracer *reqspan.Tracer, decTracer *obs.Tracer,
+	store *tsdb.Store, alertEng *alert.Engine, art artifacts,
 	prof *obs.Profiler, profileDir string) error {
 	m := manifest.New("cachebench")
 	m.SetConfig("policy", policy)
@@ -448,6 +585,19 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	if decTracer != nil {
 		decTracer.PublishCounts(reg) // trace_events{policy,kind} land in the snapshot
 		m.SetArtifact("decision_trace", art.decisions)
+	}
+	if store != nil {
+		m.SetMetric("ts_samples", float64(store.Samples()))
+	}
+	if alertEng != nil {
+		now := store.LastTime()
+		for _, s := range alertEng.Summaries(now) {
+			m.SetMetric(fmt.Sprintf("alert_fired{rule=%q}", s.Rule), float64(s.Fired))
+			m.SetMetric(fmt.Sprintf("alert_firing_ns{rule=%q}", s.Rule), float64(s.FiringNS))
+		}
+		if art.alertEvents != "" {
+			m.SetArtifact("alert_events", art.alertEvents)
+		}
 	}
 	if prof != nil {
 		m.SetConfig("profile_dir", profileDir)

@@ -1,0 +1,290 @@
+// Command cachetop is a live terminal dashboard for a running cachebench
+// (or any process serving the costcache observability endpoints). It polls
+// /debug/timeseries, /debug/engine and /debug/alerts and renders sparkline
+// panels for the core serving signals — hit rate, throughput, cost per
+// access, lock-wait share, latency p99 — plus per-shard heat rows and the
+// active alert list, redrawing in place once per -interval.
+//
+//	cachebench -obs.listen localhost:6060 -alerts &
+//	cachetop -addr localhost:6060
+//
+// -frames N stops after N redraws (0 = run until interrupted); -frames 1
+// prints a single dashboard without ANSI cursor control, which is what the
+// CI smoke and scripted captures use. cachetop is stdlib-only: it talks
+// plain HTTP+JSON to the endpoints documented in docs/OBSERVABILITY.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"costcache/internal/cli"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of the observability server (host:port, required)")
+	interval := flag.Duration("interval", time.Second, "poll and redraw period")
+	frames := flag.Int("frames", 0, "stop after this many redraws (0 = run until interrupted)")
+	flag.Parse()
+
+	if *addr == "" {
+		cli.BadFlag("cachetop", "-addr", "", []string{"the host:port of a cachebench -obs.listen server"})
+	}
+	if *interval <= 0 {
+		cli.BadFlag("cachetop", "-interval", fmt.Sprint(*interval), []string{"a poll period > 0"})
+	}
+	if *frames < 0 {
+		cli.BadFlag("cachetop", "-frames", fmt.Sprint(*frames), []string{"a frame count >= 0 (0 = forever)"})
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	stopped := cli.Interrupt()
+	client := &http.Client{Timeout: 5 * time.Second}
+	live := *frames != 1 // a single frame renders plain, without cursor control
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		if stopped() {
+			break
+		}
+		frame, err := render(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachetop:", err)
+			os.Exit(1)
+		}
+		if live {
+			// Home the cursor and clear to end of screen: redraw in place
+			// without the flicker of a full clear.
+			fmt.Print("\x1b[H\x1b[J")
+		}
+		fmt.Print(frame)
+	}
+}
+
+// Payload mirrors of the endpoint documents (fields cachetop renders; the
+// schemas are locked by the servers' tests).
+type timeseries struct {
+	Samples     int64 `json:"samples"`
+	LastUnixMS  int64 `json:"last_unix_ms"`
+	Resolutions []struct {
+		StepMS   int64                `json:"step_ms"`
+		Signals  map[string][]float64 `json:"signals"`
+		Windowed map[string]float64   `json:"windowed"`
+	} `json:"resolutions"`
+}
+
+type engineDebug struct {
+	Stats struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		CostPaid  int64 `json:"cost_paid"`
+	} `json:"stats"`
+	Window struct {
+		UniformShare float64 `json:"uniform_share"`
+		Shards       []struct {
+			Shard       int     `json:"shard"`
+			Ops         int64   `json:"ops"`
+			Share       float64 `json:"share"`
+			LockWaitNs  int64   `json:"lock_wait_ns"`
+			MaxInFlight int     `json:"max_in_flight"`
+			Hot         bool    `json:"hot"`
+		} `json:"shards"`
+	} `json:"window"`
+}
+
+type alerts struct {
+	Rules []struct {
+		Rule      string  `json:"rule"`
+		State     string  `json:"state"`
+		Value     float64 `json:"value"`
+		HasValue  bool    `json:"has_value"`
+		Threshold float64 `json:"threshold"`
+		Fired     int64   `json:"fired"`
+		FiringNS  int64   `json:"firing_ns"`
+	} `json:"rules"`
+}
+
+// get fetches path into out; a nil error with ok=false means the endpoint
+// is not mounted (alerts are optional on the server side).
+func get(client *http.Client, base, path string, out any) (bool, error) {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return true, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// panel describes one sparkline row: the signal name in the timeseries
+// payload and how to render its current value.
+type panel struct {
+	signal, label string
+	format        func(float64) string
+}
+
+func panels() []panel {
+	pct := func(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }
+	count := func(v float64) string { return fmt.Sprintf("%7.0f", v) }
+	return []panel{
+		{"hit_rate", "hit rate", pct},
+		{"ops_per_s", "ops/s", count},
+		{"cost_per_access", "cost/access", func(v float64) string { return fmt.Sprintf("%7.3f", v) }},
+		{"lock_wait_share", "lock wait", pct},
+		{"latency_p99_ns", "p99 latency", func(v float64) string { return fmt.Sprintf("%6.1fµs", v/1e3) }},
+	}
+}
+
+// render polls the three endpoints and builds one dashboard frame.
+func render(client *http.Client, base string) (string, error) {
+	var ts timeseries
+	if ok, err := get(client, base, "/debug/timeseries", &ts); err != nil {
+		return "", err
+	} else if !ok {
+		return "", fmt.Errorf("/debug/timeseries not mounted at %s (is this a cachebench -obs.listen server?)", base)
+	}
+	var eng engineDebug
+	engOK, err := get(client, base, "/debug/engine", &eng)
+	if err != nil {
+		return "", err
+	}
+	var al alerts
+	alOK, err := get(client, base, "/debug/alerts", &al)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	when := "no samples yet"
+	if ts.LastUnixMS != 0 {
+		when = time.UnixMilli(ts.LastUnixMS).Format("15:04:05")
+	}
+	fmt.Fprintf(&b, "cachetop · %s · %d samples · last %s\n\n", base, ts.Samples, when)
+
+	if len(ts.Resolutions) > 0 {
+		res := ts.Resolutions[0]
+		fmt.Fprintf(&b, "signals (last %d × %dms buckets)\n", len(res.Signals["hit_rate"]), res.StepMS)
+		for _, p := range panels() {
+			points := res.Signals[p.signal]
+			cur, has := res.Windowed[p.signal]
+			val := "      —"
+			if has {
+				val = p.format(cur)
+			}
+			fmt.Fprintf(&b, "  %-12s %s %s\n", p.label, val, sparkline(points, 48))
+		}
+		b.WriteString("\n")
+	}
+
+	if engOK {
+		st := eng.Stats
+		total := st.Hits + st.Misses + st.Coalesced
+		fmt.Fprintf(&b, "engine · %d ops · %d hits · %d misses · cost %d\n",
+			total, st.Hits, st.Misses, st.CostPaid)
+		fmt.Fprintf(&b, "shards (window share vs uniform %.3f)\n", eng.Window.UniformShare)
+		for _, sh := range eng.Window.Shards {
+			marker := " "
+			if sh.Hot {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "  shard %2d %s %-24s %5.1f%%  ops=%-8d lock=%6.2fms  depth=%d\n",
+				sh.Shard, marker, bar(sh.Share, eng.Window.UniformShare, 24),
+				100*sh.Share, sh.Ops, float64(sh.LockWaitNs)/1e6, sh.MaxInFlight)
+		}
+		b.WriteString("\n")
+	}
+
+	switch {
+	case !alOK:
+		b.WriteString("alerts: endpoint not enabled (run cachebench with -alerts)\n")
+	case len(al.Rules) == 0:
+		b.WriteString("alerts: no rules\n")
+	default:
+		b.WriteString("alerts\n")
+		rules := al.Rules
+		sort.SliceStable(rules, func(i, j int) bool { return rules[i].Rule < rules[j].Rule })
+		for _, r := range rules {
+			val := "—"
+			if r.HasValue {
+				val = fmt.Sprintf("%.4g", r.Value)
+			}
+			fmt.Fprintf(&b, "  %-16s %-8s value=%-10s threshold=%-10.4g fired=%d firing_ms=%d\n",
+				r.Rule, strings.ToUpper(r.State), val, r.Threshold, r.Fired, r.FiringNS/1e6)
+		}
+	}
+	return b.String(), nil
+}
+
+// sparkline renders the last w points as eight-level block characters,
+// scaled to the series maximum (an all-zero series renders flat).
+func sparkline(points []float64, w int) string {
+	if len(points) > w {
+		points = points[len(points)-w:]
+	}
+	if len(points) == 0 {
+		return ""
+	}
+	var max float64
+	for _, v := range points {
+		if v > max {
+			max = v
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range points {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(levels)-1))
+			if i >= len(levels) {
+				i = len(levels) - 1
+			}
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}
+
+// bar renders share as a fixed-width bar with a tick at the uniform share,
+// the at-a-glance skew view: a bar past the tick is running hot.
+func bar(share, uniform float64, w int) string {
+	// Scale so the uniform share sits at 1/3 of the width: small per-shard
+	// shares still render visibly at high shard counts.
+	scale := float64(w)
+	if uniform > 0 {
+		scale = float64(w) / (3 * uniform)
+	}
+	n := int(share * scale)
+	if n > w {
+		n = w
+	}
+	tick := w / 3
+	out := make([]rune, w)
+	for i := range out {
+		switch {
+		case i < n:
+			out[i] = '█'
+		case i == tick:
+			out[i] = '|'
+		default:
+			out[i] = '·'
+		}
+	}
+	return string(out)
+}

@@ -2,17 +2,18 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"costcache/internal/cost"
 	"costcache/internal/costsim"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
+	"costcache/internal/obs/tsdb"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
 	"costcache/internal/trace"
@@ -159,25 +160,10 @@ func writeIntervalReport(tables []*tabulate.Table) error {
 	return nil
 }
 
-// benchRecord is the BENCH_obs.json schema: instrumentation overhead of the
-// trace-driven simulator, for tracking across PRs.
-type benchRecord struct {
-	Benchmark string `json:"benchmark"`
-	Policy    string `json:"policy"`
-	Refs      int    `json:"refs"`
-	// BareNsPerRef runs the plain simulator (no observer attached).
-	BareNsPerRef float64 `json:"bare_ns_per_ref"`
-	// ShadowNsPerRef adds the LRU shadow hierarchy but no tracer.
-	ShadowNsPerRef float64 `json:"shadow_ns_per_ref"`
-	// TracedNsPerRef adds the decision tracer (ring only, no sink) and the
-	// live metrics registry.
-	TracedNsPerRef    float64 `json:"traced_ns_per_ref"`
-	ShadowOverheadPct float64 `json:"shadow_overhead_pct"`
-	TracedOverheadPct float64 `json:"traced_overhead_pct"`
-}
-
-// writeBenchJSON times bare vs. observed simulation (best of three) and
-// writes the record.
+// writeBenchJSON times bare vs. observed simulation plus the telemetry
+// store's sampling hot path (best of three each) and writes the figures as a
+// run manifest under section obs-bench, so cmd/report validates and diffs
+// BENCH_obs.json like every other archived baseline.
 func writeBenchJSON(path string, gen workload.Generator) error {
 	tr := gen.Generate()
 	view := tr.SampleView(0)
@@ -196,29 +182,78 @@ func writeBenchJSON(path string, gen workload.Generator) error {
 		return float64(bestNs) / float64(len(view))
 	}
 
-	rec := benchRecord{Benchmark: gen.Name(), Policy: "DCL", Refs: len(view)}
-	rec.BareNsPerRef = best(func() {
+	// Bare runs the plain simulator; shadow adds the LRU shadow hierarchy but
+	// no tracer; traced adds the decision tracer (ring only, no sink) and the
+	// live metrics registry.
+	bare := best(func() {
 		costsim.Run(view, cfg, replacement.NewDCL(), src)
 	})
-	rec.ShadowNsPerRef = best(func() {
+	shadow := best(func() {
 		costsim.RunObserved(view, cfg, replacement.NewDCL(), src, nil, 0, nil)
 	})
 	tracer := obs.NewTracer(1 << 16)
 	reg := obs.NewRegistry()
-	rec.TracedNsPerRef = best(func() {
+	traced := best(func() {
 		costsim.RunObserved(view, cfg, replacement.NewDCL(), src, tracer.Bind("DCL"), 0, reg)
 	})
-	rec.ShadowOverheadPct = 100 * (rec.ShadowNsPerRef - rec.BareNsPerRef) / rec.BareNsPerRef
-	rec.TracedOverheadPct = 100 * (rec.TracedNsPerRef - rec.BareNsPerRef) / rec.BareNsPerRef
+	sampleNs, sampleAllocs := benchTelemetrySample()
 
-	b, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
+	m := manifest.New("paper")
+	m.SetConfig("section", "obs-bench")
+	m.SetConfig("bench", gen.Name())
+	m.SetConfig("policy", "DCL")
+	m.SetMetric("obs_refs", float64(len(view)))
+	m.SetMetric("obs_bare_ns_ref", bare)
+	m.SetMetric("obs_shadow_ns_ref", shadow)
+	m.SetMetric("obs_traced_ns_ref", traced)
+	m.SetMetric("obs_shadow_overhead_pct", 100*(shadow-bare)/bare)
+	m.SetMetric("obs_traced_overhead_pct", 100*(traced-bare)/bare)
+	m.SetMetric("tsdb_sample_ns_op", sampleNs)
+	m.SetMetric("tsdb_sample_allocs_op", sampleAllocs)
+	if err := m.WriteFile(path); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s: bare %.1f ns/ref, shadow +%.1f%%, traced +%.1f%%\n",
-		path, rec.BareNsPerRef, rec.ShadowOverheadPct, rec.TracedOverheadPct)
+	fmt.Printf("wrote %s: bare %.1f ns/ref, shadow +%.1f%%, traced +%.1f%%, tsdb sample %.0f ns/op (%g allocs)\n",
+		path, bare, 100*(shadow-bare)/bare, 100*(traced-bare)/bare, sampleNs, sampleAllocs)
 	return nil
+}
+
+// benchTelemetrySample measures the time-series store's steady-state Sample
+// cost over a registry shaped like a live cachebench run: 8 shards × the six
+// engine counters, the request-latency histogram and an in-flight gauge. The
+// allocation figure must stay 0 — the zero-alloc gate in the tsdb tests pins
+// it, this records it next to the timing so drift shows up in the diff.
+func benchTelemetrySample() (nsPerOp, allocsPerOp float64) {
+	reg := obs.NewRegistry()
+	for shard := 0; shard < 8; shard++ {
+		for _, name := range []string{"engine_hits", "engine_misses", "engine_coalesced",
+			"engine_evictions", "engine_cost_paid", "engine_lock_wait_ns"} {
+			reg.Counter(obs.Name(name, "shard", fmt.Sprint(shard))).Add(int64(shard + 1))
+		}
+	}
+	reg.Histogram("request_latency_ns", obs.ExpBuckets(100, 2, 20)).Observe(12345)
+	reg.Gauge("engine_in_flight").Set(3)
+
+	store := tsdb.New(tsdb.Config{Registry: reg})
+	now := time.Unix(0, 0)
+	sample := func() {
+		now = now.Add(time.Second)
+		store.Sample(now)
+	}
+	sample() // discovery
+	sample() // settle
+	allocsPerOp = testing.AllocsPerRun(100, sample)
+
+	const iters = 2000
+	bestNs := int64(1) << 62
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		for j := 0; j < iters; j++ {
+			sample()
+		}
+		if d := time.Since(start).Nanoseconds(); d < bestNs {
+			bestNs = d
+		}
+	}
+	return float64(bestNs) / iters, allocsPerOp
 }

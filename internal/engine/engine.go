@@ -337,17 +337,20 @@ type Stats struct {
 	// Hits and Misses count lookups; Coalesced counts GetOrLoad calls that
 	// waited on another goroutine's in-flight load (they are neither hits
 	// nor misses, so Hits+Misses+Coalesced is the total operation count).
-	Hits, Misses, Coalesced int64
+	// The JSON names are locked by the /debug/engine schema test.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
 	// Evictions counts policy victimizations (not invalidations).
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// CostPaid is the aggregate miss cost charged on fills — the quantity
 	// the paper's policies minimize, counted once per coalesced load.
-	CostPaid int64
+	CostPaid int64 `json:"cost_paid"`
 	// LockWaitNs is the total time goroutines spent blocked on shard locks.
-	LockWaitNs int64
+	LockWaitNs int64 `json:"lock_wait_ns"`
 	// ShadowCost is the aggregate cost the per-shard LRU shadows paid for
 	// the same stream (0 when the shadow is disabled).
-	ShadowCost int64
+	ShadowCost int64 `json:"shadow_cost"`
 }
 
 // Stats sums the shard counters. Under concurrent traffic the fields are

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+// keysOf returns the sorted key set of a decoded JSON object.
+func keysOf(t *testing.T, m map[string]json.RawMessage) []string {
+	t.Helper()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantKeys(t *testing.T, what string, m map[string]json.RawMessage, want []string) {
+	t.Helper()
+	got := keysOf(t, m)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s keys = %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s keys = %v, want %v", what, got, want)
+		}
+	}
+}
+
+// TestDebugEngineSchema locks the /debug/engine JSON shape: the exact key
+// sets of the payload, the stats block, the window analytics and the
+// per-shard rows. Tools parse this document (cachetop, operators' jq one-
+// liners) — renaming or dropping a field is a breaking change that must
+// show up as a test diff, not a silent drift.
+func TestDebugEngineSchema(t *testing.T) {
+	e := New(Config{Shards: 2, Sets: 8, Ways: 2, Policy: lruFactory})
+	for k := uint64(0); k < 32; k++ {
+		if _, err := e.GetOrLoad(k, constLoader("v", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	DebugHandler(e, nil, 0).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/engine", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	// Without a tracer, attribution and keyspace are omitted entirely.
+	wantKeys(t, "payload", doc, []string{"stats", "window", "cumulative"})
+
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(doc["stats"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, "stats", stats, []string{
+		"hits", "misses", "coalesced", "evictions", "cost_paid", "lock_wait_ns", "shadow_cost"})
+
+	var window map[string]json.RawMessage
+	if err := json.Unmarshal(doc["window"], &window); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, "window", window, []string{
+		"window_ns", "ops", "uniform_share", "hot_share_factor", "shards", "hot"})
+
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(window["shards"], &shards); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("window shards = %d, want 2", len(shards))
+	}
+	wantKeys(t, "window shard", shards[0], []string{
+		"shard", "ops", "share", "lock_wait_ns", "coalesced", "in_flight", "max_in_flight", "hot"})
+
+	var cum []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["cumulative"], &cum); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, "cumulative shard", cum[0], []string{
+		"shard", "hits", "misses", "coalesced", "evictions", "cost_paid", "lock_wait_ns",
+		"in_flight", "max_in_flight"})
+
+	// Sanity beyond shape: the stats block carries the run's numbers.
+	var st Stats
+	if err := json.Unmarshal(doc["stats"], &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 32 || st.CostPaid != 64 {
+		t.Fatalf("stats = %+v, want 32 misses costing 64", st)
+	}
+}

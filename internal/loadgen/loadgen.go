@@ -78,6 +78,18 @@ type Config struct {
 	// miss on a cost-c key sleeps c×LoadDelay in its loader. 0 disables
 	// sleeping (counters stay meaningful, latency collapses).
 	LoadDelay time.Duration
+	// Registry, when non-nil, is where the run's latency histogram is
+	// registered as request_latency_ns — the live-telemetry store
+	// (internal/obs/tsdb) then sees per-request latency alongside the
+	// engine's counters, feeding the windowed latency quantile signals.
+	Registry *obs.Registry
+	// OnDone, when non-nil, is called after each completed request with the
+	// total completed so far. Single-worker closed-loop runs call it from
+	// one goroutine in a deterministic order, which is what lets cachebench
+	// advance a simulated telemetry clock every N ops (-ts.everyops) and
+	// pin exact alert firing counts in CI; multi-worker runs call it
+	// concurrently and it must be cheap.
+	OnDone func(done int64)
 	// Tracer, when non-nil, is the request tracer attached to the engine
 	// (engine.Config.Tracer). The load generator does not drive it — the
 	// engine does — but uses it to link its arrival-latency histogram to
@@ -157,9 +169,16 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 		return key, c, nil
 	}
 
-	hist := obs.NewHistogram(latencyBuckets())
-	if cfg.Tracer != nil {
+	var hist *obs.Histogram
+	switch {
+	case cfg.Registry != nil && cfg.Tracer != nil:
+		hist = cfg.Registry.HistogramExemplars("request_latency_ns", latencyBuckets())
+	case cfg.Registry != nil:
+		hist = cfg.Registry.Histogram("request_latency_ns", latencyBuckets())
+	case cfg.Tracer != nil:
 		hist = obs.NewHistogramExemplars(latencyBuckets())
+	default:
+		hist = obs.NewHistogram(latencyBuckets())
 	}
 	var done, interrupted atomic.Int64
 	before := e.Stats()
@@ -201,7 +220,9 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 				// this worker is usually its own request when it was sampled
 				// — an approximate but cheap bucket→trace link.
 				hist.ObserveExemplar(time.Since(origin).Nanoseconds(), cfg.Tracer.LastID())
-				done.Add(1)
+				if n := done.Add(1); cfg.OnDone != nil {
+					cfg.OnDone(n)
+				}
 			}
 		}()
 	}

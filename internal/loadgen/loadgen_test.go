@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"costcache/internal/engine"
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 )
 
@@ -121,5 +122,40 @@ func TestStoppedInterruptsRun(t *testing.T) {
 	}
 	if res.Ops >= 1000000 {
 		t.Fatal("run did not stop early")
+	}
+}
+
+// TestRegistryAndOnDoneHooks covers the live-telemetry wiring: with a
+// Registry the latency histogram registers as request_latency_ns, and
+// OnDone reports each completed op with a monotone total — the hook
+// cachebench uses to advance the simulated telemetry clock every N ops.
+func TestRegistryAndOnDoneHooks(t *testing.T) {
+	reg := obs.NewRegistry()
+	var calls []int64
+	cfg := Config{
+		Mode: Closed, Workers: 1, Ops: 500,
+		Keys: 256, Seed: 3,
+		Registry: reg,
+		OnDone:   func(n int64) { calls = append(calls, n) },
+	}
+	e := engine.New(engine.Config{Shards: 2, Sets: 64, Ways: 4, Policy: dclFactory})
+	res, err := Run(e, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 500 {
+		t.Fatalf("ops = %d, want 500", res.Ops)
+	}
+	if int64(len(calls)) != res.Ops {
+		t.Fatalf("OnDone called %d times, want %d", len(calls), res.Ops)
+	}
+	for i, n := range calls {
+		if n != int64(i+1) {
+			t.Fatalf("OnDone[%d] = %d, want %d (single worker is in-order)", i, n, i+1)
+		}
+	}
+	h := reg.Histogram("request_latency_ns", nil)
+	if h.Count() != res.Ops {
+		t.Fatalf("registry histogram count = %d, want %d", h.Count(), res.Ops)
 	}
 }

@@ -1,0 +1,418 @@
+// Package alert evaluates SLO rules over the live time-series store
+// (internal/obs/tsdb) and drives each rule through a
+// pending → firing → resolved state machine, streaming every transition as
+// a JSONL event.
+//
+// Two rule shapes are supported. A static rule compares one windowed query
+// against a threshold. A burn-rate rule (Objective > 0) is the
+// multi-window form used for SLO alerting: the rule's query measures the
+// bad-event ratio (e.g. miss ratio against a hit-rate objective) and the
+// rule breaches only when that ratio exceeds BurnFactor × (1 − Objective)
+// in BOTH a short and a long window — the short window makes the alert
+// react quickly, the long window keeps a transient spike from paging.
+//
+// Every rule evaluates over fully covered windows only: during warm-up,
+// when the rings do not yet span the window, the rule reports no data and
+// cannot fire. That makes alert behaviour deterministic under the
+// op-indexed simulated clock (cachebench -ts.everyops), which CI exploits
+// to pin exact firing counts.
+package alert
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"costcache/internal/obs/tsdb"
+)
+
+// Op is a static rule's comparison direction.
+type Op int
+
+const (
+	// Above breaches when value > threshold.
+	Above Op = iota
+	// Below breaches when value < threshold.
+	Below
+)
+
+func (o Op) String() string {
+	if o == Below {
+		return "below"
+	}
+	return "above"
+}
+
+// State is a rule's position in the alert lifecycle.
+type State int
+
+const (
+	// Inactive: the rule is not breaching.
+	Inactive State = iota
+	// Pending: breaching, but not yet for the rule's For duration.
+	Pending
+	// Firing: breaching continuously for at least For.
+	Firing
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Firing:
+		return "firing"
+	}
+	return "inactive"
+}
+
+// Rule is one alert condition over the store.
+type Rule struct {
+	// Name identifies the rule in events, summaries and manifests.
+	Name string
+	// Query is the signal the rule watches. For burn-rate rules it must
+	// measure the bad-event ratio in [0, 1].
+	Query tsdb.Query
+	// For is how long the condition must hold before Pending becomes
+	// Firing. Zero fires on the first breaching evaluation.
+	For time.Duration
+
+	// Static-threshold fields (used when Objective == 0).
+	Op        Op
+	Threshold float64
+	Window    time.Duration
+
+	// Burn-rate fields. Objective > 0 selects burn-rate mode: the rule
+	// breaches when Query > BurnFactor × (1 − Objective) over both Short
+	// and Long fully covered windows.
+	Objective  float64
+	BurnFactor float64
+	Short      time.Duration
+	Long       time.Duration
+}
+
+// threshold returns the effective breach threshold.
+func (r Rule) threshold() float64 {
+	if r.Objective > 0 {
+		return r.BurnFactor * (1 - r.Objective)
+	}
+	return r.Threshold
+}
+
+// Event is one state transition.
+type Event struct {
+	Time      time.Time `json:"-"`
+	TMS       int64     `json:"t_ms"`
+	Rule      string    `json:"rule"`
+	From      string    `json:"from"`
+	To        string    `json:"to"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+}
+
+// Summary is one rule's current standing, for end-of-run manifests and the
+// /debug/alerts endpoint.
+type Summary struct {
+	Rule      string  `json:"rule"`
+	State     string  `json:"state"`
+	Value     float64 `json:"value"`
+	HasValue  bool    `json:"has_value"`
+	Threshold float64 `json:"threshold"`
+	// Fired counts transitions into Firing.
+	Fired int64 `json:"fired"`
+	// FiringNS is the total time spent Firing, including any ongoing spell
+	// up to the evaluation time passed to Summaries.
+	FiringNS int64 `json:"firing_ns"`
+}
+
+type ruleState struct {
+	state        State
+	pendingSince int64
+	firingSince  int64
+	fired        int64
+	firingNS     int64
+	lastValue    float64
+	lastOK       bool
+}
+
+// Engine evaluates a fixed rule set against a store. All methods are safe
+// for concurrent use; Eval is driven by the same clock as the store's
+// Sample (simulated or wall).
+type Engine struct {
+	store *tsdb.Store
+	rules []Rule
+
+	mu     sync.Mutex
+	states []ruleState
+	sink   io.Writer
+	buf    []byte
+	err    error
+	events []Event // ring of recent transitions for /debug/alerts
+	evHead int
+	evLen  int
+}
+
+// historyCap bounds the transition ring served by /debug/alerts.
+const historyCap = 256
+
+// New builds an engine over store with the given rules. It panics on an
+// unnamed rule or a burn-rate rule with a non-positive window (programming
+// errors).
+func New(store *tsdb.Store, rules []Rule) *Engine {
+	for _, r := range rules {
+		if r.Name == "" {
+			panic("alert: rule without a name")
+		}
+		if r.Objective > 0 && (r.Short <= 0 || r.Long <= 0 || r.BurnFactor <= 0) {
+			panic(fmt.Sprintf("alert: burn-rate rule %q needs Short, Long and BurnFactor", r.Name))
+		}
+		if r.Objective == 0 && r.Window <= 0 {
+			panic(fmt.Sprintf("alert: static rule %q needs a Window", r.Name))
+		}
+	}
+	return &Engine{
+		store:  store,
+		rules:  rules,
+		states: make([]ruleState, len(rules)),
+		events: make([]Event, historyCap),
+	}
+}
+
+// SetSink streams every subsequent transition to w as one JSON line each.
+// Pass nil to stop streaming. The caller owns buffering and closing of w.
+func (e *Engine) SetSink(w io.Writer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = w
+}
+
+// Err returns the first sink write error, if any; once a write fails the
+// sink is dropped and evaluation continues in-memory.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// value evaluates q over window d at the finest resolution whose ring spans
+// d, requiring full coverage.
+func (e *Engine) value(q tsdb.Query, d time.Duration) (float64, bool) {
+	for ri := 0; ri < e.store.NumResolutions(); ri++ {
+		res := e.store.ResolutionAt(ri)
+		if time.Duration(res.Slots)*res.Step < d {
+			continue
+		}
+		v, covered, ok := e.store.Value(q, ri, d)
+		if ok && covered >= d {
+			return v, true
+		}
+		// A finer ring that spans d but is not yet full will not be
+		// rescued by a coarser one (same data, coarser buckets): no data.
+		return 0, false
+	}
+	return 0, false
+}
+
+// breach evaluates one rule: its current value (short-window value for burn
+// rules), whether the condition holds, and whether enough data existed to
+// decide.
+func (e *Engine) breach(r Rule) (value float64, breaching, ok bool) {
+	thr := r.threshold()
+	if r.Objective > 0 {
+		short, okS := e.value(r.Query, r.Short)
+		long, okL := e.value(r.Query, r.Long)
+		if !okS || !okL {
+			return short, false, okS
+		}
+		return short, short > thr && long > thr, true
+	}
+	v, ok := e.value(r.Query, r.Window)
+	if !ok {
+		return 0, false, false
+	}
+	if r.Op == Below {
+		return v, v < thr, true
+	}
+	return v, v > thr, true
+}
+
+// Eval evaluates every rule at now, advancing state machines and emitting
+// transition events. Call it after each store Sample (or on the wall-clock
+// cadence of the live sampler).
+func (e *Engine) Eval(now time.Time) {
+	nano := now.UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.rules {
+		r := &e.rules[i]
+		st := &e.states[i]
+		v, breaching, ok := e.breach(*r)
+		st.lastValue, st.lastOK = v, ok
+		switch {
+		case breaching && st.state == Inactive:
+			st.state = Pending
+			st.pendingSince = nano
+			e.emit(now, r, st, Inactive, Pending)
+			fallthrough
+		case breaching && st.state == Pending:
+			if nano-st.pendingSince >= int64(r.For) {
+				st.state = Firing
+				st.firingSince = nano
+				st.fired++
+				e.emit(now, r, st, Pending, Firing)
+			}
+		case !breaching && st.state != Inactive:
+			from := st.state
+			if st.state == Firing {
+				st.firingNS += nano - st.firingSince
+			}
+			st.state = Inactive
+			e.emit(now, r, st, from, Inactive)
+		}
+	}
+}
+
+// emit records one transition in the ring and streams it to the sink (mu
+// held).
+func (e *Engine) emit(now time.Time, r *Rule, st *ruleState, from, to State) {
+	ev := Event{
+		Time:      now,
+		TMS:       now.UnixNano() / int64(time.Millisecond),
+		Rule:      r.Name,
+		From:      from.String(),
+		To:        to.String(),
+		Value:     st.lastValue,
+		Threshold: r.threshold(),
+	}
+	e.events[(e.evHead+e.evLen)%historyCap] = ev
+	if e.evLen < historyCap {
+		e.evLen++
+	} else {
+		e.evHead = (e.evHead + 1) % historyCap
+	}
+	if e.sink != nil {
+		e.buf = appendEvent(e.buf[:0], ev)
+		if _, err := e.sink.Write(e.buf); err != nil {
+			e.err = fmt.Errorf("alert: sink: %w", err)
+			e.sink = nil
+		}
+	}
+}
+
+// appendEvent renders one transition as a single JSON line with a fixed
+// field order, so alert streams are byte-for-byte deterministic under the
+// simulated clock (CI greps them).
+func appendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"kind":"alert","t_ms":`...)
+	b = strconv.AppendInt(b, ev.TMS, 10)
+	b = append(b, `,"rule":"`...)
+	b = append(b, ev.Rule...)
+	b = append(b, `","from":"`...)
+	b = append(b, ev.From...)
+	b = append(b, `","to":"`...)
+	b = append(b, ev.To...)
+	b = append(b, `","value":`...)
+	b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	b = append(b, `,"threshold":`...)
+	b = strconv.AppendFloat(b, ev.Threshold, 'g', -1, 64)
+	b = append(b, "}\n"...)
+	return b
+}
+
+// Events returns the retained transitions, oldest first.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, e.evLen)
+	for i := 0; i < e.evLen; i++ {
+		out[i] = e.events[(e.evHead+i)%historyCap]
+	}
+	return out
+}
+
+// Summaries reports every rule's standing as of now (now extends any
+// ongoing firing spell's duration).
+func (e *Engine) Summaries(now time.Time) []Summary {
+	nano := now.UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Summary, len(e.rules))
+	for i := range e.rules {
+		st := e.states[i]
+		firing := st.firingNS
+		if st.state == Firing {
+			firing += nano - st.firingSince
+		}
+		out[i] = Summary{
+			Rule:      e.rules[i].Name,
+			State:     st.state.String(),
+			Value:     st.lastValue,
+			HasValue:  st.lastOK,
+			Threshold: e.rules[i].threshold(),
+			Fired:     st.fired,
+			FiringNS:  firing,
+		}
+	}
+	return out
+}
+
+// Defaults parameterizes DefaultRules.
+type Defaults struct {
+	// HitRateObjective is the SLO hit-rate target in (0, 1).
+	HitRateObjective float64
+	// BurnFactor scales the burn-rate threshold (2 = budget burning at
+	// twice the sustainable rate).
+	BurnFactor float64
+	// Short and Long are the burn-rate windows (also reused as the static
+	// rules' window and For, respectively).
+	Short, Long time.Duration
+	// P99 is the request-latency p99 threshold.
+	P99 time.Duration
+}
+
+// DefaultRules returns the standard rule set over the standard signals:
+//
+//	hit-rate-burn    multi-window burn rate on the miss ratio
+//	latency-p99      windowed request-latency p99 above d.P99
+//	lock-wait-share  engine lock wait above half a core
+//	shard-skew       hottest shard at ≥2× its uniform share
+func DefaultRules(d Defaults) []Rule {
+	return []Rule{
+		{
+			Name:       "hit-rate-burn",
+			Query:      tsdb.Query{Kind: tsdb.Ratio, Num: []string{"engine_misses"}, Den: []string{"engine_hits", "engine_misses"}},
+			Objective:  d.HitRateObjective,
+			BurnFactor: d.BurnFactor,
+			Short:      d.Short,
+			Long:       d.Long,
+		},
+		{
+			Name:      "latency-p99",
+			Query:     tsdb.Query{Kind: tsdb.Quantile, Num: []string{"request_latency_ns"}, Q: 0.99},
+			Op:        Above,
+			Threshold: float64(d.P99.Nanoseconds()),
+			Window:    d.Short,
+			For:       d.Short,
+		},
+		{
+			Name:      "lock-wait-share",
+			Query:     tsdb.Query{Kind: tsdb.Rate, Num: []string{"engine_lock_wait_ns"}, Scale: 1e-9},
+			Op:        Above,
+			Threshold: 0.5,
+			Window:    d.Short,
+			For:       d.Short,
+		},
+		{
+			Name:      "shard-skew",
+			Query:     tsdb.Query{Kind: tsdb.Skew, Num: []string{"engine_hits", "engine_misses", "engine_coalesced"}},
+			Op:        Above,
+			Threshold: 2.0,
+			Window:    d.Short,
+			For:       d.Long,
+		},
+	}
+}

@@ -1,0 +1,240 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/tsdb"
+)
+
+// harness wires a registry, a 1s-step store and an engine, driven by a
+// simulated clock: tick(f) runs f, advances one second and evaluates.
+type harness struct {
+	reg    *obs.Registry
+	store  *tsdb.Store
+	engine *Engine
+	now    time.Time
+}
+
+func newHarness(t *testing.T, rules []Rule) *harness {
+	t.Helper()
+	reg := obs.NewRegistry()
+	store := tsdb.New(tsdb.Config{Registry: reg,
+		Resolutions: []tsdb.Resolution{{Step: time.Second, Slots: 64}}})
+	h := &harness{reg: reg, store: store, now: time.Unix(0, 0)}
+	store.Sample(h.now)
+	h.engine = New(store, rules)
+	return h
+}
+
+func (h *harness) tick(f func()) {
+	if f != nil {
+		f()
+	}
+	h.now = h.now.Add(time.Second)
+	h.store.Sample(h.now)
+	h.engine.Eval(h.now)
+}
+
+func staticRule(window, forD time.Duration) Rule {
+	return Rule{
+		Name:      "hit-rate-low",
+		Query:     tsdb.Query{Kind: tsdb.Ratio, Num: []string{"engine_hits"}, Den: []string{"engine_hits", "engine_misses"}},
+		Op:        Below,
+		Threshold: 0.5,
+		Window:    window,
+		For:       forD,
+	}
+}
+
+func TestStaticRuleLifecycle(t *testing.T) {
+	h := newHarness(t, []Rule{staticRule(2*time.Second, 2*time.Second)})
+	hits := h.reg.Counter("engine_hits")
+	misses := h.reg.Counter("engine_misses")
+	var sink bytes.Buffer
+	h.engine.SetSink(&sink)
+
+	healthy := func() { hits.Add(90); misses.Add(10) }
+	degraded := func() { hits.Add(10); misses.Add(90) }
+
+	// Warm-up + healthy traffic: inactive throughout.
+	for i := 0; i < 4; i++ {
+		h.tick(healthy)
+	}
+	if s := h.engine.Summaries(h.now)[0]; s.State != "inactive" || s.Fired != 0 {
+		t.Fatalf("healthy state = %+v", s)
+	}
+
+	// Degrade. The 2s window still blends a healthy second at first; it
+	// goes pending once the window is all-degraded, and fires after For.
+	for i := 0; i < 6; i++ {
+		h.tick(degraded)
+	}
+	s := h.engine.Summaries(h.now)[0]
+	if s.State != "firing" || s.Fired != 1 {
+		t.Fatalf("degraded state = %+v, want firing once", s)
+	}
+
+	// Recover: resolves back to inactive and firing duration stops accruing.
+	for i := 0; i < 6; i++ {
+		h.tick(healthy)
+	}
+	s = h.engine.Summaries(h.now)[0]
+	if s.State != "inactive" || s.Fired != 1 || s.FiringNS <= 0 {
+		t.Fatalf("recovered state = %+v", s)
+	}
+
+	// The sink saw the full lifecycle in order.
+	events := strings.TrimSpace(sink.String())
+	var seq []string
+	for _, line := range strings.Split(events, "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+			From string `json:"from"`
+			To   string `json:"to"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Kind != "alert" {
+			t.Fatalf("event kind = %q", ev.Kind)
+		}
+		seq = append(seq, ev.From+">"+ev.To)
+	}
+	want := []string{"inactive>pending", "pending>firing", "firing>inactive"}
+	if strings.Join(seq, " ") != strings.Join(want, " ") {
+		t.Fatalf("transition sequence = %v, want %v", seq, want)
+	}
+}
+
+func TestBurnRateNeedsBothWindows(t *testing.T) {
+	rule := Rule{
+		Name:       "hit-rate-burn",
+		Query:      tsdb.Query{Kind: tsdb.Ratio, Num: []string{"engine_misses"}, Den: []string{"engine_hits", "engine_misses"}},
+		Objective:  0.9,
+		BurnFactor: 2,
+		Short:      2 * time.Second,
+		Long:       10 * time.Second,
+	}
+	h := newHarness(t, []Rule{rule})
+	hits := h.reg.Counter("engine_hits")
+	misses := h.reg.Counter("engine_misses")
+
+	healthy := func() { hits.Add(95); misses.Add(5) }   // miss ratio 0.05 < 0.2
+	degraded := func() { hits.Add(40); misses.Add(60) } // miss ratio 0.6 > 0.2
+
+	// Long window not covered yet: a degraded burst cannot fire.
+	for i := 0; i < 3; i++ {
+		h.tick(degraded)
+	}
+	if s := h.engine.Summaries(h.now)[0]; s.State != "inactive" {
+		t.Fatalf("fired before long window was covered: %+v", s)
+	}
+
+	// Healthy long enough to cover the long window: still quiet, and a
+	// 1-tick blip breaches the short window but not the long one.
+	for i := 0; i < 10; i++ {
+		h.tick(healthy)
+	}
+	h.tick(degraded)
+	if s := h.engine.Summaries(h.now)[0]; s.State != "inactive" {
+		t.Fatalf("short-window blip alone fired: %+v", s)
+	}
+
+	// Sustained degradation pushes both windows over: fires.
+	for i := 0; i < 12; i++ {
+		h.tick(degraded)
+	}
+	s := h.engine.Summaries(h.now)[0]
+	if s.State != "firing" || s.Fired != 1 {
+		t.Fatalf("sustained burn state = %+v, want firing", s)
+	}
+	if want := rule.BurnFactor * (1 - rule.Objective); s.Threshold != want {
+		t.Fatalf("burn threshold = %v, want %v", s.Threshold, want)
+	}
+}
+
+// TestDeterministicFiringCounts runs the same traffic twice and requires
+// identical event streams — the property CI's same-seed smoke pins.
+func TestDeterministicFiringCounts(t *testing.T) {
+	run := func() string {
+		h := newHarness(t, DefaultRules(Defaults{
+			HitRateObjective: 0.9, BurnFactor: 2,
+			Short: 2 * time.Second, Long: 10 * time.Second,
+			P99: 250 * time.Millisecond,
+		}))
+		hits := h.reg.Counter("engine_hits")
+		misses := h.reg.Counter("engine_misses")
+		var sink bytes.Buffer
+		h.engine.SetSink(&sink)
+		for i := 0; i < 40; i++ {
+			bad := i >= 15 && i < 30
+			h.tick(func() {
+				if bad {
+					hits.Add(30)
+					misses.Add(70)
+				} else {
+					hits.Add(97)
+					misses.Add(3)
+				}
+			})
+		}
+		return sink.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("event streams diverged:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"rule":"hit-rate-burn","from":"pending","to":"firing"`) {
+		t.Fatalf("degraded run never fired hit-rate-burn:\n%s", a)
+	}
+}
+
+func TestHandlerShape(t *testing.T) {
+	h := newHarness(t, []Rule{staticRule(time.Second, 0)})
+	hits := h.reg.Counter("engine_hits")
+	misses := h.reg.Counter("engine_misses")
+	for i := 0; i < 3; i++ {
+		h.tick(func() { hits.Add(10); misses.Add(90) })
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(h.engine, h.store.LastTime).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/alerts", nil))
+	var out struct {
+		Rules  []Summary `json:"rules"`
+		Events []Event   `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out.Rules) != 1 || out.Rules[0].Rule != "hit-rate-low" {
+		t.Fatalf("rules = %+v", out.Rules)
+	}
+	if out.Rules[0].State != "firing" {
+		t.Fatalf("state = %q, want firing (For=0 fires immediately)", out.Rules[0].State)
+	}
+	if len(out.Events) < 2 {
+		t.Fatalf("events = %+v, want pending+firing transitions", out.Events)
+	}
+}
+
+func TestNewPanicsOnBadRules(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := tsdb.New(tsdb.Config{Registry: reg})
+	mustPanic := func(name string, rules []Rule) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		New(store, rules)
+	}
+	mustPanic("unnamed", []Rule{{Window: time.Second}})
+	mustPanic("static without window", []Rule{{Name: "x"}})
+	mustPanic("burn without windows", []Rule{{Name: "x", Objective: 0.9}})
+}

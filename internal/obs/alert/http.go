@@ -1,0 +1,30 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+type alertsPayload struct {
+	Rules  []Summary `json:"rules"`
+	Events []Event   `json:"events"`
+}
+
+// Handler serves the engine's rule summaries and recent transitions as JSON
+// at /debug/alerts. Ongoing firing durations are extended to the store's
+// last sample time, not the wall clock, so deterministic runs render
+// deterministic durations.
+func Handler(e *Engine, lastTime func() time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := lastTime()
+		if now.IsZero() {
+			now = time.Now()
+		}
+		out := alertsPayload{Rules: e.Summaries(now), Events: e.Events()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

@@ -101,6 +101,23 @@ func (h *Histogram) bucket(v int64) int {
 	return len(h.bounds)
 }
 
+// ReadInto copies the per-bucket counts into dst — which must have room for
+// len(Bounds())+1 values — and returns the total count and sum, without
+// allocating. It is the sampling-path alternative to Snapshot for callers
+// (the live-telemetry store) that own a reusable buffer. Like Snapshot, the
+// reads are individually atomic but not mutually consistent under
+// concurrent Observe traffic.
+func (h *Histogram) ReadInto(dst []int64) (count, sum int64) {
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+	}
+	return h.count.Load(), h.sum.Load()
+}
+
+// Bounds returns the histogram's bucket bounds. The slice is the
+// histogram's own immutable backing array; callers must not modify it.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

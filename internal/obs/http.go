@@ -6,32 +6,85 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 	"time"
 )
 
-// Handler returns the observability HTTP handler for a registry:
+// Mux is the observability HTTP mux: an http.ServeMux that remembers every
+// mounted endpoint and serves a plain-text index of them at "/", so
+// operators pointed at the port discover what is mounted instead of 404-ing.
+// NewMux pre-mounts the registry exposition and pprof; commands add their
+// own endpoints (/debug/engine, /debug/timeseries, /debug/alerts) with
+// Handle before serving it via ServeHandler.
+type Mux struct {
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	endpoints []endpoint
+}
+
+type endpoint struct{ path, desc string }
+
+// NewMux returns a mux serving the standard observability surface for r:
 //
+//	/               index of every mounted endpoint
 //	/metrics        plain-text exposition of every instrument
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // A dedicated mux is used so commands never expose pprof by accident through
 // http.DefaultServeMux.
-func Handler(r *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.WriteText(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "costcache observability: /metrics, /debug/pprof/")
-	})
-	return mux
+func NewMux(r *Registry) *Mux {
+	m := &Mux{mux: http.NewServeMux()}
+	m.Handle("/metrics", "plain-text metric exposition", http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.WriteText(w)
+		}))
+	m.Handle("/debug/pprof/", "Go profiling endpoints (profile, heap, mutex, block, trace)",
+		http.HandlerFunc(pprof.Index))
+	m.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.mux.HandleFunc("/", m.index)
+	return m
 }
+
+// Handle mounts h at path and records it (with a one-line description) in
+// the root index.
+func (m *Mux) Handle(path, desc string, h http.Handler) {
+	m.mux.Handle(path, h)
+	m.mu.Lock()
+	m.endpoints = append(m.endpoints, endpoint{path, desc})
+	m.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) { m.mux.ServeHTTP(w, r) }
+
+// index lists the mounted endpoints at exactly "/"; anything else that fell
+// through the mux is a genuine 404.
+func (m *Mux) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	m.mu.Lock()
+	eps := make([]endpoint, len(m.endpoints))
+	copy(eps, m.endpoints)
+	m.mu.Unlock()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].path < eps[j].path })
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "costcache observability endpoints:")
+	for _, e := range eps {
+		fmt.Fprintf(w, "  %-20s %s\n", e.path, e.desc)
+	}
+}
+
+// Handler returns the standard observability handler for a registry — a
+// NewMux with no extra endpoints.
+func Handler(r *Registry) http.Handler { return NewMux(r) }
 
 // Server is a running observability endpoint. Close it when the command is
 // done so in-flight scrapes finish and the port frees deterministically.

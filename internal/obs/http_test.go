@@ -41,3 +41,42 @@ func TestServeAndGracefulClose(t *testing.T) {
 		t.Fatalf("second close: %v", err)
 	}
 }
+
+// TestMuxIndex checks the root index lists every mounted endpoint — the
+// discoverability surface operators land on first — and that unknown paths
+// still 404.
+func TestMuxIndex(t *testing.T) {
+	mux := NewMux(NewRegistry())
+	mux.Handle("/debug/engine", "engine analytics", http.NotFoundHandler())
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/")
+	if code != http.StatusOK {
+		t.Fatalf("index returned %d, want 200", code)
+	}
+	for _, ep := range []string{"/metrics", "/debug/pprof/", "/debug/engine"} {
+		if !strings.Contains(body, ep) {
+			t.Errorf("index missing endpoint %s:\n%s", ep, body)
+		}
+	}
+	if code, _ := get("/no-such-endpoint"); code != http.StatusNotFound {
+		t.Errorf("unknown path returned %d, want 404", code)
+	}
+}

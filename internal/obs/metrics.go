@@ -139,6 +139,51 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// HistogramExemplars is Histogram with exemplar retention: the histogram is
+// created via NewHistogramExemplars on first use. As with Histogram, the
+// first registration wins — a name already registered without exemplars
+// keeps its exemplar-free instance.
+func (r *Registry) HistogramExemplars(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogramExemplars(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// VisitCounters calls f for every registered counter, in no particular
+// order, without allocating — the iteration the live-telemetry sampler uses
+// to discover series. f runs under the registry mutex and must not call
+// back into get-or-create methods of the same registry.
+func (r *Registry) VisitCounters(f func(name string, c *Counter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		f(n, c)
+	}
+}
+
+// VisitGauges is VisitCounters for gauges.
+func (r *Registry) VisitGauges(f func(name string, g *Gauge)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, g := range r.gauges {
+		f(n, g)
+	}
+}
+
+// VisitHistograms is VisitCounters for histograms.
+func (r *Registry) VisitHistograms(f func(name string, h *Histogram)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, h := range r.hists {
+		f(n, h)
+	}
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry.
 type Snapshot struct {
 	Counters   map[string]int64

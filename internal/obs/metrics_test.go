@@ -211,3 +211,76 @@ func TestConcurrentInstruments(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", got)
 	}
 }
+
+// TestDeltaMidWindowRegistration pins the snapshot/delta contract telemetry
+// windows rely on: a series registered between two snapshots appears in the
+// delta counting from zero, never panics, and never skews existing series.
+func TestDeltaMidWindowRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("old").Add(5)
+	before := r.Snapshot()
+
+	r.Counter("old").Add(2)
+	r.Counter("fresh").Add(7) // registered mid-window
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []int64{10}).Observe(4)
+	d := r.Snapshot().Delta(before)
+
+	if got := d.Counters["old"]; got != 2 {
+		t.Errorf("old delta = %d, want 2", got)
+	}
+	if got := d.Counters["fresh"]; got != 7 {
+		t.Errorf("fresh series delta = %d, want 7 (counts from zero)", got)
+	}
+	if got := d.Gauges["g"]; got != 3 {
+		t.Errorf("fresh gauge = %d, want 3", got)
+	}
+	if h := d.Histograms["h"]; h.Count != 1 || h.Sum != 4 {
+		t.Errorf("fresh histogram delta = %+v, want count 1 sum 4", h)
+	}
+}
+
+// TestVisitAndReadInto covers the allocation-free iteration surface the
+// tsdb sampler uses: visitors see every instrument, and ReadInto matches
+// Snapshot without allocating.
+func TestVisitAndReadInto(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Counter("b").Add(2)
+	r.Gauge("g").Set(9)
+	h := r.HistogramExemplars("h", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	seen := map[string]int64{}
+	r.VisitCounters(func(n string, c *Counter) { seen[n] = c.Value() })
+	if seen["a"] != 1 || seen["b"] != 2 || len(seen) != 2 {
+		t.Errorf("VisitCounters saw %v", seen)
+	}
+	gauges := 0
+	r.VisitGauges(func(n string, g *Gauge) { gauges++ })
+	if gauges != 1 {
+		t.Errorf("VisitGauges saw %d gauges, want 1", gauges)
+	}
+	r.VisitHistograms(func(n string, vh *Histogram) {
+		if vh != h {
+			t.Errorf("VisitHistograms returned a different instance for %s", n)
+		}
+	})
+
+	dst := make([]int64, len(h.Bounds())+1)
+	count, sum := h.ReadInto(dst)
+	snap := h.Snapshot()
+	if count != snap.Count || sum != snap.Sum {
+		t.Errorf("ReadInto totals (%d, %d) != snapshot (%d, %d)", count, sum, snap.Count, snap.Sum)
+	}
+	for i, v := range dst {
+		if v != snap.Counts[i] {
+			t.Errorf("ReadInto bucket %d = %d, want %d", i, v, snap.Counts[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { h.ReadInto(dst) }); allocs != 0 {
+		t.Errorf("ReadInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

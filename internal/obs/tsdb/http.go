@@ -1,0 +1,73 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// resolutionPayload is one ring's worth of rendered signals.
+type resolutionPayload struct {
+	StepMS    int64                `json:"step_ms"`
+	Slots     int                  `json:"slots"`
+	Buckets   int                  `json:"buckets"`     // completed buckets rendered
+	EndUnixMS int64                `json:"end_unix_ms"` // end time of the last rendered bucket
+	Signals   map[string][]float64 `json:"signals"`     // signal name → per-bucket values, oldest first
+	Windowed  map[string]float64   `json:"windowed"`    // signal name → value over the full rendered window
+}
+
+type timeseriesPayload struct {
+	Samples     int64               `json:"samples"`
+	LastUnixMS  int64               `json:"last_unix_ms"`
+	Resolutions []resolutionPayload `json:"resolutions"`
+}
+
+// Handler serves the store's standard signals as JSON at /debug/timeseries.
+// Query parameters: n caps the number of trailing buckets rendered per
+// resolution (default 60).
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 60
+		if v := r.URL.Query().Get("n"); v != "" {
+			if p, err := strconv.Atoi(v); err == nil && p > 0 {
+				n = p
+			}
+		}
+		sigs := StandardSignals()
+		out := timeseriesPayload{Samples: s.Samples()}
+		if t := s.LastTime(); !t.IsZero() {
+			out.LastUnixMS = t.UnixNano() / int64(time.Millisecond)
+		}
+		for ri := 0; ri < s.NumResolutions(); ri++ {
+			res := s.ResolutionAt(ri)
+			rp := resolutionPayload{
+				StepMS:   int64(res.Step / time.Millisecond),
+				Slots:    res.Slots,
+				Signals:  make(map[string][]float64, len(sigs)),
+				Windowed: make(map[string]float64, len(sigs)),
+			}
+			for _, sig := range sigs {
+				points, end := s.SeriesPoints(sig.Query, ri, n)
+				if points == nil {
+					continue
+				}
+				rp.Signals[sig.Name] = points
+				if len(points) > rp.Buckets {
+					rp.Buckets = len(points)
+				}
+				if !end.IsZero() {
+					rp.EndUnixMS = end.UnixNano() / int64(time.Millisecond)
+				}
+				if v, _, ok := s.Value(sig.Query, ri, time.Duration(n)*res.Step); ok {
+					rp.Windowed[sig.Name] = v
+				}
+			}
+			out.Resolutions = append(out.Resolutions, rp)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

@@ -1,0 +1,304 @@
+package tsdb
+
+import (
+	"time"
+)
+
+// QueryKind selects how a Query combines windowed series.
+type QueryKind int
+
+const (
+	// Rate is sum(Num deltas over the window) / window seconds × Scale.
+	Rate QueryKind = iota
+	// Ratio is sum(Num deltas) / sum(Den deltas) × Scale over the window
+	// (undefined — ok=false — when the denominator is zero).
+	Ratio
+	// Skew groups the Num base names' series by their label block (the
+	// engine's per-shard labels), computes each group's share of the window
+	// total, and returns max share / uniform share: 1.0 is perfectly
+	// balanced, ≥2 matches the hot-shard detector's notion of hot.
+	Skew
+	// Quantile is the windowed q-quantile upper bound of the histogram
+	// named Num[0], in the histogram's native unit × Scale.
+	Quantile
+)
+
+// Query is a derived windowed signal over the store. Num and Den name
+// metrics by base name: every label variant (engine_hits{shard="3"}, ...)
+// is aggregated in.
+type Query struct {
+	Kind QueryKind
+	Num  []string
+	Den  []string // Ratio only
+	Q    float64  // Quantile only, in [0, 1]
+	// Scale multiplies the result (0 means 1) — e.g. 1e-9 turns a
+	// nanoseconds-per-second rate into a share of one core.
+	Scale float64
+}
+
+// window resolves the trailing window of completed buckets for resolution
+// ri: buckets [from, to] inclusive, where a bucket is complete once its end
+// time is at or before the last sample time. ok=false when no completed
+// bucket is available.
+func (s *Store) window(ri int, d time.Duration) (from, to int64, ok bool) {
+	if s.samples == 0 || s.cur[ri] < 0 {
+		return 0, 0, false
+	}
+	step := int64(s.res[ri].Step)
+	want := int64(d) / step
+	if want < 1 {
+		want = 1
+	}
+	// Last bucket whose end (to+1)·step is covered by the last sample.
+	to = s.lastNano/step - 1
+	if to > s.cur[ri] {
+		to = s.cur[ri]
+	}
+	from = to - want + 1
+	if from < s.oldest[ri] {
+		from = s.oldest[ri]
+	}
+	if to < from {
+		return 0, 0, false
+	}
+	return from, to, true
+}
+
+// sumBase adds up the window deltas of every series whose base name is
+// base (mu held).
+func (s *Store) sumBase(ri int, from, to int64, base string) int64 {
+	var sum int64
+	slots := int64(s.res[ri].Slots)
+	for _, cs := range s.clist {
+		if cs.base != base {
+			continue
+		}
+		for b := from; b <= to; b++ {
+			sum += cs.rings[ri][int(b%slots)]
+		}
+	}
+	return sum
+}
+
+// Value evaluates q over the trailing window d of resolution ri, using
+// completed buckets only. covered is how much of d the available buckets
+// span — callers needing a fully populated window (burn-rate rules) check
+// covered >= d. ok is false when the window holds no data or the value is
+// undefined (zero denominator, empty histogram window).
+func (s *Store) Value(q Query, ri int, d time.Duration) (v float64, covered time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.valueLocked(q, ri, d)
+}
+
+func (s *Store) valueLocked(q Query, ri int, d time.Duration) (float64, time.Duration, bool) {
+	from, to, ok := s.window(ri, d)
+	if !ok {
+		return 0, 0, false
+	}
+	step := s.res[ri].Step
+	covered := time.Duration(to-from+1) * step
+	scale := q.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	switch q.Kind {
+	case Rate:
+		var sum int64
+		for _, base := range q.Num {
+			sum += s.sumBase(ri, from, to, base)
+		}
+		return float64(sum) / covered.Seconds() * scale, covered, true
+	case Ratio:
+		var num, den int64
+		for _, base := range q.Num {
+			num += s.sumBase(ri, from, to, base)
+		}
+		for _, base := range q.Den {
+			den += s.sumBase(ri, from, to, base)
+		}
+		if den == 0 {
+			return 0, covered, false
+		}
+		return float64(num) / float64(den) * scale, covered, true
+	case Skew:
+		v, ok := s.skewLocked(ri, from, to, q.Num)
+		return v * scale, covered, ok
+	case Quantile:
+		v, ok := s.quantileLocked(ri, from, to, q.Num[0], q.Q)
+		return float64(v) * scale, covered, ok
+	}
+	return 0, covered, false
+}
+
+// skewLocked computes max label-group share / uniform share for the given
+// base names over [from, to]. The scratch map persists across calls so the
+// steady state does not allocate.
+func (s *Store) skewLocked(ri int, from, to int64, bases []string) (float64, bool) {
+	clear(s.skew)
+	slots := int64(s.res[ri].Slots)
+	var total float64
+	for _, cs := range s.clist {
+		match := false
+		for _, b := range bases {
+			if cs.base == b {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		var sum int64
+		for b := from; b <= to; b++ {
+			sum += cs.rings[ri][int(b%slots)]
+		}
+		s.skew[cs.label] += float64(sum)
+		total += float64(sum)
+	}
+	groups := len(s.skew)
+	if groups == 0 || total <= 0 {
+		return 0, false
+	}
+	var max float64
+	for _, v := range s.skew {
+		if v > max {
+			max = v
+		}
+	}
+	return (max / total) * float64(groups), true
+}
+
+// quantileLocked computes the windowed q-quantile upper bound of the
+// histogram base name over [from, to], summing label variants. Matches
+// obs.HistogramSnapshot.Quantile semantics on the window's bucket deltas.
+func (s *Store) quantileLocked(ri int, from, to int64, base string, q float64) (int64, bool) {
+	slots := int64(s.res[ri].Slots)
+	var bounds []int64
+	for i := range s.qscratch {
+		s.qscratch[i] = 0
+	}
+	var count int64
+	for _, hs := range s.hlist {
+		if hs.base != base {
+			continue
+		}
+		bounds = hs.bounds
+		nb := len(hs.bounds) + 1
+		for j := 0; j < nb; j++ {
+			ring := hs.rings[ri][j]
+			for b := from; b <= to; b++ {
+				s.qscratch[j] += ring[int(b%slots)]
+			}
+		}
+		for b := from; b <= to; b++ {
+			count += hs.rings[ri][nb][int(b%slots)]
+		}
+	}
+	if bounds == nil || count == 0 || len(bounds) == 0 {
+		return 0, false
+	}
+	rank := int64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var cum int64
+	for i := 0; i <= len(bounds); i++ {
+		cum += s.qscratch[i]
+		if rank < cum {
+			if i < len(bounds) {
+				return bounds[i], true
+			}
+			return bounds[len(bounds)-1], true
+		}
+	}
+	return bounds[len(bounds)-1], true
+}
+
+// SeriesPoints renders q per completed bucket over the trailing n buckets
+// of resolution ri, oldest first, along with the end time of the last
+// bucket. Buckets where the value is undefined render as 0. The render path
+// may allocate; it is not part of the sampling fast path.
+func (s *Store) SeriesPoints(q Query, ri, n int) (points []float64, end time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	step := s.res[ri].Step
+	from, to, ok := s.window(ri, time.Duration(n)*step)
+	if !ok {
+		return nil, time.Time{}
+	}
+	points = make([]float64, 0, to-from+1)
+	for b := from; b <= to; b++ {
+		// Evaluate the query over the single bucket b by shrinking the
+		// window to it.
+		v, _, _ := s.bucketValue(q, ri, b)
+		points = append(points, v)
+	}
+	return points, time.Unix(0, (to+1)*int64(step))
+}
+
+// bucketValue evaluates q over exactly bucket b (mu held).
+func (s *Store) bucketValue(q Query, ri int, b int64) (float64, time.Duration, bool) {
+	step := s.res[ri].Step
+	scale := q.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	switch q.Kind {
+	case Rate:
+		var sum int64
+		for _, base := range q.Num {
+			sum += s.sumBase(ri, b, b, base)
+		}
+		return float64(sum) / step.Seconds() * scale, step, true
+	case Ratio:
+		var num, den int64
+		for _, base := range q.Num {
+			num += s.sumBase(ri, b, b, base)
+		}
+		for _, base := range q.Den {
+			den += s.sumBase(ri, b, b, base)
+		}
+		if den == 0 {
+			return 0, step, false
+		}
+		return float64(num) / float64(den) * scale, step, true
+	case Skew:
+		v, ok := s.skewLocked(ri, b, b, q.Num)
+		return v * scale, step, ok
+	case Quantile:
+		v, ok := s.quantileLocked(ri, b, b, q.Num[0], q.Q)
+		return float64(v) * scale, step, ok
+	}
+	return 0, step, false
+}
+
+// Signal is a named standard query.
+type Signal struct {
+	Name  string
+	Query Query
+}
+
+// engineOps are the engine counters that together count every request.
+var engineOps = []string{"engine_hits", "engine_misses", "engine_coalesced"}
+
+// StandardSignals returns the derived signals every live-telemetry consumer
+// shares — the /debug/timeseries payload, the default alert rules and the
+// cachetop panels all draw from this set, keyed by these names.
+func StandardSignals() []Signal {
+	return []Signal{
+		{"ops_per_s", Query{Kind: Rate, Num: engineOps}},
+		{"hit_rate", Query{Kind: Ratio, Num: []string{"engine_hits"}, Den: []string{"engine_hits", "engine_misses"}}},
+		{"miss_ratio", Query{Kind: Ratio, Num: []string{"engine_misses"}, Den: []string{"engine_hits", "engine_misses"}}},
+		{"cost_per_access", Query{Kind: Ratio, Num: []string{"engine_cost_paid"}, Den: []string{"engine_hits", "engine_misses"}}},
+		{"cost_per_s", Query{Kind: Rate, Num: []string{"engine_cost_paid"}}},
+		{"evictions_per_s", Query{Kind: Rate, Num: []string{"engine_evictions"}}},
+		{"coalesced_per_s", Query{Kind: Rate, Num: []string{"engine_coalesced"}}},
+		// Nanoseconds of lock wait per second, scaled to a share of one core.
+		{"lock_wait_share", Query{Kind: Rate, Num: []string{"engine_lock_wait_ns"}, Scale: 1e-9}},
+		{"shard_skew", Query{Kind: Skew, Num: engineOps}},
+		{"latency_p50_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.50}},
+		{"latency_p95_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.95}},
+		{"latency_p99_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.99}},
+	}
+}

@@ -1,0 +1,346 @@
+// Package tsdb is the live half of the observability substrate: a
+// fixed-memory, multi-resolution ring-buffer time-series store over an
+// obs.Registry. A Store periodically samples every registered instrument,
+// turning cumulative counters into per-bucket deltas (and histograms into
+// per-bucket count deltas) across a set of resolutions — e.g. 1s×120 and
+// 10s×360 — so windowed rates, ratios (hit-rate, cost-paid per access,
+// lock-wait share), per-shard skew and windowed latency quantiles can be
+// read while traffic is flowing instead of reconstructed after the run.
+//
+// The steady-state sampling path allocates nothing: rings are fixed at
+// construction, instruments are discovered once (allocating only when a new
+// series first appears), and each Sample is a pass of atomic loads into
+// pre-allocated slots. Sampling takes an explicit timestamp, so tests and
+// deterministic harnesses (cachebench -ts.everyops) drive a simulated clock
+// while live runs attach a wall-clock ticker via Start.
+//
+// Queries (Value, Points) aggregate label variants of a base metric name —
+// engine_hits{shard="3"} rolls up into engine_hits — and are evaluated over
+// trailing windows of *completed* buckets only, so partially filled buckets
+// never dilute a rate. The alert rule engine (internal/obs/alert) and the
+// /debug/timeseries endpoint are both thin layers over these queries.
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"costcache/internal/obs"
+)
+
+// Resolution is one ring: Slots buckets of Step each.
+type Resolution struct {
+	Step  time.Duration
+	Slots int
+}
+
+// Resolutions returns the standard two-ring layout over a base step: a fine
+// ring (step × 120) for dashboards and fast alert windows, and a coarse ring
+// (10·step × 360, an hour at the default 1s step) for slow burn windows.
+func Resolutions(step time.Duration) []Resolution {
+	return []Resolution{{Step: step, Slots: 120}, {Step: 10 * step, Slots: 360}}
+}
+
+// Config describes a Store.
+type Config struct {
+	// Registry is the instrument source. Required.
+	Registry *obs.Registry
+	// Resolutions are the ring layouts, finest first. Empty means
+	// Resolutions(time.Second).
+	Resolutions []Resolution
+}
+
+// Store is a fixed-memory multi-resolution time-series store. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+	res []Resolution
+
+	// cur[i] is resolution i's current (in-progress) absolute bucket index
+	// (time / step); oldest[i] the oldest bucket still in the ring. -1
+	// before the first sample.
+	cur, oldest []int64
+
+	counters map[string]*counterSeries
+	hists    map[string]*histSeries
+	clist    []*counterSeries
+	hlist    []*histSeries
+
+	samples  int64
+	lastNano int64
+
+	// Pre-bound visitor closures so Sample never allocates them.
+	onCounter func(string, *obs.Counter)
+	onGauge   func(string, *obs.Gauge)
+	onHist    func(string, *obs.Histogram)
+
+	// Scratch reused by quantile and skew queries under mu.
+	qscratch []int64
+	skew     map[string]float64
+}
+
+// counterSeries tracks one counter as per-bucket deltas, or one gauge as
+// its instantaneous value written into each bucket it was sampled in.
+type counterSeries struct {
+	name  string
+	base  string // name with the label block stripped
+	label string // the {k="v"} block, "" when unlabeled
+	src   *obs.Counter
+	gauge *obs.Gauge // non-nil for gauge-backed series (instantaneous)
+	prev  int64
+	rings [][]int64 // one ring of per-bucket deltas per resolution
+}
+
+// histSeries tracks one histogram: per-bucket count deltas (for windowed
+// quantiles) plus count and sum deltas.
+type histSeries struct {
+	name               string
+	base               string
+	bounds             []int64
+	src                *obs.Histogram
+	prev               []int64 // previous per-bucket cumulative counts
+	tmp                []int64 // ReadInto target
+	prevCount, prevSum int64
+	// rings[r] holds len(bounds)+3 rings: one per histogram bucket, then
+	// count, then sum.
+	rings [][][]int64
+}
+
+// New builds a Store over cfg.Registry. It panics on a nil registry or an
+// invalid resolution (programming errors).
+func New(cfg Config) *Store {
+	if cfg.Registry == nil {
+		panic("tsdb: Config.Registry is required")
+	}
+	if len(cfg.Resolutions) == 0 {
+		cfg.Resolutions = Resolutions(time.Second)
+	}
+	for _, r := range cfg.Resolutions {
+		if r.Step <= 0 || r.Slots < 2 {
+			panic(fmt.Sprintf("tsdb: invalid resolution %v×%d", r.Step, r.Slots))
+		}
+	}
+	s := &Store{
+		reg:      cfg.Registry,
+		res:      cfg.Resolutions,
+		cur:      make([]int64, len(cfg.Resolutions)),
+		oldest:   make([]int64, len(cfg.Resolutions)),
+		counters: make(map[string]*counterSeries),
+		hists:    make(map[string]*histSeries),
+		skew:     make(map[string]float64),
+	}
+	for i := range s.cur {
+		s.cur[i], s.oldest[i] = -1, -1
+	}
+	s.onCounter = func(name string, c *obs.Counter) {
+		if _, ok := s.counters[name]; !ok {
+			s.addCounter(name, c, nil)
+		}
+	}
+	s.onGauge = func(name string, g *obs.Gauge) {
+		if _, ok := s.counters[name]; !ok {
+			s.addCounter(name, nil, g)
+		}
+	}
+	s.onHist = func(name string, h *obs.Histogram) {
+		if _, ok := s.hists[name]; !ok {
+			s.addHist(name, h)
+		}
+	}
+	return s
+}
+
+// addCounter registers a new counter- or gauge-backed series (mu held). The
+// first sample after discovery contributes nothing: history from before
+// discovery cannot be attributed to a window, so prev starts at the current
+// value and deltas accrue from the next sample on.
+func (s *Store) addCounter(name string, c *obs.Counter, g *obs.Gauge) {
+	cs := &counterSeries{name: name, src: c, gauge: g, rings: make([][]int64, len(s.res))}
+	cs.base, cs.label = splitName(name)
+	for i, r := range s.res {
+		cs.rings[i] = make([]int64, r.Slots)
+	}
+	if c != nil {
+		cs.prev = c.Value()
+	}
+	s.counters[name] = cs
+	s.clist = append(s.clist, cs)
+}
+
+// addHist registers a new histogram series (mu held).
+func (s *Store) addHist(name string, h *obs.Histogram) {
+	hs := &histSeries{name: name, src: h, bounds: h.Bounds()}
+	hs.base, _ = splitName(name)
+	n := len(hs.bounds) + 1
+	hs.prev = make([]int64, n)
+	hs.tmp = make([]int64, n)
+	hs.prevCount, hs.prevSum = h.ReadInto(hs.prev)
+	hs.rings = make([][][]int64, len(s.res))
+	for i, r := range s.res {
+		hs.rings[i] = make([][]int64, n+2)
+		for j := range hs.rings[i] {
+			hs.rings[i][j] = make([]int64, r.Slots)
+		}
+	}
+	if n > len(s.qscratch) {
+		s.qscratch = make([]int64, n)
+	}
+	s.hists[name] = hs
+	s.hlist = append(s.hlist, hs)
+}
+
+// splitName separates `base{labels}` into base and the label block.
+func splitName(n string) (base, label string) {
+	for i := 0; i < len(n); i++ {
+		if n[i] == '{' {
+			return n[:i], n[i:]
+		}
+	}
+	return n, ""
+}
+
+// Sample snapshots every registry instrument into the bucket ending at (or
+// just after) now. Buckets are end-inclusive — bucket b covers the interval
+// (b·step, (b+1)·step] — so a sample taken exactly at a bucket boundary
+// closes that bucket, and the deltas it observed become queryable
+// immediately (the property the deterministic op-indexed harness relies
+// on). Call Sample at least once per finest-resolution step; the deltas of
+// a sparser schedule are attributed wholly to the bucket sampled into.
+// After series discovery has settled, Sample allocates nothing.
+func (s *Store) Sample(now time.Time) {
+	nano := now.UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Advance each resolution's current bucket, zeroing the slots the new
+	// buckets reuse (capped at one full ring for long idle gaps).
+	for ri, r := range s.res {
+		// End-inclusive bucket index: ceil(nano/step) - 1, clamped so the
+		// epoch sample itself lands in bucket 0.
+		b := (nano+int64(r.Step)-1)/int64(r.Step) - 1
+		if b < 0 {
+			b = 0
+		}
+		switch {
+		case s.cur[ri] < 0:
+			s.cur[ri], s.oldest[ri] = b, b
+		case b > s.cur[ri]:
+			from := s.cur[ri] + 1
+			if b-from >= int64(r.Slots) {
+				from = b - int64(r.Slots) + 1
+			}
+			for bk := from; bk <= b; bk++ {
+				slot := int(bk % int64(r.Slots))
+				for _, cs := range s.clist {
+					cs.rings[ri][slot] = 0
+				}
+				for _, hs := range s.hlist {
+					for j := range hs.rings[ri] {
+						hs.rings[ri][j][slot] = 0
+					}
+				}
+			}
+			s.cur[ri] = b
+			if min := b - int64(r.Slots) + 1; s.oldest[ri] < min {
+				s.oldest[ri] = min
+			}
+		}
+	}
+
+	// Discover instruments registered since the last sample (allocates only
+	// for genuinely new series).
+	s.reg.VisitCounters(s.onCounter)
+	s.reg.VisitGauges(s.onGauge)
+	s.reg.VisitHistograms(s.onHist)
+
+	// Accumulate deltas into the current bucket of every resolution.
+	for _, cs := range s.clist {
+		if cs.gauge != nil {
+			// Gauges are instantaneous: the bucket holds the last sampled
+			// value, not a delta.
+			v := cs.gauge.Value()
+			for ri := range s.res {
+				cs.rings[ri][int(s.cur[ri]%int64(s.res[ri].Slots))] = v
+			}
+			continue
+		}
+		v := cs.src.Value()
+		d := v - cs.prev
+		cs.prev = v
+		if d == 0 {
+			continue
+		}
+		for ri := range s.res {
+			cs.rings[ri][int(s.cur[ri]%int64(s.res[ri].Slots))] += d
+		}
+	}
+	for _, hs := range s.hlist {
+		count, sum := hs.src.ReadInto(hs.tmp)
+		dc, ds := count-hs.prevCount, sum-hs.prevSum
+		hs.prevCount, hs.prevSum = count, sum
+		nb := len(hs.bounds) + 1
+		for ri := range s.res {
+			slot := int(s.cur[ri] % int64(s.res[ri].Slots))
+			if dc != 0 || ds != 0 {
+				hs.rings[ri][nb][slot] += dc
+				hs.rings[ri][nb+1][slot] += ds
+			}
+			for j := 0; j < nb; j++ {
+				if d := hs.tmp[j] - hs.prev[j]; d != 0 {
+					hs.rings[ri][j][slot] += d
+				}
+			}
+		}
+		copy(hs.prev, hs.tmp)
+	}
+	s.samples++
+	s.lastNano = nano
+}
+
+// Start begins wall-clock sampling at the finest resolution's step on a
+// background goroutine and returns a stop function (idempotent). One final
+// sample is taken on stop so the last partial bucket is flushed.
+func (s *Store) Start() (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(s.res[0].Step)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				s.Sample(time.Now())
+				return
+			case now := <-t.C:
+				s.Sample(now)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Samples returns the number of Sample calls taken.
+func (s *Store) Samples() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// LastTime returns the time of the most recent sample (zero before the
+// first).
+func (s *Store) LastTime() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, s.lastNano)
+}
+
+// NumResolutions returns how many rings the store keeps.
+func (s *Store) NumResolutions() int { return len(s.res) }
+
+// ResolutionAt describes ring ri.
+func (s *Store) ResolutionAt(ri int) Resolution { return s.res[ri] }

@@ -1,0 +1,380 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"costcache/internal/obs"
+)
+
+// clock returns a simulated-time helper starting at the Unix epoch: step(n)
+// advances n finest-resolution steps and samples once at each.
+func clock(s *Store, step time.Duration) (advance func(n int), now func() time.Time) {
+	t := time.Unix(0, 0)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			t = t.Add(step)
+			s.Sample(t)
+		}
+	}, func() time.Time { return t }
+}
+
+func TestRateAndRatioOverWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter(`engine_hits{shard="0"}`)
+	misses := reg.Counter(`engine_misses{shard="0"}`)
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 16}}})
+
+	s.Sample(time.Unix(0, 0)) // discovery sample: counters enter at prev=0
+	advance, _ := clock(s, time.Second)
+	for i := 0; i < 10; i++ {
+		hits.Add(90)
+		misses.Add(10)
+		advance(1)
+	}
+
+	q := Query{Kind: Ratio, Num: []string{"engine_hits"}, Den: []string{"engine_hits", "engine_misses"}}
+	v, covered, ok := s.Value(q, 0, 5*time.Second)
+	if !ok {
+		t.Fatal("hit-rate query not ok")
+	}
+	if covered != 5*time.Second {
+		t.Fatalf("covered = %v, want 5s", covered)
+	}
+	if v != 0.9 {
+		t.Fatalf("hit rate = %v, want 0.9", v)
+	}
+
+	rate := Query{Kind: Rate, Num: []string{"engine_hits", "engine_misses"}}
+	v, _, ok = s.Value(rate, 0, 5*time.Second)
+	if !ok || v != 100 {
+		t.Fatalf("ops/s = %v ok=%v, want 100", v, ok)
+	}
+}
+
+// TestDeterministicSimulatedClock runs the same traffic against two stores
+// on the same simulated clock and requires bit-identical query results —
+// the property CI's alert smoke leans on.
+func TestDeterministicSimulatedClock(t *testing.T) {
+	run := func() []float64 {
+		reg := obs.NewRegistry()
+		hits := reg.Counter("engine_hits")
+		misses := reg.Counter("engine_misses")
+		s := New(Config{Registry: reg})
+		s.Sample(time.Unix(0, 0))
+		advance, _ := clock(s, time.Second)
+		for i := 0; i < 30; i++ {
+			hits.Add(int64(50 + i%7))
+			misses.Add(int64(5 + i%3))
+			advance(1)
+		}
+		var out []float64
+		for _, d := range []time.Duration{time.Second, 5 * time.Second, 20 * time.Second} {
+			v, _, _ := s.Value(Query{Kind: Ratio, Num: []string{"engine_hits"},
+				Den: []string{"engine_hits", "engine_misses"}}, 0, d)
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMidWindowRegistration locks the satellite guarantee: a series that
+// first appears between samples contributes from zero — its pre-discovery
+// cumulative history never lands in any bucket, so rates cannot spike when
+// a component starts reporting late.
+func TestMidWindowRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 16}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	advance(3)
+
+	// A counter born mid-run with a large pre-existing total.
+	late := reg.Counter("late_total")
+	late.Add(1_000_000)
+	advance(1) // discovery sample: prev snaps to 1e6, delta 0
+
+	q := Query{Kind: Rate, Num: []string{"late_total"}}
+	if v, _, ok := s.Value(q, 0, 4*time.Second); !ok || v != 0 {
+		t.Fatalf("pre-discovery history leaked into window: rate=%v ok=%v", v, ok)
+	}
+
+	late.Add(500)
+	advance(1)
+	v, _, ok := s.Value(q, 0, time.Second)
+	if !ok || v != 500 {
+		t.Fatalf("post-discovery delta: rate=%v ok=%v, want 500", v, ok)
+	}
+}
+
+func TestMultiResolutionAggregation(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("engine_hits")
+	s := New(Config{Registry: reg,
+		Resolutions: []Resolution{{Step: time.Second, Slots: 16}, {Step: 10 * time.Second, Slots: 8}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	for i := 0; i < 25; i++ {
+		c.Add(100)
+		advance(1)
+	}
+	// Coarse ring: two completed 10s buckets, 1000 hits each.
+	v, covered, ok := s.Value(Query{Kind: Rate, Num: []string{"engine_hits"}}, 1, 20*time.Second)
+	if !ok {
+		t.Fatal("coarse query not ok")
+	}
+	if covered != 20*time.Second {
+		t.Fatalf("coarse covered = %v, want 20s", covered)
+	}
+	if v != 100 {
+		t.Fatalf("coarse rate = %v, want 100/s", v)
+	}
+}
+
+func TestSkewSignal(t *testing.T) {
+	reg := obs.NewRegistry()
+	shards := make([]*obs.Counter, 4)
+	for i := range shards {
+		shards[i] = reg.Counter(fmt.Sprintf("engine_hits{shard=%q}", fmt.Sprint(i)))
+	}
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 16}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+
+	// Balanced: every shard 100/s → skew 1.0.
+	for i := 0; i < 3; i++ {
+		for _, c := range shards {
+			c.Add(100)
+		}
+		advance(1)
+	}
+	v, _, ok := s.Value(Query{Kind: Skew, Num: []string{"engine_hits"}}, 0, 3*time.Second)
+	if !ok || v != 1.0 {
+		t.Fatalf("balanced skew = %v ok=%v, want 1.0", v, ok)
+	}
+
+	// Hot shard 0 takes half the traffic → share 0.5 of 4 groups → skew 2.0.
+	for i := 0; i < 3; i++ {
+		shards[0].Add(300)
+		for _, c := range shards[1:] {
+			c.Add(100)
+		}
+		advance(1)
+	}
+	v, _, ok = s.Value(Query{Kind: Skew, Num: []string{"engine_hits"}}, 0, 3*time.Second)
+	if !ok || v != 2.0 {
+		t.Fatalf("hot skew = %v ok=%v, want 2.0", v, ok)
+	}
+}
+
+func TestWindowedQuantile(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("request_latency_ns", []int64{100, 1000, 10000})
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 16}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+
+	// First window: all fast.
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+	}
+	advance(1)
+	// Second window: all slow — the windowed p99 must see only this bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	advance(1)
+
+	q := Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.99}
+	v, _, ok := s.Value(q, 0, time.Second)
+	if !ok || v != 10000 {
+		t.Fatalf("windowed p99 = %v ok=%v, want 10000 (slow window only)", v, ok)
+	}
+	// The 2s window mixes both: p50 is still the fast bound.
+	q.Q = 0.25
+	v, _, ok = s.Value(q, 0, 2*time.Second)
+	if !ok || v != 100 {
+		t.Fatalf("mixed-window p25 = %v ok=%v, want 100", v, ok)
+	}
+}
+
+func TestGaugeSeriesInstantaneous(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("queue_depth")
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 8}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	g.Set(7)
+	advance(1)
+	g.Set(3)
+	advance(1)
+	// A gauge bucket holds the last sampled value, not a delta/sum.
+	points, _ := s.SeriesPoints(Query{Kind: Rate, Num: []string{"queue_depth"}}, 0, 2)
+	if len(points) != 2 || points[0] != 7 || points[1] != 3 {
+		t.Fatalf("gauge points = %v, want [7 3]", points)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("engine_hits")
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 4}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	for i := 0; i < 20; i++ {
+		c.Add(int64(i + 1))
+		advance(1)
+	}
+	// Only the last 4 buckets survive a 4-slot ring; asking for a huge
+	// window reports what it actually covered.
+	v, covered, ok := s.Value(Query{Kind: Rate, Num: []string{"engine_hits"}}, 0, time.Hour)
+	if !ok {
+		t.Fatal("wraparound query not ok")
+	}
+	if covered != 4*time.Second {
+		t.Fatalf("covered = %v, want 4s", covered)
+	}
+	want := float64(17+18+19+20) / 4
+	if v != want {
+		t.Fatalf("rate = %v, want %v", v, want)
+	}
+}
+
+func TestIdleGapZeroes(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("engine_hits")
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 8}}})
+	s.Sample(time.Unix(0, 0))
+	c.Add(100)
+	s.Sample(time.Unix(1, 0))
+	// 5 idle seconds, then resume: the skipped buckets must read as zero,
+	// not stale wrapped data.
+	c.Add(100)
+	s.Sample(time.Unix(6, 0))
+	points, _ := s.SeriesPoints(Query{Kind: Rate, Num: []string{"engine_hits"}}, 0, 6)
+	want := []float64{100, 0, 0, 0, 0, 100}
+	if len(points) != len(want) {
+		t.Fatalf("points = %v, want %v", points, want)
+	}
+	for i := range want {
+		if points[i] != want[i] {
+			t.Fatalf("points = %v, want %v", points, want)
+		}
+	}
+}
+
+// TestSampleSteadyStateAllocs is the zero-alloc gate CI invokes by name: once
+// series discovery has settled, Sample must not allocate at all.
+func TestSampleSteadyStateAllocs(t *testing.T) {
+	reg := obs.NewRegistry()
+	for sh := 0; sh < 8; sh++ {
+		for _, m := range []string{"engine_hits", "engine_misses", "engine_coalesced",
+			"engine_evictions", "engine_cost_paid", "engine_lock_wait_ns"} {
+			reg.Counter(fmt.Sprintf("%s{shard=%q}", m, fmt.Sprint(sh))).Add(int64(sh))
+		}
+	}
+	reg.Histogram("request_latency_ns", obs.ExpBuckets(100, 2, 20)).Observe(12345)
+	reg.Gauge("queue_depth").Set(3)
+
+	s := New(Config{Registry: reg})
+	now := time.Unix(0, 0)
+	sample := func() {
+		now = now.Add(time.Second)
+		s.Sample(now)
+	}
+	sample() // discovery
+	sample() // settle
+	allocs := testing.AllocsPerRun(100, sample)
+	if allocs != 0 {
+		t.Fatalf("steady-state Sample allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestHTTPHandlerShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter(`engine_hits{shard="0"}`)
+	misses := reg.Counter(`engine_misses{shard="0"}`)
+	h := reg.Histogram("request_latency_ns", []int64{100, 1000})
+	s := New(Config{Registry: reg, Resolutions: Resolutions(time.Second)})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	for i := 0; i < 5; i++ {
+		hits.Add(80)
+		misses.Add(20)
+		h.Observe(500)
+		advance(1)
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(s).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeseries?n=4", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out timeseriesPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out.Samples != 6 {
+		t.Fatalf("samples = %d, want 6", out.Samples)
+	}
+	if len(out.Resolutions) != 2 {
+		t.Fatalf("resolutions = %d, want 2", len(out.Resolutions))
+	}
+	fine := out.Resolutions[0]
+	if fine.StepMS != 1000 {
+		t.Fatalf("fine step = %dms", fine.StepMS)
+	}
+	hr, ok := fine.Windowed["hit_rate"]
+	if !ok || hr != 0.8 {
+		t.Fatalf("windowed hit_rate = %v ok=%v, want 0.8", hr, ok)
+	}
+	if pts := fine.Signals["ops_per_s"]; len(pts) != 4 {
+		t.Fatalf("ops_per_s points = %v, want 4 buckets", pts)
+	}
+	if p99 := fine.Windowed["latency_p99_ns"]; p99 != 1000 {
+		t.Fatalf("windowed p99 = %v, want 1000", p99)
+	}
+}
+
+func TestStartStopWallClock(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("engine_hits").Add(1)
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Millisecond, Slots: 64}}})
+	stop := s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if s.Samples() < 3 {
+		t.Fatalf("sampler took %d samples, want >= 3", s.Samples())
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil registry", func() { New(Config{}) })
+	mustPanic("bad step", func() {
+		New(Config{Registry: obs.NewRegistry(), Resolutions: []Resolution{{Step: 0, Slots: 10}}})
+	})
+	mustPanic("bad slots", func() {
+		New(Config{Registry: obs.NewRegistry(), Resolutions: []Resolution{{Step: time.Second, Slots: 1}}})
+	})
+}

@@ -186,4 +186,110 @@ else
     echo "ci: results/BENCH_engine.json missing; skipping bench diff" >&2
 fi
 
+# Instrumentation-overhead baseline: regenerate the obs bench manifest
+# (simulator observation cost plus the telemetry store's sampling hot path)
+# and diff at the same generous tolerance. The allocation figure is exact:
+# steady-state sampling must not allocate.
+go run ./cmd/paper -quick -bench-json "$smoke/bench_obs.json" > /dev/null
+go run ./cmd/report -check "$smoke/bench_obs.json"
+grep -q '"tsdb_sample_allocs_op": 0' "$smoke/bench_obs.json" || {
+    echo "ci: telemetry sampling allocates in steady state" >&2; exit 1; }
+if [ -f results/BENCH_obs.json ]; then
+    go run ./cmd/report -tol 75 results/BENCH_obs.json "$smoke/bench_obs.json"
+else
+    echo "ci: results/BENCH_obs.json missing; skipping obs bench diff" >&2
+fi
+
+# Telemetry zero-alloc gate: the tsdb test pins steady-state Sample at zero
+# allocations over a cachebench-shaped registry.
+go test -run TestSampleSteadyStateAllocs -count=1 ./internal/obs/tsdb/
+
+# Deterministic alerting smoke: a same-seed pair on the simulated telemetry
+# clock (-ts.everyops). The degraded run — BCL-f50 on a uniform key stream,
+# whose hit rate collapses below the 0.8 objective — must walk the hit-rate
+# burn rule through pending to firing exactly once; the healthy run (BCL on
+# a zipfian stream) must keep every rule quiet. Firing counts land in the
+# manifests and the event JSONL is byte-identical across reruns.
+for side in healthy degraded; do
+    pol=BCL; zipf=1.2
+    if [ "$side" = degraded ]; then pol=BCL-f50; zipf=1.0; fi
+    "$smoke/cachebench" -policy "$pol" -zipf "$zipf" -mode closed -workers 1 \
+        -ops 40000 -keys 4096 -sets 512 -ways 4 -shards 4 -seed 7 \
+        -loaddelay 0 -quiet -alerts -ts.everyops 500 \
+        -alert.fast 2s -alert.slow 10s -slo.hitrate 0.8 \
+        -alerts.jsonl "$smoke/${side}_alerts.jsonl" \
+        -manifest "$smoke/${side}_alerts.json" > "$smoke/${side}_alerts.txt"
+done
+go run ./cmd/report -check "$smoke/healthy_alerts.json" "$smoke/degraded_alerts.json"
+grep -Fq '"alert_fired{rule=\"hit-rate-burn\"}": 1' "$smoke/degraded_alerts.json" || {
+    echo "ci: degraded run did not fire the hit-rate burn alert exactly once" >&2
+    exit 1; }
+grep -Fq '"from":"pending","to":"firing"' "$smoke/degraded_alerts.jsonl" || {
+    echo "ci: degraded alert stream missing the pending→firing transition" >&2
+    exit 1; }
+if grep -F '"alert_fired' "$smoke/healthy_alerts.json" | grep -Evq ': 0,?$'; then
+    grep -F '"alert_fired' "$smoke/healthy_alerts.json" >&2
+    echo "ci: healthy run fired an alert" >&2; exit 1
+fi
+"$smoke/cachebench" -policy BCL-f50 -zipf 1.0 -mode closed -workers 1 \
+    -ops 40000 -keys 4096 -sets 512 -ways 4 -shards 4 -seed 7 \
+    -loaddelay 0 -quiet -alerts -ts.everyops 500 \
+    -alert.fast 2s -alert.slow 10s -slo.hitrate 0.8 \
+    -alerts.jsonl "$smoke/degraded_alerts2.jsonl" > /dev/null
+cmp -s "$smoke/degraded_alerts.jsonl" "$smoke/degraded_alerts2.jsonl" || {
+    echo "ci: alert event stream differs across same-seed reruns" >&2; exit 1; }
+
+# cachetop smoke: render one dashboard frame against a live cachebench and
+# check the signal panels, shard heat rows and alert list all appear.
+go build -o "$smoke/cachetop" ./cmd/cachetop
+"$smoke/cachebench" -policy DCL -mode open -rate 5000 -ops 1000000 \
+    -keys 4096 -zipf 1.2 -seed 7 -quiet -alerts \
+    -obs.listen 127.0.0.1:0 > "$smoke/live.txt" 2>&1 &
+livepid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^observability: http://\([^ ]*\) .*|\1|p' "$smoke/live.txt")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    kill "$livepid" 2>/dev/null || true
+    echo "ci: live cachebench never printed its observability address" >&2
+    exit 1
+fi
+sleep 2 # let the wall-clock sampler fill a few buckets
+rc=0
+"$smoke/cachetop" -addr "$addr" -frames 1 > "$smoke/cachetop.txt" || rc=$?
+kill -INT "$livepid" 2>/dev/null || true
+wait "$livepid" 2>/dev/null || true
+if [ "$rc" -ne 0 ]; then
+    cat "$smoke/cachetop.txt" >&2
+    echo "ci: cachetop render failed ($rc)" >&2; exit 1
+fi
+for want in "hit rate" "ops/s" "p99 latency" "shard  0" "hit-rate-burn"; do
+    grep -Fq "$want" "$smoke/cachetop.txt" || {
+        cat "$smoke/cachetop.txt" >&2
+        echo "ci: cachetop frame missing \"$want\"" >&2; exit 1; }
+done
+
+# Flag validation for the telemetry and alerting knobs: out-of-range values
+# must exit 2.
+for bad in "-ts.step 0" "-ts.everyops -1" "-slo.hitrate 1.5" \
+    "-slo.p99 0" "-alert.burn 0" "-alert.fast 0s"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachebench" $bad -ops 10 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+for bad in "" "-addr x -interval 0s" "-addr x -frames -1"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachetop" $bad >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachetop $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+
 echo "ci: ok"
