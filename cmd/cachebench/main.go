@@ -38,6 +38,19 @@
 // produce byte-identical alert streams — CI pins exact firing counts on a
 // same-seed healthy/degraded pair.
 //
+// Degraded-mode serving (internal/resilience, docs/ENGINE.md): -load.deadline
+// bounds each request's wait without killing the in-flight load,
+// -load.retries grants a cost-scaled retry budget with -load.backoff
+// exponential backoff and deterministic jitter, -breaker.rate/-breaker.window/
+// -breaker.min/-breaker.cooldown run a circuit breaker per cost class, and
+// -stale.serve answers from evicted-but-retained values (flagged stale,
+// charged nothing) when the breaker is open or the deadline expires.
+// -fault.plan / -fault.scenario inject deterministic backend chaos (error
+// bursts, latency spikes, per-class brownouts — pure functions of the load
+// attempt index; see docs/FAULTS.md), so a same-seed chaos run reproduces its
+// retry, shed and stale counters byte-for-byte — CI drives a healthy/brownout
+// twin pair on exactly that property.
+//
 // -decisions streams every replacement decision (reservations, ETD
 // detections, victim choices) as JSONL tagged with shard and cost class —
 // the per-run input to report -explain, which joins two runs' decision
@@ -60,6 +73,7 @@ import (
 
 	"costcache/internal/cli"
 	"costcache/internal/engine"
+	"costcache/internal/fault"
 	"costcache/internal/loadgen"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
@@ -68,6 +82,7 @@ import (
 	"costcache/internal/obs/span"
 	"costcache/internal/obs/tsdb"
 	"costcache/internal/replacement"
+	"costcache/internal/resilience"
 	"costcache/internal/tabulate"
 	"costcache/internal/workload"
 )
@@ -112,6 +127,17 @@ func main() {
 	alertBurn := flag.Float64("alert.burn", 2, "burn-rate factor: fire when the error budget burns at this multiple of the sustainable rate")
 	alertFast := flag.Duration("alert.fast", 5*time.Second, "burn-rate short window (also the static rules' window)")
 	alertSlow := flag.Duration("alert.slow", 30*time.Second, "burn-rate long window")
+	faultPlan := flag.String("fault.plan", "", "inject backend faults from this loader fault plan (JSON file)")
+	faultScenario := flag.String("fault.scenario", "", "inject backend faults from this built-in scenario (see internal/fault)")
+	faultSeed := flag.Uint64("fault.seed", 7, "seed perturbing -fault.scenario span placement and brownout coin flips")
+	loadDeadline := flag.Duration("load.deadline", 0, "per-request deadline on GetOrLoad; expired waiters detach while the load continues (0 = none)")
+	loadRetries := flag.Int("load.retries", 0, "max load retries for a key at the reference cost class; cheaper classes earn a proportional budget")
+	loadBackoff := flag.Duration("load.backoff", 2*time.Millisecond, "base retry backoff, doubled per attempt with deterministic jitter (0 = immediate retries)")
+	breakerRate := flag.Float64("breaker.rate", 0, "per-cost-class circuit breaker failure-rate threshold in (0,1]; 0 disables breakers")
+	breakerWindow := flag.Int("breaker.window", 64, "breaker failure-rate window (load outcomes per class)")
+	breakerMin := flag.Int("breaker.min", 16, "minimum outcomes in the window before a breaker may trip")
+	breakerCooldown := flag.Int("breaker.cooldown", 256, "shed this many loads after a trip before admitting a half-open probe")
+	staleServe := flag.Bool("stale.serve", false, "serve evicted-but-retained (stale) values when the breaker is open or the deadline expires")
 	flag.Parse()
 
 	factory, ok := replacement.ByName(*policy)
@@ -161,6 +187,46 @@ func main() {
 	if *alertsJSONL != "" {
 		*alerts = true
 	}
+	if *loadDeadline < 0 {
+		cli.BadFlag("cachebench", "-load.deadline", fmt.Sprint(*loadDeadline), []string{"a deadline >= 0 (0 = none)"})
+	}
+	if *loadRetries < 0 {
+		cli.BadFlag("cachebench", "-load.retries", fmt.Sprint(*loadRetries), []string{"a retry count >= 0"})
+	}
+	if *loadBackoff < 0 {
+		cli.BadFlag("cachebench", "-load.backoff", fmt.Sprint(*loadBackoff), []string{"a backoff >= 0 (0 = immediate)"})
+	}
+	if *breakerRate < 0 || *breakerRate > 1 {
+		cli.BadFlag("cachebench", "-breaker.rate", fmt.Sprint(*breakerRate), []string{"a failure rate in [0, 1] (0 = disabled)"})
+	}
+	if *breakerWindow <= 0 || *breakerMin <= 0 || *breakerMin > *breakerWindow {
+		cli.BadFlag("cachebench", "-breaker.window/-breaker.min", fmt.Sprintf("%d/%d", *breakerWindow, *breakerMin),
+			[]string{"window and min with 0 < min <= window"})
+	}
+	if *breakerCooldown <= 0 {
+		cli.BadFlag("cachebench", "-breaker.cooldown", fmt.Sprint(*breakerCooldown), []string{"a shed count > 0"})
+	}
+	if *faultPlan != "" && *faultScenario != "" {
+		cli.BadFlag("cachebench", "-fault.plan/-fault.scenario", "both set",
+			[]string{"at most one fault source (a plan file or a scenario name)"})
+	}
+
+	// The deterministic backend fault injector: nil means a healthy backend.
+	var injector *fault.LoaderInjector
+	switch {
+	case *faultScenario != "":
+		plan, err := fault.LoaderScenario(*faultScenario, *faultSeed)
+		if err != nil {
+			cli.BadFlag("cachebench", "-fault.scenario", *faultScenario, fault.LoaderScenarioNames())
+		}
+		injector = fault.NewLoaderInjector(plan)
+	case *faultPlan != "":
+		plan, err := fault.ReadLoaderFile(*faultPlan)
+		if err != nil {
+			cli.BadFlag("cachebench", "-fault.plan", err.Error(), []string{"a readable, valid loader fault plan (JSON)"})
+		}
+		injector = fault.NewLoaderInjector(plan)
+	}
 
 	// The request tracer attaches when any consumer of its data is on:
 	// the attribution table, span emission, or the live debug endpoint.
@@ -192,16 +258,6 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	eng := engine.New(engine.Config{
-		Shards:    *shards,
-		Sets:      *sets,
-		Ways:      *ways,
-		Policy:    factory,
-		Registry:  reg,
-		Shadow:    !*noShadow,
-		Tracer:    tracer,
-		Decisions: decTracer,
-	})
 	cfg := loadgen.Config{
 		Mode:      loadgen.Mode(*mode),
 		Workers:   *workers,
@@ -217,7 +273,42 @@ func main() {
 		LoadDelay: *loadDelay,
 		Registry:  reg, // request_latency_ns feeds the live quantile signals
 		Tracer:    tracer,
+		Faults:    injector,
 	}
+
+	// Degraded-mode serving attaches only when a resilience flag asks for
+	// it; an unconfigured run keeps the legacy load path (and its exact
+	// metric catalog) bit-for-bit. The classifier prices a key's breaker and
+	// retry class exactly the way the simulated backend will charge it.
+	var resil *resilience.Resilience
+	rcfg := resilience.Config{
+		Deadline:        *loadDeadline,
+		MaxRetries:      *loadRetries,
+		RefCost:         replacement.Cost(*costHigh),
+		BackoffBase:     *loadBackoff,
+		Seed:            uint64(*seed),
+		BreakerRate:     *breakerRate,
+		BreakerWindow:   *breakerWindow,
+		BreakerMin:      *breakerMin,
+		BreakerCooldown: *breakerCooldown,
+		ServeStale:      *staleServe,
+	}
+	if rcfg.Enabled() {
+		rcfg.Classify = cfg.CostSource().MissCost
+		resil = resilience.New(rcfg, reg)
+	}
+
+	eng := engine.New(engine.Config{
+		Shards:     *shards,
+		Sets:       *sets,
+		Ways:       *ways,
+		Policy:     factory,
+		Registry:   reg,
+		Shadow:     !*noShadow,
+		Tracer:     tracer,
+		Decisions:  decTracer,
+		Resilience: resil,
+	})
 	stopped := cli.Interrupt()
 
 	// The live time-series store attaches when anything consumes it: the
@@ -329,7 +420,7 @@ func main() {
 		fmt.Printf("wrote %d profile snapshots to %s\n", len(prof.Snapshots()), *profileDir)
 	}
 
-	printSummary(*policy, *shards, *workers, *mode, res)
+	printSummary(*policy, *shards, *workers, *mode, res, resil, injector)
 	if alertEng != nil {
 		printAlerts(alertEng, store)
 	}
@@ -358,7 +449,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cachebench: span sink:", err)
 			os.Exit(1)
 		}
-		reconcileSpans(tracer, res.Stats)
+		reconcileSpans(tracer, res.Stats, resil != nil)
 		if *attr {
 			fmt.Fprintln(os.Stderr)
 			tracer.Attribution().WriteTable(os.Stderr,
@@ -373,7 +464,7 @@ func main() {
 	if *manifestPath != "" {
 		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL,
 			spanTrace: *spanTrace, alertEvents: *alertsJSONL}
-		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir); err != nil {
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir, resil, injector); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
@@ -421,7 +512,13 @@ func openSink(sinks *[]*spanSink, path string) *bufio.Writer {
 // 1% (exact on a quiesced run; the slack covers future concurrent readers).
 // Any mismatch means the instrumentation drifted off the request path, so
 // it is fatal.
-func reconcileSpans(tr *reqspan.Tracer, st engine.Stats) {
+//
+// resilient relaxes exactly one identity: when the run used degraded-mode
+// serving and at least one deadline expired, a departed leader's load still
+// installs (and charges) in the background after its span closed, so the
+// span cost sum legitimately undershoots engine cost_paid. Every count
+// identity still holds.
+func reconcileSpans(tr *reqspan.Tracer, st engine.Stats, resilient bool) {
 	fatal := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cachebench: span reconciliation: "+format+"\n", args...)
 		os.Exit(1)
@@ -445,7 +542,7 @@ func reconcileSpans(tr *reqspan.Tracer, st engine.Stats) {
 		if a.Outcomes[reqspan.OutcomeCoalesced] != st.Coalesced {
 			fatal("%d coalesced spans vs %d engine coalesced", a.Outcomes[reqspan.OutcomeCoalesced], st.Coalesced)
 		}
-		if a.CostPaid != st.CostPaid {
+		if a.CostPaid != st.CostPaid && !(resilient && st.LoadTimeouts > 0) {
 			fatal("span cost sum %d vs engine cost_paid %d", a.CostPaid, st.CostPaid)
 		}
 	}
@@ -483,7 +580,8 @@ func progress(eng *engine.Engine, stop <-chan struct{}) {
 	}
 }
 
-func printSummary(policy string, shards, workers int, mode string, res loadgen.Result) {
+func printSummary(policy string, shards, workers int, mode string, res loadgen.Result,
+	resil *resilience.Resilience, injector *fault.LoaderInjector) {
 	st := res.Stats
 	t := tabulate.New(fmt.Sprintf("cachebench · %s · %d shards · %d workers · %s-loop",
 		policy, shards, workers, mode),
@@ -504,6 +602,18 @@ func printSummary(policy string, shards, workers int, mode string, res loadgen.R
 	if st.ShadowCost > 0 {
 		t.AddF("shadow_cost_lru", st.ShadowCost)
 		t.AddF("savings_vs_lru_pct", 100*st.Savings())
+	}
+	if resil != nil {
+		t.AddF("errors", res.Errors)
+		t.AddF("load_timeouts", st.LoadTimeouts)
+		t.AddF("load_retries", st.LoadRetries)
+		t.AddF("shed", st.Shed)
+		t.AddF("stale_served", st.StaleServed)
+		t.AddF("breaker_opened", resil.Opened())
+	}
+	if injector != nil {
+		t.AddF("fault_load_errors", injector.Errors())
+		t.AddF("fault_slow_units", injector.SlowUnits())
 	}
 	t.Fprint(os.Stdout)
 	if res.Interrupted {
@@ -534,7 +644,8 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	eng *engine.Engine, reg *obs.Registry, res loadgen.Result,
 	tracer *reqspan.Tracer, decTracer *obs.Tracer,
 	store *tsdb.Store, alertEng *alert.Engine, art artifacts,
-	prof *obs.Profiler, profileDir string) error {
+	prof *obs.Profiler, profileDir string,
+	resil *resilience.Resilience, injector *fault.LoaderInjector) error {
 	m := manifest.New("cachebench")
 	m.SetConfig("policy", policy)
 	m.SetConfig("mode", mode)
@@ -572,6 +683,21 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	if st.ShadowCost > 0 {
 		m.SetMetric("engine_shadow_cost", float64(st.ShadowCost))
 		m.SetMetric("savings_vs_lru_pct", 100*st.Savings())
+	}
+	if resil != nil {
+		m.SetMetric("request_errors", float64(res.Errors))
+		m.SetMetric("stale_serves", float64(res.StaleServes))
+		m.SetMetric("engine_load_timeouts", float64(st.LoadTimeouts))
+		m.SetMetric("engine_load_retries", float64(st.LoadRetries))
+		m.SetMetric("engine_shed", float64(st.Shed))
+		m.SetMetric("engine_stale_served", float64(st.StaleServed))
+		m.SetMetric("engine_breaker_opened", float64(resil.Opened()))
+	}
+	if injector != nil {
+		m.SetConfig("fault_plan", injector.Plan().Name)
+		m.SetConfig("fault_plan_hash", injector.Plan().Hash())
+		m.SetMetric("fault_load_errors", float64(injector.Errors()))
+		m.SetMetric("fault_slow_units", float64(injector.SlowUnits()))
 	}
 	if tracer != nil {
 		m.SetAttribution(tracer.Attribution())

@@ -101,6 +101,22 @@ type engineDebug struct {
 			Hot         bool    `json:"hot"`
 		} `json:"shards"`
 	} `json:"window"`
+	// Resilience is present only when the server's engine runs with
+	// degraded-mode serving; its absence hides the resilience panels.
+	Resilience *struct {
+		ServeStale   bool  `json:"serve_stale"`
+		LoadTimeouts int64 `json:"load_timeouts"`
+		LoadRetries  int64 `json:"load_retries"`
+		Shed         int64 `json:"shed"`
+		StaleServed  int64 `json:"stale_served"`
+		Breakers     []struct {
+			Class       string  `json:"class"`
+			State       string  `json:"state"`
+			Samples     int     `json:"samples"`
+			FailureRate float64 `json:"failure_rate"`
+			Opened      int64   `json:"opened"`
+		} `json:"breakers"`
+	} `json:"resilience"`
 }
 
 type alerts struct {
@@ -151,6 +167,18 @@ func panels() []panel {
 	}
 }
 
+// resiliencePanels are the degraded-mode sparklines, shown only when the
+// server's engine reports a resilience block.
+func resiliencePanels() []panel {
+	pct := func(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }
+	count := func(v float64) string { return fmt.Sprintf("%7.0f", v) }
+	return []panel{
+		{"shed_share", "shed", pct},
+		{"stale_per_s", "stale/s", count},
+		{"breaker_opens_per_s", "breaker trips", count},
+	}
+}
+
 // render polls the three endpoints and builds one dashboard frame.
 func render(client *http.Client, base string) (string, error) {
 	var ts timeseries
@@ -179,15 +207,19 @@ func render(client *http.Client, base string) (string, error) {
 
 	if len(ts.Resolutions) > 0 {
 		res := ts.Resolutions[0]
+		rows := panels()
+		if engOK && eng.Resilience != nil {
+			rows = append(rows, resiliencePanels()...)
+		}
 		fmt.Fprintf(&b, "signals (last %d × %dms buckets)\n", len(res.Signals["hit_rate"]), res.StepMS)
-		for _, p := range panels() {
+		for _, p := range rows {
 			points := res.Signals[p.signal]
 			cur, has := res.Windowed[p.signal]
 			val := "      —"
 			if has {
 				val = p.format(cur)
 			}
-			fmt.Fprintf(&b, "  %-12s %s %s\n", p.label, val, sparkline(points, 48))
+			fmt.Fprintf(&b, "  %-13s %s %s\n", p.label, val, sparkline(points, 48))
 		}
 		b.WriteString("\n")
 	}
@@ -206,6 +238,14 @@ func render(client *http.Client, base string) (string, error) {
 			fmt.Fprintf(&b, "  shard %2d %s %-24s %5.1f%%  ops=%-8d lock=%6.2fms  depth=%d\n",
 				sh.Shard, marker, bar(sh.Share, eng.Window.UniformShare, 24),
 				100*sh.Share, sh.Ops, float64(sh.LockWaitNs)/1e6, sh.MaxInFlight)
+		}
+		if r := eng.Resilience; r != nil {
+			fmt.Fprintf(&b, "resilience · shed %d · stale %d · timeouts %d · retries %d · serve-stale %v\n",
+				r.Shed, r.StaleServed, r.LoadTimeouts, r.LoadRetries, r.ServeStale)
+			for _, br := range r.Breakers {
+				fmt.Fprintf(&b, "  breaker %-10s %-9s fail=%5.1f%% samples=%-4d opened=%d\n",
+					br.Class, strings.ToUpper(br.State), 100*br.FailureRate, br.Samples, br.Opened)
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -23,7 +23,9 @@
 // The chaos experiment (-only chaos) races LRU against the cost-sensitive
 // policies under the deterministic fault-injection scenarios of
 // docs/FAULTS.md; -fault.seed varies which links/nodes each scenario
-// afflicts. SIGINT/SIGTERM stop the run at the next experiment boundary,
+// afflicts. The resilience experiment (-only resilience) replays a backend
+// brownout against the serving engine, naive vs degraded-mode
+// (retries/breakers/serve-stale — docs/ENGINE.md). SIGINT/SIGTERM stop the run at the next experiment boundary,
 // flush a partial manifest marked "interrupted": true, and exit 130.
 package main
 
@@ -46,7 +48,7 @@ import (
 )
 
 // sectionNames lists the experiments -only accepts, in paper order.
-var sectionNames = []string{"table1", "figure3", "table2", "table4", "table3", "table5", "assoc", "sizes", "hwcost", "chaos"}
+var sectionNames = []string{"table1", "figure3", "table2", "table4", "table3", "table5", "assoc", "sizes", "hwcost", "chaos", "resilience"}
 
 func main() {
 	log.SetFlags(0)
@@ -131,6 +133,7 @@ func main() {
 		{"sizes", func() { sizeSection(gens) }},
 		{"hwcost", hwcostSection},
 		{"chaos", func() { interrupted = chaosSection(gens, *quick, *faultSeed, stopped) }},
+		{"resilience", func() { interrupted = resilienceSection(*quick, *faultSeed, stopped) }},
 	}
 	for _, s := range sections {
 		if len(want) != 0 && !want[s.name] {

@@ -1,0 +1,98 @@
+// The resilience section takes the chaos experiment from the simulator to
+// the serving path: the same deterministic backend brownout is replayed
+// against a naive engine (every failed load surfaces to the caller) and a
+// resilient one (cost-aware retries, per-class circuit breakers,
+// serve-stale), and the table shows what degraded-mode serving buys —
+// errors turned into stale answers, backend load shed while the expensive
+// class melts, and the cost the cache still paid. Runs are single-worker
+// closed-loop with a zero backend delay, so every number is reproducible
+// from (seed, scenario) alone and manifest-diffable run to run.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"costcache/internal/engine"
+	"costcache/internal/fault"
+	"costcache/internal/loadgen"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/resilience"
+	"costcache/internal/tabulate"
+)
+
+// resilienceSection prints the serving-chaos table: one row per serving mode
+// under the backend-brownout scenario. stopped is polled between runs; the
+// return value reports an interruption.
+func resilienceSection(quick bool, seed uint64, stopped func() bool) bool {
+	ops := 200000
+	if quick {
+		ops = 40000
+	}
+	lcfg := loadgen.Config{
+		Mode: loadgen.Closed, Workers: 1, Ops: ops,
+		Keys: 4096, ZipfS: 1.1, Seed: int64(seed),
+	}
+	rcfg := resilience.Config{
+		MaxRetries: 3, RefCost: 8, Seed: seed,
+		BreakerRate: 0.5, BreakerWindow: 64, BreakerMin: 16, BreakerCooldown: 400,
+		ServeStale: true,
+		Classify:   lcfg.CostSource().MissCost,
+	}
+
+	fmt.Printf("== Serving chaos: backend-brownout on the engine, DCL, seed %d ==\n", seed)
+	t := tabulate.New("", "Mode", "Hit %", "Errors", "Retries", "Shed", "Stale", "Breaker trips", "Cost paid")
+
+	run := func(mode string, resilient bool) bool {
+		if stopped() {
+			return true
+		}
+		plan, err := fault.LoaderScenario("backend-brownout", seed)
+		if err != nil {
+			panic(err) // the scenario name is hardwired; a failure is a bug
+		}
+		cfg := lcfg
+		cfg.Faults = fault.NewLoaderInjector(plan)
+		ecfg := engine.Config{
+			Shards: 4, Sets: 512, Ways: 4,
+			Policy: func() replacement.Policy { return replacement.NewDCL() },
+		}
+		var resil *resilience.Resilience
+		if resilient {
+			resil = resilience.New(rcfg, nil)
+			ecfg.Resilience = resil
+		}
+		e := engine.New(ecfg)
+		res, err := loadgen.Run(e, cfg, stopped)
+		if err != nil {
+			panic(err)
+		}
+		if res.Interrupted {
+			return true
+		}
+		st := res.Stats
+		var opened int64
+		if resil != nil {
+			opened = resil.Opened()
+		}
+		t.AddF(mode, 100*st.HitRate(), res.Errors, st.LoadRetries, st.Shed, st.StaleServed, opened, st.CostPaid)
+		record(obs.Name("serving_chaos_errors", "mode", mode), float64(res.Errors))
+		record(obs.Name("serving_chaos_stale", "mode", mode), float64(st.StaleServed))
+		record(obs.Name("serving_chaos_shed", "mode", mode), float64(st.Shed))
+		record(obs.Name("serving_chaos_retries", "mode", mode), float64(st.LoadRetries))
+		record(obs.Name("serving_chaos_cost_paid", "mode", mode), float64(st.CostPaid))
+		record(obs.Name("serving_chaos_breaker_opened", "mode", mode), float64(opened))
+		if man != nil {
+			man.SetConfig("serving_chaos_plan_hash", cfg.Faults.Plan().Hash())
+		}
+		return false
+	}
+
+	if run("naive", false) || run("resilient", true) {
+		return true
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+	return false
+}

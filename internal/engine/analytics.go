@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"costcache/internal/obs/reqspan"
+	"costcache/internal/resilience"
 )
 
 // ShardStats is one shard's cumulative counters plus its instantaneous
@@ -164,6 +165,39 @@ type debugPayload struct {
 	// sampled keyspace-skew estimate.
 	Attribution *reqspan.Attribution  `json:"attribution,omitempty"`
 	Keyspace    *reqspan.KeyspaceSkew `json:"keyspace,omitempty"`
+	// Resilience appears when Config.Resilience is set: the degraded-mode
+	// counters and every cost-class breaker's live state.
+	Resilience *ResilienceDebug `json:"resilience,omitempty"`
+}
+
+// ResilienceDebug is the /debug/engine "resilience" block: the engine's
+// degraded-mode configuration, its counters, and one row per cost-class
+// circuit breaker.
+type ResilienceDebug struct {
+	DeadlineNs   int64                      `json:"deadline_ns"`
+	ServeStale   bool                       `json:"serve_stale"`
+	LoadTimeouts int64                      `json:"load_timeouts"`
+	LoadRetries  int64                      `json:"load_retries"`
+	Shed         int64                      `json:"shed"`
+	StaleServed  int64                      `json:"stale_served"`
+	Breakers     []resilience.BreakerStatus `json:"breakers"`
+}
+
+// ResilienceDebugSnapshot reports the degraded-mode state, or nil when the
+// engine was built without Config.Resilience.
+func (e *Engine) ResilienceDebugSnapshot() *ResilienceDebug {
+	if e.res == nil {
+		return nil
+	}
+	return &ResilienceDebug{
+		DeadlineNs:   e.res.Deadline().Nanoseconds(),
+		ServeStale:   e.res.ServeStale(),
+		LoadTimeouts: e.loadTimeouts.Value(),
+		LoadRetries:  e.loadRetries.Value(),
+		Shed:         e.shed.Value(),
+		StaleServed:  e.staleServed.Value(),
+		Breakers:     e.res.Snapshot(),
+	}
 }
 
 // DebugHandler serves the engine's live analytics as JSON — mounted at
@@ -191,6 +225,7 @@ func DebugHandler(e *Engine, tr *reqspan.Tracer, hotFactor float64) http.Handler
 			k := tr.Keyspace(16)
 			p.Attribution, p.Keyspace = &a, &k
 		}
+		p.Resilience = e.ResilienceDebugSnapshot()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

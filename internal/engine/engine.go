@@ -37,6 +37,7 @@ import (
 	"costcache/internal/obs"
 	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
+	"costcache/internal/resilience"
 )
 
 // Config describes an engine. Geometry is global: Sets is the total set
@@ -71,6 +72,12 @@ type Config struct {
 	// runs. Events are recorded under the shard lock (one tracer mutex plus
 	// a ring-slot copy per decision); nil keeps the zero-overhead path.
 	Decisions *obs.Tracer
+	// Resilience, when non-nil, switches GetOrLoad to the degraded-mode
+	// load path: per-request deadlines, cost-aware retries, per-class
+	// circuit breakers and serve-stale ghosts (see internal/resilience and
+	// docs/ENGINE.md "Degraded-mode serving"). nil keeps the legacy inline
+	// loader path, bit-identical with pre-resilience behavior.
+	Resilience *resilience.Resilience
 }
 
 // Engine is a sharded, thread-safe cost-sensitive cache.
@@ -81,6 +88,14 @@ type Engine struct {
 	shardBits uint
 	ways      int
 	tracer    *reqspan.Tracer
+	res       *resilience.Resilience
+
+	// Degraded-mode counters (engine-wide: the resilient load path is not
+	// a per-shard concern). Bare counters when no registry is configured.
+	loadTimeouts *obs.Counter
+	loadRetries  *obs.Counter
+	shed         *obs.Counter
+	staleServed  *obs.Counter
 }
 
 // Loader produces the value for a missing key along with the miss cost the
@@ -130,11 +145,26 @@ func New(cfg Config) *Engine {
 		shardBits: uint(bits.TrailingZeros(uint(cfg.Shards))),
 		ways:      cfg.Ways,
 		tracer:    cfg.Tracer,
+		res:       cfg.Resilience,
 	}
+	// The degraded-mode series register only when the resilient path is
+	// active, so un-configured runs keep their exact pre-resilience metric
+	// catalog (and manifest snapshots stay diffable against old baselines).
+	counter := func(name string) *obs.Counter {
+		if cfg.Registry == nil || e.res == nil {
+			return &obs.Counter{}
+		}
+		return cfg.Registry.Counter(name)
+	}
+	e.loadTimeouts = counter("engine_load_timeouts")
+	e.loadRetries = counter("engine_load_retries")
+	e.shed = counter("engine_shed")
+	e.staleServed = counter("engine_stale_served")
+	ghosts := e.res != nil && e.res.ServeStale()
 	localSets := cfg.Sets / cfg.Shards
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		s := newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow)
+		s := newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow, ghosts)
 		if cfg.Decisions != nil {
 			if ob, ok := s.policy.(replacement.Observable); ok {
 				ob.SetObserver(cfg.Decisions.BindShard(s.policy.Name(), i))
@@ -218,6 +248,9 @@ func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
 		s.policy.Access(set, key, true)
 		s.policy.Touch(set, w)
 		s.vals[set][w] = value
+		if s.costv != nil {
+			s.costv[set][w] = cost
+		}
 		sp.Mark(reqspan.StageDecision)
 		s.setShadowCost(set, key, cost)
 		s.touchShadow(set, key)
@@ -239,89 +272,26 @@ func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
 // and single cost charge. A loader panic is re-raised in the leader (with
 // the original value) and in every waiter (wrapped in *LoaderPanic); the
 // shard itself stays healthy.
+//
+// With Config.Resilience set, the load path additionally honors per-request
+// deadlines (ErrLoadTimeout), cost-aware retries, per-class circuit
+// breakers (ErrShed) and serve-stale ghosts; callers that want to know
+// whether a returned value is stale use GetOrLoadStale.
 func (e *Engine) GetOrLoad(key uint64, load Loader) (any, error) {
-	s, set := e.place(key)
-	sp := e.tracer.Begin(reqspan.OpGetOrLoad, s.id, key)
-	s.lock()
-	sp.Mark(reqspan.StageLockWait)
-	if w := s.find(set, key); w >= 0 {
-		s.hits.Inc()
-		s.policy.Access(set, key, true)
-		s.policy.Touch(set, w)
-		sp.Mark(reqspan.StageDecision)
-		s.touchShadow(set, key)
-		sp.Mark(reqspan.StageShadow)
-		v := s.vals[set][w]
-		s.mu.Unlock()
-		e.tracer.Finish(sp, reqspan.OutcomeHit)
-		return v, nil
-	}
-	if f, ok := s.flights[key]; ok {
-		s.coalesced.Inc()
-		sp.Mark(reqspan.StageDecision)
-		s.mu.Unlock()
-		<-f.done
-		sp.Mark(reqspan.StageCoalesce)
-		if f.panicked {
-			e.tracer.Finish(sp, reqspan.OutcomeError)
-			panic(&LoaderPanic{Value: f.pan})
-		}
-		e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
-		return f.val, f.err
-	}
-	s.misses.Inc()
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
-	if len(s.flights) > s.flightsMax {
-		s.flightsMax = len(s.flights)
-	}
-	sp.Mark(reqspan.StageDecision)
-	s.mu.Unlock()
-
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				f.panicked, f.pan = true, r
-			}
-		}()
-		f.val, f.cost, f.err = load(key)
-	}()
-	sp.Mark(reqspan.StageLoad)
-
-	s.lock()
-	sp.Mark(reqspan.StageLockWait) // the leader's second acquisition, to install
-	delete(s.flights, key)
-	if !f.panicked && f.err == nil {
-		if w := s.find(set, key); w >= 0 {
-			// A concurrent Set installed the key while the loader ran; the
-			// loader's value wins so leader and waiters agree with the cache.
-			s.vals[set][w] = f.val
-			sp.Mark(reqspan.StageFill)
-		} else {
-			s.install(set, key, f.val, f.cost, sp)
-		}
-	}
-	s.mu.Unlock()
-	close(f.done)
-	if f.panicked {
-		e.tracer.Finish(sp, reqspan.OutcomeError)
-		panic(f.pan)
-	}
-	if f.err != nil {
-		e.tracer.Finish(sp, reqspan.OutcomeError)
-		return f.val, f.err
-	}
-	e.tracer.Finish(sp, reqspan.OutcomeMiss)
-	return f.val, f.err
+	v, _, err := e.GetOrLoadStale(key, load)
+	return v, err
 }
 
 // Invalidate removes key if cached (e.g. an upstream change notification).
 // The policy hook fires either way so victim-directory state (the ETD) is
-// purged too. It reports whether a cached entry was removed.
+// purged too — including any serve-stale ghost, since an upstream change is
+// exactly when a retained value stops being safe to serve. It reports
+// whether a cached entry was removed.
 func (e *Engine) Invalidate(key uint64) bool {
 	s, set := e.place(key)
 	s.lock()
 	defer s.mu.Unlock()
+	delete(s.ghosts, key)
 	w := s.find(set, key)
 	s.policy.Invalidate(set, w, key)
 	if w < 0 {
@@ -351,6 +321,15 @@ type Stats struct {
 	// ShadowCost is the aggregate cost the per-shard LRU shadows paid for
 	// the same stream (0 when the shadow is disabled).
 	ShadowCost int64 `json:"shadow_cost"`
+	// LoadTimeouts counts requests (leaders and coalesced waiters) whose
+	// deadline expired while a load was in flight; LoadRetries counts
+	// backend retry attempts; Shed counts loads refused by an open circuit
+	// breaker; StaleServed counts requests answered from a ghost value.
+	// All stay zero without Config.Resilience.
+	LoadTimeouts int64 `json:"load_timeouts"`
+	LoadRetries  int64 `json:"load_retries"`
+	Shed         int64 `json:"shed"`
+	StaleServed  int64 `json:"stale_served"`
 }
 
 // Stats sums the shard counters. Under concurrent traffic the fields are
@@ -366,19 +345,27 @@ func (e *Engine) Stats() Stats {
 		t.LockWaitNs += s.lockWait.Value()
 		t.ShadowCost += s.shadowCost()
 	}
+	t.LoadTimeouts = e.loadTimeouts.Value()
+	t.LoadRetries = e.loadRetries.Value()
+	t.Shed = e.shed.Value()
+	t.StaleServed = e.staleServed.Value()
 	return t
 }
 
 // Sub returns the counter-wise difference s - prev (a window delta).
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Hits:       s.Hits - prev.Hits,
-		Misses:     s.Misses - prev.Misses,
-		Coalesced:  s.Coalesced - prev.Coalesced,
-		Evictions:  s.Evictions - prev.Evictions,
-		CostPaid:   s.CostPaid - prev.CostPaid,
-		LockWaitNs: s.LockWaitNs - prev.LockWaitNs,
-		ShadowCost: s.ShadowCost - prev.ShadowCost,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Coalesced:    s.Coalesced - prev.Coalesced,
+		Evictions:    s.Evictions - prev.Evictions,
+		CostPaid:     s.CostPaid - prev.CostPaid,
+		LockWaitNs:   s.LockWaitNs - prev.LockWaitNs,
+		ShadowCost:   s.ShadowCost - prev.ShadowCost,
+		LoadTimeouts: s.LoadTimeouts - prev.LoadTimeouts,
+		LoadRetries:  s.LoadRetries - prev.LoadRetries,
+		Shed:         s.Shed - prev.Shed,
+		StaleServed:  s.StaleServed - prev.StaleServed,
 	}
 }
 

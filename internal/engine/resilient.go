@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/replacement"
+)
+
+// ErrLoadTimeout is returned by GetOrLoad/GetOrLoadStale when the
+// resilience deadline expires before the key's in-flight load completes.
+// The load itself keeps running in the background and still fills the
+// cache, so a later request for the key usually hits.
+var ErrLoadTimeout = errors.New("engine: load deadline exceeded")
+
+// ErrShed is returned when the key's cost-class circuit breaker is open and
+// no stale value is available: the load was refused outright to let the
+// backend recover.
+var ErrShed = errors.New("engine: load shed by open circuit breaker")
+
+// GetOrLoadStale is GetOrLoad plus the degraded-mode contract: stale
+// reports that the value came from an evicted-but-retained ghost (served
+// when the breaker is open or the deadline expires, charging zero cost).
+// Without Config.Resilience, stale is always false and the behavior — down
+// to the counter stream — is identical to GetOrLoad before resilience
+// existed.
+func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool, err error) {
+	s, set := e.place(key)
+	sp := e.tracer.Begin(reqspan.OpGetOrLoad, s.id, key)
+	s.lock()
+	sp.Mark(reqspan.StageLockWait)
+	if w := s.find(set, key); w >= 0 {
+		s.hits.Inc()
+		s.policy.Access(set, key, true)
+		s.policy.Touch(set, w)
+		sp.Mark(reqspan.StageDecision)
+		s.touchShadow(set, key)
+		sp.Mark(reqspan.StageShadow)
+		v := s.vals[set][w]
+		s.mu.Unlock()
+		e.tracer.Finish(sp, reqspan.OutcomeHit)
+		return v, false, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.coalesced.Inc()
+		sp.Mark(reqspan.StageDecision)
+		s.mu.Unlock()
+		return e.waitFlight(s, key, f, sp)
+	}
+	if e.res == nil {
+		v, err := e.loadInline(s, set, key, load, sp)
+		return v, false, err
+	}
+	return e.loadResilient(s, set, key, load, sp)
+}
+
+// waitFlight is the coalesced-waiter path: block on the leader's flight,
+// bounded by the resilience deadline when one is configured. A waiter whose
+// deadline expires detaches with ErrLoadTimeout (or a stale ghost) while
+// the load runs on — it still fills the cache for everyone after.
+func (e *Engine) waitFlight(s *shard, key uint64, f *flight, sp *reqspan.Span) (any, bool, error) {
+	if e.res != nil && e.res.Deadline() > 0 {
+		t := time.NewTimer(e.res.Deadline())
+		select {
+		case <-f.done:
+			t.Stop()
+		case <-t.C:
+			e.loadTimeouts.Inc()
+			sp.Mark(reqspan.StageCoalesce)
+			if e.res.ServeStale() {
+				if v, ok := s.ghostValue(key); ok {
+					e.staleServed.Inc()
+					e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
+					return v, true, nil
+				}
+			}
+			e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
+			return nil, false, ErrLoadTimeout
+		}
+	} else {
+		<-f.done
+	}
+	sp.Mark(reqspan.StageCoalesce)
+	if f.panicked {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		panic(&LoaderPanic{Value: f.pan})
+	}
+	e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
+	return f.val, false, f.err
+}
+
+// loadInline is the legacy leader path (no Resilience configured): run the
+// loader on the calling goroutine, install, publish. Kept verbatim so
+// un-configured engines stay bit-identical with pre-resilience behavior.
+// Entered holding the shard lock; the miss is not yet counted.
+func (e *Engine) loadInline(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, error) {
+	s.misses.Inc()
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	if len(s.flights) > s.flightsMax {
+		s.flightsMax = len(s.flights)
+	}
+	sp.Mark(reqspan.StageDecision)
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked, f.pan = true, r
+			}
+		}()
+		f.val, f.cost, f.err = load(key)
+	}()
+	sp.Mark(reqspan.StageLoad)
+
+	s.lock()
+	sp.Mark(reqspan.StageLockWait) // the leader's second acquisition, to install
+	delete(s.flights, key)
+	if !f.panicked && f.err == nil {
+		if w := s.find(set, key); w >= 0 {
+			// A concurrent Set installed the key while the loader ran; the
+			// loader's value wins so leader and waiters agree with the cache.
+			s.vals[set][w] = f.val
+			sp.Mark(reqspan.StageFill)
+		} else {
+			s.install(set, key, f.val, f.cost, sp)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	if f.panicked {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		panic(f.pan)
+	}
+	if f.err != nil {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		return f.val, f.err
+	}
+	e.tracer.Finish(sp, reqspan.OutcomeMiss)
+	return f.val, f.err
+}
+
+// loadResilient is the degraded-mode leader path: consult the class's
+// breaker, run the load (with its cost-scaled retry budget) on a background
+// goroutine, and wait bounded by the deadline. Entered holding the shard
+// lock; the miss is not yet counted.
+func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, bool, error) {
+	// Predict the key's cost class before its loader has run: the
+	// configured classifier, else the cost the key last charged (its ghost).
+	class := e.res.Class(key)
+	if class == 0 && !e.res.HasClassifier() && s.ghosts != nil {
+		if g, ok := s.ghosts[key]; ok {
+			class = g.cost
+		}
+	}
+
+	if !e.res.Allow(class) {
+		// Shed: the class's breaker is open. Still a miss (the request
+		// found nothing cached); answer stale if a ghost is retained,
+		// charging nothing, else fail fast so the backend can recover.
+		s.misses.Inc()
+		e.shed.Inc()
+		sp.Mark(reqspan.StageDecision)
+		var v any
+		var ok bool
+		if e.res.ServeStale() && s.ghosts != nil {
+			if g, gok := s.ghosts[key]; gok {
+				v, ok = g.val, true
+			}
+		}
+		s.mu.Unlock()
+		if ok {
+			e.staleServed.Inc()
+			e.tracer.Finish(sp, reqspan.OutcomeMiss)
+			return v, true, nil
+		}
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		return nil, false, ErrShed
+	}
+
+	s.misses.Inc()
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	if len(s.flights) > s.flightsMax {
+		s.flightsMax = len(s.flights)
+	}
+	sp.Mark(reqspan.StageDecision)
+	s.mu.Unlock()
+
+	go e.runLoad(s, set, key, class, f, load)
+
+	if dl := e.res.Deadline(); dl > 0 {
+		t := time.NewTimer(dl)
+		select {
+		case <-f.done:
+			t.Stop()
+		case <-t.C:
+			// The leader detaches; runLoad owns the flight and will still
+			// install and wake the remaining waiters.
+			e.loadTimeouts.Inc()
+			sp.Mark(reqspan.StageLoad)
+			if e.res.ServeStale() {
+				if v, ok := s.ghostValue(key); ok {
+					e.staleServed.Inc()
+					e.tracer.Finish(sp, reqspan.OutcomeMiss)
+					return v, true, nil
+				}
+			}
+			e.tracer.Finish(sp, reqspan.OutcomeMiss)
+			return nil, false, ErrLoadTimeout
+		}
+	} else {
+		<-f.done
+	}
+	sp.Mark(reqspan.StageLoad)
+	if f.panicked {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		panic(f.pan)
+	}
+	if f.err != nil {
+		e.tracer.Finish(sp, reqspan.OutcomeError)
+		return f.val, false, f.err
+	}
+	sp.AddCost(f.charged)
+	e.tracer.Finish(sp, reqspan.OutcomeMiss)
+	return f.val, false, nil
+}
+
+// runLoad executes one flight's load attempts on a goroutine of its own —
+// the decoupling that lets leaders and waiters time out without killing the
+// load. It retries per the class's budget (stopping early if the class's
+// breaker trips mid-flight), reports every outcome to the breaker, installs
+// on success and closes the flight.
+func (e *Engine) runLoad(s *shard, set int, key uint64, class replacement.Cost, f *flight, load Loader) {
+	attempts := 1 + e.res.Budget(class)
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			e.loadRetries.Inc()
+			if d := e.res.Backoff(key, a); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		f.val, f.cost, f.err = nil, 0, nil
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.panicked, f.pan = true, r
+				}
+			}()
+			f.val, f.cost, f.err = load(key)
+		}()
+		if f.panicked {
+			break // a panic is not a backend outcome; re-raised in the leader
+		}
+		e.res.Report(class, f.err == nil)
+		if f.err == nil || e.res.Tripped(class) {
+			break
+		}
+	}
+	s.lock()
+	delete(s.flights, key)
+	if !f.panicked && f.err == nil {
+		if w := s.find(set, key); w >= 0 {
+			// A concurrent Set installed the key while the loader ran; the
+			// loader's value wins so flights agree with the cache.
+			s.vals[set][w] = f.val
+			if s.costv != nil {
+				s.costv[set][w] = f.cost
+			}
+		} else {
+			s.install(set, key, f.val, f.cost, nil)
+			f.charged = int64(f.cost)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+}

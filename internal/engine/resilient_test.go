@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/resilience"
+)
+
+func resEngine(t *testing.T, cfg Config, rc resilience.Config) (*Engine, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Registry = reg
+	cfg.Resilience = resilience.New(rc, reg)
+	return New(cfg), reg
+}
+
+// TestWaiterDeadlineExpires parks a waiter behind a gated leader with a short
+// deadline: the waiter must detach with ErrLoadTimeout while the leader's
+// load keeps running and fills the cache for later requests. Run under -race
+// in CI.
+func TestWaiterDeadlineExpires(t *testing.T) {
+	e, _ := resEngine(t,
+		Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory},
+		resilience.Config{Deadline: 20 * time.Millisecond})
+	gate := make(chan struct{})
+	load := func(uint64) (any, replacement.Cost, error) {
+		<-gate
+		return "slow", 3, nil
+	}
+
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := e.GetOrLoad(9, load)
+		leaderDone <- err
+	}()
+	<-started
+	// Wait until the flight is registered so the second call coalesces.
+	for {
+		if st := e.ShardStats()[0]; st.InFlight == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, _, err := e.GetOrLoadStale(9, load); !errors.Is(err, ErrLoadTimeout) {
+		t.Fatalf("waiter error = %v, want ErrLoadTimeout", err)
+	}
+	if st := e.Stats(); st.LoadTimeouts < 1 || st.Coalesced != 1 {
+		t.Fatalf("stats after waiter timeout: %+v", st)
+	}
+
+	close(gate)
+	if err := <-leaderDone; err != nil && !errors.Is(err, ErrLoadTimeout) {
+		t.Fatalf("leader error: %v", err)
+	}
+	// The load survived the waiter's departure: the key is (eventually) cached.
+	deadline := time.After(2 * time.Second)
+	for {
+		if v, ok := e.Get(9); ok {
+			if v != "slow" {
+				t.Fatalf("cached value = %v", v)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("load result never filled the cache")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestLeaderDeadlineServesStale evicts a key (ghosting its value), then makes
+// its reload hang past the deadline: the leader must get the ghost back with
+// stale=true and a zero charge.
+func TestLeaderDeadlineServesStale(t *testing.T) {
+	e, _ := resEngine(t,
+		Config{Shards: 1, Sets: 1, Ways: 1, Policy: lruFactory},
+		resilience.Config{Deadline: 10 * time.Millisecond, ServeStale: true})
+	if _, err := e.GetOrLoad(1, constLoader("old", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GetOrLoad(2, constLoader("other", 2)); err != nil {
+		t.Fatal(err) // single way: evicts key 1 into the ghost ring
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	hang := func(uint64) (any, replacement.Cost, error) {
+		<-gate
+		return "new", 2, nil
+	}
+	v, stale, err := e.GetOrLoadStale(1, hang)
+	if err != nil || !stale || v != "old" {
+		t.Fatalf("stale serve = (%v, %v, %v), want (old, true, nil)", v, stale, err)
+	}
+	st := e.Stats()
+	if st.StaleServed != 1 || st.LoadTimeouts != 1 {
+		t.Fatalf("stats = %+v, want 1 stale_served / 1 load_timeouts", st)
+	}
+	if st.CostPaid != 4 {
+		t.Fatalf("cost paid %d, want 4 (stale serve must charge nothing)", st.CostPaid)
+	}
+}
+
+// TestBreakerShedsAndServesStale melts a cost class until its breaker opens,
+// then checks that shed requests either serve stale (when the key was evicted
+// with a ghost) or fail fast with ErrShed, and that the breaker counters and
+// debug snapshot reflect the trip.
+func TestBreakerShedsAndServesStale(t *testing.T) {
+	classify := func(key uint64) replacement.Cost { return 8 }
+	e, reg := resEngine(t,
+		Config{Shards: 1, Sets: 1, Ways: 1, Policy: lruFactory},
+		resilience.Config{
+			BreakerRate: 0.5, BreakerWindow: 8, BreakerMin: 4,
+			BreakerCooldown: 100, ServeStale: true, Classify: classify,
+		})
+
+	// Seed key 1, then evict it so its value ghosts.
+	if _, err := e.GetOrLoad(1, constLoader("cached", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GetOrLoad(2, constLoader("evictor", 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failing loads on distinct keys until the class-8 breaker trips (the
+	// two seeding successes count toward the rate window, so the exact trip
+	// point is the breaker's business — the contract is that it trips).
+	boom := errors.New("backend down")
+	failing := func(uint64) (any, replacement.Cost, error) { return nil, 0, boom }
+	var sheds int64
+	for k := uint64(10); ; k++ {
+		_, _, err := e.GetOrLoadStale(k, failing)
+		if errors.Is(err, ErrShed) {
+			sheds++
+			break
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("key %d: err = %v, want backend error", k, err)
+		}
+		if k > 40 {
+			t.Fatal("breaker never tripped")
+		}
+	}
+
+	// Open breaker, no ghost: fail fast.
+	if _, _, err := e.GetOrLoadStale(20, failing); !errors.Is(err, ErrShed) {
+		t.Fatalf("shed err = %v, want ErrShed", err)
+	}
+	sheds++
+	// Open breaker, ghosted key: stale hit, loader never runs.
+	var calls atomic.Int64
+	counting := func(uint64) (any, replacement.Cost, error) {
+		calls.Add(1)
+		return nil, 0, boom
+	}
+	v, stale, err := e.GetOrLoadStale(1, counting)
+	if err != nil || !stale || v != "cached" || calls.Load() != 0 {
+		t.Fatalf("ghost serve = (%v, %v, %v), calls %d", v, stale, err, calls.Load())
+	}
+
+	sheds++ // the ghost serve above was itself a shed
+	st := e.Stats()
+	if st.Shed != sheds || st.StaleServed != 1 {
+		t.Fatalf("stats = %+v, want %d shed / 1 stale_served", st, sheds)
+	}
+	if c := reg.Counter(obs.Name("engine_breaker_opened", "class", "cost=8")); c.Value() != 1 {
+		t.Fatalf("breaker opened counter = %d, want 1", c.Value())
+	}
+	d := e.ResilienceDebugSnapshot()
+	if d == nil || !d.ServeStale || d.Shed != sheds || len(d.Breakers) != 1 || d.Breakers[0].State != "open" {
+		t.Fatalf("resilience debug = %+v", d)
+	}
+}
+
+// TestRetryBudgetScalesWithCost drives one expensive and one cheap key
+// through a permanently failing loader: the class at RefCost earns the full
+// retry budget, the cheap class none.
+func TestRetryBudgetScalesWithCost(t *testing.T) {
+	classify := func(key uint64) replacement.Cost {
+		if key == 100 {
+			return 8
+		}
+		return 1
+	}
+	e, _ := resEngine(t,
+		Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory},
+		resilience.Config{MaxRetries: 3, RefCost: 8, Classify: classify})
+
+	boom := errors.New("backend down")
+	var calls atomic.Int64
+	failing := func(uint64) (any, replacement.Cost, error) {
+		calls.Add(1)
+		return nil, 0, boom
+	}
+
+	if _, err := e.GetOrLoad(100, failing); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("expensive key attempts = %d, want 4 (1 + 3 retries)", n)
+	}
+	calls.Store(0)
+	if _, err := e.GetOrLoad(5, failing); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("cheap key attempts = %d, want 1 (no retry budget)", n)
+	}
+	if st := e.Stats(); st.LoadRetries != 3 {
+		t.Fatalf("load_retries = %d, want 3", st.LoadRetries)
+	}
+}
+
+// TestResilientPathMatchesLegacyCounters replays the same deterministic mix
+// through a legacy engine and one with resilience enabled but never
+// triggered (no deadline, healthy loader): every Stats field must agree, so
+// the degraded-mode plumbing is proven invisible until something fails.
+func TestResilientPathMatchesLegacyCounters(t *testing.T) {
+	run := func(rc *resilience.Config) Stats {
+		cfg := Config{Shards: 2, Sets: 16, Ways: 2, Policy: lruFactory, Shadow: true}
+		if rc != nil {
+			cfg.Resilience = resilience.New(*rc, nil)
+		}
+		e := New(cfg)
+		for i := 0; i < 4000; i++ {
+			k := uint64(i*2654435761) % 96
+			if _, err := e.GetOrLoad(k, constLoader(k, replacement.Cost(1+k%8))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Stats()
+	}
+	legacy := run(nil)
+	resilient := run(&resilience.Config{
+		MaxRetries: 3, RefCost: 8, BreakerRate: 0.5, ServeStale: true,
+		Classify: func(key uint64) replacement.Cost { return replacement.Cost(1 + key%8) },
+	})
+	if legacy != resilient {
+		t.Fatalf("stats diverged:\nlegacy    %+v\nresilient %+v", legacy, resilient)
+	}
+	if legacy.LoadTimeouts+legacy.LoadRetries+legacy.Shed+legacy.StaleServed != 0 {
+		t.Fatalf("healthy run touched resilience counters: %+v", legacy)
+	}
+}
+
+// TestResilientHammer floods a resilient engine (short deadline, flaky
+// loader, breakers, serve-stale all on) from many goroutines — the -race
+// sweep for the new flight/ghost paths. The counter identity must survive
+// every degraded outcome.
+func TestResilientHammer(t *testing.T) {
+	boom := errors.New("flaky")
+	e, _ := resEngine(t,
+		Config{Shards: 4, Sets: 32, Ways: 2, Policy: lruFactory},
+		resilience.Config{
+			Deadline: 2 * time.Millisecond, MaxRetries: 2, RefCost: 8,
+			BreakerRate: 0.6, BreakerWindow: 32, BreakerMin: 8, BreakerCooldown: 64,
+			ServeStale: true,
+			Classify:   func(key uint64) replacement.Cost { return replacement.Cost(1 + key%8) },
+		})
+	var wg sync.WaitGroup
+	const goroutines, opsEach = 16, 500
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := uint64((g*17 + i) % 256)
+				load := func(k uint64) (any, replacement.Cost, error) {
+					if (k+uint64(i))%3 == 0 {
+						return nil, 0, boom
+					}
+					if k%7 == 0 {
+						time.Sleep(4 * time.Millisecond) // past the deadline
+					}
+					return k, replacement.Cost(1 + k%8), nil
+				}
+				v, stale, err := e.GetOrLoadStale(key, load)
+				if err == nil && !stale && v != key {
+					t.Errorf("key %d: fresh value %v", key, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	if total := st.Hits + st.Misses + st.Coalesced; total != goroutines*opsEach {
+		t.Fatalf("hits+misses+coalesced = %d, want %d (stats %+v)", total, goroutines*opsEach, st)
+	}
+}
+
+// TestDebugEngineResilienceSchema locks the /debug/engine resilience block's
+// key set, the same way TestDebugEngineSchema locks the core document.
+func TestDebugEngineResilienceSchema(t *testing.T) {
+	e, _ := resEngine(t,
+		Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory},
+		resilience.Config{BreakerRate: 0.5, ServeStale: true,
+			Classify: func(uint64) replacement.Cost { return 4 }})
+	if _, err := e.GetOrLoad(1, constLoader("v", 4)); err != nil {
+		t.Fatal(err)
+	}
+	d := e.ResilienceDebugSnapshot()
+	if d == nil || len(d.Breakers) != 1 || d.Breakers[0].Class != "cost=4" {
+		t.Fatalf("resilience snapshot = %+v", d)
+	}
+	legacy := New(Config{Shards: 1, Sets: 8, Ways: 2, Policy: lruFactory})
+	if legacy.ResilienceDebugSnapshot() != nil {
+		t.Fatal("legacy engine reports a resilience block")
+	}
+}

@@ -62,7 +62,8 @@ func TestDebugEngineSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantKeys(t, "stats", stats, []string{
-		"hits", "misses", "coalesced", "evictions", "cost_paid", "lock_wait_ns", "shadow_cost"})
+		"hits", "misses", "coalesced", "evictions", "cost_paid", "lock_wait_ns", "shadow_cost",
+		"load_timeouts", "load_retries", "shed", "stale_served"})
 
 	var window map[string]json.RawMessage
 	if err := json.Unmarshal(doc["window"], &window); err != nil {

@@ -39,24 +39,44 @@ type shard struct {
 	shadow *cache.Cache
 	costs  map[uint64]replacement.Cost
 
+	// ghosts retains the last sets×ways evicted values for serve-stale
+	// (nil unless the engine's resilience config enables it). gring is a
+	// FIFO of ghost keys bounding the map at the shard's own capacity;
+	// costv tracks each resident way's charged cost so an evicted value
+	// ghosts with its class.
+	ghosts map[uint64]ghost
+	gring  []uint64
+	ghead  int
+	costv  [][]replacement.Cost
+
 	hits, misses, coalesced *obs.Counter
 	evictions, costPaid     *obs.Counter
 	lockWait                *obs.Counter
 }
 
 // flight is one in-flight load. The result fields are written by the leader
-// before done is closed and read by waiters after it, so the channel close
-// publishes them.
+// (or, on the resilient path, the background load goroutine) before done is
+// closed and read by waiters after it, so the channel close publishes them.
 type flight struct {
 	done     chan struct{}
 	val      any
 	cost     replacement.Cost
+	charged  int64 // cost actually charged at install (0 if a Set won the race)
 	err      error
 	panicked bool
 	pan      any
 }
 
-func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withShadow bool) *shard {
+// ghost is one evicted-but-retained value: the serve-stale fallback when a
+// breaker is open or a deadline expires. slot is its position in the gring
+// FIFO (a re-ghosted key abandons its old slot, which then tombstones).
+type ghost struct {
+	val  any
+	cost replacement.Cost
+	slot int
+}
+
+func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withShadow, withGhosts bool) *shard {
 	s := &shard{
 		policy:  p,
 		id:      id,
@@ -85,6 +105,14 @@ func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withS
 	s.evictions = counter("engine_evictions")
 	s.costPaid = counter("engine_cost_paid")
 	s.lockWait = counter("engine_lock_wait_ns")
+	if withGhosts {
+		s.ghosts = make(map[uint64]ghost)
+		s.gring = make([]uint64, sets*ways)
+		s.costv = make([][]replacement.Cost, sets)
+		for i := range s.costv {
+			s.costv[i] = make([]replacement.Cost, ways)
+		}
+	}
 	if withShadow {
 		s.costs = make(map[uint64]replacement.Cost)
 		s.shadow = cache.New(cache.Config{
@@ -140,10 +168,16 @@ func (s *shard) install(set int, key uint64, value any, c replacement.Cost, sp *
 			panic(fmt.Sprintf("engine: policy %s returned bad victim %d", s.policy.Name(), w))
 		}
 		s.evictions.Inc()
+		if s.ghosts != nil {
+			s.stashGhost(s.keys[set][w], s.vals[set][w], s.costv[set][w])
+		}
 	}
 	s.keys[set][w] = key
 	s.valid[set][w] = true
 	s.vals[set][w] = value
+	if s.costv != nil {
+		s.costv[set][w] = c
+	}
 	s.policy.Fill(set, w, key, c)
 	s.costPaid.Add(int64(c))
 	sp.AddCost(int64(c))
@@ -151,6 +185,30 @@ func (s *shard) install(set int, key uint64, value any, c replacement.Cost, sp *
 	s.setShadowCost(set, key, c)
 	s.touchShadow(set, key)
 	sp.Mark(reqspan.StageShadow)
+}
+
+// stashGhost retains an evicted value for serve-stale (lock held). The FIFO
+// ring bounds the ghost map at the shard's capacity: the incoming ghost
+// overwrites the ring's oldest slot, evicting whichever ghost still lives
+// there. A key ghosted again abandons its old slot (the stale ring entry no
+// longer matches the map and is skipped when its turn comes).
+func (s *shard) stashGhost(key uint64, val any, c replacement.Cost) {
+	slot := s.ghead
+	if old, ok := s.ghosts[s.gring[slot]]; ok && old.slot == slot {
+		delete(s.ghosts, s.gring[slot])
+	}
+	s.gring[slot] = key
+	s.ghosts[key] = ghost{val: val, cost: c, slot: slot}
+	s.ghead = (s.ghead + 1) % len(s.gring)
+}
+
+// ghostValue looks up key's retained value, taking the shard lock (callers
+// on the degraded path hold no lock). Safe with ghosts disabled.
+func (s *shard) ghostValue(key uint64) (any, bool) {
+	s.lock()
+	defer s.mu.Unlock()
+	g, ok := s.ghosts[key]
+	return g.val, ok
 }
 
 // shadowBlock maps (set, key) to the shadow cache's block address: the low

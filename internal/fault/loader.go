@@ -1,0 +1,362 @@
+// Loader fault plans extend the deterministic fault subsystem to the serving
+// engine's backend: where Plan degrades the simulated machine as a function
+// of simulated time, a LoaderPlan degrades the simulated *backend* as a pure
+// function of the backend-load attempt index ("op") and the key's cost
+// class. Every retry is its own op, so same-seed closed-loop runs replay the
+// exact same error/latency sequence and an empty LoaderPlan is bit-identical
+// with an un-faulted run. See docs/FAULTS.md for the JSON schema and
+// docs/ENGINE.md for how the engine's resilient load path reacts.
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// ErrInjectedLoad is the error a faulted backend load returns. The engine's
+// retry/breaker machinery treats it like any loader error; tests match it
+// with errors.Is.
+var ErrInjectedLoad = errors.New("fault: injected backend error")
+
+// OpSpan is a backend-load activity interval over load-attempt indices: one
+// shot during [StartOp, EndOp) when PeriodOps is zero, repeating every
+// PeriodOps attempts otherwise (active whenever (op-StartOp) mod PeriodOps <
+// EndOp-StartOp and op >= StartOp). Indices count loader invocations —
+// misses plus retries — not requests, so plans stay meaningful however well
+// the cache absorbs traffic.
+type OpSpan struct {
+	StartOp   int64 `json:"start_op"`
+	EndOp     int64 `json:"end_op"`
+	PeriodOps int64 `json:"period_ops,omitempty"`
+}
+
+// Active reports whether the span covers load attempt op.
+func (s OpSpan) Active(op int64) bool {
+	if op < s.StartOp {
+		return false
+	}
+	if s.PeriodOps <= 0 {
+		return op < s.EndOp
+	}
+	return (op-s.StartOp)%s.PeriodOps < s.EndOp-s.StartOp
+}
+
+func (s OpSpan) validate(kind string) error {
+	if s.EndOp <= s.StartOp {
+		return fmt.Errorf("fault: %s span [%d,%d) is empty", kind, s.StartOp, s.EndOp)
+	}
+	if s.StartOp < 0 {
+		return fmt.Errorf("fault: %s span starts before op 0", kind)
+	}
+	if s.PeriodOps > 0 && s.PeriodOps < s.EndOp-s.StartOp {
+		return fmt.Errorf("fault: %s span period %d shorter than its duration", kind, s.PeriodOps)
+	}
+	return nil
+}
+
+// ErrorBurst fails every matching backend load during the span. Class
+// selects the cost class it hits (the key's miss cost; -1 for every class).
+type ErrorBurst struct {
+	Class int64 `json:"class"`
+	OpSpan
+}
+
+// SlowSpike adds ExtraUnits cost units of simulated backend latency to every
+// matching load during the span (the load generator sleeps ExtraUnits ×
+// LoadDelay extra). Class -1 hits every class.
+type SlowSpike struct {
+	Class int64 `json:"class"`
+	OpSpan
+	ExtraUnits int64 `json:"extra_units"`
+}
+
+// Brownout fails a seeded FailFrac fraction of matching loads during the
+// span — the partial-degradation shape that exercises failure-rate breakers.
+// Class -1 hits every class; FailFrac 1 is a full outage of the class.
+type Brownout struct {
+	Class int64 `json:"class"`
+	OpSpan
+	FailFrac float64 `json:"fail_frac"`
+}
+
+// LoaderPlan is a complete backend fault schedule. The zero value is the
+// empty plan: it injects nothing and is guaranteed bit-identical with an
+// un-faulted run.
+type LoaderPlan struct {
+	// Name labels the plan in tables and manifests (scenario name or file).
+	Name string `json:"name,omitempty"`
+	// Seed drives the brownout coin flips (and records the generator seed
+	// for scenario-built plans).
+	Seed      uint64       `json:"seed,omitempty"`
+	Bursts    []ErrorBurst `json:"error_bursts,omitempty"`
+	Spikes    []SlowSpike  `json:"slow_spikes,omitempty"`
+	Brownouts []Brownout   `json:"brownouts,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *LoaderPlan) Empty() bool {
+	return p == nil || len(p.Bursts)+len(p.Spikes)+len(p.Brownouts) == 0
+}
+
+// Validate checks the plan's structural invariants.
+func (p *LoaderPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, b := range p.Bursts {
+		if err := b.validate(fmt.Sprintf("error_bursts[%d]", i)); err != nil {
+			return err
+		}
+		if b.Class < -1 {
+			return fmt.Errorf("fault: error_bursts[%d] class %d (want a cost class or -1 for all)", i, b.Class)
+		}
+	}
+	for i, s := range p.Spikes {
+		if err := s.validate(fmt.Sprintf("slow_spikes[%d]", i)); err != nil {
+			return err
+		}
+		if s.ExtraUnits <= 0 {
+			return fmt.Errorf("fault: slow_spikes[%d] needs extra_units > 0", i)
+		}
+		if s.Class < -1 {
+			return fmt.Errorf("fault: slow_spikes[%d] class %d", i, s.Class)
+		}
+	}
+	for i, b := range p.Brownouts {
+		if err := b.validate(fmt.Sprintf("brownouts[%d]", i)); err != nil {
+			return err
+		}
+		if b.FailFrac <= 0 || b.FailFrac > 1 {
+			return fmt.Errorf("fault: brownouts[%d] fail_frac %g (want (0, 1])", i, b.FailFrac)
+		}
+		if b.Class < -1 {
+			return fmt.Errorf("fault: brownouts[%d] class %d", i, b.Class)
+		}
+	}
+	return nil
+}
+
+// Hash returns the hex SHA-256 of the plan's canonical JSON encoding — the
+// identity manifests record. The empty plan hashes to "".
+func (p *LoaderPlan) Hash() string {
+	if p.Empty() {
+		return ""
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("fault: loader plan hash encoding: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseLoaderJSON decodes and validates a loader plan document.
+func ParseLoaderJSON(data []byte) (*LoaderPlan, error) {
+	var p LoaderPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadLoaderFile loads and validates a loader plan from a JSON file.
+func ReadLoaderFile(path string) (*LoaderPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParseLoaderJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if p.Name == "" {
+		p.Name = path
+	}
+	return p, nil
+}
+
+// WriteFile marshals the plan (indented, trailing newline) to path.
+func (p *LoaderPlan) WriteFile(path string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoaderInjector answers "what happens to load attempt op of class c?" for
+// one plan. Outcome is a pure function of (plan, op, class); the injector
+// only adds atomic counters so drivers can record how much chaos a run
+// actually saw. A nil injector injects nothing.
+type LoaderInjector struct {
+	plan   *LoaderPlan
+	errors atomic.Int64 // loads failed by the plan
+	slow   atomic.Int64 // extra latency units added by the plan
+}
+
+// NewLoaderInjector compiles plan (nil or empty plans yield a nil injector,
+// the explicit "no chaos" representation).
+func NewLoaderInjector(p *LoaderPlan) *LoaderInjector {
+	if p.Empty() {
+		return nil
+	}
+	return &LoaderInjector{plan: p}
+}
+
+// Plan returns the injector's plan (nil for a nil injector).
+func (in *LoaderInjector) Plan() *LoaderPlan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// classMatch reports whether a fault declared for class sel hits class c.
+func classMatch(sel, c int64) bool { return sel == -1 || sel == c }
+
+// Outcome returns the fate of backend load attempt op for a key of cost
+// class class: fail injects an error, extraUnits adds simulated latency
+// (cost units). Deterministic: same (plan, op, class) always answers the
+// same, concurrent callers only race on the telemetry counters.
+func (in *LoaderInjector) Outcome(op, class int64) (fail bool, extraUnits int64) {
+	if in == nil {
+		return false, 0
+	}
+	for _, b := range in.plan.Bursts {
+		if classMatch(b.Class, class) && b.Active(op) {
+			in.errors.Add(1)
+			return true, 0
+		}
+	}
+	for _, b := range in.plan.Brownouts {
+		if !classMatch(b.Class, class) || !b.Active(op) {
+			continue
+		}
+		// An unbiased top-53-bit draw per attempt, seeded by the plan: the
+		// same op always lands on the same side of the coin.
+		h := hash64(in.plan.Seed ^ uint64(op)*0x9e3779b97f4a7c15)
+		if b.FailFrac >= 1 || float64(h>>11)/float64(1<<53) < b.FailFrac {
+			in.errors.Add(1)
+			return true, 0
+		}
+	}
+	for _, s := range in.plan.Spikes {
+		if classMatch(s.Class, class) && s.Active(op) {
+			extraUnits += s.ExtraUnits
+		}
+	}
+	if extraUnits > 0 {
+		in.slow.Add(extraUnits)
+	}
+	return false, extraUnits
+}
+
+// Errors returns how many loads the plan has failed so far.
+func (in *LoaderInjector) Errors() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.errors.Load()
+}
+
+// SlowUnits returns the total extra latency units the plan has added.
+func (in *LoaderInjector) SlowUnits() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.slow.Load()
+}
+
+// hash64 is the SplitMix64 finalizer (shared with the scenario generator).
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// LoaderScenarioNames lists the built-in loader fault scenarios, the valid
+// cachebench -fault.scenario values.
+func LoaderScenarioNames() []string {
+	return []string{"backend-brownout", "error-burst", "latency-spike", "mixed-chaos"}
+}
+
+// LoaderScenario builds a named loader plan. The seed perturbs span
+// placement (and drives brownout coin flips) so repeated experiments can
+// decorrelate; the same (name, seed) always yields the same plan.
+//
+//	backend-brownout  every high-cost (class 8) load fails over one long span
+//	error-burst       short periodic all-class outage bursts
+//	latency-spike     periodic all-class slow spans (+20 cost units)
+//	mixed-chaos       brownout + bursts + spikes together
+func LoaderScenario(name string, seed uint64) (*LoaderPlan, error) {
+	p := &LoaderPlan{Name: name, Seed: seed}
+	// jitter shifts a span start by up to `spread` attempts, seeded.
+	jitter := func(salt, spread uint64) int64 {
+		return int64(hash64(seed^salt) % spread)
+	}
+	// Spans are calibrated in backend load attempts, not requests: a warm
+	// cache turns only its miss stream into loads (typically 10-20% of
+	// requests), so the windows below land inside runs of a few tens of
+	// thousands of requests.
+	switch name {
+	case "backend-brownout":
+		start := 500 + jitter(0x61, 200)
+		p.Brownouts = []Brownout{{
+			Class:    8,
+			OpSpan:   OpSpan{StartOp: start, EndOp: start + 4000},
+			FailFrac: 1,
+		}}
+	case "error-burst":
+		start := 300 + jitter(0x62, 100)
+		p.Bursts = []ErrorBurst{{
+			Class:  -1,
+			OpSpan: OpSpan{StartOp: start, EndOp: start + 150, PeriodOps: 2000},
+		}}
+	case "latency-spike":
+		start := 400 + jitter(0x63, 150)
+		p.Spikes = []SlowSpike{{
+			Class:      -1,
+			OpSpan:     OpSpan{StartOp: start, EndOp: start + 300, PeriodOps: 2500},
+			ExtraUnits: 20,
+		}}
+	case "mixed-chaos":
+		bs := 700 + jitter(0x64, 200)
+		p.Brownouts = []Brownout{{
+			Class:    8,
+			OpSpan:   OpSpan{StartOp: bs, EndOp: bs + 2500},
+			FailFrac: 0.8,
+		}}
+		es := 250 + jitter(0x65, 80)
+		p.Bursts = []ErrorBurst{{
+			Class:  -1,
+			OpSpan: OpSpan{StartOp: es, EndOp: es + 120, PeriodOps: 3000},
+		}}
+		ss := 450 + jitter(0x66, 120)
+		p.Spikes = []SlowSpike{{
+			Class:      -1,
+			OpSpan:     OpSpan{StartOp: ss, EndOp: ss + 250, PeriodOps: 4000},
+			ExtraUnits: 10,
+		}}
+	default:
+		return nil, fmt.Errorf("fault: unknown loader scenario %q (valid: %v)", name, LoaderScenarioNames())
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: scenario %s built an invalid plan: %v", name, err))
+	}
+	return p, nil
+}

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpSpanActive(t *testing.T) {
+	one := OpSpan{StartOp: 10, EndOp: 20}
+	for op, want := range map[int64]bool{9: false, 10: true, 19: true, 20: false, 1000: false} {
+		if got := one.Active(op); got != want {
+			t.Errorf("one-shot Active(%d) = %v, want %v", op, got, want)
+		}
+	}
+	per := OpSpan{StartOp: 10, EndOp: 20, PeriodOps: 100}
+	for op, want := range map[int64]bool{9: false, 15: true, 25: false, 110: true, 119: true, 120: false, 215: true} {
+		if got := per.Active(op); got != want {
+			t.Errorf("periodic Active(%d) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestLoaderPlanValidate(t *testing.T) {
+	bad := []LoaderPlan{
+		{Bursts: []ErrorBurst{{Class: 1, OpSpan: OpSpan{StartOp: 5, EndOp: 5}}}},
+		{Bursts: []ErrorBurst{{Class: -2, OpSpan: OpSpan{StartOp: 0, EndOp: 5}}}},
+		{Spikes: []SlowSpike{{Class: -1, OpSpan: OpSpan{StartOp: 0, EndOp: 5}}}}, // extra_units 0
+		{Spikes: []SlowSpike{{Class: -1, OpSpan: OpSpan{StartOp: 0, EndOp: 5, PeriodOps: 3}, ExtraUnits: 1}}},
+		{Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: 0, EndOp: 5}, FailFrac: 0}}},
+		{Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: 0, EndOp: 5}, FailFrac: 1.5}}},
+		{Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: -1, EndOp: 5}, FailFrac: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: Validate accepted an invalid plan", i)
+		}
+	}
+	ok := LoaderPlan{
+		Bursts:    []ErrorBurst{{Class: -1, OpSpan: OpSpan{StartOp: 0, EndOp: 5, PeriodOps: 10}}},
+		Spikes:    []SlowSpike{{Class: 2, OpSpan: OpSpan{StartOp: 3, EndOp: 9}, ExtraUnits: 4}},
+		Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: 10, EndOp: 20}, FailFrac: 0.5}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected a valid plan: %v", err)
+	}
+}
+
+// TestLoaderInjectorPure is the determinism contract: Outcome is a pure
+// function of (plan, op, class), so two injectors over the same plan answer
+// identically for every query, in any order.
+func TestLoaderInjectorPure(t *testing.T) {
+	plan := &LoaderPlan{
+		Seed:      42,
+		Bursts:    []ErrorBurst{{Class: 1, OpSpan: OpSpan{StartOp: 100, EndOp: 150, PeriodOps: 500}}},
+		Spikes:    []SlowSpike{{Class: -1, OpSpan: OpSpan{StartOp: 200, EndOp: 260}, ExtraUnits: 7}},
+		Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: 300, EndOp: 900}, FailFrac: 0.4}},
+	}
+	a, b := NewLoaderInjector(plan), NewLoaderInjector(plan)
+	for op := int64(0); op < 2000; op++ {
+		for _, class := range []int64{1, 8} {
+			fa, ea := a.Outcome(op, class)
+			// Query b in a scrambled order: purity means order cannot matter.
+			fb, eb := b.Outcome(op, class)
+			if fa != fb || ea != eb {
+				t.Fatalf("op %d class %d: injectors disagree: (%v,%d) vs (%v,%d)", op, class, fa, ea, fb, eb)
+			}
+		}
+	}
+	if a.Errors() != b.Errors() || a.SlowUnits() != b.SlowUnits() {
+		t.Fatalf("counter mismatch: errors %d/%d slow %d/%d", a.Errors(), b.Errors(), a.SlowUnits(), b.SlowUnits())
+	}
+	if a.Errors() == 0 {
+		t.Fatal("plan injected no errors over 2000 ops")
+	}
+	if a.SlowUnits() == 0 {
+		t.Fatal("plan added no slow units over 2000 ops")
+	}
+}
+
+func TestLoaderInjectorClassSelectivity(t *testing.T) {
+	plan := &LoaderPlan{Brownouts: []Brownout{{Class: 8, OpSpan: OpSpan{StartOp: 0, EndOp: 100}, FailFrac: 1}}}
+	in := NewLoaderInjector(plan)
+	for op := int64(0); op < 100; op++ {
+		if fail, _ := in.Outcome(op, 8); !fail {
+			t.Fatalf("op %d: class-8 load survived a full class-8 brownout", op)
+		}
+		if fail, _ := in.Outcome(op, 1); fail {
+			t.Fatalf("op %d: class-1 load failed a class-8 brownout", op)
+		}
+	}
+}
+
+func TestLoaderInjectorBrownoutFraction(t *testing.T) {
+	plan := &LoaderPlan{Seed: 7, Brownouts: []Brownout{{Class: -1, OpSpan: OpSpan{StartOp: 0, EndOp: 10000}, FailFrac: 0.3}}}
+	in := NewLoaderInjector(plan)
+	var failed int
+	for op := int64(0); op < 10000; op++ {
+		if fail, _ := in.Outcome(op, 1); fail {
+			failed++
+		}
+	}
+	if failed < 2500 || failed > 3500 {
+		t.Fatalf("0.3 brownout failed %d/10000 loads (want ~3000)", failed)
+	}
+}
+
+// TestNilLoaderInjector locks the empty-plan representation: nil plans and
+// empty plans compile to a nil injector whose every method is a no-op.
+func TestNilLoaderInjector(t *testing.T) {
+	for _, p := range []*LoaderPlan{nil, {}, {Name: "named-but-empty", Seed: 3}} {
+		in := NewLoaderInjector(p)
+		if in != nil {
+			t.Fatalf("empty plan %+v compiled to a non-nil injector", p)
+		}
+	}
+	var in *LoaderInjector
+	if fail, extra := in.Outcome(5, 8); fail || extra != 0 {
+		t.Fatal("nil injector injected something")
+	}
+	if in.Errors() != 0 || in.SlowUnits() != 0 || in.Plan() != nil {
+		t.Fatal("nil injector reported non-zero state")
+	}
+	var ep *LoaderPlan
+	if !ep.Empty() || ep.Hash() != "" {
+		t.Fatal("nil plan is not empty / has a hash")
+	}
+}
+
+func TestLoaderScenarios(t *testing.T) {
+	for _, name := range LoaderScenarioNames() {
+		p1, err := LoaderScenario(name, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p1.Empty() {
+			t.Fatalf("%s: scenario built an empty plan", name)
+		}
+		p2, _ := LoaderScenario(name, 11)
+		if p1.Hash() != p2.Hash() {
+			t.Fatalf("%s: same seed, different plans", name)
+		}
+		p3, _ := LoaderScenario(name, 12)
+		if p1.Hash() == p3.Hash() {
+			t.Fatalf("%s: different seeds built identical plans", name)
+		}
+	}
+	if _, err := LoaderScenario("no-such-scenario", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestLoaderPlanRoundTrip(t *testing.T) {
+	p, err := LoaderScenario("mixed-chaos", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLoaderFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != p.Hash() {
+		t.Fatalf("round trip changed the plan: %s vs %s", got.Hash(), p.Hash())
+	}
+	if _, err := ReadLoaderFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"brownouts":[{"class":8,"start_op":0,"end_op":0,"fail_frac":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLoaderFile(bad); err == nil {
+		t.Fatal("invalid plan read succeeded")
+	}
+}

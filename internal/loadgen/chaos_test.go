@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"testing"
+
+	"costcache/internal/engine"
+	"costcache/internal/fault"
+	"costcache/internal/resilience"
+)
+
+// chaosRun drives one single-worker closed-loop run with the given fault
+// injector and resilience config, snapshotting the engine counters every
+// 1000 ops. The snapshot stream — not just the final totals — is what the
+// determinism tests compare, so divergence anywhere mid-run is caught.
+func chaosRun(t *testing.T, inj *fault.LoaderInjector, rc *resilience.Config) ([]engine.Stats, Result) {
+	t.Helper()
+	ecfg := engine.Config{Shards: 4, Sets: 256, Ways: 4, Policy: dclFactory}
+	lcfg := Config{
+		Mode: Closed, Workers: 1, Ops: 20000,
+		Keys: 4096, ZipfS: 1.2, Seed: 7,
+		Faults: inj,
+	}
+	if rc != nil {
+		c := *rc
+		c.Classify = lcfg.CostSource().MissCost
+		ecfg.Resilience = resilience.New(c, nil)
+	}
+	e := engine.New(ecfg)
+	var stream []engine.Stats
+	lcfg.OnDone = func(done int64) {
+		if done%1000 == 0 {
+			st := e.Stats()
+			st.LockWaitNs = 0 // timing, legitimately varies
+			stream = append(stream, st)
+		}
+	}
+	res, err := Run(e, lcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, res
+}
+
+// brownoutConfig is the shared chaos fixture: class-8 brownout plan plus
+// retries, breakers and serve-stale (no deadline — wall time must never
+// influence the counter stream).
+func brownoutConfig(t *testing.T) (*fault.LoaderInjector, *resilience.Config) {
+	t.Helper()
+	plan, err := fault.LoaderScenario("backend-brownout", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.NewLoaderInjector(plan), &resilience.Config{
+		MaxRetries: 3, RefCost: 8, Seed: 7,
+		BreakerRate: 0.5, BreakerWindow: 64, BreakerMin: 16, BreakerCooldown: 400,
+		ServeStale: true,
+	}
+}
+
+// TestChaosRunDeterministic is the PR's replayability contract: the same
+// seed and fault plan produce a byte-identical counter stream — timeouts,
+// retries, sheds and stale serves included — on every rerun.
+func TestChaosRunDeterministic(t *testing.T) {
+	inj1, rc := brownoutConfig(t)
+	s1, r1 := chaosRun(t, inj1, rc)
+	inj2, _ := brownoutConfig(t)
+	s2, r2 := chaosRun(t, inj2, rc)
+
+	if len(s1) != len(s2) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("counter stream diverged at snapshot %d:\n run1 %+v\n run2 %+v", i, s1[i], s2[i])
+		}
+	}
+	if r1.Errors != r2.Errors || r1.StaleServes != r2.StaleServes {
+		t.Fatalf("result deltas diverged: (%d, %d) vs (%d, %d)",
+			r1.Errors, r1.StaleServes, r2.Errors, r2.StaleServes)
+	}
+
+	// The chaos actually happened: faults erred, breakers shed, ghosts served.
+	last := s1[len(s1)-1]
+	if inj1.Errors() == 0 || last.Shed == 0 || last.StaleServed == 0 || last.LoadRetries == 0 {
+		t.Fatalf("brownout run too quiet: injector errors %d, stats %+v", inj1.Errors(), last)
+	}
+	if r1.Errors == 0 || r1.StaleServes == 0 {
+		t.Fatalf("result saw no degradation: %+v errors, %d stale", r1.Errors, r1.StaleServes)
+	}
+}
+
+// TestEmptyPlanMatchesBaseline proves the fault and resilience layers are
+// invisible until used: a nil injector with resilience enabled (but a
+// healthy backend) produces the exact counter stream of the legacy path.
+func TestEmptyPlanMatchesBaseline(t *testing.T) {
+	_, rc := brownoutConfig(t)
+	sBase, rBase := chaosRun(t, nil, nil)
+	sRes, rRes := chaosRun(t, nil, rc)
+	if len(sBase) != len(sRes) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(sBase), len(sRes))
+	}
+	for i := range sBase {
+		if sBase[i] != sRes[i] {
+			t.Fatalf("healthy resilient run diverged from legacy at snapshot %d:\n legacy    %+v\n resilient %+v", i, sBase[i], sRes[i])
+		}
+	}
+	if rBase.Errors != 0 || rRes.Errors != 0 || rRes.StaleServes != 0 {
+		t.Fatalf("healthy runs reported degradation: base %d errs, resilient %d errs / %d stale",
+			rBase.Errors, rRes.Errors, rRes.StaleServes)
+	}
+}
+
+// TestBrownoutSparesCheapClasses checks end-to-end class selectivity: the
+// backend-brownout scenario targets the high-cost class, so the cheap
+// class's loads keep succeeding and only the expensive class's breaker can
+// open.
+func TestBrownoutSparesCheapClasses(t *testing.T) {
+	inj, rc := brownoutConfig(t)
+	_, res := chaosRun(t, inj, rc)
+	if res.Errors == 0 {
+		t.Fatal("brownout produced no errored requests")
+	}
+	// Errors stay well below the total misses: only the high-cost fraction
+	// (~20% of keys) is eligible to fail.
+	if res.Errors > res.Stats.Misses/2 {
+		t.Fatalf("too many errors for a class-targeted brownout: %d of %d misses",
+			res.Errors, res.Stats.Misses)
+	}
+}

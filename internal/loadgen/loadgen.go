@@ -27,6 +27,7 @@ import (
 
 	"costcache/internal/cost"
 	"costcache/internal/engine"
+	"costcache/internal/fault"
 	"costcache/internal/obs"
 	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
@@ -90,6 +91,13 @@ type Config struct {
 	// pin exact alert firing counts in CI; multi-worker runs call it
 	// concurrently and it must be cheap.
 	OnDone func(done int64)
+	// Faults, when non-nil, injects deterministic backend failures into the
+	// simulated loader: each load attempt consumes one index of the
+	// injector's op stream (misses and retries both count), and the
+	// injector's pure (plan, op, class) decision makes it fail with
+	// fault.ErrInjectedLoad or sleep extra cost units. nil means a healthy
+	// backend, bit-identical to runs before fault plans existed.
+	Faults *fault.LoaderInjector
 	// Tracer, when non-nil, is the request tracer attached to the engine
 	// (engine.Config.Tracer). The load generator does not drive it — the
 	// engine does — but uses it to link its arrival-latency histogram to
@@ -118,6 +126,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// CostSource is the run's key→miss-cost mapping, derived purely from the
+// config. Exposed so callers (cachebench's resilience classifier) can price
+// a key's class exactly the way the loader will charge it.
+func (c Config) CostSource() cost.Random {
+	c = c.withDefaults()
+	return cost.Random{Low: c.CostLow, High: c.CostHigh, Fraction: c.HighFrac, Seed: uint64(c.Seed)}
+}
+
 // Result summarizes one load run.
 type Result struct {
 	// Ops is the number of requests completed; WallNs the run duration.
@@ -133,6 +149,12 @@ type Result struct {
 	// extracted from its buckets.
 	Latency             obs.HistogramSnapshot
 	P50Ns, P95Ns, P99Ns int64
+	// Errors counts requests that completed with an error (injected backend
+	// faults that exhausted their retry budget, shed loads, deadline
+	// expiries); StaleServes counts requests answered from a retained ghost.
+	// Both stay 0 on healthy runs without resilience.
+	Errors      int64
+	StaleServes int64
 	// Interrupted reports a run stopped early via the stopped callback.
 	Interrupted bool
 }
@@ -160,11 +182,24 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 		return Result{}, err
 	}
 
-	src := cost.Random{Low: cfg.CostLow, High: cfg.CostHigh, Fraction: cfg.HighFrac, Seed: uint64(cfg.Seed)}
+	src := cfg.CostSource()
+	// loadOp numbers backend load attempts (misses and retries, not hits or
+	// coalesced waits) — the index the fault injector's plan is a pure
+	// function of, which is what makes injected chaos replayable.
+	var loadOp atomic.Int64
 	load := func(key uint64) (any, replacement.Cost, error) {
 		c := src.MissCost(key)
-		if cfg.LoadDelay > 0 && c > 0 {
-			time.Sleep(time.Duration(c) * cfg.LoadDelay)
+		extra := int64(0)
+		if cfg.Faults != nil {
+			op := loadOp.Add(1) - 1
+			fail, slow := cfg.Faults.Outcome(op, int64(c))
+			if fail {
+				return nil, 0, fault.ErrInjectedLoad
+			}
+			extra = slow
+		}
+		if cfg.LoadDelay > 0 && int64(c)+extra > 0 {
+			time.Sleep(time.Duration(int64(c)+extra) * cfg.LoadDelay)
 		}
 		return key, c, nil
 	}
@@ -180,7 +215,7 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 	default:
 		hist = obs.NewHistogram(latencyBuckets())
 	}
-	var done, interrupted atomic.Int64
+	var done, interrupted, errored, staleServes atomic.Int64
 	before := e.Stats()
 	start := time.Now()
 
@@ -211,10 +246,12 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 				} else {
 					origin = time.Now()
 				}
-				if _, err := e.GetOrLoad(key, load); err != nil {
-					// The synthetic loader never fails; a real one's errors
-					// still count as completed (errored) requests.
-					_ = err
+				if _, stale, err := e.GetOrLoadStale(key, load); err != nil {
+					// Errors — injected faults, shed loads, expired deadlines
+					// — still count as completed (errored) requests.
+					errored.Add(1)
+				} else if stale {
+					staleServes.Add(1)
 				}
 				// LastID is the span that most recently finished, which for
 				// this worker is usually its own request when it was sampled
@@ -238,6 +275,8 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 		P50Ns:       snap.Quantile(0.50),
 		P95Ns:       snap.Quantile(0.95),
 		P99Ns:       snap.Quantile(0.99),
+		Errors:      errored.Load(),
+		StaleServes: staleServes.Load(),
 		Interrupted: interrupted.Load() != 0,
 	}
 	if wall > 0 {

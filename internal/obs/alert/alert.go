@@ -380,6 +380,8 @@ type Defaults struct {
 //	latency-p99      windowed request-latency p99 above d.P99
 //	lock-wait-share  engine lock wait above half a core
 //	shard-skew       hottest shard at ≥2× its uniform share
+//	shed-rate        >5% of requests shed by open circuit breakers
+//	breaker-open     any cost-class circuit breaker tripped this window
 func DefaultRules(d Defaults) []Rule {
 	return []Rule{
 		{
@@ -413,6 +415,22 @@ func DefaultRules(d Defaults) []Rule {
 			Threshold: 2.0,
 			Window:    d.Short,
 			For:       d.Long,
+		},
+		// Degraded-mode serving: both queries read all-zero (absent) series
+		// on engines without a resilience config, so healthy runs never fire.
+		{
+			Name:      "shed-rate",
+			Query:     tsdb.Query{Kind: tsdb.Ratio, Num: []string{"engine_shed"}, Den: []string{"engine_hits", "engine_misses", "engine_coalesced"}},
+			Op:        Above,
+			Threshold: 0.05,
+			Window:    d.Short,
+		},
+		{
+			Name:      "breaker-open",
+			Query:     tsdb.Query{Kind: tsdb.Rate, Num: []string{"engine_breaker_opened"}},
+			Op:        Above,
+			Threshold: 0,
+			Window:    d.Short,
 		},
 	}
 }

@@ -1,0 +1,86 @@
+package alert
+
+import (
+	"testing"
+	"time"
+)
+
+func resilienceDefaults() Defaults {
+	return Defaults{
+		HitRateObjective: 0.9, BurnFactor: 2,
+		Short: 2 * time.Second, Long: 10 * time.Second,
+		P99: 250 * time.Millisecond,
+	}
+}
+
+// TestShedRateRule: sustained shedding above 5% of requests fires shed-rate;
+// a healthy run (no engine_shed series at all) never leaves inactive.
+func TestShedRateRule(t *testing.T) {
+	h := newHarness(t, DefaultRules(resilienceDefaults()))
+	hits := h.reg.Counter("engine_hits")
+	misses := h.reg.Counter("engine_misses")
+	shed := h.reg.Counter("engine_shed")
+
+	find := func(name string) Summary {
+		for _, s := range h.engine.Summaries(h.now) {
+			if s.Rule == name {
+				return s
+			}
+		}
+		t.Fatalf("rule %q missing from summaries", name)
+		return Summary{}
+	}
+
+	for i := 0; i < 4; i++ {
+		h.tick(func() { hits.Add(95); misses.Add(5) })
+	}
+	if s := find("shed-rate"); s.State != "inactive" {
+		t.Fatalf("healthy shed-rate state = %+v", s)
+	}
+
+	// 20 of every 100 requests shed: ratio 0.2 > 0.05 over the short window.
+	for i := 0; i < 4; i++ {
+		h.tick(func() { hits.Add(60); misses.Add(40); shed.Add(20) })
+	}
+	if s := find("shed-rate"); s.State != "firing" {
+		t.Fatalf("degraded shed-rate state = %+v, want firing", s)
+	}
+}
+
+// TestBreakerOpenRule: any engine_breaker_opened increment fires
+// breaker-open within its window, and the rule recovers once trips stop.
+func TestBreakerOpenRule(t *testing.T) {
+	h := newHarness(t, DefaultRules(resilienceDefaults()))
+	hits := h.reg.Counter("engine_hits")
+	opened := h.reg.Counter("engine_breaker_opened")
+
+	find := func(name string) Summary {
+		for _, s := range h.engine.Summaries(h.now) {
+			if s.Rule == name {
+				return s
+			}
+		}
+		t.Fatalf("rule %q missing from summaries", name)
+		return Summary{}
+	}
+
+	for i := 0; i < 4; i++ {
+		h.tick(func() { hits.Add(100) })
+	}
+	if s := find("breaker-open"); s.State != "inactive" {
+		t.Fatalf("healthy breaker-open state = %+v", s)
+	}
+
+	h.tick(func() { hits.Add(100); opened.Inc() })
+	if s := find("breaker-open"); s.State != "firing" {
+		t.Fatalf("breaker trip state = %+v, want firing", s)
+	}
+
+	// Quiet again: the rate decays to zero once the trip ages out.
+	for i := 0; i < 5; i++ {
+		h.tick(func() { hits.Add(100) })
+	}
+	if s := find("breaker-open"); s.State != "inactive" {
+		t.Fatalf("recovered breaker-open state = %+v", s)
+	}
+}

@@ -300,5 +300,11 @@ func StandardSignals() []Signal {
 		{"latency_p50_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.50}},
 		{"latency_p95_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.95}},
 		{"latency_p99_ns", Query{Kind: Quantile, Num: []string{"request_latency_ns"}, Q: 0.99}},
+		// Degraded-mode serving (internal/resilience): all-zero series on
+		// engines without a resilience config, so healthy dashboards and
+		// alert evaluations stay quiet.
+		{"shed_share", Query{Kind: Ratio, Num: []string{"engine_shed"}, Den: engineOps}},
+		{"stale_per_s", Query{Kind: Rate, Num: []string{"engine_stale_served"}}},
+		{"breaker_opens_per_s", Query{Kind: Rate, Num: []string{"engine_breaker_opened"}}},
 	}
 }

@@ -1,0 +1,428 @@
+// Package resilience is the degraded-mode policy of the serving engine's
+// load path: per-request deadlines, cost-aware retry budgets with capped
+// exponential backoff and deterministic seeded jitter, and per-cost-class
+// circuit breakers (closed → open → half-open) over failure-rate ring
+// buffers.
+//
+// The paper's premise — misses have non-uniform costs — extends naturally to
+// failure handling: a high-cost key is expensive to lose, so its load earns
+// the full retry budget, while a cheap key fails fast; and because backend
+// health often degrades per class (one slow origin, one browned-out
+// datacenter), breakers track failure rates per cost class, shedding only
+// the traffic that is actually melting.
+//
+// Everything observable is deterministic in operation order: breakers trip
+// on outcome counts (never wall time), backoff jitter is a pure hash of
+// (seed, key, attempt), and cooldown is counted in shed loads. A
+// single-worker closed-loop run therefore produces bit-identical
+// shed/trip/probe sequences across reruns. See docs/ENGINE.md
+// "Degraded-mode serving".
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+// Config parameterizes the resilient load path. The zero value disables
+// everything (Enabled() == false); the engine then keeps its legacy inline
+// load path, bit-identical with pre-resilience behavior.
+type Config struct {
+	// Deadline bounds every GetOrLoad call: a leader or coalesced waiter
+	// whose deadline expires returns engine.ErrLoadTimeout (or a stale
+	// value) while the load itself continues in the background and still
+	// fills the cache. 0 means no deadline.
+	Deadline time.Duration
+	// MaxRetries is the retry budget a key of class RefCost earns (on top
+	// of the initial attempt). Cheaper classes earn proportionally fewer:
+	// floor(MaxRetries × class / RefCost), so the cheapest keys fail fast.
+	// 0 disables retries.
+	MaxRetries int
+	// RefCost is the cost class earning the full MaxRetries budget
+	// (0 means 8, the default high cost of the paper's random mapping).
+	RefCost replacement.Cost
+	// BackoffBase is the wait before the first retry; each further retry
+	// doubles it up to BackoffCap, then deterministic jitter in [50%, 100%)
+	// of the capped value is applied. 0 retries immediately (what the
+	// deterministic CI chaos runs use).
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential backoff (0 means 32 × BackoffBase).
+	BackoffCap time.Duration
+	// Seed drives the backoff jitter hash.
+	Seed uint64
+	// BreakerRate is the failure-rate threshold in (0, 1] at which a
+	// class's breaker opens. 0 disables breakers.
+	BreakerRate float64
+	// BreakerWindow is how many recent load outcomes per class the failure
+	// rate is computed over (0 means 64).
+	BreakerWindow int
+	// BreakerMin is the minimum outcomes in the window before the breaker
+	// may trip (0 means 16) — a floor against tripping on tiny samples.
+	BreakerMin int
+	// BreakerCooldown is how many loads an open breaker sheds before
+	// letting one half-open probe through (0 means 256). Counting sheds
+	// instead of wall time keeps runs deterministic.
+	BreakerCooldown int
+	// ServeStale lets the engine answer from evicted-but-retained ghost
+	// values (flagged stale, charging zero cost) when the breaker is open
+	// or the deadline expires.
+	ServeStale bool
+	// Classify predicts a key's cost class before its loader has run —
+	// the same cost source the load generator charges makes breakers and
+	// retry budgets see the class a miss will pay. nil falls back to the
+	// key's last known cost (its ghost), else class 0.
+	Classify func(key uint64) replacement.Cost
+}
+
+// Enabled reports whether any resilience mechanism is configured.
+func (c Config) Enabled() bool {
+	return c.Deadline > 0 || c.MaxRetries > 0 || c.BreakerRate > 0 || c.ServeStale
+}
+
+// withDefaults fills the documented zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.RefCost == 0 {
+		c.RefCost = 8
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 32 * c.BackoffBase
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 64
+	}
+	if c.BreakerMin == 0 {
+		c.BreakerMin = 16
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 256
+	}
+	return c
+}
+
+// Validate checks the configuration ranges (flag parsing surfaces these as
+// exit-2 usage errors).
+func (c Config) Validate() error {
+	if c.Deadline < 0 {
+		return fmt.Errorf("resilience: negative Deadline")
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("resilience: negative MaxRetries")
+	}
+	if c.RefCost < 0 {
+		return fmt.Errorf("resilience: negative RefCost")
+	}
+	if c.BackoffBase < 0 || c.BackoffCap < 0 {
+		return fmt.Errorf("resilience: negative backoff")
+	}
+	if c.BreakerRate < 0 || c.BreakerRate > 1 {
+		return fmt.Errorf("resilience: BreakerRate %g outside [0, 1]", c.BreakerRate)
+	}
+	if c.BreakerWindow < 0 || c.BreakerMin < 0 || c.BreakerCooldown < 0 {
+		return fmt.Errorf("resilience: negative breaker window/min/cooldown")
+	}
+	if c.BreakerMin > c.BreakerWindow && c.BreakerWindow > 0 {
+		return fmt.Errorf("resilience: BreakerMin %d exceeds BreakerWindow %d", c.BreakerMin, c.BreakerWindow)
+	}
+	return nil
+}
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int
+
+const (
+	// Closed: traffic flows, outcomes feed the failure-rate window.
+	Closed State = iota
+	// HalfOpen: one probe load is admitted; its outcome closes or reopens.
+	HalfOpen
+	// Open: loads are shed (served stale or failed fast) until the
+	// cooldown count elapses.
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "closed"
+}
+
+// breaker is one cost class's circuit breaker. All fields are guarded by
+// the Resilience mutex; the ring holds the last cap(ring) load outcomes
+// (true = failure).
+type breaker struct {
+	state    State
+	ring     []bool
+	head, n  int
+	fails    int
+	shedLeft int  // Open: sheds remaining before the half-open probe
+	probing  bool // HalfOpen: the probe is in flight
+	openedN  int64
+	gauge    *obs.Gauge
+	opened   *obs.Counter
+}
+
+// BreakerStatus is one class's breaker standing, for /debug/engine.
+type BreakerStatus struct {
+	// Class is the cost class ("cost=N", matching decision-trace tags).
+	Class string `json:"class"`
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// Samples and FailureRate describe the rolling outcome window.
+	Samples     int     `json:"samples"`
+	FailureRate float64 `json:"failure_rate"`
+	// Opened counts transitions into Open.
+	Opened int64 `json:"opened"`
+}
+
+// Resilience is the engine-facing policy object. All methods are safe for
+// concurrent use; breakers are created lazily per cost class.
+type Resilience struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	breakers map[replacement.Cost]*breaker
+	classes  []replacement.Cost // breaker creation order, for stable snapshots
+	opened   int64              // total trips across classes
+}
+
+// New builds a Resilience from cfg (panicking on an invalid config — flag
+// validation happens before this). reg, when non-nil, receives a per-class
+// engine_breaker_state gauge (0 closed, 1 half-open, 2 open) and
+// engine_breaker_opened counter as classes appear.
+func New(cfg Config, reg *obs.Registry) *Resilience {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Resilience{
+		cfg:      cfg.withDefaults(),
+		reg:      reg,
+		breakers: make(map[replacement.Cost]*breaker),
+	}
+}
+
+// Deadline returns the per-request load budget (0 = none).
+func (r *Resilience) Deadline() time.Duration { return r.cfg.Deadline }
+
+// ServeStale reports whether ghost values may answer degraded requests.
+func (r *Resilience) ServeStale() bool { return r.cfg.ServeStale }
+
+// HasClassifier reports whether a Classify function is configured.
+func (r *Resilience) HasClassifier() bool { return r.cfg.Classify != nil }
+
+// Class predicts key's cost class via the configured classifier (0 without
+// one; the engine then falls back to the key's ghost cost).
+func (r *Resilience) Class(key uint64) replacement.Cost {
+	if r.cfg.Classify == nil {
+		return 0
+	}
+	return r.cfg.Classify(key)
+}
+
+// Budget returns the retry budget (extra attempts after the first) a key of
+// cost class c earns: floor(MaxRetries × c / RefCost), capped at
+// MaxRetries. Class 0 keys never retry.
+func (r *Resilience) Budget(c replacement.Cost) int {
+	if r.cfg.MaxRetries <= 0 || c <= 0 {
+		return 0
+	}
+	b := int(int64(c) * int64(r.cfg.MaxRetries) / int64(r.cfg.RefCost))
+	if b > r.cfg.MaxRetries {
+		b = r.cfg.MaxRetries
+	}
+	return b
+}
+
+// Backoff returns the wait before retry attempt (1-based): exponential from
+// BackoffBase, capped at BackoffCap, with deterministic jitter in
+// [50%, 100%) of the capped value hashed from (Seed, key, attempt) — the
+// decorrelation real backends need, without sacrificing reproducibility.
+func (r *Resilience) Backoff(key uint64, attempt int) time.Duration {
+	if r.cfg.BackoffBase <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := r.cfg.BackoffBase
+	for i := 1; i < attempt && d < r.cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > r.cfg.BackoffCap {
+		d = r.cfg.BackoffCap
+	}
+	h := hash64(r.cfg.Seed ^ key*0x9e3779b97f4a7c15 ^ uint64(attempt)<<48)
+	frac := float64(h>>11) / float64(1<<53) // [0, 1)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// hash64 is the SplitMix64 finalizer.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// classLabel renders the canonical class label value, matching the decision
+// tracer's stable cost tags.
+func classLabel(c replacement.Cost) string {
+	return string(replacement.AppendClass(nil, c))
+}
+
+// get returns (creating if needed) the breaker for class c (mu held).
+func (r *Resilience) get(c replacement.Cost) *breaker {
+	b, ok := r.breakers[c]
+	if !ok {
+		b = &breaker{ring: make([]bool, r.cfg.BreakerWindow)}
+		if r.reg != nil {
+			b.gauge = r.reg.Gauge(obs.Name("engine_breaker_state", "class", classLabel(c)))
+			b.opened = r.reg.Counter(obs.Name("engine_breaker_opened", "class", classLabel(c)))
+		}
+		r.breakers[c] = b
+		r.classes = append(r.classes, c)
+	}
+	return b
+}
+
+// setState moves b to s and mirrors it into the gauge (mu held).
+func (b *breaker) setState(s State) {
+	b.state = s
+	if b.gauge != nil {
+		b.gauge.Set(int64(s))
+	}
+}
+
+// Allow decides whether a load for cost class c may run. false means the
+// load is shed: the engine serves stale or fails fast with ErrShed, and the
+// shed advances the open breaker's cooldown. When the cooldown elapses the
+// breaker goes half-open and admits exactly one probe.
+func (r *Resilience) Allow(c replacement.Cost) bool {
+	if r.cfg.BreakerRate <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.get(c)
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.shedLeft > 0 {
+			b.shedLeft--
+			return false
+		}
+		b.setState(HalfOpen)
+		b.probing = false
+		fallthrough
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds one load outcome into class c's breaker. A half-open probe's
+// success closes the breaker (resetting the window); its failure reopens it
+// for another cooldown. In the closed state the outcome enters the rolling
+// window, and the breaker trips once the window holds at least BreakerMin
+// outcomes with a failure rate at or above BreakerRate.
+func (r *Resilience) Report(c replacement.Cost, ok bool) {
+	if r.cfg.BreakerRate <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.get(c)
+	switch b.state {
+	case HalfOpen:
+		if ok {
+			b.setState(Closed)
+			b.head, b.n, b.fails = 0, 0, 0
+			for i := range b.ring {
+				b.ring[i] = false
+			}
+		} else {
+			r.trip(b)
+		}
+		b.probing = false
+	case Closed:
+		if b.n == len(b.ring) { // full: evict the oldest outcome
+			if b.ring[b.head] {
+				b.fails--
+			}
+		} else {
+			b.n++
+		}
+		b.ring[b.head] = !ok
+		if !ok {
+			b.fails++
+		}
+		b.head = (b.head + 1) % len(b.ring)
+		if b.n >= r.cfg.BreakerMin && float64(b.fails) >= r.cfg.BreakerRate*float64(b.n) {
+			r.trip(b)
+		}
+	default: // Open: a straggler from before the trip; the window is closed to it.
+	}
+}
+
+// trip opens b and starts its cooldown (mu held).
+func (r *Resilience) trip(b *breaker) {
+	b.setState(Open)
+	b.shedLeft = r.cfg.BreakerCooldown
+	b.openedN++
+	r.opened++
+	if b.opened != nil {
+		b.opened.Inc()
+	}
+}
+
+// Tripped reports whether class c's breaker is currently open — the retry
+// loop stops burning its budget once the class is known bad.
+func (r *Resilience) Tripped(c replacement.Cost) bool {
+	if r.cfg.BreakerRate <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[c]
+	return ok && b.state == Open
+}
+
+// Opened returns the total breaker trips across classes.
+func (r *Resilience) Opened() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opened
+}
+
+// Snapshot returns every known class's breaker standing, in class creation
+// order (deterministic for deterministic streams).
+func (r *Resilience) Snapshot() []BreakerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(r.classes))
+	for _, c := range r.classes {
+		b := r.breakers[c]
+		st := BreakerStatus{
+			Class:   classLabel(c),
+			State:   b.state.String(),
+			Samples: b.n,
+			Opened:  b.openedN,
+		}
+		if b.n > 0 {
+			st.FailureRate = float64(b.fails) / float64(b.n)
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Deadline: -1},
+		{MaxRetries: -1},
+		{BackoffBase: -1},
+		{BreakerRate: -0.1},
+		{BreakerRate: 1.5},
+		{BreakerWindow: -1},
+		{BreakerRate: 0.5, BreakerMin: 100, BreakerWindow: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: Validate accepted %+v", i, c)
+		}
+	}
+	if err := (Config{Deadline: time.Second, MaxRetries: 3, BreakerRate: 0.5, ServeStale: true}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	for _, c := range []Config{{Deadline: 1}, {MaxRetries: 1}, {BreakerRate: 0.5}, {ServeStale: true}} {
+		if !c.Enabled() {
+			t.Errorf("config %+v should be Enabled", c)
+		}
+	}
+}
+
+// TestBudget pins the cost-aware retry table: class RefCost earns the full
+// budget, cheaper classes a proportional floor, class 0 fails fast.
+func TestBudget(t *testing.T) {
+	r := New(Config{MaxRetries: 4, RefCost: 8}, nil)
+	want := map[replacement.Cost]int{0: 0, 1: 0, 2: 1, 4: 2, 6: 3, 8: 4, 16: 4}
+	for c, n := range want {
+		if got := r.Budget(c); got != n {
+			t.Errorf("Budget(%d) = %d, want %d", c, got, n)
+		}
+	}
+	if New(Config{}, nil).Budget(8) != 0 {
+		t.Fatal("retries disabled but Budget > 0")
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	r := New(Config{MaxRetries: 8, BackoffBase: base, BackoffCap: cap, Seed: 9}, nil)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := r.Backoff(7777, attempt)
+		if d != r.Backoff(7777, attempt) {
+			t.Fatalf("attempt %d: jitter is not deterministic", attempt)
+		}
+		exp := base << (attempt - 1)
+		if exp > cap {
+			exp = cap
+		}
+		if d < exp/2 || d >= exp {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, exp/2, exp)
+		}
+	}
+	if r.Backoff(1, 0) != 0 {
+		t.Fatal("attempt 0 backed off")
+	}
+	if New(Config{MaxRetries: 3}, nil).Backoff(1, 1) != 0 {
+		t.Fatal("zero base backed off")
+	}
+	// Different keys should usually jitter differently (decorrelation).
+	if r.Backoff(1, 3) == r.Backoff(2, 3) && r.Backoff(3, 3) == r.Backoff(4, 3) {
+		t.Fatal("jitter ignores the key")
+	}
+}
+
+// TestBreakerLifecycle walks one class through closed → open (shedding) →
+// half-open → closed, checking the deterministic shed accounting.
+func TestBreakerLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(Config{BreakerRate: 0.5, BreakerWindow: 8, BreakerMin: 4, BreakerCooldown: 3}, reg)
+	const class = replacement.Cost(8)
+
+	// 4 failures: min samples reached at 100% failure rate — trips.
+	for i := 0; i < 4; i++ {
+		if !r.Allow(class) {
+			t.Fatalf("load %d shed while closed", i)
+		}
+		r.Report(class, false)
+	}
+	if !r.Tripped(class) {
+		t.Fatal("breaker did not trip at 4/4 failures")
+	}
+	if r.Opened() != 1 {
+		t.Fatalf("Opened() = %d, want 1", r.Opened())
+	}
+
+	// Cooldown: exactly 3 sheds, then the half-open probe is admitted.
+	for i := 0; i < 3; i++ {
+		if r.Allow(class) {
+			t.Fatalf("shed %d allowed during cooldown", i)
+		}
+	}
+	if !r.Allow(class) {
+		t.Fatal("half-open probe not admitted after cooldown")
+	}
+	if r.Allow(class) {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// Probe fails: reopen for another cooldown.
+	r.Report(class, false)
+	if !r.Tripped(class) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	for i := 0; i < 3; i++ {
+		if r.Allow(class) {
+			t.Fatalf("shed %d allowed during second cooldown", i)
+		}
+	}
+
+	// Probe succeeds: closed with a fresh window.
+	if !r.Allow(class) {
+		t.Fatal("second probe not admitted")
+	}
+	r.Report(class, true)
+	if r.Tripped(class) {
+		t.Fatal("successful probe left the breaker open")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].State != "closed" || snap[0].Samples != 0 || snap[0].Opened != 2 {
+		t.Fatalf("snapshot after recovery: %+v", snap)
+	}
+
+	// The gauge mirrors the state and the opened counter the trips.
+	if g := reg.Gauge(obs.Name("engine_breaker_state", "class", "cost=8")); g.Value() != int64(Closed) {
+		t.Fatalf("state gauge = %d, want closed", g.Value())
+	}
+	if c := reg.Counter(obs.Name("engine_breaker_opened", "class", "cost=8")); c.Value() != 2 {
+		t.Fatalf("opened counter = %d, want 2", c.Value())
+	}
+}
+
+// TestBreakerRateWindow checks the rolling window: old outcomes age out, and
+// the breaker only trips when the recent rate crosses the threshold.
+func TestBreakerRateWindow(t *testing.T) {
+	r := New(Config{BreakerRate: 0.5, BreakerWindow: 4, BreakerMin: 4, BreakerCooldown: 2}, nil)
+	const class = replacement.Cost(1)
+	// 3 failures then a success: 3/4 ≥ 0.5 → trips only once min reached.
+	r.Report(class, false)
+	r.Report(class, false)
+	if r.Tripped(class) {
+		t.Fatal("tripped below BreakerMin samples")
+	}
+	r.Report(class, true)
+	r.Report(class, true)
+	// Window now F F S S = 2/4 ≥ 0.5 → trips at the 4th report.
+	if !r.Tripped(class) {
+		t.Fatal("did not trip at 2/4 with rate 0.5")
+	}
+}
+
+func TestBreakerClassIsolation(t *testing.T) {
+	r := New(Config{BreakerRate: 0.5, BreakerWindow: 4, BreakerMin: 2, BreakerCooldown: 2}, nil)
+	for i := 0; i < 4; i++ {
+		r.Report(8, false) // class 8 melts
+		r.Report(1, true)  // class 1 is healthy
+	}
+	if !r.Tripped(8) {
+		t.Fatal("melting class did not trip")
+	}
+	if r.Tripped(1) {
+		t.Fatal("healthy class tripped")
+	}
+	if !r.Allow(1) {
+		t.Fatal("healthy class shed")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot classes = %d, want 2", len(snap))
+	}
+}
+
+// TestBreakersDisabled: with BreakerRate 0 every load flows and reports are
+// dropped without allocating breaker state.
+func TestBreakersDisabled(t *testing.T) {
+	r := New(Config{MaxRetries: 2}, nil)
+	for i := 0; i < 100; i++ {
+		if !r.Allow(8) {
+			t.Fatal("load shed with breakers disabled")
+		}
+		r.Report(8, false)
+	}
+	if r.Tripped(8) || r.Opened() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("disabled breakers accumulated state")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	r := New(Config{Classify: func(key uint64) replacement.Cost {
+		if key%2 == 0 {
+			return 8
+		}
+		return 1
+	}}, nil)
+	if !r.HasClassifier() || r.Class(4) != 8 || r.Class(5) != 1 {
+		t.Fatal("classifier not applied")
+	}
+	bare := New(Config{}, nil)
+	if bare.HasClassifier() || bare.Class(4) != 0 {
+		t.Fatal("nil classifier should predict class 0")
+	}
+}

@@ -239,6 +239,91 @@ fi
 cmp -s "$smoke/degraded_alerts.jsonl" "$smoke/degraded_alerts2.jsonl" || {
     echo "ci: alert event stream differs across same-seed reruns" >&2; exit 1; }
 
+# Backend chaos smoke: a same-seed healthy/brownout cachebench pair on the
+# simulated telemetry clock. The brownout run must trip the class-8 circuit
+# breaker, serve stale at least once, fire the shed-rate alert exactly once
+# and still exit 0 with a well-formed manifest; its alert stream is
+# byte-identical across reruns. The healthy twin — identical flags minus the
+# fault scenario — must keep every counter and rule at zero (degraded-mode
+# serving is invisible until the backend actually fails). No -load.deadline
+# here: deadlines are wall-clock and would break byte-identity.
+for side in steady brownout; do
+    fault=""; [ "$side" = brownout ] && fault="-fault.scenario backend-brownout"
+    # shellcheck disable=SC2086 # intentional word splitting of $fault
+    "$smoke/cachebench" -policy DCL -mode closed -workers 1 -ops 40000 \
+        -keys 16384 -zipf 1.0 -haf 0.5 -sets 512 -ways 4 -shards 4 -seed 7 \
+        -loaddelay 0 -quiet -load.retries 3 -load.backoff 0 \
+        -breaker.rate 0.5 -breaker.window 64 -breaker.min 16 \
+        -breaker.cooldown 2000 -stale.serve $fault \
+        -alerts -ts.everyops 500 -alert.fast 4s -alert.slow 30s \
+        -slo.hitrate 0.3 -alerts.jsonl "$smoke/${side}_chaos.jsonl" \
+        -manifest "$smoke/${side}_chaos.json" > "$smoke/${side}_chaos.txt"
+done
+go run ./cmd/report -check "$smoke/steady_chaos.json" "$smoke/brownout_chaos.json"
+grep -Eq '"engine_breaker_opened": [1-9]' "$smoke/brownout_chaos.json" || {
+    echo "ci: brownout run never tripped a breaker" >&2; exit 1; }
+grep -Eq '"engine_stale_served": [1-9]' "$smoke/brownout_chaos.json" || {
+    echo "ci: brownout run never served stale" >&2; exit 1; }
+grep -Fq '"alert_fired{rule=\"shed-rate\"}": 1' "$smoke/brownout_chaos.json" || {
+    echo "ci: brownout run did not fire the shed-rate alert exactly once" >&2
+    exit 1; }
+grep -q '"fault_plan_hash": "[0-9a-f]' "$smoke/brownout_chaos.json" || {
+    echo "ci: brownout manifest missing fault_plan_hash" >&2; exit 1; }
+if grep -F '"alert_fired' "$smoke/steady_chaos.json" | grep -Evq ': 0,?$'; then
+    grep -F '"alert_fired' "$smoke/steady_chaos.json" >&2
+    echo "ci: healthy chaos twin fired an alert" >&2; exit 1
+fi
+for zero in engine_shed engine_stale_served engine_load_retries engine_breaker_opened; do
+    grep -Fq "\"$zero\": 0" "$smoke/steady_chaos.json" || {
+        echo "ci: healthy chaos twin has nonzero $zero" >&2; exit 1; }
+done
+"$smoke/cachebench" -policy DCL -mode closed -workers 1 -ops 40000 \
+    -keys 16384 -zipf 1.0 -haf 0.5 -sets 512 -ways 4 -shards 4 -seed 7 \
+    -loaddelay 0 -quiet -load.retries 3 -load.backoff 0 \
+    -breaker.rate 0.5 -breaker.window 64 -breaker.min 16 \
+    -breaker.cooldown 2000 -stale.serve -fault.scenario backend-brownout \
+    -alerts -ts.everyops 500 -alert.fast 4s -alert.slow 30s \
+    -slo.hitrate 0.3 -alerts.jsonl "$smoke/brownout_chaos2.jsonl" > /dev/null
+cmp -s "$smoke/brownout_chaos.jsonl" "$smoke/brownout_chaos2.jsonl" || {
+    echo "ci: chaos alert stream differs across same-seed reruns" >&2; exit 1; }
+
+# Resilience and fault flag validation: out-of-range or conflicting values
+# must exit 2.
+for bad in "-load.deadline -1s" "-load.retries -1" "-load.backoff -1ms" \
+    "-breaker.rate 1.5" "-breaker.rate -0.1" "-breaker.window 0" \
+    "-breaker.min 0" "-breaker.cooldown 0" \
+    "-fault.scenario no-such-scenario" "-fault.plan /nonexistent.json" \
+    "-fault.plan x -fault.scenario backend-brownout"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachebench" $bad -ops 10 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+
+# SIGINT under chaos: an interrupted resilient run must still flush a partial
+# manifest carrying the resilience counters.
+"$smoke/cachebench" -policy DCL -mode closed -workers 2 -ops 5000000 \
+    -keys 16384 -zipf 1.0 -haf 0.5 -sets 512 -ways 4 -shards 4 -seed 7 \
+    -loaddelay 50us -quiet -load.retries 3 -load.backoff 0 \
+    -breaker.rate 0.5 -breaker.window 64 -breaker.min 16 \
+    -breaker.cooldown 2000 -stale.serve -fault.scenario backend-brownout \
+    -manifest "$smoke/chaos_interrupted.json" > /dev/null 2>&1 &
+pid=$!
+sleep 0.7
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "ci: interrupted chaos run exited $rc, want 130" >&2; exit 1
+fi
+go run ./cmd/report -check "$smoke/chaos_interrupted.json"
+grep -q '"interrupted": true' "$smoke/chaos_interrupted.json" || {
+    echo "ci: partial chaos manifest not marked interrupted" >&2; exit 1; }
+grep -q '"engine_shed":' "$smoke/chaos_interrupted.json" || {
+    echo "ci: partial chaos manifest missing resilience counters" >&2; exit 1; }
+
 # cachetop smoke: render one dashboard frame against a live cachebench and
 # check the signal panels, shard heat rows and alert list all appear.
 go build -o "$smoke/cachetop" ./cmd/cachetop
