@@ -57,6 +57,15 @@
 // streams and attributes a metric delta to decision-level causes (see
 // docs/OBSERVABILITY.md).
 //
+// -remote addr[,addr...] drives cacheserved nodes over real sockets instead
+// of an in-process engine (docs/SERVING_TIER.md): keys route across the
+// addresses by consistent hashing, every GETORLOAD declares the key's
+// deterministic miss cost so the server charges the identical cost stream,
+// and -attr gains net_write/net_read stages tiling the round trip. Engine
+// flags (-policy, -shards, resilience, faults, ...) are rejected with
+// -remote — configure them on cacheserved's -ns spec. -remote.ns names the
+// namespace; -remote.conns and -remote.timeout shape the client pool.
+//
 // -manifest writes a self-describing run manifest (engine counters, latency
 // percentiles, per-shard series, stage attribution) that cmd/report can
 // validate with -check and diff against other runs (-attr diffs the stage
@@ -69,9 +78,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"costcache/internal/cli"
+	"costcache/internal/client"
 	"costcache/internal/engine"
 	"costcache/internal/fault"
 	"costcache/internal/loadgen"
@@ -138,6 +149,10 @@ func main() {
 	breakerMin := flag.Int("breaker.min", 16, "minimum outcomes in the window before a breaker may trip")
 	breakerCooldown := flag.Int("breaker.cooldown", 256, "shed this many loads after a trip before admitting a half-open probe")
 	staleServe := flag.Bool("stale.serve", false, "serve evicted-but-retained (stale) values when the breaker is open or the deadline expires")
+	remote := flag.String("remote", "", "drive cacheserved nodes at these comma-separated addresses instead of an in-process engine")
+	remoteNS := flag.String("remote.ns", "bench", "cacheserved namespace for -remote runs")
+	remoteConns := flag.Int("remote.conns", 2, "pooled connections per cacheserved node")
+	remoteTimeout := flag.Duration("remote.timeout", 10*time.Second, "per-request deadline against cacheserved")
 	flag.Parse()
 
 	factory, ok := replacement.ByName(*policy)
@@ -209,6 +224,36 @@ func main() {
 	if *faultPlan != "" && *faultScenario != "" {
 		cli.BadFlag("cachebench", "-fault.plan/-fault.scenario", "both set",
 			[]string{"at most one fault source (a plan file or a scenario name)"})
+	}
+	if *remote != "" {
+		// The engine lives server-side on a remote run: flags that configure
+		// the in-process engine, its backend or its local traces would be
+		// silently ignored, so they are rejected up front. Set them on
+		// cacheserved's namespace spec instead.
+		engineOnly := map[string]bool{
+			"policy": true, "shards": true, "sets": true, "ways": true,
+			"noshadow": true, "loaddelay": true, "decisions": true,
+			"hot.factor": true, "keys.sketch": true, "obs.listen": true,
+			"load.deadline": true, "load.retries": true, "load.backoff": true,
+			"breaker.rate": true, "breaker.window": true, "breaker.min": true,
+			"breaker.cooldown": true, "stale.serve": true,
+			"fault.plan": true, "fault.scenario": true, "fault.seed": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if engineOnly[f.Name] {
+				cli.BadFlag("cachebench", "-"+f.Name, f.Value.String(),
+					[]string{"unset with -remote (the engine runs inside cacheserved; configure it there)"})
+			}
+		})
+		if *remoteNS == "" {
+			cli.BadFlag("cachebench", "-remote.ns", "", []string{"a cacheserved namespace name"})
+		}
+		if *remoteConns <= 0 {
+			cli.BadFlag("cachebench", "-remote.conns", fmt.Sprint(*remoteConns), []string{"a pool size > 0"})
+		}
+		if *remoteTimeout <= 0 {
+			cli.BadFlag("cachebench", "-remote.timeout", fmt.Sprint(*remoteTimeout), []string{"a deadline > 0"})
+		}
 	}
 
 	// The deterministic backend fault injector: nil means a healthy backend.
@@ -298,17 +343,36 @@ func main() {
 		resil = resilience.New(rcfg, reg)
 	}
 
-	eng := engine.New(engine.Config{
-		Shards:     *shards,
-		Sets:       *sets,
-		Ways:       *ways,
-		Policy:     factory,
-		Registry:   reg,
-		Shadow:     !*noShadow,
-		Tracer:     tracer,
-		Decisions:  decTracer,
-		Resilience: resil,
-	})
+	// Remote runs swap the in-process engine for a consistent-hash ring of
+	// cacheserved nodes; the loadgen config is otherwise identical, which is
+	// what makes a same-seed remote run counter-for-counter comparable.
+	var eng *engine.Engine
+	var ring *client.Ring
+	if *remote != "" {
+		var err error
+		ring, err = client.NewRing(client.RingConfig{
+			Addrs:  strings.Split(*remote, ","),
+			Client: client.Config{Conns: *remoteConns, Timeout: *remoteTimeout},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench:", err)
+			os.Exit(1)
+		}
+		defer ring.Close()
+		cfg.Target = loadgen.NewRemoteTarget(ring, *remoteNS, tracer)
+	} else {
+		eng = engine.New(engine.Config{
+			Shards:     *shards,
+			Sets:       *sets,
+			Ways:       *ways,
+			Policy:     factory,
+			Registry:   reg,
+			Shadow:     !*noShadow,
+			Tracer:     tracer,
+			Decisions:  decTracer,
+			Resilience: resil,
+		})
+	}
 	stopped := cli.Interrupt()
 
 	// The live time-series store attaches when anything consumes it: the
@@ -402,7 +466,7 @@ func main() {
 	}
 
 	stopProgress := make(chan struct{})
-	if !*quiet {
+	if !*quiet && eng != nil {
 		go progress(eng, stopProgress)
 	}
 	res, err := loadgen.Run(eng, cfg, stopped)
@@ -420,7 +484,13 @@ func main() {
 		fmt.Printf("wrote %d profile snapshots to %s\n", len(prof.Snapshots()), *profileDir)
 	}
 
-	printSummary(*policy, *shards, *workers, *mode, res, resil, injector)
+	title := fmt.Sprintf("cachebench · %s · %d shards · %d workers · %s-loop",
+		*policy, *shards, *workers, *mode)
+	if *remote != "" {
+		title = fmt.Sprintf("cachebench · remote %s · ns %s · %d workers · %s-loop",
+			*remote, *remoteNS, *workers, *mode)
+	}
+	printSummary(title, res, resil, injector)
 	if alertEng != nil {
 		printAlerts(alertEng, store)
 	}
@@ -463,7 +533,8 @@ func main() {
 
 	if *manifestPath != "" {
 		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL,
-			spanTrace: *spanTrace, alertEvents: *alertsJSONL}
+			spanTrace: *spanTrace, alertEvents: *alertsJSONL,
+			remote: *remote, remoteNS: *remoteNS}
 		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir, resil, injector); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
@@ -580,12 +651,10 @@ func progress(eng *engine.Engine, stop <-chan struct{}) {
 	}
 }
 
-func printSummary(policy string, shards, workers int, mode string, res loadgen.Result,
+func printSummary(title string, res loadgen.Result,
 	resil *resilience.Resilience, injector *fault.LoaderInjector) {
 	st := res.Stats
-	t := tabulate.New(fmt.Sprintf("cachebench · %s · %d shards · %d workers · %s-loop",
-		policy, shards, workers, mode),
-		"metric", "value")
+	t := tabulate.New(title, "metric", "value")
 	t.AddF("ops", res.Ops)
 	t.AddF("wall_s", float64(res.WallNs)/1e9)
 	t.AddF("throughput_ops_s", res.Throughput)
@@ -638,6 +707,7 @@ func printAlerts(alertEng *alert.Engine, store *tsdb.Store) {
 // write, for recording in the manifest's artifact map.
 type artifacts struct {
 	decisions, spanJSONL, spanTrace, alertEvents string
+	remote, remoteNS                             string
 }
 
 func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
@@ -647,10 +717,16 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	prof *obs.Profiler, profileDir string,
 	resil *resilience.Resilience, injector *fault.LoaderInjector) error {
 	m := manifest.New("cachebench")
-	m.SetConfig("policy", policy)
 	m.SetConfig("mode", mode)
-	m.SetConfig("shards", eng.Shards())
-	m.SetConfig("capacity", eng.Capacity())
+	if eng != nil {
+		m.SetConfig("policy", policy)
+		m.SetConfig("shards", eng.Shards())
+		m.SetConfig("capacity", eng.Capacity())
+	} else {
+		// Remote run: the engine (and its policy) lives inside cacheserved.
+		m.SetConfig("remote", art.remote)
+		m.SetConfig("remote_ns", art.remoteNS)
+	}
 	m.SetConfig("workers", cfg.Workers)
 	m.SetConfig("rate", cfg.Rate)
 	m.SetConfig("keys", cfg.Keys)

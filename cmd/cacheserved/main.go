@@ -1,0 +1,322 @@
+// Command cacheserved serves cost-sensitive cache engines over TCP: a
+// networked tier speaking the length-prefixed binary protocol in
+// internal/wire (GET / SET / GETORLOAD / STATS / PING), one engine per
+// namespace, with pipelined per-connection service, request coalescing,
+// admission control and graceful drain (docs/SERVING_TIER.md).
+//
+//	cacheserved -listen 127.0.0.1:7070                      # one "bench" namespace
+//	cacheserved -ns "hot:policy=DCL,shards=16" -ns "cold:policy=CL,sets=65536"
+//	cacheserved -maxinflight 256 -queue.deadline 2ms        # shed under overload
+//	cacheserved -obs.listen localhost:0 -manifest run.json  # live telemetry
+//
+// Each -ns flag declares a namespace as name[:key=value,...] with keys
+// policy, shards, sets, ways (engine geometry), ttl (expire entries this
+// long after their load; 0 = never) and loaddelay (simulated backend latency
+// per unit of miss cost). Namespaces share one metrics registry; every
+// engine series carries an ns label, so per-tenant and aggregate views come
+// from the same snapshot.
+//
+// Clients declare each key's miss cost in the GETORLOAD request, so the
+// server charges exactly the cost stream the client's cost model defines —
+// a single-worker closed-loop cachebench -remote run reproduces the engine
+// counters of the same in-process run bit for bit (CI pins this).
+//
+// -maxconns bounds accepted connections, -maxinflight bounds concurrent
+// backend loads and -queue.deadline bounds how long an admitted request may
+// wait for a load slot before the server sheds it (SHED error, server_shed
+// counter, server-shed-rate alert). -obs.listen serves /metrics, pprof,
+// /debug/engine/<ns> analytics per namespace, /debug/timeseries (with the
+// serving-tier conns_per_s and server_shed_share signals) and /debug/alerts.
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, answer late frames with
+// a DRAINING error, finish in-flight requests and flush responses, then
+// write the -manifest and exit 0. A drain that exceeds -drain.timeout drops
+// the remaining connections, marks the manifest "interrupted": true and
+// exits 130; a second signal kills the process immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"costcache/internal/cli"
+	"costcache/internal/engine"
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
+	"costcache/internal/obs/alert"
+	"costcache/internal/obs/tsdb"
+	"costcache/internal/replacement"
+	"costcache/internal/server"
+)
+
+// nsSpec is one parsed -ns flag.
+type nsSpec struct {
+	name      string
+	policy    string
+	shards    int
+	sets      int
+	ways      int
+	ttl       time.Duration
+	loadDelay time.Duration
+}
+
+// defaultSpec matches cachebench's engine defaults, so `cacheserved` with no
+// -ns flag is the exact serving-tier twin of a default in-process run.
+func defaultSpec(name string) nsSpec {
+	return nsSpec{name: name, policy: "DCL", shards: 8, sets: 4096, ways: 4}
+}
+
+// nsFlag collects repeated -ns flags.
+type nsFlag struct {
+	specs []nsSpec
+}
+
+func (f *nsFlag) String() string {
+	var names []string
+	for _, s := range f.specs {
+		names = append(names, s.name)
+	}
+	return strings.Join(names, ",")
+}
+
+func (f *nsFlag) Set(v string) error {
+	spec, err := parseSpec(v)
+	if err != nil {
+		return err
+	}
+	f.specs = append(f.specs, spec)
+	return nil
+}
+
+// specKeys documents the valid -ns spec grammar for exit-2 messages.
+var specKeys = []string{"name[:policy=P,shards=N,sets=N,ways=N,ttl=D,loaddelay=D]"}
+
+func parseSpec(v string) (nsSpec, error) {
+	name, opts, hasOpts := strings.Cut(v, ":")
+	if name == "" {
+		return nsSpec{}, fmt.Errorf("empty namespace name")
+	}
+	spec := defaultSpec(name)
+	if !hasOpts {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nsSpec{}, fmt.Errorf("namespace option %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "policy":
+			if _, ok := replacement.ByName(val); !ok {
+				return nsSpec{}, fmt.Errorf("unknown policy %q (valid: %s)", val, strings.Join(replacement.Names(), ", "))
+			}
+			spec.policy = val
+		case "shards":
+			spec.shards, err = strconv.Atoi(val)
+		case "sets":
+			spec.sets, err = strconv.Atoi(val)
+		case "ways":
+			spec.ways, err = strconv.Atoi(val)
+		case "ttl":
+			spec.ttl, err = time.ParseDuration(val)
+		case "loaddelay":
+			spec.loadDelay, err = time.ParseDuration(val)
+		default:
+			return nsSpec{}, fmt.Errorf("unknown namespace option %q", key)
+		}
+		if err != nil {
+			return nsSpec{}, fmt.Errorf("namespace option %s: %v", key, err)
+		}
+	}
+	if spec.shards <= 0 || spec.sets <= 0 || spec.ways <= 0 {
+		return nsSpec{}, fmt.Errorf("namespace %s: shards, sets and ways must be positive", name)
+	}
+	if spec.ttl < 0 || spec.loadDelay < 0 {
+		return nsSpec{}, fmt.Errorf("namespace %s: ttl and loaddelay must be >= 0", name)
+	}
+	return spec, nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP address to serve the cache protocol on (port 0 picks a free port)")
+	var nss nsFlag
+	flag.Var(&nss, "ns", "namespace spec, repeatable: "+specKeys[0]+" (default: one \"bench\" namespace)")
+	maxConns := flag.Int("maxconns", 0, "max accepted connections (0 = unlimited)")
+	maxInflight := flag.Int("maxinflight", 0, "max concurrent backend loads across all connections (0 = default)")
+	queueDeadline := flag.Duration("queue.deadline", 5*time.Millisecond, "max wait for a load slot before shedding the request (0 = shed immediately when full)")
+	drainTimeout := flag.Duration("drain.timeout", 10*time.Second, "graceful-drain budget after SIGINT/SIGTERM before dropping connections")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file at shutdown")
+	obsListen := flag.String("obs.listen", "", "serve /metrics, pprof, /debug/engine/<ns>, /debug/timeseries and /debug/alerts on this address")
+	tsStep := flag.Duration("ts.step", time.Second, "live time-series bucket width (finest ring)")
+	flag.Parse()
+
+	if *maxConns < 0 {
+		cli.BadFlag("cacheserved", "-maxconns", fmt.Sprint(*maxConns), []string{"a connection limit >= 0 (0 = unlimited)"})
+	}
+	if *maxInflight < 0 {
+		cli.BadFlag("cacheserved", "-maxinflight", fmt.Sprint(*maxInflight), []string{"a load limit >= 0 (0 = default)"})
+	}
+	if *queueDeadline < 0 {
+		cli.BadFlag("cacheserved", "-queue.deadline", fmt.Sprint(*queueDeadline), []string{"a wait budget >= 0"})
+	}
+	if *drainTimeout <= 0 {
+		cli.BadFlag("cacheserved", "-drain.timeout", fmt.Sprint(*drainTimeout), []string{"a drain budget > 0"})
+	}
+	if len(nss.specs) == 0 {
+		nss.specs = []nsSpec{defaultSpec("bench")}
+	}
+	seen := map[string]bool{}
+	for _, spec := range nss.specs {
+		if seen[spec.name] {
+			cli.BadFlag("cacheserved", "-ns", spec.name, []string{"unique namespace names"})
+		}
+		seen[spec.name] = true
+	}
+
+	reg := obs.NewRegistry()
+	var namespaces []*server.Namespace
+	for _, spec := range nss.specs {
+		factory, _ := replacement.ByName(spec.policy) // validated in parseSpec
+		eng := engine.New(engine.Config{
+			Shards:    spec.shards,
+			Sets:      spec.sets,
+			Ways:      spec.ways,
+			Policy:    factory,
+			Registry:  reg,
+			Shadow:    true,
+			Namespace: spec.name,
+		})
+		namespaces = append(namespaces, &server.Namespace{
+			Name:    spec.name,
+			Engine:  eng,
+			Backend: server.EchoBackend(spec.loadDelay),
+			TTL:     spec.ttl,
+		})
+	}
+
+	// Flag semantics: 0 = shed immediately when no load slot is free,
+	// which the server Config spells as a negative deadline (its zero
+	// value means wait forever).
+	qd := *queueDeadline
+	if qd == 0 {
+		qd = -1
+	}
+	srv, err := server.New(server.Config{
+		Addr:          *listen,
+		Namespaces:    namespaces,
+		Registry:      reg,
+		MaxConns:      *maxConns,
+		MaxInflight:   *maxInflight,
+		QueueDeadline: qd,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cacheserved:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "cacheserved:", err)
+		os.Exit(1)
+	}
+	// CI and wrapper scripts parse this line for the bound port.
+	fmt.Printf("cacheserved: listening on %s\n", srv.Addr())
+
+	if *obsListen != "" {
+		store := tsdb.New(tsdb.Config{Registry: reg, Resolutions: tsdb.Resolutions(*tsStep)})
+		stopSampler := store.Start()
+		defer stopSampler()
+		alertEng := alert.New(store, alert.DefaultRules(alert.Defaults{
+			HitRateObjective: 0.9, BurnFactor: 2,
+			Short: 5 * time.Second, Long: 30 * time.Second,
+			P99: 250 * time.Millisecond,
+		}))
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			t := time.NewTicker(*tsStep)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case now := <-t.C:
+					alertEng.Eval(now)
+				}
+			}
+		}()
+
+		mux := obs.NewMux(reg)
+		for i, ns := range namespaces {
+			mux.Handle("/debug/engine/"+ns.Name, fmt.Sprintf("live shard analytics for namespace %q", ns.Name),
+				engine.DebugHandler(ns.Engine, nil, engine.DefaultHotShareFactor))
+			if i == 0 {
+				// The bare path serves the first namespace so cachetop's
+				// default layout works against a single-tenant server.
+				mux.Handle("/debug/engine", fmt.Sprintf("live shard analytics (namespace %q)", ns.Name),
+					engine.DebugHandler(ns.Engine, nil, engine.DefaultHotShareFactor))
+			}
+		}
+		mux.Handle("/debug/timeseries", "windowed rates, ratios and latency quantiles, including the serving-tier signals",
+			tsdb.Handler(store))
+		mux.Handle("/debug/alerts", "alert rule states, including server-shed-rate",
+			alert.Handler(alertEng, store.LastTime))
+		osrv, err := obs.ServeHandler(*obsListen, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cacheserved:", err)
+			os.Exit(1)
+		}
+		defer osrv.Close()
+		fmt.Printf("observability: http://%s (metrics, pprof, debug/engine/<ns>, debug/timeseries, debug/alerts)\n", osrv.Addr())
+	}
+
+	<-cli.Drain()
+	fmt.Fprintln(os.Stderr, "cacheserved: draining")
+	clean := srv.Drain(*drainTimeout)
+
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, srv, nss.specs, reg, clean); err != nil {
+			fmt.Fprintln(os.Stderr, "cacheserved:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote manifest to %s\n", *manifestPath)
+	}
+	if !clean {
+		fmt.Fprintln(os.Stderr, "cacheserved: drain timed out; connections dropped")
+		os.Exit(cli.ExitInterrupted)
+	}
+}
+
+// writeManifest records each namespace's engine counters (the fields CI
+// reconciles against cachebench -remote manifests) plus the serving-tier
+// counters and the full registry snapshot.
+func writeManifest(path string, srv *server.Server, specs []nsSpec, reg *obs.Registry, clean bool) error {
+	m := manifest.New("cacheserved")
+	if !clean {
+		m.MarkInterrupted()
+	}
+	var names []string
+	for _, s := range specs {
+		names = append(names, s.name)
+	}
+	m.SetConfig("namespaces", strings.Join(names, ","))
+	for _, spec := range specs {
+		ns := srv.Lookup(spec.name)
+		st := ns.Engine.Stats()
+		m.SetConfig(fmt.Sprintf("policy{ns=%q}", spec.name), spec.policy)
+		m.SetMetric(fmt.Sprintf("engine_hits{ns=%q}", spec.name), float64(st.Hits))
+		m.SetMetric(fmt.Sprintf("engine_misses{ns=%q}", spec.name), float64(st.Misses))
+		m.SetMetric(fmt.Sprintf("engine_coalesced{ns=%q}", spec.name), float64(st.Coalesced))
+		m.SetMetric(fmt.Sprintf("engine_evictions{ns=%q}", spec.name), float64(st.Evictions))
+		m.SetMetric(fmt.Sprintf("engine_cost_paid{ns=%q}", spec.name), float64(st.CostPaid))
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"server_conns_accepted", "server_frames_in", "server_frames_out", "server_shed"} {
+		m.SetMetric(name, float64(snap.Counters[name]))
+	}
+	m.AddSnapshot(snap)
+	return m.WriteFile(path)
+}

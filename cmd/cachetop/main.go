@@ -179,6 +179,20 @@ func resiliencePanels() []panel {
 	}
 }
 
+// servingPanels are the cacheserved serving-tier sparklines, shown only when
+// the process is actually serving sockets — detected by server_shed_share
+// having data, which requires a nonzero server_frames_in series in the
+// window. In-process engines never produce it, so embedded dashboards keep
+// their shorter layout.
+func servingPanels() []panel {
+	pct := func(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }
+	count := func(v float64) string { return fmt.Sprintf("%7.0f", v) }
+	return []panel{
+		{"conns_per_s", "conns/s", count},
+		{"server_shed_share", "srv shed", pct},
+	}
+}
+
 // render polls the three endpoints and builds one dashboard frame.
 func render(client *http.Client, base string) (string, error) {
 	var ts timeseries
@@ -210,6 +224,9 @@ func render(client *http.Client, base string) (string, error) {
 		rows := panels()
 		if engOK && eng.Resilience != nil {
 			rows = append(rows, resiliencePanels()...)
+		}
+		if _, serving := res.Windowed["server_shed_share"]; serving {
+			rows = append(rows, servingPanels()...)
 		}
 		fmt.Fprintf(&b, "signals (last %d × %dms buckets)\n", len(res.Signals["hit_rate"]), res.StepMS)
 		for _, p := range rows {

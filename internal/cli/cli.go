@@ -41,6 +41,25 @@ func Interrupt() (stopped func() bool) {
 	return func() bool { return ctx.Err() != nil }
 }
 
+// Drain is Interrupt for serving processes: it installs SIGINT/SIGTERM
+// handling and returns a channel that closes when the first signal arrives,
+// so a server main can select on it and begin a graceful drain (stop
+// accepting, finish in-flight work, flush artifacts). As with Interrupt, the
+// first signal restores default disposition — a second signal skips the drain
+// and terminates the process immediately. A clean drain exits 0; a drain cut
+// short (timeout, in-flight work abandoned) flushes its partial manifest with
+// "interrupted": true and exits ExitInterrupted.
+func Drain() <-chan struct{} {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ch := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		stop() // next signal uses the default handler: die now
+		close(ch)
+	}()
+	return ch
+}
+
 // BadFlag reports an invalid flag value with its valid alternatives and
 // exits with ExitUsage.
 func BadFlag(prog, flagName, got string, valid []string) {

@@ -1,0 +1,171 @@
+package cli
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/manifest"
+	"costcache/internal/replacement"
+	"costcache/internal/server"
+)
+
+// TestDrainChild is the subprocess half of the drain tests: when
+// CLI_DRAIN_CHILD is set it becomes a miniature cacheserved main — start a
+// server, print the address, wait on Drain(), drain the server and flush a
+// manifest — and exits with the real exit code. Without the env var it is an
+// ordinary (skipped) test.
+func TestDrainChild(t *testing.T) {
+	mode := os.Getenv("CLI_DRAIN_CHILD")
+	if mode == "" {
+		t.Skip("subprocess helper; driven by TestDrainSubprocess")
+	}
+	os.Exit(drainChildMain(mode))
+}
+
+func drainChildMain(mode string) int {
+	eng := engine.New(engine.Config{Shards: 1, Sets: 64, Ways: 4})
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		if mode == "forced" {
+			select {} // wedge: the drain must time out
+		}
+		time.Sleep(200 * time.Millisecond)
+		return []byte("v"), nil
+	}
+	srv, err := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng, Backend: backend}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("ADDR %s\n", srv.Addr())
+
+	<-Drain()
+	timeout := 5 * time.Second
+	if mode == "forced" {
+		timeout = 150 * time.Millisecond
+	}
+	clean := srv.Drain(timeout)
+
+	m := manifest.New("cacheserved")
+	if !clean {
+		m.MarkInterrupted()
+	}
+	if err := m.WriteFile(os.Getenv("CLI_DRAIN_MANIFEST")); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if clean {
+		return 0
+	}
+	return ExitInterrupted
+}
+
+// spawnDrainChild starts the subprocess, reads its listen address, puts one
+// GetOrLoad in flight and sends SIGTERM while it is pending. It returns the
+// running command, the manifest path and the in-flight request handle.
+func spawnDrainChild(t *testing.T, mode string) (*exec.Cmd, string, *client.Pending) {
+	t.Helper()
+	mpath := t.TempDir() + "/manifest.json"
+	cmd := exec.Command(os.Args[0], "-test.run=TestDrainChild$")
+	cmd.Env = append(os.Environ(), "CLI_DRAIN_CHILD="+mode, "CLI_DRAIN_MANIFEST="+mpath)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	var addr string
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if s, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+			addr = s
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no ADDR line from child: %v", sc.Err())
+	}
+	go func() { // keep draining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	cl, err := client.Dial(client.Config{Addr: addr, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	p, err := cl.StartGetOrLoad("a", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the request reach the backend
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, mpath, p
+}
+
+// TestDrainSubprocessClean pins the clean-drain contract end to end: SIGTERM
+// with a finishable request in flight completes that request, exits 0, and
+// the flushed manifest is not marked interrupted.
+func TestDrainSubprocessClean(t *testing.T) {
+	cmd, mpath, p := spawnDrainChild(t, "clean")
+
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatalf("in-flight request failed across drain: %v", err)
+	}
+	if string(res.Value) != "v" {
+		t.Fatalf("in-flight request value = %q", res.Value)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("child exit: %v, want 0", err)
+	}
+	m, err := manifest.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interrupted {
+		t.Fatal("clean drain flushed an interrupted manifest")
+	}
+}
+
+// TestDrainSubprocessForced pins the forced path: a wedged backend makes the
+// drain time out, the child exits ExitInterrupted (130) and the partial
+// manifest carries "interrupted": true.
+func TestDrainSubprocessForced(t *testing.T) {
+	cmd, mpath, _ := spawnDrainChild(t, "forced")
+
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != ExitInterrupted {
+		t.Fatalf("child exit = %v, want code %d", err, ExitInterrupted)
+	}
+	m, err := manifest.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Interrupted {
+		t.Fatal("forced drain manifest not marked interrupted")
+	}
+}

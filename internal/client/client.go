@@ -1,0 +1,219 @@
+// Package client is the connection-pooled client side of the cache tier
+// protocol (internal/wire): pipelined connections, a bounded health-checked
+// pool per node, per-request deadlines, and a consistent-hash ring
+// (client.Ring) routing keys across N nodes with a per-node circuit breaker
+// from internal/resilience.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costcache/internal/wire"
+)
+
+// Config describes a client for one node.
+type Config struct {
+	// Addr is the node's TCP address.
+	Addr string
+	// Conns is the pool size (0 = 1). Requests round-robin across the pool;
+	// each connection pipelines, so one connection already supports many
+	// concurrent requests — more connections spread the per-conn write lock.
+	Conns int
+	// Timeout bounds each request round trip (0 = wait forever). A timed-out
+	// request abandons its slot; the response, if it ever arrives, is
+	// discarded by ID.
+	Timeout time.Duration
+	// MaxFrame caps accepted response frames (0 = wire.MaxFrame).
+	MaxFrame int
+}
+
+// Error is a server-reported protocol error (a FlagError response).
+type Error struct {
+	Code uint8
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("server: %s: %s", wire.ErrCodeName(e.Code), e.Msg)
+}
+
+// ErrTimeout is returned when Config.Timeout expires before the response.
+var ErrTimeout = &Error{Code: wire.ErrCodeTimeout, Msg: "client deadline exceeded"}
+
+// Result is one GetOrLoad outcome relayed from the server.
+type Result struct {
+	// Value is the response value (an owned copy).
+	Value []byte
+	// Charged is the miss cost this request charged at install on the
+	// server (0 for hits, coalesced waits, stale serves).
+	Charged int64
+	// Hit / Coalesced / Stale mirror engine.LoadInfo over the wire.
+	Hit       bool
+	Coalesced bool
+	Stale     bool
+}
+
+// Client talks to one node through a bounded pool of pipelined connections.
+type Client struct {
+	cfg   Config
+	rr    atomic.Uint64
+	mu    sync.Mutex // guards slot (re)dialing
+	slots []*conn
+}
+
+// Dial builds a client and eagerly connects every pool slot, so a dead node
+// fails fast at startup rather than on the first request.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	c := &Client{cfg: cfg, slots: make([]*conn, cfg.Conns)}
+	for i := range c.slots {
+		cc, err := dialConn(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.slots[i] = cc
+	}
+	return c, nil
+}
+
+// Addr returns the node address this client dials.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// pick returns a live connection, redialing its slot if the previous one
+// broke — the pool's health check is the connection itself.
+func (c *Client) pick() (*conn, error) {
+	i := int(c.rr.Add(1)) % len(c.slots)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc := c.slots[i]
+	if cc == nil || cc.broken() {
+		if cc != nil {
+			cc.close()
+		}
+		fresh, err := dialConn(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.slots[i] = fresh
+		cc = fresh
+	}
+	return cc, nil
+}
+
+// Ping round-trips an OpPing frame (the health probe).
+func (c *Client) Ping() error {
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	_, _, err = cc.roundTrip(wire.OpPing, "", nil, c.cfg.Timeout)
+	return err
+}
+
+// Get looks key up in ns without loading.
+func (c *Client) Get(ns string, key uint64) (value []byte, ok bool, err error) {
+	cc, err := c.pick()
+	if err != nil {
+		return nil, false, err
+	}
+	flags, payload, err := cc.roundTrip(wire.OpGet, ns, wire.AppendGetReq(nil, key), c.cfg.Timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if flags&wire.FlagHit == 0 {
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+// Set installs key in ns with a value and predicted next-miss cost.
+func (c *Client) Set(ns string, key uint64, cost int64, value []byte) error {
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	_, _, err = cc.roundTrip(wire.OpSet, ns, wire.AppendSetReq(nil, key, cost, value), c.cfg.Timeout)
+	return err
+}
+
+// GetOrLoad returns ns's cached value for key or has the server load it,
+// declaring cost as the miss cost the server charges on a fill.
+func (c *Client) GetOrLoad(ns string, key uint64, cost int64) (Result, error) {
+	p, err := c.StartGetOrLoad(ns, key, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Wait()
+}
+
+// Pending is one sent GetOrLoad awaiting its response. The two-phase
+// Start/Wait API exists so a load harness can attribute the request-write
+// and response-wait portions of the round trip to separate span stages
+// (net_write / net_read); plain callers use GetOrLoad.
+type Pending struct {
+	p       *pendingReq
+	timeout time.Duration
+}
+
+// StartGetOrLoad encodes and writes the request, returning a handle whose
+// Wait collects the response.
+func (c *Client) StartGetOrLoad(ns string, key uint64, cost int64) (*Pending, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	p, err := cc.send(wire.OpGetOrLoad, ns, wire.AppendGetOrLoadReq(nil, key, cost))
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{p: p, timeout: c.cfg.Timeout}, nil
+}
+
+// Wait blocks for the response, bounded by the client's Timeout.
+func (p *Pending) Wait() (Result, error) {
+	flags, payload, err := p.p.wait(p.timeout)
+	if err != nil {
+		return Result{}, err
+	}
+	charged, value, err := wire.ParseGetOrLoadResp(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:     value,
+		Charged:   charged,
+		Hit:       flags&wire.FlagHit != 0,
+		Coalesced: flags&wire.FlagCoalesced != 0,
+		Stale:     flags&wire.FlagStale != 0,
+	}, nil
+}
+
+// Stats fetches ns's engine and serving-tier counters.
+func (c *Client) Stats(ns string) (wire.Stats, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	return cc.stats(ns, c.cfg.Timeout)
+}
+
+// Close tears the pool down; in-flight requests fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cc := range c.slots {
+		if cc != nil {
+			cc.close()
+			c.slots[i] = nil
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package client
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"costcache/internal/wire"
+)
+
+// conn is one pipelined connection: writes are serialized by wmu (each
+// request is encoded into a reused buffer and flushed), responses are read
+// by a single background goroutine and matched to waiters by request ID, so
+// many goroutines can have requests in flight on one socket and the server
+// may answer them out of order.
+type conn struct {
+	nc net.Conn
+
+	wmu    sync.Mutex // serializes encode+write
+	wbuf   []byte
+	nextID uint64
+
+	mu      sync.Mutex // guards pending and err
+	pending map[uint64]chan response
+	err     error
+
+	maxFrame int
+}
+
+// response is one matched reply. payload is an owned copy: the read loop's
+// frame buffer is reused, so it must not escape.
+type response struct {
+	flags   uint8
+	payload []byte
+	err     error
+}
+
+// netDial connects to addr, bounding the handshake by the request timeout.
+func netDial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
+func dialConn(cfg Config) (*conn, error) {
+	nc, err := netDial(cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{
+		nc:       nc,
+		pending:  make(map[uint64]chan response),
+		maxFrame: cfg.MaxFrame,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+func (c *conn) close() { c.nc.Close() }
+
+// fail marks the connection dead and wakes every waiter with err.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{err: c.err}
+	}
+	c.mu.Unlock()
+}
+
+func (c *conn) readLoop() {
+	var f wire.Frame
+	for {
+		if err := wire.ReadFrame(c.nc, c.maxFrame, &f); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // a request that timed out and abandoned its slot
+		}
+		r := response{flags: f.Flags}
+		if f.Flags&wire.FlagError != 0 {
+			code, msg, perr := wire.ParseError(f.Payload)
+			if perr != nil {
+				r.err = perr
+			} else {
+				r.err = &Error{Code: code, Msg: msg}
+			}
+		} else {
+			r.payload = append([]byte(nil), f.Payload...)
+		}
+		ch <- r
+	}
+}
+
+// pendingReq is one sent-but-unanswered request: the handle Pending wraps.
+type pendingReq struct {
+	c  *conn
+	id uint64
+	ch chan response
+}
+
+// send encodes and writes one request frame, registering a response slot.
+// The caller collects the response with pendingReq.wait.
+func (c *conn) send(op uint8, ns string, payload []byte) (*pendingReq, error) {
+	ch := make(chan response, 1)
+
+	c.wmu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	f := wire.Frame{Version: wire.Version, Op: op, ID: id, NS: ns, Payload: payload}
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], &f)
+	_, werr := c.nc.Write(c.wbuf)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(werr)
+		return nil, werr
+	}
+	return &pendingReq{c: c, id: id, ch: ch}, nil
+}
+
+// wait blocks for the response (bounded by timeout when positive). The
+// returned payload is an owned copy.
+func (p *pendingReq) wait(timeout time.Duration) (uint8, []byte, error) {
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case r := <-p.ch:
+			return r.flags, r.payload, r.err
+		case <-t.C:
+			p.c.mu.Lock()
+			delete(p.c.pending, p.id) // abandon: a late response is discarded
+			p.c.mu.Unlock()
+			return 0, nil, ErrTimeout
+		}
+	}
+	r := <-p.ch
+	return r.flags, r.payload, r.err
+}
+
+// roundTrip sends one request and blocks for its response.
+func (c *conn) roundTrip(op uint8, ns string, payload []byte, timeout time.Duration) (uint8, []byte, error) {
+	p, err := c.send(op, ns, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.wait(timeout)
+}
+
+func (c *conn) stats(ns string, timeout time.Duration) (wire.Stats, error) {
+	_, payload, err := c.roundTrip(wire.OpStats, ns, nil, timeout)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	var st wire.Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return wire.Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,245 @@
+package client
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"costcache/internal/replacement"
+	"costcache/internal/resilience"
+	"costcache/internal/wire"
+)
+
+// Ring routes keys across N nodes by consistent hashing: each node owns
+// VNodes points on a 64-bit hash circle and a key belongs to the first point
+// clockwise of its hash. Adding or removing a node only remaps the keys in
+// its arcs (~1/N of the space), which is what makes the tier scale out
+// without a global reshuffle.
+//
+// With a Resilience configured, each node gets a circuit breaker (its ring
+// index is the breaker's class, so breaker state shows up per node in the
+// registry's engine_breaker_state{class="i"} gauges). A request for a node
+// whose breaker is open fails over to the next distinct node clockwise —
+// bounded at one hop: two simultaneously-broken neighbors mean the request
+// sheds rather than hammering the whole ring.
+type Ring struct {
+	clients []*Client
+	res     *resilience.Resilience
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// RingConfig describes a ring.
+type RingConfig struct {
+	// Addrs are the node addresses (at least one).
+	Addrs []string
+	// Client configures each node's pool (Addr is overridden per node).
+	Client Config
+	// VNodes is the number of ring points per node (0 = 64).
+	VNodes int
+	// Resilience, when non-nil, drives a per-node breaker: request outcomes
+	// are reported per node and an open breaker fails the node's keys over
+	// to its successor.
+	Resilience *resilience.Resilience
+}
+
+// NewRing dials every node and builds the ring.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("client: ring needs at least one address")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	r := &Ring{res: cfg.Resilience}
+	for i, addr := range cfg.Addrs {
+		cc := cfg.Client
+		cc.Addr = addr
+		cl, err := Dial(cc)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("client: ring node %d (%s): %w", i, addr, err)
+		}
+		r.clients = append(r.clients, cl)
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(addr, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// pointHash places vnode v of addr on the circle (FNV-1a over "addr#v").
+func pointHash(addr string, v int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", addr, v)
+	return h.Sum64()
+}
+
+// keyHash spreads keys over the circle with the same splitmix64 finalizer
+// the engine uses for set placement, so sequential key spaces don't clump.
+func keyHash(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return len(r.clients) }
+
+// Node returns node i's client (for per-node stats).
+func (r *Ring) Node(i int) *Client { return r.clients[i] }
+
+// Pick returns the node owning key: the first ring point clockwise of the
+// key's hash.
+func (r *Ring) Pick(key uint64) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// successor returns the next distinct node clockwise of node's first point
+// at or after the key's hash (node itself if it is the only node).
+func (r *Ring) successor(key uint64, node int) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if p.node != node {
+			return p.node
+		}
+	}
+	return node
+}
+
+// route picks the serving node for key, honoring breakers: an open breaker
+// fails over to the successor; a successor whose breaker is also open sheds.
+func (r *Ring) route(key uint64) (int, error) {
+	node := r.Pick(key)
+	if r.res == nil || r.res.Allow(replacement.Cost(node)) {
+		return node, nil
+	}
+	next := r.successor(key, node)
+	if next == node || !r.res.Allow(replacement.Cost(next)) {
+		return -1, &Error{Code: 0, Msg: fmt.Sprintf("node %d breaker open, no healthy successor", node)}
+	}
+	return next, nil
+}
+
+// report feeds the request outcome to node's breaker. Protocol errors the
+// server answered (shed, timeout, draining, bad request) still prove the
+// node is up; only transport failures count against it.
+func (r *Ring) report(node int, err error) {
+	if r.res == nil {
+		return
+	}
+	_, protocol := err.(*Error)
+	r.res.Report(replacement.Cost(node), err == nil || protocol)
+}
+
+// GetOrLoad routes key to its ring node and performs the request there.
+func (r *Ring) GetOrLoad(ns string, key uint64, cost int64) (Result, error) {
+	p, node, err := r.StartGetOrLoad(ns, key, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.Wait()
+	r.Report(node, err)
+	return res, err
+}
+
+// StartGetOrLoad routes key and writes the request, returning the handle
+// and the serving node. The caller must feed Wait's error back through
+// Report(node, err) so the node's breaker sees the outcome.
+func (r *Ring) StartGetOrLoad(ns string, key uint64, cost int64) (*Pending, int, error) {
+	node, err := r.route(key)
+	if err != nil {
+		return nil, -1, err
+	}
+	p, err := r.clients[node].StartGetOrLoad(ns, key, cost)
+	if err != nil {
+		r.report(node, err)
+		return nil, node, err
+	}
+	return p, node, nil
+}
+
+// Report feeds a two-phase request's final outcome to node's breaker (a
+// no-op without a Resilience config or for node < 0).
+func (r *Ring) Report(node int, err error) {
+	if node >= 0 {
+		r.report(node, err)
+	}
+}
+
+// Get routes key to its ring node and looks it up there.
+func (r *Ring) Get(ns string, key uint64) ([]byte, bool, error) {
+	node, err := r.route(key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok, err := r.clients[node].Get(ns, key)
+	r.report(node, err)
+	return v, ok, err
+}
+
+// Set routes key to its ring node and installs it there.
+func (r *Ring) Set(ns string, key uint64, cost int64, value []byte) error {
+	node, err := r.route(key)
+	if err != nil {
+		return err
+	}
+	err = r.clients[node].Set(ns, key, cost, value)
+	r.report(node, err)
+	return err
+}
+
+// Stats sums ns's engine counters across every node (serving-tier counters
+// sum too: each node reports its own).
+func (r *Ring) Stats(ns string) (wire.Stats, error) {
+	var sum wire.Stats
+	sum.Namespace = ns
+	for _, c := range r.clients {
+		st, err := c.Stats(ns)
+		if err != nil {
+			return wire.Stats{}, err
+		}
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Coalesced += st.Coalesced
+		sum.Evictions += st.Evictions
+		sum.CostPaid += st.CostPaid
+		sum.LockWaitNs += st.LockWaitNs
+		sum.ShadowCost += st.ShadowCost
+		sum.LoadTimeouts += st.LoadTimeouts
+		sum.LoadRetries += st.LoadRetries
+		sum.Shed += st.Shed
+		sum.StaleServed += st.StaleServed
+		sum.Expired += st.Expired
+		sum.ConnsAccepted += st.ConnsAccepted
+		sum.ConnsActive += st.ConnsActive
+		sum.FramesIn += st.FramesIn
+		sum.FramesOut += st.FramesOut
+		sum.ServerShed += st.ServerShed
+	}
+	return sum, nil
+}
+
+// Close tears down every node's pool.
+func (r *Ring) Close() {
+	for _, c := range r.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package client_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/obs"
+	"costcache/internal/resilience"
+	"costcache/internal/server"
+)
+
+// startNode boots one single-namespace server for ring tests.
+func startNode(t *testing.T) (*server.Server, *engine.Engine) {
+	t.Helper()
+	// Roomy geometry: the sticky-routing test re-reads its keys in insertion
+	// order, which is LRU's worst case — any set holding more keys than ways
+	// thrashes and every re-read in it misses. Vnode placement depends on
+	// the OS-assigned ports, so a node's share (and thus its keys-per-set
+	// load) varies per run; enough sets keeps overfull sets improbable.
+	eng := engine.New(engine.Config{Shards: 2, Sets: 1024, Ways: 4})
+	s, err := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng}},
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, eng
+}
+
+func TestRingSpreadsTraffic(t *testing.T) {
+	var addrs []string
+	var engines []*engine.Engine
+	for i := 0; i < 3; i++ {
+		s, e := startNode(t)
+		addrs = append(addrs, s.Addr().String())
+		engines = append(engines, e)
+	}
+	r, err := client.NewRing(client.RingConfig{
+		Addrs:  addrs,
+		Client: client.Config{Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	defer r.Close()
+
+	const ops = 600
+	for k := uint64(0); k < ops; k++ {
+		res, err := r.GetOrLoad("a", k, 3)
+		if err != nil {
+			t.Fatalf("getorload %d: %v", k, err)
+		}
+		if binary.BigEndian.Uint64(res.Value) != k {
+			t.Fatalf("key %d: wrong value", k)
+		}
+	}
+	var total int64
+	for i, e := range engines {
+		st := e.Stats()
+		n := st.Hits + st.Misses + st.Coalesced
+		if n == 0 {
+			t.Errorf("node %d received no traffic", i)
+		}
+		total += n
+	}
+	if total != ops {
+		t.Fatalf("nodes served %d ops, want %d", total, ops)
+	}
+
+	// Routing is sticky: re-reading the same keys mostly hits (a few may
+	// have been evicted from full sets — the cache is set-associative).
+	hits := 0
+	for k := uint64(0); k < ops; k++ {
+		res, err := r.GetOrLoad("a", k, 3)
+		if err != nil {
+			t.Fatalf("re-read %d: %v", k, err)
+		}
+		if res.Hit {
+			hits++
+		}
+	}
+	if hits < ops*8/10 {
+		t.Fatalf("only %d/%d re-reads hit; routing is not sticky", hits, ops)
+	}
+}
+
+// TestRingConsistency asserts the consistent-hashing contract: a ring over
+// a subset of the same addresses agrees with the full ring on every key the
+// subset still owns, so removing a node only remaps that node's arcs.
+func TestRingConsistency(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		s, _ := startNode(t)
+		addrs = append(addrs, s.Addr().String())
+	}
+	full, err := client.NewRing(client.RingConfig{Addrs: addrs, Client: client.Config{Timeout: time.Second}})
+	if err != nil {
+		t.Fatalf("full ring: %v", err)
+	}
+	defer full.Close()
+	sub, err := client.NewRing(client.RingConfig{Addrs: addrs[:2], Client: client.Config{Timeout: time.Second}})
+	if err != nil {
+		t.Fatalf("sub ring: %v", err)
+	}
+	defer sub.Close()
+
+	moved := 0
+	for k := uint64(0); k < 4000; k++ {
+		f := full.Pick(k)
+		s := sub.Pick(k)
+		if f == 2 {
+			continue // node 2's keys must move somewhere; anywhere is fine
+		}
+		if f != s {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving nodes changed owner when node 2 left", moved)
+	}
+}
+
+// TestRingBreakerFailover kills one node, lets its breaker trip on
+// transport errors, and asserts its keys fail over to the successor while
+// the other nodes keep serving untouched.
+func TestRingBreakerFailover(t *testing.T) {
+	var addrs []string
+	var servers []*server.Server
+	for i := 0; i < 3; i++ {
+		s, _ := startNode(t)
+		addrs = append(addrs, s.Addr().String())
+		servers = append(servers, s)
+	}
+	reg := obs.NewRegistry()
+	res := resilience.New(resilience.Config{
+		BreakerRate: 0.5, BreakerWindow: 8, BreakerMin: 4, BreakerCooldown: 1 << 30,
+	}, reg)
+	r, err := client.NewRing(client.RingConfig{
+		Addrs:      addrs,
+		Client:     client.Config{Timeout: time.Second},
+		Resilience: res,
+	})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	defer r.Close()
+
+	// Find keys owned by each node.
+	keysOf := func(node, n int) []uint64 {
+		var ks []uint64
+		for k := uint64(0); len(ks) < n; k++ {
+			if r.Pick(k) == node {
+				ks = append(ks, k)
+			}
+		}
+		return ks
+	}
+	victimKeys := keysOf(1, 16)
+
+	servers[1].Close()
+
+	// Drive the dead node until its breaker trips (transport errors), then
+	// until failover answers. Every request either errors (pre-trip) or is
+	// served by the successor (post-trip).
+	deadline := time.Now().Add(10 * time.Second)
+	served := 0
+	for time.Now().Before(deadline) && served < len(victimKeys) {
+		served = 0
+		for _, k := range victimKeys {
+			if _, err := r.GetOrLoad("a", k, 1); err == nil {
+				served++
+			}
+		}
+	}
+	if served < len(victimKeys) {
+		t.Fatalf("only %d/%d keys of the dead node served via failover", served, len(victimKeys))
+	}
+	if res.Opened() == 0 {
+		t.Fatal("dead node's breaker never opened")
+	}
+
+	// Healthy nodes are unaffected.
+	for _, k := range keysOf(0, 8) {
+		if _, err := r.GetOrLoad("a", k, 1); err != nil {
+			t.Fatalf("healthy node 0 key %d: %v", k, err)
+		}
+	}
+}
+
+// TestPoolRedial breaks a pooled connection and asserts the next request
+// redials the slot instead of failing forever.
+func TestPoolRedial(t *testing.T) {
+	s, _ := startNode(t)
+	c, err := client.Dial(client.Config{Addr: s.Addr().String(), Conns: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// Tear the socket down under the client.
+	c.Close()
+	// Closed pool slots redial lazily on the next pick.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after close: %v (pool should redial)", err)
+	}
+}

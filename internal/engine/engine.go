@@ -78,6 +78,12 @@ type Config struct {
 	// docs/ENGINE.md "Degraded-mode serving"). nil keeps the legacy inline
 	// loader path, bit-identical with pre-resilience behavior.
 	Resilience *resilience.Resilience
+	// Namespace, when non-empty, adds an ns label to every engine_* series
+	// this engine registers, so multiple tenant engines can share one
+	// registry (the cacheserved layout) without colliding. Empty keeps the
+	// exact historical series names, so single-engine manifests stay
+	// diffable against old baselines.
+	Namespace string
 }
 
 // Engine is a sharded, thread-safe cost-sensitive cache.
@@ -154,7 +160,7 @@ func New(cfg Config) *Engine {
 		if cfg.Registry == nil || e.res == nil {
 			return &obs.Counter{}
 		}
-		return cfg.Registry.Counter(name)
+		return cfg.Registry.Counter(nsLabel(cfg.Namespace, name))
 	}
 	e.loadTimeouts = counter("engine_load_timeouts")
 	e.loadRetries = counter("engine_load_retries")
@@ -164,7 +170,7 @@ func New(cfg Config) *Engine {
 	localSets := cfg.Sets / cfg.Shards
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		s := newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Shadow, ghosts)
+		s := newShard(i, localSets, cfg.Ways, cfg.Policy(), cfg.Registry, cfg.Namespace, cfg.Shadow, ghosts)
 		if cfg.Decisions != nil {
 			if ob, ok := s.policy.(replacement.Observable); ok {
 				ob.SetObserver(cfg.Decisions.BindShard(s.policy.Name(), i))
@@ -388,8 +394,21 @@ func (s Stats) Savings() float64 {
 	return float64(s.ShadowCost-s.CostPaid) / float64(s.ShadowCost)
 }
 
-// shardLabel renders the canonical label for shard i, shared by every
-// engine_* series so identical shards yield identical series names.
-func shardLabel(base string, i int) string {
-	return obs.Name(base, "shard", strconv.Itoa(i))
+// shardLabel renders the canonical label for shard i of namespace ns, shared
+// by every engine_* series so identical shards yield identical series names.
+// An empty ns renders no ns label, preserving the historical names.
+func shardLabel(ns, base string, i int) string {
+	if ns == "" {
+		return obs.Name(base, "shard", strconv.Itoa(i))
+	}
+	return obs.Name(base, "ns", ns, "shard", strconv.Itoa(i))
+}
+
+// nsLabel renders an engine-wide series name for namespace ns (no shard
+// label). An empty ns renders the bare base name.
+func nsLabel(ns, base string) string {
+	if ns == "" {
+		return base
+	}
+	return obs.Name(base, "ns", ns)
 }

@@ -19,6 +19,26 @@ var ErrLoadTimeout = errors.New("engine: load deadline exceeded")
 // backend recover.
 var ErrShed = errors.New("engine: load shed by open circuit breaker")
 
+// LoadInfo reports how one GetOrLoad call was answered, so a caller serving
+// the engine over a wire (internal/server) can relay the outcome — and the
+// cost this exact call charged — without re-deriving it from counter deltas.
+// Exactly one of Hit/Coalesced is set for a non-leader outcome; a leader
+// load has neither.
+type LoadInfo struct {
+	// Hit reports the value was already cached.
+	Hit bool
+	// Coalesced reports this call waited on another goroutine's in-flight
+	// load for the key (it charged nothing).
+	Coalesced bool
+	// Stale reports the value came from an evicted-but-retained ghost.
+	Stale bool
+	// Charged is the miss cost this call's load charged at install — 0 on
+	// hits, coalesced waits, stale serves, and loads whose install lost a
+	// race with a concurrent Set. Summing Charged over calls reproduces the
+	// engine_cost_paid stream exactly (minus Set-path installs).
+	Charged int64
+}
+
 // GetOrLoadStale is GetOrLoad plus the degraded-mode contract: stale
 // reports that the value came from an evicted-but-retained ghost (served
 // when the breaker is open or the deadline expires, charging zero cost).
@@ -26,6 +46,13 @@ var ErrShed = errors.New("engine: load shed by open circuit breaker")
 // to the counter stream — is identical to GetOrLoad before resilience
 // existed.
 func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool, err error) {
+	v, info, err := e.GetOrLoadInfo(key, load)
+	return v, info.Stale, err
+}
+
+// GetOrLoadInfo is GetOrLoadStale plus the full per-call outcome (see
+// LoadInfo). The counter stream is identical to GetOrLoad/GetOrLoadStale.
+func (e *Engine) GetOrLoadInfo(key uint64, load Loader) (value any, info LoadInfo, err error) {
 	s, set := e.place(key)
 	sp := e.tracer.Begin(reqspan.OpGetOrLoad, s.id, key)
 	s.lock()
@@ -40,7 +67,7 @@ func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool,
 		v := s.vals[set][w]
 		s.mu.Unlock()
 		e.tracer.Finish(sp, reqspan.OutcomeHit)
-		return v, false, nil
+		return v, LoadInfo{Hit: true}, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.coalesced.Inc()
@@ -49,8 +76,7 @@ func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool,
 		return e.waitFlight(s, key, f, sp)
 	}
 	if e.res == nil {
-		v, err := e.loadInline(s, set, key, load, sp)
-		return v, false, err
+		return e.loadInline(s, set, key, load, sp)
 	}
 	return e.loadResilient(s, set, key, load, sp)
 }
@@ -59,7 +85,7 @@ func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool,
 // bounded by the resilience deadline when one is configured. A waiter whose
 // deadline expires detaches with ErrLoadTimeout (or a stale ghost) while
 // the load runs on — it still fills the cache for everyone after.
-func (e *Engine) waitFlight(s *shard, key uint64, f *flight, sp *reqspan.Span) (any, bool, error) {
+func (e *Engine) waitFlight(s *shard, key uint64, f *flight, sp *reqspan.Span) (any, LoadInfo, error) {
 	if e.res != nil && e.res.Deadline() > 0 {
 		t := time.NewTimer(e.res.Deadline())
 		select {
@@ -72,11 +98,11 @@ func (e *Engine) waitFlight(s *shard, key uint64, f *flight, sp *reqspan.Span) (
 				if v, ok := s.ghostValue(key); ok {
 					e.staleServed.Inc()
 					e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
-					return v, true, nil
+					return v, LoadInfo{Coalesced: true, Stale: true}, nil
 				}
 			}
 			e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
-			return nil, false, ErrLoadTimeout
+			return nil, LoadInfo{Coalesced: true}, ErrLoadTimeout
 		}
 	} else {
 		<-f.done
@@ -87,14 +113,14 @@ func (e *Engine) waitFlight(s *shard, key uint64, f *flight, sp *reqspan.Span) (
 		panic(&LoaderPanic{Value: f.pan})
 	}
 	e.tracer.Finish(sp, reqspan.OutcomeCoalesced)
-	return f.val, false, f.err
+	return f.val, LoadInfo{Coalesced: true}, f.err
 }
 
 // loadInline is the legacy leader path (no Resilience configured): run the
 // loader on the calling goroutine, install, publish. Kept verbatim so
 // un-configured engines stay bit-identical with pre-resilience behavior.
 // Entered holding the shard lock; the miss is not yet counted.
-func (e *Engine) loadInline(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, error) {
+func (e *Engine) loadInline(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, LoadInfo, error) {
 	s.misses.Inc()
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
@@ -125,6 +151,7 @@ func (e *Engine) loadInline(s *shard, set int, key uint64, load Loader, sp *reqs
 			sp.Mark(reqspan.StageFill)
 		} else {
 			s.install(set, key, f.val, f.cost, sp)
+			f.charged = int64(f.cost)
 		}
 	}
 	s.mu.Unlock()
@@ -135,17 +162,17 @@ func (e *Engine) loadInline(s *shard, set int, key uint64, load Loader, sp *reqs
 	}
 	if f.err != nil {
 		e.tracer.Finish(sp, reqspan.OutcomeError)
-		return f.val, f.err
+		return f.val, LoadInfo{}, f.err
 	}
 	e.tracer.Finish(sp, reqspan.OutcomeMiss)
-	return f.val, f.err
+	return f.val, LoadInfo{Charged: f.charged}, f.err
 }
 
 // loadResilient is the degraded-mode leader path: consult the class's
 // breaker, run the load (with its cost-scaled retry budget) on a background
 // goroutine, and wait bounded by the deadline. Entered holding the shard
 // lock; the miss is not yet counted.
-func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, bool, error) {
+func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (any, LoadInfo, error) {
 	// Predict the key's cost class before its loader has run: the
 	// configured classifier, else the cost the key last charged (its ghost).
 	class := e.res.Class(key)
@@ -173,10 +200,10 @@ func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *r
 		if ok {
 			e.staleServed.Inc()
 			e.tracer.Finish(sp, reqspan.OutcomeMiss)
-			return v, true, nil
+			return v, LoadInfo{Stale: true}, nil
 		}
 		e.tracer.Finish(sp, reqspan.OutcomeError)
-		return nil, false, ErrShed
+		return nil, LoadInfo{}, ErrShed
 	}
 
 	s.misses.Inc()
@@ -204,11 +231,11 @@ func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *r
 				if v, ok := s.ghostValue(key); ok {
 					e.staleServed.Inc()
 					e.tracer.Finish(sp, reqspan.OutcomeMiss)
-					return v, true, nil
+					return v, LoadInfo{Stale: true}, nil
 				}
 			}
 			e.tracer.Finish(sp, reqspan.OutcomeMiss)
-			return nil, false, ErrLoadTimeout
+			return nil, LoadInfo{}, ErrLoadTimeout
 		}
 	} else {
 		<-f.done
@@ -220,11 +247,11 @@ func (e *Engine) loadResilient(s *shard, set int, key uint64, load Loader, sp *r
 	}
 	if f.err != nil {
 		e.tracer.Finish(sp, reqspan.OutcomeError)
-		return f.val, false, f.err
+		return f.val, LoadInfo{}, f.err
 	}
 	sp.AddCost(f.charged)
 	e.tracer.Finish(sp, reqspan.OutcomeMiss)
-	return f.val, false, nil
+	return f.val, LoadInfo{Charged: f.charged}, nil
 }
 
 // runLoad executes one flight's load attempts on a goroutine of its own —

@@ -76,7 +76,7 @@ type ghost struct {
 	slot int
 }
 
-func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withShadow, withGhosts bool) *shard {
+func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, ns string, withShadow, withGhosts bool) *shard {
 	s := &shard{
 		policy:  p,
 		id:      id,
@@ -97,7 +97,7 @@ func newShard(id, sets, ways int, p replacement.Policy, reg *obs.Registry, withS
 		if reg == nil {
 			return &obs.Counter{}
 		}
-		return reg.Counter(shardLabel(base, id))
+		return reg.Counter(shardLabel(ns, base, id))
 	}
 	s.hits = counter("engine_hits")
 	s.misses = counter("engine_misses")

@@ -43,6 +43,18 @@ const (
 	// Open issues requests on a fixed arrival schedule (Rate per second),
 	// measuring latency from the scheduled arrival, so a backlogged engine
 	// accrues queueing delay instead of silently shedding load.
+	//
+	// This discipline is deliberately coordinated-omission-free: arrival i
+	// of the global schedule has origin start + i/Rate, computed from the
+	// schedule alone — never from when the previous request finished. A
+	// worker that falls behind does not sleep (time.Until(origin) is
+	// negative) and its requests' latencies are measured from the slot they
+	// should have started at, so backend stalls charge every queued arrival
+	// with its full waiting time. The tempting "origin = time.Now()" fix
+	// would silently re-synchronize the schedule to the backend's pace and
+	// under-report tail latency by exactly the stall time — the classic
+	// coordinated-omission bug. TestOpenLoopCoordinatedOmission pins this
+	// contract over the remote transport.
 	Open Mode = "open"
 )
 
@@ -105,7 +117,37 @@ type Config struct {
 	// span, so a "p99" bucket points at a concrete request to open in
 	// Perfetto.
 	Tracer *reqspan.Tracer
+	// Target, when non-nil, receives the requests instead of the in-process
+	// engine passed to Run (which may then be nil): the remote serving tier
+	// (NewRemoteTarget), or anything else implementing the two calls. The
+	// key streams, cost mapping and arrival schedule are identical either
+	// way — that is what makes a remote run counter-diffable against an
+	// in-process run of the same config.
+	Target Target
 }
+
+// Target abstracts where requests land: the in-process engine (the default)
+// or a remote cache tier driven over sockets.
+type Target interface {
+	// GetOrLoad performs one request. c is the key's predicted miss cost
+	// from the run's cost source; in-process targets ignore it (their load
+	// closure recomputes it), remote targets declare it on the wire so the
+	// server charges the identical cost stream.
+	GetOrLoad(key uint64, c replacement.Cost, load engine.Loader) (stale bool, err error)
+	// Stats returns the engine counter view used for the run's delta — for
+	// a remote target, fetched from the server(s).
+	Stats() (engine.Stats, error)
+}
+
+// engineTarget is the default in-process target.
+type engineTarget struct{ e *engine.Engine }
+
+func (t engineTarget) GetOrLoad(key uint64, _ replacement.Cost, load engine.Loader) (bool, error) {
+	_, stale, err := t.e.GetOrLoadStale(key, load)
+	return stale, err
+}
+
+func (t engineTarget) Stats() (engine.Stats, error) { return t.e.Stats(), nil }
 
 func (c Config) withDefaults() Config {
 	if c.Mode == "" {
@@ -181,6 +223,13 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	target := cfg.Target
+	if target == nil {
+		if e == nil {
+			return Result{}, fmt.Errorf("loadgen: nil engine and no Target")
+		}
+		target = engineTarget{e}
+	}
 
 	src := cfg.CostSource()
 	// loadOp numbers backend load attempts (misses and retries, not hits or
@@ -216,7 +265,10 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 		hist = obs.NewHistogram(latencyBuckets())
 	}
 	var done, interrupted, errored, staleServes atomic.Int64
-	before := e.Stats()
+	before, err := target.Stats()
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: pre-run stats: %w", err)
+	}
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -246,7 +298,7 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 				} else {
 					origin = time.Now()
 				}
-				if _, stale, err := e.GetOrLoadStale(key, load); err != nil {
+				if stale, err := target.GetOrLoad(key, src.MissCost(key), load); err != nil {
 					// Errors — injected faults, shed loads, expired deadlines
 					// — still count as completed (errored) requests.
 					errored.Add(1)
@@ -266,11 +318,15 @@ func Run(e *engine.Engine, cfg Config, stopped func() bool) (Result, error) {
 	wg.Wait()
 
 	wall := time.Since(start)
+	after, err := target.Stats()
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: post-run stats: %w", err)
+	}
 	snap := hist.Snapshot()
 	res := Result{
 		Ops:         done.Load(),
 		WallNs:      wall.Nanoseconds(),
-		Stats:       e.Stats().Sub(before),
+		Stats:       after.Sub(before),
 		Latency:     snap,
 		P50Ns:       snap.Quantile(0.50),
 		P95Ns:       snap.Quantile(0.95),

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/replacement"
+	"costcache/internal/wire"
+)
+
+// RemoteTarget drives a ring of cacheserved nodes instead of an in-process
+// engine: each request becomes a GETORLOAD frame declaring the key's
+// predicted miss cost, so the server charges the identical cost stream the
+// in-process loader would have — a single-worker closed-loop remote run is
+// counter-for-counter identical to the same config run in-process.
+//
+// When a tracer is configured, every request is offered as a span whose
+// stages tile the round trip: net_write (request encode + socket write) and
+// net_read (response wait — which includes the server's entire service
+// time). The span's outcome and charged cost come from the response flags,
+// so stride-1 sampled remote runs reconcile outcome counts and cost sums
+// against the server's counter deltas exactly like in-process runs do.
+type RemoteTarget struct {
+	ring   *client.Ring
+	ns     string
+	tracer *reqspan.Tracer
+}
+
+// NewRemoteTarget builds a remote target over ring, issuing every request
+// against namespace ns. tracer may be nil.
+func NewRemoteTarget(ring *client.Ring, ns string, tracer *reqspan.Tracer) *RemoteTarget {
+	return &RemoteTarget{ring: ring, ns: ns, tracer: tracer}
+}
+
+// GetOrLoad implements Target. The load closure is ignored: the server's
+// backend produces values.
+func (t *RemoteTarget) GetOrLoad(key uint64, c replacement.Cost, _ engine.Loader) (bool, error) {
+	// The span's shard slot carries the ring node, so hot-shard analytics
+	// become hot-node analytics on remote runs.
+	sp := t.tracer.Begin(reqspan.OpGetOrLoad, t.ring.Pick(key), key)
+	p, node, err := t.ring.StartGetOrLoad(t.ns, key, int64(c))
+	sp.Mark(reqspan.StageNetWrite)
+	if err != nil {
+		t.tracer.Finish(sp, reqspan.OutcomeError)
+		return false, err
+	}
+	res, err := p.Wait()
+	sp.Mark(reqspan.StageNetRead)
+	t.ring.Report(node, err)
+	if err != nil {
+		t.tracer.Finish(sp, reqspan.OutcomeError)
+		return false, err
+	}
+	sp.AddCost(res.Charged)
+	switch {
+	case res.Hit:
+		t.tracer.Finish(sp, reqspan.OutcomeHit)
+	case res.Coalesced:
+		t.tracer.Finish(sp, reqspan.OutcomeCoalesced)
+	default:
+		t.tracer.Finish(sp, reqspan.OutcomeMiss)
+	}
+	return res.Stale, nil
+}
+
+// Stats implements Target: the ring-wide sum of every node's engine
+// counters for the namespace, mapped into the engine.Stats shape the
+// manifest schema shares.
+func (t *RemoteTarget) Stats() (engine.Stats, error) {
+	st, err := t.ring.Stats(t.ns)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	return statsFromWire(st), nil
+}
+
+// statsFromWire maps the wire counter set onto engine.Stats.
+func statsFromWire(st wire.Stats) engine.Stats {
+	return engine.Stats{
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Coalesced:    st.Coalesced,
+		Evictions:    st.Evictions,
+		CostPaid:     st.CostPaid,
+		LockWaitNs:   st.LockWaitNs,
+		ShadowCost:   st.ShadowCost,
+		LoadTimeouts: st.LoadTimeouts,
+		LoadRetries:  st.LoadRetries,
+		Shed:         st.Shed,
+		StaleServed:  st.StaleServed,
+	}
+}

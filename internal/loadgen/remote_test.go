@@ -1,0 +1,176 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/loadgen"
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/replacement"
+	"costcache/internal/server"
+)
+
+func startNode(t *testing.T, backend server.Backend) (*server.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Config{Shards: 4, Sets: 1024, Ways: 4})
+	s, err := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		Namespaces: []*server.Namespace{{Name: "bench", Engine: eng, Backend: backend}},
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, eng
+}
+
+func dialRing(t *testing.T, addrs []string) *client.Ring {
+	t.Helper()
+	r, err := client.NewRing(client.RingConfig{
+		Addrs:  addrs,
+		Client: client.Config{Conns: 2, Timeout: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// TestRemoteMatchesInProcess is the acceptance-criteria check in miniature:
+// the same single-worker closed-loop config run in-process and over the
+// wire against a 1-node server produces bit-identical
+// hits/misses/coalesced/cost_paid counters.
+func TestRemoteMatchesInProcess(t *testing.T) {
+	cfg := loadgen.Config{
+		Mode: loadgen.Closed, Workers: 1, Ops: 4000,
+		Keys: 512, ZipfS: 1.2, Seed: 7,
+	}
+
+	local := engine.New(engine.Config{Shards: 4, Sets: 1024, Ways: 4})
+	localRes, err := loadgen.Run(local, cfg, nil)
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	s, _ := startNode(t, nil) // default echo backend, zero delay
+	ring := dialRing(t, []string{s.Addr().String()})
+	rcfg := cfg
+	rcfg.Target = loadgen.NewRemoteTarget(ring, "bench", nil)
+	remoteRes, err := loadgen.Run(nil, rcfg, nil)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+
+	l, r := localRes.Stats, remoteRes.Stats
+	if l.Hits != r.Hits || l.Misses != r.Misses || l.Coalesced != r.Coalesced || l.CostPaid != r.CostPaid {
+		t.Fatalf("remote diverges from in-process:\n  local  hits=%d misses=%d coalesced=%d cost=%d\n  remote hits=%d misses=%d coalesced=%d cost=%d",
+			l.Hits, l.Misses, l.Coalesced, l.CostPaid,
+			r.Hits, r.Misses, r.Coalesced, r.CostPaid)
+	}
+	if l.Hits+l.Misses+l.Coalesced != int64(cfg.Ops) {
+		t.Fatalf("ops don't reconcile: %d+%d+%d != %d", l.Hits, l.Misses, l.Coalesced, cfg.Ops)
+	}
+}
+
+// TestRemoteSpansTileLatency runs a fully-sampled remote load and asserts
+// every request produced a span whose outcome counts match the server's
+// counters and whose net stages carry the latency.
+func TestRemoteSpansTileLatency(t *testing.T) {
+	s, eng := startNode(t, nil)
+	ring := dialRing(t, []string{s.Addr().String()})
+	tr := reqspan.New(reqspan.Config{AttrRate: 1}, nil, nil)
+
+	cfg := loadgen.Config{
+		Mode: loadgen.Closed, Workers: 1, Ops: 1000,
+		Keys: 128, ZipfS: 1.1, Seed: 3,
+		Target: loadgen.NewRemoteTarget(ring, "bench", tr),
+		Tracer: tr,
+	}
+	res, err := loadgen.Run(nil, cfg, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if tr.Requests() != uint64(cfg.Ops) {
+		t.Fatalf("tracer saw %d requests, want %d", tr.Requests(), cfg.Ops)
+	}
+	attr := tr.Attribution()
+	st := eng.Stats()
+	if attr.Outcomes[reqspan.OutcomeHit] != st.Hits ||
+		attr.Outcomes[reqspan.OutcomeMiss] != st.Misses ||
+		attr.Outcomes[reqspan.OutcomeCoalesced] != st.Coalesced {
+		t.Fatalf("span outcomes (hit=%d miss=%d coal=%d) != server counters (hit=%d miss=%d coal=%d)",
+			attr.Outcomes[reqspan.OutcomeHit], attr.Outcomes[reqspan.OutcomeMiss],
+			attr.Outcomes[reqspan.OutcomeCoalesced], st.Hits, st.Misses, st.Coalesced)
+	}
+	if attr.CostPaid != st.CostPaid {
+		t.Fatalf("span cost sum %d != server cost_paid %d", attr.CostPaid, st.CostPaid)
+	}
+	nw := attr.Stages[reqspan.StageNetWrite]
+	nr := attr.Stages[reqspan.StageNetRead]
+	if nw.Count != int64(cfg.Ops) || nr.Count != int64(cfg.Ops) {
+		t.Fatalf("net stage counts write=%d read=%d, want %d each", nw.Count, nr.Count, cfg.Ops)
+	}
+	if nw.Ns <= 0 || nr.Ns <= 0 {
+		t.Fatal("net stages carry no time")
+	}
+	if res.Stats.Hits != st.Hits {
+		t.Fatalf("result stats hits %d != engine %d", res.Stats.Hits, st.Hits)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission pins the open-loop scheduler's
+// coordinated-omission-free contract over the remote transport: at an
+// offered rate far above the tier's capacity, measured latency must include
+// the queueing delay behind the scheduled arrivals — growing far past the
+// backend service time — while a comfortably under-capacity run stays near
+// it. A scheduler that (incorrectly) re-anchored each arrival at "now"
+// would report near-service-time latency in both runs.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	const service = 20 * time.Millisecond
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		time.Sleep(service)
+		return []byte("v"), nil
+	}
+	s, _ := startNode(t, backend)
+	ring := dialRing(t, []string{s.Addr().String()})
+
+	run := func(rate float64, ops int) loadgen.Result {
+		t.Helper()
+		res, err := loadgen.Run(nil, loadgen.Config{
+			Mode: loadgen.Open, Workers: 4, Ops: ops, Rate: rate,
+			Keys: 1 << 30, // effectively all misses: every op pays the backend
+			Seed: 11,
+			// Each worker sustains 1/service ≈ 50 req/s, so capacity ≈ 200/s.
+			Target: loadgen.NewRemoteTarget(ring, "bench", nil),
+		}, nil)
+		if err != nil {
+			t.Fatalf("run(rate=%v): %v", rate, err)
+		}
+		return res
+	}
+
+	under := run(50, 40)   // 25% of capacity: latency ≈ service time
+	over := run(2000, 120) // 10× capacity: backlog grows the whole run
+
+	if under.P99Ns > (8 * service).Nanoseconds() {
+		t.Fatalf("under-capacity p99 %v suspiciously high", time.Duration(under.P99Ns))
+	}
+	// 120 ops offered in 60ms but served at ~200/s take ~600ms: the tail
+	// arrivals wait hundreds of ms past their scheduled slots. Even with
+	// generous margins this is far above anything a coordinated-omission
+	// scheduler would report.
+	if over.P99Ns < (5 * service).Nanoseconds() {
+		t.Fatalf("over-capacity p99 %v barely above service time %v: queueing delay is not being measured (coordinated omission)",
+			time.Duration(over.P99Ns), service)
+	}
+	if over.P99Ns < 3*under.P99Ns {
+		t.Fatalf("over-capacity p99 %v not ≫ under-capacity p99 %v",
+			time.Duration(over.P99Ns), time.Duration(under.P99Ns))
+	}
+}

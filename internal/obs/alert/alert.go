@@ -382,6 +382,7 @@ type Defaults struct {
 //	shard-skew       hottest shard at ≥2× its uniform share
 //	shed-rate        >5% of requests shed by open circuit breakers
 //	breaker-open     any cost-class circuit breaker tripped this window
+//	server-shed-rate >5% of inbound server frames shed by admission control
 func DefaultRules(d Defaults) []Rule {
 	return []Rule{
 		{
@@ -430,6 +431,17 @@ func DefaultRules(d Defaults) []Rule {
 			Query:     tsdb.Query{Kind: tsdb.Rate, Num: []string{"engine_breaker_opened"}},
 			Op:        Above,
 			Threshold: 0,
+			Window:    d.Short,
+		},
+		// Serving tier (internal/server): the server's own admission control
+		// shedding more than 5% of inbound frames. The denominator is absent
+		// (zero) on in-process engines, so the ratio reads no-data and the
+		// rule stays silent outside cacheserved deployments.
+		{
+			Name:      "server-shed-rate",
+			Query:     tsdb.Query{Kind: tsdb.Ratio, Num: []string{"server_shed"}, Den: []string{"server_frames_in"}},
+			Op:        Above,
+			Threshold: 0.05,
 			Window:    d.Short,
 		},
 	}

@@ -238,3 +238,51 @@ func TestNewPanicsOnBadRules(t *testing.T) {
 	mustPanic("static without window", []Rule{{Name: "x"}})
 	mustPanic("burn without windows", []Rule{{Name: "x", Objective: 0.9}})
 }
+
+// TestServerShedRateRule exercises the default server-shed-rate rule: silent
+// with no serving tier (absent denominator), silent at a healthy shed share,
+// firing once admission control sheds more than 5% of inbound frames.
+func TestServerShedRateRule(t *testing.T) {
+	var rule Rule
+	for _, r := range DefaultRules(Defaults{
+		HitRateObjective: 0.9, BurnFactor: 2,
+		Short: 2 * time.Second, Long: 4 * time.Second, P99: time.Second,
+	}) {
+		if r.Name == "server-shed-rate" {
+			rule = r
+		}
+	}
+	if rule.Name == "" {
+		t.Fatal("server-shed-rate missing from DefaultRules")
+	}
+	h := newHarness(t, []Rule{rule})
+
+	// No server counters at all: the rule must stay inactive, not fire on a
+	// zero denominator.
+	for i := 0; i < 4; i++ {
+		h.tick(nil)
+	}
+	if s := h.engine.Summaries(h.now)[0]; s.State != "inactive" {
+		t.Fatalf("state with no serving tier = %q, want inactive", s.State)
+	}
+
+	frames := h.reg.Counter("server_frames_in")
+	shed := h.reg.Counter("server_shed")
+	h.tick(nil) // discovery sample for the new counters
+
+	// Healthy: 1% shed share.
+	for i := 0; i < 4; i++ {
+		h.tick(func() { frames.Add(100); shed.Add(1) })
+	}
+	if s := h.engine.Summaries(h.now)[0]; s.State != "inactive" || s.Fired != 0 {
+		t.Fatalf("healthy state = %+v, want inactive", s)
+	}
+
+	// Overload: 20% shed share breaches the 5% threshold.
+	for i := 0; i < 4; i++ {
+		h.tick(func() { frames.Add(100); shed.Add(20) })
+	}
+	if s := h.engine.Summaries(h.now)[0]; s.State != "firing" || s.Fired != 1 {
+		t.Fatalf("overloaded state = %+v, want firing once", s)
+	}
+}

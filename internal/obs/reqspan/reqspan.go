@@ -50,12 +50,20 @@ const (
 	StageFill
 	// StageShadow is the LRU-shadow replay of the touch or install.
 	StageShadow
+	// StageNetWrite is time encoding and writing a request frame to the
+	// server socket (remote transport only; in-process spans never mark it).
+	StageNetWrite
+	// StageNetRead is time waiting for and decoding the response frame —
+	// which includes the server-side service time, so for a remote span
+	// net_write+net_read tiles the whole round trip.
+	StageNetRead
 	// NumStages is the number of stage kinds.
-	NumStages = int(StageShadow) + 1
+	NumStages = int(StageNetRead) + 1
 )
 
 var stageNames = [NumStages]string{
 	"lock_wait", "decision", "coalesce", "load", "fill", "shadow",
+	"net_write", "net_read",
 }
 
 // String returns the stage's schema name ("lock_wait", "decision", ...).

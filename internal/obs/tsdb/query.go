@@ -306,5 +306,9 @@ func StandardSignals() []Signal {
 		{"shed_share", Query{Kind: Ratio, Num: []string{"engine_shed"}, Den: engineOps}},
 		{"stale_per_s", Query{Kind: Rate, Num: []string{"engine_stale_served"}}},
 		{"breaker_opens_per_s", Query{Kind: Rate, Num: []string{"engine_breaker_opened"}}},
+		// Serving tier (internal/server): all-zero series on in-process
+		// engines, so embedded deployments see quiet signals, not gaps.
+		{"conns_per_s", Query{Kind: Rate, Num: []string{"server_conns_accepted"}}},
+		{"server_shed_share", Query{Kind: Ratio, Num: []string{"server_shed"}, Den: []string{"server_frames_in"}}},
 	}
 }

@@ -378,3 +378,50 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 		New(Config{Registry: obs.NewRegistry(), Resolutions: []Resolution{{Step: time.Second, Slots: 1}}})
 	})
 }
+
+// TestServingTierSignals drives the server_* counter family (published by
+// internal/server) through the standard conns_per_s and server_shed_share
+// signals, and checks the shed-share ratio reads no-data while the serving
+// tier is absent — the property that keeps in-process dashboards quiet.
+func TestServingTierSignals(t *testing.T) {
+	find := func(name string) Query {
+		for _, sig := range StandardSignals() {
+			if sig.Name == name {
+				return sig.Query
+			}
+		}
+		t.Fatalf("standard signal %q missing", name)
+		return Query{}
+	}
+	connsQ, shedQ := find("conns_per_s"), find("server_shed_share")
+
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg, Resolutions: []Resolution{{Step: time.Second, Slots: 16}}})
+	s.Sample(time.Unix(0, 0))
+	advance, _ := clock(s, time.Second)
+	advance(4)
+
+	// No serving tier registered yet: the ratio's denominator is absent, so
+	// the signal reads no-data rather than a spurious zero.
+	if _, _, ok := s.Value(shedQ, 0, 4*time.Second); ok {
+		t.Fatal("server_shed_share reported data with no serving tier")
+	}
+
+	conns := reg.Counter("server_conns_accepted")
+	frames := reg.Counter("server_frames_in")
+	shed := reg.Counter("server_shed")
+	advance(1) // discovery sample: the new counters enter at zero
+	for i := 0; i < 5; i++ {
+		conns.Add(3)
+		frames.Add(100)
+		shed.Add(10)
+		advance(1)
+	}
+
+	if v, _, ok := s.Value(connsQ, 0, 5*time.Second); !ok || v != 3 {
+		t.Fatalf("conns_per_s = %v ok=%v, want 3", v, ok)
+	}
+	if v, _, ok := s.Value(shedQ, 0, 5*time.Second); !ok || v != 0.1 {
+		t.Fatalf("server_shed_share = %v ok=%v, want 0.1", v, ok)
+	}
+}

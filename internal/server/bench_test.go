@@ -1,0 +1,182 @@
+// Serving-tier benchmark baseline: BenchmarkServerLocalhost measures the
+// localhost round trip (single connection, sequential) and pipelined
+// throughput at 1/4/16 clients against a warmed engine, so the figures
+// isolate protocol + scheduling overhead from policy behavior.
+// TestWriteServerBenchManifest re-runs the same configurations through
+// testing.Benchmark and writes results/BENCH_server.json in the manifest
+// schema cmd/report diffs; it is a no-op unless BENCH_MANIFEST is set, so a
+// plain `go test ./...` never spends benchmark time (see `make bench`).
+package server_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/manifest"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/server"
+)
+
+// benchHotKeys is the warmed key set every benchmark request hits: large
+// enough to defeat trivial branch prediction, small enough to never evict.
+const benchHotKeys = 1024
+
+// startBenchServer boots a server with a DCL engine and warms benchHotKeys
+// so the measured path is hit-serving, not backend loading.
+func startBenchServer(tb testing.TB) (*server.Server, func()) {
+	tb.Helper()
+	eng := engine.New(engine.Config{
+		Shards: 8, Sets: 4096, Ways: 4,
+		Policy: func() replacement.Policy { return replacement.NewDCL() },
+	})
+	s, err := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		Namespaces: []*server.Namespace{{Name: "bench", Engine: eng}},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	cl, err := client.Dial(client.Config{Addr: s.Addr().String(), Timeout: 10 * time.Second})
+	if err != nil {
+		s.Close()
+		tb.Fatal(err)
+	}
+	for k := uint64(0); k < benchHotKeys; k++ {
+		if _, err := cl.GetOrLoad("bench", k, 2); err != nil {
+			cl.Close()
+			s.Close()
+			tb.Fatal(err)
+		}
+	}
+	cl.Close()
+	return s, s.Close
+}
+
+// benchSequential measures the full request round trip on one connection:
+// write, server service, read — no pipelining, so ns/op is the localhost
+// RTT floor of the protocol.
+func benchSequential(b *testing.B, addr string) {
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: 1, Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.GetOrLoad("bench", uint64(i)%benchHotKeys, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPipelined measures throughput with `clients` goroutines, each on its
+// own pooled connection keeping a 32-request window in flight — the shape a
+// loaded service fleet presents, where batched reads and coalesced response
+// flushes pay off.
+func benchPipelined(b *testing.B, addr string, clients int) {
+	cl, err := client.Dial(client.Config{Addr: addr, Conns: clients, Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c == 0 {
+			n += b.N % clients
+		}
+		wg.Add(1)
+		go func(n int, key uint64) {
+			defer wg.Done()
+			const window = 32
+			pending := make([]*client.Pending, 0, window)
+			drain := func() bool {
+				for _, p := range pending {
+					if _, err := p.Wait(); err != nil {
+						b.Error(err)
+						return false
+					}
+				}
+				pending = pending[:0]
+				return true
+			}
+			for i := 0; i < n; i++ {
+				p, err := cl.StartGetOrLoad("bench", key%benchHotKeys, 2)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				key++
+				if pending = append(pending, p); len(pending) == window {
+					if !drain() {
+						return
+					}
+				}
+			}
+			drain()
+		}(n, uint64(c)*7919)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServerLocalhost(b *testing.B) {
+	s, stop := startBenchServer(b)
+	defer stop()
+	addr := s.Addr().String()
+	b.Run("seq", func(b *testing.B) { benchSequential(b, addr) })
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pipelined/clients=%d", clients), func(b *testing.B) {
+			benchPipelined(b, addr, clients)
+		})
+	}
+}
+
+// TestWriteServerBenchManifest writes the serving-tier benchmark baseline to
+// $BENCH_MANIFEST (skipped when unset). `make bench` regenerates
+// results/BENCH_server.json; scripts/ci.sh reruns it with a short -benchtime
+// and diffs at a generous tolerance.
+func TestWriteServerBenchManifest(t *testing.T) {
+	path := os.Getenv("BENCH_MANIFEST")
+	if path == "" {
+		t.Skip("set BENCH_MANIFEST=<path> to write the server benchmark manifest")
+	}
+	s, stop := startBenchServer(t)
+	defer stop()
+	addr := s.Addr().String()
+
+	m := manifest.New("bench-server")
+	m.SetConfig("shards", 8)
+	m.SetConfig("sets", 4096)
+	m.SetConfig("ways", 4)
+	m.SetConfig("policy", "DCL")
+	m.SetConfig("hot_keys", benchHotKeys)
+	m.SetConfig("gomaxprocs", runtime.GOMAXPROCS(0))
+	m.SetConfig("cpus", runtime.NumCPU())
+
+	r := testing.Benchmark(func(b *testing.B) { benchSequential(b, addr) })
+	m.SetMetric("bench_server_seq_ns_op", float64(r.NsPerOp()))
+	m.SetMetric("bench_server_seq_allocs_op", float64(r.AllocsPerOp()))
+	for _, clients := range []int{1, 4, 16} {
+		label := fmt.Sprint(clients)
+		r := testing.Benchmark(func(b *testing.B) { benchPipelined(b, addr, clients) })
+		m.SetMetric(obs.Name("bench_server_pipelined_ns_op", "clients", label), float64(r.NsPerOp()))
+		m.SetMetric(obs.Name("bench_server_pipelined_allocs_op", "clients", label), float64(r.AllocsPerOp()))
+	}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote server benchmark manifest to %s", path)
+}

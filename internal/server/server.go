@@ -1,0 +1,638 @@
+// Package server is the networked cache service tier: a stdlib-only TCP
+// server speaking the length-prefixed binary protocol in internal/wire over
+// one or more per-namespace engine.Engine instances.
+//
+// Concurrency model: one accept loop, one reader goroutine and one writer
+// goroutine per connection, and one dispatch goroutine per GETORLOAD —
+// bounded by a server-wide in-flight semaphore. Dispatching each GETORLOAD
+// on its own goroutine is what lets pipelined requests for the same key
+// coalesce in the engine's singleflight table instead of head-of-line
+// blocking behind each other's loads; responses carry the request ID, so
+// they may complete out of order and the client matches them back up.
+// Cheap ops (PING/GET/SET/STATS) are answered on the reader goroutine.
+//
+// The writer coalesces flushes: it drains its response channel into one
+// buffered write and flushes only when the channel goes momentarily empty,
+// so a pipelined burst costs one syscall, not one per response.
+//
+// Admission control (all optional): MaxConns caps accepted connections
+// (excess connections are closed on accept), MaxInflight bounds concurrent
+// loads, and QueueDeadline bounds how long a request may wait for an
+// in-flight slot before it is answered with a SHED error — the same
+// fail-fast contract internal/resilience applies to a tripped breaker,
+// moved to the front door.
+//
+// Graceful drain: Drain stops the listener, pokes every blocked read,
+// answers any late frames with a DRAINING error, finishes in-flight
+// requests, flushes their responses and reports whether it beat the
+// timeout. See docs/SERVING_TIER.md.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costcache/internal/engine"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/wire"
+)
+
+// Backend produces the value for a key missing from a namespace's engine.
+// cost is the client-declared miss cost from the request frame — the server
+// charges exactly what the client predicted, which is what keeps a remote
+// run's cost_paid stream bit-identical to the same workload run in-process.
+type Backend func(key uint64, cost replacement.Cost) ([]byte, error)
+
+// EchoBackend is the default backend: it sleeps cost×delay (the same
+// synthetic backend model loadgen uses in-process) and returns the key's
+// 8-byte big-endian encoding.
+func EchoBackend(delay time.Duration) Backend {
+	return func(key uint64, cost replacement.Cost) ([]byte, error) {
+		if delay > 0 && cost > 0 {
+			time.Sleep(time.Duration(cost) * delay)
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], key)
+		return b[:], nil
+	}
+}
+
+// Namespace is one tenant: an engine, its backend and an optional TTL.
+type Namespace struct {
+	// Name is the tenant identifier carried in every frame header.
+	Name string
+	// Engine serves the namespace. Required.
+	Engine *engine.Engine
+	// Backend loads missing keys. nil means EchoBackend(0).
+	Backend Backend
+	// TTL, when positive, expires entries: a key loaded more than TTL ago
+	// is invalidated (counting as a fresh miss) before the next lookup
+	// touches the engine. Expiry happens before the engine sees the op, so
+	// every wire request still maps to exactly one engine op and the
+	// hits+misses+coalesced reconciliation stays exact.
+	TTL time.Duration
+
+	// expiry holds the load time per cached key (TTL > 0 only). Lazily
+	// swept: lookups prune their own key, and a full sweep runs whenever
+	// the map grows past 2× the engine's capacity.
+	mu      sync.Mutex
+	expiry  map[uint64]time.Time
+	expired *obs.Counter
+}
+
+// expireIfStale invalidates key if its TTL has lapsed (no-op without TTL).
+func (ns *Namespace) expireIfStale(now time.Time) func(key uint64) {
+	if ns.TTL <= 0 {
+		return nil
+	}
+	return func(key uint64) {
+		ns.mu.Lock()
+		t, ok := ns.expiry[key]
+		if ok && now.Sub(t) >= ns.TTL {
+			delete(ns.expiry, key)
+			ns.mu.Unlock()
+			if ns.Engine.Invalidate(key) {
+				ns.expired.Inc()
+			}
+			return
+		}
+		ns.mu.Unlock()
+	}
+}
+
+// recordLoad stamps key's load time and bounds the expiry map: past 2× the
+// engine's capacity, lapsed entries are swept (their cache slots were long
+// since evicted or will expire on next touch).
+func (ns *Namespace) recordLoad(key uint64, now time.Time) {
+	if ns.TTL <= 0 {
+		return
+	}
+	ns.mu.Lock()
+	ns.expiry[key] = now
+	if len(ns.expiry) > 2*ns.Engine.Capacity() {
+		for k, t := range ns.expiry {
+			if now.Sub(t) >= ns.TTL {
+				delete(ns.expiry, k)
+			}
+		}
+	}
+	ns.mu.Unlock()
+}
+
+// Config describes a server.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Namespaces are the tenants. At least one; names must be unique,
+	// non-empty and at most 255 bytes (the frame header's nslen is one byte).
+	Namespaces []*Namespace
+	// Registry, when non-nil, receives the server_* counter family. Use the
+	// same registry the engines were built with so /debug/timeseries and
+	// cachetop see the serving tier next to the engines.
+	Registry *obs.Registry
+	// MaxConns caps concurrently accepted connections (0 = unlimited);
+	// excess connections are closed immediately after accept.
+	MaxConns int
+	// MaxInflight bounds concurrent GETORLOAD dispatches server-wide
+	// (0 = 1024).
+	MaxInflight int
+	// QueueDeadline bounds how long a request waits for an in-flight slot
+	// before it is shed (0 = wait forever; negative = shed immediately
+	// when no slot is free).
+	QueueDeadline time.Duration
+	// MaxFrame caps accepted frame length (0 = wire.MaxFrame).
+	MaxFrame int
+}
+
+// Server is a running cache service tier. Create with New, start with
+// Start, stop with Drain (graceful) or Close (forced).
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	nss      map[string]*Namespace
+	inflight chan struct{}
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when drain begins
+
+	mu    sync.Mutex
+	conns map[*srvConn]struct{}
+	wg    sync.WaitGroup // accept loop + one per connection
+
+	connsAccepted *obs.Counter
+	connsRejected *obs.Counter
+	connsActive   *obs.Gauge
+	framesIn      *obs.Counter
+	framesOut     *obs.Counter
+	shed          *obs.Counter
+	drainNs       *obs.Gauge
+}
+
+// New validates cfg and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Namespaces) == 0 {
+		return nil, errors.New("server: at least one namespace required")
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 1024
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("server: MaxInflight %d must be positive", cfg.MaxInflight)
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	s := &Server{
+		cfg:      cfg,
+		nss:      make(map[string]*Namespace, len(cfg.Namespaces)),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		drainCh:  make(chan struct{}),
+		conns:    make(map[*srvConn]struct{}),
+	}
+	counter := func(name string) *obs.Counter {
+		if cfg.Registry == nil {
+			return &obs.Counter{}
+		}
+		return cfg.Registry.Counter(name)
+	}
+	gauge := func(name string) *obs.Gauge {
+		if cfg.Registry == nil {
+			return &obs.Gauge{}
+		}
+		return cfg.Registry.Gauge(name)
+	}
+	s.connsAccepted = counter("server_conns_accepted")
+	s.connsRejected = counter("server_conns_rejected")
+	s.connsActive = gauge("server_conns_active")
+	s.framesIn = counter("server_frames_in")
+	s.framesOut = counter("server_frames_out")
+	s.shed = counter("server_shed")
+	s.drainNs = gauge("server_drain_ns")
+	for _, ns := range cfg.Namespaces {
+		if ns.Name == "" || len(ns.Name) > 255 {
+			return nil, fmt.Errorf("server: bad namespace name %q", ns.Name)
+		}
+		if ns.Engine == nil {
+			return nil, fmt.Errorf("server: namespace %q has no engine", ns.Name)
+		}
+		if _, dup := s.nss[ns.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate namespace %q", ns.Name)
+		}
+		if ns.Backend == nil {
+			ns.Backend = EchoBackend(0)
+		}
+		if ns.TTL > 0 {
+			ns.expiry = make(map[uint64]time.Time)
+		}
+		ns.expired = counter(obs.Name("server_expired", "ns", ns.Name))
+		s.nss[ns.Name] = ns
+	}
+	return s, nil
+}
+
+// Start begins listening on cfg.Addr and serving connections. It returns
+// once the listener is bound, so Addr is valid immediately after.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Lookup returns the named namespace, or nil.
+func (s *Server) Lookup(name string) *Namespace { return s.nss[name] }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain or Close
+		}
+		if s.draining.Load() {
+			nc.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 && int(s.connsActive.Value()) >= s.cfg.MaxConns {
+			s.connsRejected.Inc()
+			nc.Close()
+			continue
+		}
+		s.connsAccepted.Inc()
+		s.connsActive.Add(1)
+		c := &srvConn{srv: s, nc: nc, out: make(chan outFrame, 64)}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.run()
+	}
+}
+
+// Drain performs a graceful shutdown: stop accepting, wake blocked reads,
+// finish in-flight requests and flush their responses. It reports whether
+// everything completed within timeout; when it did not, remaining
+// connections are closed forcibly. The drain duration lands in the
+// server_drain_ns gauge either way.
+func (s *Server) Drain(timeout time.Duration) bool {
+	start := time.Now()
+	if !s.draining.CompareAndSwap(false, true) {
+		return true
+	}
+	close(s.drainCh)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now()) // poke blocked reads
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	clean := true
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		select {
+		case <-done:
+			t.Stop()
+		case <-t.C:
+			// Forced: drop the sockets and return without waiting for done —
+			// a dispatch wedged inside an unresponsive backend can't be
+			// cancelled, and waiting for it would make a forced drain block
+			// exactly as long as the graceful one. Its goroutine is abandoned
+			// to the exiting process.
+			clean = false
+			s.closeAll()
+		}
+	} else {
+		<-done
+	}
+	s.drainNs.Set(time.Since(start).Nanoseconds())
+	return clean
+}
+
+// Close shuts the server down immediately: no drain, connections dropped.
+func (s *Server) Close() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.closeAll()
+	s.wg.Wait()
+}
+
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+}
+
+// outFrame is one queued response: header fields plus an owned payload.
+type outFrame struct {
+	op      uint8
+	flags   uint8
+	id      uint64
+	payload []byte
+}
+
+// srvConn is one accepted connection: a reader (run), a writer (writeLoop)
+// and any number of in-flight dispatch goroutines tracked by wg.
+type srvConn struct {
+	srv *Server
+	nc  net.Conn
+	out chan outFrame
+	wg  sync.WaitGroup // in-flight dispatches for this connection
+}
+
+func (c *srvConn) run() {
+	defer c.srv.wg.Done()
+	go c.writeLoop()
+	c.readLoop()
+	// Reader is done (EOF, error or drain). Let in-flight dispatches finish
+	// and queue their responses, then close the channel so the writer
+	// flushes and exits.
+	c.wg.Wait()
+	close(c.out)
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+	c.srv.connsActive.Add(-1)
+}
+
+func (c *srvConn) readLoop() {
+	r := bufio.NewReaderSize(c.nc, 16<<10)
+	var f wire.Frame
+	for {
+		err := wire.ReadFrame(r, c.srv.cfg.MaxFrame, &f)
+		if err != nil {
+			if c.srv.draining.Load() {
+				// A drain poke surfaces as a deadline error mid-block; any
+				// bytes already received for a partial frame are abandoned,
+				// which is fine — the client never saw a response for it.
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.nc.SetReadDeadline(time.Time{})
+				continue // stray deadline without drain: keep reading
+			}
+			return // EOF or a framing error: drop the connection
+		}
+		c.srv.framesIn.Inc()
+		if f.Version != wire.Version {
+			c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeBadRequest,
+				fmt.Sprintf("unsupported protocol version %d", f.Version)))
+			return
+		}
+		if c.srv.draining.Load() {
+			c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeDraining, "server draining"))
+			continue
+		}
+		c.dispatch(&f)
+	}
+}
+
+// dispatch routes one request frame. GETORLOAD goes to its own goroutine
+// behind the in-flight semaphore; everything else is answered inline.
+func (c *srvConn) dispatch(f *wire.Frame) {
+	switch f.Op {
+	case wire.OpPing:
+		c.reply(f.Op, f.ID, 0, nil)
+		return
+	case wire.OpGet, wire.OpSet, wire.OpStats, wire.OpGetOrLoad:
+	default:
+		c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeBadRequest,
+			fmt.Sprintf("unknown opcode %d", f.Op)))
+		return
+	}
+	ns := c.srv.nss[f.NS]
+	if ns == nil {
+		c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeNamespace,
+			fmt.Sprintf("unknown namespace %q", f.NS)))
+		return
+	}
+	switch f.Op {
+	case wire.OpGet:
+		c.handleGet(ns, f)
+	case wire.OpSet:
+		c.handleSet(ns, f)
+	case wire.OpStats:
+		c.handleStats(ns, f)
+	case wire.OpGetOrLoad:
+		key, cost, err := wire.ParseGetOrLoadReq(f.Payload)
+		if err != nil {
+			c.replyBadPayload(f, err)
+			return
+		}
+		if !c.acquireSlot() {
+			c.srv.shed.Inc()
+			c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeShed,
+				"server at max inflight"))
+			return
+		}
+		c.wg.Add(1)
+		go func(op uint8, id uint64) {
+			defer c.wg.Done()
+			defer func() { <-c.srv.inflight }()
+			c.handleGetOrLoad(ns, op, id, key, cost)
+		}(f.Op, f.ID)
+	}
+}
+
+// acquireSlot takes an in-flight slot, waiting at most QueueDeadline.
+func (c *srvConn) acquireSlot() bool {
+	select {
+	case c.srv.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	qd := c.srv.cfg.QueueDeadline
+	if qd < 0 {
+		return false
+	}
+	if qd > 0 {
+		t := time.NewTimer(qd)
+		select {
+		case c.srv.inflight <- struct{}{}:
+			t.Stop()
+			return true
+		case <-t.C:
+			return false
+		}
+	}
+	select {
+	case c.srv.inflight <- struct{}{}:
+		return true
+	case <-c.srv.drainCh:
+		return false
+	}
+}
+
+func (c *srvConn) handleGet(ns *Namespace, f *wire.Frame) {
+	key, err := wire.ParseGetReq(f.Payload)
+	if err != nil {
+		c.replyBadPayload(f, err)
+		return
+	}
+	if exp := ns.expireIfStale(time.Now()); exp != nil {
+		exp(key)
+	}
+	v, ok := ns.Engine.Get(key)
+	if !ok {
+		c.reply(f.Op, f.ID, 0, nil)
+		return
+	}
+	c.reply(f.Op, f.ID, wire.FlagHit, valueBytes(v))
+}
+
+func (c *srvConn) handleSet(ns *Namespace, f *wire.Frame) {
+	key, cost, val, err := wire.ParseSetReq(f.Payload)
+	if err != nil {
+		c.replyBadPayload(f, err)
+		return
+	}
+	// Copy: val aliases the connection's reusable frame payload buffer.
+	ns.Engine.Set(key, append([]byte(nil), val...), replacement.Cost(cost))
+	ns.recordLoad(key, time.Now())
+	c.reply(f.Op, f.ID, 0, nil)
+}
+
+func (c *srvConn) handleStats(ns *Namespace, f *wire.Frame) {
+	es := ns.Engine.Stats()
+	st := wire.Stats{
+		Namespace:     ns.Name,
+		Hits:          es.Hits,
+		Misses:        es.Misses,
+		Coalesced:     es.Coalesced,
+		Evictions:     es.Evictions,
+		CostPaid:      es.CostPaid,
+		LockWaitNs:    es.LockWaitNs,
+		ShadowCost:    es.ShadowCost,
+		LoadTimeouts:  es.LoadTimeouts,
+		LoadRetries:   es.LoadRetries,
+		Shed:          es.Shed,
+		StaleServed:   es.StaleServed,
+		Expired:       ns.expired.Value(),
+		ConnsAccepted: c.srv.connsAccepted.Value(),
+		ConnsActive:   c.srv.connsActive.Value(),
+		FramesIn:      c.srv.framesIn.Value(),
+		FramesOut:     c.srv.framesOut.Value(),
+		ServerShed:    c.srv.shed.Value(),
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeBackend, err.Error()))
+		return
+	}
+	c.reply(f.Op, f.ID, 0, b)
+}
+
+func (c *srvConn) handleGetOrLoad(ns *Namespace, op uint8, id uint64, key uint64, cost int64) {
+	now := time.Now()
+	if exp := ns.expireIfStale(now); exp != nil {
+		exp(key)
+	}
+	v, info, err := ns.Engine.GetOrLoadInfo(key, func(k uint64) (any, replacement.Cost, error) {
+		b, err := ns.Backend(k, replacement.Cost(cost))
+		if err != nil {
+			return nil, 0, err
+		}
+		return b, replacement.Cost(cost), nil
+	})
+	if err != nil {
+		code := wire.ErrCodeBackend
+		switch {
+		case errors.Is(err, engine.ErrLoadTimeout):
+			code = wire.ErrCodeTimeout
+		case errors.Is(err, engine.ErrShed):
+			code = wire.ErrCodeShed
+		}
+		c.reply(op, id, wire.FlagError, wire.AppendError(nil, uint8(code), err.Error()))
+		return
+	}
+	var flags uint8
+	if info.Hit {
+		flags |= wire.FlagHit
+	}
+	if info.Coalesced {
+		flags |= wire.FlagCoalesced
+	}
+	if info.Stale {
+		flags |= wire.FlagStale
+	}
+	if !info.Hit && !info.Coalesced && !info.Stale {
+		ns.recordLoad(key, now)
+	}
+	c.reply(op, id, flags, wire.AppendGetOrLoadResp(nil, info.Charged, valueBytes(v)))
+}
+
+func (c *srvConn) replyBadPayload(f *wire.Frame, err error) {
+	c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeBadRequest, err.Error()))
+}
+
+// reply queues one response frame. Safe from the reader and from dispatch
+// goroutines: run closes the channel only after both have finished.
+func (c *srvConn) reply(op uint8, id uint64, flags uint8, payload []byte) {
+	c.out <- outFrame{op: op, flags: flags, id: id, payload: payload}
+}
+
+// writeLoop encodes queued responses into one buffered writer and flushes
+// only when the queue goes momentarily empty, so a pipelined burst of
+// responses costs one syscall. After a write error it keeps draining the
+// channel (dropping frames) so dispatchers never block on a dead peer.
+func (c *srvConn) writeLoop() {
+	defer c.nc.Close()
+	w := bufio.NewWriterSize(c.nc, 16<<10)
+	buf := make([]byte, 0, 4096)
+	broken := false
+	for of := range c.out {
+		if broken {
+			continue
+		}
+		f := wire.Frame{Version: wire.Version, Op: of.op, Flags: of.flags, ID: of.id, Payload: of.payload}
+		buf = wire.AppendFrame(buf[:0], &f)
+		if _, err := w.Write(buf); err != nil {
+			broken = true
+			continue
+		}
+		c.srv.framesOut.Inc()
+		if len(c.out) == 0 {
+			if err := w.Flush(); err != nil {
+				broken = true
+			}
+		}
+	}
+	w.Flush()
+}
+
+// valueBytes renders a cached value for the wire. Values that arrived over
+// the wire are []byte already; anything else (an in-process caller mixing
+// transports) falls back to fmt.
+func valueBytes(v any) []byte {
+	switch b := v.(type) {
+	case []byte:
+		return b
+	case nil:
+		return nil
+	default:
+		return []byte(fmt.Sprint(v))
+	}
+}

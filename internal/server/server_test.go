@@ -1,0 +1,442 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costcache/internal/client"
+	"costcache/internal/engine"
+	"costcache/internal/obs"
+	"costcache/internal/replacement"
+	"costcache/internal/server"
+	"costcache/internal/wire"
+)
+
+func newEngine(reg *obs.Registry, ns string) *engine.Engine {
+	return engine.New(engine.Config{
+		Shards: 4, Sets: 256, Ways: 4,
+		Policy:    func() replacement.Policy { return replacement.NewLRU() },
+		Registry:  reg,
+		Namespace: ns,
+	})
+}
+
+// startServer boots a server on an ephemeral port and tears it down with
+// the test.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dial(t *testing.T, s *server.Server, conns int) *client.Client {
+	t.Helper()
+	c, err := client.Dial(client.Config{Addr: s.Addr().String(), Conns: conns, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("client.Dial: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestRoundTrips(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "a")
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng}},
+		Registry:   reg,
+	})
+	c := dial(t, s, 1)
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	// Miss, then hit, via GETORLOAD against the echo backend.
+	r, err := c.GetOrLoad("a", 42, 7)
+	if err != nil {
+		t.Fatalf("getorload: %v", err)
+	}
+	if r.Hit || r.Coalesced || r.Stale || r.Charged != 7 {
+		t.Fatalf("first getorload: %+v, want leader miss charging 7", r)
+	}
+	if got := binary.BigEndian.Uint64(r.Value); got != 42 {
+		t.Fatalf("echo value = %d, want 42", got)
+	}
+	r, err = c.GetOrLoad("a", 42, 7)
+	if err != nil || !r.Hit || r.Charged != 0 {
+		t.Fatalf("second getorload: %+v err=%v, want hit charging 0", r, err)
+	}
+
+	// GET sees the loaded value; a cold key misses.
+	v, ok, err := c.Get("a", 42)
+	if err != nil || !ok || binary.BigEndian.Uint64(v) != 42 {
+		t.Fatalf("get hot: v=%v ok=%v err=%v", v, ok, err)
+	}
+	if _, ok, err := c.Get("a", 999); err != nil || ok {
+		t.Fatalf("get cold: ok=%v err=%v, want miss", ok, err)
+	}
+
+	// SET installs an arbitrary value.
+	if err := c.Set("a", 7, 3, []byte("hello")); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	v, ok, _ = c.Get("a", 7)
+	if !ok || string(v) != "hello" {
+		t.Fatalf("get after set: v=%q ok=%v", v, ok)
+	}
+
+	st, err := c.Stats("a")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Namespace != "a" || st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats: %+v, want nonzero hits and misses", st)
+	}
+	if st.ConnsAccepted == 0 || st.FramesIn == 0 || st.FramesOut == 0 {
+		t.Fatalf("stats serving tier: %+v, want nonzero conn/frame counters", st)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{
+			{Name: "a", Engine: newEngine(reg, "a")},
+			{Name: "b", Engine: newEngine(reg, "b")},
+		},
+		Registry: reg,
+	})
+	c := dial(t, s, 1)
+
+	if err := c.Set("a", 1, 1, []byte("in-a")); err != nil {
+		t.Fatalf("set a: %v", err)
+	}
+	if _, ok, _ := c.Get("b", 1); ok {
+		t.Fatal("key set in namespace a visible in b")
+	}
+	if _, ok, _ := c.Get("a", 1); !ok {
+		t.Fatal("key set in namespace a not visible in a")
+	}
+
+	_, _, err := c.Get("nope", 1)
+	var perr *client.Error
+	if !errors.As(err, &perr) || perr.Code != wire.ErrCodeNamespace {
+		t.Fatalf("unknown namespace: err=%v, want ErrCodeNamespace", err)
+	}
+
+	// Per-namespace engine series exist in the shared registry.
+	snap := reg.Snapshot()
+	var sawA, sawB bool
+	for name := range snap.Counters {
+		switch name {
+		case `engine_hits{ns="a",shard="0"}`:
+			sawA = true
+		case `engine_hits{ns="b",shard="0"}`:
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("registry missing per-namespace engine series (a=%v b=%v)", sawA, sawB)
+	}
+}
+
+// TestPipelinedCoalescing drives concurrent GETORLOADs for one key through
+// one client and asserts the engine coalesced them: the backend ran once,
+// everyone got the value, and hits+misses+coalesced equals the op count.
+func TestPipelinedCoalescing(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	var loads atomic.Int64
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		loads.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], key)
+		return b[:], nil
+	}
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng, Backend: backend}},
+		Registry:   reg,
+	})
+	c := dial(t, s, 1)
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.GetOrLoad("a", 5, 9)
+			if err != nil {
+				t.Errorf("getorload: %v", err)
+				return
+			}
+			if r.Coalesced {
+				coalesced.Add(1)
+			}
+			if binary.BigEndian.Uint64(r.Value) != 5 {
+				t.Errorf("bad value %v", r.Value)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("backend ran %d times, want 1 (coalescing broken)", n)
+	}
+	if coalesced.Load() == 0 {
+		t.Fatal("no request reported FlagCoalesced")
+	}
+	st := eng.Stats()
+	if st.Hits+st.Misses+st.Coalesced != waiters {
+		t.Fatalf("hits(%d)+misses(%d)+coalesced(%d) != %d ops",
+			st.Hits, st.Misses, st.Coalesced, waiters)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng, TTL: 30 * time.Millisecond}},
+		Registry:   reg,
+	})
+	c := dial(t, s, 1)
+
+	if _, err := c.GetOrLoad("a", 1, 2); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if r, _ := c.GetOrLoad("a", 1, 2); !r.Hit {
+		t.Fatalf("within TTL: %+v, want hit", r)
+	}
+	time.Sleep(50 * time.Millisecond)
+	r, err := c.GetOrLoad("a", 1, 2)
+	if err != nil {
+		t.Fatalf("after TTL: %v", err)
+	}
+	if r.Hit {
+		t.Fatal("hit after TTL lapsed, want reload")
+	}
+	st, _ := c.Stats("a")
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+	// The wire-visible op stream still reconciles: 3 getorloads, no waiter.
+	es := eng.Stats()
+	if es.Hits+es.Misses+es.Coalesced != 3 {
+		t.Fatalf("ops = %d, want 3", es.Hits+es.Misses+es.Coalesced)
+	}
+}
+
+// TestAdmissionShed saturates a MaxInflight=1 server whose backend is slow
+// and asserts overflow requests come back as SHED errors within the queue
+// deadline rather than piling up.
+func TestAdmissionShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		return []byte("x"), nil
+	}
+	s := startServer(t, server.Config{
+		Namespaces:    []*server.Namespace{{Name: "a", Engine: eng, Backend: backend}},
+		Registry:      reg,
+		MaxInflight:   1,
+		QueueDeadline: 10 * time.Millisecond,
+	})
+	c := dial(t, s, 4)
+
+	const n = 8
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			_, err := c.GetOrLoad("a", key, 1)
+			var perr *client.Error
+			if errors.As(err, &perr) && perr.Code == wire.ErrCodeShed {
+				shed.Add(1)
+			}
+		}(uint64(i)) // distinct keys: no coalescing, all contend for the slot
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("no request was shed at MaxInflight=1 with a 200ms backend")
+	}
+	st, _ := c.Stats("a")
+	if st.ServerShed != shed.Load() {
+		t.Fatalf("server_shed=%d, clients saw %d", st.ServerShed, shed.Load())
+	}
+}
+
+// TestShedImmediateWhenFull pins the fail-fast variant: a negative
+// QueueDeadline (cacheserved's -queue.deadline 0) sheds the moment no load
+// slot is free instead of queueing at all.
+func TestShedImmediateWhenFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		close(started) // the only slot is now held
+		<-release
+		return []byte("x"), nil
+	}
+	s := startServer(t, server.Config{
+		Namespaces:    []*server.Namespace{{Name: "a", Engine: eng, Backend: backend}},
+		Registry:      reg,
+		MaxInflight:   1,
+		QueueDeadline: -1,
+	})
+	c := dial(t, s, 2)
+
+	// Occupy the only slot with a load that blocks until released.
+	first, err := c.StartGetOrLoad("a", 1, 1)
+	if err != nil {
+		t.Fatalf("start first: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot holder never reached the backend")
+	}
+	// With the slot held, a second distinct key must shed at once.
+	_, err = c.GetOrLoad("a", 2, 1)
+	var perr *client.Error
+	if !errors.As(err, &perr) || perr.Code != wire.ErrCodeShed {
+		t.Fatalf("got %v, want an immediate %s error", err, wire.ErrCodeName(wire.ErrCodeShed))
+	}
+	close(release)
+	if _, err := first.Wait(); err != nil {
+		t.Fatalf("slot holder: %v", err)
+	}
+}
+
+func TestMaxConns(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: newEngine(reg, "")}},
+		Registry:   reg,
+		MaxConns:   1,
+	})
+	c1 := dial(t, s, 1)
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("first conn ping: %v", err)
+	}
+	// The second connection is closed on accept; the client surfaces a
+	// dial-time or first-request failure.
+	c2, err := client.Dial(client.Config{Addr: s.Addr().String(), Conns: 1, Timeout: time.Second})
+	if err == nil {
+		defer c2.Close()
+		if err := c2.Ping(); err == nil {
+			t.Fatal("second connection served despite MaxConns=1")
+		}
+	}
+}
+
+// TestDrainFinishesInflight starts a slow load, drains mid-flight, and
+// asserts the in-flight response is still delivered while new work is
+// refused with DRAINING.
+func TestDrainFinishesInflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	release := make(chan struct{})
+	backend := func(key uint64, cost replacement.Cost) ([]byte, error) {
+		<-release
+		return []byte("slow"), nil
+	}
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: eng, Backend: backend}},
+		Registry:   reg,
+	})
+	c := dial(t, s, 1)
+
+	type res struct {
+		r   client.Result
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		r, err := c.GetOrLoad("a", 1, 1)
+		got <- res{r, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request reach the backend
+
+	drained := make(chan bool, 1)
+	go func() { drained <- s.Drain(5 * time.Second) }()
+	time.Sleep(30 * time.Millisecond)
+	release <- struct{}{}
+
+	r := <-got
+	if r.err != nil || string(r.r.Value) != "slow" {
+		t.Fatalf("in-flight request during drain: %+v err=%v, want value", r.r, r.err)
+	}
+	if clean := <-drained; !clean {
+		t.Fatal("drain reported dirty despite all work finishing")
+	}
+	// New connections are refused after drain.
+	if _, err := client.Dial(client.Config{Addr: s.Addr().String(), Conns: 1, Timeout: time.Second}); err == nil {
+		// Accept may race ln.Close; a successful dial must still fail to serve.
+		t.Log("post-drain dial succeeded; acceptable only if requests fail")
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := startServer(t, server.Config{
+		Namespaces: []*server.Namespace{{Name: "a", Engine: newEngine(reg, "")}},
+	})
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	f := wire.Frame{Version: 99, Op: wire.OpPing, ID: 1}
+	if _, err := nc.Write(wire.AppendFrame(nil, &f)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var resp wire.Frame
+	if err := wire.ReadFrame(nc, 0, &resp); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.Flags&wire.FlagError == 0 {
+		t.Fatalf("response flags %#x, want FlagError", resp.Flags)
+	}
+	code, _, _ := wire.ParseError(resp.Payload)
+	if code != wire.ErrCodeBadRequest {
+		t.Fatalf("error code %d, want bad-request", code)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := newEngine(reg, "")
+	cases := []server.Config{
+		{},
+		{Namespaces: []*server.Namespace{{Name: "", Engine: eng}}},
+		{Namespaces: []*server.Namespace{{Name: "a"}}},
+		{Namespaces: []*server.Namespace{{Name: "a", Engine: eng}, {Name: "a", Engine: eng}}},
+	}
+	for i, cfg := range cases {
+		if _, err := server.New(cfg); err == nil {
+			t.Errorf("case %d: config accepted, want error", i)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package wire is the binary protocol of the networked cache tier: a
+// compact length-prefixed frame shared by internal/server and
+// internal/client. It is deliberately tiny — five opcodes, a one-byte
+// version, a namespace string and an opaque payload — so a frame can be
+// encoded into a reused buffer with zero per-request allocations and decoded
+// with one buffered read.
+//
+// Frame layout (big-endian):
+//
+//	uint32  length   bytes after this field (12 + len(ns) + len(payload))
+//	uint8   version  protocol version (Version)
+//	uint8   op       opcode (OpPing .. OpStats)
+//	uint8   flags    response outcome / error bits (0 on requests)
+//	uint8   nslen    namespace length in bytes
+//	uint64  id       request id, echoed verbatim in the response
+//	[nslen] ns       namespace (multi-tenant engine selector)
+//	[...]   payload  op-specific body (see the Append*/Parse* helpers)
+//
+// Responses reuse the request's op and id; pipelined requests may be
+// answered out of order, so clients match on id, never on arrival order.
+// The flags byte carries the serving outcome (hit / stale / coalesced) or,
+// with FlagError set, marks the payload as an error code plus message —
+// which is how the server relays engine.ErrShed and admission-control sheds
+// (ErrCodeShed), load deadlines (ErrCodeTimeout) and drain refusals
+// (ErrCodeDraining) without a second channel.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the current protocol version. A server refuses frames carrying
+// any other value with ErrCodeBadRequest, so mixed-version tiers fail fast
+// instead of mis-parsing.
+const Version = 1
+
+// MaxFrame is the default bound on a frame's length field — a guard against
+// a corrupt or hostile peer declaring a multi-gigabyte frame.
+const MaxFrame = 1 << 20
+
+// headerLen is the fixed byte count after the length field.
+const headerLen = 12
+
+// Opcodes.
+const (
+	// OpPing is a health probe: empty request, empty OK response.
+	OpPing uint8 = 1 + iota
+	// OpGet looks a key up without loading: request key; response value
+	// with FlagHit, or empty without it.
+	OpGet
+	// OpSet installs key with a value and predicted next-miss cost.
+	OpSet
+	// OpGetOrLoad returns the cached value or runs the namespace's backend
+	// loader: request key + predicted cost; response charged cost + value,
+	// flags carrying the serving outcome.
+	OpGetOrLoad
+	// OpStats returns the namespace's engine counters plus the server's
+	// serving-tier counters as JSON (not a hot path).
+	OpStats
+)
+
+// opNames maps opcodes to schema names, for errors and debug output.
+var opNames = map[uint8]string{
+	OpPing: "ping", OpGet: "get", OpSet: "set",
+	OpGetOrLoad: "getorload", OpStats: "stats",
+}
+
+// OpName returns the opcode's schema name ("op(7)" for unknown codes).
+func OpName(op uint8) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Response flag bits.
+const (
+	// FlagError marks the payload as uint8 error code + message.
+	FlagError uint8 = 1 << iota
+	// FlagHit: the request was answered from cache.
+	FlagHit
+	// FlagStale: the value came from an evicted-but-retained ghost.
+	FlagStale
+	// FlagCoalesced: the request waited on another request's in-flight load.
+	FlagCoalesced
+)
+
+// Error codes carried in the first payload byte of a FlagError response.
+const (
+	// ErrCodeBadRequest: malformed frame, unknown op or version mismatch.
+	ErrCodeBadRequest uint8 = 1 + iota
+	// ErrCodeNamespace: the frame names a namespace the server does not host.
+	ErrCodeNamespace
+	// ErrCodeShed: the load was refused — an open circuit breaker
+	// (engine.ErrShed) or the server's admission control (queue deadline
+	// exceeded, inflight limit) shed it so the tier can recover.
+	ErrCodeShed
+	// ErrCodeTimeout: the per-request load deadline expired while the load
+	// was still in flight (engine.ErrLoadTimeout).
+	ErrCodeTimeout
+	// ErrCodeBackend: the namespace's backend loader returned an error.
+	ErrCodeBackend
+	// ErrCodeDraining: the server is draining and no longer accepts work.
+	ErrCodeDraining
+)
+
+// errCodeNames maps error codes to schema names.
+var errCodeNames = map[uint8]string{
+	ErrCodeBadRequest: "bad-request", ErrCodeNamespace: "unknown-namespace",
+	ErrCodeShed: "shed", ErrCodeTimeout: "timeout",
+	ErrCodeBackend: "backend", ErrCodeDraining: "draining",
+}
+
+// ErrCodeName returns the error code's schema name.
+func ErrCodeName(code uint8) string {
+	if n, ok := errCodeNames[code]; ok {
+		return n
+	}
+	return fmt.Sprintf("err(%d)", code)
+}
+
+// Frame is one decoded protocol frame. Payload aliases the read buffer and
+// is only valid until the next ReadFrame on the same reader.
+type Frame struct {
+	Version uint8
+	Op      uint8
+	Flags   uint8
+	ID      uint64
+	NS      string
+	Payload []byte
+}
+
+// AppendFrame encodes f onto b and returns the extended slice — the
+// allocation-free encoding path both peers use with a reused buffer.
+func AppendFrame(b []byte, f *Frame) []byte {
+	if len(f.NS) > 255 {
+		panic(fmt.Sprintf("wire: namespace %q longer than 255 bytes", f.NS))
+	}
+	length := uint32(headerLen + len(f.NS) + len(f.Payload))
+	b = binary.BigEndian.AppendUint32(b, length)
+	b = append(b, f.Version, f.Op, f.Flags, uint8(len(f.NS)))
+	b = binary.BigEndian.AppendUint64(b, f.ID)
+	b = append(b, f.NS...)
+	b = append(b, f.Payload...)
+	return b
+}
+
+// ReadFrame decodes the next frame from r into f, growing and reusing
+// f.Payload's backing array across calls. max bounds the declared frame
+// length (0 means MaxFrame). io.EOF is returned verbatim on a clean
+// end-of-stream boundary so callers can tell shutdown from corruption.
+func ReadFrame(r io.Reader, max int, f *Frame) error {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [4 + headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return err // io.EOF here is a clean boundary
+	}
+	length := int(binary.BigEndian.Uint32(hdr[:4]))
+	if length < headerLen {
+		return fmt.Errorf("wire: frame length %d below header size", length)
+	}
+	if length > max {
+		return fmt.Errorf("wire: frame length %d exceeds limit %d", length, max)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return failEOF(err)
+	}
+	f.Version = hdr[4]
+	f.Op = hdr[5]
+	f.Flags = hdr[6]
+	nslen := int(hdr[7])
+	f.ID = binary.BigEndian.Uint64(hdr[8:])
+	rest := length - headerLen
+	if nslen > rest {
+		return fmt.Errorf("wire: namespace length %d exceeds frame body %d", nslen, rest)
+	}
+	if cap(f.Payload) < rest {
+		f.Payload = make([]byte, rest)
+	}
+	f.Payload = f.Payload[:rest]
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return failEOF(err)
+	}
+	f.NS = string(f.Payload[:nslen])
+	f.Payload = f.Payload[nslen:]
+	return nil
+}
+
+// failEOF converts a mid-frame EOF into ErrUnexpectedEOF: the stream died
+// inside a frame, which is corruption, not a clean shutdown.
+func failEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// AppendGetReq encodes an OpGet request payload (key).
+func AppendGetReq(b []byte, key uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, key)
+}
+
+// ParseGetReq decodes an OpGet request payload.
+func ParseGetReq(p []byte) (key uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("wire: get request payload %d bytes, want 8", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendSetReq encodes an OpSet request payload (key, cost, value).
+func AppendSetReq(b []byte, key uint64, cost int64, value []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, key)
+	b = binary.BigEndian.AppendUint64(b, uint64(cost))
+	return append(b, value...)
+}
+
+// ParseSetReq decodes an OpSet request payload. value aliases p.
+func ParseSetReq(p []byte) (key uint64, cost int64, value []byte, err error) {
+	if len(p) < 16 {
+		return 0, 0, nil, fmt.Errorf("wire: set request payload %d bytes, want >= 16", len(p))
+	}
+	key = binary.BigEndian.Uint64(p)
+	cost = int64(binary.BigEndian.Uint64(p[8:]))
+	return key, cost, p[16:], nil
+}
+
+// AppendGetOrLoadReq encodes an OpGetOrLoad request payload (key, predicted
+// miss cost — the class the server's breakers, retry budgets and fill charge
+// see, priced by the client exactly as its backend would charge it).
+func AppendGetOrLoadReq(b []byte, key uint64, cost int64) []byte {
+	b = binary.BigEndian.AppendUint64(b, key)
+	return binary.BigEndian.AppendUint64(b, uint64(cost))
+}
+
+// ParseGetOrLoadReq decodes an OpGetOrLoad request payload.
+func ParseGetOrLoadReq(p []byte) (key uint64, cost int64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("wire: getorload request payload %d bytes, want 16", len(p))
+	}
+	return binary.BigEndian.Uint64(p), int64(binary.BigEndian.Uint64(p[8:])), nil
+}
+
+// AppendGetOrLoadResp encodes an OpGetOrLoad success payload: the cost this
+// request actually charged (0 for hits, coalesced waiters and races lost to
+// a concurrent Set — at full sampling the charges sum exactly to the
+// server engine's cost_paid counter) followed by the value bytes.
+func AppendGetOrLoadResp(b []byte, charged int64, value []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(charged))
+	return append(b, value...)
+}
+
+// ParseGetOrLoadResp decodes an OpGetOrLoad success payload. value aliases p.
+func ParseGetOrLoadResp(p []byte) (charged int64, value []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("wire: getorload response payload %d bytes, want >= 8", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), p[8:], nil
+}
+
+// AppendError encodes a FlagError payload (code + message).
+func AppendError(b []byte, code uint8, msg string) []byte {
+	b = append(b, code)
+	return append(b, msg...)
+}
+
+// ParseError decodes a FlagError payload.
+func ParseError(p []byte) (code uint8, msg string, err error) {
+	if len(p) < 1 {
+		return 0, "", fmt.Errorf("wire: empty error payload")
+	}
+	return p[0], string(p[1:]), nil
+}
+
+// Stats is the OpStats response body (JSON-encoded: stats are not a hot
+// path, and JSON keeps the payload self-describing for debugging with nc).
+// The engine counter names and semantics mirror engine.Stats exactly — the
+// remote load harness folds these into the same manifest schema in-process
+// runs use, which is what makes a socket run diffable against an in-process
+// run counter-for-counter.
+type Stats struct {
+	Namespace string `json:"namespace"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Coalesced int64  `json:"coalesced"`
+	Evictions int64  `json:"evictions"`
+	CostPaid  int64  `json:"cost_paid"`
+	// LockWaitNs and ShadowCost mirror the engine's serving-side counters.
+	LockWaitNs int64 `json:"lock_wait_ns"`
+	ShadowCost int64 `json:"shadow_cost"`
+	// Degraded-mode counters (zero without a resilience config).
+	LoadTimeouts int64 `json:"load_timeouts"`
+	LoadRetries  int64 `json:"load_retries"`
+	Shed         int64 `json:"shed"`
+	StaleServed  int64 `json:"stale_served"`
+	// Expired counts lookups refused because the namespace TTL had lapsed
+	// (each one then reloads through the engine as an ordinary miss).
+	Expired int64 `json:"expired"`
+	// Serving-tier counters (server-wide, identical in every namespace's
+	// stats response).
+	ConnsAccepted int64 `json:"conns_accepted"`
+	ConnsActive   int64 `json:"conns_active"`
+	FramesIn      int64 `json:"frames_in"`
+	FramesOut     int64 `json:"frames_out"`
+	ServerShed    int64 `json:"server_shed"`
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, f *Frame) Frame {
+	t.Helper()
+	b := AppendFrame(nil, f)
+	var got Frame
+	if err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &got); err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{
+		Version: Version, Op: OpGetOrLoad, Flags: FlagHit | FlagStale,
+		ID: 0xdeadbeefcafe, NS: "sessions",
+		Payload: AppendGetOrLoadReq(nil, 42, 8),
+	}
+	got := roundTrip(t, &f)
+	if got.Version != f.Version || got.Op != f.Op || got.Flags != f.Flags ||
+		got.ID != f.ID || got.NS != f.NS {
+		t.Fatalf("header mismatch: got %+v want %+v", got, f)
+	}
+	key, cost, err := ParseGetOrLoadReq(got.Payload)
+	if err != nil || key != 42 || cost != 8 {
+		t.Fatalf("payload mismatch: key=%d cost=%d err=%v", key, cost, err)
+	}
+}
+
+func TestFrameEmptyNSAndPayload(t *testing.T) {
+	f := Frame{Version: Version, Op: OpPing, ID: 1}
+	got := roundTrip(t, &f)
+	if got.NS != "" || len(got.Payload) != 0 {
+		t.Fatalf("got ns=%q payload=%d bytes, want empty", got.NS, len(got.Payload))
+	}
+}
+
+// TestFramePipelined decodes several frames back to back from one stream,
+// reusing the payload buffer, the way the server's read loop does.
+func TestFramePipelined(t *testing.T) {
+	var b []byte
+	for i := uint64(1); i <= 5; i++ {
+		b = AppendFrame(b, &Frame{
+			Version: Version, Op: OpGet, ID: i, NS: "ns",
+			Payload: AppendGetReq(nil, i*100),
+		})
+	}
+	r := bufio.NewReader(bytes.NewReader(b))
+	var f Frame
+	for i := uint64(1); i <= 5; i++ {
+		if err := ReadFrame(r, 0, &f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		key, err := ParseGetReq(f.Payload)
+		if err != nil || f.ID != i || key != i*100 {
+			t.Fatalf("frame %d: id=%d key=%d err=%v", i, f.ID, key, err)
+		}
+	}
+	if err := ReadFrame(r, 0, &f); err != io.EOF {
+		t.Fatalf("after last frame: err=%v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, &Frame{
+		Version: Version, Op: OpSet, ID: 9, NS: "ns",
+		Payload: AppendSetReq(nil, 7, 3, []byte("value")),
+	})
+	for cut := 1; cut < len(full); cut++ {
+		var f Frame
+		err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:cut])), 0, &f)
+		if err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+		if err == io.EOF && cut >= 4 {
+			t.Fatalf("cut at %d returned clean EOF mid-frame", cut)
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	f := Frame{Version: Version, Op: OpSet, ID: 1, Payload: make([]byte, 1024)}
+	b := AppendFrame(nil, &f)
+	var got Frame
+	err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), 64, &got)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: err=%v, want length-limit error", err)
+	}
+}
+
+func TestFrameBadNamespaceLength(t *testing.T) {
+	b := AppendFrame(nil, &Frame{Version: Version, Op: OpPing, ID: 1, NS: "abc"})
+	// Corrupt nslen to exceed the body.
+	b[7] = 200
+	var got Frame
+	if err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &got); err == nil {
+		t.Fatal("corrupt nslen decoded successfully")
+	}
+}
+
+func TestPayloadCodecs(t *testing.T) {
+	key, cost, val, err := ParseSetReq(AppendSetReq(nil, 11, -2, []byte("v")))
+	if err != nil || key != 11 || cost != -2 || string(val) != "v" {
+		t.Fatalf("set: key=%d cost=%d val=%q err=%v", key, cost, val, err)
+	}
+	charged, value, err := ParseGetOrLoadResp(AppendGetOrLoadResp(nil, 8, []byte("x")))
+	if err != nil || charged != 8 || string(value) != "x" {
+		t.Fatalf("getorload resp: charged=%d value=%q err=%v", charged, value, err)
+	}
+	code, msg, err := ParseError(AppendError(nil, ErrCodeShed, "busy"))
+	if err != nil || code != ErrCodeShed || msg != "busy" {
+		t.Fatalf("error: code=%d msg=%q err=%v", code, msg, err)
+	}
+	if _, err := ParseGetReq([]byte{1}); err == nil {
+		t.Fatal("short get request parsed")
+	}
+	if _, _, err := ParseGetOrLoadReq(nil); err == nil {
+		t.Fatal("empty getorload request parsed")
+	}
+	if _, _, _, err := ParseSetReq([]byte{1, 2}); err == nil {
+		t.Fatal("short set request parsed")
+	}
+	if _, _, err := ParseGetOrLoadResp([]byte{1}); err == nil {
+		t.Fatal("short getorload response parsed")
+	}
+	if _, _, err := ParseError(nil); err == nil {
+		t.Fatal("empty error payload parsed")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if OpName(OpGetOrLoad) != "getorload" || OpName(99) != "op(99)" {
+		t.Fatal("OpName mismatch")
+	}
+	if ErrCodeName(ErrCodeDraining) != "draining" || ErrCodeName(99) != "err(99)" {
+		t.Fatal("ErrCodeName mismatch")
+	}
+}
+
+// TestAppendFrameNoAlloc pins the encode path at zero allocations when the
+// destination buffer has capacity — the server's response writer reuses one
+// buffer per connection.
+func TestAppendFrameNoAlloc(t *testing.T) {
+	f := Frame{Version: Version, Op: OpGetOrLoad, ID: 3, NS: "ns",
+		Payload: AppendGetOrLoadResp(nil, 8, []byte("12345678"))}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFrame(buf[:0], &f)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFrame allocates %v/op with capacity available", allocs)
+	}
+}

@@ -377,4 +377,146 @@ for bad in "" "-addr x -interval 0s" "-addr x -frames -1"; do
     fi
 done
 
+# Serving-tier smoke (docs/SERVING_TIER.md): cacheserved on an ephemeral
+# port with two namespaces, driven by cachebench -remote over real sockets.
+# The single-worker closed-loop remote run must reproduce the in-process
+# run's engine counters bit for bit; a pipelined open-loop run must coalesce
+# and reconcile exactly; SIGTERM must drain cleanly (exit 0, uninterrupted
+# manifest).
+go build -o "$smoke/cacheserved" ./cmd/cacheserved
+"$smoke/cacheserved" -listen 127.0.0.1:0 \
+    -ns "bench" -ns "slow:policy=BCL,sets=1024,loaddelay=1ms" \
+    -manifest "$smoke/served.json" > "$smoke/served.txt" 2>&1 &
+srvpid=$!
+srvaddr=""
+for _ in $(seq 1 50); do
+    srvaddr=$(sed -n 's/^cacheserved: listening on //p' "$smoke/served.txt")
+    [ -n "$srvaddr" ] && break
+    sleep 0.1
+done
+if [ -z "$srvaddr" ]; then
+    kill "$srvpid" 2>/dev/null || true
+    echo "ci: cacheserved never printed its listen address" >&2; exit 1
+fi
+
+"$smoke/cachebench" -mode closed -workers 1 -ops 20000 -keys 4096 -zipf 1.1 \
+    -seed 7 -quiet -manifest "$smoke/inproc.json" > /dev/null
+"$smoke/cachebench" -mode closed -workers 1 -ops 20000 -keys 4096 -zipf 1.1 \
+    -seed 7 -quiet -remote "$srvaddr" -remote.ns bench \
+    -manifest "$smoke/remote.json" > /dev/null
+go run ./cmd/report -check "$smoke/inproc.json" "$smoke/remote.json"
+metric() { sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*\$/\1/p" "$1" | head -1; }
+for m in engine_hits engine_misses engine_coalesced engine_cost_paid; do
+    a=$(metric "$smoke/inproc.json" "$m")
+    b=$(metric "$smoke/remote.json" "$m")
+    if [ -z "$a" ] || [ "$a" != "$b" ]; then
+        echo "ci: remote run diverges from in-process: $m = $b, want $a" >&2
+        exit 1
+    fi
+done
+
+# Pipelined remote run against the slow namespace: concurrent misses on hot
+# keys must coalesce server-side, and the counter deltas must tile the op
+# count exactly (hits + misses + coalesced == ops).
+"$smoke/cachebench" -mode open -workers 8 -rate 20000 -ops 20000 -keys 4096 \
+    -zipf 1.3 -seed 42 -quiet -remote "$srvaddr" -remote.ns slow \
+    -remote.conns 4 -attr -attr.sample 1 \
+    -manifest "$smoke/remote_pipe.json" > "$smoke/remote_pipe.txt" 2>&1
+go run ./cmd/report -check "$smoke/remote_pipe.json"
+hits=$(metric "$smoke/remote_pipe.json" engine_hits)
+misses=$(metric "$smoke/remote_pipe.json" engine_misses)
+coal=$(metric "$smoke/remote_pipe.json" engine_coalesced)
+if [ "$hits" -le 0 ] || [ "$coal" -le 0 ]; then
+    echo "ci: pipelined remote run: hits=$hits coalesced=$coal, want both nonzero" >&2
+    exit 1
+fi
+if [ $((hits + misses + coal)) -ne 20000 ]; then
+    echo "ci: pipelined remote counters don't reconcile: $hits+$misses+$coal != 20000" >&2
+    exit 1
+fi
+grep -q 'net_read' "$smoke/remote_pipe.txt" || {
+    echo "ci: remote -attr table missing the net_read stage" >&2; exit 1; }
+
+# SIGTERM drain: exit 0 and an uninterrupted manifest.
+kill -TERM "$srvpid"
+rc=0
+wait "$srvpid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "ci: cacheserved drain exited $rc, want 0" >&2; exit 1
+fi
+go run ./cmd/report -check "$smoke/served.json"
+if grep -q '"interrupted": true' "$smoke/served.json"; then
+    echo "ci: clean drain produced an interrupted manifest" >&2; exit 1
+fi
+grep -Eq '"server_frames_in": [1-9]' "$smoke/served.json" || {
+    echo "ci: cacheserved manifest recorded no inbound frames" >&2; exit 1; }
+
+# Consistent-hash scale-out: the same load over a 3-node ring must spread
+# traffic onto every node (each per-node manifest records inbound frames).
+nodes=""
+addrs=""
+for i in 1 2 3; do
+    "$smoke/cacheserved" -listen 127.0.0.1:0 -ns bench \
+        -manifest "$smoke/node$i.json" > "$smoke/node$i.txt" 2>&1 &
+    nodes="$nodes $!"
+    a=""
+    for _ in $(seq 1 50); do
+        a=$(sed -n 's/^cacheserved: listening on //p' "$smoke/node$i.txt")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    if [ -z "$a" ]; then
+        echo "ci: ring node $i never printed its listen address" >&2; exit 1
+    fi
+    addrs="$addrs,$a"
+done
+addrs=${addrs#,}
+"$smoke/cachebench" -mode closed -workers 4 -ops 20000 -keys 4096 -zipf 1.1 \
+    -seed 7 -quiet -remote "$addrs" > /dev/null
+for pid in $nodes; do
+    kill -TERM "$pid"
+    wait "$pid" || { echo "ci: ring node drain failed" >&2; exit 1; }
+done
+for i in 1 2 3; do
+    go run ./cmd/report -check "$smoke/node$i.json"
+    grep -Eq '"server_frames_in": [1-9]' "$smoke/node$i.json" || {
+        echo "ci: ring node $i served no traffic" >&2; exit 1; }
+done
+
+# Serving-tier flag validation: malformed namespace specs, bad limits and
+# misused -remote flags must exit 2.
+for bad in "-ns :x=1" "-ns a:policy=NoSuchPolicy" "-ns a:nokey=1" \
+    "-ns a:shards=0" "-ns a:ttl=-1s" "-ns a -ns a" \
+    "-maxconns -1" "-maxinflight -1" "-queue.deadline -1ms" \
+    "-drain.timeout 0"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cacheserved" $bad >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cacheserved $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+for bad in "-remote x -policy DCL" "-remote x -shards 4" \
+    "-remote x -loaddelay 1ms" "-remote x -stale.serve" \
+    "-remote x -remote.ns=" "-remote x -remote.conns 0" \
+    "-remote x -remote.timeout 0"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachebench" $bad -ops 10 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+
+# Serving-tier benchmark baseline: regenerate with a short window and diff
+# against the archive at the same generous tolerance as the engine bench.
+BENCH_MANIFEST="$smoke/bench_server.json" \
+    go test -run TestWriteServerBenchManifest -count=1 -benchtime 0.05s ./internal/server
+go run ./cmd/report -check "$smoke/bench_server.json"
+if [ -f results/BENCH_server.json ]; then
+    go run ./cmd/report -tol 75 results/BENCH_server.json "$smoke/bench_server.json"
+else
+    echo "ci: results/BENCH_server.json missing; skipping server bench diff" >&2
+fi
+
 echo "ci: ok"
