@@ -65,6 +65,15 @@
 // flags (-policy, -shards, resilience, faults, ...) are rejected with
 // -remote — configure them on cacheserved's -ns spec. -remote.ns names the
 // namespace; -remote.conns and -remote.timeout shape the client pool.
+// Client-side observability stays on: -obs.listen serves this process's
+// /metrics (including client_failover/client_shed per node) and a
+// /debug/engine document carrying the ring rows (per-node routing counters,
+// negotiated trace support, clock offsets). Sampled spans propagate their
+// identity on the wire, so trace-negotiated servers emit matching server
+// spans (report -merge stitches the two sets). After the run, every node's
+// manifest is collected over the wire and the summed per-node engine
+// counters must reconcile bit for bit with the client-observed totals —
+// a mismatch exits nonzero.
 //
 // -manifest writes a self-describing run manifest (engine counters, latency
 // percentiles, per-shard series, stage attribution) that cmd/report can
@@ -95,6 +104,7 @@ import (
 	"costcache/internal/replacement"
 	"costcache/internal/resilience"
 	"costcache/internal/tabulate"
+	"costcache/internal/wire"
 	"costcache/internal/workload"
 )
 
@@ -229,11 +239,13 @@ func main() {
 		// The engine lives server-side on a remote run: flags that configure
 		// the in-process engine, its backend or its local traces would be
 		// silently ignored, so they are rejected up front. Set them on
-		// cacheserved's namespace spec instead.
+		// cacheserved's namespace spec instead. Client-side observability
+		// (-obs.listen, -keys.sketch, spans, alerts) stays available: the
+		// tracer, registry and time-series store all run in this process.
 		engineOnly := map[string]bool{
 			"policy": true, "shards": true, "sets": true, "ways": true,
 			"noshadow": true, "loaddelay": true, "decisions": true,
-			"hot.factor": true, "keys.sketch": true, "obs.listen": true,
+			"hot.factor":    true,
 			"load.deadline": true, "load.retries": true, "load.backoff": true,
 			"breaker.rate": true, "breaker.window": true, "breaker.min": true,
 			"breaker.cooldown": true, "stale.serve": true,
@@ -348,18 +360,24 @@ func main() {
 	// what makes a same-seed remote run counter-for-counter comparable.
 	var eng *engine.Engine
 	var ring *client.Ring
+	var remoteTarget *loadgen.RemoteTarget
 	if *remote != "" {
 		var err error
 		ring, err = client.NewRing(client.RingConfig{
-			Addrs:  strings.Split(*remote, ","),
-			Client: client.Config{Conns: *remoteConns, Timeout: *remoteTimeout},
+			Addrs: strings.Split(*remote, ","),
+			// The connection pools estimate each node's clock offset against
+			// the tracer's span clock during PING trace negotiation, so the
+			// ring's offset hints are in the same unit stitched spans use.
+			Client:   client.Config{Conns: *remoteConns, Timeout: *remoteTimeout, Clock: tracer.Now},
+			Registry: reg,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
 		defer ring.Close()
-		cfg.Target = loadgen.NewRemoteTarget(ring, *remoteNS, tracer)
+		remoteTarget = loadgen.NewRemoteTarget(ring, *remoteNS, tracer)
+		cfg.Target = remoteTarget
 	} else {
 		eng = engine.New(engine.Config{
 			Shards:     *shards,
@@ -437,9 +455,13 @@ func main() {
 	}
 
 	if *obsListen != "" {
+		var ringDebug func() any
+		if ring != nil {
+			ringDebug = func() any { return ring.Debug() }
+		}
 		mux := obs.NewMux(reg)
-		mux.Handle("/debug/engine", "live shard analytics (hot shards, lock wait, coalesce depth)",
-			engine.DebugHandler(eng, tracer, *hotFactor))
+		mux.Handle("/debug/engine", "live shard analytics (hot shards, lock wait, coalesce depth; ring rows on -remote)",
+			engine.DebugHandlerRing(eng, tracer, *hotFactor, ringDebug))
 		mux.Handle("/debug/timeseries", "windowed rates, ratios and latency quantiles from the live time-series store",
 			tsdb.Handler(store))
 		if alertEng != nil {
@@ -531,11 +553,28 @@ func main() {
 		}
 	}
 
+	// A remote run closes with the cluster manifest reconciliation: every
+	// node's manifest is collected over the wire (MANIFEST op) and the summed
+	// per-node engine counters must equal the client-observed totals bit for
+	// bit. A mismatch means the tier lost or double-counted requests, so it
+	// is fatal. With unaccounted client requests (transport errors, sheds)
+	// the identity cannot hold, and the check downgrades to advisory.
+	var nodeMs []wire.NodeManifest
+	if remoteTarget != nil {
+		var err error
+		nodeMs, err = ring.Manifests()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachebench:", err)
+			os.Exit(1)
+		}
+		reconcileCluster(nodeMs, *remoteNS, remoteTarget.Observed())
+	}
+
 	if *manifestPath != "" {
 		art := artifacts{decisions: *decisions, spanJSONL: *spanJSONL,
 			spanTrace: *spanTrace, alertEvents: *alertsJSONL,
 			remote: *remote, remoteNS: *remoteNS}
-		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir, resil, injector); err != nil {
+		if err := writeManifest(*manifestPath, *policy, *mode, *bench, cfg, eng, reg, res, tracer, decTracer, store, alertEng, art, prof, *profileDir, resil, injector, ring, nodeMs, remoteTarget); err != nil {
 			fmt.Fprintln(os.Stderr, "cachebench:", err)
 			os.Exit(1)
 		}
@@ -632,6 +671,42 @@ func reconcileSpans(tr *reqspan.Tracer, st engine.Stats, resilient bool) {
 	}
 }
 
+// reconcileCluster checks the cluster accounting identity of a remote run:
+// the summed per-node engine counters for the driven namespace must equal
+// what this client observed come back over the wire, bit for bit. Exact only
+// when the servers were started fresh for this run (their counters are
+// cumulative) and every client request completed; unaccounted requests
+// (transport errors, timeouts, ring sheds) make the identity unknowable from
+// this side, so the check prints an advisory instead of failing.
+func reconcileCluster(nodeMs []wire.NodeManifest, ns string, obsd loadgen.Observed) {
+	var hits, misses, coalesced, cost int64
+	for _, nm := range nodeMs {
+		for _, n := range nm.Namespaces {
+			if n.Namespace != ns {
+				continue
+			}
+			hits += n.Hits
+			misses += n.Misses
+			coalesced += n.Coalesced
+			cost += n.CostPaid
+		}
+	}
+	if obsd.Unaccounted != 0 {
+		fmt.Printf("cluster reconciliation: advisory (%d unaccounted client requests): servers hits=%d misses=%d coalesced=%d cost_paid=%d; client hits=%d misses=%d coalesced=%d cost_paid=%d\n",
+			obsd.Unaccounted, hits, misses, coalesced, cost,
+			obsd.Hits, obsd.Misses, obsd.Coalesced, obsd.CostPaid)
+		return
+	}
+	if hits != obsd.Hits || misses != obsd.Misses || coalesced != obsd.Coalesced || cost != obsd.CostPaid {
+		fmt.Fprintf(os.Stderr, "cachebench: cluster reconciliation failed: summed node manifests hits=%d misses=%d coalesced=%d cost_paid=%d, client observed hits=%d misses=%d coalesced=%d cost_paid=%d\n",
+			hits, misses, coalesced, cost,
+			obsd.Hits, obsd.Misses, obsd.Coalesced, obsd.CostPaid)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster reconciliation: %d nodes; hits=%d misses=%d coalesced=%d cost_paid=%d == client-observed, bit for bit\n",
+		len(nodeMs), hits, misses, coalesced, cost)
+}
+
 // progress prints a once-a-second live line to stderr: total operations,
 // hit rate and shadow savings so far.
 func progress(eng *engine.Engine, stop <-chan struct{}) {
@@ -715,7 +790,8 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 	tracer *reqspan.Tracer, decTracer *obs.Tracer,
 	store *tsdb.Store, alertEng *alert.Engine, art artifacts,
 	prof *obs.Profiler, profileDir string,
-	resil *resilience.Resilience, injector *fault.LoaderInjector) error {
+	resil *resilience.Resilience, injector *fault.LoaderInjector,
+	ring *client.Ring, nodeMs []wire.NodeManifest, remoteTarget *loadgen.RemoteTarget) error {
 	m := manifest.New("cachebench")
 	m.SetConfig("mode", mode)
 	if eng != nil {
@@ -726,6 +802,48 @@ func writeManifest(path, policy, mode, bench string, cfg loadgen.Config,
 		// Remote run: the engine (and its policy) lives inside cacheserved.
 		m.SetConfig("remote", art.remote)
 		m.SetConfig("remote_ns", art.remoteNS)
+	}
+	if remoteTarget != nil {
+		// The merged cluster manifest: per-node engine counters collected
+		// over the wire, their cluster sums, and the client-observed totals
+		// they reconciled against (reconcileCluster ran before this).
+		obsd := remoteTarget.Observed()
+		m.SetConfig("nodes", len(nodeMs))
+		m.SetConfig("trace_negotiated", ring.TraceSupported())
+		m.SetMetric("client_hits", float64(obsd.Hits))
+		m.SetMetric("client_misses", float64(obsd.Misses))
+		m.SetMetric("client_coalesced", float64(obsd.Coalesced))
+		m.SetMetric("client_cost_paid", float64(obsd.CostPaid))
+		m.SetMetric("client_unaccounted", float64(obsd.Unaccounted))
+		offsets := ring.Offsets()
+		var hits, misses, coalesced, evictions, cost int64
+		for i, nm := range nodeMs {
+			m.SetConfig(fmt.Sprintf("node_name{node=\"%d\"}", i), nm.Node)
+			m.SetMetric(fmt.Sprintf("node_offset_ns{node=\"%d\"}", i), float64(offsets[i]))
+			m.SetMetric(fmt.Sprintf("node_frames_in{node=\"%d\"}", i), float64(nm.FramesIn))
+			m.SetMetric(fmt.Sprintf("node_frames_out{node=\"%d\"}", i), float64(nm.FramesOut))
+			m.SetMetric(fmt.Sprintf("node_server_shed{node=\"%d\"}", i), float64(nm.ServerShed))
+			for _, n := range nm.Namespaces {
+				if n.Namespace != art.remoteNS {
+					continue
+				}
+				m.SetMetric(fmt.Sprintf("node_hits{node=\"%d\"}", i), float64(n.Hits))
+				m.SetMetric(fmt.Sprintf("node_misses{node=\"%d\"}", i), float64(n.Misses))
+				m.SetMetric(fmt.Sprintf("node_coalesced{node=\"%d\"}", i), float64(n.Coalesced))
+				m.SetMetric(fmt.Sprintf("node_evictions{node=\"%d\"}", i), float64(n.Evictions))
+				m.SetMetric(fmt.Sprintf("node_cost_paid{node=\"%d\"}", i), float64(n.CostPaid))
+				hits += n.Hits
+				misses += n.Misses
+				coalesced += n.Coalesced
+				evictions += n.Evictions
+				cost += n.CostPaid
+			}
+		}
+		m.SetMetric("cluster_hits", float64(hits))
+		m.SetMetric("cluster_misses", float64(misses))
+		m.SetMetric("cluster_coalesced", float64(coalesced))
+		m.SetMetric("cluster_evictions", float64(evictions))
+		m.SetMetric("cluster_cost_paid", float64(cost))
 	}
 	m.SetConfig("workers", cfg.Workers)
 	m.SetConfig("rate", cfg.Rate)

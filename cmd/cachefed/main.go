@@ -1,0 +1,167 @@
+// Command cachefed federates a fleet of costcache observability endpoints
+// (cacheserved -obs.listen, or any process serving /metrics) into one
+// cluster-level surface: it scrapes every node, mirrors the per-node series
+// into a node-labeled federated registry and time-series store, derives
+// cluster signals (global hit rate, cost per access, per-node skew, ring
+// imbalance) and evaluates the fleet alert rules (node-outlier hit rate,
+// ring hot node) over the merged store. See internal/obs/federate and
+// docs/OBSERVABILITY.md ("Cluster observability").
+//
+//	cachefed -nodes localhost:6061,localhost:6062,localhost:6063
+//	cachefed -nodes ... -listen localhost:7000     # cachetop -cluster target
+//	cachefed -nodes ... -scrapes 8 -alerts.jsonl fed_alerts.jsonl
+//
+// Live mode (the default) serves the federated surface on -listen —
+// /metrics, /debug/timeseries, /debug/alerts and /debug/federate (per-node
+// rows + cluster rollups) — and scrapes every -interval until SIGINT/SIGTERM.
+//
+// -scrapes N > 0 switches to the deterministic harness mode CI pins: N
+// scrapes under a simulated clock starting at the Unix epoch, one -interval
+// step apart, then a post-run summary (cluster signals, per-node rows, alert
+// standings) on stdout and exit. The same fleet scraped this way streams
+// byte-identical alert JSONL on every rerun. -status writes the full
+// /debug/federate document to a file at exit in either mode.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"costcache/internal/cli"
+	"costcache/internal/obs/federate"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated per-node observability addresses (required)")
+	listen := flag.String("listen", "127.0.0.1:0", "serve the federated observability surface on this address (live mode)")
+	interval := flag.Duration("interval", time.Second, "scrape period (and the federated store's finest bucket width)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-node HTTP fetch deadline")
+	scrapes := flag.Int("scrapes", 0, "deterministic mode: run this many scrapes under a simulated clock, print a summary and exit (0 = live)")
+	alertsJSONL := flag.String("alerts.jsonl", "", "write fleet alert state transitions as JSONL to this file")
+	status := flag.String("status", "", "write the final /debug/federate document (JSON) to this file at exit")
+	flag.Parse()
+
+	if *nodes == "" {
+		cli.BadFlag("cachefed", "-nodes", "", []string{"a comma-separated list of node observability addresses"})
+	}
+	if *interval <= 0 {
+		cli.BadFlag("cachefed", "-interval", fmt.Sprint(*interval), []string{"a scrape period > 0"})
+	}
+	if *timeout <= 0 {
+		cli.BadFlag("cachefed", "-timeout", fmt.Sprint(*timeout), []string{"a fetch deadline > 0"})
+	}
+	if *scrapes < 0 {
+		cli.BadFlag("cachefed", "-scrapes", fmt.Sprint(*scrapes), []string{"a scrape count >= 0 (0 = live)"})
+	}
+
+	fed, err := federate.New(federate.Config{
+		Nodes:   strings.Split(*nodes, ","),
+		Step:    *interval,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachefed:", err)
+		os.Exit(1)
+	}
+
+	var alertFile *os.File
+	var alertBW *bufio.Writer
+	if *alertsJSONL != "" {
+		alertFile, err = os.Create(*alertsJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachefed:", err)
+			os.Exit(1)
+		}
+		alertBW = bufio.NewWriter(alertFile)
+		fed.Alerts().SetSink(alertBW)
+	}
+	finish := func() {
+		if alertFile != nil {
+			err := alertBW.Flush()
+			if err == nil {
+				err = alertFile.Close()
+			}
+			if err == nil {
+				err = fed.Alerts().Err()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachefed: alert sink:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote fleet alert events to %s\n", *alertsJSONL)
+		}
+		if *status != "" {
+			data, err := json.MarshalIndent(fed.Status(0), "", "  ")
+			if err == nil {
+				err = os.WriteFile(*status, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachefed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote cluster status to %s\n", *status)
+		}
+	}
+
+	if *scrapes > 0 {
+		// Deterministic harness mode: a simulated clock starting at the Unix
+		// epoch, one step per scrape — the same fleet state scraped this way
+		// produces byte-identical alert JSONL on every rerun (CI pins this).
+		base := time.Unix(0, 0)
+		for i := 1; i <= *scrapes; i++ {
+			fed.ScrapeOnce(base.Add(time.Duration(i) * *interval))
+		}
+		summarize(fed, *scrapes)
+		finish()
+		return
+	}
+
+	srv, err := federate.Serve(*listen, fed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachefed:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	// CI and wrapper scripts parse this line for the bound port.
+	fmt.Printf("cachefed: listening on %s\n", srv.Addr())
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fed.Start(*interval, stop)
+	}()
+	<-cli.Drain()
+	close(stop)
+	<-done
+	fmt.Fprintln(os.Stderr, "cachefed: stopped")
+	summarize(fed, int(fed.Store().Samples()))
+	finish()
+}
+
+// summarize prints the post-run cluster standing: the derived signals, one
+// row per node and each fleet rule's state.
+func summarize(fed *federate.Federator, scrapes int) {
+	st := fed.Status(0)
+	fmt.Printf("cachefed: %d nodes, %d scrapes\n", len(st.Nodes), scrapes)
+	fmt.Printf("cluster hit_rate=%.4f cost_per_access=%.4f node_skew=%.4f miss_spread=%.4f\n",
+		st.Cluster.HitRate, st.Cluster.CostPerAccess, st.Cluster.NodeSkew, st.Cluster.MissSpread)
+	for _, n := range st.Nodes {
+		up := "up"
+		if !n.Up {
+			up = "DOWN " + n.Err
+		}
+		fmt.Printf("node %-2s %-24s %s hits=%d misses=%d coalesced=%d cost=%d share=%.3f hit_rate=%.4f\n",
+			n.Node, n.Addr, up, n.Totals.Hits, n.Totals.Misses, n.Totals.Coalesced,
+			n.Totals.CostPaid, n.Share, n.HitRate)
+	}
+	for _, r := range st.Rules {
+		fmt.Printf("alert %-22s state=%-8s fired=%d firing_ms=%d\n",
+			r.Rule, r.State, r.Fired, r.FiringNS/int64(time.Millisecond))
+	}
+}

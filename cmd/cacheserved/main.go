@@ -21,6 +21,12 @@
 // a single-worker closed-loop cachebench -remote run reproduces the engine
 // counters of the same in-process run bit for bit (CI pins this).
 //
+// Requests arriving with a propagated trace context (negotiated over PING;
+// see docs/SERVING_TIER.md) are traced server-side under the client's span
+// id: -node names this node in the emitted spans and -span.jsonl writes
+// them, so report -merge can stitch the client's net round trip and the
+// server's stage segments into one cluster timeline.
+//
 // -maxconns bounds accepted connections, -maxinflight bounds concurrent
 // backend loads and -queue.deadline bounds how long an admitted request may
 // wait for a load slot before the server sheds it (SHED error, server_shed
@@ -36,6 +42,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +55,8 @@ import (
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
 	"costcache/internal/obs/alert"
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/obs/span"
 	"costcache/internal/obs/tsdb"
 	"costcache/internal/replacement"
 	"costcache/internal/server"
@@ -153,6 +162,8 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this file at shutdown")
 	obsListen := flag.String("obs.listen", "", "serve /metrics, pprof, /debug/engine/<ns>, /debug/timeseries and /debug/alerts on this address")
 	tsStep := flag.Duration("ts.step", time.Second, "live time-series bucket width (finest ring)")
+	node := flag.String("node", "", "node name stamped on emitted server spans (default: the -listen address)")
+	spanJSONL := flag.String("span.jsonl", "", "write server-side spans of trace-propagated requests as JSONL to this file")
 	flag.Parse()
 
 	if *maxConns < 0 {
@@ -179,6 +190,31 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+
+	// The server-side request tracer: it names this node in PING trace
+	// negotiation (its clock is the offset reference) and, for requests that
+	// arrive with a propagated trace context, emits the server half of the
+	// span under the client's span id. Local sampling stays off — the client
+	// owns the sampling decision on a serving tier.
+	var spanFile *os.File
+	var spanBW *bufio.Writer
+	var jsonlSink *span.LineSink
+	if *spanJSONL != "" {
+		f, err := os.Create(*spanJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cacheserved:", err)
+			os.Exit(1)
+		}
+		spanFile = f
+		spanBW = bufio.NewWriterSize(f, 1<<20)
+		jsonlSink = span.NewLineSink(spanBW)
+	}
+	nodeName := *node
+	if nodeName == "" {
+		nodeName = *listen
+	}
+	tracer := reqspan.New(reqspan.Config{Node: nodeName}, jsonlSink, nil)
+
 	var namespaces []*server.Namespace
 	for _, spec := range nss.specs {
 		factory, _ := replacement.ByName(spec.policy) // validated in parseSpec
@@ -190,6 +226,7 @@ func main() {
 			Registry:  reg,
 			Shadow:    true,
 			Namespace: spec.name,
+			Tracer:    tracer,
 		})
 		namespaces = append(namespaces, &server.Namespace{
 			Name:    spec.name,
@@ -213,6 +250,8 @@ func main() {
 		MaxConns:      *maxConns,
 		MaxInflight:   *maxInflight,
 		QueueDeadline: qd,
+		Name:          nodeName,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cacheserved:", err)
@@ -277,8 +316,23 @@ func main() {
 	fmt.Fprintln(os.Stderr, "cacheserved: draining")
 	clean := srv.Drain(*drainTimeout)
 
+	if spanFile != nil {
+		err := spanBW.Flush()
+		if err == nil {
+			err = spanFile.Close()
+		}
+		if err == nil {
+			err = tracer.Err()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cacheserved: span sink:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote server spans to %s\n", *spanJSONL)
+	}
+
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, srv, nss.specs, reg, clean); err != nil {
+		if err := writeManifest(*manifestPath, srv, nss.specs, reg, clean, nodeName, *spanJSONL); err != nil {
 			fmt.Fprintln(os.Stderr, "cacheserved:", err)
 			os.Exit(1)
 		}
@@ -293,10 +347,14 @@ func main() {
 // writeManifest records each namespace's engine counters (the fields CI
 // reconciles against cachebench -remote manifests) plus the serving-tier
 // counters and the full registry snapshot.
-func writeManifest(path string, srv *server.Server, specs []nsSpec, reg *obs.Registry, clean bool) error {
+func writeManifest(path string, srv *server.Server, specs []nsSpec, reg *obs.Registry, clean bool, node, spanJSONL string) error {
 	m := manifest.New("cacheserved")
 	if !clean {
 		m.MarkInterrupted()
+	}
+	m.SetConfig("node", node)
+	if spanJSONL != "" {
+		m.SetArtifact("request_spans", spanJSONL)
 	}
 	var names []string
 	for _, s := range specs {

@@ -8,6 +8,14 @@
 //	cachebench -obs.listen localhost:6060 -alerts &
 //	cachetop -addr localhost:6060
 //
+// -cluster switches to the fleet dashboard: -addr then names a cachefed
+// server, and the frame renders /debug/federate — one column row per node
+// (up/down, ops, hit rate, cluster share with a skew bar) under the derived
+// cluster signals, plus the federated sparklines and fleet alert standings.
+//
+//	cachefed -nodes localhost:6061,localhost:6062 -listen localhost:7000 &
+//	cachetop -cluster -addr localhost:7000
+//
 // -frames N stops after N redraws (0 = run until interrupted); -frames 1
 // prints a single dashboard without ANSI cursor control, which is what the
 // CI smoke and scripted captures use. cachetop is stdlib-only: it talks
@@ -31,6 +39,7 @@ func main() {
 	addr := flag.String("addr", "", "address of the observability server (host:port, required)")
 	interval := flag.Duration("interval", time.Second, "poll and redraw period")
 	frames := flag.Int("frames", 0, "stop after this many redraws (0 = run until interrupted)")
+	cluster := flag.Bool("cluster", false, "render the fleet dashboard from a cachefed server instead of a single node")
 	flag.Parse()
 
 	if *addr == "" {
@@ -57,7 +66,13 @@ func main() {
 		if stopped() {
 			break
 		}
-		frame, err := render(client, base)
+		var frame string
+		var err error
+		if *cluster {
+			frame, err = renderCluster(client, base)
+		} else {
+			frame, err = render(client, base)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cachetop:", err)
 			os.Exit(1)
@@ -267,13 +282,20 @@ func render(client *http.Client, base string) (string, error) {
 		b.WriteString("\n")
 	}
 
+	writeAlerts(&b, alOK, al, "alerts", "run cachebench with -alerts")
+	return b.String(), nil
+}
+
+// writeAlerts renders the alert standings block shared by the single-node and
+// cluster frames.
+func writeAlerts(b *strings.Builder, alOK bool, al alerts, title, hint string) {
 	switch {
 	case !alOK:
-		b.WriteString("alerts: endpoint not enabled (run cachebench with -alerts)\n")
+		fmt.Fprintf(b, "%s: endpoint not enabled (%s)\n", title, hint)
 	case len(al.Rules) == 0:
-		b.WriteString("alerts: no rules\n")
+		fmt.Fprintf(b, "%s: no rules\n", title)
 	default:
-		b.WriteString("alerts\n")
+		fmt.Fprintf(b, "%s\n", title)
 		rules := al.Rules
 		sort.SliceStable(rules, func(i, j int) bool { return rules[i].Rule < rules[j].Rule })
 		for _, r := range rules {
@@ -281,10 +303,107 @@ func render(client *http.Client, base string) (string, error) {
 			if r.HasValue {
 				val = fmt.Sprintf("%.4g", r.Value)
 			}
-			fmt.Fprintf(&b, "  %-16s %-8s value=%-10s threshold=%-10.4g fired=%d firing_ms=%d\n",
+			fmt.Fprintf(b, "  %-22s %-8s value=%-10s threshold=%-10.4g fired=%d firing_ms=%d\n",
 				r.Rule, strings.ToUpper(r.State), val, r.Threshold, r.Fired, r.FiringNS/1e6)
 		}
 	}
+}
+
+// federateDoc mirrors the /debug/federate document (the fields the cluster
+// frame renders; the schema is internal/obs/federate.ClusterStatus).
+type federateDoc struct {
+	Scrapes    int64 `json:"scrapes"`
+	LastUnixMS int64 `json:"last_unix_ms"`
+	Cluster    struct {
+		HitRate       float64 `json:"hit_rate"`
+		CostPerAccess float64 `json:"cost_per_access"`
+		NodeSkew      float64 `json:"node_skew"`
+		MissSpread    float64 `json:"miss_spread"`
+	} `json:"cluster"`
+	Nodes []struct {
+		Node   string `json:"node"`
+		Addr   string `json:"addr"`
+		Up     bool   `json:"up"`
+		Err    string `json:"err"`
+		Totals struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Coalesced int64 `json:"coalesced"`
+			CostPaid  int64 `json:"cost_paid"`
+			Shed      int64 `json:"shed"`
+		} `json:"totals"`
+		Share   float64 `json:"share"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"nodes"`
+}
+
+// renderCluster polls a cachefed server and builds one fleet dashboard
+// frame: cluster rollups, one row per node with a share bar against the
+// uniform share, the federated sparklines and the fleet alert standings.
+func renderCluster(client *http.Client, base string) (string, error) {
+	var fd federateDoc
+	if ok, err := get(client, base, "/debug/federate", &fd); err != nil {
+		return "", err
+	} else if !ok {
+		return "", fmt.Errorf("/debug/federate not mounted at %s (is this a cachefed server?)", base)
+	}
+	var ts timeseries
+	tsOK, err := get(client, base, "/debug/timeseries", &ts)
+	if err != nil {
+		return "", err
+	}
+	var al alerts
+	alOK, err := get(client, base, "/debug/alerts", &al)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	when := "no scrapes yet"
+	if fd.LastUnixMS != 0 {
+		when = time.UnixMilli(fd.LastUnixMS).Format("15:04:05")
+	}
+	fmt.Fprintf(&b, "cachetop · cluster · %s · %d nodes · %d scrapes · last %s\n\n",
+		base, len(fd.Nodes), fd.Scrapes, when)
+	fmt.Fprintf(&b, "cluster · hit rate %.2f%% · cost/access %.3f · node skew %.2f · miss spread %.2f\n",
+		100*fd.Cluster.HitRate, fd.Cluster.CostPerAccess, fd.Cluster.NodeSkew, fd.Cluster.MissSpread)
+
+	uniform := 0.0
+	if len(fd.Nodes) > 0 {
+		uniform = 1 / float64(len(fd.Nodes))
+	}
+	fmt.Fprintf(&b, "nodes (cluster share vs uniform %.3f)\n", uniform)
+	for _, n := range fd.Nodes {
+		status := "up  "
+		if !n.Up {
+			status = "DOWN"
+		}
+		ops := n.Totals.Hits + n.Totals.Misses + n.Totals.Coalesced
+		fmt.Fprintf(&b, "  %-8s %-21s %s %-24s %5.1f%%  ops=%-9d hit=%5.1f%%  cost=%-8d shed=%d\n",
+			n.Node, n.Addr, status, bar(n.Share, uniform, 24),
+			100*n.Share, ops, 100*n.HitRate, n.Totals.CostPaid, n.Totals.Shed)
+		if n.Err != "" {
+			fmt.Fprintf(&b, "           %s\n", n.Err)
+		}
+	}
+	b.WriteString("\n")
+
+	if tsOK && len(ts.Resolutions) > 0 {
+		res := ts.Resolutions[0]
+		fmt.Fprintf(&b, "federated signals (last %d × %dms buckets)\n", len(res.Signals["hit_rate"]), res.StepMS)
+		for _, p := range panels() {
+			points := res.Signals[p.signal]
+			cur, has := res.Windowed[p.signal]
+			val := "      —"
+			if has {
+				val = p.format(cur)
+			}
+			fmt.Fprintf(&b, "  %-13s %s %s\n", p.label, val, sparkline(points, 48))
+		}
+		b.WriteString("\n")
+	}
+
+	writeAlerts(&b, alOK, al, "fleet alerts", "cachefed evaluates fleet rules by default")
 	return b.String(), nil
 }
 

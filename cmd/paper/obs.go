@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"costcache/internal/costsim"
 	"costcache/internal/manifest"
 	"costcache/internal/obs"
+	"costcache/internal/obs/federate"
 	"costcache/internal/obs/tsdb"
 	"costcache/internal/replacement"
 	"costcache/internal/tabulate"
@@ -197,6 +199,10 @@ func writeBenchJSON(path string, gen workload.Generator) error {
 		costsim.RunObserved(view, cfg, replacement.NewDCL(), src, tracer.Bind("DCL"), 0, reg)
 	})
 	sampleNs, sampleAllocs := benchTelemetrySample()
+	fedNs, err := benchFederationScrape()
+	if err != nil {
+		return err
+	}
 
 	m := manifest.New("paper")
 	m.SetConfig("section", "obs-bench")
@@ -210,12 +216,60 @@ func writeBenchJSON(path string, gen workload.Generator) error {
 	m.SetMetric("obs_traced_overhead_pct", 100*(traced-bare)/bare)
 	m.SetMetric("tsdb_sample_ns_op", sampleNs)
 	m.SetMetric("tsdb_sample_allocs_op", sampleAllocs)
+	m.SetMetric("fed_scrape_ns_node", fedNs)
 	if err := m.WriteFile(path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: bare %.1f ns/ref, shadow +%.1f%%, traced +%.1f%%, tsdb sample %.0f ns/op (%g allocs)\n",
-		path, bare, 100*(shadow-bare)/bare, 100*(traced-bare)/bare, sampleNs, sampleAllocs)
+	fmt.Printf("wrote %s: bare %.1f ns/ref, shadow +%.1f%%, traced +%.1f%%, tsdb sample %.0f ns/op (%g allocs), fed scrape %.0f ns/node\n",
+		path, bare, 100*(shadow-bare)/bare, 100*(traced-bare)/bare, sampleNs, sampleAllocs, fedNs)
 	return nil
+}
+
+// benchFederationScrape measures one federation round against a three-node
+// fleet whose /metrics surfaces are shaped like live cacheserved processes
+// (the benchTelemetrySample registry), and reports the steady-state cost per
+// node-scrape: HTTP fetch + exposition parse + mirror apply + store sample +
+// fleet rule eval, amortized. This is the number a deployment multiplies by
+// fleet size to budget cachefed's scrape interval.
+func benchFederationScrape() (nsPerNode float64, err error) {
+	const nodes = 3
+	var addrs []string
+	for i := 0; i < nodes; i++ {
+		reg := obs.NewRegistry()
+		for shard := 0; shard < 8; shard++ {
+			for _, name := range []string{"engine_hits", "engine_misses", "engine_coalesced",
+				"engine_evictions", "engine_cost_paid", "engine_lock_wait_ns"} {
+				reg.Counter(obs.Name(name, "shard", fmt.Sprint(shard))).Add(int64(shard + 1))
+			}
+		}
+		srv := httptest.NewServer(obs.NewMux(reg))
+		defer srv.Close()
+		addrs = append(addrs, srv.URL)
+	}
+	fed, err := federate.New(federate.Config{Nodes: addrs, Step: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	now := time.Unix(0, 0)
+	scrape := func() {
+		now = now.Add(time.Second)
+		fed.ScrapeOnce(now)
+	}
+	scrape() // discovery: mirror counters created
+	scrape() // settle
+
+	const iters = 50
+	bestNs := int64(1) << 62
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		for j := 0; j < iters; j++ {
+			scrape()
+		}
+		if d := time.Since(start).Nanoseconds(); d < bestNs {
+			bestNs = d
+		}
+	}
+	return float64(bestNs) / (iters * nodes), nil
 }
 
 // benchTelemetrySample measures the time-series store's steady-state Sample

@@ -44,13 +44,22 @@
 // tolerance, 2 on malformed inputs, absent streams or a failed invariant.
 // See docs/OBSERVABILITY.md ("Explaining a regression") for a walkthrough.
 //
-// Merge mode concatenates Chrome trace arrays into one timeline:
+// Merge mode builds one combined Chrome timeline:
 //
 //	report -merge combined.json engine.json simulator.json
+//	report -merge combined.json client_spans.jsonl n0_spans.jsonl n1_spans.jsonl
 //
-// Engine request spans render on pids 1000+shard and simulator miss spans
-// on pids 0..63, so the merged file shows both in one Perfetto view. The
-// result is validated before writing; exit status 1 on malformed input.
+// Chrome trace arrays are concatenated verbatim: engine request spans render
+// on pids 1000+shard and simulator miss spans on pids 0..63, so the merged
+// file shows both in one Perfetto view. Span JSONL inputs (.jsonl) are
+// stitched instead of concatenated: server spans join the client spans whose
+// trace context they carry (client_id), each node's clock offset is recovered
+// from the client net round-trip brackets (see internal/obs/stitch), and the
+// merged timeline places every server span strictly inside its client's
+// net_write..net_read window on a per-node process. Orphan spans, negative
+// durations or an infeasible clock offset fail the merge — CI uses this as
+// the cross-node trace reconciliation gate. The result is validated before
+// writing; exit status 1 on malformed input or a failed stitch.
 package main
 
 import (
@@ -64,6 +73,7 @@ import (
 
 	"costcache/internal/manifest"
 	"costcache/internal/obs/explain"
+	"costcache/internal/obs/stitch"
 	"costcache/internal/tabulate"
 )
 
@@ -348,8 +358,13 @@ func runAttr(oldPath, newPath string, tol float64, strict bool) int {
 	return 0
 }
 
-// runMerge concatenates Chrome trace arrays (first arg is the output path)
-// and validates the combined timeline before writing it.
+// runMerge builds one combined Chrome timeline (first arg is the output
+// path). Chrome trace arrays are concatenated verbatim; span JSONL inputs
+// (.jsonl) are pooled and stitched — server spans are joined to the client
+// spans that propagated them, each node's clock offset is recovered from the
+// net round-trip brackets, and the stitch fails (exit 1) on orphan spans,
+// negative durations or an infeasible offset. The combined timeline is
+// validated before writing.
 func runMerge(paths []string) int {
 	if len(paths) < 3 {
 		fmt.Fprintln(os.Stderr, "report: -merge needs an output and at least two inputs")
@@ -357,15 +372,44 @@ func runMerge(paths []string) int {
 	}
 	out, inputs := paths[0], paths[1:]
 	var merged []json.RawMessage
+	var spans []stitch.Span
 	for _, p := range inputs {
 		data, err := os.ReadFile(p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			return 1
 		}
+		if kindOf(p, data) == "jsonl" {
+			ss, err := stitch.ParseJSONL(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: %v\n", p, err)
+				return 1
+			}
+			spans = append(spans, ss...)
+			continue
+		}
 		var evs []json.RawMessage
 		if err := json.Unmarshal(data, &evs); err != nil {
 			fmt.Fprintf(os.Stderr, "report: %s: not a Chrome trace array: %v\n", p, err)
+			return 1
+		}
+		merged = append(merged, evs...)
+	}
+	if len(spans) > 0 {
+		r, err := stitch.Stitch(spans)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			return 1
+		}
+		fmt.Printf("stitched %d client + %d server spans: %d pairs, %d local\n",
+			r.Clients, r.Servers, r.Pairs, r.Local)
+		for _, fit := range r.Nodes {
+			fmt.Printf("  node %s: %d pairs, clock offset %s (feasible slack %s)\n",
+				fit.Node, fit.Pairs, signedNs(fit.OffsetNs), signedNs(fit.SlackNs))
+		}
+		var evs []json.RawMessage
+		if err := json.Unmarshal(r.ChromeTrace(), &evs); err != nil {
+			fmt.Fprintln(os.Stderr, "report: stitched trace:", err)
 			return 1
 		}
 		merged = append(merged, evs...)
@@ -375,7 +419,7 @@ func runMerge(paths []string) int {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		return 1
 	}
-	events, spans, err := manifest.ValidateChromeTrace(data)
+	events, spanCount, err := manifest.ValidateChromeTrace(data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: merged trace invalid: %v\n", err)
 		return 1
@@ -385,7 +429,7 @@ func runMerge(paths []string) int {
 		return 1
 	}
 	fmt.Printf("%s: merged %d files, %d events, %d spans (load at ui.perfetto.dev)\n",
-		out, len(inputs), events, spans)
+		out, len(inputs), events, spanCount)
 	return 0
 }
 
@@ -394,6 +438,15 @@ func safeDiv(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// signedNs renders a possibly negative nanosecond quantity (a clock offset)
+// in a human unit.
+func signedNs(ns int64) string {
+	if ns < 0 {
+		return "-" + dur(float64(-ns))
+	}
+	return dur(float64(ns))
 }
 
 // dur renders nanoseconds in a human unit.

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,11 @@ type Config struct {
 	Timeout time.Duration
 	// MaxFrame caps accepted response frames (0 = wire.MaxFrame).
 	MaxFrame int
+	// Clock, when non-nil, is the client-side clock (ns) sampled around the
+	// dial-time negotiation ping to estimate each connection's client→server
+	// clock offset. Pass the request tracer's Now so offsets are on the same
+	// timebase as emitted span timestamps; nil falls back to wall time.
+	Clock func() int64
 }
 
 // Error is a server-reported protocol error (a FlagError response).
@@ -88,6 +94,27 @@ func Dial(cfg Config) (*Client, error) {
 // Addr returns the node address this client dials.
 func (c *Client) Addr() string { return c.cfg.Addr }
 
+// TraceSupported reports whether the node advertised FeatTrace at dial —
+// the gate for sending FlagTraced request frames.
+func (c *Client) TraceSupported() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc := c.slots[0]
+	return cc != nil && cc.feats&wire.FeatTrace != 0
+}
+
+// Offset returns the estimated server-minus-client clock offset in ns from
+// the first pool slot's negotiation ping — the per-node hint report -stitch
+// starts from before refining the offset from the spans themselves.
+func (c *Client) Offset() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc := c.slots[0]; cc != nil {
+		return cc.offset
+	}
+	return 0
+}
+
 // pick returns a live connection, redialing its slot if the previous one
 // broke — the pool's health check is the connection itself.
 func (c *Client) pick() (*conn, error) {
@@ -115,8 +142,27 @@ func (c *Client) Ping() error {
 	if err != nil {
 		return err
 	}
-	_, _, err = cc.roundTrip(wire.OpPing, "", nil, c.cfg.Timeout)
+	_, _, err = cc.roundTrip(wire.OpPing, 0, "", nil, c.cfg.Timeout)
 	return err
+}
+
+// Manifest fetches the node's manifest: its identity plus every hosted
+// namespace's engine counters and the serving-tier totals, the per-node
+// input to cluster-manifest reconciliation.
+func (c *Client) Manifest() (wire.NodeManifest, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return wire.NodeManifest{}, err
+	}
+	_, payload, err := cc.roundTrip(wire.OpManifest, 0, "", nil, c.cfg.Timeout)
+	if err != nil {
+		return wire.NodeManifest{}, err
+	}
+	var m wire.NodeManifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return wire.NodeManifest{}, err
+	}
+	return m, nil
 }
 
 // Get looks key up in ns without loading.
@@ -125,7 +171,7 @@ func (c *Client) Get(ns string, key uint64) (value []byte, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	flags, payload, err := cc.roundTrip(wire.OpGet, ns, wire.AppendGetReq(nil, key), c.cfg.Timeout)
+	flags, payload, err := cc.roundTrip(wire.OpGet, 0, ns, wire.AppendGetReq(nil, key), c.cfg.Timeout)
 	if err != nil {
 		return nil, false, err
 	}
@@ -141,7 +187,7 @@ func (c *Client) Set(ns string, key uint64, cost int64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	_, _, err = cc.roundTrip(wire.OpSet, ns, wire.AppendSetReq(nil, key, cost, value), c.cfg.Timeout)
+	_, _, err = cc.roundTrip(wire.OpSet, 0, ns, wire.AppendSetReq(nil, key, cost, value), c.cfg.Timeout)
 	return err
 }
 
@@ -167,11 +213,27 @@ type Pending struct {
 // StartGetOrLoad encodes and writes the request, returning a handle whose
 // Wait collects the response.
 func (c *Client) StartGetOrLoad(ns string, key uint64, cost int64) (*Pending, error) {
+	return c.StartGetOrLoadTraced(ns, key, cost, wire.TraceCtx{})
+}
+
+// StartGetOrLoadTraced is StartGetOrLoad with a propagated trace context:
+// when tc carries a span id and the connection negotiated FeatTrace, the
+// request frame is sent FlagTraced with the context prefixed to the op body,
+// so the server's engine span carries the client's span id. A zero tc — or a
+// pre-extension server — degrades to a plain request.
+func (c *Client) StartGetOrLoadTraced(ns string, key uint64, cost int64, tc wire.TraceCtx) (*Pending, error) {
 	cc, err := c.pick()
 	if err != nil {
 		return nil, err
 	}
-	p, err := cc.send(wire.OpGetOrLoad, ns, wire.AppendGetOrLoadReq(nil, key, cost))
+	var flags uint8
+	var payload []byte
+	if tc.SpanID != 0 && cc.feats&wire.FeatTrace != 0 {
+		flags = wire.FlagTraced
+		payload = wire.AppendTraceCtx(payload, tc)
+	}
+	payload = wire.AppendGetOrLoadReq(payload, key, cost)
+	p, err := cc.send(wire.OpGetOrLoad, flags, ns, payload)
 	if err != nil {
 		return nil, err
 	}

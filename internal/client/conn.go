@@ -26,6 +26,12 @@ type conn struct {
 	err     error
 
 	maxFrame int
+
+	// Dial-time negotiation results (immutable after dialConn returns):
+	// the server's feature bits and the estimated server-minus-client clock
+	// offset in ns, from the handshake ping's round-trip midpoint.
+	feats  uint8
+	offset int64
 }
 
 // response is one matched reply. payload is an owned copy: the read loop's
@@ -55,6 +61,31 @@ func dialConn(cfg Config) (*conn, error) {
 		maxFrame: cfg.MaxFrame,
 	}
 	go c.readLoop()
+	// Feature negotiation: one PING round trip per connection. A
+	// pre-extension server answers with an empty payload (no features); a
+	// current one advertises FeatTrace and its tracer clock, from which the
+	// client estimates this connection's clock offset as the server clock
+	// minus the ping round trip's midpoint on the client clock.
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	t0 := clock()
+	_, payload, err := c.roundTrip(wire.OpPing, 0, "", nil, cfg.Timeout)
+	t1 := clock()
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	feats, serverNow, ok, err := wire.ParsePingResp(payload)
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	if ok {
+		c.feats = feats
+		c.offset = serverNow - (t0+t1)/2
+	}
 	return c, nil
 }
 
@@ -119,7 +150,7 @@ type pendingReq struct {
 
 // send encodes and writes one request frame, registering a response slot.
 // The caller collects the response with pendingReq.wait.
-func (c *conn) send(op uint8, ns string, payload []byte) (*pendingReq, error) {
+func (c *conn) send(op, flags uint8, ns string, payload []byte) (*pendingReq, error) {
 	ch := make(chan response, 1)
 
 	c.wmu.Lock()
@@ -134,7 +165,7 @@ func (c *conn) send(op uint8, ns string, payload []byte) (*pendingReq, error) {
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
-	f := wire.Frame{Version: wire.Version, Op: op, ID: id, NS: ns, Payload: payload}
+	f := wire.Frame{Version: wire.Version, Op: op, Flags: flags, ID: id, NS: ns, Payload: payload}
 	c.wbuf = wire.AppendFrame(c.wbuf[:0], &f)
 	_, werr := c.nc.Write(c.wbuf)
 	c.wmu.Unlock()
@@ -166,8 +197,8 @@ func (p *pendingReq) wait(timeout time.Duration) (uint8, []byte, error) {
 }
 
 // roundTrip sends one request and blocks for its response.
-func (c *conn) roundTrip(op uint8, ns string, payload []byte, timeout time.Duration) (uint8, []byte, error) {
-	p, err := c.send(op, ns, payload)
+func (c *conn) roundTrip(op, flags uint8, ns string, payload []byte, timeout time.Duration) (uint8, []byte, error) {
+	p, err := c.send(op, flags, ns, payload)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -175,7 +206,7 @@ func (c *conn) roundTrip(op uint8, ns string, payload []byte, timeout time.Durat
 }
 
 func (c *conn) stats(ns string, timeout time.Duration) (wire.Stats, error) {
-	_, payload, err := c.roundTrip(wire.OpStats, ns, nil, timeout)
+	_, payload, err := c.roundTrip(wire.OpStats, 0, ns, nil, timeout)
 	if err != nil {
 		return wire.Stats{}, err
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 
+	"costcache/internal/obs"
 	"costcache/internal/replacement"
 	"costcache/internal/resilience"
 	"costcache/internal/wire"
@@ -26,6 +28,13 @@ type Ring struct {
 	clients []*Client
 	res     *resilience.Resilience
 	points  []ringPoint // sorted by hash
+
+	// Per-node routing-decision counters (client_failover{node="i"} /
+	// client_shed{node="i"}): failover counts requests routed away from node
+	// i because its breaker was open; shed counts requests refused outright
+	// because node i's successor was broken too.
+	failover []*obs.Counter
+	shed     []*obs.Counter
 }
 
 type ringPoint struct {
@@ -45,6 +54,11 @@ type RingConfig struct {
 	// are reported per node and an open breaker fails the node's keys over
 	// to its successor.
 	Resilience *resilience.Resilience
+	// Registry, when non-nil, receives the client_failover{node}/
+	// client_shed{node} routing-decision counters — use the registry the
+	// run's other client-side metrics live in so the serving tier's routing
+	// behavior lands next to them.
+	Registry *obs.Registry
 }
 
 // NewRing dials every node and builds the ring.
@@ -56,6 +70,12 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		cfg.VNodes = 64
 	}
 	r := &Ring{res: cfg.Resilience}
+	counter := func(name string, node int) *obs.Counter {
+		if cfg.Registry == nil {
+			return &obs.Counter{}
+		}
+		return cfg.Registry.Counter(obs.Name(name, "node", strconv.Itoa(node)))
+	}
 	for i, addr := range cfg.Addrs {
 		cc := cfg.Client
 		cc.Addr = addr
@@ -65,6 +85,8 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 			return nil, fmt.Errorf("client: ring node %d (%s): %w", i, addr, err)
 		}
 		r.clients = append(r.clients, cl)
+		r.failover = append(r.failover, counter("client_failover", i))
+		r.shed = append(r.shed, counter("client_shed", i))
 		for v := 0; v < cfg.VNodes; v++ {
 			r.points = append(r.points, ringPoint{hash: pointHash(addr, v), node: i})
 		}
@@ -131,8 +153,10 @@ func (r *Ring) route(key uint64) (int, error) {
 	}
 	next := r.successor(key, node)
 	if next == node || !r.res.Allow(replacement.Cost(next)) {
+		r.shed[node].Inc()
 		return -1, &Error{Code: 0, Msg: fmt.Sprintf("node %d breaker open, no healthy successor", node)}
 	}
+	r.failover[node].Inc()
 	return next, nil
 }
 
@@ -162,16 +186,96 @@ func (r *Ring) GetOrLoad(ns string, key uint64, cost int64) (Result, error) {
 // and the serving node. The caller must feed Wait's error back through
 // Report(node, err) so the node's breaker sees the outcome.
 func (r *Ring) StartGetOrLoad(ns string, key uint64, cost int64) (*Pending, int, error) {
+	return r.StartGetOrLoadTraced(ns, key, cost, wire.TraceCtx{})
+}
+
+// StartGetOrLoadTraced is StartGetOrLoad with a propagated trace context
+// (see Client.StartGetOrLoadTraced).
+func (r *Ring) StartGetOrLoadTraced(ns string, key uint64, cost int64, tc wire.TraceCtx) (*Pending, int, error) {
 	node, err := r.route(key)
 	if err != nil {
 		return nil, -1, err
 	}
-	p, err := r.clients[node].StartGetOrLoad(ns, key, cost)
+	p, err := r.clients[node].StartGetOrLoadTraced(ns, key, cost, tc)
 	if err != nil {
 		r.report(node, err)
 		return nil, node, err
 	}
 	return p, node, nil
+}
+
+// TraceSupported reports whether every node negotiated FeatTrace — the gate
+// for a remote run to rely on cluster-wide span stitching.
+func (r *Ring) TraceSupported() bool {
+	for _, c := range r.clients {
+		if !c.TraceSupported() {
+			return false
+		}
+	}
+	return true
+}
+
+// Offsets returns each node's estimated server-minus-client clock offset in
+// ns (see Client.Offset), indexed by ring node.
+func (r *Ring) Offsets() []int64 {
+	offs := make([]int64, len(r.clients))
+	for i, c := range r.clients {
+		offs[i] = c.Offset()
+	}
+	return offs
+}
+
+// Manifests fetches every node's manifest, indexed by ring node.
+func (r *Ring) Manifests() ([]wire.NodeManifest, error) {
+	ms := make([]wire.NodeManifest, len(r.clients))
+	for i, c := range r.clients {
+		m, err := c.Manifest()
+		if err != nil {
+			return nil, fmt.Errorf("client: ring node %d (%s): %w", i, c.Addr(), err)
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// RingDebug is the "ring" block of the /debug/engine document a remote run
+// serves: the routing topology plus per-node routing-decision counters.
+type RingDebug struct {
+	Nodes  int             `json:"nodes"`
+	VNodes int             `json:"vnodes"`
+	Rows   []RingDebugNode `json:"rows"`
+}
+
+// RingDebugNode is one node's ring row.
+type RingDebugNode struct {
+	Node     int    `json:"node"`
+	Addr     string `json:"addr"`
+	Points   int    `json:"points"`
+	Failover int64  `json:"failover"`
+	Shed     int64  `json:"shed"`
+	Trace    bool   `json:"trace"`
+	OffsetNs int64  `json:"offset_ns"`
+}
+
+// Debug snapshots the ring for the /debug/engine "ring" block.
+func (r *Ring) Debug() *RingDebug {
+	d := &RingDebug{Nodes: len(r.clients), VNodes: len(r.points) / len(r.clients)}
+	points := make([]int, len(r.clients))
+	for _, p := range r.points {
+		points[p.node]++
+	}
+	for i, c := range r.clients {
+		d.Rows = append(d.Rows, RingDebugNode{
+			Node:     i,
+			Addr:     c.Addr(),
+			Points:   points[i],
+			Failover: r.failover[i].Value(),
+			Shed:     r.shed[i].Value(),
+			Trace:    c.TraceSupported(),
+			OffsetNs: c.Offset(),
+		})
+	}
+	return d
 }
 
 // Report feeds a two-phase request's final outcome to node's breaker (a

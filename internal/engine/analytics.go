@@ -168,6 +168,10 @@ type debugPayload struct {
 	// Resilience appears when Config.Resilience is set: the degraded-mode
 	// counters and every cost-class breaker's live state.
 	Resilience *ResilienceDebug `json:"resilience,omitempty"`
+	// Ring appears on remote runs routing through a client.Ring: the ring
+	// topology and per-node failover/shed rows (client.RingDebug — typed as
+	// any here because the engine must not depend on the client package).
+	Ring any `json:"ring,omitempty"`
 }
 
 // ResilienceDebug is the /debug/engine "resilience" block: the engine's
@@ -206,26 +210,38 @@ func (e *Engine) ResilienceDebugSnapshot() *ResilienceDebug {
 // one. tr may be nil (attribution and keyspace are then omitted); hotFactor
 // is the hot-shard threshold (0 means DefaultHotShareFactor).
 func DebugHandler(e *Engine, tr *reqspan.Tracer, hotFactor float64) http.Handler {
+	return DebugHandlerRing(e, tr, hotFactor, nil)
+}
+
+// DebugHandlerRing is DebugHandler plus a "ring" block: ring, when non-nil,
+// is snapshotted per request (a remote run passes client.(*Ring).Debug). e
+// may be nil — a remote run has no in-process engine, so the payload carries
+// only the tracer and ring blocks.
+func DebugHandlerRing(e *Engine, tr *reqspan.Tracer, hotFactor float64, ring func() any) http.Handler {
 	st := &debugState{at: time.Now()}
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		cur := e.ShardStats()
-		now := time.Now()
-		st.mu.Lock()
-		prev, at := st.prev, st.at
-		st.prev, st.at = cur, now
-		st.mu.Unlock()
+		var p debugPayload
+		if e != nil {
+			cur := e.ShardStats()
+			now := time.Now()
+			st.mu.Lock()
+			prev, at := st.prev, st.at
+			st.prev, st.at = cur, now
+			st.mu.Unlock()
 
-		p := debugPayload{
-			Stats:      e.Stats(),
-			Window:     Analyze(cur, prev, now.Sub(at).Nanoseconds(), hotFactor),
-			Cumulative: cur,
+			p.Stats = e.Stats()
+			p.Window = Analyze(cur, prev, now.Sub(at).Nanoseconds(), hotFactor)
+			p.Cumulative = cur
+			p.Resilience = e.ResilienceDebugSnapshot()
 		}
 		if tr != nil {
 			a := tr.Attribution()
 			k := tr.Keyspace(16)
 			p.Attribution, p.Keyspace = &a, &k
 		}
-		p.Resilience = e.ResilienceDebugSnapshot()
+		if ring != nil {
+			p.Ring = ring()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -221,6 +221,12 @@ func (e *Engine) Capacity() int {
 func (e *Engine) Get(key uint64) (any, bool) {
 	s, set := e.place(key)
 	sp := e.tracer.Begin(reqspan.OpGet, s.id, key)
+	return e.doGet(s, set, key, sp)
+}
+
+// doGet is Get's body after placement and span lease — shared by Get and
+// GetTraced so the local and remote-bound paths stay byte-identical.
+func (e *Engine) doGet(s *shard, set int, key uint64, sp *reqspan.Span) (any, bool) {
 	s.lock()
 	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {
@@ -247,6 +253,12 @@ func (e *Engine) Get(key uint64) (any, bool) {
 func (e *Engine) Set(key uint64, value any, cost replacement.Cost) {
 	s, set := e.place(key)
 	sp := e.tracer.Begin(reqspan.OpSet, s.id, key)
+	e.doSet(s, set, key, value, cost, sp)
+}
+
+// doSet is Set's body after placement and span lease — shared by Set and
+// SetTraced.
+func (e *Engine) doSet(s *shard, set int, key uint64, value any, cost replacement.Cost, sp *reqspan.Span) {
 	s.lock()
 	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {

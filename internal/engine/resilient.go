@@ -55,6 +55,13 @@ func (e *Engine) GetOrLoadStale(key uint64, load Loader) (value any, stale bool,
 func (e *Engine) GetOrLoadInfo(key uint64, load Loader) (value any, info LoadInfo, err error) {
 	s, set := e.place(key)
 	sp := e.tracer.Begin(reqspan.OpGetOrLoad, s.id, key)
+	return e.doGetOrLoad(s, set, key, load, sp)
+}
+
+// doGetOrLoad is GetOrLoadInfo's body after placement and span lease —
+// shared by GetOrLoadInfo and GetOrLoadInfoTraced so the local and
+// remote-bound paths stay byte-identical.
+func (e *Engine) doGetOrLoad(s *shard, set int, key uint64, load Loader, sp *reqspan.Span) (value any, info LoadInfo, err error) {
 	s.lock()
 	sp.Mark(reqspan.StageLockWait)
 	if w := s.find(set, key); w >= 0 {

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"costcache/internal/obs/reqspan"
+	"costcache/internal/replacement"
+)
+
+// Traced entry points: the serving tier's remote-bound variants of
+// Get/Set/GetOrLoadInfo. Each is its local twin with one substitution —
+// the span is leased through reqspan.Tracer.BeginRemote with the trace
+// context a client propagated on the wire, so the server's span carries
+// the client's span id (the report -stitch join key) and honors the
+// client's sampling decision instead of the server's stride. The bodies
+// are shared (doGet/doSet/doGetOrLoad), so the decision path, counter
+// stream, and stage segmentation stay byte-identical with local calls.
+
+// GetTraced is Get with a propagated trace context.
+func (e *Engine) GetTraced(key uint64, rm reqspan.Remote) (any, bool) {
+	s, set := e.place(key)
+	sp := e.tracer.BeginRemote(reqspan.OpGet, s.id, key, rm)
+	return e.doGet(s, set, key, sp)
+}
+
+// SetTraced is Set with a propagated trace context.
+func (e *Engine) SetTraced(key uint64, value any, cost replacement.Cost, rm reqspan.Remote) {
+	s, set := e.place(key)
+	sp := e.tracer.BeginRemote(reqspan.OpSet, s.id, key, rm)
+	e.doSet(s, set, key, value, cost, sp)
+}
+
+// GetOrLoadInfoTraced is GetOrLoadInfo with a propagated trace context.
+func (e *Engine) GetOrLoadInfoTraced(key uint64, load Loader, rm reqspan.Remote) (any, LoadInfo, error) {
+	s, set := e.place(key)
+	sp := e.tracer.BeginRemote(reqspan.OpGetOrLoad, s.id, key, rm)
+	return e.doGetOrLoad(s, set, key, load, sp)
+}

@@ -1,6 +1,8 @@
 package loadgen
 
 import (
+	"sync/atomic"
+
 	"costcache/internal/client"
 	"costcache/internal/engine"
 	"costcache/internal/obs/reqspan"
@@ -24,6 +26,18 @@ type RemoteTarget struct {
 	ring   *client.Ring
 	ns     string
 	tracer *reqspan.Tracer
+
+	// Client-observed outcome totals, the reconciliation side the cluster
+	// manifest's summed per-node engine counters must match bit-for-bit.
+	// unaccounted counts requests the servers' engines never completed for
+	// us (transport errors, timeouts, sheds) — reconciliation is only exact
+	// when it is zero, so the checker downgrades to advisory otherwise.
+	ops         atomic.Uint64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	coalesced   atomic.Int64
+	costPaid    atomic.Int64
+	unaccounted atomic.Int64
 }
 
 // NewRemoteTarget builds a remote target over ring, issuing every request
@@ -38,9 +52,14 @@ func (t *RemoteTarget) GetOrLoad(key uint64, c replacement.Cost, _ engine.Loader
 	// The span's shard slot carries the ring node, so hot-shard analytics
 	// become hot-node analytics on remote runs.
 	sp := t.tracer.Begin(reqspan.OpGetOrLoad, t.ring.Pick(key), key)
-	p, node, err := t.ring.StartGetOrLoad(t.ns, key, int64(c))
+	// Propagate the span identity (and its sampling decision) on the wire,
+	// so the serving node emits its half of this request under the same id.
+	id, emit := sp.TraceCtx()
+	tc := wire.TraceCtx{SpanID: id, Op: t.ops.Add(1), Emit: emit}
+	p, node, err := t.ring.StartGetOrLoadTraced(t.ns, key, int64(c), tc)
 	sp.Mark(reqspan.StageNetWrite)
 	if err != nil {
+		t.unaccounted.Add(1)
 		t.tracer.Finish(sp, reqspan.OutcomeError)
 		return false, err
 	}
@@ -48,20 +67,50 @@ func (t *RemoteTarget) GetOrLoad(key uint64, c replacement.Cost, _ engine.Loader
 	sp.Mark(reqspan.StageNetRead)
 	t.ring.Report(node, err)
 	if err != nil {
+		t.unaccounted.Add(1)
 		t.tracer.Finish(sp, reqspan.OutcomeError)
 		return false, err
 	}
 	sp.AddCost(res.Charged)
+	t.costPaid.Add(res.Charged)
 	switch {
 	case res.Hit:
+		t.hits.Add(1)
 		t.tracer.Finish(sp, reqspan.OutcomeHit)
 	case res.Coalesced:
+		t.coalesced.Add(1)
 		t.tracer.Finish(sp, reqspan.OutcomeCoalesced)
 	default:
+		t.misses.Add(1)
 		t.tracer.Finish(sp, reqspan.OutcomeMiss)
 	}
 	return res.Stale, nil
 }
+
+// Observed is the client's own account of a remote run: what this process
+// saw come back over the wire, counted per response.
+type Observed struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	CostPaid    int64 `json:"cost_paid"`
+	Unaccounted int64 `json:"unaccounted"`
+}
+
+// Observed returns the client-observed totals accumulated so far.
+func (t *RemoteTarget) Observed() Observed {
+	return Observed{
+		Hits:        t.hits.Load(),
+		Misses:      t.misses.Load(),
+		Coalesced:   t.coalesced.Load(),
+		CostPaid:    t.costPaid.Load(),
+		Unaccounted: t.unaccounted.Load(),
+	}
+}
+
+// Ring exposes the ring the target routes through (for manifests, offsets
+// and the /debug/engine ring block).
+func (t *RemoteTarget) Ring() *client.Ring { return t.ring }
 
 // Stats implements Target: the ring-wide sum of every node's engine
 // counters for the namespace, mapped into the engine.Stats shape the

@@ -64,14 +64,16 @@ func ValidateChromeTrace(data []byte) (events, spans int, err error) {
 // Simulator miss lines carry node/class; engine request lines are marked
 // "kind":"req" and carry shard/outcome instead.
 type spanLine struct {
-	ID      *uint64 `json:"id"`
-	Kind    string  `json:"kind"`
-	Node    *int    `json:"node"`
-	Class   string  `json:"class"`
-	Shard   *int    `json:"shard"`
-	Outcome string  `json:"outcome"`
-	Start   *int64  `json:"start"`
-	End     *int64  `json:"end"`
+	ID   *uint64 `json:"id"`
+	Kind string  `json:"kind"`
+	// Node is a simulator node index on miss lines and a serving-tier node
+	// name (a string) on server-side request lines; any admits both.
+	Node    any    `json:"node"`
+	Class   string `json:"class"`
+	Shard   *int   `json:"shard"`
+	Outcome string `json:"outcome"`
+	Start   *int64 `json:"start"`
+	End     *int64 `json:"end"`
 	Stages  []struct {
 		Stage string `json:"stage"`
 		Start *int64 `json:"start"`

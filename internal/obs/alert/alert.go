@@ -446,3 +446,32 @@ func DefaultRules(d Defaults) []Rule {
 		},
 	}
 }
+
+// FleetRules returns the fleet-level rule set a federated store
+// (internal/obs/federate) evaluates over its per-node fed_* rollups:
+//
+//	node-outlier-hit-rate  one node's miss ratio diverging from the rest —
+//	                       max − min of per-node miss ratios above 0.15
+//	ring-hot-node          one node drawing ≥2× its uniform share of lookups
+//
+// Both are static single-window rules with For = 0, so under a simulated
+// clock a persistent condition fires exactly once — the determinism the CI
+// cluster smoke pins byte-for-byte.
+func FleetRules(window time.Duration) []Rule {
+	return []Rule{
+		{
+			Name:      "node-outlier-hit-rate",
+			Query:     tsdb.Query{Kind: tsdb.SpreadRatio, Num: []string{"fed_misses"}, Den: []string{"fed_lookups"}},
+			Op:        Above,
+			Threshold: 0.15,
+			Window:    window,
+		},
+		{
+			Name:      "ring-hot-node",
+			Query:     tsdb.Query{Kind: tsdb.Skew, Num: []string{"fed_lookups"}},
+			Op:        Above,
+			Threshold: 2.0,
+			Window:    window,
+		},
+	}
+}

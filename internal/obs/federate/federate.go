@@ -1,0 +1,381 @@
+// Package federate is the cluster half of the observability substrate: a
+// scraper that polls every serving node's observability endpoint, mirrors
+// the per-node metric series into one node-labeled federated registry and
+// time-series store, derives cluster-level signals (global hit rate, cost
+// per access, per-node skew, ring imbalance) and evaluates fleet-level
+// alert rules (alert.FleetRules) over the merged store.
+//
+// Mirroring preserves base metric names — engine_hits{shard="0"} scraped
+// from node 1 becomes engine_hits{node="1",shard="0"} — so every standard
+// signal (tsdb.StandardSignals) evaluates cluster-globally on the federated
+// store without modification: label variants of a base name aggregate in
+// queries, and the node label only matters to the queries that group by it.
+// On top of the mirrors, per-node rollups are derived at scrape time:
+//
+//	fed_lookups{node}       engine_hits + engine_misses
+//	fed_hits{node}          engine_hits
+//	fed_misses{node}        engine_misses
+//	fed_coalesced{node}     engine_coalesced
+//	fed_cost_paid{node}     engine_cost_paid
+//	fed_shed{node}          engine_shed + server_shed
+//	fed_breaker_opens{node} engine_breaker_opened
+//	fed_scrapes{node}       successful scrapes of the node
+//	fed_scrape_errors{node} failed scrapes of the node
+//
+// One label block per node is what lets Skew and SpreadRatio queries treat
+// nodes as groups — the per-shard mirrors would otherwise split every node
+// into shard-grained groups.
+//
+// Determinism: ScrapeOnce takes an explicit timestamp (like tsdb.Sample)
+// and orders one scrape as fetch → create missing mirror counters (at
+// zero) → Sample → apply fetched values → Eval. Creating before sampling
+// pins every series' discovery baseline at zero, and applying after
+// sampling lands each fetch's values wholly in the next sampled bucket —
+// so a fixed workload scraped under a simulated clock produces
+// byte-identical alert JSONL on every rerun, the property the CI cluster
+// smoke pins.
+package federate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/alert"
+	"costcache/internal/obs/tsdb"
+)
+
+// Config describes a Federator.
+type Config struct {
+	// Nodes are the per-node observability addresses ("host:port" or full
+	// "http://host:port" base URLs) — the listeners serving /metrics,
+	// /debug/engine and /debug/alerts. At least one. Node i is labeled
+	// node="i" in the federated store, matching the ring's node indexing
+	// when the list is in ring order.
+	Nodes []string
+	// Step is the federated store's finest resolution step (0 = 1s).
+	Step time.Duration
+	// Rules are the fleet alert rules (nil = alert.FleetRules(2×Step... see
+	// DefaultRuleWindow)). Pass an explicit empty slice for no rules.
+	Rules []Rule
+	// Timeout bounds each per-node HTTP fetch (0 = 2s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (nil = one built from Timeout).
+	Client *http.Client
+}
+
+// Rule aliases alert.Rule so callers configuring a Federator do not need to
+// import the alert package for the common case.
+type Rule = alert.Rule
+
+// DefaultRuleWindow returns the fleet rules' evaluation window for a scrape
+// step: two steps, the shortest fully coverable window that still tolerates
+// one missed scrape.
+func DefaultRuleWindow(step time.Duration) time.Duration { return 2 * step }
+
+// nodeState is one node's scrape bookkeeping.
+type nodeState struct {
+	addr string // base URL
+	name string // node label value (the ring index)
+
+	scrapes    *obs.Counter
+	scrapeErrs *obs.Counter
+
+	mu      sync.Mutex
+	up      bool
+	lastErr string
+	engine  json.RawMessage // last /debug/engine document
+	alerts  json.RawMessage // last /debug/alerts document
+	series  json.RawMessage // last /debug/timeseries document
+	totals  nodeTotals
+}
+
+// nodeTotals are the node's summed engine counters as of the last scrape.
+type nodeTotals struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	CostPaid  int64 `json:"cost_paid"`
+	Shed      int64 `json:"shed"`
+}
+
+// Federator owns the federated registry, store and fleet alert engine, and
+// scrapes a fixed node set into them.
+type Federator struct {
+	nodes  []*nodeState
+	reg    *obs.Registry
+	store  *tsdb.Store
+	alerts *alert.Engine
+	client *http.Client
+
+	mu       sync.Mutex
+	mirrors  map[string]*obs.Counter // federated name → mirror counter
+	pending  []apply                 // values fetched this scrape, applied post-Sample
+	lastTime time.Time
+}
+
+// apply is one deferred counter assignment.
+type apply struct {
+	c *obs.Counter
+	v int64
+}
+
+// New validates cfg and builds a Federator (no scraping yet).
+func New(cfg Config) (*Federator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("federate: at least one node required")
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = alert.FleetRules(DefaultRuleWindow(cfg.Step))
+	}
+	f := &Federator{
+		reg:     obs.NewRegistry(),
+		client:  cfg.Client,
+		mirrors: make(map[string]*obs.Counter),
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	f.store = tsdb.New(tsdb.Config{Registry: f.reg, Resolutions: tsdb.Resolutions(cfg.Step)})
+	f.alerts = alert.New(f.store, cfg.Rules)
+	for i, addr := range cfg.Nodes {
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		name := strconv.Itoa(i)
+		f.nodes = append(f.nodes, &nodeState{
+			addr:       strings.TrimRight(addr, "/"),
+			name:       name,
+			scrapes:    f.reg.Counter(obs.Name("fed_scrapes", "node", name)),
+			scrapeErrs: f.reg.Counter(obs.Name("fed_scrape_errors", "node", name)),
+		})
+	}
+	return f, nil
+}
+
+// Registry returns the federated registry (mirrors + fed_* rollups).
+func (f *Federator) Registry() *obs.Registry { return f.reg }
+
+// Store returns the federated time-series store.
+func (f *Federator) Store() *tsdb.Store { return f.store }
+
+// Alerts returns the fleet alert engine.
+func (f *Federator) Alerts() *alert.Engine { return f.alerts }
+
+// LastTime returns the timestamp of the last ScrapeOnce.
+func (f *Federator) LastTime() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastTime
+}
+
+// ScrapeOnce performs one federation round at the given timestamp: fetch
+// every node, mirror new series (at zero), sample the store, apply the
+// fetched values, evaluate the fleet rules. Per-node fetch failures are
+// recorded (fed_scrape_errors{node}) without failing the round — a down
+// node's mirrors simply stop moving. The returned error is reserved for
+// future whole-round failures; it is currently always nil.
+func (f *Federator) ScrapeOnce(now time.Time) error {
+	for _, n := range f.nodes {
+		f.scrapeNode(n)
+	}
+	f.mu.Lock()
+	pending := f.pending
+	f.pending = nil
+	f.lastTime = now
+	f.mu.Unlock()
+	f.store.Sample(now)
+	for _, a := range pending {
+		a.c.Add(a.v - a.c.Value())
+	}
+	f.alerts.Eval(now)
+	return nil
+}
+
+// Start drives ScrapeOnce on a wall-clock ticker until stop is closed.
+// Deterministic harnesses skip Start and call ScrapeOnce themselves.
+func (f *Federator) Start(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			f.ScrapeOnce(now)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// scrapeNode fetches one node's /metrics (the series source) plus its
+// /debug/engine, /debug/alerts and /debug/timeseries documents, queueing
+// mirror updates for the post-Sample apply phase.
+func (f *Federator) scrapeNode(n *nodeState) {
+	text, err := f.fetch(n.addr + "/metrics")
+	if err != nil {
+		n.scrapeErrs.Inc()
+		n.mu.Lock()
+		n.up, n.lastErr = false, err.Error()
+		n.mu.Unlock()
+		return
+	}
+	parsed, totals := parseMetrics(string(text))
+	f.mu.Lock()
+	for _, kv := range parsed {
+		name := federatedName(kv.name, n.name)
+		c, ok := f.mirrors[name]
+		if !ok {
+			c = f.reg.Counter(name)
+			f.mirrors[name] = c
+		}
+		f.pending = append(f.pending, apply{c, kv.value})
+	}
+	for _, r := range [...]struct {
+		base string
+		v    int64
+	}{
+		{"fed_lookups", totals.hits + totals.misses},
+		{"fed_hits", totals.hits},
+		{"fed_misses", totals.misses},
+		{"fed_coalesced", totals.coalesced},
+		{"fed_cost_paid", totals.costPaid},
+		{"fed_shed", totals.engineShed + totals.serverShed},
+		{"fed_breaker_opens", totals.breakerOpens},
+	} {
+		name := obs.Name(r.base, "node", n.name)
+		c, ok := f.mirrors[name]
+		if !ok {
+			c = f.reg.Counter(name)
+			f.mirrors[name] = c
+		}
+		f.pending = append(f.pending, apply{c, r.v})
+	}
+	f.mu.Unlock()
+	n.scrapes.Inc()
+
+	// The debug documents are payload passthroughs, not series sources:
+	// fetch failures leave the previous document in place.
+	engine, _ := f.fetch(n.addr + "/debug/engine")
+	alerts, _ := f.fetch(n.addr + "/debug/alerts")
+	series, _ := f.fetch(n.addr + "/debug/timeseries?n=1")
+	n.mu.Lock()
+	n.up, n.lastErr = true, ""
+	if engine != nil {
+		n.engine = engine
+	}
+	if alerts != nil {
+		n.alerts = alerts
+	}
+	if series != nil {
+		n.series = series
+	}
+	n.totals = nodeTotals{
+		Hits:      totals.hits,
+		Misses:    totals.misses,
+		Coalesced: totals.coalesced,
+		CostPaid:  totals.costPaid,
+		Shed:      totals.engineShed + totals.serverShed,
+	}
+	n.mu.Unlock()
+}
+
+func (f *Federator) fetch(url string) ([]byte, error) {
+	resp, err := f.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federate: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// metricKV is one parsed exposition line.
+type metricKV struct {
+	name  string
+	value int64
+}
+
+// scrapeTotals accumulates the engine/server counter sums the fed_* rollups
+// derive from.
+type scrapeTotals struct {
+	hits, misses, coalesced int64
+	costPaid                int64
+	engineShed, serverShed  int64
+	breakerOpens            int64
+}
+
+// parseMetrics parses the plain-text exposition format obs.WriteText emits:
+// one "name value" line per instrument, histogram bucket lines optionally
+// suffixed with a "# {...}" exemplar. Histogram bucket series are skipped
+// (windowed quantiles do not survive cumulative re-bucketing across a
+// scrape boundary); counter and gauge lines mirror as-is.
+func parseMetrics(text string) ([]metricKV, scrapeTotals) {
+	var out []metricKV
+	var t scrapeTotals
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimRight(line[:i], " ")
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		name, vs := line[:sp], line[sp+1:]
+		v, err := strconv.ParseInt(vs, 10, 64)
+		if err != nil {
+			continue
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if strings.HasSuffix(base, "_bucket") {
+			continue
+		}
+		out = append(out, metricKV{name, v})
+		switch base {
+		case "engine_hits":
+			t.hits += v
+		case "engine_misses":
+			t.misses += v
+		case "engine_coalesced":
+			t.coalesced += v
+		case "engine_cost_paid":
+			t.costPaid += v
+		case "engine_shed":
+			t.engineShed += v
+		case "server_shed":
+			t.serverShed += v
+		case "engine_breaker_opened":
+			t.breakerOpens += v
+		}
+	}
+	return out, t
+}
+
+// federatedName injects the node label into a scraped metric name:
+// engine_hits{shard="0"} from node 1 → engine_hits{node="1",shard="0"},
+// server_shed → server_shed{node="1"}.
+func federatedName(name, node string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + `{node="` + node + `",` + name[i+1:]
+	}
+	return name + `{node="` + node + `"}`
+}

@@ -1,0 +1,155 @@
+package federate
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"costcache/internal/obs"
+)
+
+// fakeNode serves a minimal node observability surface: a real registry's
+// /metrics plus empty debug documents.
+func fakeNode(t *testing.T, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(obs.Handler(reg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// seed populates one node's engine counters: lookups split into hits/misses
+// across two shards, so mirrors carry labels and rollups sum variants.
+func seed(reg *obs.Registry, hits, misses int64) {
+	reg.Counter(obs.Name("engine_hits", "shard", "0")).Add(hits / 2)
+	reg.Counter(obs.Name("engine_hits", "shard", "1")).Add(hits - hits/2)
+	reg.Counter(obs.Name("engine_misses", "shard", "0")).Add(misses)
+	reg.Counter("engine_cost_paid").Add(misses * 8)
+}
+
+func TestFederateMirrorsAndRollups(t *testing.T) {
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	seed(regA, 90, 10)
+	seed(regB, 50, 50)
+	a, b := fakeNode(t, regA), fakeNode(t, regB)
+
+	f, err := New(Config{Nodes: []string{a.URL, b.URL}, Step: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	// Scrape 1 discovers every mirror at zero; scrape 2 lands the full
+	// cumulative values as one bucket's deltas.
+	f.ScrapeOnce(base.Add(1 * time.Second))
+	f.ScrapeOnce(base.Add(2 * time.Second))
+
+	var text bytes.Buffer
+	f.Registry().WriteText(&text)
+	for _, want := range []string{
+		`engine_hits{node="0",shard="0"} 45`,
+		`engine_hits{node="1",shard="1"} 25`,
+		`fed_lookups{node="0"} 100`,
+		`fed_lookups{node="1"} 100`,
+		`fed_misses{node="1"} 50`,
+		`fed_scrapes{node="0"} 2`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("federated exposition missing %q", want)
+		}
+	}
+
+	st := f.Status(0)
+	if len(st.Nodes) != 2 || !st.Nodes[0].Up || !st.Nodes[1].Up {
+		t.Fatalf("node status: %+v", st.Nodes)
+	}
+	if st.Nodes[0].HitRate != 0.9 || st.Nodes[1].HitRate != 0.5 {
+		t.Fatalf("hit rates: %v %v", st.Nodes[0].HitRate, st.Nodes[1].HitRate)
+	}
+	if st.Cluster.HitRate != 0.7 {
+		t.Fatalf("cluster hit rate %v, want 0.7", st.Cluster.HitRate)
+	}
+	// Miss ratios 0.1 vs 0.5: the spread (0.4) breaches the node-outlier
+	// threshold (0.15) and, with For=0, the rule must be firing.
+	if st.Cluster.MissSpread != 0.4 {
+		t.Fatalf("miss spread %v, want 0.4", st.Cluster.MissSpread)
+	}
+	firing := false
+	for _, r := range st.Rules {
+		if r.Rule == "node-outlier-hit-rate" && r.State == "firing" {
+			firing = true
+		}
+	}
+	if !firing {
+		t.Fatalf("node-outlier-hit-rate not firing: %+v", st.Rules)
+	}
+}
+
+// TestFederateDeterministicAlertJSONL: the same workload scraped under the
+// same simulated clock must stream byte-identical alert transitions.
+func TestFederateDeterministicAlertJSONL(t *testing.T) {
+	run := func() string {
+		regA, regB := obs.NewRegistry(), obs.NewRegistry()
+		seed(regA, 95, 5)
+		seed(regB, 20, 80)
+		a, b := fakeNode(t, regA), fakeNode(t, regB)
+		f, err := New(Config{Nodes: []string{a.URL, b.URL}, Step: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl bytes.Buffer
+		f.Alerts().SetSink(&jsonl)
+		base := time.Unix(0, 0)
+		for i := 1; i <= 5; i++ {
+			f.ScrapeOnce(base.Add(time.Duration(i) * time.Second))
+		}
+		return jsonl.String()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("alert JSONL not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(first, `"rule":"node-outlier-hit-rate","from":"pending","to":"firing"`) {
+		t.Fatalf("expected one firing transition, got:\n%s", first)
+	}
+	// Exactly once: a persistent condition under For=0 transitions
+	// inactive→pending→firing a single time and then stays firing.
+	if strings.Count(first, `"to":"firing"`) != 1 {
+		t.Fatalf("node-outlier fired more than once:\n%s", first)
+	}
+}
+
+func TestFederateDownNode(t *testing.T) {
+	reg := obs.NewRegistry()
+	seed(reg, 10, 10)
+	a := fakeNode(t, reg)
+	f, err := New(Config{Nodes: []string{a.URL, "http://127.0.0.1:1"}, Step: time.Second, Timeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeOnce(time.Unix(1, 0))
+	st := f.Status(0)
+	if !st.Nodes[0].Up || st.Nodes[1].Up {
+		t.Fatalf("up flags: %+v %+v", st.Nodes[0].Up, st.Nodes[1].Up)
+	}
+	if st.Nodes[1].Err == "" {
+		t.Fatal("down node should carry an error")
+	}
+	var text bytes.Buffer
+	f.Registry().WriteText(&text)
+	if !strings.Contains(text.String(), `fed_scrape_errors{node="1"} 1`) {
+		t.Fatalf("missing scrape error counter:\n%s", text.String())
+	}
+}
+
+func TestFederatedName(t *testing.T) {
+	cases := [][3]string{
+		{`engine_hits{shard="0"}`, "1", `engine_hits{node="1",shard="0"}`},
+		{`server_shed`, "0", `server_shed{node="0"}`},
+	}
+	for _, c := range cases {
+		if got := federatedName(c[0], c[1]); got != c[2] {
+			t.Errorf("federatedName(%q,%q) = %q, want %q", c[0], c[1], got, c[2])
+		}
+	}
+}

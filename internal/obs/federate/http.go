@@ -1,0 +1,142 @@
+package federate
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"costcache/internal/obs"
+	"costcache/internal/obs/alert"
+	"costcache/internal/obs/tsdb"
+)
+
+// NodeStatus is one node's row in the /debug/federate document.
+type NodeStatus struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	Err  string `json:"err,omitempty"`
+	// Totals are the node's summed engine counters as of the last scrape.
+	Totals nodeTotals `json:"totals"`
+	// Share is the node's fraction of cluster lookups (0 when idle).
+	Share float64 `json:"share"`
+	// HitRate is hits / (hits + misses) cumulatively (0 when idle).
+	HitRate float64 `json:"hit_rate"`
+	// Engine, Alerts and Timeseries are the node's own debug documents,
+	// passed through verbatim from the last successful fetch.
+	Engine     json.RawMessage `json:"engine,omitempty"`
+	Alerts     json.RawMessage `json:"alerts,omitempty"`
+	Timeseries json.RawMessage `json:"timeseries,omitempty"`
+}
+
+// ClusterSignals are the derived cluster-level values in /debug/federate,
+// evaluated over the federated store's most recent fully covered window.
+type ClusterSignals struct {
+	// HitRate is the global windowed hit rate across every node.
+	HitRate float64 `json:"hit_rate"`
+	// CostPerAccess is the global windowed miss cost per lookup.
+	CostPerAccess float64 `json:"cost_per_access"`
+	// NodeSkew is the hottest node's lookup share over its uniform share
+	// (1 balanced, ≥2 hot) — the ring-imbalance signal.
+	NodeSkew float64 `json:"node_skew"`
+	// MissSpread is max − min of per-node miss ratios — the node-outlier
+	// signal.
+	MissSpread float64 `json:"miss_spread"`
+}
+
+// ClusterStatus is the /debug/federate response document.
+type ClusterStatus struct {
+	// Scrapes is the federated store's sample count.
+	Scrapes int64 `json:"scrapes"`
+	// LastUnixMS is the timestamp of the last scrape.
+	LastUnixMS int64 `json:"last_unix_ms"`
+	// Cluster carries the derived cluster signals.
+	Cluster ClusterSignals `json:"cluster"`
+	// Nodes carries one row per scraped node, in configuration order.
+	Nodes []NodeStatus `json:"nodes"`
+	// Rules are the fleet alert rules' current standings.
+	Rules []alert.Summary `json:"rules"`
+}
+
+// Status assembles the /debug/federate document. window selects the
+// cluster-signal evaluation window (0 = the fleet rules' default).
+func (f *Federator) Status(window time.Duration) ClusterStatus {
+	if window <= 0 {
+		window = DefaultRuleWindow(f.store.ResolutionAt(0).Step)
+	}
+	now := f.LastTime()
+	st := ClusterStatus{Scrapes: f.store.Samples()}
+	if !now.IsZero() {
+		st.LastUnixMS = now.UnixNano() / int64(time.Millisecond)
+		st.Rules = f.alerts.Summaries(now)
+	}
+	value := func(q tsdb.Query) float64 {
+		v, _, _ := f.store.Value(q, 0, window)
+		return v
+	}
+	st.Cluster = ClusterSignals{
+		HitRate:       value(tsdb.Query{Kind: tsdb.Ratio, Num: []string{"fed_hits"}, Den: []string{"fed_lookups"}}),
+		CostPerAccess: value(tsdb.Query{Kind: tsdb.Ratio, Num: []string{"fed_cost_paid"}, Den: []string{"fed_lookups"}}),
+		NodeSkew:      value(tsdb.Query{Kind: tsdb.Skew, Num: []string{"fed_lookups"}}),
+		MissSpread:    value(tsdb.Query{Kind: tsdb.SpreadRatio, Num: []string{"fed_misses"}, Den: []string{"fed_lookups"}}),
+	}
+	var lookups int64
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		lookups += n.totals.Hits + n.totals.Misses
+		n.mu.Unlock()
+	}
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		row := NodeStatus{
+			Node:       n.name,
+			Addr:       n.addr,
+			Up:         n.up,
+			Err:        n.lastErr,
+			Totals:     n.totals,
+			Engine:     n.engine,
+			Alerts:     n.alerts,
+			Timeseries: n.series,
+		}
+		if l := n.totals.Hits + n.totals.Misses; l > 0 {
+			row.HitRate = float64(n.totals.Hits) / float64(l)
+			if lookups > 0 {
+				row.Share = float64(l) / float64(lookups)
+			}
+		}
+		n.mu.Unlock()
+		st.Nodes = append(st.Nodes, row)
+	}
+	return st
+}
+
+// Handler serves the /debug/federate document as JSON.
+func (f *Federator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f.Status(0))
+	})
+}
+
+// Mux returns the federator's full observability surface:
+//
+//	/metrics           the federated registry (mirrors + fed_* rollups)
+//	/debug/timeseries  standard signals over the federated store
+//	/debug/alerts      the fleet alert engine
+//	/debug/federate    per-node rows + cluster rollups (this package)
+func (f *Federator) Mux() *obs.Mux {
+	m := obs.NewMux(f.reg)
+	m.Handle("/debug/timeseries", "federated cluster time-series signals (JSON)", tsdb.Handler(f.store))
+	m.Handle("/debug/alerts", "fleet alert rules and transitions (JSON)", alert.Handler(f.alerts, f.LastTime))
+	m.Handle("/debug/federate", "per-node status and cluster rollups (JSON)", f.Handler())
+	return m
+}
+
+// Serve starts the federated observability surface on addr with the standard
+// lifecycle (obs.ServeHandler): the returned server exposes the bound
+// address and a graceful Close.
+func Serve(addr string, f *Federator) (*obs.Server, error) {
+	return obs.ServeHandler(addr, f.Mux())
+}

@@ -52,12 +52,21 @@ func NewMux(r *Registry) *Mux {
 }
 
 // Handle mounts h at path and records it (with a one-line description) in
-// the root index.
+// the root index. Mounting the same path twice is a no-op keeping the first
+// handler and description — the index lists every path exactly once, in one
+// canonical (sorted) order, so pollers and CI greps over the index are
+// deterministic regardless of mount order or repetition.
 func (m *Mux) Handle(path, desc string, h http.Handler) {
-	m.mux.Handle(path, h)
 	m.mu.Lock()
+	for _, e := range m.endpoints {
+		if e.path == path {
+			m.mu.Unlock()
+			return
+		}
+	}
 	m.endpoints = append(m.endpoints, endpoint{path, desc})
 	m.mu.Unlock()
+	m.mux.Handle(path, h)
 }
 
 // ServeHTTP implements http.Handler.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -78,5 +79,51 @@ func TestMuxIndex(t *testing.T) {
 	}
 	if code, _ := get("/no-such-endpoint"); code != http.StatusNotFound {
 		t.Errorf("unknown path returned %d, want 404", code)
+	}
+}
+
+// TestMuxIndexCanonical pins the index contract pollers and CI greps rely
+// on: each path listed exactly once (duplicate mounts are no-ops) in sorted
+// order, regardless of mount order.
+func TestMuxIndexCanonical(t *testing.T) {
+	mux := NewMux(NewRegistry())
+	mux.Handle("/debug/federate", "cluster rollups", http.NotFoundHandler())
+	mux.Handle("/debug/engine", "engine analytics", http.NotFoundHandler())
+	mux.Handle("/debug/engine", "a duplicate mount", http.NotFoundHandler())
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if strings.Count(body, "/debug/engine") != 1 {
+		t.Errorf("duplicate mount listed more than once:\n%s", body)
+	}
+	if strings.Contains(body, "a duplicate mount") {
+		t.Errorf("duplicate mount replaced the original description:\n%s", body)
+	}
+	// Listed paths must appear in sorted order.
+	var paths []string
+	for _, line := range strings.Split(body, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && strings.HasPrefix(f[0], "/") {
+			paths = append(paths, f[0])
+		}
+	}
+	if !sort.StringsAreSorted(paths) {
+		t.Errorf("index paths not sorted: %v", paths)
+	}
+	if len(paths) < 4 {
+		t.Errorf("index too short: %v", paths)
 	}
 }

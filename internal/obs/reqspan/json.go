@@ -18,6 +18,11 @@ func appendChromeTs(b []byte, ns int64) []byte { return span.AppendChromeTs(b, n
 //	 "outcome":"miss","cost":8,"start":10250,"end":91375,
 //	 "stages":[{"stage":"lock_wait","start":10250,"end":10400},...]}
 //
+// Two optional fields slot in after "kind" on serving-tier spans: "node"
+// (the tracer's Config.Node, when set) and "client_id" (the propagated
+// client span id on spans created by BeginRemote) — the identity and join
+// key report -stitch uses to pair server spans with client spans.
+//
 // "cost" is the fill charge the request paid (0 for hits and coalesced
 // waiters); at stride-1 sampling the emitted costs sum to the engine's
 // cost_paid counter, the identity report -explain reconciles.
@@ -25,10 +30,19 @@ func appendChromeTs(b []byte, ns int64) []byte { return span.AppendChromeTs(b, n
 // The "kind":"req" discriminator is what lets the manifest validator and
 // downstream tooling tell engine request lines from the simulator's
 // miss-lifecycle lines in a shared JSONL stream.
-func appendReqSpanJSON(b []byte, s *Span) []byte {
+func (t *Tracer) appendReqSpanJSON(b []byte, s *Span) []byte {
 	b = append(b, `{"id":`...)
 	b = strconv.AppendUint(b, s.ID, 10)
-	b = append(b, `,"kind":"req","shard":`...)
+	b = append(b, `,"kind":"req"`...)
+	if t.node != "" {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendQuote(b, t.node)
+	}
+	if s.Client != 0 {
+		b = append(b, `,"client_id":`...)
+		b = strconv.AppendUint(b, s.Client, 10)
+	}
+	b = append(b, `,"shard":`...)
 	b = strconv.AppendInt(b, int64(s.Shard), 10)
 	b = append(b, `,"key":`...)
 	b = strconv.AppendUint(b, s.Key, 10)
@@ -72,7 +86,7 @@ func (t *Tracer) emit(sp *Span) {
 	t.emitMu.Lock()
 	defer t.emitMu.Unlock()
 	if t.jsonl != nil {
-		t.buf = appendReqSpanJSON(t.buf[:0], sp)
+		t.buf = t.appendReqSpanJSON(t.buf[:0], sp)
 		t.jsonl.WriteLine(t.buf)
 	}
 	if t.chrome != nil {
@@ -98,7 +112,11 @@ func (t *Tracer) lane(shard int, start, end int64) int {
 	}
 	t.lanes[shard] = append(ends, end)
 	if len(ends) == 0 {
-		t.chromeMeta(shard, `"process_name"`, `"name":"engine shard `, int64(shard), 0)
+		prefix := `"name":"engine shard `
+		if t.node != "" {
+			prefix = `"name":"` + t.node + ` shard `
+		}
+		t.chromeMeta(shard, `"process_name"`, prefix, int64(shard), 0)
 	}
 	t.chromeMeta(shard, `"thread_name"`, `"name":"req lane `, int64(len(ends)), len(ends))
 	return len(ends)
@@ -147,6 +165,10 @@ func (t *Tracer) chromeSpan(sp *Span) {
 	b := t.chromeSlice(sp.Shard, tid, sp.Outcome.String(), sp.Start, sp.End)
 	b = append(b, `,"args":{"id":`...)
 	b = strconv.AppendUint(b, sp.ID, 10)
+	if sp.Client != 0 {
+		b = append(b, `,"client_id":`...)
+		b = strconv.AppendUint(b, sp.Client, 10)
+	}
 	b = append(b, `,"key":`...)
 	b = strconv.AppendUint(b, sp.Key, 10)
 	b = append(b, `,"op":"`...)

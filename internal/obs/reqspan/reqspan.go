@@ -134,12 +134,27 @@ type Span struct {
 	// the span costs sum exactly to the engine's cost_paid counter, which is
 	// what lets report -explain attribute a cost delta per key.
 	Cost int64
+	// Client is the propagated client-side span id on a server span created
+	// by BeginRemote (0 on locally sampled spans). Emitted as "client_id" —
+	// the join key report -stitch matches server spans to client spans on.
+	Client uint64
 	// Segs are the contiguous stage segments, in boundary order.
 	Segs []Seg
 
 	tr     *Tracer
 	cursor int64 // end of the last closed segment
 	emit   bool
+}
+
+// TraceCtx returns the identity a remote target propagates on the wire for
+// this span: the span id and the emit-sampling decision (so client and
+// server emit exactly the same span set). A nil span returns (0, false) —
+// the request is unsampled and travels untraced.
+func (s *Span) TraceCtx() (id uint64, emit bool) {
+	if s == nil {
+		return 0, false
+	}
+	return s.ID, s.emit
 }
 
 // AddCost records a fill's cost charge on the span (nil-safe, like Mark).
@@ -178,6 +193,10 @@ type Config struct {
 	// values rank deeper into the key distribution at the price of a longer
 	// scan per eviction from the sketch.
 	KeyCap int
+	// Node names the process in emitted spans ("" omits the field). The
+	// serving tier sets it to the node name so stitched cluster timelines
+	// can tell which server a propagated span executed on.
+	Node string
 }
 
 // Tracer samples engine requests into spans. It is safe for concurrent use
@@ -185,6 +204,7 @@ type Config struct {
 // Begin returns nil and every method is nil-receiver safe.
 type Tracer struct {
 	epoch     time.Time
+	node      string
 	attrEvery uint64 // sample every Nth request (0 = never)
 	emitNth   uint64 // emit every Nth sampled span (0 = never)
 
@@ -240,6 +260,7 @@ func New(cfg Config, jsonl *span.LineSink, chrome *span.ChromeSink) *Tracer {
 	}
 	t := &Tracer{
 		epoch:     time.Now(),
+		node:      cfg.Node,
 		attrEvery: every(cfg.AttrRate),
 		jsonl:     jsonl,
 		chrome:    chrome,
@@ -258,6 +279,16 @@ func New(cfg Config, jsonl *span.LineSink, chrome *span.ChromeSink) *Tracer {
 // now returns ns since the tracer epoch (monotonic).
 func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
 
+// Now exposes the tracer clock (ns since the tracer epoch) — what the
+// serving tier answers PING negotiation with, so clients can estimate the
+// clock offset between their span timestamps and this tracer's.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
 // Begin counts one request and, when the request is attr-sampled, leases a
 // span for it. The returned span is nil for unsampled requests (and on a
 // nil tracer); the engine threads it through Mark/Finish regardless — nil
@@ -274,8 +305,46 @@ func (t *Tracer) Begin(op Op, shard int, key uint64) *Span {
 	sp.ID = id
 	sp.Shard, sp.Key, sp.Op = shard, key, op
 	sp.Cost = 0
+	sp.Client = 0
 	sp.Segs = sp.Segs[:0]
 	sp.emit = t.emitNth != 0 && id%t.emitNth == 0
+	sp.Start = t.now()
+	sp.cursor = sp.Start
+	return sp
+}
+
+// Remote is the propagated trace context a server binds to an engine span:
+// the client-side span id and the client's emit decision. The zero Remote
+// (ID 0) means "untraced" — BeginRemote then returns nil.
+type Remote struct {
+	// ID is the client span id carried on the wire (0 = untraced request).
+	ID uint64
+	// Emit mirrors the client's emit-sampling decision, so both halves of a
+	// stitched span are written or skipped together.
+	Emit bool
+}
+
+// BeginRemote leases a span bound to a propagated client context. It
+// bypasses the stride sampler — the *client* made the sampling decision, and
+// the server must honor it so the two emitted span sets join 1:1 — but still
+// counts the request into seq so Requests() stays an all-requests count.
+// The span's Client field carries rm.ID and is emitted as "client_id";
+// rm.Emit decides emission regardless of the tracer's own EmitRate.
+func (t *Tracer) BeginRemote(op Op, shard int, key uint64, rm Remote) *Span {
+	if t == nil {
+		return nil
+	}
+	t.seq.Add(1)
+	if rm.ID == 0 {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	sp.ID = t.ids.Add(1)
+	sp.Shard, sp.Key, sp.Op = shard, key, op
+	sp.Cost = 0
+	sp.Client = rm.ID
+	sp.Segs = sp.Segs[:0]
+	sp.emit = rm.Emit
 	sp.Start = t.now()
 	sp.cursor = sp.Start
 	return sp

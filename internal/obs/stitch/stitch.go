@@ -1,0 +1,396 @@
+// Package stitch joins client-side request spans with the server-side spans
+// their trace contexts propagated to, producing one merged Chrome/Perfetto
+// timeline in which every server span sits strictly inside the client's net
+// round trip.
+//
+// The two halves come from different clocks: the client tracer's epoch and
+// each server tracer's epoch are unrelated, so server timestamps must be
+// shifted by a per-node offset before they can share a timeline. Rather than
+// trusting the PING-midpoint estimates (those are hints with ±RTT/2 error),
+// stitch recovers each node's offset from the spans themselves: every
+// client/server pair constrains the offset to the interval
+//
+//	[clientNetWriteStart − serverStart, clientNetReadEnd − serverEnd]
+//
+// because the request cannot reach the server before the client started
+// writing it, and the response cannot be read before the server finished.
+// Intersecting the intervals across all of a node's pairs yields the feasible
+// offset range; stitch uses its midpoint. An empty intersection means the
+// spans are mutually inconsistent (mislabeled nodes, reordered files, or a
+// clock that stepped mid-run) and stitching fails loudly rather than emit a
+// timeline with spans leaking outside their brackets.
+//
+// Stitching is strict by construction: a server span whose client_id matches
+// no client span is an orphan, a round-tripped client span with no server
+// half is an orphan (the server emits every span the client asked it to),
+// and negative durations or stage segments outside their span are rejected
+// on both halves. report -merge wires this into CI.
+package stitch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"costcache/internal/obs/span"
+)
+
+// Seg is one stage segment of a span, in the emitting tracer's clock.
+type Seg struct {
+	Stage string `json:"stage"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Span is one request span parsed from a span JSONL stream. ClientID is zero
+// on client-side spans; on server-side spans it carries the propagated client
+// span id (the join key) and Node names the serving node.
+type Span struct {
+	ID       uint64
+	Node     string
+	ClientID uint64
+	Shard    int
+	Key      uint64
+	Op       string
+	Outcome  string
+	Cost     int64
+	Start    int64
+	End      int64
+	Stages   []Seg
+}
+
+// jsonSpan mirrors the reqspan JSONL schema for decoding.
+type jsonSpan struct {
+	ID       uint64 `json:"id"`
+	Node     string `json:"node"`
+	ClientID uint64 `json:"client_id"`
+	Shard    int    `json:"shard"`
+	Key      uint64 `json:"key"`
+	Op       string `json:"op"`
+	Outcome  string `json:"outcome"`
+	Cost     int64  `json:"cost"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end"`
+	Stages   []Seg  `json:"stages"`
+}
+
+// ParseJSONL decodes every "kind":"req" line of a span JSONL stream. Lines
+// of other kinds (simulator miss spans) are skipped — only request spans
+// participate in stitching.
+func ParseJSONL(data []byte) ([]Span, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("stitch: line %d: %v", line, err)
+		}
+		if kind.Kind != "req" {
+			continue
+		}
+		var js jsonSpan
+		if err := json.Unmarshal(raw, &js); err != nil {
+			return nil, fmt.Errorf("stitch: line %d: %v", line, err)
+		}
+		out = append(out, Span{
+			ID: js.ID, Node: js.Node, ClientID: js.ClientID,
+			Shard: js.Shard, Key: js.Key, Op: js.Op, Outcome: js.Outcome,
+			Cost: js.Cost, Start: js.Start, End: js.End, Stages: js.Stages,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stitch: %v", err)
+	}
+	return out, nil
+}
+
+// pair is one matched client/server span couple plus the client's net
+// round-trip bracket.
+type pair struct {
+	client, server *Span
+	wStart, rEnd   int64 // net_write start, net_read end (client clock)
+}
+
+// NodeFit is one node's recovered clock offset: shifting the node's span
+// timestamps by OffsetNs moves them onto the client tracer's clock. SlackNs
+// is the width of the feasible interval the offset was cut from — the
+// tightest round trip bounds how precisely the offset is known.
+type NodeFit struct {
+	Node     string `json:"node"`
+	Pairs    int    `json:"pairs"`
+	OffsetNs int64  `json:"offset_ns"`
+	SlackNs  int64  `json:"slack_ns"`
+}
+
+// Result is a successful stitch: every server span matched, every offset
+// feasible, every shifted server span strictly inside its client bracket.
+type Result struct {
+	// Clients and Servers count the request spans on each side; Pairs the
+	// matched couples (== Servers on success). Local counts client spans
+	// with no net round trip (in-process requests passed through unstitched).
+	Clients int
+	Servers int
+	Pairs   int
+	Local   int
+	// Nodes holds one offset fit per serving node, name-sorted.
+	Nodes []NodeFit
+
+	clients []Span
+	byNode  map[string][]pair
+	offsets map[string]int64
+}
+
+// Stitch matches server spans to client spans by propagated id, recovers one
+// clock offset per node, and verifies every shifted server span lies inside
+// its client's net round-trip bracket. Any orphan (either direction),
+// negative duration, malformed stage nesting, or infeasible offset interval
+// is an error.
+func Stitch(spans []Span) (*Result, error) {
+	r := &Result{byNode: map[string][]pair{}, offsets: map[string]int64{}}
+	clientByID := map[uint64]*Span{}
+	var servers []*Span
+	for i := range spans {
+		sp := &spans[i]
+		if err := checkShape(sp); err != nil {
+			return nil, err
+		}
+		if sp.ClientID != 0 {
+			servers = append(servers, sp)
+			continue
+		}
+		if clientByID[sp.ID] != nil {
+			return nil, fmt.Errorf("stitch: duplicate client span id %d", sp.ID)
+		}
+		clientByID[sp.ID] = sp
+		r.clients = append(r.clients, *sp)
+	}
+	r.Clients, r.Servers = len(r.clients), len(servers)
+
+	matched := map[uint64]bool{}
+	for _, sv := range servers {
+		cl := clientByID[sv.ClientID]
+		if cl == nil {
+			return nil, fmt.Errorf("stitch: orphan server span %d on node %q: no client span %d",
+				sv.ID, sv.Node, sv.ClientID)
+		}
+		if matched[sv.ClientID] {
+			return nil, fmt.Errorf("stitch: client span %d matched by multiple server spans", sv.ClientID)
+		}
+		matched[sv.ClientID] = true
+		w, rd, ok := bracket(cl)
+		if !ok {
+			return nil, fmt.Errorf("stitch: client span %d has a server half but no net_write/net_read bracket", cl.ID)
+		}
+		r.byNode[sv.Node] = append(r.byNode[sv.Node], pair{client: cl, server: sv, wStart: w, rEnd: rd})
+		r.Pairs++
+	}
+
+	// With servers present, every round-tripped client span must have its
+	// half — the server emits a span for exactly the requests the client
+	// sampled. Errored round trips are exempt: the request may never have
+	// reached a server.
+	for i := range r.clients {
+		cl := &r.clients[i]
+		if _, _, ok := bracket(cl); !ok {
+			r.Local++
+			continue
+		}
+		if r.Servers > 0 && !matched[cl.ID] && cl.Outcome != "error" {
+			return nil, fmt.Errorf("stitch: orphan client span %d (%s): no server span propagated it back",
+				cl.ID, cl.Outcome)
+		}
+	}
+
+	for node, ps := range r.byNode {
+		fit, err := fitOffset(node, ps)
+		if err != nil {
+			return nil, err
+		}
+		r.Nodes = append(r.Nodes, fit)
+		r.offsets[node] = fit.OffsetNs
+	}
+	sort.Slice(r.Nodes, func(i, j int) bool { return r.Nodes[i].Node < r.Nodes[j].Node })
+
+	// The midpoint satisfies every pair by construction; verify anyway so a
+	// future refactor cannot silently ship leaking timelines.
+	for node, ps := range r.byNode {
+		off := r.offsets[node]
+		for _, p := range ps {
+			if p.server.Start+off < p.wStart || p.server.End+off > p.rEnd {
+				return nil, fmt.Errorf("stitch: node %q offset %dns leaves server span %d outside client %d's bracket",
+					node, off, p.server.ID, p.client.ID)
+			}
+		}
+	}
+	return r, nil
+}
+
+// checkShape rejects negative durations and stage segments outside their
+// span on either half.
+func checkShape(sp *Span) error {
+	side := "client"
+	if sp.ClientID != 0 {
+		side = "server"
+	}
+	if sp.End < sp.Start {
+		return fmt.Errorf("stitch: %s span %d has negative duration [%d,%d]", side, sp.ID, sp.Start, sp.End)
+	}
+	for _, sg := range sp.Stages {
+		if sg.End < sg.Start {
+			return fmt.Errorf("stitch: %s span %d stage %s has negative duration", side, sp.ID, sg.Stage)
+		}
+		if sg.Start < sp.Start || sg.End > sp.End {
+			return fmt.Errorf("stitch: %s span %d stage %s [%d,%d] outside span [%d,%d]",
+				side, sp.ID, sg.Stage, sg.Start, sg.End, sp.Start, sp.End)
+		}
+	}
+	return nil
+}
+
+// bracket returns the client span's net round trip: the start of its first
+// net_write segment and the end of its last net_read segment.
+func bracket(sp *Span) (wStart, rEnd int64, ok bool) {
+	haveW, haveR := false, false
+	for _, sg := range sp.Stages {
+		if sg.Stage == "net_write" && !haveW {
+			wStart, haveW = sg.Start, true
+		}
+		if sg.Stage == "net_read" {
+			rEnd, haveR = sg.End, true
+		}
+	}
+	return wStart, rEnd, haveW && haveR
+}
+
+// fitOffset intersects every pair's feasible interval and returns the
+// midpoint offset for the node.
+func fitOffset(node string, ps []pair) (NodeFit, error) {
+	lo, hi := int64(-1)<<62, int64(1)<<62
+	for _, p := range ps {
+		if l := p.wStart - p.server.Start; l > lo {
+			lo = l
+		}
+		if h := p.rEnd - p.server.End; h < hi {
+			hi = h
+		}
+	}
+	if lo > hi {
+		return NodeFit{}, fmt.Errorf("stitch: node %q: no clock offset places every server span inside its client bracket (feasible interval [%d,%d] is empty)",
+			node, lo, hi)
+	}
+	return NodeFit{Node: node, Pairs: len(ps), OffsetNs: lo + (hi-lo)/2, SlackNs: hi - lo}, nil
+}
+
+// Chrome track layout: the client process takes pid clientPid with one track
+// per ring node; server processes take serverPidBase+i in node-name order,
+// one track per server shard. serverPidBase matches reqspan's chromePidBase
+// so stitched traces read like the single-process ones.
+const (
+	clientPid     = 1
+	serverPidBase = 1000
+)
+
+// ChromeTrace renders the stitched timeline as a Chrome trace-event JSON
+// array: client spans verbatim on the client process, server spans shifted
+// onto the client clock on per-node processes, each span a complete slice
+// named by its outcome with stage segments as nested child slices (the same
+// shape reqspan emits, so manifest.ValidateChromeTrace and report -check
+// accept the output).
+func (r *Result) ChromeTrace() []byte {
+	var b []byte
+	b = append(b, '[')
+	first := true
+	event := func(ev []byte) {
+		if !first {
+			b = append(b, ',', '\n')
+		}
+		first = false
+		b = append(b, ev...)
+	}
+
+	meta := func(pid, tid int, kind, name string) {
+		ev := append([]byte(`{"name":"`), kind...)
+		ev = append(ev, `","ph":"M","pid":`...)
+		ev = strconv.AppendInt(ev, int64(pid), 10)
+		ev = append(ev, `,"tid":`...)
+		ev = strconv.AppendInt(ev, int64(tid), 10)
+		ev = append(ev, `,"args":{"name":"`...)
+		ev = append(ev, name...)
+		ev = append(ev, `"}}`...)
+		event(ev)
+	}
+	slice := func(pid, tid int, name string, start, end int64, args []byte) {
+		ev := append([]byte(`{"name":"`), name...)
+		ev = append(ev, `","cat":"req","ph":"X","pid":`...)
+		ev = strconv.AppendInt(ev, int64(pid), 10)
+		ev = append(ev, `,"tid":`...)
+		ev = strconv.AppendInt(ev, int64(tid), 10)
+		ev = append(ev, `,"ts":`...)
+		ev = span.AppendChromeTs(ev, start)
+		ev = append(ev, `,"dur":`...)
+		ev = span.AppendChromeTs(ev, end-start)
+		ev = append(ev, args...)
+		ev = append(ev, '}')
+		event(ev)
+	}
+	emitSpan := func(pid, tid int, sp *Span, off int64) {
+		args := append([]byte(`,"args":{"id":`), strconv.FormatUint(sp.ID, 10)...)
+		if sp.ClientID != 0 {
+			args = append(args, `,"client_id":`...)
+			args = strconv.AppendUint(args, sp.ClientID, 10)
+		}
+		args = append(args, `,"key":`...)
+		args = strconv.AppendUint(args, sp.Key, 10)
+		args = append(args, `,"op":"`...)
+		args = append(args, sp.Op...)
+		args = append(args, `"}`...)
+		slice(pid, tid, sp.Outcome, sp.Start+off, sp.End+off, args)
+		for _, sg := range sp.Stages {
+			if sg.End <= sg.Start {
+				continue // zero-length stages would confuse slice nesting
+			}
+			slice(pid, tid, sg.Stage, sg.Start+off, sg.End+off, nil)
+		}
+	}
+
+	meta(clientPid, 0, "process_name", "client")
+	clientTids := map[int]bool{}
+	for i := range r.clients {
+		cl := &r.clients[i]
+		if !clientTids[cl.Shard] {
+			clientTids[cl.Shard] = true
+			meta(clientPid, cl.Shard, "thread_name", "node "+strconv.Itoa(cl.Shard))
+		}
+		emitSpan(clientPid, cl.Shard, cl, 0)
+	}
+	for i, fit := range r.Nodes {
+		pid := serverPidBase + i
+		name := fit.Node
+		if name == "" {
+			name = "server"
+		}
+		meta(pid, 0, "process_name", name)
+		serverTids := map[int]bool{}
+		for _, p := range r.byNode[fit.Node] {
+			if !serverTids[p.server.Shard] {
+				serverTids[p.server.Shard] = true
+				meta(pid, p.server.Shard, "thread_name", "shard "+strconv.Itoa(p.server.Shard))
+			}
+			emitSpan(pid, p.server.Shard, p.server, fit.OffsetNs)
+		}
+	}
+	b = append(b, ']', '\n')
+	return b
+}

@@ -1,0 +1,248 @@
+package stitch
+
+import (
+	"strings"
+	"testing"
+
+	"costcache/internal/manifest"
+)
+
+// mkClient builds a client span whose net round trip brackets
+// [wStart, rEnd], with a short decision stage before the write.
+func mkClient(id uint64, node int, outcome string, start, wStart, wEnd, rStart, rEnd, end int64) Span {
+	return Span{
+		ID: id, Shard: node, Key: id * 10, Op: "getorload", Outcome: outcome,
+		Start: start, End: end,
+		Stages: []Seg{
+			{Stage: "decision", Start: start, End: wStart},
+			{Stage: "net_write", Start: wStart, End: wEnd},
+			{Stage: "net_read", Start: rStart, End: rEnd},
+		},
+	}
+}
+
+// mkServer builds the server half of client span cid on node, on a clock
+// shifted by skew: the span covers [start+skew, end+skew] in server time.
+func mkServer(id, cid uint64, node string, skew, start, end int64) Span {
+	return Span{
+		ID: id, Node: node, ClientID: cid, Shard: 2, Key: cid * 10,
+		Op: "getorload", Outcome: "miss",
+		Start: start + skew, End: end + skew,
+		Stages: []Seg{
+			{Stage: "lock_wait", Start: start + skew, End: start + skew + 50},
+			{Stage: "load", Start: start + skew + 50, End: end + skew},
+		},
+	}
+}
+
+// TestSkewedClocksStitch is the headline property: server tracers running on
+// wildly skewed clocks must still stitch into a timeline with zero
+// negative-duration spans and every server span strictly inside its client's
+// net round trip, with the recovered offset close to the injected skew.
+func TestSkewedClocksStitch(t *testing.T) {
+	skews := map[string]int64{"n0": 12_345_678_901, "n1": -987_654_321}
+	var spans []Span
+	var id uint64
+	for ni, node := range []string{"n0", "n1"} {
+		for i := 0; i < 4; i++ {
+			id++
+			base := int64(ni*100_000 + i*10_000)
+			// client: write 100ns, server turnaround inside, read at the end
+			cl := mkClient(id, ni, "miss", base, base+20, base+120, base+800, base+900, base+910)
+			// server span sits inside (base+150, base+750) in true client time
+			sv := mkServer(1000+id, id, node, skews[node], base+150, base+750)
+			spans = append(spans, cl, sv)
+		}
+	}
+
+	r, err := Stitch(spans)
+	if err != nil {
+		t.Fatalf("Stitch: %v", err)
+	}
+	if r.Clients != 8 || r.Servers != 8 || r.Pairs != 8 || r.Local != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 8/8/8/0", r.Clients, r.Servers, r.Pairs, r.Local)
+	}
+	if len(r.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(r.Nodes))
+	}
+	for _, fit := range r.Nodes {
+		want := -skews[fit.Node] // shifting server time back onto client time
+		// The offset can only be known to within the slack of the tightest
+		// round trip; here every pair leaves the same feasible window.
+		if diff := fit.OffsetNs - want; diff < -500 || diff > 500 {
+			t.Errorf("node %s offset %d, want %d±500 (slack %d)", fit.Node, fit.OffsetNs, want, fit.SlackNs)
+		}
+		if fit.SlackNs < 0 {
+			t.Errorf("node %s negative slack %d", fit.Node, fit.SlackNs)
+		}
+	}
+	// Strict containment after the shift, checked pair by pair.
+	for node, ps := range r.byNode {
+		off := r.offsets[node]
+		for _, p := range ps {
+			s, e := p.server.Start+off, p.server.End+off
+			if e < s {
+				t.Fatalf("node %s: shifted server span %d has negative duration", node, p.server.ID)
+			}
+			if s < p.wStart || e > p.rEnd {
+				t.Fatalf("node %s: shifted server span %d [%d,%d] outside client bracket [%d,%d]",
+					node, p.server.ID, s, e, p.wStart, p.rEnd)
+			}
+		}
+	}
+
+	trace := r.ChromeTrace()
+	events, spanCount, err := manifest.ValidateChromeTrace(trace)
+	if err != nil {
+		t.Fatalf("ValidateChromeTrace: %v", err)
+	}
+	if spanCount != 16 { // 8 client + 8 server outcome slices
+		t.Fatalf("chrome spans = %d, want 16 (events %d)", spanCount, events)
+	}
+}
+
+func TestOrphanServerSpan(t *testing.T) {
+	spans := []Span{
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkServer(100, 1, "n0", 0, 100, 300),
+		mkServer(101, 7, "n0", 0, 100, 300), // no client span 7
+	}
+	if _, err := Stitch(spans); err == nil || !strings.Contains(err.Error(), "orphan server span") {
+		t.Fatalf("err = %v, want orphan server span", err)
+	}
+}
+
+func TestOrphanClientSpan(t *testing.T) {
+	spans := []Span{
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkClient(2, 0, "hit", 1000, 1010, 1050, 1400, 1500, 1510), // no server half
+		mkServer(100, 1, "n0", 0, 100, 300),
+	}
+	if _, err := Stitch(spans); err == nil || !strings.Contains(err.Error(), "orphan client span") {
+		t.Fatalf("err = %v, want orphan client span", err)
+	}
+	// An errored round trip is exempt: the request may never have reached
+	// a server.
+	spans[1].Outcome = "error"
+	if _, err := Stitch(spans); err != nil {
+		t.Fatalf("Stitch with errored orphan: %v", err)
+	}
+}
+
+func TestInfeasibleOffsets(t *testing.T) {
+	// Two pairs whose brackets demand contradictory offsets for one node:
+	// pair 1 wants off >= 1_000_000, pair 2 wants off <= -1_000_000.
+	spans := []Span{
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkServer(100, 1, "n0", -1_000_000, 100, 300),
+		mkClient(2, 0, "miss", 1000, 1010, 1050, 1400, 1500, 1510),
+		mkServer(101, 2, "n0", 1_000_000, 1100, 1300),
+	}
+	if _, err := Stitch(spans); err == nil || !strings.Contains(err.Error(), "feasible interval") {
+		t.Fatalf("err = %v, want infeasible interval", err)
+	}
+}
+
+func TestNegativeDurationRejected(t *testing.T) {
+	sp := mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510)
+	sp.End = -5
+	sp.Stages = nil
+	if _, err := Stitch([]Span{sp}); err == nil || !strings.Contains(err.Error(), "negative duration") {
+		t.Fatalf("err = %v, want negative duration", err)
+	}
+}
+
+func TestLocalSpansPassThrough(t *testing.T) {
+	// A client span with no net bracket (in-process request) rides along
+	// unmatched even when server spans exist.
+	local := Span{ID: 5, Shard: 1, Key: 50, Op: "get", Outcome: "hit", Start: 0, End: 100,
+		Stages: []Seg{{Stage: "lock_wait", Start: 0, End: 20}}}
+	spans := []Span{
+		local,
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkServer(100, 1, "n0", 0, 100, 300),
+	}
+	r, err := Stitch(spans)
+	if err != nil {
+		t.Fatalf("Stitch: %v", err)
+	}
+	if r.Local != 1 || r.Pairs != 1 {
+		t.Fatalf("local=%d pairs=%d, want 1/1", r.Local, r.Pairs)
+	}
+	if _, _, err := manifest.ValidateChromeTrace(r.ChromeTrace()); err != nil {
+		t.Fatalf("ValidateChromeTrace: %v", err)
+	}
+}
+
+func TestParseJSONL(t *testing.T) {
+	data := strings.Join([]string{
+		`{"id":7,"kind":"req","shard":3,"key":9041144,"op":"getorload","outcome":"miss","cost":8,"start":10250,"end":91375,"stages":[{"stage":"lock_wait","start":10250,"end":10400}]}`,
+		`{"id":9,"kind":"req","node":"n0","client_id":7,"shard":1,"key":9041144,"op":"getorload","outcome":"miss","cost":8,"start":20,"end":80,"stages":[]}`,
+		`{"id":3,"node":2,"class":"remote-dirty","start":0,"end":100}`, // simulator line: skipped
+		``,
+	}, "\n")
+	spans, err := ParseJSONL([]byte(data))
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].ID != 7 || spans[0].ClientID != 0 || spans[0].Key != 9041144 {
+		t.Fatalf("client span = %+v", spans[0])
+	}
+	if spans[1].Node != "n0" || spans[1].ClientID != 7 {
+		t.Fatalf("server span = %+v", spans[1])
+	}
+	if _, err := ParseJSONL([]byte(`{"id":`)); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestDuplicateAndDoubleMatch(t *testing.T) {
+	dup := []Span{
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+	}
+	if _, err := Stitch(dup); err == nil || !strings.Contains(err.Error(), "duplicate client span id") {
+		t.Fatalf("err = %v, want duplicate client span id", err)
+	}
+	double := []Span{
+		mkClient(1, 0, "miss", 0, 10, 50, 400, 500, 510),
+		mkServer(100, 1, "n0", 0, 100, 300),
+		mkServer(101, 1, "n1", 0, 120, 320),
+	}
+	if _, err := Stitch(double); err == nil || !strings.Contains(err.Error(), "multiple server spans") {
+		t.Fatalf("err = %v, want multiple server spans", err)
+	}
+}
+
+// TestManyPairsTightenOffset checks that more pairs narrow the feasible
+// interval: the tightest round trip dominates the slack.
+func TestManyPairsTightenOffset(t *testing.T) {
+	var spans []Span
+	var id uint64
+	slack := []int64{400, 200, 40} // bracket slack around each server span
+	for _, s := range slack {
+		id++
+		base := int64(id) * 10_000
+		// bracket [base+20, base+900]; the server span fills all but s of it
+		cl := mkClient(id, 0, "miss", base, base+20, base+100, base+800, base+900, base+910)
+		sv := mkServer(1000+id, id, "n0", 777, base+20+s/2, base+900-s/2)
+		spans = append(spans, cl, sv)
+	}
+	r, err := Stitch(spans)
+	if err != nil {
+		t.Fatalf("Stitch: %v", err)
+	}
+	if len(r.Nodes) != 1 {
+		t.Fatalf("nodes = %d", len(r.Nodes))
+	}
+	fit := r.Nodes[0]
+	if fit.SlackNs > 40 {
+		t.Fatalf("slack = %d, want <= 40 (tightest pair)", fit.SlackNs)
+	}
+	if want := int64(-777); fit.OffsetNs < want-20 || fit.OffsetNs > want+20 {
+		t.Fatalf("offset = %d, want %d±20", fit.OffsetNs, want)
+	}
+}

@@ -21,6 +21,13 @@ const (
 	// Quantile is the windowed q-quantile upper bound of the histogram
 	// named Num[0], in the histogram's native unit × Scale.
 	Quantile
+	// SpreadRatio groups both Num and Den base names' series by label block
+	// (the federation's per-node labels), computes each group's Num/Den
+	// ratio over the window, and returns max ratio − min ratio: 0 means
+	// every group behaves identically, and a large spread singles out an
+	// outlier group. Undefined (ok=false) with fewer than two groups whose
+	// denominator is nonzero.
+	SpreadRatio
 )
 
 // Query is a derived windowed signal over the store. Num and Den name
@@ -127,8 +134,61 @@ func (s *Store) valueLocked(q Query, ri int, d time.Duration) (float64, time.Dur
 	case Quantile:
 		v, ok := s.quantileLocked(ri, from, to, q.Num[0], q.Q)
 		return float64(v) * scale, covered, ok
+	case SpreadRatio:
+		v, ok := s.spreadLocked(ri, from, to, q.Num, q.Den)
+		return v * scale, covered, ok
 	}
 	return 0, covered, false
+}
+
+// spreadLocked computes max − min of per-label-group Num/Den ratios over
+// [from, to]. Groups whose denominator is zero over the window are skipped
+// (an idle node is unknown, not an outlier). The scratch maps persist across
+// calls so the steady state does not allocate.
+func (s *Store) spreadLocked(ri int, from, to int64, num, den []string) (float64, bool) {
+	clear(s.spreadNum)
+	clear(s.spreadDen)
+	slots := int64(s.res[ri].Slots)
+	accum := func(bases []string, into map[string]float64) {
+		for _, cs := range s.clist {
+			match := false
+			for _, b := range bases {
+				if cs.base == b {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			var sum int64
+			for b := from; b <= to; b++ {
+				sum += cs.rings[ri][int(b%slots)]
+			}
+			into[cs.label] += float64(sum)
+		}
+	}
+	accum(num, s.spreadNum)
+	accum(den, s.spreadDen)
+	groups := 0
+	var min, max float64
+	for label, d := range s.spreadDen {
+		if d <= 0 {
+			continue
+		}
+		r := s.spreadNum[label] / d
+		if groups == 0 || r < min {
+			min = r
+		}
+		if groups == 0 || r > max {
+			max = r
+		}
+		groups++
+	}
+	if groups < 2 {
+		return 0, false
+	}
+	return max - min, true
 }
 
 // skewLocked computes max label-group share / uniform share for the given
@@ -269,6 +329,9 @@ func (s *Store) bucketValue(q Query, ri int, b int64) (float64, time.Duration, b
 	case Quantile:
 		v, ok := s.quantileLocked(ri, b, b, q.Num[0], q.Q)
 		return float64(v) * scale, step, ok
+	case SpreadRatio:
+		v, ok := s.spreadLocked(ri, b, b, q.Num, q.Den)
+		return v * scale, step, ok
 	}
 	return 0, step, false
 }

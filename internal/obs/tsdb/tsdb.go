@@ -76,9 +76,11 @@ type Store struct {
 	onGauge   func(string, *obs.Gauge)
 	onHist    func(string, *obs.Histogram)
 
-	// Scratch reused by quantile and skew queries under mu.
-	qscratch []int64
-	skew     map[string]float64
+	// Scratch reused by quantile, skew and spread queries under mu.
+	qscratch  []int64
+	skew      map[string]float64
+	spreadNum map[string]float64
+	spreadDen map[string]float64
 }
 
 // counterSeries tracks one counter as per-bucket deltas, or one gauge as
@@ -123,13 +125,15 @@ func New(cfg Config) *Store {
 		}
 	}
 	s := &Store{
-		reg:      cfg.Registry,
-		res:      cfg.Resolutions,
-		cur:      make([]int64, len(cfg.Resolutions)),
-		oldest:   make([]int64, len(cfg.Resolutions)),
-		counters: make(map[string]*counterSeries),
-		hists:    make(map[string]*histSeries),
-		skew:     make(map[string]float64),
+		reg:       cfg.Registry,
+		res:       cfg.Resolutions,
+		cur:       make([]int64, len(cfg.Resolutions)),
+		oldest:    make([]int64, len(cfg.Resolutions)),
+		counters:  make(map[string]*counterSeries),
+		hists:     make(map[string]*histSeries),
+		skew:      make(map[string]float64),
+		spreadNum: make(map[string]float64),
+		spreadDen: make(map[string]float64),
 	}
 	for i := range s.cur {
 		s.cur[i], s.oldest[i] = -1, -1

@@ -35,12 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"costcache/internal/engine"
 	"costcache/internal/obs"
+	"costcache/internal/obs/reqspan"
 	"costcache/internal/replacement"
 	"costcache/internal/wire"
 )
@@ -150,12 +152,22 @@ type Config struct {
 	QueueDeadline time.Duration
 	// MaxFrame caps accepted frame length (0 = wire.MaxFrame).
 	MaxFrame int
+	// Name is the node name stamped into OpManifest responses (and, via the
+	// engines' tracers, into emitted server spans). Defaults to the bound
+	// listen address after Start.
+	Name string
+	// Tracer, when non-nil, supplies the server-side clock advertised in
+	// PING feature negotiation — pass the same tracer the namespace engines
+	// emit spans through, so the clock clients estimate offsets against is
+	// the clock the server's span timestamps are on.
+	Tracer *reqspan.Tracer
 }
 
 // Server is a running cache service tier. Create with New, start with
 // Start, stop with Drain (graceful) or Close (forced).
 type Server struct {
 	cfg      Config
+	name     string
 	ln       net.Listener
 	nss      map[string]*Namespace
 	inflight chan struct{}
@@ -191,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
+		name:     cfg.Name,
 		nss:      make(map[string]*Namespace, len(cfg.Namespaces)),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		drainCh:  make(chan struct{}),
@@ -245,9 +258,48 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
+	if s.name == "" {
+		s.name = ln.Addr().String()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return nil
+}
+
+// Name returns the node name (valid after Start).
+func (s *Server) Name() string { return s.name }
+
+// Manifest snapshots the node's identity, every namespace's engine counters
+// (name-sorted) and the server-wide serving-tier totals — the OpManifest
+// response body, also usable in-process by tests and benchmarks.
+func (s *Server) Manifest() wire.NodeManifest {
+	names := make([]string, 0, len(s.nss))
+	for name := range s.nss {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := wire.NodeManifest{
+		Node:          s.name,
+		Namespaces:    make([]wire.ManifestNS, 0, len(names)),
+		ConnsAccepted: s.connsAccepted.Value(),
+		FramesIn:      s.framesIn.Value(),
+		FramesOut:     s.framesOut.Value(),
+		ServerShed:    s.shed.Value(),
+	}
+	for _, name := range names {
+		ns := s.nss[name]
+		es := ns.Engine.Stats()
+		m.Namespaces = append(m.Namespaces, wire.ManifestNS{
+			Namespace: name,
+			Hits:      es.Hits,
+			Misses:    es.Misses,
+			Coalesced: es.Coalesced,
+			Evictions: es.Evictions,
+			CostPaid:  es.CostPaid,
+			Expired:   ns.expired.Value(),
+		})
+	}
+	return m
 }
 
 // Addr returns the bound listen address (valid after Start).
@@ -415,7 +467,14 @@ func (c *srvConn) readLoop() {
 func (c *srvConn) dispatch(f *wire.Frame) {
 	switch f.Op {
 	case wire.OpPing:
-		c.reply(f.Op, f.ID, 0, nil)
+		// The response payload is the feature-negotiation handshake: the
+		// trace capability bit plus the server tracer's clock, read as close
+		// to the reply as possible so clients can estimate the per-connection
+		// clock offset from the ping round trip's midpoint.
+		c.reply(f.Op, f.ID, 0, wire.AppendPingResp(nil, wire.FeatTrace, c.srv.cfg.Tracer.Now()))
+		return
+	case wire.OpManifest:
+		c.handleManifest(f)
 		return
 	case wire.OpGet, wire.OpSet, wire.OpStats, wire.OpGetOrLoad:
 	default:
@@ -429,15 +488,28 @@ func (c *srvConn) dispatch(f *wire.Frame) {
 			fmt.Sprintf("unknown namespace %q", f.NS)))
 		return
 	}
+	// A traced request carries a trace-context prefix ahead of the op body;
+	// strip it and bind the propagated span identity to the engine call.
+	body := f.Payload
+	var rm reqspan.Remote
+	if f.Flags&wire.FlagTraced != 0 {
+		tc, rest, err := wire.ParseTraceCtx(f.Payload)
+		if err != nil {
+			c.replyBadPayload(f, err)
+			return
+		}
+		rm = reqspan.Remote{ID: tc.SpanID, Emit: tc.Emit}
+		body = rest
+	}
 	switch f.Op {
 	case wire.OpGet:
-		c.handleGet(ns, f)
+		c.handleGet(ns, f, body, rm)
 	case wire.OpSet:
-		c.handleSet(ns, f)
+		c.handleSet(ns, f, body, rm)
 	case wire.OpStats:
 		c.handleStats(ns, f)
 	case wire.OpGetOrLoad:
-		key, cost, err := wire.ParseGetOrLoadReq(f.Payload)
+		key, cost, err := wire.ParseGetOrLoadReq(body)
 		if err != nil {
 			c.replyBadPayload(f, err)
 			return
@@ -452,7 +524,7 @@ func (c *srvConn) dispatch(f *wire.Frame) {
 		go func(op uint8, id uint64) {
 			defer c.wg.Done()
 			defer func() { <-c.srv.inflight }()
-			c.handleGetOrLoad(ns, op, id, key, cost)
+			c.handleGetOrLoad(ns, op, id, key, cost, rm)
 		}(f.Op, f.ID)
 	}
 }
@@ -486,8 +558,8 @@ func (c *srvConn) acquireSlot() bool {
 	}
 }
 
-func (c *srvConn) handleGet(ns *Namespace, f *wire.Frame) {
-	key, err := wire.ParseGetReq(f.Payload)
+func (c *srvConn) handleGet(ns *Namespace, f *wire.Frame, body []byte, rm reqspan.Remote) {
+	key, err := wire.ParseGetReq(body)
 	if err != nil {
 		c.replyBadPayload(f, err)
 		return
@@ -495,7 +567,13 @@ func (c *srvConn) handleGet(ns *Namespace, f *wire.Frame) {
 	if exp := ns.expireIfStale(time.Now()); exp != nil {
 		exp(key)
 	}
-	v, ok := ns.Engine.Get(key)
+	var v any
+	var ok bool
+	if rm.ID != 0 {
+		v, ok = ns.Engine.GetTraced(key, rm)
+	} else {
+		v, ok = ns.Engine.Get(key)
+	}
 	if !ok {
 		c.reply(f.Op, f.ID, 0, nil)
 		return
@@ -503,16 +581,30 @@ func (c *srvConn) handleGet(ns *Namespace, f *wire.Frame) {
 	c.reply(f.Op, f.ID, wire.FlagHit, valueBytes(v))
 }
 
-func (c *srvConn) handleSet(ns *Namespace, f *wire.Frame) {
-	key, cost, val, err := wire.ParseSetReq(f.Payload)
+func (c *srvConn) handleSet(ns *Namespace, f *wire.Frame, body []byte, rm reqspan.Remote) {
+	key, cost, val, err := wire.ParseSetReq(body)
 	if err != nil {
 		c.replyBadPayload(f, err)
 		return
 	}
 	// Copy: val aliases the connection's reusable frame payload buffer.
-	ns.Engine.Set(key, append([]byte(nil), val...), replacement.Cost(cost))
+	owned := append([]byte(nil), val...)
+	if rm.ID != 0 {
+		ns.Engine.SetTraced(key, owned, replacement.Cost(cost), rm)
+	} else {
+		ns.Engine.Set(key, owned, replacement.Cost(cost))
+	}
 	ns.recordLoad(key, time.Now())
 	c.reply(f.Op, f.ID, 0, nil)
+}
+
+func (c *srvConn) handleManifest(f *wire.Frame) {
+	b, err := json.Marshal(c.srv.Manifest())
+	if err != nil {
+		c.reply(f.Op, f.ID, wire.FlagError, wire.AppendError(nil, wire.ErrCodeBackend, err.Error()))
+		return
+	}
+	c.reply(f.Op, f.ID, 0, b)
 }
 
 func (c *srvConn) handleStats(ns *Namespace, f *wire.Frame) {
@@ -545,18 +637,26 @@ func (c *srvConn) handleStats(ns *Namespace, f *wire.Frame) {
 	c.reply(f.Op, f.ID, 0, b)
 }
 
-func (c *srvConn) handleGetOrLoad(ns *Namespace, op uint8, id uint64, key uint64, cost int64) {
+func (c *srvConn) handleGetOrLoad(ns *Namespace, op uint8, id uint64, key uint64, cost int64, rm reqspan.Remote) {
 	now := time.Now()
 	if exp := ns.expireIfStale(now); exp != nil {
 		exp(key)
 	}
-	v, info, err := ns.Engine.GetOrLoadInfo(key, func(k uint64) (any, replacement.Cost, error) {
+	load := func(k uint64) (any, replacement.Cost, error) {
 		b, err := ns.Backend(k, replacement.Cost(cost))
 		if err != nil {
 			return nil, 0, err
 		}
 		return b, replacement.Cost(cost), nil
-	})
+	}
+	var v any
+	var info engine.LoadInfo
+	var err error
+	if rm.ID != 0 {
+		v, info, err = ns.Engine.GetOrLoadInfoTraced(key, load, rm)
+	} else {
+		v, info, err = ns.Engine.GetOrLoadInfo(key, load)
+	}
 	if err != nil {
 		code := wire.ErrCodeBackend
 		switch {

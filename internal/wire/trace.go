@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TraceCtxLen is the fixed size of the trace-context prefix a FlagTraced
+// request payload starts with: span id (8) + op index (8) + trace flags (1).
+const TraceCtxLen = 17
+
+// traceFlagEmit marks the client's sampling decision: the span will be
+// emitted to the client's JSONL/Chrome sinks, so the server should emit its
+// half too.
+const traceFlagEmit uint8 = 1
+
+// TraceCtx is the trace context a client propagates on a sampled request:
+// the client-side span id the server's span must carry (the join key for
+// report -stitch), the client's per-target op index (debugging aid: which
+// request of the run this was), and the sampling decision — whether the
+// client will emit the span in full, so both sides emit exactly the same
+// span set.
+type TraceCtx struct {
+	// SpanID is the client tracer's span id for this request.
+	SpanID uint64
+	// Op is the client's op index for this request (1-based).
+	Op uint64
+	// Emit is the client's emit-sampling decision for this span.
+	Emit bool
+}
+
+// AppendTraceCtx encodes tc onto b. The caller must also set FlagTraced on
+// the frame and append the op body after the context.
+func AppendTraceCtx(b []byte, tc TraceCtx) []byte {
+	b = binary.BigEndian.AppendUint64(b, tc.SpanID)
+	b = binary.BigEndian.AppendUint64(b, tc.Op)
+	var fl uint8
+	if tc.Emit {
+		fl |= traceFlagEmit
+	}
+	return append(b, fl)
+}
+
+// ParseTraceCtx decodes the trace-context prefix of a FlagTraced request
+// payload and returns the op body that follows it. rest aliases p.
+func ParseTraceCtx(p []byte) (tc TraceCtx, rest []byte, err error) {
+	if len(p) < TraceCtxLen {
+		return TraceCtx{}, nil, fmt.Errorf("wire: traced payload %d bytes, want >= %d", len(p), TraceCtxLen)
+	}
+	tc.SpanID = binary.BigEndian.Uint64(p)
+	tc.Op = binary.BigEndian.Uint64(p[8:])
+	tc.Emit = p[16]&traceFlagEmit != 0
+	return tc, p[TraceCtxLen:], nil
+}
+
+// Feature bits carried in the first byte of a PING response payload.
+const (
+	// FeatTrace: the server understands FlagTraced request payloads and
+	// binds the propagated context to its engine spans.
+	FeatTrace uint8 = 1 << iota
+)
+
+// pingRespLen is the size of a feature-negotiating PING response payload:
+// feature byte (1) + server tracer clock in ns (8).
+const pingRespLen = 9
+
+// AppendPingResp encodes a feature-negotiating PING response payload:
+// the server's feature bits plus its tracer clock (ns since the server
+// tracer's epoch) read as close to the reply as possible. Clients estimate
+// the client→server clock offset per connection as serverNow minus the
+// ping round trip's midpoint; report -stitch refines it from the spans
+// themselves. A pre-extension server answers PING with an empty payload,
+// which clients read as "no features".
+func AppendPingResp(b []byte, features uint8, serverNow int64) []byte {
+	b = append(b, features)
+	return binary.BigEndian.AppendUint64(b, uint64(serverNow))
+}
+
+// ParsePingResp decodes a PING response payload. ok is false for an empty
+// (pre-extension) payload; any other malformed length is an error.
+func ParsePingResp(p []byte) (features uint8, serverNow int64, ok bool, err error) {
+	if len(p) == 0 {
+		return 0, 0, false, nil
+	}
+	if len(p) != pingRespLen {
+		return 0, 0, false, fmt.Errorf("wire: ping response payload %d bytes, want 0 or %d", len(p), pingRespLen)
+	}
+	return p[0], int64(binary.BigEndian.Uint64(p[1:])), true, nil
+}
+
+// ManifestNS is one namespace's engine counters inside a NodeManifest —
+// exactly the counters the cluster-manifest reconciliation sums across
+// nodes and compares bit-for-bit against client-observed totals.
+type ManifestNS struct {
+	Namespace string `json:"namespace"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Coalesced int64  `json:"coalesced"`
+	Evictions int64  `json:"evictions"`
+	CostPaid  int64  `json:"cost_paid"`
+	Expired   int64  `json:"expired"`
+}
+
+// NodeManifest is the OpManifest response body (JSON-encoded, like OpStats):
+// the node's identity plus every namespace's engine counters and the
+// server-wide serving-tier totals, snapshotted in one place so a client can
+// assemble a cluster manifest without scraping HTTP endpoints.
+type NodeManifest struct {
+	// Node is the server's -node name (its listen address when unset).
+	Node string `json:"node"`
+	// Namespaces carries one entry per hosted namespace, name-sorted.
+	Namespaces []ManifestNS `json:"namespaces"`
+	// Serving-tier totals, server-wide.
+	ConnsAccepted int64 `json:"conns_accepted"`
+	FramesIn      int64 `json:"frames_in"`
+	FramesOut     int64 `json:"frames_out"`
+	ServerShed    int64 `json:"server_shed"`
+}

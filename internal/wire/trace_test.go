@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestTraceCtxRoundTrip(t *testing.T) {
+	body := AppendGetOrLoadReq(nil, 42, 8)
+	p := AppendTraceCtx(nil, TraceCtx{SpanID: 7, Op: 123, Emit: true})
+	p = append(p, body...)
+	tc, rest, err := ParseTraceCtx(p)
+	if err != nil {
+		t.Fatalf("ParseTraceCtx: %v", err)
+	}
+	if tc.SpanID != 7 || tc.Op != 123 || !tc.Emit {
+		t.Fatalf("trace ctx mismatch: %+v", tc)
+	}
+	if !bytes.Equal(rest, body) {
+		t.Fatalf("rest %x, want op body %x", rest, body)
+	}
+	if _, _, err := ParseTraceCtx(p[:TraceCtxLen-1]); err == nil {
+		t.Fatal("short trace ctx parsed")
+	}
+}
+
+func TestPingRespRoundTrip(t *testing.T) {
+	feat, now, ok, err := ParsePingResp(AppendPingResp(nil, FeatTrace, 987654321))
+	if err != nil || !ok || feat != FeatTrace || now != 987654321 {
+		t.Fatalf("ping resp: feat=%d now=%d ok=%v err=%v", feat, now, ok, err)
+	}
+	// A pre-extension server answers PING with an empty payload: no features,
+	// no error.
+	if _, _, ok, err := ParsePingResp(nil); ok || err != nil {
+		t.Fatalf("empty ping resp: ok=%v err=%v, want negotiated-off", ok, err)
+	}
+	if _, _, _, err := ParsePingResp([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed ping resp parsed")
+	}
+}
+
+// legacyReadFrame is a frozen copy of ReadFrame as it stood before the
+// trace-context extension — the decoder every pre-extension peer runs. The
+// compat tests below decode new frames with it and old frames with the
+// current decoder, pinning the bit-compatibility contract the negotiation
+// story depends on.
+func legacyReadFrame(r io.Reader, max int, f *Frame) error {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [4 + headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return err
+	}
+	length := int(binary.BigEndian.Uint32(hdr[:4]))
+	if length < headerLen {
+		return fmt.Errorf("legacy: frame length %d below header size", length)
+	}
+	if length > max {
+		return fmt.Errorf("legacy: frame length %d exceeds limit %d", length, max)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return failEOF(err)
+	}
+	f.Version = hdr[4]
+	f.Op = hdr[5]
+	f.Flags = hdr[6]
+	nslen := int(hdr[7])
+	f.ID = binary.BigEndian.Uint64(hdr[8:])
+	rest := length - headerLen
+	if nslen > rest {
+		return fmt.Errorf("legacy: namespace length %d exceeds frame body %d", nslen, rest)
+	}
+	if cap(f.Payload) < rest {
+		f.Payload = make([]byte, rest)
+	}
+	f.Payload = f.Payload[:rest]
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return failEOF(err)
+	}
+	f.NS = string(f.Payload[:nslen])
+	f.Payload = f.Payload[nslen:]
+	return nil
+}
+
+// randomFrame builds a seeded pseudo-random request frame; traced controls
+// whether the payload carries a trace-context prefix (and the flags byte
+// FlagTraced).
+func randomFrame(rng *rand.Rand, traced bool) (*Frame, TraceCtx, []byte) {
+	var payload []byte
+	tc := TraceCtx{SpanID: rng.Uint64(), Op: rng.Uint64(), Emit: rng.Intn(2) == 0}
+	if traced {
+		payload = AppendTraceCtx(payload, tc)
+	}
+	var body []byte
+	op := []uint8{OpGet, OpSet, OpGetOrLoad}[rng.Intn(3)]
+	switch op {
+	case OpGet:
+		body = AppendGetReq(nil, rng.Uint64())
+	case OpSet:
+		val := make([]byte, rng.Intn(32))
+		rng.Read(val)
+		body = AppendSetReq(nil, rng.Uint64(), int64(rng.Intn(16)+1), val)
+	case OpGetOrLoad:
+		body = AppendGetOrLoadReq(nil, rng.Uint64(), int64(rng.Intn(16)+1))
+	}
+	payload = append(payload, body...)
+	f := &Frame{Version: Version, Op: op, ID: rng.Uint64(),
+		NS: "ns", Payload: payload}
+	if traced {
+		f.Flags = FlagTraced
+	}
+	return f, tc, body
+}
+
+// TestLegacyDecodesTracedFrames: a pre-extension decoder must decode a
+// traced frame's header and payload bytes exactly (the extension lives
+// inside the payload), and its strict op-body parsers must then refuse the
+// payload — the fail-safe that turns a mis-negotiated traced frame into
+// ErrCodeBadRequest instead of a mis-read key.
+func TestLegacyDecodesTracedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		f, _, _ := randomFrame(rng, true)
+		b := AppendFrame(nil, f)
+		var got Frame
+		if err := legacyReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &got); err != nil {
+			t.Fatalf("frame %d: legacy decode: %v", i, err)
+		}
+		if got.Op != f.Op || got.ID != f.ID || got.NS != f.NS || got.Flags != f.Flags {
+			t.Fatalf("frame %d: legacy header mismatch: got %+v want %+v", i, got, f)
+		}
+		if !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("frame %d: legacy payload mismatch", i)
+		}
+		// The strict parsers a legacy server would apply must all refuse the
+		// extended payload rather than silently mis-parse it. (A legacy SET
+		// parse cannot fail on length — its value is variable-length — but a
+		// traced SET is only ever sent after FeatTrace negotiation, so a
+		// legacy server never sees one.)
+		switch got.Op {
+		case OpGet:
+			if _, err := ParseGetReq(got.Payload); err == nil {
+				t.Fatalf("frame %d: legacy get parse accepted traced payload", i)
+			}
+		case OpGetOrLoad:
+			if _, _, err := ParseGetOrLoadReq(got.Payload); err == nil {
+				t.Fatalf("frame %d: legacy getorload parse accepted traced payload", i)
+			}
+		}
+	}
+}
+
+// TestNewDecodesLegacyFrames: frames produced by a pre-extension encoder —
+// which are exactly today's untraced frames — decode identically under the
+// current and the legacy decoder, byte for byte across seeded fuzz input.
+func TestNewDecodesLegacyFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		f, _, body := randomFrame(rng, false)
+		b := AppendFrame(nil, f)
+
+		var cur, old Frame
+		if err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &cur); err != nil {
+			t.Fatalf("frame %d: current decode: %v", i, err)
+		}
+		if err := legacyReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &old); err != nil {
+			t.Fatalf("frame %d: legacy decode: %v", i, err)
+		}
+		if cur.Op != old.Op || cur.ID != old.ID || cur.NS != old.NS ||
+			cur.Flags != old.Flags || !bytes.Equal(cur.Payload, old.Payload) {
+			t.Fatalf("frame %d: decoders disagree: %+v vs %+v", i, cur, old)
+		}
+		if cur.Flags&FlagTraced != 0 {
+			t.Fatalf("frame %d: untraced frame decoded with FlagTraced", i)
+		}
+		if !bytes.Equal(cur.Payload, body) {
+			t.Fatalf("frame %d: payload not the bare op body", i)
+		}
+	}
+}
+
+// TestTracedRoundTripThroughCurrentDecoder: the full new-to-new path — the
+// current decoder surfaces FlagTraced, ParseTraceCtx strips the prefix, and
+// the op body parses exactly as sent.
+func TestTracedRoundTripThroughCurrentDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		f, tc, body := randomFrame(rng, true)
+		b := AppendFrame(nil, f)
+		var got Frame
+		if err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), 0, &got); err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if got.Flags&FlagTraced == 0 {
+			t.Fatalf("frame %d: FlagTraced lost", i)
+		}
+		gtc, rest, err := ParseTraceCtx(got.Payload)
+		if err != nil {
+			t.Fatalf("frame %d: ParseTraceCtx: %v", i, err)
+		}
+		if gtc != tc {
+			t.Fatalf("frame %d: trace ctx %+v, want %+v", i, gtc, tc)
+		}
+		if !bytes.Equal(rest, body) {
+			t.Fatalf("frame %d: op body mismatch", i)
+		}
+	}
+}
+
+func TestManifestOpName(t *testing.T) {
+	if OpName(OpManifest) != "manifest" {
+		t.Fatalf("OpName(OpManifest) = %q", OpName(OpManifest))
+	}
+}

@@ -1,6 +1,6 @@
 // Package wire is the binary protocol of the networked cache tier: a
 // compact length-prefixed frame shared by internal/server and
-// internal/client. It is deliberately tiny — five opcodes, a one-byte
+// internal/client. It is deliberately tiny — six opcodes, a one-byte
 // version, a namespace string and an opaque payload — so a frame can be
 // encoded into a reused buffer with zero per-request allocations and decoded
 // with one buffered read.
@@ -23,6 +23,21 @@
 // which is how the server relays engine.ErrShed and admission-control sheds
 // (ErrCodeShed), load deadlines (ErrCodeTimeout) and drain refusals
 // (ErrCodeDraining) without a second channel.
+//
+// # Trace-context extension
+//
+// A GET/SET/GETORLOAD request may carry FlagTraced in its flags byte, in
+// which case the payload begins with a fixed TraceCtxLen-byte trace context
+// (client span id, op index, trace flags — see TraceCtx) and the op body
+// follows it. The extension lives entirely inside the payload: the frame
+// header is unchanged, Version stays 1, and an untraced frame is
+// byte-identical to one emitted before the extension existed. The feature is
+// negotiated over PING — a trace-capable server answers with a payload
+// (feature byte + its tracer clock, see AppendPingResp) where older servers
+// answer empty — so a client never sends FlagTraced to a server that would
+// not understand it. A pre-extension server that somehow receives a traced
+// frame fails the op's strict payload-length parse and answers
+// ErrCodeBadRequest rather than mis-reading the key.
 package wire
 
 import (
@@ -59,12 +74,17 @@ const (
 	// OpStats returns the namespace's engine counters plus the server's
 	// serving-tier counters as JSON (not a hot path).
 	OpStats
+	// OpManifest returns the node's manifest fragment as JSON (NodeManifest):
+	// the node name plus per-namespace engine counters and the serving-tier
+	// totals — what cachebench -remote merges into a cluster manifest and
+	// reconciles bit-for-bit against client-observed outcomes.
+	OpManifest
 )
 
 // opNames maps opcodes to schema names, for errors and debug output.
 var opNames = map[uint8]string{
 	OpPing: "ping", OpGet: "get", OpSet: "set",
-	OpGetOrLoad: "getorload", OpStats: "stats",
+	OpGetOrLoad: "getorload", OpStats: "stats", OpManifest: "manifest",
 }
 
 // OpName returns the opcode's schema name ("op(7)" for unknown codes).
@@ -85,6 +105,10 @@ const (
 	FlagStale
 	// FlagCoalesced: the request waited on another request's in-flight load.
 	FlagCoalesced
+	// FlagTraced marks a request payload as starting with a TraceCtxLen-byte
+	// trace context (see TraceCtx). Only valid on GET/SET/GETORLOAD requests,
+	// and only after the client has negotiated FeatTrace over PING.
+	FlagTraced
 )
 
 // Error codes carried in the first payload byte of a FlagError response.

@@ -194,6 +194,8 @@ go run ./cmd/paper -quick -bench-json "$smoke/bench_obs.json" > /dev/null
 go run ./cmd/report -check "$smoke/bench_obs.json"
 grep -q '"tsdb_sample_allocs_op": 0' "$smoke/bench_obs.json" || {
     echo "ci: telemetry sampling allocates in steady state" >&2; exit 1; }
+grep -q '"fed_scrape_ns_node":' "$smoke/bench_obs.json" || {
+    echo "ci: obs bench manifest missing the federation scrape figure" >&2; exit 1; }
 if [ -f results/BENCH_obs.json ]; then
     go run ./cmd/report -tol 75 results/BENCH_obs.json "$smoke/bench_obs.json"
 else
@@ -368,7 +370,7 @@ for bad in "-ts.step 0" "-ts.everyops -1" "-slo.hitrate 1.5" \
         echo "ci: cachebench $bad exited $rc, want 2" >&2; exit 1
     fi
 done
-for bad in "" "-addr x -interval 0s" "-addr x -frames -1"; do
+for bad in "" "-addr x -interval 0s" "-addr x -frames -1" "-cluster"; do
     rc=0
     # shellcheck disable=SC2086 # intentional word splitting of flag+value
     "$smoke/cachetop" $bad >/dev/null 2>&1 || rc=$?
@@ -483,6 +485,136 @@ for i in 1 2 3; do
         echo "ci: ring node $i served no traffic" >&2; exit 1; }
 done
 
+# Cluster observability smoke (docs/OBSERVABILITY.md, "Cluster
+# observability"): a 3-node ring with one deliberately degraded node (a
+# 16-entry cache whose hit rate collapses), driven by a trace-sampled
+# cachebench -remote run. Gates:
+#   (a) the run ends with a bit-for-bit cluster manifest reconciliation
+#       (cachebench exits nonzero on mismatch; we additionally pin the line),
+#   (b) cachefed's deterministic scrape fires node-outlier-hit-rate exactly
+#       once, keeps ring-hot-node quiet, and streams byte-identical alert
+#       JSONL across reruns,
+#   (c) cachetop -cluster renders a fleet frame from a live cachefed,
+#   (d) report -merge stitches the client and per-node span JSONL into one
+#       validated timeline (exit nonzero on any orphan span, infeasible
+#       clock offset or containment breach).
+go build -o "$smoke/cachefed" ./cmd/cachefed
+clpids=""
+claddrs=""
+clobs=""
+for i in 1 2 3; do
+    spec="bench"
+    [ "$i" = 3 ] && spec="bench:sets=16,ways=1"
+    "$smoke/cacheserved" -listen 127.0.0.1:0 -ns "$spec" -node "n$i" \
+        -span.jsonl "$smoke/cl_node${i}_spans.jsonl" -obs.listen 127.0.0.1:0 \
+        -manifest "$smoke/cl_node$i.json" > "$smoke/cl_node$i.txt" 2>&1 &
+    clpids="$clpids $!"
+    a=""
+    o=""
+    for _ in $(seq 1 50); do
+        a=$(sed -n 's/^cacheserved: listening on //p' "$smoke/cl_node$i.txt")
+        o=$(sed -n 's|^observability: http://\([^ ]*\) .*|\1|p' "$smoke/cl_node$i.txt")
+        [ -n "$a" ] && [ -n "$o" ] && break
+        sleep 0.1
+    done
+    if [ -z "$a" ] || [ -z "$o" ]; then
+        echo "ci: cluster node $i never printed its addresses" >&2; exit 1
+    fi
+    claddrs="$claddrs,$a"
+    clobs="$clobs,$o"
+done
+claddrs=${claddrs#,}
+clobs=${clobs#,}
+"$smoke/cachebench" -mode closed -workers 4 -ops 20000 -keys 4096 -zipf 1.1 \
+    -seed 7 -quiet -remote "$claddrs" -obs.sample 0.05 \
+    -span.jsonl "$smoke/cl_client_spans.jsonl" \
+    -manifest "$smoke/cl_client.json" > "$smoke/cl_client.txt"
+grep -q '== client-observed, bit for bit' "$smoke/cl_client.txt" || {
+    cat "$smoke/cl_client.txt" >&2
+    echo "ci: remote run printed no cluster reconciliation line" >&2; exit 1; }
+go run ./cmd/report -check "$smoke/cl_client.json"
+grep -q '"trace_negotiated": "true"' "$smoke/cl_client.json" || {
+    echo "ci: client manifest missing trace negotiation with the ring" >&2
+    exit 1; }
+
+# Deterministic federation of the (now idle) fleet: the first scrape
+# baselines the node-labeled mirrors at zero, the second lands every node's
+# totals in one bucket, so the degraded node's miss ratio diverges inside
+# the rule window and node-outlier-hit-rate walks to firing exactly once.
+"$smoke/cachefed" -nodes "$clobs" -interval 1s -scrapes 4 \
+    -alerts.jsonl "$smoke/fed1.jsonl" -status "$smoke/fed_status.json" \
+    > "$smoke/fed1.txt"
+grep -q 'node-outlier-hit-rate.*fired=1' "$smoke/fed1.txt" || {
+    cat "$smoke/fed1.txt" >&2
+    echo "ci: degraded node did not fire node-outlier-hit-rate exactly once" >&2
+    exit 1; }
+outlier_fires=$(grep -c '"rule":"node-outlier-hit-rate","from":"pending","to":"firing"' \
+    "$smoke/fed1.jsonl")
+if [ "$outlier_fires" -ne 1 ]; then
+    cat "$smoke/fed1.jsonl" >&2
+    echo "ci: fleet alert stream has != 1 node-outlier firing transition" >&2
+    exit 1
+fi
+grep -q '"node_skew":' "$smoke/fed_status.json" || {
+    echo "ci: cluster status missing the node_skew signal" >&2; exit 1; }
+"$smoke/cachefed" -nodes "$clobs" -interval 1s -scrapes 4 \
+    -alerts.jsonl "$smoke/fed2.jsonl" > /dev/null
+cmp -s "$smoke/fed1.jsonl" "$smoke/fed2.jsonl" || {
+    echo "ci: fleet alert stream differs across reruns" >&2; exit 1; }
+
+# Fleet dashboard: one cachetop -cluster frame against a live cachefed.
+"$smoke/cachefed" -nodes "$clobs" -interval 1s -listen 127.0.0.1:0 \
+    > "$smoke/fedlive.txt" 2>&1 &
+fedpid=$!
+fedaddr=""
+for _ in $(seq 1 50); do
+    fedaddr=$(sed -n 's/^cachefed: listening on //p' "$smoke/fedlive.txt")
+    [ -n "$fedaddr" ] && break
+    sleep 0.1
+done
+if [ -z "$fedaddr" ]; then
+    kill "$fedpid" 2>/dev/null || true
+    echo "ci: live cachefed never printed its listen address" >&2; exit 1
+fi
+sleep 2.5 # let the live scraper cover a couple of intervals
+rc=0
+"$smoke/cachetop" -cluster -addr "$fedaddr" -frames 1 \
+    > "$smoke/cachetop_cluster.txt" || rc=$?
+kill -INT "$fedpid" 2>/dev/null || true
+wait "$fedpid" 2>/dev/null || true
+if [ "$rc" -ne 0 ]; then
+    cat "$smoke/cachetop_cluster.txt" >&2
+    echo "ci: cachetop -cluster render failed ($rc)" >&2; exit 1
+fi
+for want in "cluster" "node" "fleet alerts" "node-outlier-hit-rate"; do
+    grep -Fq "$want" "$smoke/cachetop_cluster.txt" || {
+        cat "$smoke/cachetop_cluster.txt" >&2
+        echo "ci: cachetop -cluster frame missing \"$want\"" >&2; exit 1; }
+done
+
+# Drain the ring (flushes each node's span JSONL), then stitch: the client
+# and server halves of every sampled request must pair up, each node's clock
+# offset must be feasible, and every server span must land strictly inside
+# its client's net round trip — report -merge exits nonzero otherwise.
+for pid in $clpids; do
+    kill -TERM "$pid"
+    wait "$pid" || { echo "ci: cluster node drain failed" >&2; exit 1; }
+done
+for i in 1 2 3; do
+    go run ./cmd/report -check "$smoke/cl_node$i.json"
+done
+go run ./cmd/report -merge "$smoke/cl_trace.json" \
+    "$smoke/cl_client_spans.jsonl" "$smoke/cl_node1_spans.jsonl" \
+    "$smoke/cl_node2_spans.jsonl" "$smoke/cl_node3_spans.jsonl" \
+    > "$smoke/cl_merge.txt" || {
+    cat "$smoke/cl_merge.txt" >&2
+    echo "ci: cross-node trace stitch failed" >&2; exit 1; }
+grep -Eq 'stitched [1-9][0-9]* client \+ [1-9][0-9]* server spans' \
+    "$smoke/cl_merge.txt" || {
+    cat "$smoke/cl_merge.txt" >&2
+    echo "ci: stitch paired no spans" >&2; exit 1; }
+go run ./cmd/report -check "$smoke/cl_trace.json"
+
 # Serving-tier flag validation: malformed namespace specs, bad limits and
 # misused -remote flags must exit 2.
 for bad in "-ns :x=1" "-ns a:policy=NoSuchPolicy" "-ns a:nokey=1" \
@@ -494,6 +626,17 @@ for bad in "-ns :x=1" "-ns a:policy=NoSuchPolicy" "-ns a:nokey=1" \
     "$smoke/cacheserved" $bad >/dev/null 2>&1 || rc=$?
     if [ "$rc" -ne 2 ]; then
         echo "ci: cacheserved $bad exited $rc, want 2" >&2; exit 1
+    fi
+done
+# Federation flag validation: a missing node list and out-of-range scrape
+# parameters must exit 2.
+for bad in "" "-nodes x -interval 0s" "-nodes x -timeout 0s" \
+    "-nodes x -scrapes -1"; do
+    rc=0
+    # shellcheck disable=SC2086 # intentional word splitting of flag+value
+    "$smoke/cachefed" $bad >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "ci: cachefed $bad exited $rc, want 2" >&2; exit 1
     fi
 done
 for bad in "-remote x -policy DCL" "-remote x -shards 4" \
